@@ -1,0 +1,308 @@
+//! The Section 7 case-study pipeline: fragment a genome, mine every
+//! fragment, and aggregate compositional statistics across fragments
+//! and across genomes.
+
+use crate::composition::{breakdown, classify, CompositionClass};
+use perigap_core::mppm::mppm;
+use perigap_core::mpp::MppConfig;
+use perigap_core::result::MineOutcome;
+use perigap_core::{GapRequirement, MineError, Pattern};
+use perigap_seq::fragment::fragments;
+use perigap_seq::Sequence;
+use std::collections::HashMap;
+
+/// Parameters of a case-study run (the paper: 100 kb fragments, gap
+/// [10, 12], ρs = 0.006%, focal pattern length 8).
+#[derive(Clone, Debug)]
+pub struct CaseStudyConfig {
+    /// Fragment width in bases.
+    pub fragment_width: usize,
+    /// Minimum final-fragment width (shorter tails are skipped).
+    pub min_fragment: usize,
+    /// Gap requirement for mining.
+    pub gap: GapRequirement,
+    /// Support threshold.
+    pub rho: f64,
+    /// MPPm window parameter.
+    pub m: usize,
+    /// The pattern length whose composition is tabulated.
+    pub focal_length: usize,
+}
+
+impl CaseStudyConfig {
+    /// The paper's settings scaled by `scale` (1.0 = 100 kb fragments).
+    pub fn paper_scaled(scale: f64) -> CaseStudyConfig {
+        let width = ((100_000.0 * scale) as usize).max(500);
+        CaseStudyConfig {
+            fragment_width: width,
+            min_fragment: width / 2,
+            gap: GapRequirement::new(10, 12).expect("static gap is valid"),
+            rho: 0.00006,
+            m: 8,
+            focal_length: 8,
+        }
+    }
+}
+
+/// Per-fragment mining summary.
+#[derive(Clone, Debug)]
+pub struct FragmentReport {
+    /// Fragment index within its genome.
+    pub index: usize,
+    /// Length of the longest frequent pattern in the fragment.
+    pub longest: usize,
+    /// Frequent focal-length patterns that are A/T-only.
+    pub at_only: usize,
+    /// Frequent focal-length patterns with exactly one C or G.
+    pub one_cg: usize,
+    /// Frequent focal-length patterns with more than one C or G.
+    pub many_cg: usize,
+    /// Every frequent focal-length pattern.
+    pub focal_patterns: Vec<Pattern>,
+}
+
+/// Whole-genome case-study result.
+#[derive(Clone, Debug)]
+pub struct GenomeReport {
+    /// Label supplied by the caller (species name).
+    pub name: String,
+    /// Per-fragment summaries.
+    pub fragments: Vec<FragmentReport>,
+}
+
+impl GenomeReport {
+    /// Average count of frequent focal-length A/T-only patterns per
+    /// fragment (the paper reports ≈ 250 of 256 for bacteria).
+    pub fn mean_at_only(&self) -> f64 {
+        if self.fragments.is_empty() {
+            return 0.0;
+        }
+        self.fragments.iter().map(|f| f.at_only as f64).sum::<f64>() / self.fragments.len() as f64
+    }
+
+    /// Average count of frequent focal-length patterns with more than
+    /// one C/G (the paper reports ≈ 3.9 for bacteria).
+    pub fn mean_many_cg(&self) -> f64 {
+        if self.fragments.is_empty() {
+            return 0.0;
+        }
+        self.fragments.iter().map(|f| f.many_cg as f64).sum::<f64>() / self.fragments.len() as f64
+    }
+
+    /// Patterns frequent in *every* fragment ("some of these patterns
+    /// were even frequent in every fragment examined").
+    pub fn ubiquitous(&self) -> Vec<Pattern> {
+        let mut counts: HashMap<Pattern, usize> = HashMap::new();
+        for frag in &self.fragments {
+            for p in &frag.focal_patterns {
+                *counts.entry(p.clone()).or_insert(0) += 1;
+            }
+        }
+        let total = self.fragments.len();
+        let mut out: Vec<Pattern> = counts
+            .into_iter()
+            .filter(|&(_, c)| c == total && total > 0)
+            .map(|(p, _)| p)
+            .collect();
+        out.sort_by(|a, b| a.codes().cmp(b.codes()));
+        out
+    }
+
+    /// The longest frequent pattern length over all fragments.
+    pub fn longest(&self) -> usize {
+        self.fragments.iter().map(|f| f.longest).max().unwrap_or(0)
+    }
+}
+
+/// Mine every fragment of `genome` with MPPm and summarize.
+pub fn run_case_study(
+    name: &str,
+    genome: &Sequence,
+    config: &CaseStudyConfig,
+) -> Result<GenomeReport, MineError> {
+    let frags = fragments(genome, config.fragment_width, config.min_fragment);
+    let mut reports = Vec::with_capacity(frags.len());
+    for frag in &frags {
+        let outcome = mppm(
+            &frag.sequence,
+            config.gap,
+            config.rho,
+            config.m,
+            MppConfig::default(),
+        )?;
+        reports.push(summarize_fragment(frag.index, &outcome, config.focal_length));
+    }
+    Ok(GenomeReport { name: name.to_string(), fragments: reports })
+}
+
+/// Build a [`FragmentReport`] from one fragment's mining outcome.
+pub fn summarize_fragment(index: usize, outcome: &MineOutcome, focal: usize) -> FragmentReport {
+    let b = breakdown(outcome, focal);
+    FragmentReport {
+        index,
+        longest: outcome.longest_len(),
+        at_only: b.at_only,
+        one_cg: b.one_cg,
+        many_cg: b.many_cg,
+        focal_patterns: outcome.of_length(focal).map(|f| f.pattern.clone()).collect(),
+    }
+}
+
+/// Patterns frequent somewhere in `a` but nowhere in `b` — the
+/// cross-species comparison behind "the nucleotides involved in the
+/// periodic patterns in bacteria and eukaryotes are quite different".
+pub fn exclusive_patterns(a: &GenomeReport, b: &GenomeReport) -> Vec<Pattern> {
+    let in_b: std::collections::HashSet<&Pattern> =
+        b.fragments.iter().flat_map(|f| f.focal_patterns.iter()).collect();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for frag in &a.fragments {
+        for p in &frag.focal_patterns {
+            if !in_b.contains(p) && seen.insert(p.clone()) {
+                out.push(p.clone());
+            }
+        }
+    }
+    out.sort_by(|x, y| x.codes().cmp(y.codes()));
+    out
+}
+
+/// Fraction of a genome report's focal patterns that are C/G-heavy —
+/// used to contrast eukaryote-like and bacteria-like inputs.
+pub fn cg_heavy_fraction(report: &GenomeReport) -> f64 {
+    let mut total = 0usize;
+    let mut heavy = 0usize;
+    for frag in &report.fragments {
+        for p in &frag.focal_patterns {
+            total += 1;
+            if classify(p) == CompositionClass::ManyCg {
+                heavy += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        heavy as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::result::{FrequentPattern, MineStats};
+    use perigap_seq::Alphabet;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::Dna).unwrap()
+    }
+
+    fn outcome(patterns: &[&str]) -> MineOutcome {
+        MineOutcome {
+            frequent: patterns
+                .iter()
+                .map(|t| FrequentPattern { pattern: pat(t), support: 5, ratio: 0.2 })
+                .collect(),
+            stats: MineStats::default(),
+        }
+    }
+
+    fn report(name: &str, fragment_patterns: &[&[&str]]) -> GenomeReport {
+        GenomeReport {
+            name: name.into(),
+            fragments: fragment_patterns
+                .iter()
+                .enumerate()
+                .map(|(i, pats)| summarize_fragment(i, &outcome(pats), 8))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fragment_summary_counts_classes() {
+        let o = outcome(&["ATATATAT", "AATTAATT", "ATCATATA", "GCGCGCGC", "ATA"]);
+        let r = summarize_fragment(0, &o, 8);
+        assert_eq!(r.at_only, 2);
+        assert_eq!(r.one_cg, 1);
+        assert_eq!(r.many_cg, 1);
+        assert_eq!(r.longest, 8);
+        assert_eq!(r.focal_patterns.len(), 4);
+    }
+
+    #[test]
+    fn genome_means() {
+        let r = report(
+            "toy",
+            &[&["ATATATAT", "TTTTTTTT"], &["ATATATAT"], &["GCGCGCGC", "ATATATAT"]],
+        );
+        assert!((r.mean_at_only() - (2.0 + 1.0 + 1.0) / 3.0).abs() < 1e-12);
+        assert!((r.mean_many_cg() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.longest(), 8);
+    }
+
+    #[test]
+    fn ubiquitous_requires_every_fragment() {
+        let r = report(
+            "toy",
+            &[&["ATATATAT", "TTTTTTTT"], &["ATATATAT"], &["ATATATAT", "GCGCGCGC"]],
+        );
+        let ubi = r.ubiquitous();
+        assert_eq!(ubi, vec![pat("ATATATAT")]);
+        let empty = report("none", &[]);
+        assert!(empty.ubiquitous().is_empty());
+    }
+
+    #[test]
+    fn exclusive_patterns_compare_reports() {
+        let bacteria = report("b", &[&["ATATATAT", "TTTTTTTT"]]);
+        let eukaryote = report("e", &[&["ATATATAT", "GGGGGGGG"]]);
+        let only_euk = exclusive_patterns(&eukaryote, &bacteria);
+        assert_eq!(only_euk, vec![pat("GGGGGGGG")]);
+        let only_bac = exclusive_patterns(&bacteria, &eukaryote);
+        assert_eq!(only_bac, vec![pat("TTTTTTTT")]);
+    }
+
+    #[test]
+    fn cg_heavy_fraction_counts() {
+        let r = report("toy", &[&["ATATATAT", "GGGGGGGG", "GCGCGCGC", "ATTTTTTA"]]);
+        assert!((cg_heavy_fraction(&r) - 0.5).abs() < 1e-12);
+        assert_eq!(cg_heavy_fraction(&report("none", &[])), 0.0);
+    }
+
+    #[test]
+    fn end_to_end_small_genome() {
+        // A tiny AT-periodic genome: the case study should find AT-only
+        // focal patterns dominating.
+        use perigap_seq::gen::iid::weighted;
+        use perigap_seq::gen::periodic::{plant_periodic, PeriodicMotif};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut genome = weighted(&mut rng, Alphabet::Dna, 2_400, &[0.35, 0.15, 0.15, 0.35]);
+        for motif in [vec![0u8; 5], vec![3u8; 5], vec![0, 3, 0, 3, 0]] {
+            let spec = PeriodicMotif { motif, gap_min: 1, gap_max: 3, occurrences: 60 };
+            plant_periodic(&mut rng, &mut genome, &spec);
+        }
+        let config = CaseStudyConfig {
+            fragment_width: 800,
+            min_fragment: 400,
+            gap: GapRequirement::new(1, 3).unwrap(),
+            rho: 0.001,
+            m: 3,
+            focal_length: 4,
+        };
+        let report = run_case_study("toy", &genome, &config).unwrap();
+        assert_eq!(report.fragments.len(), 3);
+        assert!(report.longest() >= 4, "longest = {}", report.longest());
+        // The paper's claim is per-class: the *fraction* of A/T-only
+        // patterns that are frequent exceeds the fraction of C/G-heavy
+        // ones (the classes have very different sizes).
+        let (at_total, _, cg_total) = crate::composition::class_totals(4);
+        let at_frac = report.mean_at_only() / at_total as f64;
+        let cg_frac = report.mean_many_cg() / cg_total as f64;
+        assert!(
+            at_frac > cg_frac,
+            "A/T class should be denser in frequent patterns: {at_frac} vs {cg_frac}"
+        );
+    }
+}

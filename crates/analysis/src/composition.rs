@@ -1,0 +1,166 @@
+//! Base-composition classification of DNA patterns.
+//!
+//! Section 7's headline result is compositional: "the bases 'A' and 'T'
+//! constitute much more to the periodic patterns than 'C' and 'G'".
+//! This module classifies patterns by their C/G content and reproduces
+//! the paper's accounting of the 4^8 = 65,536 length-8 patterns:
+//! 2^8 = 256 are A/T-only, 8·2·2^7 = 2,048 have exactly one C or G, and
+//! 63,232 have more than one.
+
+use perigap_core::result::MineOutcome;
+use perigap_core::Pattern;
+
+/// DNA codes (A=0, C=1, G=2, T=3) that count as "strong" (C/G) bases.
+fn is_cg(code: u8) -> bool {
+    code == 1 || code == 2
+}
+
+/// The composition class of one DNA pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CompositionClass {
+    /// Only A and T characters.
+    AtOnly,
+    /// Exactly one C or G character.
+    OneCg,
+    /// Two or more C/G characters.
+    ManyCg,
+}
+
+/// Classify a DNA pattern.
+pub fn classify(pattern: &Pattern) -> CompositionClass {
+    match pattern.codes().iter().filter(|&&c| is_cg(c)).count() {
+        0 => CompositionClass::AtOnly,
+        1 => CompositionClass::OneCg,
+        _ => CompositionClass::ManyCg,
+    }
+}
+
+/// Number of C/G characters in a pattern.
+pub fn cg_count(pattern: &Pattern) -> usize {
+    pattern.codes().iter().filter(|&&c| is_cg(c)).count()
+}
+
+/// How many length-`l` DNA patterns fall in each class, analytically —
+/// the denominators of the paper's Section 7 ratios.
+pub fn class_totals(l: u32) -> (u128, u128, u128) {
+    let all = 4u128.pow(l);
+    let at_only = 2u128.pow(l);
+    // Choose the C/G position (l ways), its letter (2 ways), and A/T
+    // letters everywhere else.
+    let one_cg = if l == 0 { 0 } else { 2 * l as u128 * 2u128.pow(l - 1) };
+    (at_only, one_cg, all - at_only - one_cg)
+}
+
+/// Composition breakdown of one mined outcome, restricted to patterns
+/// of length `l`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompositionBreakdown {
+    /// Frequent A/T-only patterns of the target length.
+    pub at_only: usize,
+    /// Frequent patterns with exactly one C or G.
+    pub one_cg: usize,
+    /// Frequent patterns with two or more C/G.
+    pub many_cg: usize,
+}
+
+impl CompositionBreakdown {
+    /// Total frequent patterns of the target length.
+    pub fn total(&self) -> usize {
+        self.at_only + self.one_cg + self.many_cg
+    }
+}
+
+/// Count frequent patterns of length `l` in each composition class.
+pub fn breakdown(outcome: &MineOutcome, l: usize) -> CompositionBreakdown {
+    let mut out = CompositionBreakdown::default();
+    for f in outcome.of_length(l) {
+        match classify(&f.pattern) {
+            CompositionClass::AtOnly => out.at_only += 1,
+            CompositionClass::OneCg => out.one_cg += 1,
+            CompositionClass::ManyCg => out.many_cg += 1,
+        }
+    }
+    out
+}
+
+/// The self-repeating frequent patterns of an outcome (the case study's
+/// `ATATATATATA` / `GTAGTAGTAGT` observations), longest first.
+pub fn self_repeating(outcome: &MineOutcome) -> Vec<&Pattern> {
+    let mut out: Vec<&Pattern> = outcome
+        .frequent
+        .iter()
+        .map(|f| &f.pattern)
+        .filter(|p| p.is_self_repeating())
+        .collect();
+    out.sort_by_key(|p| std::cmp::Reverse(p.len()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::result::{FrequentPattern, MineStats};
+    use perigap_seq::Alphabet;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::Dna).unwrap()
+    }
+
+    fn outcome(patterns: &[&str]) -> MineOutcome {
+        MineOutcome {
+            frequent: patterns
+                .iter()
+                .map(|t| FrequentPattern { pattern: pat(t), support: 1, ratio: 1.0 })
+                .collect(),
+            stats: MineStats::default(),
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(&pat("ATTA")), CompositionClass::AtOnly);
+        assert_eq!(classify(&pat("ATCA")), CompositionClass::OneCg);
+        assert_eq!(classify(&pat("ATGA")), CompositionClass::OneCg);
+        assert_eq!(classify(&pat("GTCA")), CompositionClass::ManyCg);
+        assert_eq!(classify(&pat("GGGG")), CompositionClass::ManyCg);
+        assert_eq!(cg_count(&pat("GGCATT")), 3);
+    }
+
+    #[test]
+    fn paper_length8_totals() {
+        // Section 7's arithmetic, verbatim.
+        let (at, one, many) = class_totals(8);
+        assert_eq!(at, 256);
+        assert_eq!(one, 2_048);
+        assert_eq!(many, 63_232);
+        assert_eq!(at + one + many, 65_536);
+    }
+
+    #[test]
+    fn totals_sum_for_all_lengths() {
+        for l in 1..=12 {
+            let (at, one, many) = class_totals(l);
+            assert_eq!(at + one + many, 4u128.pow(l), "length {l}");
+        }
+    }
+
+    #[test]
+    fn breakdown_counts_by_length() {
+        let o = outcome(&["ATATATAT", "TTTTTTTT", "ATCATATA", "GGGGGGGG", "ATT"]);
+        let b = breakdown(&o, 8);
+        assert_eq!(b.at_only, 2);
+        assert_eq!(b.one_cg, 1);
+        assert_eq!(b.many_cg, 1);
+        assert_eq!(b.total(), 4); // the length-3 pattern is excluded
+        assert_eq!(breakdown(&o, 5).total(), 0);
+    }
+
+    #[test]
+    fn self_repeating_extraction() {
+        let o = outcome(&["ATATATATATA", "GTAGTAGTAGT", "ACGTACGA", "GGGG"]);
+        let reps = self_repeating(&o);
+        assert_eq!(reps.len(), 3);
+        // Longest first.
+        assert!(reps[0].len() >= reps[1].len());
+    }
+}

@@ -1,0 +1,29 @@
+//! # perigap-analysis
+//!
+//! Case-study tooling for the *perigap* workspace, reproducing the
+//! analyses of Section 7 of "Mining Periodic Patterns with Gap
+//! Requirement from Sequences" (SIGMOD 2005):
+//!
+//! * [`composition`] — A/T vs C/G classification of mined DNA patterns
+//!   and the paper's 256 / 2,048 / 63,232 accounting of length-8
+//!   pattern classes;
+//! * [`casestudy`] — the fragment-and-mine pipeline with per-genome
+//!   aggregation (mean A/T-only counts, ubiquitous patterns,
+//!   cross-species exclusives);
+//! * [`nullmodel`] — i.i.d. expectations, enrichment and z-scores for
+//!   ranking mined patterns against chance;
+//! * [`report`] — dependency-free text tables for the harness output;
+//! * [`export`] — TSV output for downstream toolchains.
+
+#![warn(missing_docs)]
+
+pub mod casestudy;
+pub mod composition;
+pub mod export;
+pub mod localization;
+pub mod nullmodel;
+pub mod report;
+pub mod significance;
+
+pub use casestudy::{run_case_study, CaseStudyConfig, GenomeReport};
+pub use composition::{breakdown, classify, CompositionClass};

@@ -1,0 +1,147 @@
+//! Null models for pattern significance.
+//!
+//! A pattern being frequent is only interesting relative to what chance
+//! would produce. Under character independence, gap positions are
+//! unconstrained, so the expected support ratio of `P` is simply
+//! `Π pr(P[j])` over its characters; the expected support is that times
+//! `N_l`. A Markov null refines the character probabilities with the
+//! empirical distribution of the characters actually reachable at each
+//! hop. These feed z-scores used by the examples and the harness to
+//! rank mined patterns.
+
+use perigap_core::{OffsetCounts, Pattern};
+use perigap_seq::Sequence;
+
+/// Expected support ratio of `pattern` under the i.i.d. null with the
+/// sequence's empirical character frequencies.
+pub fn iid_expected_ratio(seq: &Sequence, pattern: &Pattern) -> f64 {
+    let freqs = seq.code_frequencies();
+    pattern.codes().iter().map(|&c| freqs[c as usize]).product()
+}
+
+/// Expected support under the i.i.d. null: `ratio · N_l`.
+pub fn iid_expected_support(seq: &Sequence, counts: &OffsetCounts, pattern: &Pattern) -> f64 {
+    iid_expected_ratio(seq, pattern) * counts.n_f64(pattern.len())
+}
+
+/// Enrichment of an observed support over the i.i.d. expectation
+/// (`observed / expected`; ∞ when the expectation is 0 but the pattern
+/// was seen).
+pub fn enrichment(seq: &Sequence, counts: &OffsetCounts, pattern: &Pattern, observed: u128) -> f64 {
+    let expected = iid_expected_support(seq, counts, pattern);
+    if expected == 0.0 {
+        if observed == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        observed as f64 / expected
+    }
+}
+
+/// Approximate z-score of an observed support under a Poisson-like
+/// null (`σ ≈ √expected`, appropriate because matches of a fixed
+/// pattern at distinct offset sequences are rare, weakly dependent
+/// events). `None` when the expectation is 0.
+pub fn z_score(seq: &Sequence, counts: &OffsetCounts, pattern: &Pattern, observed: u128) -> Option<f64> {
+    let expected = iid_expected_support(seq, counts, pattern);
+    (expected > 0.0).then(|| (observed as f64 - expected) / expected.sqrt())
+}
+
+/// Rank mined patterns by enrichment, most enriched first. Returns
+/// `(pattern, observed, expected, enrichment)` rows.
+pub fn rank_by_enrichment<'a>(
+    seq: &Sequence,
+    counts: &OffsetCounts,
+    mined: impl IntoIterator<Item = (&'a Pattern, u128)>,
+) -> Vec<(&'a Pattern, u128, f64, f64)> {
+    let mut rows: Vec<(&Pattern, u128, f64, f64)> = mined
+        .into_iter()
+        .map(|(p, sup)| {
+            let expected = iid_expected_support(seq, counts, p);
+            (p, sup, expected, enrichment(seq, counts, p, sup))
+        })
+        .collect();
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("no NaN enrichment"));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::naive::support_dp;
+    use perigap_core::GapRequirement;
+    use perigap_seq::gen::iid::uniform;
+    use perigap_seq::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::Dna).unwrap()
+    }
+
+    #[test]
+    fn iid_ratio_multiplies_frequencies() {
+        let s = Sequence::dna("AACG").unwrap(); // A: 1/2, C: 1/4, G: 1/4
+        assert!((iid_expected_ratio(&s, &pat("AC")) - 0.125).abs() < 1e-12);
+        assert_eq!(iid_expected_ratio(&s, &pat("T")), 0.0);
+    }
+
+    #[test]
+    fn expectation_predicts_random_sequences() {
+        // On uniform random DNA the observed support of any fixed short
+        // pattern should sit near the i.i.d. expectation.
+        let s = uniform(&mut StdRng::seed_from_u64(51), Alphabet::Dna, 4_000);
+        let g = GapRequirement::new(2, 4).unwrap();
+        let counts = OffsetCounts::new(s.len(), g);
+        for text in ["ACG", "TTA", "GAT"] {
+            let p = pat(text);
+            let observed = support_dp(&s, g, &p) as f64;
+            let expected = iid_expected_support(&s, &counts, &p);
+            let rel = (observed - expected).abs() / expected;
+            assert!(rel < 0.2, "pattern {text}: observed {observed} vs expected {expected}");
+        }
+    }
+
+    #[test]
+    fn planted_patterns_are_enriched() {
+        use perigap_seq::gen::periodic::{plant_periodic, PeriodicMotif};
+        let mut s = uniform(&mut StdRng::seed_from_u64(52), Alphabet::Dna, 3_000);
+        let mut rng = StdRng::seed_from_u64(53);
+        let spec = PeriodicMotif { motif: vec![2, 2, 2, 2], gap_min: 2, gap_max: 4, occurrences: 120 };
+        plant_periodic(&mut rng, &mut s, &spec);
+        let g = GapRequirement::new(2, 4).unwrap();
+        let counts = OffsetCounts::new(s.len(), g);
+        let p = pat("GGGG");
+        let observed = support_dp(&s, g, &p);
+        let e = enrichment(&s, &counts, &p, observed);
+        assert!(e > 2.0, "planted GGGG should be enriched, got {e}");
+        assert!(z_score(&s, &counts, &p, observed).unwrap() > 3.0);
+    }
+
+    #[test]
+    fn enrichment_edge_cases() {
+        let s = Sequence::dna("AAAA").unwrap();
+        let g = GapRequirement::new(0, 1).unwrap();
+        let counts = OffsetCounts::new(4, g);
+        // T never occurs: expected 0.
+        assert_eq!(enrichment(&s, &counts, &pat("T"), 0), 1.0);
+        assert_eq!(enrichment(&s, &counts, &pat("T"), 3), f64::INFINITY);
+        assert!(z_score(&s, &counts, &pat("T"), 0).is_none());
+    }
+
+    #[test]
+    fn ranking_orders_by_enrichment() {
+        let s = Sequence::dna(&"AAAT".repeat(100)).unwrap();
+        let g = GapRequirement::new(1, 2).unwrap();
+        let counts = OffsetCounts::new(s.len(), g);
+        let p1 = pat("AA");
+        let p2 = pat("TT");
+        let sup1 = support_dp(&s, g, &p1);
+        let sup2 = support_dp(&s, g, &p2);
+        let ranked = rank_by_enrichment(&s, &counts, [(&p1, sup1), (&p2, sup2)]);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].3 >= ranked[1].3);
+    }
+}

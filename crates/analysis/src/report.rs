@@ -1,0 +1,134 @@
+//! Plain-text table rendering for the case study and the `repro`
+//! harness — fixed-width columns, right-aligned numbers, no external
+//! dependencies.
+
+/// A simple column-aligned text table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable items.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let rendered: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&rendered)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns: headers left-aligned, cells
+    /// right-aligned (numeric tables read best that way).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        for (c, h) in self.header.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{h:<width$}", width = widths[c]));
+        }
+        out.push('\n');
+        for (c, _) in self.header.iter().enumerate() {
+            if c > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(widths[c]));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>width$}", width = widths[c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a duration in seconds with millisecond resolution — the unit
+/// of every timing figure in the paper.
+pub fn seconds(d: std::time::Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["level", "candidates"]);
+        t.row_display(&[3, 64]).row_display(&[4, 65536]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("level"));
+        assert!(lines[1].starts_with("-----"));
+        // Right-aligned numbers end at the same column.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(lines[3].ends_with("65536"));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(seconds(std::time::Duration::from_millis(1500)), "1.500");
+        assert_eq!(seconds(std::time::Duration::ZERO), "0.000");
+    }
+}

@@ -1,0 +1,321 @@
+//! Deterministic synthetic datasets substituting for the paper's NCBI
+//! downloads (see DESIGN.md §3).
+//!
+//! The experiments need two things from their input:
+//!
+//! 1. **the AX829174-like fragment** — a 10,011-base human-like DNA
+//!    sequence where, at gap `[9,12]` and `ρs = 0.003%`, short patterns
+//!    are broadly frequent and the longest frequent patterns reach
+//!    length ≈ 10–13. That happens when the sequence is AT-rich *and*
+//!    carries helical-period structure: regions where A/T recur every
+//!    ~10–12 bases for a dozen consecutive periods. We plant exactly
+//!    that signal over an order-1 Markov background.
+//! 2. **case-study genomes** — bacteria-like inputs (AT-rich, A/T
+//!    periodic motifs) and eukaryote-like inputs (the same plus G-run
+//!    motifs and weaker periodicity), fragmentable like the paper's
+//!    100 kb windows.
+//!
+//! All generation is seeded; every call returns identical bytes.
+
+use perigap_seq::gen::markov::MarkovModel;
+use perigap_seq::gen::periodic::{plant_periodic, PeriodicMotif};
+use perigap_seq::{Alphabet, Sequence};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Length of the real AX829174 entry the paper uses.
+pub const AX829174_LEN: usize = 10_011;
+
+/// Fixed seed namespace for the whole dataset family.
+const SEED_BASE: u64 = 0x0A82_9174;
+
+/// An AT-rich order-1 Markov background model with mild same-base
+/// stickiness — matching the gross composition of human genomic DNA
+/// (GC ≈ 41%).
+fn human_like_background() -> MarkovModel {
+    // Rows: context A, C, G, T; columns A, C, G, T.
+    // Marginals ≈ A 0.30, C 0.20, G 0.20, T 0.30 with AA/TT affinity.
+    let rows = vec![
+        0.36, 0.18, 0.20, 0.26, // after A
+        0.32, 0.22, 0.06, 0.40, // after C (CG suppression, real in vertebrates)
+        0.28, 0.21, 0.21, 0.30, // after G
+        0.24, 0.20, 0.22, 0.34, // after T
+    ];
+    MarkovModel::from_rows(Alphabet::Dna, 1, rows)
+}
+
+/// Plant helical-period A/T ladders: `count` occurrences of length-`l`
+/// single-base motifs recurring at gaps in `[gap_lo, gap_hi]`.
+fn plant_helical_ladders<R: Rng>(
+    rng: &mut R,
+    seq: &mut Sequence,
+    count: usize,
+    l: usize,
+    gap_lo: usize,
+    gap_hi: usize,
+) {
+    for _ in 0..count {
+        // A-ladders and T-ladders in equal proportion, plus mixed
+        // A/T motifs that give the case study its 2^8 variety.
+        let motif: Vec<u8> = match rng.gen_range(0..3u8) {
+            0 => vec![0; l],
+            1 => vec![3; l],
+            _ => (0..l).map(|_| if rng.gen::<bool>() { 0 } else { 3 }).collect(),
+        };
+        let spec = PeriodicMotif { motif, gap_min: gap_lo, gap_max: gap_hi, occurrences: 1 };
+        plant_periodic(rng, seq, &spec);
+    }
+}
+
+/// The deterministic AX829174 substitute: 10,011 bases.
+pub fn ax829174_like() -> Sequence {
+    let mut rng = StdRng::seed_from_u64(SEED_BASE);
+    let model = human_like_background();
+    let mut seq = model.sample(&mut rng, AX829174_LEN);
+    // ≈ 55 ladders of 14–17 periods at the helical spacing; each spans
+    // ≈ 150–190 bases, heavily overlapping, concentrating the periodic
+    // signal the miner is designed to find.
+    let mut plant_rng = StdRng::seed_from_u64(SEED_BASE ^ 0xBEEF);
+    for _ in 0..55 {
+        let l = plant_rng.gen_range(14..=17);
+        plant_helical_ladders(&mut plant_rng, &mut seq, 1, l, 9, 11);
+    }
+    // A/T-skewed composition blocks (~300 bases at P(A) ≈ 0.5 or
+    // P(T) ≈ 0.5), the analogue of the homopolymer-rich stretches of
+    // real genomic DNA. These are what pushes the longest frequent
+    // pattern at ρs = 0.003% to length ≈ 13 — a block with per-base
+    // match probability p supports length-l patterns while
+    // p^l · N_l(block) clears ρs · N_l(whole); at p = 0.5 the
+    // crossover sits at l ≈ 13, as in the paper's AX829174 run.
+    // Fixed starts so every experiment prefix (the paper slices
+    // L = 1000 fragments) contains at least one block of each skew.
+    for (i, (start, weights)) in [
+        (120usize, [0.50, 0.10, 0.10, 0.30]),
+        (580, [0.30, 0.10, 0.10, 0.50]),
+        (3_200, [0.50, 0.10, 0.10, 0.30]),
+        (7_300, [0.30, 0.10, 0.10, 0.50]),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut block_rng = StdRng::seed_from_u64(SEED_BASE ^ (0xB10C + i as u64));
+        plant_composition_block_at(&mut block_rng, &mut seq, *start, 300, weights);
+    }
+    seq
+}
+
+/// Overwrite a random `width`-base window with i.i.d. characters of the
+/// given composition.
+fn plant_composition_block<R: Rng>(
+    rng: &mut R,
+    seq: &mut Sequence,
+    width: usize,
+    weights: &[f64; 4],
+) {
+    let width = width.min(seq.len());
+    let start = rng.gen_range(0..=seq.len() - width);
+    plant_composition_block_at(rng, seq, start, width, weights);
+}
+
+/// Overwrite the window starting at `start` with i.i.d. characters of
+/// the given composition (clamped to the sequence end).
+fn plant_composition_block_at<R: Rng>(
+    rng: &mut R,
+    seq: &mut Sequence,
+    start: usize,
+    width: usize,
+    weights: &[f64; 4],
+) {
+    assert!(start < seq.len(), "block start beyond sequence");
+    let width = width.min(seq.len() - start);
+    let block = perigap_seq::gen::iid::weighted(rng, Alphabet::Dna, width, weights);
+    let mut codes = seq.codes().to_vec();
+    codes[start..start + width].copy_from_slice(block.codes());
+    *seq = Sequence::from_codes(Alphabet::Dna, codes).expect("codes stay valid");
+}
+
+/// A length-`len` prefix of the AX829174 substitute — the paper's
+/// "randomly pick a length-L segment" step, made deterministic.
+///
+/// # Panics
+/// Panics if `len > AX829174_LEN`.
+pub fn ax_fragment(len: usize) -> Sequence {
+    assert!(len <= AX829174_LEN, "fragment longer than the dataset");
+    ax829174_like().slice(0..len)
+}
+
+/// A statistically *homogeneous* variant of the AX829174 substitute for
+/// the Figure 8 scaling experiment: planted-feature density is uniform
+/// in `len` (one composition block per 2,500 bases, ladders pro rata),
+/// so mining time scales with length rather than with which features a
+/// prefix happens to contain.
+pub fn scaling_sequence(len: usize) -> Sequence {
+    let mut rng = StdRng::seed_from_u64(SEED_BASE ^ 0x5CA1E);
+    let model = human_like_background();
+    let mut seq = model.sample(&mut rng, len);
+    let mut plant_rng = StdRng::seed_from_u64(SEED_BASE ^ 0x5CA1E ^ 0xBEEF);
+    let ladders = (55 * len) / AX829174_LEN;
+    for _ in 0..ladders.max(1) {
+        let l = plant_rng.gen_range(14..=17);
+        plant_helical_ladders(&mut plant_rng, &mut seq, 1, l, 9, 11);
+    }
+    let mut start = 120usize;
+    let mut a_rich = true;
+    while start + 300 <= len {
+        let weights = if a_rich {
+            [0.50, 0.10, 0.10, 0.30]
+        } else {
+            [0.30, 0.10, 0.10, 0.50]
+        };
+        let mut block_rng = StdRng::seed_from_u64(SEED_BASE ^ start as u64);
+        plant_composition_block_at(&mut block_rng, &mut seq, start, 300, &weights);
+        a_rich = !a_rich;
+        start += 2_500;
+    }
+    seq
+}
+
+/// Which flavour of synthetic genome to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenomeKind {
+    /// AT-rich with strong A/T helical periodicity (H. influenzae-like).
+    Bacteria,
+    /// Balanced composition with both A/T periodicity and planted
+    /// G-runs (H. sapiens-like; the case study finds 16-G patterns).
+    Eukaryote,
+}
+
+/// Build one synthetic genome of `len` bases. Deterministic per
+/// `(kind, index)`.
+pub fn synthetic_genome(kind: GenomeKind, index: u64, len: usize) -> Sequence {
+    let seed = SEED_BASE
+        .wrapping_mul(31)
+        .wrapping_add(index)
+        .wrapping_add(match kind {
+            GenomeKind::Bacteria => 0x0B,
+            GenomeKind::Eukaryote => 0x0E,
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seq = match kind {
+        GenomeKind::Bacteria => {
+            // AT-rich i.i.d. base (≈ 62% AT) — bacterial genomes in the
+            // study (H. influenzae ≈ 62% AT) are strongly AT-biased.
+            perigap_seq::gen::iid::weighted(&mut rng, Alphabet::Dna, len, &[0.31, 0.19, 0.19, 0.31])
+        }
+        GenomeKind::Eukaryote => human_like_background().sample(&mut rng, len),
+    };
+    // Helical ladders at the case-study gap [10, 12]; density scales
+    // with genome length (one ladder ≈ 170 bases).
+    let ladders = (len / 400).max(4);
+    plant_helical_ladders(&mut rng, &mut seq, ladders, 14, 10, 12);
+    if kind == GenomeKind::Eukaryote {
+        // G-rich isochore blocks: the paper finds G-only length-8 (even
+        // 16/17-G) patterns frequent in eukaryote fragments. Sparse
+        // planted ladders are far too weak for that — a frequent
+        // length-8 pattern needs thousands of matching chains — but a
+        // few hundred bases at P(G) ≈ 0.55 produce them, and G-dense
+        // composition blocks are the realistic mechanism (isochores).
+        let blocks = (len / 2500).max(1);
+        for _ in 0..blocks {
+            plant_g_block(&mut rng, &mut seq, 450);
+        }
+    }
+    seq
+}
+
+/// Overwrite a random `width`-base window with G-dominated i.i.d.
+/// composition (P(G) ≈ 0.55).
+fn plant_g_block<R: Rng>(rng: &mut R, seq: &mut Sequence, width: usize) {
+    plant_composition_block(rng, seq, width, &[0.15, 0.15, 0.55, 0.15]);
+}
+
+/// The bacterial panel of the case study: four named genomes.
+pub fn bacteria_panel(len: usize) -> Vec<(String, Sequence)> {
+    ["H. influenzae", "H. pylori", "M. genitalium", "M. pneumoniae"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (name.to_string(), synthetic_genome(GenomeKind::Bacteria, i as u64, len))
+        })
+        .collect()
+}
+
+/// The eukaryote panel of the case study: three named genomes.
+pub fn eukaryote_panel(len: usize) -> Vec<(String, Sequence)> {
+    ["H. sapiens", "C. elegans", "D. melanogaster"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            (name.to_string(), synthetic_genome(GenomeKind::Eukaryote, i as u64, len))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_seq::stats::gc_content;
+
+    #[test]
+    fn ax_dataset_is_deterministic() {
+        let a = ax829174_like();
+        let b = ax829174_like();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), AX829174_LEN);
+    }
+
+    #[test]
+    fn ax_dataset_is_at_rich() {
+        let s = ax829174_like();
+        let gc = gc_content(&s);
+        assert!(gc < 0.45, "expected AT-rich human-like composition, gc = {gc}");
+        assert!(gc > 0.25, "composition should not be degenerate, gc = {gc}");
+    }
+
+    #[test]
+    fn fragments_are_prefixes() {
+        let full = ax829174_like();
+        let frag = ax_fragment(1000);
+        assert_eq!(frag.len(), 1000);
+        assert_eq!(frag.codes(), &full.codes()[..1000]);
+    }
+
+    #[test]
+    fn genomes_differ_by_kind_and_index() {
+        let b0 = synthetic_genome(GenomeKind::Bacteria, 0, 2000);
+        let b1 = synthetic_genome(GenomeKind::Bacteria, 1, 2000);
+        let e0 = synthetic_genome(GenomeKind::Eukaryote, 0, 2000);
+        assert_ne!(b0, b1);
+        assert_ne!(b0, e0);
+        // Deterministic.
+        assert_eq!(b0, synthetic_genome(GenomeKind::Bacteria, 0, 2000));
+    }
+
+    #[test]
+    fn bacteria_are_more_at_rich_than_eukaryotes() {
+        let b = synthetic_genome(GenomeKind::Bacteria, 0, 10_000);
+        let e = synthetic_genome(GenomeKind::Eukaryote, 0, 10_000);
+        assert!(gc_content(&b) < gc_content(&e) + 0.05);
+        assert!(gc_content(&b) < 0.45);
+    }
+
+    #[test]
+    fn panels_have_expected_members() {
+        let bac = bacteria_panel(1000);
+        assert_eq!(bac.len(), 4);
+        assert!(bac.iter().all(|(_, s)| s.len() == 1000));
+        let euk = eukaryote_panel(1000);
+        assert_eq!(euk.len(), 3);
+        assert_eq!(euk[0].0, "H. sapiens");
+    }
+
+    #[test]
+    fn planted_periodicity_is_detectable() {
+        use perigap_seq::oscillation::correlation_spectrum;
+        let s = ax829174_like();
+        // A→A correlation should peak in the helical band 10–12.
+        let spec = correlation_spectrum(&s, 0, 0, 5, 20);
+        let (peak, value) = spec.peak().unwrap();
+        assert!((10..=13).contains(&peak), "peak at distance {peak} (value {value})");
+    }
+}

@@ -1,0 +1,51 @@
+//! Section 4.1's worked numbers: `l1`, `l2`, the `N_l` table, the
+//! N_10 ≈ 235 million example, and a Theorem 3 spot check.
+
+use super::paper;
+use perigap_analysis::report::TextTable;
+use perigap_core::{GapRequirement, OffsetCounts};
+
+/// Print the counting table for the paper's standard configuration.
+pub fn run(seq_len: usize) {
+    let gap = GapRequirement::new(paper::GAP_MIN, paper::GAP_MAX).expect("static gap");
+    let counts = OffsetCounts::new(seq_len, gap);
+    println!(
+        "Offset-sequence counts; L = {seq_len}, gap [9,12] (W = {}), l1 = {}, l2 = {}\n",
+        gap.flexibility(),
+        counts.l1(),
+        counts.l2()
+    );
+    let mut table = TextTable::new(&["l", "N_l (exact)", "ln N_l"]);
+    for l in 1..=15 {
+        table.row(&[l.to_string(), counts.n(l).to_string(), format!("{:.2}", counts.ln_n(l))]);
+    }
+    // The boundary band and the far end.
+    for l in [counts.l1(), counts.l1() + 1, counts.l2(), counts.l2() + 1] {
+        table.row(&[l.to_string(), counts.n(l).to_string(), format!("{:.2}", counts.ln_n(l))]);
+    }
+    print!("{}", table.render());
+
+    if seq_len == 1000 {
+        println!(
+            "\nPaper check (Section 4.1): N_10 = {} (\"about 235 million\")",
+            counts.n(10)
+        );
+    }
+    let (sum, expected) = counts.theorem3_sum(10);
+    println!(
+        "Theorem 3 at l = 10: sum f(l,i) = {sum}, (l-1)/2*(W-1)*W^(l-1) = {expected} -> {}",
+        if sum == expected { "OK" } else { "MISMATCH" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_n10() {
+        let gap = GapRequirement::new(9, 12).unwrap();
+        let counts = OffsetCounts::new(1000, gap);
+        assert_eq!(counts.n(10).to_string(), "235012096");
+    }
+}

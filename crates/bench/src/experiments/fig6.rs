@@ -1,0 +1,58 @@
+//! Figure 6: MPPm execution time vs gap flexibility `W`.
+//!
+//! Paper configuration: L = 1000, N = 9 (so the gap is `[9, 8+W]`),
+//! m = 8, ρs = 0.003%. Expected shape: time grows steeply with `W`,
+//! because `N_l ∝ W^(l−1)` and the PIL lists fatten.
+
+use super::{paper, timed_median};
+use crate::data::ax_fragment;
+use perigap_analysis::report::{seconds, TextTable};
+use perigap_core::mpp::MppConfig;
+use perigap_core::mppm::mppm;
+use perigap_core::GapRequirement;
+
+/// Time MPPm for each flexibility in `ws` (gap `[9, 8+W]`).
+pub fn sweep(seq_len: usize, ws: &[usize], m: usize) -> Vec<(usize, std::time::Duration, usize)> {
+    let seq = ax_fragment(seq_len);
+    ws.iter()
+        .map(|&w| {
+            assert!(w >= 1, "flexibility must be at least 1");
+            let gap = GapRequirement::new(paper::GAP_MIN, paper::GAP_MIN + w - 1)
+                .expect("valid sweep gap");
+            let (outcome, t) = timed_median(3, || {
+                mppm(&seq, gap, paper::RHO, m, MppConfig::default()).expect("mppm runs")
+            });
+            (w, t, outcome.frequent.len())
+        })
+        .collect()
+}
+
+/// Print the Figure 6 table.
+pub fn run(seq_len: usize, ws: &[usize]) {
+    println!(
+        "Figure 6 — MPPm time vs gap flexibility W; L = {seq_len}, N = 9, m = 8, rho = 0.003%\n"
+    );
+    let mut table = TextTable::new(&["W", "gap", "time (s)", "patterns"]);
+    for (w, t, patterns) in sweep(seq_len, ws, 8) {
+        table.row(&[
+            w.to_string(),
+            format!("[9, {}]", 8 + w),
+            seconds(t),
+            patterns.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_requested_flexibilities() {
+        let rows = sweep(400, &[2, 3], 4);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 2);
+        assert_eq!(rows[1].0, 3);
+    }
+}

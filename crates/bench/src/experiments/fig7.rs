@@ -1,0 +1,56 @@
+//! Figure 7: MPPm execution time vs minimum gap `N`.
+//!
+//! Paper configuration: L = 1000, W = 4 (gap `[N, N+3]`), m = 8,
+//! ρs = 0.003%. Expected shape: time *increases* with N — larger N
+//! makes `λ(n, n−i)` smaller (Equation 4 is decreasing in N), so fewer
+//! candidates are pruned. The effect is mild (paper: 330 s → 400 s
+//! across N = 8..12).
+
+use super::{paper, timed_median};
+use crate::data::ax_fragment;
+use perigap_analysis::report::{seconds, TextTable};
+use perigap_core::mpp::MppConfig;
+use perigap_core::mppm::mppm;
+use perigap_core::GapRequirement;
+
+/// Time MPPm for each minimum gap in `ns` (gap `[N, N+3]`).
+pub fn sweep(seq_len: usize, ns: &[usize], m: usize) -> Vec<(usize, std::time::Duration, usize)> {
+    let seq = ax_fragment(seq_len);
+    ns.iter()
+        .map(|&n| {
+            let gap = GapRequirement::new(n, n + 3).expect("valid sweep gap");
+            let (outcome, t) = timed_median(3, || {
+                mppm(&seq, gap, paper::RHO, m, MppConfig::default()).expect("mppm runs")
+            });
+            (n, t, outcome.frequent.len())
+        })
+        .collect()
+}
+
+/// Print the Figure 7 table.
+pub fn run(seq_len: usize, ns: &[usize]) {
+    println!(
+        "Figure 7 — MPPm time vs minimum gap N; L = {seq_len}, W = 4, m = 8, rho = 0.003%\n"
+    );
+    let mut table = TextTable::new(&["N", "gap", "time (s)", "patterns"]);
+    for (n, t, patterns) in sweep(seq_len, ns, 8) {
+        table.row(&[
+            n.to_string(),
+            format!("[{n}, {}]", n + 3),
+            seconds(t),
+            patterns.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_uses_w_equals_four() {
+        let rows = sweep(400, &[4, 6], 4);
+        assert_eq!(rows.len(), 2);
+    }
+}

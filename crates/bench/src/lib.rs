@@ -1,0 +1,17 @@
+//! # perigap-bench
+//!
+//! Benchmark and reproduction harness for the *perigap* workspace.
+//!
+//! * [`data`] — deterministic synthetic datasets standing in for the
+//!   paper's NCBI downloads (DESIGN.md §3 records the substitution);
+//! * [`experiments`] — one module per paper table/figure, each printing
+//!   the regenerated rows;
+//! * `benches/` — criterion micro-benchmarks of the hot primitives and
+//!   the ablations called out in DESIGN.md §5;
+//! * `src/bin/repro.rs` — the command-line entry point
+//!   (`repro all`, `repro fig4a`, `repro table3`, …).
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod experiments;

@@ -1,0 +1,542 @@
+//! The `pgmine` subcommands: `mine`, `scan`, `stats`.
+
+use crate::args::{parse_gap, parse_rho, ArgError, Args};
+use perigap_analysis::report::TextTable;
+use perigap_core::adaptive::adaptive_mpp;
+use perigap_core::enumerate::enumerate;
+use perigap_core::mpp::{mpp, MppConfig};
+use perigap_core::mppm::mppm;
+use perigap_core::verify::verify_outcome;
+use perigap_core::{GapRequirement, MineOutcome};
+use perigap_seq::fasta::read_fasta;
+use perigap_seq::oscillation::correlation_spectrum;
+use perigap_seq::stats::{gc_content, shannon_entropy};
+use perigap_seq::{Alphabet, Sequence};
+use std::io::BufRead;
+
+/// Usage text shown by `pgmine help`.
+pub const USAGE: &str = "\
+pgmine — mine periodic patterns with gap requirements from sequences
+
+USAGE:
+  pgmine mine  --input <fasta> --gap <N:M> --rho <frac|pct%>
+               [--algorithm mppm|mpp|adaptive|enumerate] [--n <len>]
+               [--profile <N:M,N:M,...>  per-step gaps; overrides --gap]
+               [--m <window>] [--record <id>] [--alphabet dna|protein]
+               [--top <k>] [--max-level <l>] [--format table|tsv]
+               [--save <path.pgst>] [--verify]
+  pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
+               [--record <id>]
+  pgmine stats --input <fasta>
+  pgmine show  --input <pgst>     inspect a persisted outcome
+  pgmine help
+
+EXAMPLES:
+  pgmine mine --input genome.fa --gap 9:12 --rho 0.003% --algorithm mppm --m 10
+  pgmine scan --input genome.fa --pair AA --max 30
+";
+
+/// Run a full command line (without the binary name). Returns the
+/// rendered output.
+pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
+    let args = Args::parse(
+        raw,
+        &[
+            "input", "gap", "rho", "algorithm", "n", "m", "record", "alphabet", "top", "pair",
+            "min", "max", "max-level", "format", "profile", "save",
+        ],
+        &["verify"],
+    )?;
+    match args.positional().first().map(String::as_str) {
+        Some("mine") => mine_command(&args),
+        Some("scan") => scan_command(&args),
+        Some("stats") => stats_command(&args),
+        Some("show") => show_command(&args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(ArgError(format!("unknown command {other:?}; try `pgmine help`"))),
+    }
+}
+
+fn load_sequence(args: &Args) -> Result<Sequence, ArgError> {
+    let path = args.require("input")?;
+    let alphabet = match args.get("alphabet").unwrap_or("dna") {
+        "dna" => Alphabet::Dna,
+        "protein" => Alphabet::Protein,
+        other => return Err(ArgError(format!("unknown alphabet {other:?}"))),
+    };
+    let file = std::fs::File::open(path)
+        .map_err(|e| ArgError(format!("cannot open {path:?}: {e}")))?;
+    let reader = std::io::BufReader::new(file);
+    load_from_reader(reader, &alphabet, args.get("record"))
+}
+
+fn load_from_reader<R: BufRead>(
+    reader: R,
+    alphabet: &Alphabet,
+    record_id: Option<&str>,
+) -> Result<Sequence, ArgError> {
+    let records = read_fasta(reader, alphabet).map_err(|e| ArgError(e.to_string()))?;
+    match record_id {
+        Some(id) => records
+            .into_iter()
+            .find(|r| r.id == id)
+            .map(|r| r.sequence)
+            .ok_or_else(|| ArgError(format!("no FASTA record with id {id:?}"))),
+        None => records
+            .into_iter()
+            .next()
+            .map(|r| r.sequence)
+            .ok_or_else(|| ArgError("FASTA file has no records".into())),
+    }
+}
+
+fn mine_command(args: &Args) -> Result<String, ArgError> {
+    let seq = load_sequence(args)?;
+    let rho = parse_rho(args.require("rho")?)?;
+
+    // Per-step gap profile mode (the generalized pattern form).
+    if let Some(spec) = args.get("profile") {
+        return mine_with_profile_command(args, &seq, rho, spec);
+    }
+
+    let (lo, hi) = parse_gap(args.require("gap")?)?;
+    let gap = GapRequirement::new(lo, hi).map_err(|e| ArgError(e.to_string()))?;
+    let algorithm = args.get("algorithm").unwrap_or("mppm");
+    let m: usize = args.parse_or("m", 4)?;
+    let top: usize = args.parse_or("top", 25)?;
+    // The enumeration baseline explores sigma^l candidates per level and
+    // must be depth-capped to terminate on repetitive inputs.
+    let default_cap = if algorithm == "enumerate" { Some(10) } else { None };
+    let max_level: Option<usize> = match args.get("max-level") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("bad --max-level {raw:?}")))?,
+        ),
+        None => default_cap,
+    };
+    let config = MppConfig { max_level, ..MppConfig::default() };
+
+    let outcome: MineOutcome = match algorithm {
+        "mppm" => mppm(&seq, gap, rho, m, config),
+        "mpp" => {
+            let n: usize = args.parse_or("n", gap.l1(seq.len()))?;
+            mpp(&seq, gap, rho, n, config)
+        }
+        "adaptive" => {
+            let n: usize = args.parse_or("n", 10)?;
+            adaptive_mpp(&seq, gap, rho, n, config).map(|a| a.outcome)
+        }
+        "enumerate" => enumerate(&seq, gap, rho, config, 100_000_000),
+        other => return Err(ArgError(format!("unknown algorithm {other:?}"))),
+    }
+    .map_err(|e| ArgError(e.to_string()))?;
+
+    if let Some(path) = args.get("save") {
+        let file = std::fs::File::create(path)
+            .map_err(|e| ArgError(format!("cannot create {path:?}: {e}")))?;
+        perigap_store::save_outcome(file, &outcome, gap, rho)
+            .map_err(|e| ArgError(e.to_string()))?;
+    }
+    if args.get("format") == Some("tsv") {
+        return Ok(perigap_analysis::export::outcome_to_tsv(&outcome, seq.alphabet(), gap));
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "sequence: {} chars over {:?}; gap {}; rho {:.6}%\n",
+        seq.len(),
+        seq.alphabet(),
+        gap,
+        rho * 100.0
+    ));
+    out.push_str(&format!(
+        "{} frequent patterns; longest = {}\n\n",
+        outcome.frequent.len(),
+        outcome.longest_len()
+    ));
+    let mut table = TextTable::new(&["pattern", "len", "support", "ratio"]);
+    let mut rows: Vec<_> = outcome.frequent.iter().collect();
+    rows.sort_by(|a, b| {
+        b.len()
+            .cmp(&a.len())
+            .then(b.support.cmp(&a.support))
+            .then(a.pattern.codes().cmp(b.pattern.codes()))
+    });
+    for f in rows.iter().take(top) {
+        table.row(&[
+            f.pattern.display(seq.alphabet()),
+            f.len().to_string(),
+            f.support.to_string(),
+            format!("{:.6}", f.ratio),
+        ]);
+    }
+    out.push_str(&table.render());
+    if outcome.frequent.len() > top {
+        out.push_str(&format!("… {} more (raise --top)\n", outcome.frequent.len() - top));
+    }
+
+    if args.flag("verify") {
+        let problems = verify_outcome(&seq, gap, rho, &outcome);
+        if problems.is_empty() {
+            out.push_str("\nverify: all supports, thresholds and ratios check out\n");
+        } else {
+            out.push_str(&format!("\nverify: {} DISCREPANCIES: {problems:?}\n", problems.len()));
+        }
+    }
+    Ok(out)
+}
+
+fn mine_with_profile_command(
+    args: &Args,
+    seq: &Sequence,
+    rho: f64,
+    spec: &str,
+) -> Result<String, ArgError> {
+    use perigap_core::profile::{mine_with_profile, GapProfile};
+    let steps = spec
+        .split(',')
+        .map(|part| {
+            let (lo, hi) = parse_gap(part.trim())?;
+            GapRequirement::new(lo, hi).map_err(|e| ArgError(e.to_string()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let profile = GapProfile::new(steps).map_err(|e| ArgError(e.to_string()))?;
+    let n: usize = args.parse_or("n", profile.max_pattern_len())?;
+    let top: usize = args.parse_or("top", 25)?;
+    let outcome =
+        mine_with_profile(seq, &profile, rho, n, 3).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "sequence: {} chars; profile {:?}; rho {:.6}%\n{} frequent patterns; longest = {}\n\n",
+        seq.len(),
+        spec,
+        rho * 100.0,
+        outcome.frequent.len(),
+        outcome.longest_len()
+    );
+    let mut table = TextTable::new(&["pattern", "len", "support", "ratio"]);
+    for f in outcome.frequent.iter().rev().take(top) {
+        table.row(&[
+            f.pattern.display(seq.alphabet()),
+            f.len().to_string(),
+            f.support.to_string(),
+            format!("{:.6}", f.ratio),
+        ]);
+    }
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+fn scan_command(args: &Args) -> Result<String, ArgError> {
+    let seq = load_sequence(args)?;
+    let pair = args.require("pair")?;
+    let bytes = pair.as_bytes();
+    if bytes.len() != 2 {
+        return Err(ArgError(format!("--pair needs two characters, got {pair:?}")));
+    }
+    let a = seq
+        .alphabet()
+        .code(bytes[0])
+        .ok_or_else(|| ArgError(format!("{:?} not in alphabet", bytes[0] as char)))?;
+    let b = seq
+        .alphabet()
+        .code(bytes[1])
+        .ok_or_else(|| ArgError(format!("{:?} not in alphabet", bytes[1] as char)))?;
+    let min: usize = args.parse_or("min", 2)?;
+    let max: usize = args.parse_or("max", 30.min(seq.len().saturating_sub(1)))?;
+    if min < 1 || min > max || max >= seq.len() {
+        return Err(ArgError(format!("bad distance range [{min}, {max}]")));
+    }
+    let spectrum = correlation_spectrum(&seq, a, b, min, max);
+    let mut out = format!("{pair} correlation spectrum over distances {min}..={max}\n\n");
+    let mut table = TextTable::new(&["distance", "corr", ""]);
+    for (i, v) in spectrum.values.iter().enumerate() {
+        let bar = "#".repeat((v.max(0.0) * 2_000.0) as usize);
+        table.row(&[(spectrum.min_distance + i).to_string(), format!("{v:+.5}"), bar]);
+    }
+    out.push_str(&table.render());
+    if let Some((peak, value)) = spectrum.peak() {
+        out.push_str(&format!(
+            "\npeak at distance {peak} (corr {value:+.5}); suggested gap requirement [{}, {}]\n",
+            peak.saturating_sub(2),
+            peak
+        ));
+    }
+    Ok(out)
+}
+
+fn show_command(args: &Args) -> Result<String, ArgError> {
+    let path = args.require("input")?;
+    let top: usize = args.parse_or("top", 25)?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| ArgError(format!("cannot open {path:?}: {e}")))?;
+    let loaded = perigap_store::load_outcome(file).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "persisted outcome: gap {}, rho {:.6}%, n = {}, {} patterns (longest {})\n\n",
+        loaded.gap,
+        loaded.rho * 100.0,
+        loaded.outcome.stats.n_used,
+        loaded.outcome.frequent.len(),
+        loaded.outcome.longest_len()
+    );
+    let alphabet = Alphabet::Dna; // codes render as DNA; raw codes shown too
+    let mut table = TextTable::new(&["pattern", "len", "support", "ratio"]);
+    for f in loaded.outcome.frequent.iter().rev().take(top) {
+        table.row(&[
+            f.pattern.display(&alphabet),
+            f.len().to_string(),
+            f.support.to_string(),
+            format!("{:.6}", f.ratio),
+        ]);
+    }
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+fn stats_command(args: &Args) -> Result<String, ArgError> {
+    let seq = load_sequence(args)?;
+    let mut out = format!("length: {}\n", seq.len());
+    let freqs = seq.code_frequencies();
+    for (code, f) in freqs.iter().enumerate() {
+        out.push_str(&format!(
+            "P({}) = {f:.4}\n",
+            seq.alphabet().letter(code as u8) as char
+        ));
+    }
+    if seq.alphabet().size() == 4 {
+        out.push_str(&format!("GC content: {:.4}\n", gc_content(&seq)));
+    }
+    out.push_str(&format!("Shannon entropy: {:.4} bits\n", shannon_entropy(&seq)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fasta_file(content: &str) -> tempfile::TempPath {
+        tempfile::write(content)
+    }
+
+    /// Minimal temp-file helper (std only).
+    mod tempfile {
+        pub struct TempPath(pub std::path::PathBuf);
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().expect("utf-8 temp path")
+            }
+        }
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        pub fn write(content: &str) -> TempPath {
+            let mut path = std::env::temp_dir();
+            let unique = format!(
+                "pgmine-test-{}-{:?}.fa",
+                std::process::id(),
+                std::time::Instant::now()
+            )
+            .replace(['{', '}', ' ', ':', '.'], "-");
+            path.push(unique);
+            std::fs::write(&path, content).expect("write temp fasta");
+            TempPath(path)
+        }
+    }
+
+    fn run_words(words: &[String]) -> Result<String, ArgError> {
+        run(words.iter().cloned())
+    }
+
+    #[test]
+    fn help_by_default() {
+        let out = run_words(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = run_words(&["help".into()]).unwrap();
+        assert!(out.contains("pgmine mine"));
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run_words(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn mine_end_to_end() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag test\n{body}\n"));
+        let out = run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--gap".into(),
+            "1:3".into(),
+            "--rho".into(),
+            "0.5%".into(),
+            "--verify".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("frequent patterns"), "output: {out}");
+        assert!(out.contains("check out"), "verification should pass: {out}");
+    }
+
+    #[test]
+    fn mine_with_each_algorithm() {
+        let body = "ACGTT".repeat(40);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        for algo in ["mppm", "mpp", "adaptive", "enumerate"] {
+            let out = run_words(&[
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:2".into(),
+                "--rho".into(),
+                "1%".into(),
+                "--algorithm".into(),
+                algo.into(),
+            ])
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("frequent patterns"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn record_selection() {
+        let f = fasta_file(">a\nAAAA\n>b\nACGTACGTACGTACGT\n");
+        let out = run_words(&[
+            "stats".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--record".into(),
+            "b".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("length: 16"), "{out}");
+        assert!(run_words(&[
+            "stats".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--record".into(),
+            "zzz".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn scan_reports_peak() {
+        let body = "ACGT".repeat(200);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let out = run_words(&[
+            "scan".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--pair".into(),
+            "AA".into(),
+            "--max".into(),
+            "12".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("peak at distance"), "{out}");
+        assert!(out.contains("suggested gap requirement"), "{out}");
+    }
+
+    #[test]
+    fn stats_reports_composition() {
+        let f = fasta_file(">x\nGGCC\n");
+        let out = run_words(&["stats".into(), "--input".into(), f.as_str().into()]).unwrap();
+        assert!(out.contains("GC content: 1.0000"), "{out}");
+    }
+
+    #[test]
+    fn mine_with_profile_flag() {
+        let body = "ACGTT".repeat(40);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let out = run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--rho".into(),
+            "0.5%".into(),
+            "--profile".into(),
+            "1:2,2:3,1:1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("frequent patterns"), "{out}");
+        assert!(out.contains("profile"), "{out}");
+        // Bad profile component fails loudly.
+        assert!(run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--rho".into(),
+            "0.5%".into(),
+            "--profile".into(),
+            "1:x".into(),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn mine_save_and_show_roundtrip() {
+        let body = "ACGTT".repeat(40);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let mut out_path = std::env::temp_dir();
+        out_path.push(format!("pgmine-save-{}.pgst", std::process::id()));
+        let out_str = out_path.to_str().unwrap().to_string();
+        let mined = run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--gap".into(),
+            "1:2".into(),
+            "--rho".into(),
+            "1%".into(),
+            "--save".into(),
+            out_str.clone(),
+        ])
+        .unwrap();
+        assert!(mined.contains("frequent patterns"));
+        let shown = run_words(&["show".into(), "--input".into(), out_str.clone()]).unwrap();
+        assert!(shown.contains("persisted outcome"), "{shown}");
+        assert!(shown.contains("gap [1, 2]"), "{shown}");
+        std::fs::remove_file(&out_path).ok();
+        // Showing a non-store file fails loudly.
+        assert!(run_words(&["show".into(), "--input".into(), f.as_str().into()]).is_err());
+    }
+
+    #[test]
+    fn mine_tsv_format() {
+        let body = "ACGTT".repeat(40);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let out = run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--gap".into(),
+            "1:2".into(),
+            "--rho".into(),
+            "1%".into(),
+            "--format".into(),
+            "tsv".into(),
+        ])
+        .unwrap();
+        assert!(out.starts_with("pattern\tlength\tsupport\tratio"), "{out}");
+        let rows = perigap_analysis::export::parse_outcome_tsv(&out).unwrap();
+        assert!(!rows.is_empty());
+    }
+
+    #[test]
+    fn bad_pair_and_range_fail() {
+        let f = fasta_file(">x\nACGTACGTAC\n");
+        let base = vec!["scan".to_string(), "--input".into(), f.as_str().to_string()];
+        let mut a = base.clone();
+        a.extend(["--pair".into(), "AXY".into()]);
+        assert!(run_words(&a).is_err());
+        let mut b = base.clone();
+        b.extend(["--pair".into(), "AN".into()]);
+        assert!(run_words(&b).is_err());
+        let mut c = base;
+        c.extend(["--pair".into(), "AA".into(), "--min".into(), "9".into(), "--max".into(), "5".into()]);
+        assert!(run_words(&c).is_err());
+    }
+}

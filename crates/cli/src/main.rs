@@ -1,0 +1,12 @@
+//! Thin binary shim around [`perigap_cli::commands::run`].
+
+fn main() {
+    match perigap_cli::commands::run(std::env::args().skip(1)) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("pgmine: {e}");
+            eprintln!("try `pgmine help`");
+            std::process::exit(2);
+        }
+    }
+}

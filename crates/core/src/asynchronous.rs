@@ -1,0 +1,315 @@
+//! Asynchronous periodic patterns in the Yang–Wang–Yu style — the
+//! time-series related work of Section 2.
+//!
+//! Their model fixes a period `p` and mines patterns that repeat
+//! *contiguously* for stretches of at least `min_rep` cycles, allowing
+//! the pattern's phase to shift between stretches as long as each
+//! disturbance is at most `max_dis` characters long. The output for a
+//! pattern is its **longest valid subsequence**: the longest run of
+//! chained stretches.
+//!
+//! A pattern here is one period's template: `p` slots, each a solid
+//! character or a wild-card (at least one solid). As in the original
+//! paper, candidate templates come from the frequent single-position
+//! singletons; unlike the paper's flexible-gap model, the period is
+//! hard — which is exactly the contrast worth demonstrating (see the
+//! `repro extensions` discussion of model trade-offs).
+
+use crate::error::MineError;
+use perigap_seq::Sequence;
+
+/// One period template: `slots[i]` constrains position `i` of a cycle.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CycleTemplate {
+    slots: Vec<Option<u8>>,
+}
+
+impl CycleTemplate {
+    /// Build from slots.
+    ///
+    /// # Panics
+    /// Panics if every slot is a wild-card or the template is empty.
+    pub fn new(slots: Vec<Option<u8>>) -> CycleTemplate {
+        assert!(!slots.is_empty(), "template needs a period of at least 1");
+        assert!(slots.iter().any(Option::is_some), "template needs a solid position");
+        CycleTemplate { slots }
+    }
+
+    /// A single-solid template: character `code` at `offset` within a
+    /// period of `p`.
+    pub fn singleton(p: usize, offset: usize, code: u8) -> CycleTemplate {
+        assert!(offset < p, "offset must fall inside the period");
+        let mut slots = vec![None; p];
+        slots[offset] = Some(code);
+        CycleTemplate { slots }
+    }
+
+    /// The period `p`.
+    pub fn period(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of solid positions.
+    pub fn solid_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Does one cycle starting at 0-based `start` match?
+    fn matches_cycle(&self, seq: &Sequence, start: usize) -> bool {
+        if start + self.period() > seq.len() {
+            return false;
+        }
+        let codes = seq.codes();
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, slot)| slot.is_none_or(|c| codes[start + i] == c))
+    }
+
+    /// Render like `"a**t"` (wild-cards as `*`, matching the Yang
+    /// paper's notation).
+    pub fn display(&self, alphabet: &perigap_seq::Alphabet) -> String {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Some(c) => alphabet.letter(*c).to_ascii_lowercase() as char,
+                None => '*',
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for CycleTemplate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text: String = self
+            .slots
+            .iter()
+            .map(|s| match s {
+                Some(c) => (b'0' + *c) as char,
+                None => '*',
+            })
+            .collect();
+        write!(f, "CycleTemplate({text})")
+    }
+}
+
+/// A maximal valid subsequence for one template.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidSubsequence {
+    /// 0-based start of the first matched cycle.
+    pub start: usize,
+    /// 0-based position one past the last matched cycle.
+    pub end: usize,
+    /// Total matched cycles across all stretches.
+    pub repetitions: usize,
+}
+
+impl ValidSubsequence {
+    /// Span in characters.
+    pub fn span(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// The longest valid subsequence of `template` in `seq`: chains of
+/// contiguous match stretches (each ≥ `min_rep` cycles), consecutive
+/// stretches separated by at most `max_dis` characters. Returns `None`
+/// when no stretch reaches `min_rep`.
+///
+/// Two-phase, like the original algorithm: first find the maximal
+/// contiguous stretches per phase alignment, then chain compatible
+/// stretches by a quadratic DP (stretch counts are tiny in practice).
+pub fn longest_valid_subsequence(
+    seq: &Sequence,
+    template: &CycleTemplate,
+    min_rep: usize,
+    max_dis: usize,
+) -> Option<ValidSubsequence> {
+    assert!(min_rep >= 1, "min_rep must be at least 1");
+    let p = template.period();
+    if seq.len() < p {
+        return None;
+    }
+    // Phase 1: for each phase alignment, maximal runs of matching
+    // cycles. A stretch at start s with k cycles covers [s, s + k·p).
+    let mut stretches: Vec<(usize, usize)> = Vec::new(); // (start, cycles)
+    for phase in 0..p {
+        let mut start = phase;
+        let mut run = 0usize;
+        let mut pos = phase;
+        while pos + p <= seq.len() {
+            if template.matches_cycle(seq, pos) {
+                if run == 0 {
+                    start = pos;
+                }
+                run += 1;
+            } else if run > 0 {
+                if run >= min_rep {
+                    stretches.push((start, run));
+                }
+                run = 0;
+            }
+            pos += p;
+        }
+        if run >= min_rep {
+            stretches.push((start, run));
+        }
+    }
+    if stretches.is_empty() {
+        return None;
+    }
+    stretches.sort_unstable();
+
+    // Phase 2: chain stretches by DP over the stretch list. A stretch
+    // can follow another when the disturbance between them (the gap
+    // from the previous end to its start) is within max_dis; stretches
+    // from overlapping phase alignments cover the same characters and
+    // cannot both belong to one subsequence, so overlaps do not chain.
+    let n = stretches.len();
+    let mut best_reps = vec![0usize; n]; // best chain ending at i
+    let mut best_start = vec![0usize; n];
+    let mut best: Option<ValidSubsequence> = None;
+    for i in 0..n {
+        let (s, cycles) = stretches[i];
+        best_reps[i] = cycles;
+        best_start[i] = s;
+        for j in 0..i {
+            let (sj, cj) = stretches[j];
+            let end_j = sj + cj * p;
+            if end_j <= s && s - end_j <= max_dis && best_reps[j] + cycles > best_reps[i] {
+                best_reps[i] = best_reps[j] + cycles;
+                best_start[i] = best_start[j];
+            }
+        }
+        let candidate = ValidSubsequence {
+            start: best_start[i],
+            end: s + cycles * p,
+            repetitions: best_reps[i],
+        };
+        if best.as_ref().is_none_or(|b| candidate.repetitions > b.repetitions) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Mine all singleton templates of period `p` whose longest valid
+/// subsequence reaches `min_total` repetitions — the first phase of
+/// the Yang algorithm, enough to contrast the model with the paper's.
+pub fn mine_singletons(
+    seq: &Sequence,
+    p: usize,
+    min_rep: usize,
+    max_dis: usize,
+    min_total: usize,
+) -> Result<Vec<(CycleTemplate, ValidSubsequence)>, MineError> {
+    if p == 0 || p > seq.len() {
+        return Err(MineError::SequenceTooShort { len: seq.len(), needed: p.max(1) });
+    }
+    let sigma = seq.alphabet().size() as u8;
+    let mut out = Vec::new();
+    for offset in 0..p {
+        for code in 0..sigma {
+            let template = CycleTemplate::singleton(p, offset, code);
+            if let Some(valid) = longest_valid_subsequence(seq, &template, min_rep, max_dis) {
+                if valid.repetitions >= min_total {
+                    out.push((template, valid));
+                }
+            }
+        }
+    }
+    out.sort_by_key(|(_, v)| std::cmp::Reverse(v.repetitions));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_seq::{Alphabet, Sequence};
+
+    fn dna(text: &str) -> Sequence {
+        Sequence::dna(text).unwrap()
+    }
+
+    #[test]
+    fn template_construction_and_display() {
+        let t = CycleTemplate::singleton(3, 1, 0);
+        assert_eq!(t.period(), 3);
+        assert_eq!(t.solid_count(), 1);
+        assert_eq!(t.display(&Alphabet::Dna), "*a*");
+        let full = CycleTemplate::new(vec![Some(0), None, Some(3)]);
+        assert_eq!(full.display(&Alphabet::Dna), "a*t");
+    }
+
+    #[test]
+    #[should_panic(expected = "solid position")]
+    fn all_wildcards_panics() {
+        let _ = CycleTemplate::new(vec![None, None]);
+    }
+
+    #[test]
+    fn perfect_periodicity() {
+        // ACG repeated 10 times: template "a**" matches every cycle.
+        let seq = dna(&"ACG".repeat(10));
+        let t = CycleTemplate::singleton(3, 0, 0);
+        let v = longest_valid_subsequence(&seq, &t, 2, 0).unwrap();
+        assert_eq!(v.start, 0);
+        assert_eq!(v.repetitions, 10);
+        assert_eq!(v.span(), 30);
+    }
+
+    #[test]
+    fn disturbance_chains_stretches() {
+        // Two ACG blocks separated by 2 noise chars.
+        let text = format!("{}TT{}", "ACG".repeat(4), "ACG".repeat(5));
+        let seq = dna(&text);
+        let t = CycleTemplate::new(vec![Some(0), Some(1), Some(2)]);
+        // max_dis 2 chains both stretches: 9 repetitions.
+        let v = longest_valid_subsequence(&seq, &t, 2, 2).unwrap();
+        assert_eq!(v.repetitions, 9);
+        // max_dis 1 cannot bridge: best single stretch is 5.
+        let v = longest_valid_subsequence(&seq, &t, 2, 1).unwrap();
+        assert_eq!(v.repetitions, 5);
+    }
+
+    #[test]
+    fn min_rep_filters_short_stretches() {
+        let text = format!("{}TTTTTT{}", "ACG".repeat(2), "ACG".repeat(6));
+        let seq = dna(&text);
+        let t = CycleTemplate::new(vec![Some(0), Some(1), Some(2)]);
+        // min_rep 3: the 2-cycle stretch does not count at all.
+        let v = longest_valid_subsequence(&seq, &t, 3, 100).unwrap();
+        assert_eq!(v.repetitions, 6);
+    }
+
+    #[test]
+    fn asynchronous_shift_is_tolerated() {
+        // The phase shifts by one character mid-sequence — the defining
+        // "asynchronous" case: ACG ACG ACG | T | ACG ACG ACG.
+        let text = format!("{}T{}", "ACG".repeat(3), "ACG".repeat(3));
+        let seq = dna(&text);
+        let t = CycleTemplate::new(vec![Some(0), Some(1), Some(2)]);
+        let v = longest_valid_subsequence(&seq, &t, 2, 1).unwrap();
+        assert_eq!(v.repetitions, 6, "both phases chain across the 1-char disturbance");
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let seq = dna(&"ACG".repeat(5));
+        let t = CycleTemplate::singleton(3, 0, 3); // T at offset 0: never
+        assert!(longest_valid_subsequence(&seq, &t, 2, 5).is_none());
+    }
+
+    #[test]
+    fn singleton_mining_ranks_by_repetitions() {
+        let seq = dna(&format!("{}{}", "ATT".repeat(12), "GCC".repeat(3)));
+        let mined = mine_singletons(&seq, 3, 2, 3, 3).unwrap();
+        assert!(!mined.is_empty());
+        // The A-at-offset-0 template should lead with 12 repetitions.
+        assert_eq!(mined[0].1.repetitions, 12);
+        // Sorted non-increasing.
+        assert!(mined.windows(2).all(|w| w[0].1.repetitions >= w[1].1.repetitions));
+        // Degenerate period is rejected.
+        assert!(mine_singletons(&seq, 0, 2, 3, 3).is_err());
+    }
+}

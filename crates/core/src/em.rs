@@ -1,0 +1,267 @@
+//! The sequence statistic `e_m` of Theorem 2.
+//!
+//! For each start offset `r`, consider every length-(m+1) offset
+//! sequence `[r, r+g1, …, r+g1+…+gm]` (each `g_j ∈ [N+1, M+1]`) and ask:
+//! which character string occurs most often, and how many times? That
+//! count is `K_r`; the statistic is `e_m = max_r K_r`. It replaces the
+//! loose `W^m` perturbation bound in Theorem 1, tightening the pruning
+//! factor to `λ′` and letting MPPm estimate the longest frequent
+//! pattern length automatically.
+//!
+//! Enumerating all `W^m` offset sequences per start (the paper's
+//! formulation) is exponential; instead we do a *determinized* DFS over
+//! character strings: the state is the set of subject positions (with
+//! multiplicities) reachable while spelling the current string, and
+//! branches are pruned when their best possible leaf count
+//! (`total multiplicity · W^(levels left)`) cannot beat the best found
+//! so far. On random genomic sequences this prunes almost everything.
+
+use crate::gap::GapRequirement;
+use perigap_seq::Sequence;
+
+/// Exact `e_m = max_r K_r`. Returns 0 when no length-(m+1) offset
+/// sequence fits in the sequence (in that case Theorem 2 is vacuous;
+/// callers clamp to ≥ 1, which is always sound because a larger `e_m`
+/// only loosens λ′).
+///
+/// # Panics
+/// Panics if `m == 0`.
+pub fn compute_em(seq: &Sequence, gap: GapRequirement, m: usize) -> u64 {
+    assert!(m >= 1, "e_m requires m ≥ 1");
+    let mut best = 0u64;
+    for r in 1..=seq.len() {
+        let k = kr_bounded(seq, gap, m, r, best);
+        best = best.max(k);
+    }
+    best
+}
+
+/// Exact `K_r` for a single start offset (no cross-start pruning), as
+/// used in the paper's Table 2 walk-through.
+///
+/// # Panics
+/// Panics if `m == 0` or `r` is not a valid 1-based offset.
+pub fn kr(seq: &Sequence, gap: GapRequirement, m: usize, r: usize) -> u64 {
+    assert!(m >= 1, "K_r requires m ≥ 1");
+    assert!(r >= 1 && r <= seq.len(), "start offset {r} out of range");
+    kr_bounded(seq, gap, m, r, 0)
+}
+
+/// Every `K_r` for `r = 1..=L` plus `e_m` — the full Table 2 row.
+pub fn kr_table(seq: &Sequence, gap: GapRequirement, m: usize) -> (Vec<u64>, u64) {
+    let krs: Vec<u64> = (1..=seq.len()).map(|r| kr(seq, gap, m, r)).collect();
+    let em = krs.iter().copied().max().unwrap_or(0);
+    (krs, em)
+}
+
+/// `K_r` computed by DFS, pruning any branch that cannot exceed
+/// `floor`. Returns the exact value when it is above `floor`, otherwise
+/// some value ≤ `floor` (sufficient for maxima).
+fn kr_bounded(seq: &Sequence, gap: GapRequirement, m: usize, r: usize, floor: u64) -> u64 {
+    let mut best = floor;
+    // State: positions reachable for the current string, with the
+    // number of offset sequences reaching each. Kept sorted by position.
+    let state = vec![(r as u32, 1u64)];
+    descend(seq, gap, m, &state, &mut best);
+    if best > floor {
+        best
+    } else {
+        // Nothing beat the floor; recompute the honest local value only
+        // if the caller asked for it (floor == 0 means exact mode).
+        best
+    }
+}
+
+fn descend(seq: &Sequence, gap: GapRequirement, levels_left: usize, state: &[(u32, u64)], best: &mut u64) {
+    let sigma = seq.alphabet().size();
+    // Successor buckets per character, merged by position.
+    let mut buckets: Vec<Vec<(u32, u64)>> = vec![Vec::new(); sigma];
+    for &(pos, mult) in state {
+        for step in gap.steps() {
+            let next = pos as usize + step;
+            if next > seq.len() {
+                break;
+            }
+            let ch = seq.at1(next) as usize;
+            push_merged(&mut buckets[ch], next as u32, mult);
+        }
+    }
+    let w = gap.flexibility() as u64;
+    for bucket in buckets {
+        if bucket.is_empty() {
+            continue;
+        }
+        let total: u64 = bucket.iter().map(|&(_, m)| m).sum();
+        if levels_left == 1 {
+            *best = (*best).max(total);
+            continue;
+        }
+        // Upper bound: every remaining level can multiply the count by
+        // at most W.
+        let ub = total.saturating_mul(w.saturating_pow((levels_left - 1) as u32));
+        if ub <= *best {
+            continue;
+        }
+        descend(seq, gap, levels_left - 1, &bucket, best);
+    }
+}
+
+/// Insert (pos, mult) into a position-sorted list, merging equal
+/// positions. Successive inserts are nearly sorted, so the backward
+/// scan is short in practice.
+fn push_merged(list: &mut Vec<(u32, u64)>, pos: u32, mult: u64) {
+    match list.binary_search_by_key(&pos, |&(p, _)| p) {
+        Ok(i) => list[i].1 += mult,
+        Err(i) => list.insert(i, (pos, mult)),
+    }
+}
+
+/// A sampled lower-bound estimate of `e_m` from `sample` evenly spaced
+/// start offsets. **Diagnostic only**: a lower bound of the true max
+/// would make λ′ unsound if used for pruning, so the miner never calls
+/// this; it exists to quantify how much of the exact computation's cost
+/// the sampling would save (see the ablation bench).
+pub fn estimate_em(seq: &Sequence, gap: GapRequirement, m: usize, sample: usize) -> u64 {
+    assert!(m >= 1, "e_m requires m ≥ 1");
+    if seq.is_empty() || sample == 0 {
+        return 0;
+    }
+    let stride = (seq.len() / sample.min(seq.len())).max(1);
+    let mut best = 0u64;
+    let mut r = 1;
+    while r <= seq.len() {
+        best = best.max(kr_bounded(seq, gap, m, r, best));
+        r += stride;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_seq::Alphabet;
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    #[test]
+    fn paper_table2_example() {
+        // Section 4.2: S = ACGTCCGT, gap [1,2], m = 2 →
+        // K = [2, 1, 2, 1, 0, 0, 0, 0], e_m = 2.
+        let s = Sequence::dna("ACGTCCGT").unwrap();
+        let (krs, em) = kr_table(&s, gap(1, 2), 2);
+        assert_eq!(krs, vec![2, 1, 2, 1, 0, 0, 0, 0]);
+        assert_eq!(em, 2);
+        assert_eq!(compute_em(&s, gap(1, 2), 2), 2);
+    }
+
+    #[test]
+    fn k1_details_from_paper() {
+        // K_1: offset sequences [1,3,5], [1,3,6], [1,4,6], [1,4,7] give
+        // AGC, AGC, ATC, ATG → most frequent AGC with count 2.
+        let s = Sequence::dna("ACGTCCGT").unwrap();
+        assert_eq!(kr(&s, gap(1, 2), 2, 1), 2);
+        // K_2: CTC, CTG, CCG, CCT all distinct → 1.
+        assert_eq!(kr(&s, gap(1, 2), 2, 2), 1);
+    }
+
+    #[test]
+    fn em_bounded_by_wm() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = uniform(&mut StdRng::seed_from_u64(5), Alphabet::Dna, 400);
+        for (n, m_gap, m) in [(1, 3, 2), (2, 4, 3), (9, 12, 2)] {
+            let g = gap(n, m_gap);
+            let w = g.flexibility() as u64;
+            let em = compute_em(&s, g, m);
+            assert!(em >= 1, "a 400-char sequence admits some window");
+            assert!(em <= w.pow(m as u32), "e_m must not exceed W^m");
+        }
+    }
+
+    #[test]
+    fn homogeneous_sequence_saturates_wm() {
+        // All-A sequence: every offset sequence spells AAAA…, so
+        // K_r = W^m wherever a full window fits.
+        let s = Sequence::dna(&"A".repeat(50)).unwrap();
+        let g = gap(1, 2);
+        assert_eq!(compute_em(&s, g, 3), 8); // W = 2, m = 3
+    }
+
+    #[test]
+    fn too_short_sequence_gives_zero() {
+        let s = Sequence::dna("ACG").unwrap();
+        // m = 2 needs span ≥ 1 + 2·2 = 5 > 3.
+        assert_eq!(compute_em(&s, gap(1, 1), 2), 0);
+    }
+
+    #[test]
+    fn exhaustive_reference_check() {
+        // Brute-force every offset sequence and every start on a random
+        // sequence; compare with the DFS.
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use std::collections::HashMap;
+        let s = uniform(&mut StdRng::seed_from_u64(6), Alphabet::Dna, 80);
+        let g = gap(1, 3);
+        let m = 3;
+        let mut expected_em = 0u64;
+        for r in 1..=s.len() {
+            let mut counts: HashMap<Vec<u8>, u64> = HashMap::new();
+            // Enumerate all W^m chains.
+            fn walk(
+                s: &Sequence,
+                g: GapRequirement,
+                pos: usize,
+                left: usize,
+                chars: &mut Vec<u8>,
+                counts: &mut HashMap<Vec<u8>, u64>,
+            ) {
+                if left == 0 {
+                    *counts.entry(chars.clone()).or_insert(0) += 1;
+                    return;
+                }
+                for step in g.steps() {
+                    let next = pos + step;
+                    if next > s.len() {
+                        break;
+                    }
+                    chars.push(s.at1(next));
+                    walk(s, g, next, left - 1, chars, counts);
+                    chars.pop();
+                }
+            }
+            let mut chars = Vec::new();
+            walk(&s, g, r, m, &mut chars, &mut counts);
+            let k_expected = counts.values().copied().max().unwrap_or(0);
+            assert_eq!(kr(&s, g, m, r), k_expected, "K_{r}");
+            expected_em = expected_em.max(k_expected);
+        }
+        assert_eq!(compute_em(&s, g, m), expected_em);
+    }
+
+    #[test]
+    fn estimate_never_exceeds_exact() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = uniform(&mut StdRng::seed_from_u64(7), Alphabet::Dna, 300);
+        let g = gap(2, 4);
+        let exact = compute_em(&s, g, 4);
+        for sample in [1, 5, 20, 300] {
+            assert!(estimate_em(&s, g, 4, sample) <= exact);
+        }
+        // Sampling every position recovers the exact value.
+        assert_eq!(estimate_em(&s, g, 4, 300), exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "m ≥ 1")]
+    fn m_zero_panics() {
+        let s = Sequence::dna("ACGT").unwrap();
+        let _ = compute_em(&s, gap(1, 2), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the mining core.
+
+use std::fmt;
+
+/// Errors produced while configuring or running the miner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MineError {
+    /// A gap requirement with `min > max`.
+    InvalidGap {
+        /// Requested minimum gap.
+        min: usize,
+        /// Requested maximum gap.
+        max: usize,
+    },
+    /// A support threshold outside `(0, 1]`.
+    InvalidThreshold(f64),
+    /// A pattern string could not be parsed.
+    PatternParse(String),
+    /// The subject sequence is too short for any pattern of the minimum
+    /// mined length under the gap requirement.
+    SequenceTooShort {
+        /// Subject sequence length.
+        len: usize,
+        /// Minimum span required.
+        needed: usize,
+    },
+    /// The `m` parameter of MPPm must be at least 1.
+    InvalidM(usize),
+    /// The enumeration baseline would exceed its candidate budget.
+    EnumerationBudget {
+        /// Candidates the next level would require.
+        required: u128,
+        /// Configured budget.
+        budget: u128,
+    },
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::InvalidGap { min, max } => {
+                write!(f, "invalid gap requirement [{min}, {max}]: min exceeds max")
+            }
+            MineError::InvalidThreshold(t) => {
+                write!(f, "support threshold must be in (0, 1], got {t}")
+            }
+            MineError::PatternParse(msg) => write!(f, "cannot parse pattern: {msg}"),
+            MineError::SequenceTooShort { len, needed } => write!(
+                f,
+                "sequence of length {len} cannot contain any pattern (needs ≥ {needed})"
+            ),
+            MineError::InvalidM(m) => write!(f, "MPPm parameter m must be ≥ 1, got {m}"),
+            MineError::EnumerationBudget { required, budget } => write!(
+                f,
+                "enumeration would generate {required} candidates, over the budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MineError::InvalidGap { min: 5, max: 3 }.to_string().contains("[5, 3]"));
+        assert!(MineError::InvalidThreshold(1.5).to_string().contains("1.5"));
+        assert!(MineError::SequenceTooShort { len: 3, needed: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(MineError::InvalidM(0).to_string().contains("m must be"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # perigap-core
+//!
+//! Rust reproduction of **"Mining Periodic Patterns with Gap Requirement
+//! from Sequences"** (Minghua Zhang, Ben Kao, David W. Cheung, Kevin Y.
+//! Yip — SIGMOD 2005).
+//!
+//! Given a subject sequence `S`, a gap requirement `[N, M]` and a
+//! support threshold `ρs`, the miner finds every pattern
+//! `a1 g(N,M) a2 g(N,M) … al` whose *support ratio* — matching offset
+//! sequences divided by all `N_l` length-`l` offset sequences — reaches
+//! `ρs`.
+//!
+//! ```
+//! use perigap_core::{GapRequirement, mpp::{mpp, MppConfig}};
+//! use perigap_seq::Sequence;
+//!
+//! let seq = Sequence::dna(&"ACGTT".repeat(40)).unwrap();
+//! let gap = GapRequirement::new(1, 3).unwrap();
+//! let outcome = mpp(&seq, gap, 0.01, 10, MppConfig::default()).unwrap();
+//! for f in &outcome.frequent {
+//!     println!("{}  sup={} ratio={:.4}",
+//!              f.pattern.display(seq.alphabet()), f.support, f.ratio);
+//! }
+//! ```
+//!
+//! ## Map of the paper
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §3 problem definition | [`gap`], [`pattern`], [`naive`] |
+//! | §4.1 + Appendix (`N_l`, Theorems 3–4) | [`counts`] |
+//! | §4.2 Theorems 1–2, λ and λ′ | [`lambda`], [`em`] |
+//! | §5.1 MPP + PIL | [`pil`], [`mpp`] |
+//! | §5.2 MPPm | [`mppm`] |
+//! | §6 enumeration baseline, adaptive-n | [`enumerate`], [`adaptive`] |
+//! | §2 related-work models (extensions) | [`windowed`], [`multiseq`] |
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod asynchronous;
+pub mod counts;
+pub mod em;
+pub mod enumerate;
+pub mod error;
+pub mod gap;
+pub mod lambda;
+pub mod mpp;
+pub mod mppm;
+pub mod multiseq;
+pub mod naive;
+pub mod parallel;
+pub mod pattern;
+pub mod pil;
+pub mod profile;
+pub mod result;
+pub mod rigid;
+pub mod verify;
+pub mod windowed;
+
+pub use counts::OffsetCounts;
+pub use error::MineError;
+pub use gap::GapRequirement;
+pub use pattern::Pattern;
+pub use pil::Pil;
+pub use result::{FrequentPattern, MineOutcome, MineStats};

@@ -1,0 +1,400 @@
+//! The MPP algorithm (Figure 3) and the shared level-wise engine.
+//!
+//! MPP takes a user estimate `n` of the longest frequent pattern
+//! length. Below level `n` it prunes with the Theorem 1 factor
+//! `λ(n, n−i)`; above it the factor degenerates to 1 (a plain
+//! level-wise pass), making longer patterns best-effort. The engine is
+//! shared with [`crate::mppm`], which differs only in how `n` is
+//! chosen.
+
+use crate::counts::OffsetCounts;
+use crate::error::MineError;
+use crate::gap::GapRequirement;
+use crate::lambda::PruneBound;
+use crate::pattern::Pattern;
+use crate::pil::Pil;
+use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
+use perigap_math::BigRatio;
+use perigap_seq::Sequence;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Tuning knobs common to every level-wise run.
+#[derive(Clone, Copy, Debug)]
+pub struct MppConfig {
+    /// First mined pattern length. The paper starts at 3 because over a
+    /// 4-letter alphabet shorter patterns are always frequent and thus
+    /// uninteresting.
+    pub start_level: usize,
+    /// Hard cap on the deepest level (safety valve; `None` runs to
+    /// `l2`).
+    pub max_level: Option<usize>,
+}
+
+impl Default for MppConfig {
+    fn default() -> Self {
+        MppConfig { start_level: 3, max_level: None }
+    }
+}
+
+/// Run MPP: mine all patterns with support ratio ≥ `rho` (guaranteed
+/// complete for lengths ≤ `n`; best-effort beyond).
+///
+/// `rho` is the support threshold as a fraction (the paper's
+/// `ρs = 0.003%` is `0.00003`).
+pub fn mpp(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    n: usize,
+    config: MppConfig,
+) -> Result<MineOutcome, MineError> {
+    let started = Instant::now();
+    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let pils = Pil::build_all(seq, gap, config.start_level);
+    let mut outcome = run_levelwise(seq, &counts, &rho_exact, n, config, pils, None);
+    outcome.stats.total_elapsed = started.elapsed();
+    Ok(outcome)
+}
+
+/// Validate inputs and build the shared counting table.
+pub(crate) fn prepare(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    config: MppConfig,
+) -> Result<(OffsetCounts, BigRatio), MineError> {
+    if !(rho > 0.0 && rho <= 1.0) {
+        return Err(MineError::InvalidThreshold(rho));
+    }
+    if config.start_level == 0 {
+        return Err(MineError::InvalidM(0));
+    }
+    let needed = gap.min_span(config.start_level);
+    if seq.len() < needed {
+        return Err(MineError::SequenceTooShort { len: seq.len(), needed });
+    }
+    Ok((OffsetCounts::new(seq.len(), gap), BigRatio::from_f64_exact(rho)))
+}
+
+/// The level-wise core shared by MPP and MPPm.
+///
+/// `seed_pils` are the PILs of every start-level pattern with non-zero
+/// support. `bounds_override` lets MPPm substitute λ′-based L̂ bounds
+/// per level; `None` uses Theorem 1 with the given `n`.
+pub(crate) fn run_levelwise(
+    seq: &Sequence,
+    counts: &OffsetCounts,
+    rho: &BigRatio,
+    n: usize,
+    config: MppConfig,
+    seed_pils: HashMap<Pattern, Pil>,
+    mut stats_seed: Option<MineStats>,
+) -> MineOutcome {
+    let gap = counts.gap();
+    let sigma = seq.alphabet().size() as u128;
+    let start = config.start_level;
+    // Figure 3 line 3: if n > l1, n = l1. Also never below the start
+    // level — the engine cannot prune with a target shorter than the
+    // patterns it begins from.
+    let n = n.clamp(start, counts.l1().max(start));
+    let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());
+
+    let mut stats = stats_seed.take().unwrap_or_default();
+    stats.n_used = n;
+    let mut frequent: Vec<FrequentPattern> = Vec::new();
+
+    // Current generation: (pattern, PIL) pairs in L̂.
+    let mut current: Vec<(Pattern, Pil)> = Vec::new();
+    let mut level = start;
+    let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
+    let mut seed: Option<HashMap<Pattern, Pil>> = Some(seed_pils);
+
+    while level <= hard_cap {
+        let level_started = Instant::now();
+        let n_l = counts.n(level);
+        if n_l.is_zero() {
+            break;
+        }
+        let exact_bound = PruneBound::exact(counts, rho, level);
+        let lhat_bound = if level < n {
+            PruneBound::theorem1(counts, rho, n, n - level)
+        } else {
+            exact_bound.clone()
+        };
+        let n_l_f64 = counts.n_f64(level);
+
+        let mut kept: Vec<(Pattern, Pil)> = Vec::new();
+        let mut frequent_here = 0usize;
+        let mut consider = |pattern: Pattern, pil: Pil,
+                            kept: &mut Vec<(Pattern, Pil)>,
+                            frequent: &mut Vec<FrequentPattern>| {
+            let sup = pil.support();
+            if exact_bound.admits_u128(sup) {
+                frequent.push(FrequentPattern {
+                    pattern: pattern.clone(),
+                    support: sup,
+                    ratio: sup as f64 / n_l_f64,
+                });
+                frequent_here += 1;
+            }
+            if lhat_bound.admits_u128(sup) {
+                kept.push((pattern, pil));
+            }
+        };
+
+        if let Some(seed) = seed.take() {
+            // Seed level: consider every pattern that occurs at all.
+            for (pattern, pil) in seed {
+                consider(pattern, pil, &mut kept, &mut frequent);
+            }
+        } else {
+            for (pattern, pil) in current.drain(..) {
+                consider(pattern, pil, &mut kept, &mut frequent);
+            }
+        }
+        let extended = kept.len();
+        stats.levels.push(LevelStats {
+            level,
+            candidates: candidates_at_level,
+            frequent: frequent_here,
+            extended,
+            elapsed: level_started.elapsed(),
+        });
+
+        if kept.is_empty() || level == hard_cap {
+            break;
+        }
+
+        // Gen(L̂): join pairs with suffix(P1) = prefix(P2) (Section 5.1).
+        let mut by_prefix: HashMap<&[u8], Vec<usize>> = HashMap::new();
+        for (idx, (pattern, _)) in kept.iter().enumerate() {
+            by_prefix
+                .entry(&pattern.codes()[..pattern.len() - 1])
+                .or_default()
+                .push(idx);
+        }
+        let mut next: Vec<(Pattern, Pil)> = Vec::new();
+        for (p1, pil1) in &kept {
+            if let Some(partners) = by_prefix.get(&p1.codes()[1..]) {
+                for &idx in partners {
+                    let (p2, pil2) = &kept[idx];
+                    let candidate = p1.join(p2).expect("prefix/suffix overlap holds by construction");
+                    let pil = Pil::join(pil1, pil2, gap);
+                    next.push((candidate, pil));
+                }
+            }
+        }
+        candidates_at_level = next.len() as u128;
+        if next.is_empty() {
+            break;
+        }
+        current = next;
+        level += 1;
+    }
+
+    let mut outcome = MineOutcome { frequent, stats };
+    outcome.sort();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::support_dp;
+    use perigap_seq::gen::iid::uniform;
+    use perigap_seq::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    /// Brute-force frequent patterns of lengths `start..=max_len` by DP
+    /// support counting over all σ^l patterns. Exponential in `max_len`
+    /// — keep it small.
+    fn brute_force(
+        seq: &Sequence,
+        g: GapRequirement,
+        rho: f64,
+        start: usize,
+        max_len: usize,
+    ) -> Vec<(Pattern, u128)> {
+        let counts = OffsetCounts::new(seq.len(), g);
+        let rho = BigRatio::from_f64_exact(rho);
+        let sigma = seq.alphabet().size() as u8;
+        let mut out = Vec::new();
+        for l in start..=max_len {
+            if counts.n(l).is_zero() {
+                break;
+            }
+            let bound = PruneBound::exact(&counts, &rho, l);
+            let mut stack = vec![0u8; l];
+            // Odometer over all sigma^l patterns.
+            loop {
+                let p = Pattern::from_codes(stack.clone());
+                let sup = support_dp(seq, g, &p);
+                if bound.admits_u128(sup) {
+                    out.push((p, sup));
+                }
+                // Increment odometer.
+                let mut i = l;
+                loop {
+                    if i == 0 {
+                        break;
+                    }
+                    stack[i - 1] += 1;
+                    if stack[i - 1] < sigma {
+                        break;
+                    }
+                    stack[i - 1] = 0;
+                    i -= 1;
+                }
+                if i == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_small() {
+        let s = uniform(&mut StdRng::seed_from_u64(11), Alphabet::Dna, 60);
+        let g = gap(1, 3);
+        let rho = 0.001;
+        const CAP: usize = 6;
+        let expected = brute_force(&s, g, rho, 3, CAP);
+        let outcome = mpp(&s, g, rho, 20, MppConfig::default()).unwrap();
+        // n = 20 ≥ longest frequent, so the result must be complete:
+        // compare both directions for lengths ≤ CAP.
+        let mined_short: Vec<_> = outcome.frequent.iter().filter(|f| f.len() <= CAP).collect();
+        assert_eq!(mined_short.len(), expected.len());
+        for (p, sup) in &expected {
+            let found = outcome.get(p).unwrap_or_else(|| {
+                panic!("missing pattern {:?}", p.display(&Alphabet::Dna))
+            });
+            assert_eq!(found.support, *sup);
+        }
+    }
+
+    #[test]
+    fn complete_for_lengths_up_to_n() {
+        let s = uniform(&mut StdRng::seed_from_u64(12), Alphabet::Dna, 80);
+        let g = gap(1, 2);
+        let rho = 0.002;
+        const CAP: usize = 5;
+        let expected = brute_force(&s, g, rho, 3, CAP);
+        // Run MPP with n = CAP: completeness is guaranteed up to CAP.
+        let outcome = mpp(&s, g, rho, CAP, MppConfig::default()).unwrap();
+        for (p, _) in &expected {
+            assert!(
+                outcome.get(p).is_some(),
+                "pattern {:?} of length {} missing with n = {CAP}",
+                p.display(&Alphabet::Dna),
+                p.len()
+            );
+        }
+    }
+
+    #[test]
+    fn supports_and_ratios_are_correct() {
+        let s = uniform(&mut StdRng::seed_from_u64(13), Alphabet::Dna, 120);
+        let g = gap(2, 4);
+        let outcome = mpp(&s, g, 0.005, 15, MppConfig::default()).unwrap();
+        let counts = OffsetCounts::new(s.len(), g);
+        assert!(!outcome.frequent.is_empty(), "something should be frequent");
+        for f in &outcome.frequent {
+            assert_eq!(f.support, support_dp(&s, g, &f.pattern));
+            let expected_ratio = f.support as f64 / counts.n_f64(f.len());
+            assert!((f.ratio - expected_ratio).abs() < 1e-12);
+            assert!(f.ratio >= 0.005 * (1.0 - 1e-9), "ratio {} below rho", f.ratio);
+        }
+    }
+
+    #[test]
+    fn small_n_is_subset_of_large_n() {
+        let s = uniform(&mut StdRng::seed_from_u64(14), Alphabet::Dna, 150);
+        let g = gap(1, 3);
+        let small = mpp(&s, g, 0.001, 3, MppConfig::default()).unwrap();
+        let large = mpp(&s, g, 0.001, 30, MppConfig::default()).unwrap();
+        for f in &small.frequent {
+            let in_large = large.get(&f.pattern).expect("large-n run must contain it");
+            assert_eq!(in_large.support, f.support);
+        }
+        assert!(small.frequent.len() <= large.frequent.len());
+    }
+
+    #[test]
+    fn n_is_clamped_to_l1() {
+        let s = uniform(&mut StdRng::seed_from_u64(15), Alphabet::Dna, 50);
+        let g = gap(9, 12);
+        let outcome = mpp(&s, g, 0.01, 500, MppConfig::default()).unwrap();
+        let l1 = g.l1(50);
+        assert_eq!(outcome.stats.n_used, l1.max(3));
+    }
+
+    #[test]
+    fn stats_track_candidates() {
+        let s = uniform(&mut StdRng::seed_from_u64(16), Alphabet::Dna, 200);
+        let g = gap(1, 2);
+        let outcome = mpp(&s, g, 0.0005, 10, MppConfig::default()).unwrap();
+        let stats = &outcome.stats;
+        assert_eq!(stats.levels[0].level, 3);
+        assert_eq!(stats.levels[0].candidates, 64, "seed level counts σ^3");
+        // L ⊆ L̂ at every level below n.
+        for l in &stats.levels {
+            assert!(l.frequent <= l.extended || l.level >= stats.n_used);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let s = Sequence::dna("ACGTACGTACGT").unwrap();
+        let g = gap(1, 2);
+        assert!(matches!(
+            mpp(&s, g, 0.0, 5, MppConfig::default()),
+            Err(MineError::InvalidThreshold(_))
+        ));
+        assert!(matches!(
+            mpp(&s, g, 1.5, 5, MppConfig::default()),
+            Err(MineError::InvalidThreshold(_))
+        ));
+        let tiny = Sequence::dna("ACG").unwrap();
+        assert!(matches!(
+            mpp(&tiny, gap(9, 12), 0.1, 5, MppConfig::default()),
+            Err(MineError::SequenceTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn max_level_caps_depth() {
+        let s = Sequence::dna(&"AT".repeat(100)).unwrap();
+        let g = gap(1, 1);
+        let config = MppConfig { start_level: 3, max_level: Some(4) };
+        let outcome = mpp(&s, g, 0.5, 10, config).unwrap();
+        assert!(outcome.longest_len() <= 4);
+        assert!(outcome.stats.levels.iter().all(|l| l.level <= 4));
+    }
+
+    #[test]
+    fn repetitive_sequence_mines_deep_patterns() {
+        // ATATAT… with gap [1,1]: AAA…A and TTT…T are the only patterns
+        // with support; everything of the form A^k is frequent at low rho.
+        // Ratio of A^l here is exactly 0.5 (A occupies every odd start),
+        // so rho = 0.4 keeps the homogeneous patterns frequent.
+        let s = Sequence::dna(&"AT".repeat(50)).unwrap();
+        let g = gap(1, 1);
+        let outcome = mpp(&s, g, 0.4, 20, MppConfig::default()).unwrap();
+        assert!(outcome.longest_len() >= 10, "longest = {}", outcome.longest_len());
+        for f in &outcome.frequent {
+            let codes = f.pattern.codes();
+            assert!(
+                codes.iter().all(|&c| c == 0) || codes.iter().all(|&c| c == 3),
+                "unexpected pattern {:?}",
+                f.pattern.display(&Alphabet::Dna)
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Reference matching semantics and support counting.
+//!
+//! These implementations define ground truth for the optimized PIL
+//! machinery: a literal check of "does `P` match `S` w.r.t. this offset
+//! sequence", an explicit enumerator of matching offset sequences (only
+//! viable on tiny inputs — there are `Θ(L·W^(l−1))` candidates), and a
+//! position-DP support counter that is slow but obviously correct.
+
+use crate::gap::GapRequirement;
+use crate::pattern::Pattern;
+use perigap_seq::Sequence;
+
+/// Does `pattern` match `seq` with respect to `offsets` (1-based,
+/// as in the paper)? Checks both the gap requirement and the character
+/// equalities `S[c_j] = P[j]`.
+pub fn matches_at(seq: &Sequence, gap: GapRequirement, pattern: &Pattern, offsets: &[usize]) -> bool {
+    if offsets.len() != pattern.len() || offsets.is_empty() {
+        return pattern.is_empty() && offsets.is_empty();
+    }
+    if offsets[0] < 1 || *offsets.last().expect("non-empty") > seq.len() {
+        return false;
+    }
+    for w in offsets.windows(2) {
+        if !gap.admits(w[0], w[1]) {
+            return false;
+        }
+    }
+    offsets
+        .iter()
+        .zip(pattern.codes())
+        .all(|(&c, &p)| seq.at1(c) == p)
+}
+
+/// Enumerate every offset sequence with respect to which `pattern`
+/// matches `seq`. Exponential in the pattern length — use only on toy
+/// inputs (tests, examples).
+pub fn enumerate_matches(
+    seq: &Sequence,
+    gap: GapRequirement,
+    pattern: &Pattern,
+) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if pattern.is_empty() {
+        return out;
+    }
+    let mut stack = Vec::with_capacity(pattern.len());
+    for start in 1..=seq.len() {
+        if seq.at1(start) == pattern.at1(1) {
+            stack.push(start);
+            extend(seq, gap, pattern, &mut stack, &mut out);
+            stack.pop();
+        }
+    }
+    out
+}
+
+fn extend(
+    seq: &Sequence,
+    gap: GapRequirement,
+    pattern: &Pattern,
+    stack: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if stack.len() == pattern.len() {
+        out.push(stack.clone());
+        return;
+    }
+    let prev = *stack.last().expect("stack is seeded with the start");
+    let next_char = pattern.at1(stack.len() + 1);
+    for step in gap.steps() {
+        let next = prev + step;
+        if next > seq.len() {
+            break;
+        }
+        if seq.at1(next) == next_char {
+            stack.push(next);
+            extend(seq, gap, pattern, stack, out);
+            stack.pop();
+        }
+    }
+}
+
+/// Support `sup(P)` by dynamic programming over subject positions:
+/// `ways[c]` counts the matching offset sequences for the first `k`
+/// pattern characters that end at offset `c`. `O(|P| · L · W)` time —
+/// the trustworthy-but-slow oracle the PIL implementation is verified
+/// against.
+pub fn support_dp(seq: &Sequence, gap: GapRequirement, pattern: &Pattern) -> u128 {
+    if pattern.is_empty() || seq.is_empty() {
+        return 0;
+    }
+    let len = seq.len();
+    // 1-based offsets: slot 0 is unused padding.
+    let mut ways = vec![0u128; len + 1];
+    for (slot, &code) in seq.codes().iter().enumerate() {
+        if code == pattern.at1(1) {
+            ways[slot + 1] = 1;
+        }
+    }
+    for k in 2..=pattern.len() {
+        let target = pattern.at1(k);
+        let mut next = vec![0u128; len + 1];
+        for (c, &w) in ways.iter().enumerate().skip(1) {
+            if w == 0 {
+                continue;
+            }
+            for step in gap.steps() {
+                let t = c + step;
+                if t > len {
+                    break;
+                }
+                if seq.at1(t) == target {
+                    next[t] = next[t].saturating_add(w);
+                }
+            }
+        }
+        ways = next;
+    }
+    ways.iter().fold(0u128, |acc, &w| acc.saturating_add(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_seq::Alphabet;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::Dna).unwrap()
+    }
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    #[test]
+    fn paper_support_example() {
+        // Section 3: S = AAGCC, P = AC, gap [2,3] → offsets
+        // [1,4], [1,5], [2,5]; sup(P) = 3.
+        let s = Sequence::dna("AAGCC").unwrap();
+        let p = pat("AC");
+        let g = gap(2, 3);
+        assert!(matches_at(&s, g, &p, &[1, 4]));
+        assert!(matches_at(&s, g, &p, &[1, 5]));
+        assert!(matches_at(&s, g, &p, &[2, 5]));
+        assert!(!matches_at(&s, g, &p, &[2, 4])); // gap of 1 < N
+        let all = enumerate_matches(&s, g, &p);
+        assert_eq!(all, vec![vec![1, 4], vec![1, 5], vec![2, 5]]);
+        assert_eq!(support_dp(&s, g, &p), 3);
+    }
+
+    #[test]
+    fn apriori_violation_example() {
+        // Section 4.2: S = ACTTT, gap [1,3]: sup(AT) = 3 > sup(A) = 1.
+        let s = Sequence::dna("ACTTT").unwrap();
+        let g = gap(1, 3);
+        assert_eq!(support_dp(&s, g, &pat("AT")), 3);
+        assert_eq!(support_dp(&s, g, &pat("A")), 1);
+    }
+
+    #[test]
+    fn matches_at_validates_everything() {
+        let s = Sequence::dna("ACGTACGT").unwrap();
+        let g = gap(2, 3);
+        // Right characters, wrong gap.
+        assert!(!matches_at(&s, g, &pat("AA"), &[1, 2]));
+        // Out-of-bounds offsets.
+        assert!(!matches_at(&s, g, &pat("AT"), &[0, 4]));
+        assert!(!matches_at(&s, g, &pat("AT"), &[5, 9]));
+        // Wrong character.
+        assert!(!matches_at(&s, g, &pat("AA"), &[1, 4]));
+        assert!(matches_at(&s, g, &pat("AT"), &[1, 4]));
+        // Arity mismatch.
+        assert!(!matches_at(&s, g, &pat("AT"), &[1]));
+    }
+
+    #[test]
+    fn single_character_support_is_occurrence_count() {
+        let s = Sequence::dna("ACAACA").unwrap();
+        assert_eq!(support_dp(&s, gap(1, 2), &pat("A")), 4);
+        assert_eq!(support_dp(&s, gap(1, 2), &pat("C")), 2);
+        assert_eq!(support_dp(&s, gap(1, 2), &pat("G")), 0);
+    }
+
+    #[test]
+    fn dp_matches_enumeration_on_random_input() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = uniform(&mut StdRng::seed_from_u64(42), Alphabet::Dna, 60);
+        let g = gap(1, 3);
+        for text in ["A", "AT", "ACG", "AAA", "GTA", "ACGT", "TTTT"] {
+            let p = pat(text);
+            assert_eq!(
+                support_dp(&s, g, &p),
+                enumerate_matches(&s, g, &p).len() as u128,
+                "pattern {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cases() {
+        let s = Sequence::dna("ACGT").unwrap();
+        let empty = Pattern::from_codes(vec![]);
+        assert_eq!(support_dp(&s, gap(1, 2), &empty), 0);
+        assert!(enumerate_matches(&s, gap(1, 2), &empty).is_empty());
+        let none = Sequence::dna("").unwrap();
+        assert_eq!(support_dp(&none, gap(1, 2), &pat("A")), 0);
+    }
+
+    #[test]
+    fn rigid_gap_counts_periodic_occurrences() {
+        // S = ATATAT, gap [1,1] (step 2): AAA matches only at [1,3,5],
+        // TTT only at [2,4,6], and mixed patterns never.
+        let s = Sequence::dna("ATATAT").unwrap();
+        let g = gap(1, 1);
+        assert_eq!(support_dp(&s, g, &pat("AAA")), 1);
+        assert_eq!(support_dp(&s, g, &pat("TTT")), 1);
+        assert_eq!(support_dp(&s, g, &pat("ATA")), 0);
+    }
+}

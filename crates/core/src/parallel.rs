@@ -1,0 +1,240 @@
+//! Parallel candidate evaluation (an engineering extension — the paper
+//! is single-threaded).
+//!
+//! The dominant cost of a level is independent per candidate: join two
+//! parent PILs, sum the result. This module re-runs the level-wise
+//! engine with the join/count step fanned out over scoped threads.
+//! Determinism is preserved: results are merged in partition order and
+//! the final outcome is sorted exactly like the serial engine's.
+
+use crate::counts::OffsetCounts;
+use crate::error::MineError;
+use crate::gap::GapRequirement;
+use crate::lambda::PruneBound;
+use crate::mpp::{prepare, MppConfig};
+use crate::pattern::Pattern;
+use crate::pil::Pil;
+use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
+use perigap_seq::Sequence;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Below this many join tasks a level runs serially — thread spawn
+/// overhead would dominate.
+const PARALLEL_THRESHOLD: usize = 256;
+
+/// MPP with the candidate-evaluation step parallelized over `threads`
+/// OS threads. Produces byte-identical outcomes to [`crate::mpp::mpp`].
+pub fn mpp_parallel(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    n: usize,
+    config: MppConfig,
+    threads: usize,
+) -> Result<MineOutcome, MineError> {
+    assert!(threads >= 1, "need at least one thread");
+    let started = Instant::now();
+    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let pils = Pil::build_all(seq, gap, config.start_level);
+    let mut outcome = run_parallel(seq, &counts, &rho_exact, n, config, pils, threads);
+    outcome.stats.total_elapsed = started.elapsed();
+    Ok(outcome)
+}
+
+/// The parallel twin of `run_levelwise`. Kept separate so the serial
+/// engine stays dependency-free and obviously faithful to Figure 3.
+fn run_parallel(
+    seq: &Sequence,
+    counts: &OffsetCounts,
+    rho: &perigap_math::BigRatio,
+    n: usize,
+    config: MppConfig,
+    seed_pils: HashMap<Pattern, Pil>,
+    threads: usize,
+) -> MineOutcome {
+    let gap = counts.gap();
+    let sigma = seq.alphabet().size() as u128;
+    let start = config.start_level;
+    let n = n.clamp(start, counts.l1().max(start));
+    let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());
+
+    let mut stats = MineStats { n_used: n, ..MineStats::default() };
+    let mut frequent: Vec<FrequentPattern> = Vec::new();
+    let mut current: Vec<(Pattern, Pil)> = seed_pils.into_iter().collect();
+    // Deterministic processing order regardless of HashMap iteration.
+    current.sort_by(|a, b| a.0.codes().cmp(b.0.codes()));
+    let mut level = start;
+    let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
+
+    while level <= hard_cap {
+        let level_started = Instant::now();
+        if counts.n(level).is_zero() {
+            break;
+        }
+        let exact_bound = PruneBound::exact(counts, rho, level);
+        let lhat_bound = if level < n {
+            PruneBound::theorem1(counts, rho, n, n - level)
+        } else {
+            exact_bound.clone()
+        };
+        let n_l_f64 = counts.n_f64(level);
+
+        let mut kept: Vec<(Pattern, Pil)> = Vec::new();
+        let mut frequent_here = 0usize;
+        for (pattern, pil) in current.drain(..) {
+            let sup = pil.support();
+            if exact_bound.admits_u128(sup) {
+                frequent.push(FrequentPattern {
+                    pattern: pattern.clone(),
+                    support: sup,
+                    ratio: sup as f64 / n_l_f64,
+                });
+                frequent_here += 1;
+            }
+            if lhat_bound.admits_u128(sup) {
+                kept.push((pattern, pil));
+            }
+        }
+        stats.levels.push(LevelStats {
+            level,
+            candidates: candidates_at_level,
+            frequent: frequent_here,
+            extended: kept.len(),
+            elapsed: level_started.elapsed(),
+        });
+        if kept.is_empty() || level == hard_cap {
+            break;
+        }
+
+        // Join phase, fanned out.
+        let mut by_prefix: HashMap<&[u8], Vec<usize>> = HashMap::new();
+        for (idx, (pattern, _)) in kept.iter().enumerate() {
+            by_prefix
+                .entry(&pattern.codes()[..pattern.len() - 1])
+                .or_default()
+                .push(idx);
+        }
+        let next: Vec<(Pattern, Pil)> = if threads <= 1 || kept.len() < PARALLEL_THRESHOLD {
+            join_range(&kept, &by_prefix, gap, 0, kept.len())
+        } else {
+            let workers = threads.min(kept.len());
+            let chunk = kept.len().div_ceil(workers);
+            let kept_ref = &kept;
+            let by_prefix_ref = &by_prefix;
+            let mut partials: Vec<Vec<(Pattern, Pil)>> = Vec::with_capacity(workers);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(kept_ref.len());
+                        scope.spawn(move |_| join_range(kept_ref, by_prefix_ref, gap, lo, hi))
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("join worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            partials.into_iter().flatten().collect()
+        };
+        candidates_at_level = next.len() as u128;
+        if next.is_empty() {
+            break;
+        }
+        current = next;
+        level += 1;
+    }
+
+    let mut outcome = MineOutcome { frequent, stats };
+    outcome.sort();
+    outcome
+}
+
+/// Generate the candidates whose *left parent* index lies in
+/// `lo..hi` — a disjoint partition of the join work.
+fn join_range(
+    kept: &[(Pattern, Pil)],
+    by_prefix: &HashMap<&[u8], Vec<usize>>,
+    gap: GapRequirement,
+    lo: usize,
+    hi: usize,
+) -> Vec<(Pattern, Pil)> {
+    let mut out = Vec::new();
+    for (p1, pil1) in &kept[lo..hi] {
+        if let Some(partners) = by_prefix.get(&p1.codes()[1..]) {
+            for &idx in partners {
+                let (p2, pil2) = &kept[idx];
+                let candidate = p1.join(p2).expect("overlap holds by construction");
+                let pil = Pil::join(pil1, pil2, gap);
+                out.push((candidate, pil));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpp::mpp;
+    use perigap_seq::gen::iid::uniform;
+    use perigap_seq::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let seq = uniform(&mut StdRng::seed_from_u64(95), Alphabet::Dna, 400);
+        let g = gap(1, 3);
+        let rho = 0.0008;
+        let serial = mpp(&seq, g, rho, 12, MppConfig::default()).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let parallel =
+                mpp_parallel(&seq, g, rho, 12, MppConfig::default(), threads).unwrap();
+            assert_eq!(
+                parallel.frequent.len(),
+                serial.frequent.len(),
+                "{threads} threads"
+            );
+            for (a, b) in parallel.frequent.iter().zip(&serial.frequent) {
+                assert_eq!(a.pattern, b.pattern, "{threads} threads");
+                assert_eq!(a.support, b.support, "{threads} threads");
+            }
+            assert_eq!(parallel.stats.n_used, serial.stats.n_used);
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let seq = uniform(&mut StdRng::seed_from_u64(96), Alphabet::Dna, 300);
+        let g = gap(2, 4);
+        let a = mpp_parallel(&seq, g, 0.001, 10, MppConfig::default(), 4).unwrap();
+        let b = mpp_parallel(&seq, g, 0.001, 10, MppConfig::default(), 4).unwrap();
+        assert_eq!(a.frequent.len(), b.frequent.len());
+        for (x, y) in a.frequent.iter().zip(&b.frequent) {
+            assert_eq!(x.pattern, y.pattern);
+            assert_eq!(x.support, y.support);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let seq = uniform(&mut StdRng::seed_from_u64(97), Alphabet::Dna, 100);
+        let _ = mpp_parallel(&seq, gap(1, 2), 0.01, 5, MppConfig::default(), 0);
+    }
+
+    #[test]
+    fn error_paths_match_serial() {
+        let seq = uniform(&mut StdRng::seed_from_u64(98), Alphabet::Dna, 100);
+        assert!(matches!(
+            mpp_parallel(&seq, gap(1, 2), 0.0, 5, MppConfig::default(), 2),
+            Err(MineError::InvalidThreshold(_))
+        ));
+    }
+}

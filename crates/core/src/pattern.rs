@@ -1,0 +1,242 @@
+//! Periodic patterns `a1 g(N,M) a2 g(N,M) … al`.
+//!
+//! Because the mining problem fixes one gap requirement for the whole
+//! run, a pattern is identified by its character codes alone (the
+//! paper's shorthand: "the pattern written as ATC refers to
+//! Ag(8,10)Tg(8,10)C"). The pattern's *length* is its number of
+//! characters — wild-cards never count.
+
+use crate::error::MineError;
+use crate::gap::GapRequirement;
+use perigap_seq::Alphabet;
+
+/// A pattern in shorthand form: the character codes `a1 … al`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    codes: Vec<u8>,
+}
+
+impl Pattern {
+    /// Build from raw codes.
+    pub fn from_codes(codes: Vec<u8>) -> Pattern {
+        Pattern { codes }
+    }
+
+    /// Parse shorthand text like `"ATC"` against an alphabet.
+    pub fn parse(text: &str, alphabet: &Alphabet) -> Result<Pattern, MineError> {
+        let codes = text
+            .bytes()
+            .map(|ch| {
+                alphabet
+                    .code(ch)
+                    .ok_or_else(|| MineError::PatternParse(format!("unknown character {:?}", ch as char)))
+            })
+            .collect::<Result<Vec<u8>, _>>()?;
+        Ok(Pattern { codes })
+    }
+
+    /// Pattern length `|P|` — the number of characters (wild-cards do
+    /// not count; `|A..T.C| = 3`).
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True iff the pattern has no characters.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The character codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// 1-based character access matching the paper's `P[i]` notation.
+    ///
+    /// # Panics
+    /// Panics if `i` is 0 or exceeds the pattern length.
+    pub fn at1(&self, i: usize) -> u8 {
+        assert!(i >= 1 && i <= self.codes.len(), "P[{i}] out of range 1..={}", self.codes.len());
+        self.codes[i - 1]
+    }
+
+    /// `prefix(P)`: the first `|P| − 1` characters.
+    ///
+    /// # Panics
+    /// Panics if `|P| < 2` (the paper only defines prefixes for
+    /// length ≥ 2).
+    pub fn prefix(&self) -> Pattern {
+        assert!(self.codes.len() >= 2, "prefix requires |P| ≥ 2");
+        Pattern { codes: self.codes[..self.codes.len() - 1].to_vec() }
+    }
+
+    /// `suffix(P)`: the last `|P| − 1` characters.
+    ///
+    /// # Panics
+    /// Panics if `|P| < 2`.
+    pub fn suffix(&self) -> Pattern {
+        assert!(self.codes.len() >= 2, "suffix requires |P| ≥ 2");
+        Pattern { codes: self.codes[1..].to_vec() }
+    }
+
+    /// The sub-pattern `P[i] … P[i+len−1]` (1-based `i`, as in
+    /// Theorem 1).
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the pattern.
+    pub fn sub_pattern(&self, i: usize, len: usize) -> Pattern {
+        assert!(i >= 1 && i - 1 + len <= self.codes.len(), "sub-pattern out of range");
+        Pattern { codes: self.codes[i - 1..i - 1 + len].to_vec() }
+    }
+
+    /// Whether `self` equals `other`'s first `|self|` characters.
+    pub fn is_prefix_of(&self, other: &Pattern) -> bool {
+        other.codes.len() >= self.codes.len() && other.codes[..self.codes.len()] == self.codes[..]
+    }
+
+    /// The join used by candidate generation: if `suffix(P1) =
+    /// prefix(P2)`, the candidate is `P1[1] · P2`.
+    ///
+    /// Returns `None` when the overlap condition fails.
+    pub fn join(&self, other: &Pattern) -> Option<Pattern> {
+        if self.codes.len() != other.codes.len() || self.codes.is_empty() {
+            return None;
+        }
+        if self.codes[1..] != other.codes[..other.codes.len() - 1] {
+            return None;
+        }
+        let mut codes = Vec::with_capacity(self.codes.len() + 1);
+        codes.push(self.codes[0]);
+        codes.extend_from_slice(&other.codes);
+        Some(Pattern { codes })
+    }
+
+    /// Shorthand rendering, e.g. `"ATC"`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        self.codes
+            .iter()
+            .map(|&c| alphabet.letter(c) as char)
+            .collect()
+    }
+
+    /// Full rendering with explicit gaps, e.g. `"Ag(8,10)Tg(8,10)C"`.
+    pub fn display_with_gaps(&self, alphabet: &Alphabet, gap: GapRequirement) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.codes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(&format!("g({},{})", gap.min(), gap.max()));
+            }
+            out.push(alphabet.letter(c) as char);
+        }
+        out
+    }
+
+    /// True iff the pattern repeats a unit whose length divides `|P|`'s
+    /// prefix structure — e.g. `ATATATA` repeats `AT`, `GTAGTAGT`
+    /// repeats `GTA`. Patterns like these are the "periodic patterns
+    /// that repeat themselves" the case study highlights.
+    pub fn is_self_repeating(&self) -> bool {
+        let n = self.codes.len();
+        if n < 2 {
+            return false;
+        }
+        // The smallest repeating unit has length n − b, where b is the
+        // longest proper border; use the classic failure function.
+        (1..n).any(|unit| {
+            unit < n && (unit..n).all(|i| self.codes[i] == self.codes[i - unit]) && unit <= n / 2
+        })
+    }
+}
+
+impl std::fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pattern({:?})", self.codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::Dna).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let p = pat("ATC");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.display(&Alphabet::Dna), "ATC");
+        assert!(Pattern::parse("AXC", &Alphabet::Dna).is_err());
+    }
+
+    #[test]
+    fn one_based_access_matches_paper() {
+        // Paper: if P = A..T.C then P[1] = A, P[2] = T.
+        let p = pat("ATC");
+        assert_eq!(p.at1(1), 0); // A
+        assert_eq!(p.at1(2), 3); // T
+        assert_eq!(p.at1(3), 1); // C
+    }
+
+    #[test]
+    fn prefix_suffix_match_paper() {
+        // Paper: prefix(A..T.C) = A..T, suffix(A..T.C) = T.C.
+        let p = pat("ATC");
+        assert_eq!(p.prefix(), pat("AT"));
+        assert_eq!(p.suffix(), pat("TC"));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn prefix_of_singleton_panics() {
+        let _ = pat("A").prefix();
+    }
+
+    #[test]
+    fn sub_pattern_ranges() {
+        let p = pat("ACGTA");
+        assert_eq!(p.sub_pattern(1, 5), p);
+        assert_eq!(p.sub_pattern(2, 3), pat("CGT"));
+        assert_eq!(p.sub_pattern(5, 1), pat("A"));
+    }
+
+    #[test]
+    fn join_requires_overlap() {
+        // Paper Section 5.1: ACG and CGT generate ACGT.
+        assert_eq!(pat("ACG").join(&pat("CGT")), Some(pat("ACGT")));
+        assert_eq!(pat("ACG").join(&pat("GTT")), None);
+        assert_eq!(pat("ACG").join(&pat("AC")), None);
+        // Self-join of a run works: AAA + AAA = AAAA.
+        assert_eq!(pat("AAA").join(&pat("AAA")), Some(pat("AAAA")));
+    }
+
+    #[test]
+    fn gap_display() {
+        let gap = GapRequirement::new(8, 10).unwrap();
+        assert_eq!(
+            pat("ATC").display_with_gaps(&Alphabet::Dna, gap),
+            "Ag(8,10)Tg(8,10)C"
+        );
+        assert_eq!(pat("A").display_with_gaps(&Alphabet::Dna, gap), "A");
+    }
+
+    #[test]
+    fn self_repeating_detection() {
+        // Case-study examples.
+        assert!(pat("ATATATATATA").is_self_repeating());
+        assert!(pat("GTAGTAGTAGT").is_self_repeating());
+        assert!(pat("GGGGGGGG").is_self_repeating());
+        assert!(!pat("ACGTACGA").is_self_repeating());
+        assert!(!pat("A").is_self_repeating());
+        assert!(pat("AA").is_self_repeating());
+        assert!(!pat("AT").is_self_repeating());
+    }
+
+    #[test]
+    fn is_prefix_of() {
+        assert!(pat("AC").is_prefix_of(&pat("ACGT")));
+        assert!(!pat("CG").is_prefix_of(&pat("ACGT")));
+        assert!(pat("").is_prefix_of(&pat("A")));
+    }
+}

@@ -1,0 +1,324 @@
+//! The Partial Index List (PIL) — the paper's support-counting
+//! structure (Section 5.1).
+//!
+//! `PIL(P)` is a list of `(x, y)` pairs meaning: exactly `y` offset
+//! sequences of the form `[x, c2, …, cl]` match `P` against `S`. Two
+//! properties make it the workhorse of the miner:
+//!
+//! 1. `sup(P)` is the sum of all `y` — no offset sequences are ever
+//!    enumerated;
+//! 2. `PIL(P)` is computable from `PIL(prefix(P))` and
+//!    `PIL(suffix(P))` alone, so candidate supports come from joining
+//!    their parents' lists instead of rescanning the sequence.
+//!
+//! The join here improves on the paper's quadratic pseudo-code with a
+//! sliding-window sum over the sorted suffix list (`O(|A| + |B|)`).
+
+use crate::gap::GapRequirement;
+use crate::pattern::Pattern;
+use perigap_seq::Sequence;
+use std::collections::HashMap;
+
+/// Partial index list: `(first offset, count)` pairs, strictly
+/// ascending in offset. Offsets are 1-based as in the paper.
+///
+/// Per-entry counts are `u64` (an entry counts offset sequences that
+/// share a first offset — bounded by `W^(l-1)`, far below `u64::MAX`
+/// for any minable configuration; the arithmetic saturates rather than
+/// wraps in the adversarial corner). [`Pil::support`] widens to `u128`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Pil {
+    entries: Vec<(u32, u64)>,
+}
+
+impl Pil {
+    /// An empty list (support 0).
+    pub fn new() -> Pil {
+        Pil::default()
+    }
+
+    /// Build from raw entries.
+    ///
+    /// # Panics
+    /// Panics if offsets are not strictly ascending or a count is zero.
+    pub fn from_entries(entries: Vec<(u32, u64)>) -> Pil {
+        assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "PIL offsets must be strictly ascending"
+        );
+        assert!(entries.iter().all(|&(_, y)| y > 0), "PIL counts must be positive");
+        Pil { entries }
+    }
+
+    /// The `(x, y)` pairs.
+    pub fn entries(&self) -> &[(u32, u64)] {
+        &self.entries
+    }
+
+    /// Number of distinct first offsets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff the pattern has no matches.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Property 1: `sup(P)` is the sum of the counts.
+    pub fn support(&self) -> u128 {
+        self.entries
+            .iter()
+            .fold(0u128, |acc, &(_, y)| acc.saturating_add(y as u128))
+    }
+
+    /// `PIL` of a single-character pattern: every occurrence position
+    /// with count 1.
+    pub fn build_level1(seq: &Sequence, code: u8) -> Pil {
+        let entries = seq
+            .codes()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == code)
+            .map(|(i, _)| ((i + 1) as u32, 1u64))
+            .collect();
+        Pil { entries }
+    }
+
+    /// Property 2 (the paper's procedure, linear-time variant): compute
+    /// `PIL(P)` from `PIL(prefix(P))` and `PIL(suffix(P))`.
+    ///
+    /// For each `(x, ·)` in the prefix list, `y = Σ y'` over suffix
+    /// entries with `x' − x − 1 ∈ [N, M]`. Both lists are ascending, so
+    /// the admissible window `[x+N+1, x+M+1]` advances monotonically and
+    /// a running window sum suffices.
+    ///
+    /// ```
+    /// use perigap_core::{GapRequirement, Pattern, Pil};
+    /// use perigap_seq::{Alphabet, Sequence};
+    ///
+    /// // The paper's Section 5.1 example: S = AACCGTT, gap [1,2].
+    /// let s = Sequence::dna("AACCGTT")?;
+    /// let gap = GapRequirement::new(1, 2)?;
+    /// let level2 = Pil::build_all(&s, gap, 2);
+    /// let ac = Pattern::parse("AC", &Alphabet::Dna)?;
+    /// let ct = Pattern::parse("CT", &Alphabet::Dna)?;
+    /// let act = Pil::join(&level2[&ac], &level2[&ct], gap);
+    /// assert_eq!(act.entries(), &[(1, 3), (2, 2)]);
+    /// assert_eq!(act.support(), 5);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn join(prefix: &Pil, suffix: &Pil, gap: GapRequirement) -> Pil {
+        let mut out = Vec::new();
+        let b = &suffix.entries;
+        let (mut lo, mut hi) = (0usize, 0usize); // window is b[lo..hi]
+        let mut window: u64 = 0;
+        for &(x, _) in &prefix.entries {
+            let min_pos = x as u64 + gap.min_step() as u64;
+            let max_pos = x as u64 + gap.max_step() as u64;
+            while hi < b.len() && (b[hi].0 as u64) <= max_pos {
+                window = window.saturating_add(b[hi].1);
+                hi += 1;
+            }
+            while lo < hi && (b[lo].0 as u64) < min_pos {
+                window -= b[lo].1;
+                lo += 1;
+            }
+            if window > 0 {
+                out.push((x, window));
+            }
+        }
+        Pil { entries: out }
+    }
+
+    /// Build `PIL(P)` for every length-`level` pattern that occurs in
+    /// `seq` at all, by a single scan with `level − 1` nested gap steps
+    /// (`O(L · W^(level−1))` work). Patterns with empty PILs are absent
+    /// from the map.
+    ///
+    /// This is how the miner seeds level 3 ("scan S to compute the PILs
+    /// of all patterns in C3", Figure 3 line 9).
+    ///
+    /// # Panics
+    /// Panics if `level == 0`.
+    pub fn build_all(seq: &Sequence, gap: GapRequirement, level: usize) -> HashMap<Pattern, Pil> {
+        assert!(level >= 1, "level must be at least 1");
+        let mut map: HashMap<Vec<u8>, Vec<(u32, u64)>> = HashMap::new();
+        let len = seq.len();
+        let mut chars = Vec::with_capacity(level);
+        for start in 1..=len {
+            chars.clear();
+            chars.push(seq.at1(start));
+            scan_rec(seq, gap, level, start, start, &mut chars, &mut |codes| {
+                let entries = map.entry(codes.to_vec()).or_default();
+                match entries.last_mut() {
+                    Some(last) if last.0 == start as u32 => {
+                        last.1 = last.1.saturating_add(1);
+                    }
+                    _ => entries.push((start as u32, 1)),
+                }
+            });
+        }
+        map.into_iter()
+            .map(|(codes, entries)| (Pattern::from_codes(codes), Pil { entries }))
+            .collect()
+    }
+}
+
+/// Recursive scan helper: extend the current offset chain by every
+/// admissible step, invoking `sink` with the full character string at
+/// depth `level`.
+fn scan_rec(
+    seq: &Sequence,
+    gap: GapRequirement,
+    level: usize,
+    _start: usize,
+    pos: usize,
+    chars: &mut Vec<u8>,
+    sink: &mut impl FnMut(&[u8]),
+) {
+    if chars.len() == level {
+        sink(chars);
+        return;
+    }
+    for step in gap.steps() {
+        let next = pos + step;
+        if next > seq.len() {
+            break;
+        }
+        chars.push(seq.at1(next));
+        scan_rec(seq, gap, level, _start, next, chars, sink);
+        chars.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::support_dp;
+    use perigap_seq::Alphabet;
+
+    fn pat(text: &str) -> Pattern {
+        Pattern::parse(text, &Alphabet::Dna).unwrap()
+    }
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    #[test]
+    fn paper_pil_example() {
+        // Section 5.1: S = AACCGTT, P = ACT, [N,M] = [1,2] →
+        // PIL(P) = {(1,3), (2,2)}, sup(P) = 5.
+        let s = Sequence::dna("AACCGTT").unwrap();
+        let g = gap(1, 2);
+        let pils = Pil::build_all(&s, g, 3);
+        let pil = &pils[&pat("ACT")];
+        assert_eq!(pil.entries(), &[(1, 3), (2, 2)]);
+        assert_eq!(pil.support(), 5);
+    }
+
+    #[test]
+    fn level1_lists_occurrences() {
+        let s = Sequence::dna("ACAAC").unwrap();
+        let pil = Pil::build_level1(&s, 0); // A
+        assert_eq!(pil.entries(), &[(1, 1), (3, 1), (4, 1)]);
+        assert_eq!(pil.support(), 3);
+        let none = Pil::build_level1(&s, 3); // T
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn join_reproduces_paper_procedure() {
+        // Build PIL(ACT) from PIL(AC) and PIL(CT) on the paper's input.
+        let s = Sequence::dna("AACCGTT").unwrap();
+        let g = gap(1, 2);
+        let level2 = Pil::build_all(&s, g, 2);
+        let joined = Pil::join(&level2[&pat("AC")], &level2[&pat("CT")], g);
+        let direct = &Pil::build_all(&s, g, 3)[&pat("ACT")];
+        assert_eq!(&joined, direct);
+    }
+
+    #[test]
+    fn join_chain_matches_dp_oracle() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = uniform(&mut StdRng::seed_from_u64(3), Alphabet::Dna, 300);
+        let g = gap(2, 5);
+        let level3 = Pil::build_all(&s, g, 3);
+        // Join up to length 5 two different ways and check against DP.
+        for text in ["ACGTA", "AAAAA", "TGCAT", "CCCGG"] {
+            let p = pat(text);
+            let p123 = pat(&text[0..3]);
+            let p234 = pat(&text[1..4]);
+            let p345 = pat(&text[2..5]);
+            let empty = Pil::new();
+            let pil_1234 = Pil::join(
+                level3.get(&p123).unwrap_or(&empty),
+                level3.get(&p234).unwrap_or(&empty),
+                g,
+            );
+            let pil_2345 = Pil::join(
+                level3.get(&p234).unwrap_or(&empty),
+                level3.get(&p345).unwrap_or(&empty),
+                g,
+            );
+            let pil = Pil::join(&pil_1234, &pil_2345, g);
+            assert_eq!(pil.support(), support_dp(&s, g, &p), "pattern {text}");
+        }
+    }
+
+    #[test]
+    fn build_all_matches_dp_for_every_pattern() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = uniform(&mut StdRng::seed_from_u64(4), Alphabet::Dna, 150);
+        let g = gap(1, 3);
+        for level in 1..=3 {
+            let pils = Pil::build_all(&s, g, level);
+            let mut total_patterns = 0;
+            for (p, pil) in &pils {
+                assert_eq!(pil.support(), support_dp(&s, g, p), "level {level}");
+                total_patterns += 1;
+            }
+            assert!(total_patterns <= 4usize.pow(level as u32));
+        }
+    }
+
+    #[test]
+    fn join_with_empty_is_empty() {
+        let s = Sequence::dna("AACCGTT").unwrap();
+        let g = gap(1, 2);
+        let a = Pil::build_level1(&s, 0);
+        assert!(Pil::join(&a, &Pil::new(), g).is_empty());
+        assert!(Pil::join(&Pil::new(), &a, g).is_empty());
+    }
+
+    #[test]
+    fn join_respects_gap_window() {
+        // A at 1, C at 3 and 7; gap [1,2] admits only position 3.
+        let s = Sequence::dna("ATCATTC").unwrap();
+        let g = gap(1, 2);
+        let a = Pil::build_level1(&s, 0);
+        let c = Pil::build_level1(&s, 1);
+        let ac = Pil::join(&a, &c, g);
+        assert_eq!(ac.entries(), &[(1, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn from_entries_validates() {
+        assert!(std::panic::catch_unwind(|| Pil::from_entries(vec![(3, 1), (2, 1)])).is_err());
+        assert!(std::panic::catch_unwind(|| Pil::from_entries(vec![(1, 0)])).is_err());
+        let ok = Pil::from_entries(vec![(1, 2), (5, 1)]);
+        assert_eq!(ok.support(), 3);
+    }
+
+    #[test]
+    fn support_sums_counts() {
+        let pil = Pil::from_entries(vec![(1, 3), (2, 2)]);
+        assert_eq!(pil.support(), 5);
+        assert_eq!(Pil::new().support(), 0);
+    }
+}

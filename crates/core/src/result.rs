@@ -1,0 +1,165 @@
+//! Result and statistics types shared by all mining algorithms.
+
+use crate::pattern::Pattern;
+use std::time::Duration;
+
+/// One mined frequent pattern with its evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrequentPattern {
+    /// The pattern (shorthand form).
+    pub pattern: Pattern,
+    /// `sup(P)`: distinct matching offset sequences.
+    pub support: u128,
+    /// `sup(P) / N_l` — the quantity compared against ρs.
+    pub ratio: f64,
+}
+
+impl FrequentPattern {
+    /// Pattern length `|P|`.
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// True iff the pattern has no characters (never produced by the
+    /// miners; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.pattern.is_empty()
+    }
+}
+
+/// Per-level counters: the raw material of the paper's Table 3.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LevelStats {
+    /// Pattern length at this level.
+    pub level: usize,
+    /// `|C_level|`: candidates generated (for the seed level, all
+    /// `σ^level` patterns, matching the paper's accounting).
+    pub candidates: u128,
+    /// `|L_level|`: candidates meeting the plain frequency threshold.
+    pub frequent: usize,
+    /// `|L̂_level|`: candidates meeting the λ-relaxed threshold and thus
+    /// carried into candidate generation.
+    pub extended: usize,
+    /// Wall-clock time spent on this level.
+    pub elapsed: Duration,
+}
+
+/// Run-wide statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MineStats {
+    /// Per-level counters in level order.
+    pub levels: Vec<LevelStats>,
+    /// The `n` the level-wise engine actually used (after clamping to
+    /// `l1`, or as estimated by MPPm).
+    pub n_used: usize,
+    /// MPPm's `e_m` statistic, if one was computed.
+    pub em: Option<u64>,
+    /// Time spent computing `e_m` (zero for MPP).
+    pub em_elapsed: Duration,
+    /// Total wall-clock time of the run.
+    pub total_elapsed: Duration,
+}
+
+impl MineStats {
+    /// Total candidates across all levels.
+    pub fn total_candidates(&self) -> u128 {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+
+    /// Candidate count at one level, if the level was reached.
+    pub fn candidates_at(&self, level: usize) -> Option<u128> {
+        self.levels
+            .iter()
+            .find(|l| l.level == level)
+            .map(|l| l.candidates)
+    }
+}
+
+/// The outcome of a mining run: the frequent patterns (sorted by
+/// length, then lexicographically by codes) plus run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MineOutcome {
+    /// Every frequent pattern found.
+    pub frequent: Vec<FrequentPattern>,
+    /// Run statistics.
+    pub stats: MineStats,
+}
+
+impl MineOutcome {
+    /// Length of the longest frequent pattern (0 when none).
+    pub fn longest_len(&self) -> usize {
+        self.frequent.iter().map(|f| f.len()).max().unwrap_or(0)
+    }
+
+    /// All frequent patterns of one length.
+    pub fn of_length(&self, len: usize) -> impl Iterator<Item = &FrequentPattern> {
+        self.frequent.iter().filter(move |f| f.len() == len)
+    }
+
+    /// Number of frequent patterns of one length.
+    pub fn count_of_length(&self, len: usize) -> usize {
+        self.of_length(len).count()
+    }
+
+    /// Look up one pattern's result.
+    pub fn get(&self, pattern: &Pattern) -> Option<&FrequentPattern> {
+        self.frequent.iter().find(|f| &f.pattern == pattern)
+    }
+
+    /// Canonical ordering: by length, then by codes.
+    pub fn sort(&mut self) {
+        self.frequent
+            .sort_by(|a, b| (a.len(), a.pattern.codes()).cmp(&(b.len(), b.pattern.codes())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(text: &[u8], support: u128) -> FrequentPattern {
+        FrequentPattern {
+            pattern: Pattern::from_codes(text.to_vec()),
+            support,
+            ratio: 0.5,
+        }
+    }
+
+    #[test]
+    fn outcome_queries() {
+        let mut outcome = MineOutcome {
+            frequent: vec![fp(&[0, 1, 2], 10), fp(&[0, 1], 20), fp(&[3, 3], 5)],
+            stats: MineStats::default(),
+        };
+        outcome.sort();
+        assert_eq!(outcome.longest_len(), 3);
+        assert_eq!(outcome.count_of_length(2), 2);
+        assert_eq!(outcome.count_of_length(5), 0);
+        // Sorted: [0,1] before [3,3] before [0,1,2].
+        assert_eq!(outcome.frequent[0].pattern.codes(), &[0, 1]);
+        assert_eq!(outcome.frequent[2].pattern.codes(), &[0, 1, 2]);
+        assert!(outcome.get(&Pattern::from_codes(vec![3, 3])).is_some());
+        assert!(outcome.get(&Pattern::from_codes(vec![9])).is_none());
+    }
+
+    #[test]
+    fn stats_totals() {
+        let stats = MineStats {
+            levels: vec![
+                LevelStats { level: 3, candidates: 64, ..Default::default() },
+                LevelStats { level: 4, candidates: 100, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(stats.total_candidates(), 164);
+        assert_eq!(stats.candidates_at(4), Some(100));
+        assert_eq!(stats.candidates_at(5), None);
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let outcome = MineOutcome::default();
+        assert_eq!(outcome.longest_len(), 0);
+        assert_eq!(outcome.stats.total_candidates(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Independent verification of mining outcomes.
+//!
+//! The miner's support counts flow through PIL joins; this module
+//! re-derives them with the (slow, obviously-correct) position DP and
+//! checks the threshold arithmetic, giving downstream users a
+//! one-call audit of any result they are about to publish.
+
+use crate::counts::OffsetCounts;
+use crate::gap::GapRequirement;
+use crate::lambda::PruneBound;
+use crate::naive::support_dp;
+use crate::result::MineOutcome;
+use perigap_math::BigRatio;
+use perigap_seq::Sequence;
+
+/// A discrepancy found while verifying an outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Discrepancy {
+    /// The recorded support does not match an independent recount.
+    SupportMismatch {
+        /// The pattern's shorthand character codes.
+        pattern: Vec<u8>,
+        /// Support recorded in the outcome.
+        recorded: u128,
+        /// Support recomputed by the position DP.
+        recomputed: u128,
+    },
+    /// A reported pattern does not actually meet the threshold.
+    BelowThreshold {
+        /// The pattern's shorthand character codes.
+        pattern: Vec<u8>,
+        /// Its (verified) support.
+        support: u128,
+    },
+    /// A reported ratio is inconsistent with `support / N_l`.
+    RatioMismatch {
+        /// The pattern's shorthand character codes.
+        pattern: Vec<u8>,
+        /// Ratio recorded in the outcome.
+        recorded: f64,
+        /// Recomputed ratio.
+        recomputed: f64,
+    },
+}
+
+/// Re-verify every pattern of `outcome` against `seq`: recount supports
+/// with the naive DP, re-apply the exact threshold test, and recheck
+/// ratios. Returns all discrepancies (empty = verified).
+pub fn verify_outcome(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    outcome: &MineOutcome,
+) -> Vec<Discrepancy> {
+    let counts = OffsetCounts::new(seq.len(), gap);
+    let rho_exact = BigRatio::from_f64_exact(rho);
+    let mut problems = Vec::new();
+    for f in &outcome.frequent {
+        let recomputed = support_dp(seq, gap, &f.pattern);
+        if recomputed != f.support {
+            problems.push(Discrepancy::SupportMismatch {
+                pattern: f.pattern.codes().to_vec(),
+                recorded: f.support,
+                recomputed,
+            });
+            continue;
+        }
+        let bound = PruneBound::exact(&counts, &rho_exact, f.len());
+        if !bound.admits_u128(recomputed) {
+            problems.push(Discrepancy::BelowThreshold {
+                pattern: f.pattern.codes().to_vec(),
+                support: recomputed,
+            });
+        }
+        let expected_ratio = recomputed as f64 / counts.n_f64(f.len());
+        if (expected_ratio - f.ratio).abs() > 1e-9 * expected_ratio.max(1e-300) {
+            problems.push(Discrepancy::RatioMismatch {
+                pattern: f.pattern.codes().to_vec(),
+                recorded: f.ratio,
+                recomputed: expected_ratio,
+            });
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mppm::mppm;
+    use crate::mpp::MppConfig;
+    use crate::pattern::Pattern;
+    use crate::result::FrequentPattern;
+    use perigap_seq::gen::iid::uniform;
+    use perigap_seq::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_outcome_verifies() {
+        let seq = uniform(&mut StdRng::seed_from_u64(61), Alphabet::Dna, 200);
+        let gap = GapRequirement::new(1, 3).unwrap();
+        let rho = 0.001;
+        let outcome = mppm(&seq, gap, rho, 3, MppConfig::default()).unwrap();
+        assert!(!outcome.frequent.is_empty());
+        assert!(verify_outcome(&seq, gap, rho, &outcome).is_empty());
+    }
+
+    #[test]
+    fn tampered_support_is_caught() {
+        let seq = uniform(&mut StdRng::seed_from_u64(62), Alphabet::Dna, 150);
+        let gap = GapRequirement::new(1, 2).unwrap();
+        let rho = 0.002;
+        let mut outcome = mppm(&seq, gap, rho, 3, MppConfig::default()).unwrap();
+        outcome.frequent[0].support += 1;
+        let problems = verify_outcome(&seq, gap, rho, &outcome);
+        assert!(matches!(problems[0], Discrepancy::SupportMismatch { .. }));
+    }
+
+    #[test]
+    fn smuggled_infrequent_pattern_is_caught() {
+        let seq = uniform(&mut StdRng::seed_from_u64(63), Alphabet::Dna, 150);
+        let gap = GapRequirement::new(1, 2).unwrap();
+        let rho = 0.002;
+        let mut outcome = mppm(&seq, gap, rho, 3, MppConfig::default()).unwrap();
+        // Inject a pattern with its true (but sub-threshold) support.
+        let counts = OffsetCounts::new(seq.len(), gap);
+        let sigma = 4u8;
+        let mut smuggled = None;
+        'outer: for a in 0..sigma {
+            for b in 0..sigma {
+                for c in 0..sigma {
+                    for d in 0..sigma {
+                        let p = Pattern::from_codes(vec![a, b, c, d]);
+                        if outcome.get(&p).is_none() {
+                            let sup = support_dp(&seq, gap, &p);
+                            smuggled = Some(FrequentPattern {
+                                ratio: sup as f64 / counts.n_f64(4),
+                                pattern: p,
+                                support: sup,
+                            });
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        outcome.frequent.push(smuggled.expect("some length-4 pattern is infrequent"));
+        let problems = verify_outcome(&seq, gap, rho, &outcome);
+        assert!(problems
+            .iter()
+            .any(|d| matches!(d, Discrepancy::BelowThreshold { .. })));
+    }
+
+    #[test]
+    fn tampered_ratio_is_caught() {
+        let seq = uniform(&mut StdRng::seed_from_u64(64), Alphabet::Dna, 150);
+        let gap = GapRequirement::new(1, 2).unwrap();
+        let rho = 0.002;
+        let mut outcome = mppm(&seq, gap, rho, 3, MppConfig::default()).unwrap();
+        outcome.frequent[0].ratio *= 2.0;
+        let problems = verify_outcome(&seq, gap, rho, &outcome);
+        assert!(matches!(problems[0], Discrepancy::RatioMismatch { .. }));
+    }
+}

@@ -1,0 +1,99 @@
+//! Exact combinatorial counting helpers used by the null models and by
+//! the `N_l` cross-checks.
+
+use crate::biguint::BigUint;
+
+/// `n!` as an exact big integer.
+pub fn factorial(n: u32) -> BigUint {
+    let mut acc = BigUint::one();
+    for k in 2..=n.max(1) {
+        acc.mul_assign_u64(k as u64);
+    }
+    acc
+}
+
+/// Binomial coefficient `C(n, k)` computed by the multiplicative formula
+/// (each intermediate division is exact).
+pub fn binomial(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigUint::one();
+    for i in 0..k {
+        acc.mul_assign_u64(n - i);
+        let (q, r) = acc.div_rem_u64(i + 1);
+        debug_assert_eq!(r, 0, "binomial partial products divide exactly");
+        acc = q;
+    }
+    acc
+}
+
+/// `base^exp` as an exact big integer.
+pub fn power(base: u64, exp: u32) -> BigUint {
+    BigUint::from_u64(base).pow(exp)
+}
+
+/// Number of character strings of length `l` over an alphabet of size
+/// `sigma` — the candidate count of the enumeration baseline at level `l`
+/// (the "Enumeration Algorithm" column of Table 3).
+pub fn strings_of_length(sigma: u64, l: u32) -> BigUint {
+    power(sigma, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_small() {
+        assert_eq!(factorial(0).to_u64(), Some(1));
+        assert_eq!(factorial(1).to_u64(), Some(1));
+        assert_eq!(factorial(5).to_u64(), Some(120));
+        assert_eq!(factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+    }
+
+    #[test]
+    fn factorial_large_has_expected_digits() {
+        // 100! has 158 decimal digits.
+        assert_eq!(factorial(100).to_string().len(), 158);
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2).to_u64(), Some(10));
+        assert_eq!(binomial(10, 0).to_u64(), Some(1));
+        assert_eq!(binomial(10, 10).to_u64(), Some(1));
+        assert_eq!(binomial(10, 11), BigUint::zero());
+        assert_eq!(binomial(52, 5).to_u64(), Some(2_598_960));
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..20u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..25u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = &binomial(n - 1, k - 1) + &binomial(n - 1, k);
+                assert_eq!(lhs, rhs, "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn table3_enumeration_counts() {
+        // Paper Table 3: the enumeration baseline counts 4^i candidates
+        // per level over the DNA alphabet.
+        assert_eq!(strings_of_length(4, 3).to_u64(), Some(64));
+        assert_eq!(strings_of_length(4, 8).to_u64(), Some(65_536));
+        assert_eq!(strings_of_length(4, 13).to_u64(), Some(67_108_864));
+    }
+}

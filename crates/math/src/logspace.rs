@@ -1,0 +1,178 @@
+//! Log-space floating-point arithmetic.
+//!
+//! The pruning thresholds of the paper are ratios of astronomically large
+//! counts (`λ(l,d) = N_l / (N_(l-d) · W^d)` with `N_l = Θ(W^l)`), so we
+//! carry them as natural logarithms. `LogNum` is a thin newtype over the
+//! log-value with the arithmetic that is exact in log space (multiply,
+//! divide, power) plus a stable log-sum-exp addition.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A non-negative real number stored as its natural logarithm.
+///
+/// Zero is represented by `ln = -inf`, which behaves correctly under all
+/// provided operations.
+#[derive(Clone, Copy, PartialEq)]
+pub struct LogNum {
+    ln: f64,
+}
+
+impl LogNum {
+    /// The number 0 (log value −∞).
+    pub fn zero() -> Self {
+        LogNum { ln: f64::NEG_INFINITY }
+    }
+
+    /// The number 1 (log value 0).
+    pub fn one() -> Self {
+        LogNum { ln: 0.0 }
+    }
+
+    /// Wrap a raw natural-log value.
+    pub fn from_ln(ln: f64) -> Self {
+        LogNum { ln }
+    }
+
+    /// Convert from a plain `f64`.
+    ///
+    /// # Panics
+    /// Panics on negative or NaN input.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v >= 0.0, "LogNum represents non-negative reals, got {v}");
+        LogNum { ln: v.ln() }
+    }
+
+    /// The raw natural-log value.
+    pub fn ln(self) -> f64 {
+        self.ln
+    }
+
+    /// Convert back to a plain `f64` (may overflow to `inf`).
+    pub fn to_f64(self) -> f64 {
+        self.ln.exp()
+    }
+
+    /// True iff the represented number is 0.
+    pub fn is_zero(self) -> bool {
+        self.ln == f64::NEG_INFINITY
+    }
+
+    /// Multiplication (log-space addition).
+    #[allow(clippy::should_implement_trait)] // deliberate: panics/identities differ from std ops
+    pub fn mul(self, rhs: LogNum) -> LogNum {
+        LogNum { ln: self.ln + rhs.ln }
+    }
+
+    /// Division (log-space subtraction).
+    ///
+    /// # Panics
+    /// Panics when dividing by zero.
+    #[allow(clippy::should_implement_trait)] // deliberate: panics/identities differ from std ops
+    pub fn div(self, rhs: LogNum) -> LogNum {
+        assert!(!rhs.is_zero(), "LogNum division by zero");
+        LogNum { ln: self.ln - rhs.ln }
+    }
+
+    /// Integer power.
+    pub fn powi(self, exp: i32) -> LogNum {
+        LogNum { ln: self.ln * exp as f64 }
+    }
+
+    /// Stable addition via log-sum-exp.
+    #[allow(clippy::should_implement_trait)] // deliberate: panics/identities differ from std ops
+    pub fn add(self, rhs: LogNum) -> LogNum {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        let (hi, lo) = if self.ln >= rhs.ln {
+            (self.ln, rhs.ln)
+        } else {
+            (rhs.ln, self.ln)
+        };
+        LogNum { ln: hi + (lo - hi).exp().ln_1p() }
+    }
+}
+
+impl PartialOrd for LogNum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.ln.partial_cmp(&other.ln)
+    }
+}
+
+impl fmt::Debug for LogNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LogNum(e^{})", self.ln)
+    }
+}
+
+impl fmt::Display for LogNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ln.abs() < 500.0 {
+            write!(f, "{}", self.to_f64())
+        } else {
+            // Express as a power of ten beyond f64 range.
+            let log10 = self.ln / std::f64::consts::LN_10;
+            let exp = log10.floor();
+            let mant = 10f64.powf(log10 - exp);
+            write!(f, "{mant:.6}e{exp}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_elements() {
+        let x = LogNum::from_f64(3.5);
+        assert!((x.mul(LogNum::one()).to_f64() - 3.5).abs() < 1e-12);
+        assert!(x.mul(LogNum::zero()).is_zero());
+        assert!((x.add(LogNum::zero()).to_f64() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = LogNum::from_f64(1234.5);
+        let b = LogNum::from_f64(0.0078);
+        let back = a.mul(b).div(b).to_f64();
+        assert!((back - 1234.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_matches_plain() {
+        let a = LogNum::from_f64(2.0);
+        let b = LogNum::from_f64(5.0);
+        assert!((a.add(b).to_f64() - 7.0).abs() < 1e-12);
+        // Order independence.
+        assert!((b.add(a).to_f64() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_huge_values() {
+        // 4^76 does fit in f64, 4^10000 does not; LogNum handles both.
+        let w = LogNum::from_f64(4.0);
+        assert!((w.powi(76).ln() - 76.0 * 4f64.ln()).abs() < 1e-9);
+        let huge = w.powi(10_000);
+        assert!(huge.ln().is_finite());
+        assert!(huge > w.powi(9_999));
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(LogNum::from_f64(2.0) < LogNum::from_f64(3.0));
+        assert!(LogNum::zero() < LogNum::from_f64(1e-300));
+        let s = LogNum::from_ln(5000.0).to_string();
+        assert!(s.contains('e'), "huge value renders in sci notation: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_input_panics() {
+        let _ = LogNum::from_f64(-1.0);
+    }
+}

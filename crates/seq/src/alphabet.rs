@@ -1,0 +1,218 @@
+//! Finite alphabets over which subject sequences and patterns are defined.
+//!
+//! The paper works with the DNA alphabet `{A, C, G, T}` and the 20-letter
+//! amino-acid alphabet; the mining algorithms themselves only require a
+//! finite alphabet, so a custom variant is provided too. Characters are
+//! mapped to dense small codes (`0..size`) so sequences can be stored and
+//! compared as byte slices.
+
+use crate::error::SeqError;
+use std::fmt;
+use std::sync::Arc;
+
+/// The 20 standard amino-acid one-letter codes, alphabetically ordered.
+pub const AMINO_ACIDS: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// The DNA nucleotide letters in the conventional order.
+pub const DNA_BASES: &[u8; 4] = b"ACGT";
+
+/// A finite alphabet: a bijection between characters and dense codes.
+///
+/// Cloning is cheap — custom alphabets share their tables via [`Arc`].
+#[derive(Clone, PartialEq, Eq)]
+pub enum Alphabet {
+    /// `{A, C, G, T}` with codes 0..4.
+    Dna,
+    /// The 20 standard amino acids with codes 0..20.
+    Protein,
+    /// An arbitrary user-supplied character set.
+    Custom(Arc<CustomAlphabet>),
+}
+
+/// Backing tables for [`Alphabet::Custom`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct CustomAlphabet {
+    letters: Vec<u8>,
+    /// 256-entry reverse map; `u8::MAX` marks characters not in the set.
+    codes: [u8; 256],
+}
+
+impl Alphabet {
+    /// Build a custom alphabet from its character set.
+    ///
+    /// Characters must be distinct; at most 255 characters are supported
+    /// (code `255` is reserved as the "absent" marker).
+    pub fn custom(letters: &[u8]) -> Result<Alphabet, SeqError> {
+        if letters.is_empty() {
+            return Err(SeqError::EmptyAlphabet);
+        }
+        if letters.len() > 255 {
+            return Err(SeqError::AlphabetTooLarge(letters.len()));
+        }
+        let mut codes = [u8::MAX; 256];
+        for (i, &ch) in letters.iter().enumerate() {
+            if codes[ch as usize] != u8::MAX {
+                return Err(SeqError::DuplicateLetter(ch as char));
+            }
+            codes[ch as usize] = i as u8;
+        }
+        Ok(Alphabet::Custom(Arc::new(CustomAlphabet {
+            letters: letters.to_vec(),
+            codes,
+        })))
+    }
+
+    /// Number of characters in the alphabet.
+    pub fn size(&self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+            Alphabet::Custom(c) => c.letters.len(),
+        }
+    }
+
+    /// The character for a code.
+    ///
+    /// # Panics
+    /// Panics if `code >= self.size()`.
+    pub fn letter(&self, code: u8) -> u8 {
+        match self {
+            Alphabet::Dna => DNA_BASES[code as usize],
+            Alphabet::Protein => AMINO_ACIDS[code as usize],
+            Alphabet::Custom(c) => c.letters[code as usize],
+        }
+    }
+
+    /// The code for a character, or `None` if the character is not in the
+    /// alphabet. DNA and protein lookups accept lowercase letters.
+    pub fn code(&self, letter: u8) -> Option<u8> {
+        match self {
+            Alphabet::Dna => match letter.to_ascii_uppercase() {
+                b'A' => Some(0),
+                b'C' => Some(1),
+                b'G' => Some(2),
+                b'T' => Some(3),
+                _ => None,
+            },
+            Alphabet::Protein => {
+                let upper = letter.to_ascii_uppercase();
+                AMINO_ACIDS.iter().position(|&a| a == upper).map(|i| i as u8)
+            }
+            Alphabet::Custom(c) => {
+                let code = c.codes[letter as usize];
+                (code != u8::MAX).then_some(code)
+            }
+        }
+    }
+
+    /// Encode a character, reporting position-aware errors.
+    pub fn encode_char(&self, letter: u8, pos: usize) -> Result<u8, SeqError> {
+        self.code(letter).ok_or(SeqError::UnknownLetter {
+            letter: letter as char,
+            pos,
+        })
+    }
+
+    /// Iterate over all codes `0..size`.
+    pub fn codes(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.size() as u8).collect::<Vec<_>>().into_iter()
+    }
+
+    /// Iterate over all characters of the alphabet.
+    pub fn letters(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.size() as u8).map(move |c| self.letter(c))
+    }
+}
+
+impl fmt::Debug for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Alphabet::Dna => f.write_str("Alphabet::Dna"),
+            Alphabet::Protein => f.write_str("Alphabet::Protein"),
+            Alphabet::Custom(c) => write!(
+                f,
+                "Alphabet::Custom({:?})",
+                String::from_utf8_lossy(&c.letters)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_bijection() {
+        let a = Alphabet::Dna;
+        assert_eq!(a.size(), 4);
+        for code in 0..4u8 {
+            assert_eq!(a.code(a.letter(code)), Some(code));
+        }
+        assert_eq!(a.code(b'a'), Some(0));
+        assert_eq!(a.code(b't'), Some(3));
+        assert_eq!(a.code(b'N'), None);
+    }
+
+    #[test]
+    fn protein_bijection() {
+        let a = Alphabet::Protein;
+        assert_eq!(a.size(), 20);
+        for code in 0..20u8 {
+            assert_eq!(a.code(a.letter(code)), Some(code));
+        }
+        // B, J, O, U, X, Z are not standard amino acids.
+        for ch in [b'B', b'J', b'O', b'U', b'X', b'Z'] {
+            assert_eq!(a.code(ch), None, "{}", ch as char);
+        }
+    }
+
+    #[test]
+    fn custom_roundtrip() {
+        let a = Alphabet::custom(b"01").unwrap();
+        assert_eq!(a.size(), 2);
+        assert_eq!(a.code(b'0'), Some(0));
+        assert_eq!(a.code(b'1'), Some(1));
+        assert_eq!(a.code(b'2'), None);
+        assert_eq!(a.letter(1), b'1');
+    }
+
+    #[test]
+    fn custom_rejects_bad_inputs() {
+        assert!(matches!(Alphabet::custom(b""), Err(SeqError::EmptyAlphabet)));
+        assert!(matches!(
+            Alphabet::custom(b"AA"),
+            Err(SeqError::DuplicateLetter('A'))
+        ));
+        let too_many: Vec<u8> = (0..=255u8).collect();
+        assert!(matches!(
+            Alphabet::custom(&too_many),
+            Err(SeqError::AlphabetTooLarge(256))
+        ));
+    }
+
+    #[test]
+    fn encode_char_reports_position() {
+        let a = Alphabet::Dna;
+        match a.encode_char(b'X', 17) {
+            Err(SeqError::UnknownLetter { letter, pos }) => {
+                assert_eq!(letter, 'X');
+                assert_eq!(pos, 17);
+            }
+            other => panic!("expected UnknownLetter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn letters_iterator() {
+        let dna: Vec<u8> = Alphabet::Dna.letters().collect();
+        assert_eq!(dna, b"ACGT");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a = Alphabet::custom(b"xyz").unwrap();
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the sequence substrate.
+
+use std::fmt;
+
+/// Errors produced while building alphabets, encoding sequences or
+/// parsing FASTA input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// A custom alphabet was built from an empty character set.
+    EmptyAlphabet,
+    /// A custom alphabet exceeded the 255-character limit.
+    AlphabetTooLarge(usize),
+    /// A custom alphabet repeated a character.
+    DuplicateLetter(char),
+    /// A character outside the alphabet was encountered while encoding.
+    UnknownLetter {
+        /// The offending character.
+        letter: char,
+        /// Zero-based position in the input.
+        pos: usize,
+    },
+    /// FASTA input did not start with a `>` header line.
+    FastaMissingHeader,
+    /// A FASTA record had a header but no sequence lines.
+    FastaEmptyRecord {
+        /// The record's identifier.
+        id: String,
+    },
+    /// An I/O error occurred while reading or writing (message only, so
+    /// the error stays `Clone + PartialEq` for tests).
+    Io(String),
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::EmptyAlphabet => write!(f, "alphabet must contain at least one character"),
+            SeqError::AlphabetTooLarge(n) => {
+                write!(f, "alphabet has {n} characters; at most 255 are supported")
+            }
+            SeqError::DuplicateLetter(c) => {
+                write!(f, "alphabet character {c:?} appears more than once")
+            }
+            SeqError::UnknownLetter { letter, pos } => {
+                write!(f, "character {letter:?} at position {pos} is not in the alphabet")
+            }
+            SeqError::FastaMissingHeader => {
+                write!(f, "FASTA input must begin with a '>' header line")
+            }
+            SeqError::FastaEmptyRecord { id } => {
+                write!(f, "FASTA record {id:?} contains no sequence data")
+            }
+            SeqError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SeqError {}
+
+impl From<std::io::Error> for SeqError {
+    fn from(e: std::io::Error) -> Self {
+        SeqError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SeqError::UnknownLetter { letter: 'N', pos: 3 };
+        assert!(e.to_string().contains("'N'"));
+        assert!(e.to_string().contains('3'));
+        assert!(SeqError::EmptyAlphabet.to_string().contains("at least one"));
+        assert!(SeqError::FastaEmptyRecord { id: "chr1".into() }
+            .to_string()
+            .contains("chr1"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SeqError = io.into();
+        assert!(matches!(e, SeqError::Io(msg) if msg.contains("gone")));
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal FASTA reader/writer.
+//!
+//! Supports multi-record files, `>` headers with free-text descriptions,
+//! `;` comment lines (the older FASTA dialect) and wrapped sequence
+//! lines. This is the on-disk format the examples and the benchmark
+//! harness use to exchange subject sequences.
+
+use crate::alphabet::Alphabet;
+use crate::error::SeqError;
+use crate::sequence::Sequence;
+use std::io::{BufRead, Write};
+
+/// One FASTA record: identifier, optional description, and the sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FastaRecord {
+    /// The token following `>` up to the first whitespace.
+    pub id: String,
+    /// The remainder of the header line, if any.
+    pub description: Option<String>,
+    /// The decoded sequence.
+    pub sequence: Sequence,
+}
+
+/// Parse every record from a FASTA reader.
+///
+/// Characters in sequence lines must belong to `alphabet` (whitespace is
+/// ignored). Empty records and a missing leading header are errors.
+pub fn read_fasta<R: BufRead>(reader: R, alphabet: &Alphabet) -> Result<Vec<FastaRecord>, SeqError> {
+    let mut records = Vec::new();
+    let mut header: Option<(String, Option<String>)> = None;
+    let mut body = String::new();
+
+    let flush = |header: &mut Option<(String, Option<String>)>,
+                     body: &mut String,
+                     records: &mut Vec<FastaRecord>|
+     -> Result<(), SeqError> {
+        if let Some((id, description)) = header.take() {
+            if body.trim().is_empty() {
+                return Err(SeqError::FastaEmptyRecord { id });
+            }
+            let sequence = Sequence::from_str_checked(alphabet.clone(), body)?;
+            records.push(FastaRecord { id, description, sequence });
+            body.clear();
+        }
+        Ok(())
+    };
+
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with(';') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('>') {
+            flush(&mut header, &mut body, &mut records)?;
+            let mut parts = rest.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts
+                .next()
+                .map(str::trim)
+                .filter(|d| !d.is_empty())
+                .map(String::from);
+            header = Some((id, description));
+        } else {
+            if header.is_none() {
+                return Err(SeqError::FastaMissingHeader);
+            }
+            body.push_str(trimmed);
+        }
+    }
+    flush(&mut header, &mut body, &mut records)?;
+    Ok(records)
+}
+
+/// Parse FASTA from an in-memory string.
+pub fn parse_fasta(text: &str, alphabet: &Alphabet) -> Result<Vec<FastaRecord>, SeqError> {
+    read_fasta(text.as_bytes(), alphabet)
+}
+
+/// Write records in FASTA format with lines wrapped at `width` characters.
+///
+/// # Panics
+/// Panics if `width` is 0.
+pub fn write_fasta<W: Write>(
+    writer: &mut W,
+    records: &[FastaRecord],
+    width: usize,
+) -> Result<(), SeqError> {
+    assert!(width > 0, "FASTA line width must be positive");
+    for rec in records {
+        match &rec.description {
+            Some(d) => writeln!(writer, ">{} {}", rec.id, d)?,
+            None => writeln!(writer, ">{}", rec.id)?,
+        }
+        let text = rec.sequence.to_text();
+        for chunk in text.as_bytes().chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Render records to a FASTA string.
+pub fn format_fasta(records: &[FastaRecord], width: usize) -> String {
+    let mut buf = Vec::new();
+    write_fasta(&mut buf, records, width).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_record() {
+        let recs = parse_fasta(">chr1 test fragment\nACGT\nACGT\n", &Alphabet::Dna).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].id, "chr1");
+        assert_eq!(recs[0].description.as_deref(), Some("test fragment"));
+        assert_eq!(recs[0].sequence.to_text(), "ACGTACGT");
+    }
+
+    #[test]
+    fn parses_multiple_records_and_comments() {
+        let text = "; a legacy comment\n>a\nAC\nGT\n\n>b no-desc-is-none\nTTTT\n";
+        let recs = parse_fasta(text, &Alphabet::Dna).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].sequence.to_text(), "ACGT");
+        assert_eq!(recs[1].id, "b");
+        assert_eq!(recs[1].description.as_deref(), Some("no-desc-is-none"));
+        assert_eq!(recs[1].sequence.to_text(), "TTTT");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(
+            parse_fasta("ACGT\n", &Alphabet::Dna),
+            Err(SeqError::FastaMissingHeader)
+        ));
+    }
+
+    #[test]
+    fn empty_record_is_an_error() {
+        assert!(matches!(
+            parse_fasta(">empty\n>b\nACGT\n", &Alphabet::Dna),
+            Err(SeqError::FastaEmptyRecord { .. })
+        ));
+        assert!(matches!(
+            parse_fasta(">only-header\n", &Alphabet::Dna),
+            Err(SeqError::FastaEmptyRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_characters_propagate() {
+        assert!(matches!(
+            parse_fasta(">x\nACGN\n", &Alphabet::Dna),
+            Err(SeqError::UnknownLetter { letter: 'N', .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let recs = vec![FastaRecord {
+            id: "frag".into(),
+            description: Some("roundtrip".into()),
+            sequence: Sequence::dna(&"ACGT".repeat(20)).unwrap(),
+        }];
+        let text = format_fasta(&recs, 10);
+        // 80 bases wrapped at 10 → 8 body lines.
+        assert_eq!(text.lines().count(), 9);
+        let back = parse_fasta(&text, &Alphabet::Dna).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn protein_fasta() {
+        let recs = parse_fasta(">p\nMKWVT\nFISLL\n", &Alphabet::Protein).unwrap();
+        assert_eq!(recs[0].sequence.to_text(), "MKWVTFISLL");
+    }
+}

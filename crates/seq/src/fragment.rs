@@ -1,0 +1,133 @@
+//! Segmenting long sequences into fragments.
+//!
+//! The case study (Section 7) "segmented the genomes into short
+//! fragments of 100 kilo-bases and ran the algorithm on each fragment".
+//! Both non-overlapping windows (the case-study mode) and overlapping
+//! sliding windows (the windowed-mining related work of Section 2) are
+//! provided.
+
+use crate::sequence::Sequence;
+
+/// A fragment with provenance: where in the parent sequence it came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fragment {
+    /// Index of this fragment in iteration order.
+    pub index: usize,
+    /// 0-based start offset in the parent sequence.
+    pub start: usize,
+    /// The fragment contents.
+    pub sequence: Sequence,
+}
+
+/// Split into consecutive non-overlapping fragments of `width`
+/// characters. A final fragment shorter than `min_final` characters is
+/// dropped (mining a tiny tail produces no meaningful support ratios).
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn fragments(seq: &Sequence, width: usize, min_final: usize) -> Vec<Fragment> {
+    assert!(width > 0, "fragment width must be positive");
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut index = 0;
+    while start < seq.len() {
+        let end = (start + width).min(seq.len());
+        if end - start >= min_final || end - start == width {
+            out.push(Fragment {
+                index,
+                start,
+                sequence: seq.slice(start..end),
+            });
+            index += 1;
+        }
+        start = end;
+    }
+    out
+}
+
+/// Overlapping sliding windows of `width` characters advancing by
+/// `step` (a step of 1 reproduces the "neighbouring windows share a
+/// length-(w−1) segment" setting the paper cites from Mannila et al.).
+///
+/// # Panics
+/// Panics if `width == 0` or `step == 0`.
+pub fn sliding_windows(seq: &Sequence, width: usize, step: usize) -> Vec<Fragment> {
+    assert!(width > 0, "window width must be positive");
+    assert!(step > 0, "step must be positive");
+    let mut out = Vec::new();
+    if seq.len() < width {
+        return out;
+    }
+    let mut index = 0;
+    let mut start = 0;
+    while start + width <= seq.len() {
+        out.push(Fragment {
+            index,
+            start,
+            sequence: seq.slice(start..start + width),
+        });
+        index += 1;
+        start += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_overlapping_covers_sequence() {
+        let s = Sequence::dna(&"ACGT".repeat(25)).unwrap(); // 100 chars
+        let frags = fragments(&s, 30, 1);
+        assert_eq!(frags.len(), 4);
+        assert_eq!(frags[0].sequence.len(), 30);
+        assert_eq!(frags[3].sequence.len(), 10);
+        assert_eq!(frags[3].start, 90);
+        let total: usize = frags.iter().map(|f| f.sequence.len()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn short_tail_is_dropped() {
+        let s = Sequence::dna(&"A".repeat(100)).unwrap();
+        let frags = fragments(&s, 30, 20);
+        assert_eq!(frags.len(), 3, "10-char tail below min_final=20 is dropped");
+    }
+
+    #[test]
+    fn exact_multiple_has_no_tail() {
+        let s = Sequence::dna(&"A".repeat(90)).unwrap();
+        let frags = fragments(&s, 30, 1);
+        assert_eq!(frags.len(), 3);
+        assert!(frags.iter().all(|f| f.sequence.len() == 30));
+    }
+
+    #[test]
+    fn fragment_contents_match_parent() {
+        let s = Sequence::dna("ACGTACGTAC").unwrap();
+        let frags = fragments(&s, 4, 1);
+        assert_eq!(frags[1].sequence.to_text(), "ACGT");
+        assert_eq!(frags[2].sequence.to_text(), "AC");
+        assert_eq!(frags[1].index, 1);
+    }
+
+    #[test]
+    fn sliding_windows_overlap() {
+        let s = Sequence::dna("ACGTACGT").unwrap();
+        let wins = sliding_windows(&s, 4, 1);
+        assert_eq!(wins.len(), 5);
+        assert_eq!(wins[0].sequence.to_text(), "ACGT");
+        assert_eq!(wins[1].sequence.to_text(), "CGTA");
+        // Step larger than 1.
+        let wins = sliding_windows(&s, 4, 4);
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[1].start, 4);
+    }
+
+    #[test]
+    fn window_wider_than_sequence_is_empty() {
+        let s = Sequence::dna("ACG").unwrap();
+        assert!(sliding_windows(&s, 4, 1).is_empty());
+    }
+}

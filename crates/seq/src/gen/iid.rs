@@ -1,0 +1,124 @@
+//! Independent, identically distributed character generators.
+
+use crate::alphabet::Alphabet;
+use crate::sequence::Sequence;
+use rand::Rng;
+
+/// A sequence of `len` characters drawn uniformly from the alphabet.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, alphabet: Alphabet, len: usize) -> Sequence {
+    let size = alphabet.size() as u8;
+    let codes = (0..len).map(|_| rng.gen_range(0..size)).collect();
+    Sequence::from_codes(alphabet, codes).expect("generated codes are in range")
+}
+
+/// A sequence of `len` characters drawn independently with the given
+/// per-code weights (need not be normalized).
+///
+/// # Panics
+/// Panics if `weights.len() != alphabet.size()`, if any weight is
+/// negative or non-finite, or if all weights are zero.
+pub fn weighted<R: Rng + ?Sized>(
+    rng: &mut R,
+    alphabet: Alphabet,
+    len: usize,
+    weights: &[f64],
+) -> Sequence {
+    assert_eq!(
+        weights.len(),
+        alphabet.size(),
+        "need one weight per alphabet character"
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "at least one weight must be positive");
+
+    // Cumulative distribution for inverse-transform sampling.
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    *cumulative.last_mut().expect("non-empty alphabet") = 1.0;
+
+    let codes = (0..len)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cumulative
+                .iter()
+                .position(|&c| u < c)
+                .unwrap_or(weights.len() - 1) as u8
+        })
+        .collect();
+    Sequence::from_codes(alphabet, codes).expect("generated codes are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_has_right_length_and_alphabet() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = uniform(&mut rng, Alphabet::Dna, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.codes().iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(7), Alphabet::Dna, 100);
+        let b = uniform(&mut StdRng::seed_from_u64(7), Alphabet::Dna, 100);
+        assert_eq!(a, b);
+        let c = uniform(&mut StdRng::seed_from_u64(8), Alphabet::Dna, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_composition_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = uniform(&mut rng, Alphabet::Dna, 40_000);
+        for f in s.code_frequencies() {
+            assert!((f - 0.25).abs() < 0.02, "frequency {f} far from 0.25");
+        }
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Heavily AT-biased, like the bacterial genomes in the case study.
+        let s = weighted(&mut rng, Alphabet::Dna, 40_000, &[0.4, 0.1, 0.1, 0.4]);
+        let f = s.code_frequencies();
+        assert!((f[0] - 0.4).abs() < 0.02);
+        assert!((f[1] - 0.1).abs() < 0.02);
+        assert!((f[3] - 0.4).abs() < 0.02);
+    }
+
+    #[test]
+    fn weighted_zero_weight_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = weighted(&mut rng, Alphabet::Dna, 5_000, &[1.0, 0.0, 0.0, 1.0]);
+        let counts = s.code_counts();
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per alphabet")]
+    fn weighted_wrong_arity_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = weighted(&mut rng, Alphabet::Dna, 10, &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_all_zero_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = weighted(&mut rng, Alphabet::Dna, 10, &[0.0; 4]);
+    }
+}

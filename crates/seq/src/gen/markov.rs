@@ -1,0 +1,223 @@
+//! Order-k Markov chain models over an alphabet: fitting from a
+//! sequence and sampling new sequences.
+//!
+//! Real genomes are far from i.i.d. — dinucleotide statistics matter for
+//! which short patterns are frequent. An order-2 model fitted to (or
+//! hand-specified to resemble) genomic statistics is the background for
+//! the synthetic AX829174 substitute.
+
+use crate::alphabet::Alphabet;
+use crate::sequence::Sequence;
+use rand::Rng;
+
+/// An order-`k` Markov model: `P(next | last k characters)`.
+#[derive(Clone, Debug)]
+pub struct MarkovModel {
+    alphabet: Alphabet,
+    order: usize,
+    /// Row-major transition table: `sigma^order` rows of `sigma`
+    /// cumulative probabilities each.
+    cumulative: Vec<f64>,
+}
+
+impl MarkovModel {
+    /// Fit an order-`k` model from a training sequence with add-one
+    /// (Laplace) smoothing so every transition stays possible.
+    ///
+    /// # Panics
+    /// Panics if `order == 0` is fine (gives an i.i.d. model) but the
+    /// training sequence must be longer than `order`.
+    pub fn fit(training: &Sequence, order: usize) -> MarkovModel {
+        assert!(
+            training.len() > order,
+            "training sequence (len {}) must be longer than the order ({order})",
+            training.len()
+        );
+        let sigma = training.alphabet().size();
+        let contexts = sigma.pow(order as u32);
+        let mut counts = vec![1.0f64; contexts * sigma]; // Laplace prior
+
+        let codes = training.codes();
+        for window in codes.windows(order + 1) {
+            let ctx = context_index(&window[..order], sigma);
+            counts[ctx * sigma + window[order] as usize] += 1.0;
+        }
+
+        Self::from_rows(training.alphabet().clone(), order, counts)
+    }
+
+    /// Build from explicit transition weights: `rows` holds
+    /// `sigma^order · sigma` non-negative weights, row-major by context.
+    ///
+    /// # Panics
+    /// Panics on a wrong-sized table or a row with no positive weight.
+    pub fn from_rows(alphabet: Alphabet, order: usize, rows: Vec<f64>) -> MarkovModel {
+        let sigma = alphabet.size();
+        let contexts = sigma.pow(order as u32);
+        assert_eq!(
+            rows.len(),
+            contexts * sigma,
+            "transition table must have sigma^order × sigma entries"
+        );
+        let mut cumulative = rows;
+        for ctx in 0..contexts {
+            let row = &mut cumulative[ctx * sigma..(ctx + 1) * sigma];
+            let total: f64 = row.iter().sum();
+            assert!(
+                total > 0.0 && total.is_finite(),
+                "context {ctx} has no positive transition weight"
+            );
+            let mut acc = 0.0;
+            for w in row.iter_mut() {
+                acc += *w / total;
+                *w = acc;
+            }
+            row[sigma - 1] = 1.0;
+        }
+        MarkovModel { alphabet, order, cumulative }
+    }
+
+    /// The model's alphabet.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The model order `k`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Transition probability `P(next | context)`; `context` must have
+    /// exactly `order` codes.
+    pub fn probability(&self, context: &[u8], next: u8) -> f64 {
+        assert_eq!(context.len(), self.order, "context must have order-many codes");
+        let sigma = self.alphabet.size();
+        let row = context_index(context, sigma) * sigma;
+        let hi = self.cumulative[row + next as usize];
+        let lo = if next == 0 {
+            0.0
+        } else {
+            self.cumulative[row + next as usize - 1]
+        };
+        hi - lo
+    }
+
+    /// Sample a sequence of `len` characters. The initial `order`-long
+    /// context is drawn uniformly.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Sequence {
+        let sigma = self.alphabet.size() as u8;
+        let mut codes: Vec<u8> = Vec::with_capacity(len);
+        for _ in 0..self.order.min(len) {
+            codes.push(rng.gen_range(0..sigma));
+        }
+        while codes.len() < len {
+            let ctx = &codes[codes.len() - self.order..];
+            let row = context_index(ctx, sigma as usize) * sigma as usize;
+            let u: f64 = rng.gen();
+            let next = self.cumulative[row..row + sigma as usize]
+                .iter()
+                .position(|&c| u < c)
+                .unwrap_or(sigma as usize - 1) as u8;
+            codes.push(next);
+        }
+        Sequence::from_codes(self.alphabet.clone(), codes).expect("codes are in range")
+    }
+}
+
+/// Mixed-radix index of a context (most significant first).
+fn context_index(context: &[u8], sigma: usize) -> usize {
+    context
+        .iter()
+        .fold(0usize, |acc, &c| acc * sigma + c as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_index_is_mixed_radix() {
+        assert_eq!(context_index(&[0, 0], 4), 0);
+        assert_eq!(context_index(&[0, 1], 4), 1);
+        assert_eq!(context_index(&[1, 0], 4), 4);
+        assert_eq!(context_index(&[3, 3], 4), 15);
+        assert_eq!(context_index(&[], 4), 0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let training = crate::gen::iid::uniform(&mut rng, Alphabet::Dna, 2_000);
+        let model = MarkovModel::fit(&training, 2);
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let total: f64 = (0..4u8).map(|n| model.probability(&[a, b], n)).sum();
+                assert!((total - 1.0).abs() < 1e-12, "context [{a},{b}] sums to {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_recovers_strong_bias() {
+        // Training data where C always follows A.
+        let text = "AC".repeat(500);
+        let training = Sequence::dna(&text).unwrap();
+        let model = MarkovModel::fit(&training, 1);
+        assert!(model.probability(&[0], 1) > 0.95, "P(C|A) should dominate");
+        assert!(model.probability(&[1], 0) > 0.95, "P(A|C) should dominate");
+    }
+
+    #[test]
+    fn sample_reflects_model() {
+        let text = "AC".repeat(1000);
+        let training = Sequence::dna(&text).unwrap();
+        let model = MarkovModel::fit(&training, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = model.sample(&mut rng, 5_000);
+        assert_eq!(s.len(), 5_000);
+        let f = s.code_frequencies();
+        // Should be nearly all A and C.
+        assert!(f[0] + f[1] > 0.95, "got frequencies {f:?}");
+    }
+
+    #[test]
+    fn order_zero_is_iid() {
+        let training = Sequence::dna(&"AAAT".repeat(250)).unwrap();
+        let model = MarkovModel::fit(&training, 0);
+        // P(A) ≈ 3/4 with smoothing.
+        let p_a = model.probability(&[], 0);
+        assert!((p_a - 0.75).abs() < 0.05, "P(A) = {p_a}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let training = Sequence::dna(&"ACGT".repeat(100)).unwrap();
+        let model = MarkovModel::fit(&training, 1);
+        let a = model.sample(&mut StdRng::seed_from_u64(9), 200);
+        let b = model.sample(&mut StdRng::seed_from_u64(9), 200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "longer than the order")]
+    fn fit_requires_enough_data() {
+        let training = Sequence::dna("AC").unwrap();
+        let _ = MarkovModel::fit(&training, 2);
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        let rows = vec![1.0; 4 * 4];
+        let m = MarkovModel::from_rows(Alphabet::Dna, 1, rows);
+        assert_eq!(m.order(), 1);
+        assert!((m.probability(&[2], 1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma^order")]
+    fn from_rows_wrong_size_panics() {
+        let _ = MarkovModel::from_rows(Alphabet::Dna, 1, vec![1.0; 8]);
+    }
+}

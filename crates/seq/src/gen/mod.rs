@@ -1,0 +1,22 @@
+//! Synthetic sequence generators.
+//!
+//! The paper's experiments run on NCBI downloads (the human fragment
+//! AX829174 and several whole genomes) that are unavailable offline.
+//! These generators produce deterministic (seeded) substitutes that
+//! preserve the statistical properties the experiments exercise:
+//! base composition, short-range Markov structure, and planted periodic
+//! motifs at helical-turn periods (the signal the miner looks for).
+//!
+//! All generators take `&mut impl Rng` so callers control determinism.
+
+pub mod iid;
+pub mod markov;
+pub mod mutate;
+pub mod periodic;
+pub mod tandem;
+
+pub use iid::{uniform, weighted};
+pub use markov::MarkovModel;
+pub use mutate::{mutate, MutationConfig};
+pub use periodic::{plant_periodic, PeriodicMotif};
+pub use tandem::tandem_repeat;

@@ -1,0 +1,185 @@
+//! Planting periodic motifs into a background sequence.
+//!
+//! A planted motif writes its characters into the sequence separated by
+//! gaps drawn from a range — exactly the structure the miner searches
+//! for (`a1 g(N,M) a2 g(N,M) …`). Planting at the DNA helical-turn
+//! period (gap 9–11) recreates the A/T periodicity signal of the paper's
+//! case study.
+
+use crate::sequence::Sequence;
+use rand::Rng;
+
+/// Description of a periodic motif to plant.
+#[derive(Clone, Debug)]
+pub struct PeriodicMotif {
+    /// Alphabet codes of the motif characters (the pattern's `a1 … al`).
+    pub motif: Vec<u8>,
+    /// Minimum gap (wild-card count) between consecutive motif characters.
+    pub gap_min: usize,
+    /// Maximum gap between consecutive motif characters.
+    pub gap_max: usize,
+    /// How many occurrences to plant.
+    pub occurrences: usize,
+}
+
+impl PeriodicMotif {
+    /// The largest span one occurrence can cover:
+    /// `len + (len − 1) · gap_max` characters.
+    pub fn max_span(&self) -> usize {
+        if self.motif.is_empty() {
+            0
+        } else {
+            self.motif.len() + (self.motif.len() - 1) * self.gap_max
+        }
+    }
+}
+
+/// Overwrite positions of `background` with occurrences of `motif`,
+/// each starting at a random position and using independently drawn
+/// gaps in `[gap_min, gap_max]`. Returns the start positions used
+/// (0-based), sorted ascending.
+///
+/// Occurrences may overlap each other — just like genuine genomic
+/// repeats — but each occurrence is written left to right so later
+/// plantings win collisions.
+///
+/// # Panics
+/// Panics if the motif is empty, uses codes outside the background's
+/// alphabet, `gap_min > gap_max`, or the motif cannot fit in the
+/// background even once.
+pub fn plant_periodic<R: Rng + ?Sized>(
+    rng: &mut R,
+    background: &mut Sequence,
+    spec: &PeriodicMotif,
+) -> Vec<usize> {
+    assert!(!spec.motif.is_empty(), "motif must be non-empty");
+    assert!(spec.gap_min <= spec.gap_max, "gap_min must be ≤ gap_max");
+    let sigma = background.alphabet().size() as u8;
+    assert!(
+        spec.motif.iter().all(|&c| c < sigma),
+        "motif codes must fit the background alphabet"
+    );
+    let max_span = spec.max_span();
+    assert!(
+        max_span <= background.len(),
+        "motif span {max_span} exceeds background length {}",
+        background.len()
+    );
+
+    let mut codes = background.codes().to_vec();
+    let mut starts = Vec::with_capacity(spec.occurrences);
+    let latest_start = background.len() - max_span;
+    for _ in 0..spec.occurrences {
+        let start = rng.gen_range(0..=latest_start);
+        starts.push(start);
+        let mut pos = start;
+        for (i, &ch) in spec.motif.iter().enumerate() {
+            codes[pos] = ch;
+            if i + 1 < spec.motif.len() {
+                pos += 1 + rng.gen_range(spec.gap_min..=spec.gap_max);
+            }
+        }
+    }
+    *background =
+        Sequence::from_codes(background.alphabet().clone(), codes).expect("codes stay valid");
+    starts.sort_unstable();
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::gen::iid::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn background(len: usize, seed: u64) -> Sequence {
+        uniform(&mut StdRng::seed_from_u64(seed), Alphabet::Dna, len)
+    }
+
+    #[test]
+    fn plants_requested_occurrences() {
+        let mut s = background(1000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = PeriodicMotif {
+            motif: vec![0, 3, 0], // A.T.A with gaps
+            gap_min: 9,
+            gap_max: 11,
+            occurrences: 5,
+        };
+        let starts = plant_periodic(&mut rng, &mut s, &spec);
+        assert_eq!(starts.len(), 5);
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]), "starts are sorted");
+    }
+
+    #[test]
+    fn planted_motif_is_present_with_valid_gaps() {
+        let mut s = background(500, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = PeriodicMotif {
+            motif: vec![2, 2, 2, 2], // GGGG
+            gap_min: 5,
+            gap_max: 7,
+            occurrences: 1,
+        };
+        let starts = plant_periodic(&mut rng, &mut s, &spec);
+        let start = starts[0];
+        // The first character must be in place; subsequent ones must be
+        // reachable within the gap range.
+        assert_eq!(s.codes()[start], 2);
+        let mut found = false;
+        // Check that G appears at some position start + 6..=8 etc. — walk
+        // greedily over every admissible chain.
+        fn chain(s: &[u8], pos: usize, remaining: usize, lo: usize, hi: usize) -> bool {
+            if remaining == 0 {
+                return true;
+            }
+            (lo..=hi).any(|g| {
+                let next = pos + 1 + g;
+                next < s.len() && s[next] == 2 && chain(s, next, remaining - 1, lo, hi)
+            })
+        }
+        if chain(s.codes(), start, 3, 5, 7) {
+            found = true;
+        }
+        assert!(found, "planted GGGG chain must be recoverable");
+    }
+
+    #[test]
+    fn max_span_formula() {
+        let spec = PeriodicMotif { motif: vec![0; 3], gap_min: 3, gap_max: 4, occurrences: 0 };
+        // 3 characters + 2 gaps of at most 4 = 11; matches the paper's
+        // maxspan(l) = (l−1)M + l with l = 3, M = 4.
+        assert_eq!(spec.max_span(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "span")]
+    fn motif_too_long_panics() {
+        let mut s = background(10, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = PeriodicMotif { motif: vec![0; 5], gap_min: 9, gap_max: 12, occurrences: 1 };
+        let _ = plant_periodic(&mut rng, &mut s, &spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_motif_panics() {
+        let mut s = background(100, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let spec = PeriodicMotif { motif: vec![], gap_min: 1, gap_max: 2, occurrences: 1 };
+        let _ = plant_periodic(&mut rng, &mut s, &spec);
+    }
+
+    #[test]
+    fn zero_occurrences_leaves_background_unchanged() {
+        let mut s = background(200, 9);
+        let orig = s.clone();
+        let mut rng = StdRng::seed_from_u64(10);
+        let spec = PeriodicMotif { motif: vec![0, 1], gap_min: 2, gap_max: 3, occurrences: 0 };
+        let starts = plant_periodic(&mut rng, &mut s, &spec);
+        assert!(starts.is_empty());
+        assert_eq!(s, orig);
+    }
+}

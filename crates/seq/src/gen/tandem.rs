@@ -1,0 +1,157 @@
+//! Tandem-repeat generation.
+//!
+//! Tandem repeats (`s_i s_(i+1) … = s_(i+p) s_(i+p+1) …`) are the first
+//! class of periodic structure the paper surveys; the case study finds
+//! self-repeating mined patterns such as `ATATATATATA` and `GTAGTAGTAGT`
+//! in C. elegans. This generator produces repeat arrays for planting and
+//! for exercising the miner on repeat-dense inputs.
+
+use crate::sequence::Sequence;
+use rand::Rng;
+
+/// Concatenate `copies` copies of `unit`, truncated to `total_len` if
+/// given (`None` keeps every full copy).
+///
+/// # Panics
+/// Panics if `unit` is empty or `copies` is zero.
+pub fn tandem_repeat(unit: &Sequence, copies: usize, total_len: Option<usize>) -> Sequence {
+    assert!(!unit.is_empty(), "repeat unit must be non-empty");
+    assert!(copies > 0, "need at least one copy");
+    let full_len = unit.len() * copies;
+    let target = total_len.unwrap_or(full_len).min(full_len);
+    let mut codes = Vec::with_capacity(target);
+    'outer: for _ in 0..copies {
+        for &c in unit.codes() {
+            if codes.len() == target {
+                break 'outer;
+            }
+            codes.push(c);
+        }
+    }
+    Sequence::from_codes(unit.alphabet().clone(), codes).expect("unit codes are valid")
+}
+
+/// Write a tandem array of `unit` into `background` starting at `start`
+/// (0-based), with each copied character independently substituted by a
+/// random other character with probability `error_rate` — modelling the
+/// imperfect repeats ("a phase shift is found in one of the repeats")
+/// the paper describes.
+///
+/// Returns the number of substituted characters.
+///
+/// # Panics
+/// Panics if the array does not fit, alphabets differ, or
+/// `error_rate ∉ [0, 1]`.
+pub fn plant_tandem<R: Rng + ?Sized>(
+    rng: &mut R,
+    background: &mut Sequence,
+    unit: &Sequence,
+    copies: usize,
+    start: usize,
+    error_rate: f64,
+) -> usize {
+    assert!(
+        background.alphabet() == unit.alphabet(),
+        "unit and background must share an alphabet"
+    );
+    assert!((0.0..=1.0).contains(&error_rate), "error_rate must be in [0,1]");
+    let array = tandem_repeat(unit, copies, None);
+    assert!(
+        start + array.len() <= background.len(),
+        "tandem array of {} chars at {start} exceeds background length {}",
+        array.len(),
+        background.len()
+    );
+    let sigma = background.alphabet().size() as u8;
+    let mut codes = background.codes().to_vec();
+    let mut errors = 0;
+    for (i, &c) in array.codes().iter().enumerate() {
+        let written = if rng.gen::<f64>() < error_rate {
+            errors += 1;
+            // Substitute with a uniformly random *different* character.
+            let mut alt = rng.gen_range(0..sigma.saturating_sub(1).max(1));
+            if alt >= c {
+                alt = (alt + 1) % sigma;
+            }
+            alt
+        } else {
+            c
+        };
+        codes[start + i] = written;
+    }
+    *background =
+        Sequence::from_codes(background.alphabet().clone(), codes).expect("codes stay valid");
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::gen::iid::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repeats_unit() {
+        let unit = Sequence::dna("GTA").unwrap();
+        let arr = tandem_repeat(&unit, 4, None);
+        assert_eq!(arr.to_text(), "GTAGTAGTAGTA");
+    }
+
+    #[test]
+    fn truncates_to_total_len() {
+        let unit = Sequence::dna("AT").unwrap();
+        let arr = tandem_repeat(&unit, 10, Some(5));
+        assert_eq!(arr.to_text(), "ATATA");
+        // Requesting more than available keeps every full copy.
+        let arr = tandem_repeat(&unit, 2, Some(100));
+        assert_eq!(arr.to_text(), "ATAT");
+    }
+
+    #[test]
+    fn plant_exact_when_error_free() {
+        let mut bg = uniform(&mut StdRng::seed_from_u64(1), Alphabet::Dna, 100);
+        let unit = Sequence::dna("ACG").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let errors = plant_tandem(&mut rng, &mut bg, &unit, 5, 10, 0.0);
+        assert_eq!(errors, 0);
+        assert_eq!(bg.slice(10..25).to_text(), "ACGACGACGACGACG");
+    }
+
+    #[test]
+    fn plant_with_errors_substitutes_some() {
+        let mut bg = uniform(&mut StdRng::seed_from_u64(3), Alphabet::Dna, 400);
+        let unit = Sequence::dna("ACGT").unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let errors = plant_tandem(&mut rng, &mut bg, &unit, 50, 0, 0.25);
+        assert!(errors > 20 && errors < 80, "errors = {errors}, expected ≈ 50");
+        // Every substituted position holds a *different* character, so the
+        // mismatch count against the clean array equals the error count.
+        let clean = tandem_repeat(&unit, 50, None);
+        let mismatches = bg
+            .codes()
+            .iter()
+            .take(200)
+            .zip(clean.codes())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(mismatches, errors);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds background")]
+    fn plant_out_of_bounds_panics() {
+        let mut bg = uniform(&mut StdRng::seed_from_u64(5), Alphabet::Dna, 10);
+        let unit = Sequence::dna("ACGT").unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = plant_tandem(&mut rng, &mut bg, &unit, 3, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_unit_panics() {
+        let unit = Sequence::dna("").unwrap();
+        let _ = tandem_repeat(&unit, 3, None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Base-pair oscillation analysis.
+//!
+//! The paper's introduction motivates gap-constrained periodic mining
+//! with the classical base-pair correlation statistic: the probability
+//! of seeing character `b` exactly `p` positions after character `a` is
+//! `n_ab(p) / (L − p)`; under independence it would be `pr(a)·pr(b)`,
+//! and the difference
+//!
+//! ```text
+//! corr_ab(p) = n_ab(p)/(L − p) − pr(a)·pr(b)
+//! ```
+//!
+//! exposes the famous 10–11 bp helical periodicity. This module computes
+//! the statistic and locates spectrum peaks; the `oscillation_scan`
+//! example uses it to pick gap requirements for mining.
+
+use crate::sequence::Sequence;
+
+/// The correlation spectrum of one ordered character pair over a range
+/// of distances.
+#[derive(Clone, Debug)]
+pub struct OscillationSpectrum {
+    /// First character code (`a`).
+    pub a: u8,
+    /// Second character code (`b`).
+    pub b: u8,
+    /// Inclusive distance range start.
+    pub min_distance: usize,
+    /// `corr_ab(p)` for each `p` in `min_distance..min_distance + values.len()`.
+    pub values: Vec<f64>,
+}
+
+impl OscillationSpectrum {
+    /// The distance with the largest correlation, or `None` when empty.
+    pub fn peak(&self) -> Option<(usize, f64)> {
+        self.values
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("no NaNs"))
+            .map(|(i, v)| (self.min_distance + i, v))
+    }
+
+    /// All local maxima strictly above `threshold`, as
+    /// `(distance, value)` pairs.
+    pub fn peaks_above(&self, threshold: f64) -> Vec<(usize, f64)> {
+        let v = &self.values;
+        let mut out = Vec::new();
+        for i in 0..v.len() {
+            let left = if i == 0 { f64::NEG_INFINITY } else { v[i - 1] };
+            let right = if i + 1 == v.len() { f64::NEG_INFINITY } else { v[i + 1] };
+            if v[i] > threshold && v[i] >= left && v[i] >= right {
+                out.push((self.min_distance + i, v[i]));
+            }
+        }
+        out
+    }
+}
+
+/// Count of positions `i` with `S[i] = a` and `S[i+p] = b` (0-based
+/// internally; matches the paper's `n_ab(p)`).
+pub fn pair_count_at_distance(seq: &Sequence, a: u8, b: u8, p: usize) -> u64 {
+    let codes = seq.codes();
+    if p == 0 || p >= codes.len() {
+        return 0;
+    }
+    codes[..codes.len() - p]
+        .iter()
+        .zip(&codes[p..])
+        .filter(|&(&x, &y)| x == a && y == b)
+        .count() as u64
+}
+
+/// Compute `corr_ab(p)` for `p` in `[min_distance, max_distance]`.
+///
+/// # Panics
+/// Panics if the distance range is empty or reaches past the sequence.
+pub fn correlation_spectrum(
+    seq: &Sequence,
+    a: u8,
+    b: u8,
+    min_distance: usize,
+    max_distance: usize,
+) -> OscillationSpectrum {
+    assert!(min_distance >= 1, "distance must be at least 1");
+    assert!(min_distance <= max_distance, "empty distance range");
+    assert!(
+        max_distance < seq.len(),
+        "max distance {max_distance} must be below the sequence length {}",
+        seq.len()
+    );
+    let freqs = seq.code_frequencies();
+    let expected = freqs[a as usize] * freqs[b as usize];
+    let values = (min_distance..=max_distance)
+        .map(|p| {
+            let observed = pair_count_at_distance(seq, a, b, p) as f64 / (seq.len() - p) as f64;
+            observed - expected
+        })
+        .collect();
+    OscillationSpectrum { a, b, min_distance, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::gen::iid::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_counts_by_hand() {
+        // S = ACGTA: (A at 0, T at 3) → n_AT(3) = 1; n_AC(1) = 1.
+        let s = Sequence::dna("ACGTA").unwrap();
+        assert_eq!(pair_count_at_distance(&s, 0, 3, 3), 1);
+        assert_eq!(pair_count_at_distance(&s, 0, 1, 1), 1);
+        assert_eq!(pair_count_at_distance(&s, 0, 0, 4), 1); // A...A
+        assert_eq!(pair_count_at_distance(&s, 0, 0, 0), 0);
+        assert_eq!(pair_count_at_distance(&s, 0, 0, 10), 0);
+    }
+
+    #[test]
+    fn perfect_period_has_sharp_peak() {
+        // Period-4 sequence: A appears every 4 positions after an A.
+        let s = Sequence::dna(&"ACGT".repeat(100)).unwrap();
+        let spec = correlation_spectrum(&s, 0, 0, 1, 10);
+        let (peak_p, peak_v) = spec.peak().unwrap();
+        assert!(peak_p == 4 || peak_p == 8, "peak at {peak_p}");
+        // Observed P(A after A at p=4) ≈ 0.25 vs expected 0.0625.
+        assert!(peak_v > 0.15, "peak value {peak_v}");
+        // Off-period distances are anti-correlated.
+        assert!(spec.values[0] < 0.0); // p = 1
+    }
+
+    #[test]
+    fn random_sequence_has_flat_spectrum() {
+        let s = uniform(&mut StdRng::seed_from_u64(1), Alphabet::Dna, 20_000);
+        let spec = correlation_spectrum(&s, 0, 3, 1, 30);
+        for (i, &v) in spec.values.iter().enumerate() {
+            assert!(v.abs() < 0.02, "corr at p={} is {v}", i + 1);
+        }
+    }
+
+    #[test]
+    fn peaks_above_finds_local_maxima() {
+        let spec = OscillationSpectrum {
+            a: 0,
+            b: 0,
+            min_distance: 5,
+            values: vec![0.0, 0.3, 0.1, 0.05, 0.4, 0.2],
+        };
+        let peaks = spec.peaks_above(0.25);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].0, 6);
+        assert_eq!(peaks[1].0, 9);
+    }
+
+    #[test]
+    fn planted_helical_period_is_detected() {
+        use crate::gen::periodic::{plant_periodic, PeriodicMotif};
+        let mut s = uniform(&mut StdRng::seed_from_u64(2), Alphabet::Dna, 10_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Plant A.{10}A.{10}A chains (fixed gap 10 → distance 11).
+        let spec = PeriodicMotif { motif: vec![0; 6], gap_min: 10, gap_max: 10, occurrences: 250 };
+        plant_periodic(&mut rng, &mut s, &spec);
+        let spectrum = correlation_spectrum(&s, 0, 0, 5, 20);
+        let (peak_p, _) = spectrum.peak().unwrap();
+        assert_eq!(peak_p, 11, "expected the planted helical-turn distance");
+    }
+
+    #[test]
+    #[should_panic(expected = "below the sequence length")]
+    fn distance_past_sequence_panics() {
+        let s = Sequence::dna("ACGT").unwrap();
+        let _ = correlation_spectrum(&s, 0, 0, 1, 4);
+    }
+}

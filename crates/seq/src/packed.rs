@@ -1,0 +1,189 @@
+//! 2-bit packed storage for DNA sequences.
+//!
+//! Whole genomes run to megabases; storing one base per byte wastes 4×
+//! the memory actually needed for a 4-letter alphabet. `PackedDna` packs
+//! four bases per byte and converts losslessly to and from [`Sequence`].
+//! The mining algorithms operate on byte-coded sequences (random access
+//! is hotter than footprint there); the packed form is the at-rest and
+//! I/O representation for large inputs.
+
+use crate::alphabet::Alphabet;
+use crate::error::SeqError;
+use crate::sequence::Sequence;
+
+/// A DNA sequence packed at 2 bits per base (4 bases per byte).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PackedDna {
+    /// Packed payload; base `i` lives in byte `i / 4`, bits `2·(i % 4)`.
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl PackedDna {
+    /// An empty packed sequence.
+    pub fn new() -> Self {
+        PackedDna::default()
+    }
+
+    /// Pack a byte-coded DNA sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence is not over [`Alphabet::Dna`].
+    pub fn from_sequence(seq: &Sequence) -> PackedDna {
+        assert!(
+            *seq.alphabet() == Alphabet::Dna,
+            "PackedDna requires a DNA sequence"
+        );
+        let mut packed = PackedDna::with_capacity(seq.len());
+        for &code in seq.codes() {
+            packed.push(code);
+        }
+        packed
+    }
+
+    /// Pack from text (delegates validation to [`Sequence::dna`]).
+    pub fn from_text(text: &str) -> Result<PackedDna, SeqError> {
+        Ok(Self::from_sequence(&Sequence::dna(text)?))
+    }
+
+    /// Pre-allocate room for `bases` bases.
+    pub fn with_capacity(bases: usize) -> PackedDna {
+        PackedDna {
+            bytes: Vec::with_capacity(bases.div_ceil(4)),
+            len: 0,
+        }
+    }
+
+    /// Number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes of heap payload used (for footprint assertions).
+    pub fn payload_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Append one base code (0..4).
+    ///
+    /// # Panics
+    /// Panics if `code >= 4`.
+    pub fn push(&mut self, code: u8) {
+        assert!(code < 4, "DNA code must be 0..4, got {code}");
+        let slot = self.len % 4;
+        if slot == 0 {
+            self.bytes.push(0);
+        }
+        let byte = self.bytes.last_mut().expect("byte was just ensured");
+        *byte |= code << (2 * slot);
+        self.len += 1;
+    }
+
+    /// The base code at 0-based index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of range for {} bases", self.len);
+        (self.bytes[i / 4] >> (2 * (i % 4))) & 0b11
+    }
+
+    /// Overwrite the base code at 0-based index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` or `code >= 4`.
+    pub fn set(&mut self, i: usize, code: u8) {
+        assert!(i < self.len, "index {i} out of range for {} bases", self.len);
+        assert!(code < 4, "DNA code must be 0..4, got {code}");
+        let shift = 2 * (i % 4);
+        let byte = &mut self.bytes[i / 4];
+        *byte = (*byte & !(0b11 << shift)) | (code << shift);
+    }
+
+    /// Iterate over the base codes.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Unpack into a byte-coded [`Sequence`].
+    pub fn to_sequence(&self) -> Sequence {
+        let codes: Vec<u8> = self.iter().collect();
+        Sequence::from_codes(Alphabet::Dna, codes).expect("packed codes are always valid")
+    }
+}
+
+impl FromIterator<u8> for PackedDna {
+    fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
+        let mut packed = PackedDna::new();
+        for code in iter {
+            packed.push(code);
+        }
+        packed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let p = PackedDna::from_text("ACGTACGTAC").unwrap();
+        assert_eq!(p.len(), 10);
+        assert_eq!(p.to_sequence().to_text(), "ACGTACGTAC");
+    }
+
+    #[test]
+    fn packs_four_bases_per_byte() {
+        let p = PackedDna::from_text("ACGTACGT").unwrap();
+        assert_eq!(p.payload_bytes(), 2);
+        let p = PackedDna::from_text("ACGTA").unwrap();
+        assert_eq!(p.payload_bytes(), 2);
+        let p = PackedDna::from_text("ACGT").unwrap();
+        assert_eq!(p.payload_bytes(), 1);
+    }
+
+    #[test]
+    fn get_and_set() {
+        let mut p = PackedDna::from_text("AAAA").unwrap();
+        p.set(2, 3);
+        assert_eq!(p.get(2), 3);
+        assert_eq!(p.to_sequence().to_text(), "AATA");
+        // Neighbours untouched.
+        assert_eq!(p.get(1), 0);
+        assert_eq!(p.get(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let p = PackedDna::from_text("ACG").unwrap();
+        let _ = p.get(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "DNA code")]
+    fn push_invalid_code_panics() {
+        let mut p = PackedDna::new();
+        p.push(4);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: PackedDna = [0u8, 1, 2, 3, 3, 2, 1, 0].into_iter().collect();
+        assert_eq!(p.to_sequence().to_text(), "ACGTTGCA");
+    }
+
+    #[test]
+    fn empty() {
+        let p = PackedDna::new();
+        assert!(p.is_empty());
+        assert_eq!(p.to_sequence().len(), 0);
+        assert_eq!(p.payload_bytes(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Compositional statistics of sequences: base composition, GC content,
+//! Shannon entropy and k-mer counting.
+//!
+//! These feed the case-study analysis (AT-richness of mined patterns)
+//! and the null models (expected pattern support under independence).
+
+use crate::sequence::Sequence;
+use std::collections::HashMap;
+
+/// Fraction of G/C characters in a DNA sequence (0 for an empty one).
+///
+/// # Panics
+/// Panics if the sequence is not over the DNA alphabet.
+pub fn gc_content(seq: &Sequence) -> f64 {
+    assert_eq!(
+        seq.alphabet().size(),
+        4,
+        "gc_content expects a DNA sequence"
+    );
+    if seq.is_empty() {
+        return 0.0;
+    }
+    let counts = seq.code_counts();
+    // Codes: A=0, C=1, G=2, T=3.
+    (counts[1] + counts[2]) as f64 / seq.len() as f64
+}
+
+/// Shannon entropy of the character distribution, in bits.
+pub fn shannon_entropy(seq: &Sequence) -> f64 {
+    seq.code_frequencies()
+        .into_iter()
+        .filter(|&p| p > 0.0)
+        .map(|p| -p * p.log2())
+        .sum()
+}
+
+/// Count every contiguous k-mer. Keys are the code vectors.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn kmer_counts(seq: &Sequence, k: usize) -> HashMap<Vec<u8>, u64> {
+    assert!(k > 0, "k must be positive");
+    let mut counts = HashMap::new();
+    if seq.len() >= k {
+        for window in seq.codes().windows(k) {
+            *counts.entry(window.to_vec()).or_insert(0u64) += 1;
+        }
+    }
+    counts
+}
+
+/// Probability of observing the character string `codes` at a uniformly
+/// random set of positions, assuming independent characters with the
+/// sequence's empirical frequencies. This is the i.i.d. null expectation
+/// for a pattern's *support ratio* (the paper's `sup(P)/N_l`), since gap
+/// positions are unconstrained under independence.
+pub fn iid_string_probability(seq: &Sequence, codes: &[u8]) -> f64 {
+    let freqs = seq.code_frequencies();
+    codes.iter().map(|&c| freqs[c as usize]).product()
+}
+
+/// Dinucleotide (adjacent-pair) counts: entry `[a][b]` is the number of
+/// positions `i` with `S[i] = a` and `S[i+1] = b`.
+pub fn dinucleotide_counts(seq: &Sequence) -> Vec<Vec<u64>> {
+    let sigma = seq.alphabet().size();
+    let mut counts = vec![vec![0u64; sigma]; sigma];
+    for w in seq.codes().windows(2) {
+        counts[w[0] as usize][w[1] as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_content_basic() {
+        let s = Sequence::dna("GGCC").unwrap();
+        assert_eq!(gc_content(&s), 1.0);
+        let s = Sequence::dna("AATT").unwrap();
+        assert_eq!(gc_content(&s), 0.0);
+        let s = Sequence::dna("ACGT").unwrap();
+        assert_eq!(gc_content(&s), 0.5);
+        assert_eq!(gc_content(&Sequence::dna("").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let uniform = Sequence::dna("ACGTACGT").unwrap();
+        assert!((shannon_entropy(&uniform) - 2.0).abs() < 1e-12);
+        let constant = Sequence::dna("AAAA").unwrap();
+        assert_eq!(shannon_entropy(&constant), 0.0);
+        // Two equiprobable characters → 1 bit.
+        let two = Sequence::dna("ATATAT").unwrap();
+        assert!((shannon_entropy(&two) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmer_counting() {
+        let s = Sequence::dna("ACGACG").unwrap();
+        let k3 = kmer_counts(&s, 3);
+        assert_eq!(k3[&vec![0u8, 1, 2]], 2); // ACG twice
+        assert_eq!(k3[&vec![1u8, 2, 0]], 1); // CGA once
+        assert_eq!(k3.values().sum::<u64>(), 4); // L - k + 1
+        // k longer than the sequence → empty map.
+        assert!(kmer_counts(&s, 7).is_empty());
+    }
+
+    #[test]
+    fn iid_probability_multiplies_frequencies() {
+        let s = Sequence::dna("AACG").unwrap(); // A: 1/2, C: 1/4, G: 1/4
+        let p = iid_string_probability(&s, &[0, 1]); // P(A)·P(C)
+        assert!((p - 0.125).abs() < 1e-12);
+        assert_eq!(iid_string_probability(&s, &[]), 1.0);
+        // T never occurs → probability 0.
+        assert_eq!(iid_string_probability(&s, &[3]), 0.0);
+    }
+
+    #[test]
+    fn dinucleotide_counts_sum() {
+        let s = Sequence::dna("ACGTA").unwrap();
+        let d = dinucleotide_counts(&s);
+        let total: u64 = d.iter().flatten().sum();
+        assert_eq!(total, 4); // L - 1 pairs
+        assert_eq!(d[0][1], 1); // AC
+        assert_eq!(d[3][0], 1); // TA
+    }
+}

@@ -1,0 +1,254 @@
+//! Genetic-code translation: DNA → protein, reading frames, ORF
+//! scanning.
+//!
+//! The paper's second explanation for the 10–11 bp periodicity is
+//! proteomic: "the alternation of hydrophobic and hydrophilic amino
+//! acids in α-helices leads to a periodicity of about 3.5 amino acids
+//! …, which corresponds to 10–11 bases in DNA sequences", and it
+//! suggests "to actually look for some proteins with a corresponding
+//! coding DNA sequence that exhibits the mined periodic patterns".
+//! This module provides the DNA↔protein bridge for that workflow:
+//! translate the mined region in all frames and mine the protein side
+//! with a ~3.5-residue gap requirement.
+
+use crate::alphabet::Alphabet;
+use crate::sequence::Sequence;
+
+/// A translated codon: an amino acid or a stop signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Codon {
+    /// One of the 20 standard amino acids, as a one-letter code.
+    AminoAcid(u8),
+    /// A stop codon (TAA, TAG, TGA).
+    Stop,
+}
+
+/// Translate one codon (three DNA codes, A=0 C=1 G=2 T=3) under the
+/// standard genetic code.
+pub fn translate_codon(codon: [u8; 3]) -> Codon {
+    // The standard code, indexed by base-4 value of the codon with
+    // the T=3 / U ordering of this crate (A=0, C=1, G=2, T=3).
+    const TABLE: [u8; 64] = {
+        let mut t = [0u8; 64];
+        // Build from (first, second, third) triples. b'*' marks stop.
+        // Rows follow the standard codon table.
+        let entries: [(&[u8; 3], u8); 64] = [
+            (b"AAA", b'K'), (b"AAC", b'N'), (b"AAG", b'K'), (b"AAT", b'N'),
+            (b"ACA", b'T'), (b"ACC", b'T'), (b"ACG", b'T'), (b"ACT", b'T'),
+            (b"AGA", b'R'), (b"AGC", b'S'), (b"AGG", b'R'), (b"AGT", b'S'),
+            (b"ATA", b'I'), (b"ATC", b'I'), (b"ATG", b'M'), (b"ATT", b'I'),
+            (b"CAA", b'Q'), (b"CAC", b'H'), (b"CAG", b'Q'), (b"CAT", b'H'),
+            (b"CCA", b'P'), (b"CCC", b'P'), (b"CCG", b'P'), (b"CCT", b'P'),
+            (b"CGA", b'R'), (b"CGC", b'R'), (b"CGG", b'R'), (b"CGT", b'R'),
+            (b"CTA", b'L'), (b"CTC", b'L'), (b"CTG", b'L'), (b"CTT", b'L'),
+            (b"GAA", b'E'), (b"GAC", b'D'), (b"GAG", b'E'), (b"GAT", b'D'),
+            (b"GCA", b'A'), (b"GCC", b'A'), (b"GCG", b'A'), (b"GCT", b'A'),
+            (b"GGA", b'G'), (b"GGC", b'G'), (b"GGG", b'G'), (b"GGT", b'G'),
+            (b"GTA", b'V'), (b"GTC", b'V'), (b"GTG", b'V'), (b"GTT", b'V'),
+            (b"TAA", b'*'), (b"TAC", b'Y'), (b"TAG", b'*'), (b"TAT", b'Y'),
+            (b"TCA", b'S'), (b"TCC", b'S'), (b"TCG", b'S'), (b"TCT", b'S'),
+            (b"TGA", b'*'), (b"TGC", b'C'), (b"TGG", b'W'), (b"TGT", b'C'),
+            (b"TTA", b'L'), (b"TTC", b'F'), (b"TTG", b'L'), (b"TTT", b'F'),
+        ];
+        const fn code(ch: u8) -> usize {
+            match ch {
+                b'A' => 0,
+                b'C' => 1,
+                b'G' => 2,
+                _ => 3, // T
+            }
+        }
+        let mut i = 0;
+        while i < 64 {
+            let (text, aa) = entries[i];
+            let idx = code(text[0]) * 16 + code(text[1]) * 4 + code(text[2]);
+            t[idx] = aa;
+            i += 1;
+        }
+        t
+    };
+    let idx = codon[0] as usize * 16 + codon[1] as usize * 4 + codon[2] as usize;
+    match TABLE[idx] {
+        b'*' => Codon::Stop,
+        aa => Codon::AminoAcid(aa),
+    }
+}
+
+/// Translate a DNA sequence in reading frame `frame` (0, 1 or 2).
+/// Translation stops at the first stop codon when `stop_at_stop` is
+/// set; otherwise stop codons are skipped (useful for composition
+/// scans over non-coding DNA).
+///
+/// # Panics
+/// Panics if the input is not DNA or `frame > 2`.
+pub fn translate(seq: &Sequence, frame: usize, stop_at_stop: bool) -> Sequence {
+    assert!(*seq.alphabet() == Alphabet::Dna, "translation needs DNA input");
+    assert!(frame <= 2, "reading frame must be 0, 1 or 2");
+    let codes = seq.codes();
+    let mut protein = Vec::with_capacity(codes.len() / 3);
+    let mut i = frame;
+    while i + 3 <= codes.len() {
+        match translate_codon([codes[i], codes[i + 1], codes[i + 2]]) {
+            Codon::AminoAcid(aa) => {
+                let code = Alphabet::Protein
+                    .code(aa)
+                    .expect("standard code emits standard amino acids");
+                protein.push(code);
+            }
+            Codon::Stop => {
+                if stop_at_stop {
+                    break;
+                }
+            }
+        }
+        i += 3;
+    }
+    Sequence::from_codes(Alphabet::Protein, protein).expect("codes validated per residue")
+}
+
+/// An open reading frame: ATG…stop, on the forward strand.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Orf {
+    /// 0-based start of the ATG.
+    pub start: usize,
+    /// 0-based position one past the stop codon.
+    pub end: usize,
+    /// Reading frame (0, 1, 2).
+    pub frame: usize,
+}
+
+impl Orf {
+    /// Length in codons, excluding the stop.
+    pub fn codons(&self) -> usize {
+        (self.end - self.start) / 3 - 1
+    }
+}
+
+/// Find every forward-strand ORF of at least `min_codons` coding
+/// codons (ATG through stop, stop required).
+pub fn find_orfs(seq: &Sequence, min_codons: usize) -> Vec<Orf> {
+    assert!(*seq.alphabet() == Alphabet::Dna, "ORF scan needs DNA input");
+    let codes = seq.codes();
+    let mut out = Vec::new();
+    for frame in 0..3usize {
+        let mut i = frame;
+        while i + 3 <= codes.len() {
+            // ATG = codes 0, 3, 2.
+            if codes[i] == 0 && codes[i + 1] == 3 && codes[i + 2] == 2 {
+                // Scan for an in-frame stop.
+                let mut j = i + 3;
+                let mut found = None;
+                while j + 3 <= codes.len() {
+                    if translate_codon([codes[j], codes[j + 1], codes[j + 2]]) == Codon::Stop {
+                        found = Some(j + 3);
+                        break;
+                    }
+                    j += 3;
+                }
+                if let Some(end) = found {
+                    let orf = Orf { start: i, end, frame };
+                    if orf.codons() >= min_codons {
+                        out.push(orf);
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            i += 3;
+        }
+    }
+    out.sort_by_key(|o| (o.start, o.end));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna(text: &str) -> Sequence {
+        Sequence::dna(text).unwrap()
+    }
+
+    #[test]
+    fn canonical_codons() {
+        // ATG → M, TGG → W, TTT → F, and the three stops.
+        assert_eq!(translate_codon([0, 3, 2]), Codon::AminoAcid(b'M'));
+        assert_eq!(translate_codon([3, 2, 2]), Codon::AminoAcid(b'W'));
+        assert_eq!(translate_codon([3, 3, 3]), Codon::AminoAcid(b'F'));
+        for stop in ["TAA", "TAG", "TGA"] {
+            let s = dna(stop);
+            let c = [s.codes()[0], s.codes()[1], s.codes()[2]];
+            assert_eq!(translate_codon(c), Codon::Stop, "{stop}");
+        }
+    }
+
+    #[test]
+    fn every_codon_translates_to_valid_residue_or_stop() {
+        let mut aa_count = 0;
+        let mut stop_count = 0;
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    match translate_codon([a, b, c]) {
+                        Codon::AminoAcid(aa) => {
+                            assert!(Alphabet::Protein.code(aa).is_some(), "residue {}", aa as char);
+                            aa_count += 1;
+                        }
+                        Codon::Stop => stop_count += 1,
+                    }
+                }
+            }
+        }
+        assert_eq!(aa_count, 61);
+        assert_eq!(stop_count, 3);
+    }
+
+    #[test]
+    fn translates_a_known_gene_fragment() {
+        // ATG AAA TGG GTT TAA → M K W V (stop).
+        let s = dna("ATGAAATGGGTTTAA");
+        let p = translate(&s, 0, true);
+        assert_eq!(p.to_text(), "MKWV");
+        // Without stopping, translation continues past the stop.
+        let s = dna("ATGTAAATG");
+        let p = translate(&s, 0, false);
+        assert_eq!(p.to_text(), "MM");
+    }
+
+    #[test]
+    fn reading_frames_shift() {
+        // Frame 1 of XATGAAA reads ATG AAA.
+        let s = dna("CATGAAATGA");
+        assert_eq!(translate(&s, 1, true).to_text(), "MK");
+        assert_eq!(translate(&s, 0, true).to_text(), "HEM");
+        // Short tails are dropped.
+        assert_eq!(translate(&dna("AC"), 0, true).len(), 0);
+    }
+
+    #[test]
+    fn orf_scanning() {
+        //           0123456789...
+        let s = dna("CCATGAAATGGTAACC"); // ATG AAA TGG TAA at offset 2, frame 2
+        let orfs = find_orfs(&s, 1);
+        assert_eq!(orfs.len(), 1);
+        let orf = &orfs[0];
+        assert_eq!(orf.start, 2);
+        assert_eq!(orf.end, 14);
+        assert_eq!(orf.frame, 2);
+        assert_eq!(orf.codons(), 3);
+        // min_codons filters.
+        assert!(find_orfs(&s, 4).is_empty());
+        // No stop → no ORF.
+        assert!(find_orfs(&dna("ATGAAAAAA"), 1).is_empty());
+    }
+
+    #[test]
+    fn orfs_in_multiple_frames() {
+        // Two ORFs in different frames.
+        let s = dna("ATGTGGTAGCATGAAATAAC");
+        let orfs = find_orfs(&s, 1);
+        assert!(orfs.len() >= 2, "found {orfs:?}");
+        assert!(orfs.iter().any(|o| o.frame == 0));
+        assert!(orfs.iter().any(|o| o.frame != 0));
+    }
+}

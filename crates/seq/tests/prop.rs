@@ -1,0 +1,133 @@
+//! Property-based tests for the sequence substrate.
+
+use perigap_seq::fasta::{format_fasta, parse_fasta, FastaRecord};
+use perigap_seq::gen::markov::MarkovModel;
+use perigap_seq::gen::mutate::{mutate, MutationConfig};
+use perigap_seq::oscillation::pair_count_at_distance;
+use perigap_seq::stats::{dinucleotide_counts, kmer_counts, shannon_entropy};
+use perigap_seq::{Alphabet, PackedDna, Sequence};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn sequence_text_roundtrip(codes in dna_codes(200)) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes.clone()).unwrap();
+        let back = Sequence::dna(&seq.to_text()).unwrap();
+        prop_assert_eq!(back.codes(), &codes[..]);
+    }
+
+    #[test]
+    fn packed_dna_roundtrip(codes in dna_codes(300)) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let packed = PackedDna::from_sequence(&seq);
+        prop_assert_eq!(packed.len(), seq.len());
+        prop_assert_eq!(packed.to_sequence(), seq.clone());
+        // Footprint is a quarter (rounded up).
+        prop_assert_eq!(packed.payload_bytes(), seq.len().div_ceil(4));
+    }
+
+    #[test]
+    fn packed_set_get(codes in dna_codes(100), idx_frac in 0.0f64..1.0, new_code in 0u8..4) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let mut packed = PackedDna::from_sequence(&seq);
+        let idx = ((seq.len() - 1) as f64 * idx_frac) as usize;
+        packed.set(idx, new_code);
+        prop_assert_eq!(packed.get(idx), new_code);
+        // Everything else untouched.
+        for i in 0..seq.len() {
+            if i != idx {
+                prop_assert_eq!(packed.get(i), seq.codes()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn fasta_roundtrip(codes in dna_codes(250), width in 1usize..90) {
+        let rec = FastaRecord {
+            id: "prop".into(),
+            description: None,
+            sequence: Sequence::from_codes(Alphabet::Dna, codes).unwrap(),
+        };
+        let text = format_fasta(std::slice::from_ref(&rec), width);
+        let parsed = parse_fasta(&text, &Alphabet::Dna).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(&parsed[0], &rec);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one(codes in dna_codes(200)) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let sum: f64 = seq.code_frequencies().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let entropy = shannon_entropy(&seq);
+        prop_assert!((0.0..=2.0 + 1e-12).contains(&entropy));
+    }
+
+    #[test]
+    fn kmer_counts_total(codes in dna_codes(200), k in 1usize..6) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let counts = kmer_counts(&seq, k);
+        let total: u64 = counts.values().sum();
+        let expected = seq.len().saturating_sub(k - 1) as u64;
+        prop_assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn dinucleotide_counts_match_pair_distance_one(codes in dna_codes(150)) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let table = dinucleotide_counts(&seq);
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                prop_assert_eq!(
+                    table[a as usize][b as usize],
+                    pair_count_at_distance(&seq, a, b, 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_length_accounting(codes in dna_codes(300), seed: u64) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = MutationConfig { substitution: 0.05, insertion: 0.05, deletion: 0.05 };
+        let (out, summary) = mutate(&mut rng, &seq, cfg);
+        prop_assert_eq!(
+            out.len() as i64,
+            seq.len() as i64 + summary.insertions as i64 - summary.deletions as i64
+        );
+    }
+
+    #[test]
+    fn markov_rows_are_distributions(codes in dna_codes(400), order in 0usize..3) {
+        prop_assume!(codes.len() > order);
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let model = MarkovModel::fit(&seq, order);
+        // Check a few contexts sum to 1.
+        let contexts: Vec<Vec<u8>> = match order {
+            0 => vec![vec![]],
+            1 => (0..4).map(|a| vec![a]).collect(),
+            _ => (0..4).flat_map(|a| (0..4).map(move |b| vec![a, b])).collect(),
+        };
+        for ctx in contexts {
+            let total: f64 = (0..4).map(|n| model.probability(&ctx, n)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn markov_sampling_stays_in_alphabet(seed: u64, len in 0usize..200) {
+        let training = Sequence::dna(&"ACGT".repeat(30)).unwrap();
+        let model = MarkovModel::fit(&training, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = model.sample(&mut rng, len);
+        prop_assert_eq!(sample.len(), len);
+        prop_assert!(sample.codes().iter().all(|&c| c < 4));
+    }
+}

@@ -1,0 +1,367 @@
+//! # perigap-store
+//!
+//! Versioned binary persistence for the *perigap* workspace: save and
+//! load subject sequences and mined outcomes. A mining run over a
+//! genome can take minutes; its results should survive the process.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic "PGST" | u32 version | u8 section tag | section payload … | u64 FNV-1a checksum
+//! ```
+//!
+//! DNA sequences are stored 2-bit packed ([`perigap_seq::PackedDna`]);
+//! other alphabets store raw codes. Every file ends with a checksum of
+//! all preceding bytes, so truncated or corrupted files are rejected
+//! rather than half-loaded.
+
+#![warn(missing_docs)]
+
+pub mod wire;
+
+use perigap_core::result::{FrequentPattern, MineOutcome, MineStats};
+use perigap_core::{GapRequirement, Pattern};
+use perigap_seq::{Alphabet, PackedDna, Sequence};
+use std::fmt;
+use std::io::{Read, Write};
+use wire::{Reader, Writer};
+
+const MAGIC: &[u8; 4] = b"PGST";
+const VERSION: u32 = 1;
+const TAG_SEQUENCE: u8 = 1;
+const TAG_OUTCOME: u8 = 2;
+/// Sanity cap for on-disk blobs (1 GiB) — far above any real input,
+/// low enough to refuse nonsense lengths from corrupt files.
+const MAX_BLOB: u64 = 1 << 30;
+
+/// Errors raised while saving or loading.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a perigap store or uses an unknown version.
+    BadHeader(String),
+    /// Structurally invalid contents.
+    Corrupt(String),
+    /// The trailing checksum does not match.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum computed over the bytes actually read.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+            StoreError::BadHeader(msg) => write!(f, "bad store header: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+fn write_header<W: Write>(w: &mut Writer<W>, tag: u8) -> Result<(), StoreError> {
+    w.bytes(MAGIC)?;
+    w.u32(VERSION)?;
+    w.u8(tag)
+}
+
+fn read_header<R: Read>(r: &mut Reader<R>, expected_tag: u8) -> Result<(), StoreError> {
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadHeader(format!("magic {magic:02x?}")));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(StoreError::BadHeader(format!(
+            "version {version} (this build reads {VERSION})"
+        )));
+    }
+    let tag = r.u8()?;
+    if tag != expected_tag {
+        return Err(StoreError::BadHeader(format!(
+            "section tag {tag} where {expected_tag} was expected"
+        )));
+    }
+    Ok(())
+}
+
+/// Alphabet encoding on disk.
+fn alphabet_code(alphabet: &Alphabet) -> (u8, Vec<u8>) {
+    match alphabet {
+        Alphabet::Dna => (0, Vec::new()),
+        Alphabet::Protein => (1, Vec::new()),
+        Alphabet::Custom(_) => (2, alphabet.letters().collect()),
+    }
+}
+
+fn alphabet_from_code(code: u8, letters: &[u8]) -> Result<Alphabet, StoreError> {
+    match code {
+        0 => Ok(Alphabet::Dna),
+        1 => Ok(Alphabet::Protein),
+        2 => Alphabet::custom(letters)
+            .map_err(|e| StoreError::Corrupt(format!("custom alphabet: {e}"))),
+        other => Err(StoreError::Corrupt(format!("unknown alphabet code {other}"))),
+    }
+}
+
+/// Save a sequence. DNA payloads are 2-bit packed.
+pub fn save_sequence<W: Write>(sink: W, seq: &Sequence) -> Result<W, StoreError> {
+    let mut w = Writer::new(sink);
+    write_header(&mut w, TAG_SEQUENCE)?;
+    let (code, letters) = alphabet_code(seq.alphabet());
+    w.u8(code)?;
+    w.blob(&letters)?;
+    w.u64(seq.len() as u64)?;
+    if *seq.alphabet() == Alphabet::Dna {
+        let packed = PackedDna::from_sequence(seq);
+        // Re-collect the packed payload bytes.
+        let mut payload = Vec::with_capacity(seq.len().div_ceil(4));
+        let mut cur = 0u8;
+        for (i, code) in packed.iter().enumerate() {
+            cur |= code << (2 * (i % 4));
+            if i % 4 == 3 {
+                payload.push(cur);
+                cur = 0;
+            }
+        }
+        if !seq.len().is_multiple_of(4) {
+            payload.push(cur);
+        }
+        w.blob(&payload)?;
+    } else {
+        w.blob(seq.codes())?;
+    }
+    w.finish()
+}
+
+/// Load a sequence saved by [`save_sequence`].
+pub fn load_sequence<R: Read>(source: R) -> Result<Sequence, StoreError> {
+    let mut r = Reader::new(source);
+    read_header(&mut r, TAG_SEQUENCE)?;
+    let code = r.u8()?;
+    let letters = r.blob(256)?;
+    let alphabet = alphabet_from_code(code, &letters)?;
+    let len = r.u64()? as usize;
+    let seq = if alphabet == Alphabet::Dna {
+        let payload = r.blob(MAX_BLOB)?;
+        if payload.len() != len.div_ceil(4) {
+            return Err(StoreError::Corrupt(format!(
+                "packed payload holds {} bytes for {len} bases",
+                payload.len()
+            )));
+        }
+        let mut codes = Vec::with_capacity(len);
+        for i in 0..len {
+            codes.push((payload[i / 4] >> (2 * (i % 4))) & 0b11);
+        }
+        Sequence::from_codes(Alphabet::Dna, codes).expect("2-bit codes are valid")
+    } else {
+        let codes = r.blob(MAX_BLOB)?;
+        if codes.len() != len {
+            return Err(StoreError::Corrupt(format!(
+                "payload holds {} codes for stated length {len}",
+                codes.len()
+            )));
+        }
+        Sequence::from_codes(alphabet, codes)
+            .map_err(|e| StoreError::Corrupt(format!("invalid codes: {e}")))?
+    };
+    r.verify_checksum()?;
+    Ok(seq)
+}
+
+/// Save a mined outcome together with the run parameters that produced
+/// it (gap requirement and ρs), so a loaded file is self-describing.
+pub fn save_outcome<W: Write>(
+    sink: W,
+    outcome: &MineOutcome,
+    gap: GapRequirement,
+    rho: f64,
+) -> Result<W, StoreError> {
+    let mut w = Writer::new(sink);
+    write_header(&mut w, TAG_OUTCOME)?;
+    w.u64(gap.min() as u64)?;
+    w.u64(gap.max() as u64)?;
+    w.f64(rho)?;
+    w.u64(outcome.stats.n_used as u64)?;
+    w.u64(outcome.frequent.len() as u64)?;
+    for f in &outcome.frequent {
+        w.blob(f.pattern.codes())?;
+        w.u128(f.support)?;
+        w.f64(f.ratio)?;
+    }
+    w.finish()
+}
+
+/// A loaded outcome with its run parameters.
+#[derive(Debug)]
+pub struct LoadedOutcome {
+    /// The mined patterns (stats are not persisted — only `n_used`).
+    pub outcome: MineOutcome,
+    /// Gap requirement of the original run.
+    pub gap: GapRequirement,
+    /// Support threshold of the original run.
+    pub rho: f64,
+}
+
+/// Load an outcome saved by [`save_outcome`].
+pub fn load_outcome<R: Read>(source: R) -> Result<LoadedOutcome, StoreError> {
+    let mut r = Reader::new(source);
+    read_header(&mut r, TAG_OUTCOME)?;
+    let gap_min = r.u64()? as usize;
+    let gap_max = r.u64()? as usize;
+    let gap = GapRequirement::new(gap_min, gap_max)
+        .map_err(|e| StoreError::Corrupt(format!("gap requirement: {e}")))?;
+    let rho = r.f64()?;
+    if !(rho > 0.0 && rho <= 1.0) {
+        return Err(StoreError::Corrupt(format!("threshold {rho} out of range")));
+    }
+    let n_used = r.u64()? as usize;
+    let count = r.u64()?;
+    if count > 100_000_000 {
+        return Err(StoreError::Corrupt(format!("absurd pattern count {count}")));
+    }
+    let mut frequent = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let codes = r.blob(4096)?;
+        if codes.is_empty() {
+            return Err(StoreError::Corrupt("empty pattern".into()));
+        }
+        let support = r.u128()?;
+        let ratio = r.f64()?;
+        frequent.push(FrequentPattern { pattern: Pattern::from_codes(codes), support, ratio });
+    }
+    r.verify_checksum()?;
+    let outcome = MineOutcome {
+        frequent,
+        stats: MineStats { n_used, ..MineStats::default() },
+    };
+    Ok(LoadedOutcome { outcome, gap, rho })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::mppm::mppm;
+    use perigap_core::mpp::MppConfig;
+    use perigap_seq::gen::iid::uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dna(len: usize, seed: u64) -> Sequence {
+        uniform(&mut StdRng::seed_from_u64(seed), Alphabet::Dna, len)
+    }
+
+    #[test]
+    fn sequence_roundtrip_dna() {
+        for len in [0usize, 1, 3, 4, 5, 257, 1000] {
+            let seq = dna(len, 42 + len as u64);
+            let buf = save_sequence(Vec::new(), &seq).unwrap();
+            let back = load_sequence(&buf[..]).unwrap();
+            assert_eq!(back, seq, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sequence_roundtrip_protein_and_custom() {
+        let protein = Sequence::protein("MKWVTFISLLLLFSSAYS").unwrap();
+        let buf = save_sequence(Vec::new(), &protein).unwrap();
+        assert_eq!(load_sequence(&buf[..]).unwrap(), protein);
+
+        let alphabet = Alphabet::custom(b"01#").unwrap();
+        let custom = Sequence::from_str_checked(alphabet, "0101##10").unwrap();
+        let buf = save_sequence(Vec::new(), &custom).unwrap();
+        assert_eq!(load_sequence(&buf[..]).unwrap(), custom);
+    }
+
+    #[test]
+    fn dna_storage_is_packed() {
+        let seq = dna(10_000, 7);
+        let buf = save_sequence(Vec::new(), &seq).unwrap();
+        // Header + packed payload + checksum: ~2,500 payload bytes, not 10,000.
+        assert!(buf.len() < 2_700, "file is {} bytes", buf.len());
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let seq = dna(200, 9);
+        let gap = GapRequirement::new(1, 3).unwrap();
+        let rho = 0.001;
+        let outcome = mppm(&seq, gap, rho, 3, MppConfig::default()).unwrap();
+        assert!(!outcome.frequent.is_empty());
+        let buf = save_outcome(Vec::new(), &outcome, gap, rho).unwrap();
+        let loaded = load_outcome(&buf[..]).unwrap();
+        assert_eq!(loaded.gap, gap);
+        assert_eq!(loaded.rho, rho);
+        assert_eq!(loaded.outcome.stats.n_used, outcome.stats.n_used);
+        assert_eq!(loaded.outcome.frequent.len(), outcome.frequent.len());
+        for (a, b) in loaded.outcome.frequent.iter().zip(&outcome.frequent) {
+            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.support, b.support);
+            assert_eq!(a.ratio, b.ratio);
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let seq = dna(40, 3);
+        let mut buf = save_sequence(Vec::new(), &seq).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(load_sequence(&buf[..]), Err(StoreError::BadHeader(_))));
+
+        let mut buf = save_sequence(Vec::new(), &seq).unwrap();
+        buf[4] = 99; // version
+        assert!(matches!(load_sequence(&buf[..]), Err(StoreError::BadHeader(_))));
+    }
+
+    #[test]
+    fn cross_section_loads_are_rejected() {
+        let seq = dna(40, 4);
+        let buf = save_sequence(Vec::new(), &seq).unwrap();
+        assert!(matches!(load_outcome(&buf[..]), Err(StoreError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let seq = dna(300, 5);
+        let mut buf = save_sequence(Vec::new(), &seq).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        let result = load_sequence(&buf[..]);
+        assert!(result.is_err(), "corruption must not load silently");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let seq = dna(300, 6);
+        let buf = save_sequence(Vec::new(), &seq).unwrap();
+        let result = load_sequence(&buf[..buf.len() - 3]);
+        assert!(matches!(result, Err(StoreError::Io(_) | StoreError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let seq = dna(500, 8);
+        let path = std::env::temp_dir().join(format!("perigap-store-test-{}.pgst", std::process::id()));
+        let file = std::fs::File::create(&path).unwrap();
+        save_sequence(file, &seq).unwrap();
+        let back = load_sequence(std::fs::File::open(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, seq);
+    }
+}

@@ -1,0 +1,246 @@
+//! Primitive wire encoding: little-endian integers, length-prefixed
+//! byte strings, and a running FNV-1a checksum.
+//!
+//! Everything the store writes goes through [`Writer`] (which hashes as
+//! it writes) and comes back through [`Reader`] (which hashes as it
+//! reads), so a trailing checksum catches truncation and corruption
+//! without a second pass.
+
+use crate::StoreError;
+use std::io::{Read, Write};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Incremental FNV-1a hasher.
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv1a {
+    /// Fold bytes into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current digest.
+    pub fn digest(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A hashing writer.
+pub struct Writer<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> Writer<W> {
+    /// Wrap a sink.
+    pub fn new(inner: W) -> Self {
+        Writer { inner, hash: Fnv1a::default() }
+    }
+
+    /// The checksum of everything written so far.
+    pub fn digest(&self) -> u64 {
+        self.hash.digest()
+    }
+
+    /// Write raw bytes (hashed).
+    pub fn bytes(&mut self, b: &[u8]) -> Result<(), StoreError> {
+        self.hash.update(b);
+        self.inner.write_all(b).map_err(StoreError::from)
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) -> Result<(), StoreError> {
+        self.bytes(&[v])
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> Result<(), StoreError> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> Result<(), StoreError> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Write a little-endian `u128`.
+    pub fn u128(&mut self, v: u128) -> Result<(), StoreError> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Write an `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) -> Result<(), StoreError> {
+        self.u64(v.to_bits())
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn blob(&mut self, b: &[u8]) -> Result<(), StoreError> {
+        self.u64(b.len() as u64)?;
+        self.bytes(b)
+    }
+
+    /// Append the trailing (unhashed) checksum and finish.
+    pub fn finish(mut self) -> Result<W, StoreError> {
+        let digest = self.hash.digest();
+        self.inner
+            .write_all(&digest.to_le_bytes())
+            .map_err(StoreError::from)?;
+        Ok(self.inner)
+    }
+}
+
+/// A hashing reader.
+pub struct Reader<R: Read> {
+    inner: R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> Reader<R> {
+    /// Wrap a source.
+    pub fn new(inner: R) -> Self {
+        Reader { inner, hash: Fnv1a::default() }
+    }
+
+    /// Read exactly `n` bytes (hashed).
+    pub fn bytes(&mut self, n: usize) -> Result<Vec<u8>, StoreError> {
+        let mut buf = vec![0u8; n];
+        self.inner.read_exact(&mut buf)?;
+        self.hash.update(&buf);
+        Ok(buf)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("exact length")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("exact length")))
+    }
+
+    /// Read a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, StoreError> {
+        let b = self.bytes(16)?;
+        Ok(u128::from_le_bytes(b.try_into().expect("exact length")))
+    }
+
+    /// Read an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed byte string, refusing absurd lengths.
+    pub fn blob(&mut self, max_len: u64) -> Result<Vec<u8>, StoreError> {
+        let len = self.u64()?;
+        if len > max_len {
+            return Err(StoreError::Corrupt(format!(
+                "blob length {len} exceeds the sanity limit {max_len}"
+            )));
+        }
+        self.bytes(len as usize)
+    }
+
+    /// Verify the trailing checksum against everything read so far.
+    pub fn verify_checksum(mut self) -> Result<(), StoreError> {
+        let expected = self.hash.digest();
+        let mut buf = [0u8; 8];
+        self.inner.read_exact(&mut buf)?;
+        let stored = u64::from_le_bytes(buf);
+        if stored != expected {
+            return Err(StoreError::ChecksumMismatch { stored, computed: expected });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::new(Vec::new());
+        w.u8(7).unwrap();
+        w.u32(0xDEAD_BEEF).unwrap();
+        w.u64(u64::MAX - 1).unwrap();
+        w.u128(u128::MAX / 3).unwrap();
+        w.f64(0.12345).unwrap();
+        w.blob(b"hello").unwrap();
+        let buf = w.finish().unwrap();
+
+        let mut r = Reader::new(&buf[..]);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.f64().unwrap(), 0.12345);
+        assert_eq!(r.blob(1024).unwrap(), b"hello");
+        r.verify_checksum().unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut w = Writer::new(Vec::new());
+        w.blob(b"payload").unwrap();
+        let mut buf = w.finish().unwrap();
+        // Flip one payload bit.
+        buf[9] ^= 1;
+        let mut r = Reader::new(&buf[..]);
+        let _ = r.blob(1024).unwrap();
+        assert!(matches!(
+            r.verify_checksum(),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::new(Vec::new());
+        w.u64(42).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.u64(), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_blob_is_refused() {
+        let mut w = Writer::new(Vec::new());
+        w.blob(&[0u8; 100]).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = Reader::new(&buf[..]);
+        assert!(matches!(r.blob(10), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Known FNV-1a test vectors.
+        let mut h = Fnv1a::default();
+        h.update(b"");
+        assert_eq!(h.digest(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::default();
+        h.update(b"a");
+        assert_eq!(h.digest(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

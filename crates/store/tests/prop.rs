@@ -1,0 +1,91 @@
+//! Property tests: every sequence and synthetic outcome round-trips,
+//! and random corruption never loads silently.
+
+use perigap_core::result::{FrequentPattern, MineOutcome, MineStats};
+use perigap_core::{GapRequirement, Pattern};
+use perigap_seq::{Alphabet, Sequence};
+use perigap_store::{load_outcome, load_sequence, save_outcome, save_sequence, StoreError};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dna_sequences_roundtrip(codes in proptest::collection::vec(0u8..4, 0..600)) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let buf = save_sequence(Vec::new(), &seq).unwrap();
+        prop_assert_eq!(load_sequence(&buf[..]).unwrap(), seq);
+    }
+
+    #[test]
+    fn protein_sequences_roundtrip(codes in proptest::collection::vec(0u8..20, 0..300)) {
+        let seq = Sequence::from_codes(Alphabet::Protein, codes).unwrap();
+        let buf = save_sequence(Vec::new(), &seq).unwrap();
+        prop_assert_eq!(load_sequence(&buf[..]).unwrap(), seq);
+    }
+
+    #[test]
+    fn outcomes_roundtrip(
+        patterns in proptest::collection::vec(
+            (proptest::collection::vec(0u8..4, 1..12), 0u64..1_000_000, 0.0f64..1.0),
+            0..40
+        ),
+        gap_min in 0usize..10,
+        gap_w in 0usize..5,
+    ) {
+        let outcome = MineOutcome {
+            frequent: patterns
+                .into_iter()
+                .map(|(codes, sup, ratio)| FrequentPattern {
+                    pattern: Pattern::from_codes(codes),
+                    support: sup as u128,
+                    ratio,
+                })
+                .collect(),
+            stats: MineStats { n_used: 13, ..MineStats::default() },
+        };
+        let gap = GapRequirement::new(gap_min, gap_min + gap_w).unwrap();
+        let buf = save_outcome(Vec::new(), &outcome, gap, 0.25).unwrap();
+        let loaded = load_outcome(&buf[..]).unwrap();
+        prop_assert_eq!(loaded.gap, gap);
+        prop_assert_eq!(loaded.outcome.frequent.len(), outcome.frequent.len());
+        for (a, b) in loaded.outcome.frequent.iter().zip(&outcome.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+            prop_assert_eq!(a.ratio, b.ratio);
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_never_loads(
+        codes in proptest::collection::vec(0u8..4, 1..300),
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let mut buf = save_sequence(Vec::new(), &seq).unwrap();
+        let idx = ((buf.len() - 1) as f64 * byte_frac) as usize;
+        buf[idx] ^= 1 << bit;
+        // Every byte of the file is either hashed content or the
+        // trailing checksum itself, so any single-bit flip must fail.
+        prop_assert!(load_sequence(&buf[..]).is_err());
+        let _ = seq;
+    }
+}
+
+#[test]
+fn checksum_error_is_reported_with_both_values() {
+    let seq = Sequence::dna(&"ACGT".repeat(64)).unwrap();
+    let mut buf = save_sequence(Vec::new(), &seq).unwrap();
+    let mid = 20;
+    buf[mid] ^= 0x01;
+    match load_sequence(&buf[..]) {
+        Err(StoreError::ChecksumMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        Err(other) => {
+            // Corruption of structural fields can also fail earlier.
+            let msg = other.to_string();
+            assert!(!msg.is_empty());
+        }
+        Ok(_) => panic!("corrupted file loaded"),
+    }
+}

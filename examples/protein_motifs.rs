@@ -1,0 +1,82 @@
+//! Mining periodic motifs from a protein sequence.
+//!
+//! The paper's motivating example for protein-scale periodicity is the
+//! porcine ribonuclease inhibitor: alternating leucine-rich repeats of
+//! 28/29 residues give the molecule its horseshoe shape. Here we build
+//! a synthetic leucine-rich-repeat protein (a noisy tandem array of a
+//! 28-residue unit) and mine it over the 20-letter amino-acid alphabet
+//! with a gap requirement matching the repeat period.
+//!
+//! ```text
+//! cargo run --release --example protein_motifs
+//! ```
+
+use perigap::prelude::*;
+use perigap::seq::gen::mutate::{mutate, MutationConfig};
+use perigap::seq::gen::tandem::tandem_repeat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 28-residue leucine-rich repeat unit (L at the canonical
+    // positions of the LxxLxLxxNxL consensus).
+    let unit = Sequence::protein("LRELHLDGNKLTRIPAEVSNLTQMVKWD")?;
+    // 12 copies with 5% substitution noise — like real LRR proteins,
+    // the repeats are similar but not identical.
+    let clean = tandem_repeat(&unit, 12, None);
+    let mut rng = StdRng::seed_from_u64(2805);
+    let (protein, summary) = mutate(&mut rng, &clean, MutationConfig::substitutions(0.05));
+    println!(
+        "synthetic LRR protein: {} residues, {} substitutions applied",
+        protein.len(),
+        summary.substitutions
+    );
+
+    // The repeat period is 28, so successive occurrences of a conserved
+    // residue sit ≈ 27 wild-cards apart. A gap requirement [26, 28]
+    // tolerates the indel-free jitter.
+    let gap = GapRequirement::new(26, 28)?;
+    let rho = 0.001;
+
+    let outcome = mppm(&protein, gap, rho, /* m = */ 2, MppConfig::default())?;
+    println!(
+        "mined {} frequent periodic motifs (longest = {})\n",
+        outcome.frequent.len(),
+        outcome.longest_len()
+    );
+
+    // The leucine backbone should dominate: patterns of repeated L.
+    let mut by_len: Vec<_> = outcome.frequent.iter().collect();
+    by_len.sort_by_key(|f| std::cmp::Reverse(f.pattern.len()));
+    println!("longest motifs (one character per 28-residue repeat):");
+    for f in by_len.iter().take(10) {
+        println!(
+            "  {:<12} sup = {:<6} ratio = {:.4}",
+            f.pattern.display(protein.alphabet()),
+            f.support,
+            f.ratio
+        );
+    }
+
+    // The unit's hydrophobic core is L(4) H(5) L(6): with gap
+    // flexibility ±1, chains can slide between those neighbouring
+    // conserved offsets — the same tolerance the paper invokes for
+    // indels within a period — so the long motifs are L/H words.
+    let longest = outcome.longest_len();
+    let long_total = outcome.count_of_length(longest);
+    let long_core = outcome
+        .of_length(longest)
+        .filter(|f| {
+            f.pattern
+                .codes()
+                .iter()
+                .all(|&c| matches!(protein.alphabet().letter(c), b'L' | b'H'))
+        })
+        .count();
+    println!(
+        "\nevery conserved unit offset yields periodic motifs ({} in all); \
+         the maximal ones (length {longest}) come {long_core}/{long_total} from the L/H core",
+        outcome.frequent.len()
+    );
+    Ok(())
+}

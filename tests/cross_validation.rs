@@ -1,0 +1,131 @@
+//! Cross-validation of the four miners and the two support counters on
+//! randomized inputs: every algorithm must agree on the frequent set,
+//! and every reported support must match the naive reference.
+
+use perigap::core::adaptive::adaptive_mpp;
+use perigap::core::enumerate::enumerate;
+use perigap::core::naive::support_dp;
+use perigap::prelude::*;
+use perigap::seq::gen::iid::{uniform, weighted};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_same_outcomes(a: &MineOutcome, b: &MineOutcome, label: &str) {
+    assert_eq!(a.frequent.len(), b.frequent.len(), "{label}: set sizes differ");
+    for f in &a.frequent {
+        let other = b
+            .get(&f.pattern)
+            .unwrap_or_else(|| panic!("{label}: missing {:?}", f.pattern));
+        assert_eq!(other.support, f.support, "{label}: support differs");
+    }
+}
+
+#[test]
+fn all_miners_agree_across_seeds() {
+    for seed in 0..6 {
+        let seq = uniform(&mut StdRng::seed_from_u64(seed), Alphabet::Dna, 120);
+        let gap = GapRequirement::new(1, 3).unwrap();
+        let rho = 0.002;
+        let config = MppConfig::default();
+
+        let worst = mpp(&seq, gap, rho, gap.l1(seq.len()), config).unwrap();
+        let auto = mppm(&seq, gap, rho, 4, config).unwrap();
+        let adapt = adaptive_mpp(&seq, gap, rho, 5, config).unwrap();
+        // The enumeration baseline needs a level cap to stay tractable;
+        // compare the sets restricted to that depth.
+        let depth = worst.longest_len().max(4);
+        let capped = MppConfig { max_level: Some(depth), ..config };
+        let baseline = enumerate(&seq, gap, rho, capped, u128::MAX).unwrap();
+        let worst_capped = mpp(&seq, gap, rho, gap.l1(seq.len()), capped).unwrap();
+
+        assert_same_outcomes(&worst, &auto, &format!("seed {seed}: worst vs mppm"));
+        assert_same_outcomes(&worst, &adapt.outcome, &format!("seed {seed}: worst vs adaptive"));
+        assert_same_outcomes(&worst_capped, &baseline, &format!("seed {seed}: worst vs enum"));
+    }
+}
+
+#[test]
+fn supports_match_naive_reference() {
+    for seed in 10..14 {
+        let seq = weighted(
+            &mut StdRng::seed_from_u64(seed),
+            Alphabet::Dna,
+            150,
+            &[0.35, 0.15, 0.15, 0.35],
+        );
+        let gap = GapRequirement::new(2, 4).unwrap();
+        let outcome = mppm(&seq, gap, 0.001, 3, MppConfig::default()).unwrap();
+        assert!(!outcome.frequent.is_empty(), "seed {seed}: nothing mined");
+        for f in &outcome.frequent {
+            assert_eq!(
+                f.support,
+                support_dp(&seq, gap, &f.pattern),
+                "seed {seed}: support mismatch for {:?}",
+                f.pattern
+            );
+        }
+    }
+}
+
+#[test]
+fn frequent_set_shrinks_with_rho() {
+    let seq = uniform(&mut StdRng::seed_from_u64(99), Alphabet::Dna, 200);
+    let gap = GapRequirement::new(1, 2).unwrap();
+    let mut last = usize::MAX;
+    for rho in [0.0005, 0.001, 0.002, 0.004, 0.01] {
+        let outcome = mppm(&seq, gap, rho, 3, MppConfig::default()).unwrap();
+        assert!(outcome.frequent.len() <= last, "rho {rho} grew the set");
+        last = outcome.frequent.len();
+    }
+}
+
+#[test]
+fn theorem1_inequality_holds_on_mined_patterns() {
+    // For every mined frequent pattern P and every sub-pattern Q of P:
+    // sup(Q) ≥ sup(P)/W^d (Theorem 1), verified with real supports.
+    let seq = uniform(&mut StdRng::seed_from_u64(7), Alphabet::Dna, 120);
+    let gap = GapRequirement::new(1, 3).unwrap();
+    let w = gap.flexibility() as u128;
+    let outcome = mppm(&seq, gap, 0.001, 3, MppConfig::default()).unwrap();
+    for f in outcome.frequent.iter().filter(|f| f.len() >= 4) {
+        let l = f.len();
+        for d in 1..l.min(4) {
+            for i in 1..=(d + 1) {
+                let q = f.pattern.sub_pattern(i, l - d);
+                let sup_q = support_dp(&seq, gap, &q);
+                assert!(
+                    sup_q * w.pow(d as u32) >= f.support,
+                    "Theorem 1 violated: sup({:?})={} vs sup(P)={} / W^{d}",
+                    q,
+                    sup_q,
+                    f.support
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn protein_alphabet_end_to_end() {
+    // The miner is alphabet-generic: run the whole stack over the
+    // 20-letter alphabet.
+    let seq = uniform(&mut StdRng::seed_from_u64(8), Alphabet::Protein, 300);
+    let gap = GapRequirement::new(1, 2).unwrap();
+    let outcome = mppm(&seq, gap, 0.00001, 3, MppConfig::default()).unwrap();
+    for f in &outcome.frequent {
+        assert_eq!(f.support, support_dp(&seq, gap, &f.pattern));
+    }
+}
+
+#[test]
+fn custom_alphabet_end_to_end() {
+    let alphabet = Alphabet::custom(b"01").unwrap();
+    let text = "0110".repeat(50);
+    let seq = Sequence::from_str_checked(alphabet, &text).unwrap();
+    let gap = GapRequirement::new(0, 1).unwrap();
+    let outcome = mppm(&seq, gap, 0.01, 3, MppConfig::default()).unwrap();
+    assert!(!outcome.frequent.is_empty());
+    for f in &outcome.frequent {
+        assert_eq!(f.support, support_dp(&seq, gap, &f.pattern));
+    }
+}

@@ -1,0 +1,121 @@
+//! Full-pipeline integration: FASTA in, mined report out, exercising
+//! every crate boundary (seq → core → analysis → math).
+
+use perigap::analysis::casestudy::{run_case_study, CaseStudyConfig};
+use perigap::analysis::nullmodel::{enrichment, rank_by_enrichment};
+use perigap::analysis::report::TextTable;
+use perigap::prelude::*;
+use perigap::seq::fasta::{format_fasta, parse_fasta, FastaRecord};
+use perigap::seq::fragment::fragments;
+use perigap::seq::gen::iid::weighted;
+use perigap::seq::gen::periodic::{plant_periodic, PeriodicMotif};
+use perigap::seq::oscillation::correlation_spectrum;
+use perigap::seq::PackedDna;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Build a genome, round-trip it through FASTA and 2-bit packing, then
+/// mine and analyze it.
+#[test]
+fn fasta_to_report_pipeline() {
+    // 1. Generate.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let mut genome = weighted(&mut rng, Alphabet::Dna, 6_000, &[0.33, 0.17, 0.17, 0.33]);
+    let spec = PeriodicMotif { motif: vec![0, 3, 0, 3, 0, 3], gap_min: 9, gap_max: 11, occurrences: 80 };
+    plant_periodic(&mut rng, &mut genome, &spec);
+
+    // 2. FASTA round trip.
+    let records = vec![FastaRecord {
+        id: "synthetic".into(),
+        description: Some("integration pipeline".into()),
+        sequence: genome.clone(),
+    }];
+    let text = format_fasta(&records, 70);
+    let parsed = parse_fasta(&text, &Alphabet::Dna).unwrap();
+    assert_eq!(parsed[0].sequence, genome);
+
+    // 3. Packed storage round trip.
+    let packed = PackedDna::from_sequence(&genome);
+    assert_eq!(packed.to_sequence(), genome);
+    assert!(packed.payload_bytes() <= genome.len() / 4 + 1);
+
+    // 4. Oscillation scan finds the planted period band.
+    let spectrum = correlation_spectrum(&genome, 0, 3, 5, 20);
+    let (peak, _) = spectrum.peak().unwrap();
+    assert!((9..=13).contains(&peak), "A->T peak at {peak}");
+
+    // 5. Mine.
+    let gap = GapRequirement::new(9, 11).unwrap();
+    let outcome = mppm(&genome, gap, 0.0002, 4, MppConfig::default()).unwrap();
+    assert!(!outcome.frequent.is_empty());
+
+    // 6. Null-model ranking puts a planted-style pattern above chance.
+    let counts = OffsetCounts::new(genome.len(), gap);
+    let planted = Pattern::parse("ATATA", &Alphabet::Dna).unwrap();
+    let sup = perigap::core::naive::support_dp(&genome, gap, &planted);
+    assert!(
+        enrichment(&genome, &counts, &planted, sup) > 1.2,
+        "planted ATATA should beat the i.i.d. expectation"
+    );
+    let mined: Vec<(&Pattern, u128)> =
+        outcome.frequent.iter().map(|f| (&f.pattern, f.support)).collect();
+    let ranked = rank_by_enrichment(&genome, &counts, mined);
+    assert_eq!(ranked.len(), outcome.frequent.len());
+    assert!(ranked.windows(2).all(|w| w[0].3 >= w[1].3));
+
+    // 7. Report renders.
+    let mut table = TextTable::new(&["pattern", "sup", "enrichment"]);
+    for (p, sup, _, e) in ranked.iter().take(5) {
+        table.row(&[p.display(&Alphabet::Dna), sup.to_string(), format!("{e:.2}")]);
+    }
+    let rendered = table.render();
+    assert!(rendered.lines().count() >= 3);
+}
+
+#[test]
+fn fragmented_case_study_pipeline() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut genome = weighted(&mut rng, Alphabet::Dna, 9_000, &[0.32, 0.18, 0.18, 0.32]);
+    for _ in 0..20 {
+        let spec = PeriodicMotif { motif: vec![0; 10], gap_min: 10, gap_max: 12, occurrences: 1 };
+        plant_periodic(&mut rng, &mut genome, &spec);
+    }
+    let config = CaseStudyConfig {
+        fragment_width: 3_000,
+        min_fragment: 1_500,
+        gap: GapRequirement::new(10, 12).unwrap(),
+        rho: 0.0001,
+        m: 4,
+        focal_length: 6,
+    };
+    let report = run_case_study("it", &genome, &config).unwrap();
+    assert_eq!(report.fragments.len(), 3);
+    // Manual fragmenting gives the same pieces the study used.
+    let frags = fragments(&genome, 3_000, 1_500);
+    assert_eq!(frags.len(), 3);
+    assert_eq!(frags[1].start, 3_000);
+    // Per-fragment mining agrees with a direct run on that fragment.
+    let direct = mppm(&frags[0].sequence, config.gap, config.rho, config.m, MppConfig::default())
+        .unwrap();
+    assert_eq!(report.fragments[0].longest, direct.longest_len());
+    assert_eq!(
+        report.fragments[0].focal_patterns.len(),
+        direct.count_of_length(config.focal_length)
+    );
+}
+
+#[test]
+fn mining_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let genome = weighted(&mut rng, Alphabet::Dna, 2_000, &[0.3, 0.2, 0.2, 0.3]);
+    let gap = GapRequirement::new(9, 12).unwrap();
+    let a = mppm(&genome, gap, 0.0003, 4, MppConfig::default()).unwrap();
+    let b = mppm(&genome, gap, 0.0003, 4, MppConfig::default()).unwrap();
+    assert_eq!(a.frequent.len(), b.frequent.len());
+    for (x, y) in a.frequent.iter().zip(&b.frequent) {
+        assert_eq!(x.pattern, y.pattern);
+        assert_eq!(x.support, y.support);
+    }
+    assert_eq!(a.stats.n_used, b.stats.n_used);
+    assert_eq!(a.stats.em, b.stats.em);
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the mining invariants on random sequences,
+//! gap requirements and thresholds.
+
+use perigap::core::naive::{enumerate_matches, support_dp};
+use perigap::core::pil::Pil;
+use perigap::core::counts::{n_by_position_dp, OffsetCounts};
+use perigap::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small DNA sequence as codes.
+fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..4, 5..max_len)
+}
+
+/// Strategy: a small gap requirement.
+fn gap_req() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..4, 0usize..4).prop_map(|(n, w)| (n, n + w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pil_support_matches_dp((codes, (n, m)) in (dna_codes(60), gap_req())) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        for level in 1..=3usize {
+            let pils = Pil::build_all(&seq, gap, level);
+            for (pattern, pil) in &pils {
+                prop_assert_eq!(pil.support(), support_dp(&seq, gap, pattern));
+            }
+        }
+    }
+
+    #[test]
+    fn dp_support_matches_enumeration((codes, (n, m)) in (dna_codes(30), gap_req())) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        // Check a handful of fixed short patterns.
+        for text in ["A", "AT", "GC", "AAA", "ACG", "TTT"] {
+            let p = Pattern::parse(text, &Alphabet::Dna).unwrap();
+            prop_assert_eq!(
+                support_dp(&seq, gap, &p),
+                enumerate_matches(&seq, gap, &p).len() as u128
+            );
+        }
+    }
+
+    #[test]
+    fn n_l_closed_forms_match_dp((len, (n, m)) in (5usize..50, gap_req())) {
+        let gap = GapRequirement::new(n, m).unwrap();
+        let counts = OffsetCounts::new(len, gap);
+        for l in 1..=counts.l2() + 1 {
+            prop_assert_eq!(counts.n(l), n_by_position_dp(len, gap, l), "l = {}", l);
+        }
+    }
+
+    #[test]
+    fn sum_of_pattern_supports_equals_n_l((codes, (n, m)) in (dna_codes(50), gap_req())) {
+        // Every offset sequence spells exactly one pattern, so supports
+        // over all patterns of a length must sum to N_l.
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let counts = OffsetCounts::new(seq.len(), gap);
+        for level in 1..=3usize {
+            let pils = Pil::build_all(&seq, gap, level);
+            let total: u128 = pils.values().map(Pil::support).sum();
+            prop_assert_eq!(
+                total,
+                counts.n(level).to_u128().unwrap(),
+                "level {}", level
+            );
+        }
+    }
+
+    #[test]
+    fn mined_patterns_meet_threshold((codes, (n, m)) in (dna_codes(80), gap_req())) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = 0.05;
+        if seq.len() < gap.min_span(3) {
+            return Ok(());
+        }
+        let outcome = mpp(&seq, gap, rho, 8, MppConfig::default()).unwrap();
+        let counts = OffsetCounts::new(seq.len(), gap);
+        for f in &outcome.frequent {
+            // Exact check: sup · 1 ≥ rho · N_l, via integer math.
+            let n_l = counts.n(f.len()).to_u128().unwrap();
+            // rho = 1/20 exactly.
+            prop_assert!(f.support * 20 >= n_l, "pattern below threshold");
+            prop_assert_eq!(f.support, support_dp(&seq, gap, &f.pattern));
+        }
+    }
+
+    #[test]
+    fn mppm_never_misses_what_worst_case_finds((codes, (n, m)) in (dna_codes(60), gap_req())) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        if seq.len() < gap.min_span(3) {
+            return Ok(());
+        }
+        let rho = 0.02;
+        let worst = mpp(&seq, gap, rho, gap.l1(seq.len()), MppConfig::default()).unwrap();
+        let auto = mppm(&seq, gap, rho, 2, MppConfig::default()).unwrap();
+        prop_assert_eq!(auto.frequent.len(), worst.frequent.len());
+        for f in &worst.frequent {
+            prop_assert!(auto.get(&f.pattern).is_some());
+        }
+    }
+
+    #[test]
+    fn em_is_within_bounds((codes, (n, m)) in (dna_codes(60), gap_req())) {
+        let seq = Sequence::from_codes(Alphabet::Dna, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let w = gap.flexibility() as u64;
+        for em_m in 1..=3usize {
+            let em = perigap::core::em::compute_em(&seq, gap, em_m);
+            prop_assert!(em <= w.pow(em_m as u32));
+        }
+    }
+}
