@@ -3,8 +3,8 @@
 //! and across genomes.
 
 use crate::composition::{breakdown, classify, CompositionClass};
-use perigap_core::mppm::mppm;
 use perigap_core::mpp::MppConfig;
+use perigap_core::mppm::mppm;
 use perigap_core::result::MineOutcome;
 use perigap_core::{GapRequirement, MineError, Pattern};
 use perigap_seq::fragment::fragments;
@@ -130,9 +130,16 @@ pub fn run_case_study(
             config.m,
             MppConfig::default(),
         )?;
-        reports.push(summarize_fragment(frag.index, &outcome, config.focal_length));
+        reports.push(summarize_fragment(
+            frag.index,
+            &outcome,
+            config.focal_length,
+        ));
     }
-    Ok(GenomeReport { name: name.to_string(), fragments: reports })
+    Ok(GenomeReport {
+        name: name.to_string(),
+        fragments: reports,
+    })
 }
 
 /// Build a [`FragmentReport`] from one fragment's mining outcome.
@@ -144,7 +151,10 @@ pub fn summarize_fragment(index: usize, outcome: &MineOutcome, focal: usize) -> 
         at_only: b.at_only,
         one_cg: b.one_cg,
         many_cg: b.many_cg,
-        focal_patterns: outcome.of_length(focal).map(|f| f.pattern.clone()).collect(),
+        focal_patterns: outcome
+            .of_length(focal)
+            .map(|f| f.pattern.clone())
+            .collect(),
     }
 }
 
@@ -152,8 +162,11 @@ pub fn summarize_fragment(index: usize, outcome: &MineOutcome, focal: usize) -> 
 /// cross-species comparison behind "the nucleotides involved in the
 /// periodic patterns in bacteria and eukaryotes are quite different".
 pub fn exclusive_patterns(a: &GenomeReport, b: &GenomeReport) -> Vec<Pattern> {
-    let in_b: std::collections::HashSet<&Pattern> =
-        b.fragments.iter().flat_map(|f| f.focal_patterns.iter()).collect();
+    let in_b: std::collections::HashSet<&Pattern> = b
+        .fragments
+        .iter()
+        .flat_map(|f| f.focal_patterns.iter())
+        .collect();
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::new();
     for frag in &a.fragments {
@@ -201,7 +214,11 @@ mod tests {
         MineOutcome {
             frequent: patterns
                 .iter()
-                .map(|t| FrequentPattern { pattern: pat(t), support: 5, ratio: 0.2 })
+                .map(|t| FrequentPattern {
+                    pattern: pat(t),
+                    support: 5,
+                    ratio: 0.2,
+                })
                 .collect(),
             stats: MineStats::default(),
         }
@@ -233,7 +250,11 @@ mod tests {
     fn genome_means() {
         let r = report(
             "toy",
-            &[&["ATATATAT", "TTTTTTTT"], &["ATATATAT"], &["GCGCGCGC", "ATATATAT"]],
+            &[
+                &["ATATATAT", "TTTTTTTT"],
+                &["ATATATAT"],
+                &["GCGCGCGC", "ATATATAT"],
+            ],
         );
         assert!((r.mean_at_only() - (2.0 + 1.0 + 1.0) / 3.0).abs() < 1e-12);
         assert!((r.mean_many_cg() - 1.0 / 3.0).abs() < 1e-12);
@@ -244,7 +265,11 @@ mod tests {
     fn ubiquitous_requires_every_fragment() {
         let r = report(
             "toy",
-            &[&["ATATATAT", "TTTTTTTT"], &["ATATATAT"], &["ATATATAT", "GCGCGCGC"]],
+            &[
+                &["ATATATAT", "TTTTTTTT"],
+                &["ATATATAT"],
+                &["ATATATAT", "GCGCGCGC"],
+            ],
         );
         let ubi = r.ubiquitous();
         assert_eq!(ubi, vec![pat("ATATATAT")]);
@@ -280,7 +305,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut genome = weighted(&mut rng, Alphabet::Dna, 2_400, &[0.35, 0.15, 0.15, 0.35]);
         for motif in [vec![0u8; 5], vec![3u8; 5], vec![0, 3, 0, 3, 0]] {
-            let spec = PeriodicMotif { motif, gap_min: 1, gap_max: 3, occurrences: 60 };
+            let spec = PeriodicMotif {
+                motif,
+                gap_min: 1,
+                gap_max: 3,
+                occurrences: 60,
+            };
             plant_periodic(&mut rng, &mut genome, &spec);
         }
         let config = CaseStudyConfig {

@@ -47,7 +47,11 @@ pub fn class_totals(l: u32) -> (u128, u128, u128) {
     let at_only = 2u128.pow(l);
     // Choose the C/G position (l ways), its letter (2 ways), and A/T
     // letters everywhere else.
-    let one_cg = if l == 0 { 0 } else { 2 * l as u128 * 2u128.pow(l - 1) };
+    let one_cg = if l == 0 {
+        0
+    } else {
+        2 * l as u128 * 2u128.pow(l - 1)
+    };
     (at_only, one_cg, all - at_only - one_cg)
 }
 
@@ -110,7 +114,11 @@ mod tests {
         MineOutcome {
             frequent: patterns
                 .iter()
-                .map(|t| FrequentPattern { pattern: pat(t), support: 1, ratio: 1.0 })
+                .map(|t| FrequentPattern {
+                    pattern: pat(t),
+                    support: 1,
+                    ratio: 1.0,
+                })
                 .collect(),
             stats: MineStats::default(),
         }

@@ -63,7 +63,11 @@ pub fn parse_outcome_tsv(text: &str) -> Result<Vec<(String, u128, f64)>, String>
         }
         let fields: Vec<&str> = line.split('\t').collect();
         if fields.len() < 4 {
-            return Err(format!("row {}: expected ≥4 fields, got {}", idx + 2, fields.len()));
+            return Err(format!(
+                "row {}: expected ≥4 fields, got {}",
+                idx + 2,
+                fields.len()
+            ));
         }
         let support: u128 = fields[2]
             .parse()
@@ -79,8 +83,8 @@ pub fn parse_outcome_tsv(text: &str) -> Result<Vec<(String, u128, f64)>, String>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perigap_core::mppm::mppm;
     use perigap_core::mpp::MppConfig;
+    use perigap_core::mppm::mppm;
     use perigap_seq::gen::iid::uniform;
     use perigap_seq::Sequence;
     use rand::rngs::StdRng;
@@ -120,15 +124,20 @@ mod tests {
         let (_, _, outcome) = mined();
         let tsv = stats_to_tsv(&outcome.stats);
         assert_eq!(tsv.lines().count(), outcome.stats.levels.len() + 1);
-        assert!(tsv.lines().nth(1).unwrap().starts_with('3'), "first level is 3");
+        assert!(
+            tsv.lines().nth(1).unwrap().starts_with('3'),
+            "first level is 3"
+        );
     }
 
     #[test]
     fn parse_rejects_garbage() {
         assert!(parse_outcome_tsv("").is_err());
         assert!(parse_outcome_tsv("wrong\theader\n").is_err());
-        assert!(parse_outcome_tsv("pattern\tlength\tsupport\tratio\nACG\t3\tnot-a-number\t0.5\n")
-            .is_err());
+        assert!(
+            parse_outcome_tsv("pattern\tlength\tsupport\tratio\nACG\t3\tnot-a-number\t0.5\n")
+                .is_err()
+        );
         assert!(parse_outcome_tsv("pattern\tlength\tsupport\tratio\nACG\t3\n").is_err());
     }
 }

@@ -81,7 +81,11 @@ pub fn localize(
         let bin = ((offset as usize - 1) / bin_width).min(bins - 1);
         counts[bin] = counts[bin].saturating_add(count as u128);
     }
-    Localization { bins, counts, support: pil.support() }
+    Localization {
+        bins,
+        counts,
+        support: pil.support(),
+    }
 }
 
 /// `PIL(P)` computed directly by right-to-left joins of single-character

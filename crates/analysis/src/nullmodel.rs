@@ -44,7 +44,12 @@ pub fn enrichment(seq: &Sequence, counts: &OffsetCounts, pattern: &Pattern, obse
 /// null (`σ ≈ √expected`, appropriate because matches of a fixed
 /// pattern at distinct offset sequences are rare, weakly dependent
 /// events). `None` when the expectation is 0.
-pub fn z_score(seq: &Sequence, counts: &OffsetCounts, pattern: &Pattern, observed: u128) -> Option<f64> {
+pub fn z_score(
+    seq: &Sequence,
+    counts: &OffsetCounts,
+    pattern: &Pattern,
+    observed: u128,
+) -> Option<f64> {
     let expected = iid_expected_support(seq, counts, pattern);
     (expected > 0.0).then(|| (observed as f64 - expected) / expected.sqrt())
 }
@@ -100,7 +105,10 @@ mod tests {
             let observed = support_dp(&s, g, &p) as f64;
             let expected = iid_expected_support(&s, &counts, &p);
             let rel = (observed - expected).abs() / expected;
-            assert!(rel < 0.2, "pattern {text}: observed {observed} vs expected {expected}");
+            assert!(
+                rel < 0.2,
+                "pattern {text}: observed {observed} vs expected {expected}"
+            );
         }
     }
 
@@ -109,15 +117,25 @@ mod tests {
         use perigap_seq::gen::periodic::{plant_periodic, PeriodicMotif};
         let mut s = uniform(&mut StdRng::seed_from_u64(52), Alphabet::Dna, 3_000);
         let mut rng = StdRng::seed_from_u64(53);
-        let spec = PeriodicMotif { motif: vec![2, 2, 2, 2], gap_min: 2, gap_max: 4, occurrences: 120 };
+        let spec = PeriodicMotif {
+            motif: vec![2, 2, 2, 2],
+            gap_min: 2,
+            gap_max: 4,
+            occurrences: 120,
+        };
         plant_periodic(&mut rng, &mut s, &spec);
         let g = GapRequirement::new(2, 4).unwrap();
         let counts = OffsetCounts::new(s.len(), g);
         let p = pat("GGGG");
         let observed = support_dp(&s, g, &p);
+        // Planting Gs also inflates pr(G) in the i.i.d. expectation
+        // (the null "sees" the planted characters), so enrichment is
+        // diluted: across RNG streams it centres near 1.6 for this
+        // spec. The z-score is the sharp statistic here (> 15 across
+        // every probed stream).
         let e = enrichment(&s, &counts, &p, observed);
-        assert!(e > 2.0, "planted GGGG should be enriched, got {e}");
-        assert!(z_score(&s, &counts, &p, observed).unwrap() > 3.0);
+        assert!(e > 1.3, "planted GGGG should be enriched, got {e}");
+        assert!(z_score(&s, &counts, &p, observed).unwrap() > 10.0);
     }
 
     #[test]

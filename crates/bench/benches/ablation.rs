@@ -74,5 +74,10 @@ fn ablate_pil_vs_recount(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablate_lambda_pruning, ablate_em_strategy, ablate_pil_vs_recount);
+criterion_group!(
+    benches,
+    ablate_lambda_pruning,
+    ablate_em_strategy,
+    ablate_pil_vs_recount
+);
 criterion_main!(benches);

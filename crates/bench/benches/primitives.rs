@@ -79,5 +79,11 @@ fn bench_em(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pil_build, bench_pil_join, bench_counts, bench_em);
+criterion_group!(
+    benches,
+    bench_pil_build,
+    bench_pil_join,
+    bench_counts,
+    bench_em
+);
 criterion_main!(benches);

@@ -15,7 +15,8 @@
 //!   fig8       Figure 8  MPPm time vs sequence length L
 //!   casestudy  Section 7 genome panels
 //!   extensions windowed-model loss, collection mining, gap profiles
-//!   all        everything above, in order
+//!   bench      engine perf baseline -> BENCH_mining.json (not in `all`)
+//!   all        everything above except `bench`, in order
 //!
 //! --quick shrinks sweep ranges and sequence lengths so the full run
 //! finishes in well under a minute; the default regenerates the paper's
@@ -45,7 +46,11 @@ fn main() {
     } else {
         vec![10, 13, 20, 30, 40, 50, 60, 77]
     };
-    let ws: Vec<usize> = if quick { vec![4, 5, 6] } else { vec![4, 5, 6, 7, 8] };
+    let ws: Vec<usize> = if quick {
+        vec![4, 5, 6]
+    } else {
+        vec![4, 5, 6, 7, 8]
+    };
     let gap_mins: Vec<usize> = vec![8, 9, 10, 11, 12];
     let lens: Vec<usize> = if quick {
         vec![1_000, 2_000, 4_000]
@@ -66,6 +71,7 @@ fn main() {
         "fig8" => experiments::fig8::run(&lens),
         "casestudy" => experiments::casestudy::run(scale),
         "extensions" => experiments::extensions::run(seq_len),
+        "bench" => experiments::bench_mining::run(quick),
         other => {
             eprintln!("unknown experiment {other:?}; see --help text in the source header");
             std::process::exit(2);
@@ -74,8 +80,17 @@ fn main() {
 
     if which == "all" {
         for name in [
-            "counts", "table2", "table3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
-            "casestudy", "extensions",
+            "counts",
+            "table2",
+            "table3",
+            "fig4a",
+            "fig4b",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "casestudy",
+            "extensions",
         ] {
             run_one(name);
             println!("\n{}\n", "=".repeat(72));

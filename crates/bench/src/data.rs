@@ -60,9 +60,16 @@ fn plant_helical_ladders<R: Rng>(
         let motif: Vec<u8> = match rng.gen_range(0..3u8) {
             0 => vec![0; l],
             1 => vec![3; l],
-            _ => (0..l).map(|_| if rng.gen::<bool>() { 0 } else { 3 }).collect(),
+            _ => (0..l)
+                .map(|_| if rng.gen::<bool>() { 0 } else { 3 })
+                .collect(),
         };
-        let spec = PeriodicMotif { motif, gap_min: gap_lo, gap_max: gap_hi, occurrences: 1 };
+        let spec = PeriodicMotif {
+            motif,
+            gap_min: gap_lo,
+            gap_max: gap_hi,
+            occurrences: 1,
+        };
         plant_periodic(rng, seq, &spec);
     }
 }
@@ -231,13 +238,21 @@ fn plant_g_block<R: Rng>(rng: &mut R, seq: &mut Sequence, width: usize) {
 
 /// The bacterial panel of the case study: four named genomes.
 pub fn bacteria_panel(len: usize) -> Vec<(String, Sequence)> {
-    ["H. influenzae", "H. pylori", "M. genitalium", "M. pneumoniae"]
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            (name.to_string(), synthetic_genome(GenomeKind::Bacteria, i as u64, len))
-        })
-        .collect()
+    [
+        "H. influenzae",
+        "H. pylori",
+        "M. genitalium",
+        "M. pneumoniae",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, name)| {
+        (
+            name.to_string(),
+            synthetic_genome(GenomeKind::Bacteria, i as u64, len),
+        )
+    })
+    .collect()
 }
 
 /// The eukaryote panel of the case study: three named genomes.
@@ -246,7 +261,10 @@ pub fn eukaryote_panel(len: usize) -> Vec<(String, Sequence)> {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            (name.to_string(), synthetic_genome(GenomeKind::Eukaryote, i as u64, len))
+            (
+                name.to_string(),
+                synthetic_genome(GenomeKind::Eukaryote, i as u64, len),
+            )
         })
         .collect()
 }
@@ -268,7 +286,10 @@ mod tests {
     fn ax_dataset_is_at_rich() {
         let s = ax829174_like();
         let gc = gc_content(&s);
-        assert!(gc < 0.45, "expected AT-rich human-like composition, gc = {gc}");
+        assert!(
+            gc < 0.45,
+            "expected AT-rich human-like composition, gc = {gc}"
+        );
         assert!(gc > 0.25, "composition should not be degenerate, gc = {gc}");
     }
 
@@ -316,6 +337,9 @@ mod tests {
         // A→A correlation should peak in the helical band 10–12.
         let spec = correlation_spectrum(&s, 0, 0, 5, 20);
         let (peak, value) = spec.peak().unwrap();
-        assert!((10..=13).contains(&peak), "peak at distance {peak} (value {value})");
+        assert!(
+            (10..=13).contains(&peak),
+            "peak at distance {peak} (value {value})"
+        );
     }
 }

@@ -1,0 +1,191 @@
+//! `bench` — the engine's perf baseline, written to `BENCH_mining.json`.
+//!
+//! Three measurements, all on deterministic synthetic DNA:
+//!
+//! 1. **level-3 seeding**: the seed byte-key `build_all`
+//!    ([`perigap_core::reference::build_all_reference`]) vs the
+//!    packed-key arena path behind [`Pil::build_all`], DNA, L = 100 000,
+//!    gap `[0, 9]` — the ISSUE-1 acceptance config (≥ 2× required);
+//! 2. **end-to-end mining**: `mpp_parallel` at 8 threads (persistent
+//!    pool) vs the seed per-level-spawn miner
+//!    ([`perigap_core::reference::mpp_reference`]) on the same config,
+//!    with per-level wall-clock from both engines;
+//! 3. **a size matrix**: per-level wall-clock of the new engine over a
+//!    fixed seed/size grid, so later PRs can diff trajectories.
+//!
+//! The JSON is hand-rolled (the workspace carries no serde); the format
+//! is flat enough to eyeball and to parse with anything.
+
+use super::timed;
+use crate::data::scaling_sequence;
+use perigap_core::mpp::MppConfig;
+use perigap_core::parallel::mpp_parallel;
+use perigap_core::pil::Pil;
+use perigap_core::reference::{build_all_reference, mpp_reference};
+use perigap_core::result::MineOutcome;
+use perigap_core::GapRequirement;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// The acceptance configuration: DNA, gap `[0, 9]`, ρs = 0.003%.
+const GAP: (usize, usize) = (0, 9);
+const RHO: f64 = 0.003e-2;
+const N: usize = 8;
+const THREADS: usize = 8;
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Best-of-`reps` wall-clock for `f`, discarding the results.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut best) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, d) = timed(&mut f);
+        if d < best {
+            best = d;
+            out = o;
+        }
+    }
+    (out, best)
+}
+
+fn level_json(outcome: &MineOutcome) -> String {
+    let mut s = String::from("[");
+    for (i, l) in outcome.stats.levels.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"level\": {}, \"candidates\": {}, \"frequent\": {}, \"extended\": {}, \"elapsed_ms\": {:.3}}}",
+            l.level,
+            l.candidates,
+            l.frequent,
+            l.extended,
+            ms(l.elapsed)
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// Run the baseline and write `BENCH_mining.json` into the current
+/// directory. `--quick` shrinks lengths so CI smoke runs stay fast;
+/// the acceptance numbers come from the full run.
+pub fn run(quick: bool) {
+    let gap = GapRequirement::new(GAP.0, GAP.1).unwrap();
+    let seed_len = if quick { 10_000 } else { 100_000 };
+    let e2e_len = seed_len;
+    let matrix_lens: &[usize] = if quick {
+        &[5_000, 10_000]
+    } else {
+        &[25_000, 50_000, 100_000]
+    };
+    let reps = if quick { 2 } else { 3 };
+
+    println!(
+        "bench: level-3 seeding, DNA, L = {seed_len}, gap [{}, {}]",
+        GAP.0, GAP.1
+    );
+    let seq = scaling_sequence(seed_len);
+    let (reference_pils, seed_ref) = best_of(reps, || build_all_reference(&seq, gap, 3));
+    let (packed_pils, seed_new) = best_of(reps, || Pil::build_all(&seq, gap, 3));
+    assert_eq!(reference_pils.len(), packed_pils.len(), "engines disagree");
+    let seed_speedup = seed_ref.as_secs_f64() / seed_new.as_secs_f64();
+    println!(
+        "  reference {:.1} ms | packed {:.1} ms | speedup {:.2}x",
+        ms(seed_ref),
+        ms(seed_new),
+        seed_speedup
+    );
+
+    println!("bench: end-to-end mpp, {THREADS} threads, L = {e2e_len}, rho = {RHO}");
+    let e2e_seq = scaling_sequence(e2e_len);
+    let config = MppConfig::default();
+    let (old_outcome, e2e_ref) = best_of(reps.min(2), || {
+        mpp_reference(&e2e_seq, gap, RHO, N, config, THREADS).unwrap()
+    });
+    let (new_outcome, e2e_new) = best_of(reps.min(2), || {
+        mpp_parallel(&e2e_seq, gap, RHO, N, config, THREADS).unwrap()
+    });
+    assert_eq!(
+        old_outcome.frequent.len(),
+        new_outcome.frequent.len(),
+        "engines disagree"
+    );
+    let e2e_speedup = e2e_ref.as_secs_f64() / e2e_new.as_secs_f64();
+    println!(
+        "  reference {:.1} ms | engine {:.1} ms | speedup {:.2}x | {} frequent",
+        ms(e2e_ref),
+        ms(e2e_new),
+        e2e_speedup,
+        new_outcome.frequent.len()
+    );
+
+    let mut matrix = String::from("[");
+    for (i, &len) in matrix_lens.iter().enumerate() {
+        let seq = scaling_sequence(len);
+        let (outcome, total) = timed(|| mpp_parallel(&seq, gap, RHO, N, config, THREADS).unwrap());
+        println!(
+            "bench: matrix L = {len}: {:.1} ms over {} levels",
+            ms(total),
+            outcome.stats.levels.len()
+        );
+        if i > 0 {
+            matrix.push_str(", ");
+        }
+        let _ = write!(
+            matrix,
+            "{{\"length\": {}, \"gap\": [{}, {}], \"total_ms\": {:.3}, \"levels\": {}}}",
+            len,
+            GAP.0,
+            GAP.1,
+            ms(total),
+            level_json(&outcome)
+        );
+    }
+    matrix.push(']');
+
+    let json = format!(
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {}\n}}\n",
+        GAP.0,
+        GAP.1,
+        packed_pils.len(),
+        ms(seed_ref),
+        ms(seed_new),
+        seed_speedup,
+        new_outcome.frequent.len(),
+        ms(e2e_ref),
+        ms(e2e_new),
+        e2e_speedup,
+        level_json(&old_outcome),
+        level_json(&new_outcome),
+        matrix
+    );
+    std::fs::write("BENCH_mining.json", &json).expect("write BENCH_mining.json");
+    println!("bench: wrote BENCH_mining.json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_a_result() {
+        let (v, d) = best_of(3, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn level_json_shape() {
+        let seq = scaling_sequence(2_000);
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let outcome = mpp_parallel(&seq, gap, 0.001, 5, MppConfig::default(), 2).unwrap();
+        let json = level_json(&outcome);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"level\": 3"));
+        assert!(json.contains("elapsed_ms"));
+    }
+}

@@ -49,7 +49,13 @@ pub fn run(scale: f64) {
     }
 
     let mut table = TextTable::new(&[
-        "genome", "kind", "fragments", "mean A/T-only", "mean many-C/G", "ubiquitous A/T", "longest",
+        "genome",
+        "kind",
+        "fragments",
+        "mean A/T-only",
+        "mean many-C/G",
+        "ubiquitous A/T",
+        "longest",
     ]);
     for (kind, report) in &reports {
         table.row(&[
@@ -90,7 +96,11 @@ pub fn run(scale: f64) {
         .collect();
     euk_only.sort();
     euk_only.dedup();
-    println!("\nEukaryote-only focal patterns ({}): {}", euk_only.len(), preview(&euk_only, 12));
+    println!(
+        "\nEukaryote-only focal patterns ({}): {}",
+        euk_only.len(),
+        preview(&euk_only, 12)
+    );
 
     // Self-repeating patterns, pooled.
     for (kind, report) in &reports {

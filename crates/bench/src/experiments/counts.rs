@@ -17,11 +17,19 @@ pub fn run(seq_len: usize) {
     );
     let mut table = TextTable::new(&["l", "N_l (exact)", "ln N_l"]);
     for l in 1..=15 {
-        table.row(&[l.to_string(), counts.n(l).to_string(), format!("{:.2}", counts.ln_n(l))]);
+        table.row(&[
+            l.to_string(),
+            counts.n(l).to_string(),
+            format!("{:.2}", counts.ln_n(l)),
+        ]);
     }
     // The boundary band and the far end.
     for l in [counts.l1(), counts.l1() + 1, counts.l2(), counts.l2() + 1] {
-        table.row(&[l.to_string(), counts.n(l).to_string(), format!("{:.2}", counts.ln_n(l))]);
+        table.row(&[
+            l.to_string(),
+            counts.n(l).to_string(),
+            format!("{:.2}", counts.ln_n(l)),
+        ]);
     }
     print!("{}", table.render());
 

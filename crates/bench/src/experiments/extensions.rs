@@ -31,9 +31,16 @@ pub fn run(seq_len: usize) {
     println!("Extension 1 — cross-window loss (related-work model, Section 2)\n");
     const CMP_LEN: usize = 6;
     let reference = mppm(&seq, gap, paper::RHO, paper::M, MppConfig::default()).expect("runs");
-    let short_ref: Vec<_> = reference.frequent.iter().filter(|f| f.len() <= CMP_LEN).collect();
+    let short_ref: Vec<_> = reference
+        .frequent
+        .iter()
+        .filter(|f| f.len() <= CMP_LEN)
+        .collect();
     let mut table = TextTable::new(&[
-        "window", "visible (len<=6)", "lost (len<=6)", "structurally lost (span > window)",
+        "window",
+        "visible (len<=6)",
+        "lost (len<=6)",
+        "structurally lost (span > window)",
     ]);
     for window in [60usize, 120, 250] {
         let windowed = windowed_mine(
@@ -41,10 +48,16 @@ pub fn run(seq_len: usize) {
             gap,
             window,
             2,
-            MppConfig { max_level: Some(CMP_LEN), ..MppConfig::default() },
+            MppConfig {
+                max_level: Some(CMP_LEN),
+                ..MppConfig::default()
+            },
         )
         .expect("runs");
-        let lost_short = short_ref.iter().filter(|f| windowed.get(&f.pattern).is_none()).count();
+        let lost_short = short_ref
+            .iter()
+            .filter(|f| windowed.get(&f.pattern).is_none())
+            .count();
         let structural = reference
             .frequent
             .iter()
@@ -137,7 +150,10 @@ mod tests {
             gap,
             60,
             2,
-            MppConfig { max_level: Some(4), ..MppConfig::default() },
+            MppConfig {
+                max_level: Some(4),
+                ..MppConfig::default()
+            },
         )
         .unwrap();
         let lost = cross_window_loss(&reference, &windowed);

@@ -70,7 +70,13 @@ pub fn run_fig4a(seq_len: usize, rhos_percent: &[f64]) {
     println!("Figure 4(a) — MPPm vs MPP(worst, n = l1); L = {seq_len}, gap [9,12], m = 10\n");
     let rows = sweep(seq_len, true, rhos_percent);
     let mut table = TextTable::new(&[
-        "rho", "no(rho)", "n(MPPm)", "MPPm (s)", "MPP worst (s)", "speedup", "patterns",
+        "rho",
+        "no(rho)",
+        "n(MPPm)",
+        "MPPm (s)",
+        "MPP worst (s)",
+        "speedup",
+        "patterns",
     ]);
     for r in &rows {
         let worst = r.t_worst.expect("fig4a measures the worst case");
@@ -80,7 +86,10 @@ pub fn run_fig4a(seq_len: usize, rhos_percent: &[f64]) {
             r.n_estimated.to_string(),
             seconds(r.t_mppm),
             seconds(worst),
-            format!("{:.1}x", worst.as_secs_f64() / r.t_mppm.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                worst.as_secs_f64() / r.t_mppm.as_secs_f64().max(1e-9)
+            ),
             r.frequent.to_string(),
         ]);
     }
@@ -92,7 +101,13 @@ pub fn run_fig4b(seq_len: usize, rhos_percent: &[f64]) {
     println!("Figure 4(b) — MPPm vs MPP(best, n = no(rho)); L = {seq_len}, gap [9,12], m = 10\n");
     let rows = sweep(seq_len, false, rhos_percent);
     let mut table = TextTable::new(&[
-        "rho", "no(rho)", "n(MPPm)", "MPPm (s)", "MPP best (s)", "slowdown", "patterns",
+        "rho",
+        "no(rho)",
+        "n(MPPm)",
+        "MPPm (s)",
+        "MPP best (s)",
+        "slowdown",
+        "patterns",
     ]);
     for r in &rows {
         table.row(&[
@@ -101,7 +116,10 @@ pub fn run_fig4b(seq_len: usize, rhos_percent: &[f64]) {
             r.n_estimated.to_string(),
             seconds(r.t_mppm),
             seconds(r.t_best),
-            format!("{:.1}x", r.t_mppm.as_secs_f64() / r.t_best.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                r.t_mppm.as_secs_f64() / r.t_best.as_secs_f64().max(1e-9)
+            ),
             r.frequent.to_string(),
         ]);
     }

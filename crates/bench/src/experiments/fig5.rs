@@ -30,20 +30,23 @@ pub fn sweep(seq_len: usize, ns: &[usize]) -> Vec<(usize, std::time::Duration, u
 
 /// Print the Figure 5 table (optionally with the adaptive-n row).
 pub fn run(seq_len: usize, ns: &[usize], adaptive: bool) {
-    println!(
-        "Figure 5 — MPP time vs user input n; L = {seq_len}, gap [9,12], rho = 0.003%\n"
-    );
+    println!("Figure 5 — MPP time vs user input n; L = {seq_len}, gap [9,12], rho = 0.003%\n");
     let mut table = TextTable::new(&["n", "time (s)", "patterns", "longest"]);
     for (n, t, patterns, longest) in sweep(seq_len, ns) {
-        table.row(&[n.to_string(), seconds(t), patterns.to_string(), longest.to_string()]);
+        table.row(&[
+            n.to_string(),
+            seconds(t),
+            patterns.to_string(),
+            longest.to_string(),
+        ]);
     }
     print!("{}", table.render());
 
     if adaptive {
         let seq = ax_fragment(seq_len);
         let gap = GapRequirement::new(paper::GAP_MIN, paper::GAP_MAX).expect("static gap");
-        let result = adaptive_mpp(&seq, gap, paper::RHO, 10, MppConfig::default())
-            .expect("adaptive runs");
+        let result =
+            adaptive_mpp(&seq, gap, paper::RHO, 10, MppConfig::default()).expect("adaptive runs");
         println!(
             "\nAdaptive-n (Section 6): trajectory {:?}, total {} s, {} patterns, longest {}",
             result.n_trajectory,

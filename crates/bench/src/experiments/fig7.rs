@@ -29,9 +29,7 @@ pub fn sweep(seq_len: usize, ns: &[usize], m: usize) -> Vec<(usize, std::time::D
 
 /// Print the Figure 7 table.
 pub fn run(seq_len: usize, ns: &[usize]) {
-    println!(
-        "Figure 7 — MPPm time vs minimum gap N; L = {seq_len}, W = 4, m = 8, rho = 0.003%\n"
-    );
+    println!("Figure 7 — MPPm time vs minimum gap N; L = {seq_len}, W = 4, m = 8, rho = 0.003%\n");
     let mut table = TextTable::new(&["N", "gap", "time (s)", "patterns"]);
     for (n, t, patterns) in sweep(seq_len, ns, 8) {
         table.row(&[

@@ -34,7 +34,12 @@ pub fn sweep(lens: &[usize], m: usize) -> Vec<Fig8Row> {
             let (outcome, t) = timed_median(3, || {
                 mppm(&seq, gap, paper::RHO, m, MppConfig::default()).expect("mppm runs")
             });
-            Fig8Row { len, time: t, patterns: outcome.frequent.len(), n_used: outcome.stats.n_used }
+            Fig8Row {
+                len,
+                time: t,
+                patterns: outcome.frequent.len(),
+                n_used: outcome.stats.n_used,
+            }
         })
         .collect()
 }

@@ -5,6 +5,7 @@
 //! reproduction target — who wins, by what factor, where candidate
 //! counts collapse. EXPERIMENTS.md records paper-vs-measured for each.
 
+pub mod bench_mining;
 pub mod casestudy;
 pub mod counts;
 pub mod extensions;

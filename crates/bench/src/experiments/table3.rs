@@ -18,14 +18,16 @@ use perigap_math::combinatorics::strings_of_length;
 
 /// The per-level candidate counts of one run, indexed by level.
 fn counts_by_level(stats: &MineStats) -> std::collections::HashMap<usize, u128> {
-    stats.levels.iter().map(|l| (l.level, l.candidates)).collect()
+    stats
+        .levels
+        .iter()
+        .map(|l| (l.level, l.candidates))
+        .collect()
 }
 
 /// Compute and print Table 3.
 pub fn run(seq_len: usize) {
-    println!(
-        "Table 3 — candidates per level; L = {seq_len}, gap [9,12], rho = 0.003%, m = 10\n"
-    );
+    println!("Table 3 — candidates per level; L = {seq_len}, gap [9,12], rho = 0.003%, m = 10\n");
     let seq = ax_fragment(seq_len);
     let gap = GapRequirement::new(paper::GAP_MIN, paper::GAP_MAX).expect("static gap");
     let config = MppConfig::default();

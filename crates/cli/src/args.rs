@@ -84,7 +84,8 @@ impl Args {
 
     /// A required option.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("--{key} is required")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("--{key} is required")))
     }
 
     /// Parse an option as `T`, with a default when absent.

@@ -6,6 +6,7 @@ use perigap_core::adaptive::adaptive_mpp;
 use perigap_core::enumerate::enumerate;
 use perigap_core::mpp::{mpp, MppConfig};
 use perigap_core::mppm::mppm;
+use perigap_core::parallel::mpp_parallel;
 use perigap_core::verify::verify_outcome;
 use perigap_core::{GapRequirement, MineOutcome};
 use perigap_seq::fasta::read_fasta;
@@ -23,8 +24,8 @@ USAGE:
                [--algorithm mppm|mpp|adaptive|enumerate] [--n <len>]
                [--profile <N:M,N:M,...>  per-step gaps; overrides --gap]
                [--m <window>] [--record <id>] [--alphabet dna|protein]
-               [--top <k>] [--max-level <l>] [--format table|tsv]
-               [--save <path.pgst>] [--verify]
+               [--top <k>] [--max-level <l>] [--threads <k>  mpp only]
+               [--format table|tsv] [--save <path.pgst>] [--verify]
   pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
                [--record <id>]
   pgmine stats --input <fasta>
@@ -42,8 +43,23 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
     let args = Args::parse(
         raw,
         &[
-            "input", "gap", "rho", "algorithm", "n", "m", "record", "alphabet", "top", "pair",
-            "min", "max", "max-level", "format", "profile", "save",
+            "input",
+            "gap",
+            "rho",
+            "algorithm",
+            "n",
+            "m",
+            "record",
+            "alphabet",
+            "top",
+            "pair",
+            "min",
+            "max",
+            "max-level",
+            "format",
+            "profile",
+            "save",
+            "threads",
         ],
         &["verify"],
     )?;
@@ -53,7 +69,9 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
         Some("stats") => stats_command(&args),
         Some("show") => show_command(&args),
         Some("help") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(ArgError(format!("unknown command {other:?}; try `pgmine help`"))),
+        Some(other) => Err(ArgError(format!(
+            "unknown command {other:?}; try `pgmine help`"
+        ))),
     }
 }
 
@@ -64,8 +82,8 @@ fn load_sequence(args: &Args) -> Result<Sequence, ArgError> {
         "protein" => Alphabet::Protein,
         other => return Err(ArgError(format!("unknown alphabet {other:?}"))),
     };
-    let file = std::fs::File::open(path)
-        .map_err(|e| ArgError(format!("cannot open {path:?}: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open {path:?}: {e}")))?;
     let reader = std::io::BufReader::new(file);
     load_from_reader(reader, &alphabet, args.get("record"))
 }
@@ -106,7 +124,11 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
     let top: usize = args.parse_or("top", 25)?;
     // The enumeration baseline explores sigma^l candidates per level and
     // must be depth-capped to terminate on repetitive inputs.
-    let default_cap = if algorithm == "enumerate" { Some(10) } else { None };
+    let default_cap = if algorithm == "enumerate" {
+        Some(10)
+    } else {
+        None
+    };
     let max_level: Option<usize> = match args.get("max-level") {
         Some(raw) => Some(
             raw.parse()
@@ -114,13 +136,30 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         ),
         None => default_cap,
     };
-    let config = MppConfig { max_level, ..MppConfig::default() };
+    let config = MppConfig {
+        max_level,
+        ..MppConfig::default()
+    };
+
+    let threads: usize = args.parse_or("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    if threads > 1 && algorithm != "mpp" {
+        return Err(ArgError(format!(
+            "--threads applies to --algorithm mpp only (got {algorithm:?})"
+        )));
+    }
 
     let outcome: MineOutcome = match algorithm {
         "mppm" => mppm(&seq, gap, rho, m, config),
         "mpp" => {
             let n: usize = args.parse_or("n", gap.l1(seq.len()))?;
-            mpp(&seq, gap, rho, n, config)
+            if threads > 1 {
+                mpp_parallel(&seq, gap, rho, n, config, threads)
+            } else {
+                mpp(&seq, gap, rho, n, config)
+            }
         }
         "adaptive" => {
             let n: usize = args.parse_or("n", 10)?;
@@ -138,7 +177,11 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(e.to_string()))?;
     }
     if args.get("format") == Some("tsv") {
-        return Ok(perigap_analysis::export::outcome_to_tsv(&outcome, seq.alphabet(), gap));
+        return Ok(perigap_analysis::export::outcome_to_tsv(
+            &outcome,
+            seq.alphabet(),
+            gap,
+        ));
     }
     let mut out = String::new();
     out.push_str(&format!(
@@ -171,7 +214,10 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
     }
     out.push_str(&table.render());
     if outcome.frequent.len() > top {
-        out.push_str(&format!("… {} more (raise --top)\n", outcome.frequent.len() - top));
+        out.push_str(&format!(
+            "… {} more (raise --top)\n",
+            outcome.frequent.len() - top
+        ));
     }
 
     if args.flag("verify") {
@@ -179,7 +225,10 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         if problems.is_empty() {
             out.push_str("\nverify: all supports, thresholds and ratios check out\n");
         } else {
-            out.push_str(&format!("\nverify: {} DISCREPANCIES: {problems:?}\n", problems.len()));
+            out.push_str(&format!(
+                "\nverify: {} DISCREPANCIES: {problems:?}\n",
+                problems.len()
+            ));
         }
     }
     Ok(out)
@@ -230,7 +279,9 @@ fn scan_command(args: &Args) -> Result<String, ArgError> {
     let pair = args.require("pair")?;
     let bytes = pair.as_bytes();
     if bytes.len() != 2 {
-        return Err(ArgError(format!("--pair needs two characters, got {pair:?}")));
+        return Err(ArgError(format!(
+            "--pair needs two characters, got {pair:?}"
+        )));
     }
     let a = seq
         .alphabet()
@@ -250,7 +301,11 @@ fn scan_command(args: &Args) -> Result<String, ArgError> {
     let mut table = TextTable::new(&["distance", "corr", ""]);
     for (i, v) in spectrum.values.iter().enumerate() {
         let bar = "#".repeat((v.max(0.0) * 2_000.0) as usize);
-        table.row(&[(spectrum.min_distance + i).to_string(), format!("{v:+.5}"), bar]);
+        table.row(&[
+            (spectrum.min_distance + i).to_string(),
+            format!("{v:+.5}"),
+            bar,
+        ]);
     }
     out.push_str(&table.render());
     if let Some((peak, value)) = spectrum.peak() {
@@ -266,8 +321,8 @@ fn scan_command(args: &Args) -> Result<String, ArgError> {
 fn show_command(args: &Args) -> Result<String, ArgError> {
     let path = args.require("input")?;
     let top: usize = args.parse_or("top", 25)?;
-    let file = std::fs::File::open(path)
-        .map_err(|e| ArgError(format!("cannot open {path:?}: {e}")))?;
+    let file =
+        std::fs::File::open(path).map_err(|e| ArgError(format!("cannot open {path:?}: {e}")))?;
     let loaded = perigap_store::load_outcome(file).map_err(|e| ArgError(e.to_string()))?;
     let mut out = format!(
         "persisted outcome: gap {}, rho {:.6}%, n = {}, {} patterns (longest {})\n\n",
@@ -304,7 +359,10 @@ fn stats_command(args: &Args) -> Result<String, ArgError> {
     if seq.alphabet().size() == 4 {
         out.push_str(&format!("GC content: {:.4}\n", gc_content(&seq)));
     }
-    out.push_str(&format!("Shannon entropy: {:.4} bits\n", shannon_entropy(&seq)));
+    out.push_str(&format!(
+        "Shannon entropy: {:.4} bits\n",
+        shannon_entropy(&seq)
+    ));
     Ok(out)
 }
 
@@ -398,6 +456,30 @@ mod tests {
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(out.contains("frequent patterns"), "{algo}: {out}");
         }
+    }
+
+    #[test]
+    fn mine_with_threads() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        let serial = run_words(&base(&["--algorithm", "mpp"])).unwrap();
+        let parallel = run_words(&base(&["--algorithm", "mpp", "--threads", "4"])).unwrap();
+        assert_eq!(serial, parallel, "threaded mining must match serial output");
+        assert!(run_words(&base(&["--algorithm", "mpp", "--threads", "0"])).is_err());
+        assert!(run_words(&base(&["--algorithm", "mppm", "--threads", "4"])).is_err());
     }
 
     #[test]
@@ -536,7 +618,14 @@ mod tests {
         b.extend(["--pair".into(), "AN".into()]);
         assert!(run_words(&b).is_err());
         let mut c = base;
-        c.extend(["--pair".into(), "AA".into(), "--min".into(), "9".into(), "--max".into(), "5".into()]);
+        c.extend([
+            "--pair".into(),
+            "AA".into(),
+            "--min".into(),
+            "9".into(),
+            "--max".into(),
+            "5".into(),
+        ]);
         assert!(run_words(&c).is_err());
     }
 }

@@ -44,7 +44,9 @@ pub fn adaptive_mpp(
 ) -> Result<AdaptiveOutcome, MineError> {
     let started = Instant::now();
     let l1 = gap.l1(seq.len());
-    let mut n = initial_n.max(config.start_level).min(l1.max(config.start_level));
+    let mut n = initial_n
+        .max(config.start_level)
+        .min(l1.max(config.start_level));
     let mut trajectory = vec![n];
     let mut outcome = mpp(seq, gap, rho, n, config)?;
     loop {
@@ -120,6 +122,10 @@ mod tests {
             .unwrap()
             .longest_len();
         let adaptive = adaptive_mpp(&s, g, 0.001, no.max(3), MppConfig::default()).unwrap();
-        assert_eq!(adaptive.n_trajectory.len(), 1, "good guess needs no refinement");
+        assert_eq!(
+            adaptive.n_trajectory.len(),
+            1,
+            "good guess needs no refinement"
+        );
     }
 }

@@ -1,0 +1,521 @@
+//! Arena-backed generation storage for the level-wise miners.
+//!
+//! A mining level owns thousands of short PILs. Storing each as its own
+//! `Vec` (and each pattern as its own heap string, keyed in a
+//! `HashMap`) made the seed scan and the join fan-out allocation-bound.
+//! This module replaces both with one structure per generation:
+//!
+//! - [`PilSet`] holds every pattern of a generation in two flat
+//!   arrays — concatenated pattern codes (stride = level) and one
+//!   contiguous entry arena with per-pattern ranges. Patterns are kept
+//!   in lexicographic code order.
+//! - [`build_seed`] seeds a level directly into a [`PilSet`] using the
+//!   packed keys of [`crate::packed::KeyCodec`]: for small alphabets a
+//!   dense `σ`-ary table indexed by key absorbs every scan event with
+//!   zero hashing and zero per-event allocation.
+//! - Candidate generation exploits the sort order: all patterns sharing
+//!   a `(level−1)`-prefix form a contiguous *run*, so the prefix-group
+//!   `HashMap` of the old pipeline reduces to run detection plus a
+//!   binary search ([`prefix_runs`] / [`generate_candidates`]), and the
+//!   candidates come out already sorted and duplicate-free — candidate
+//!   codes are `p1 · last(p2)`, which inherit the order of `(p1, p2)`.
+//!
+//! Everything here is `pub(crate)`: the public API (`Pil::build_all`,
+//! `mpp`, `mppm`, `mpp_parallel`) is a thin shell over these types and
+//! its behaviour — including byte-identical mining output — is
+//! unchanged.
+
+use crate::gap::GapRequirement;
+use crate::packed::KeyCodec;
+use crate::pattern::Pattern;
+use crate::pil::{join_into, Pil};
+use perigap_seq::Sequence;
+use std::collections::HashMap;
+
+/// Above this many key bits the dense seed table would outgrow the
+/// cache benefit (2^20 slots ≈ 24 MB of headers); fall back to hashing
+/// the packed key.
+const DENSE_KEY_BITS_MAX: u32 = 20;
+
+/// One generation of patterns with their PILs, in lexicographic code
+/// order, arena-backed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct PilSet {
+    level: usize,
+    /// Concatenated pattern codes; pattern `i` is
+    /// `codes[i*level .. (i+1)*level]`.
+    codes: Vec<u8>,
+    /// `entries[bounds[i]..bounds[i+1]]` is pattern `i`'s PIL.
+    bounds: Vec<usize>,
+    /// All `(first offset, count)` pairs of the generation.
+    entries: Vec<(u32, u64)>,
+}
+
+impl PilSet {
+    pub(crate) fn new(level: usize) -> PilSet {
+        PilSet {
+            level,
+            codes: Vec::new(),
+            bounds: vec![0],
+            entries: Vec::new(),
+        }
+    }
+
+    pub(crate) fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Number of patterns stored.
+    pub(crate) fn len(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pattern `i`'s codes.
+    pub(crate) fn pattern_codes(&self, i: usize) -> &[u8] {
+        &self.codes[i * self.level..(i + 1) * self.level]
+    }
+
+    /// Pattern `i`'s PIL entries.
+    pub(crate) fn entries(&self, i: usize) -> &[(u32, u64)] {
+        &self.entries[self.bounds[i]..self.bounds[i + 1]]
+    }
+
+    /// `sup` of pattern `i` (Property 1: sum of counts).
+    pub(crate) fn support(&self, i: usize) -> u128 {
+        self.entries(i)
+            .iter()
+            .fold(0u128, |acc, &(_, y)| acc.saturating_add(y as u128))
+    }
+
+    /// Largest support over all stored patterns (0 when empty).
+    pub(crate) fn max_support(&self) -> u128 {
+        (0..self.len()).map(|i| self.support(i)).max().unwrap_or(0)
+    }
+
+    /// Append a pattern with pre-built entries. Patterns must arrive in
+    /// strictly ascending code order; callers uphold this.
+    pub(crate) fn push_pattern(&mut self, codes: &[u8], entries: &[(u32, u64)]) {
+        debug_assert_eq!(codes.len(), self.level);
+        self.codes.extend_from_slice(codes);
+        self.entries.extend_from_slice(entries);
+        self.bounds.push(self.entries.len());
+    }
+
+    /// Append the candidate `p1_codes · last`, computing its PIL by
+    /// joining `prefix` and `suffix` straight into the arena.
+    pub(crate) fn push_candidate(
+        &mut self,
+        p1_codes: &[u8],
+        last: u8,
+        prefix: &[(u32, u64)],
+        suffix: &[(u32, u64)],
+        gap: GapRequirement,
+    ) {
+        debug_assert_eq!(p1_codes.len() + 1, self.level);
+        self.codes.extend_from_slice(p1_codes);
+        self.codes.push(last);
+        join_into(prefix, suffix, gap, &mut self.entries);
+        self.bounds.push(self.entries.len());
+    }
+
+    /// Drop all patterns, keeping the allocations, and set a new level —
+    /// the join fan-out reuses one output set per engine this way.
+    pub(crate) fn reset(&mut self, level: usize) {
+        self.level = level;
+        self.codes.clear();
+        self.entries.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+    }
+
+    /// Concatenate parts (in order) into one set. Parts must hold
+    /// disjoint ascending code ranges — true for chunked candidate
+    /// generation, where chunk `k` covers left-parent indices before
+    /// chunk `k+1`'s.
+    pub(crate) fn concat(level: usize, parts: impl IntoIterator<Item = PilSet>) -> PilSet {
+        let mut out = PilSet::new(level);
+        for part in parts {
+            debug_assert_eq!(part.level, level);
+            let base = out.entries.len();
+            out.codes.extend_from_slice(&part.codes);
+            out.entries.extend_from_slice(&part.entries);
+            out.bounds.extend(part.bounds[1..].iter().map(|b| base + b));
+        }
+        out
+    }
+
+    /// Convert to the public map form, omitting empty PILs (they only
+    /// arise from joins, never from seeding).
+    pub(crate) fn into_pil_map(self) -> HashMap<Pattern, Pil> {
+        let mut map = HashMap::with_capacity(self.len());
+        for i in 0..self.len() {
+            let entries = self.entries(i);
+            if entries.is_empty() {
+                continue;
+            }
+            map.insert(
+                Pattern::from_codes(self.pattern_codes(i).to_vec()),
+                Pil::from_raw(entries.to_vec()),
+            );
+        }
+        map
+    }
+}
+
+/// Build the PILs of every length-`level` pattern occurring in `seq` —
+/// the engine behind [`Pil::build_all`] — as a sorted [`PilSet`].
+///
+/// Strategy by alphabet size `σ` and level:
+/// - `level · ⌈log₂ σ⌉ ≤ 20` bits: dense table of `2^bits` slots
+///   indexed by the packed key (DNA level 3 = 64 slots; protein
+///   level 3 = 32768). No hashing, no per-event allocation.
+/// - key fits a `u64`: hash the packed key (still allocation-free per
+///   event).
+/// - otherwise: hash the code string (the original pipeline's shape).
+pub(crate) fn build_seed(seq: &Sequence, gap: GapRequirement, level: usize) -> PilSet {
+    assert!(level >= 1, "level must be at least 1");
+    let codec = KeyCodec::new(seq.alphabet().size());
+    if codec.fits(level) {
+        if codec.key_bits(level) <= DENSE_KEY_BITS_MAX {
+            build_seed_dense(seq, gap, level, codec)
+        } else {
+            build_seed_sparse(seq, gap, level, codec)
+        }
+    } else {
+        build_seed_bytes(seq, gap, level)
+    }
+}
+
+/// Accumulate one scan event (an offset sequence starting at `start`
+/// matching the pattern) into an entry list.
+#[inline(always)]
+fn bump(entries: &mut Vec<(u32, u64)>, start: u32) {
+    match entries.last_mut() {
+        Some(last) if last.0 == start => last.1 = last.1.saturating_add(1),
+        _ => entries.push((start, 1)),
+    }
+}
+
+fn build_seed_dense(seq: &Sequence, gap: GapRequirement, level: usize, codec: KeyCodec) -> PilSet {
+    let mut slots: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 1usize << codec.key_bits(level)];
+    for start in 1..=seq.len() {
+        let key0 = codec.push(0, seq.at1(start));
+        scan_keys(seq, gap, start, key0, level - 1, codec, &mut |key| {
+            bump(&mut slots[key as usize], start as u32);
+        });
+    }
+    // Ascending slot index == ascending packed key == lexicographic
+    // code order: the set comes out sorted for free.
+    let mut set = PilSet::new(level);
+    let mut codes = Vec::with_capacity(level);
+    for (key, entries) in slots.iter().enumerate() {
+        if entries.is_empty() {
+            continue;
+        }
+        codes.clear();
+        codec.unpack_into(key as u64, level, &mut codes);
+        set.push_pattern(&codes, entries);
+    }
+    set
+}
+
+fn build_seed_sparse(seq: &Sequence, gap: GapRequirement, level: usize, codec: KeyCodec) -> PilSet {
+    let mut map: HashMap<u64, Vec<(u32, u64)>> = HashMap::new();
+    for start in 1..=seq.len() {
+        let key0 = codec.push(0, seq.at1(start));
+        scan_keys(seq, gap, start, key0, level - 1, codec, &mut |key| {
+            bump(map.entry(key).or_default(), start as u32);
+        });
+    }
+    let mut pairs: Vec<(u64, Vec<(u32, u64)>)> = map.into_iter().collect();
+    pairs.sort_unstable_by_key(|&(key, _)| key);
+    let mut set = PilSet::new(level);
+    let mut codes = Vec::with_capacity(level);
+    for (key, entries) in pairs {
+        codes.clear();
+        codec.unpack_into(key, level, &mut codes);
+        set.push_pattern(&codes, &entries);
+    }
+    set
+}
+
+fn build_seed_bytes(seq: &Sequence, gap: GapRequirement, level: usize) -> PilSet {
+    let mut map: HashMap<Vec<u8>, Vec<(u32, u64)>> = HashMap::new();
+    let mut chars = Vec::with_capacity(level);
+    for start in 1..=seq.len() {
+        chars.clear();
+        chars.push(seq.at1(start));
+        scan_codes(seq, gap, level, start, &mut chars, &mut |codes| {
+            bump(map.entry(codes.to_vec()).or_default(), start as u32);
+        });
+    }
+    let mut pairs: Vec<_> = map.into_iter().collect();
+    pairs.sort_unstable_by(|a: &(Vec<u8>, _), b| a.0.cmp(&b.0));
+    let mut set = PilSet::new(level);
+    for (codes, entries) in pairs {
+        set.push_pattern(&codes, &entries);
+    }
+    set
+}
+
+/// Depth-first scan over gap-admissible offset chains, carrying the
+/// packed key of the characters seen so far. `remaining` counts the
+/// symbols still to append.
+fn scan_keys(
+    seq: &Sequence,
+    gap: GapRequirement,
+    pos: usize,
+    key: u64,
+    remaining: usize,
+    codec: KeyCodec,
+    sink: &mut impl FnMut(u64),
+) {
+    if remaining == 0 {
+        sink(key);
+        return;
+    }
+    for step in gap.steps() {
+        let next = pos + step;
+        if next > seq.len() {
+            break;
+        }
+        scan_keys(
+            seq,
+            gap,
+            next,
+            codec.push(key, seq.at1(next)),
+            remaining - 1,
+            codec,
+            sink,
+        );
+    }
+}
+
+/// Byte-string twin of [`scan_keys`] for patterns too long to pack.
+fn scan_codes(
+    seq: &Sequence,
+    gap: GapRequirement,
+    level: usize,
+    pos: usize,
+    chars: &mut Vec<u8>,
+    sink: &mut impl FnMut(&[u8]),
+) {
+    if chars.len() == level {
+        sink(chars);
+        return;
+    }
+    for step in gap.steps() {
+        let next = pos + step;
+        if next > seq.len() {
+            break;
+        }
+        chars.push(seq.at1(next));
+        scan_codes(seq, gap, level, next, chars, sink);
+        chars.pop();
+    }
+}
+
+/// Detect the runs of equal `(level−1)`-prefix over `kept` (positions
+/// into `kept`, which itself holds ascending indices into `set`).
+/// Because `set` is sorted, each prefix group is contiguous.
+pub(crate) fn prefix_runs(set: &PilSet, kept: &[usize]) -> Vec<(usize, usize)> {
+    let plen = set.level() - 1;
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    for (k, &idx) in kept.iter().enumerate() {
+        let prefix = &set.pattern_codes(idx)[..plen];
+        match runs.last_mut() {
+            Some(run) if &set.pattern_codes(kept[run.0])[..plen] == prefix => run.1 = k + 1,
+            _ => runs.push((k, k + 1)),
+        }
+    }
+    runs
+}
+
+/// Generate candidates whose left parent is `kept[lo..hi]`, appending
+/// them (already sorted) to `out`. The right-parent run is found by
+/// binary search over the prefix runs.
+pub(crate) fn generate_candidates(
+    set: &PilSet,
+    kept: &[usize],
+    runs: &[(usize, usize)],
+    gap: GapRequirement,
+    lo: usize,
+    hi: usize,
+    out: &mut PilSet,
+) {
+    debug_assert_eq!(out.level(), set.level() + 1);
+    let level = set.level();
+    for &i in &kept[lo..hi] {
+        let p1 = set.pattern_codes(i);
+        let suffix = &p1[1..];
+        let found =
+            runs.binary_search_by(|&(s, _)| set.pattern_codes(kept[s])[..level - 1].cmp(suffix));
+        if let Ok(r) = found {
+            let (s, e) = runs[r];
+            for &j in &kept[s..e] {
+                let p2 = set.pattern_codes(j);
+                out.push_candidate(p1, p2[level - 1], set.entries(i), set.entries(j), gap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::support_dp;
+    use perigap_seq::Sequence;
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    fn dna(text: &str) -> Sequence {
+        Sequence::dna(text).unwrap()
+    }
+
+    #[test]
+    fn seed_is_sorted_and_matches_dp() {
+        let s = dna("ACGTACGTTGCAACGT");
+        let g = gap(1, 3);
+        for level in 1..=3 {
+            let set = build_seed(&s, g, level);
+            for i in 1..set.len() {
+                assert!(set.pattern_codes(i - 1) < set.pattern_codes(i), "sorted");
+            }
+            for i in 0..set.len() {
+                let p = Pattern::from_codes(set.pattern_codes(i).to_vec());
+                assert_eq!(set.support(i), support_dp(&s, g, &p), "level {level}");
+                assert!(!set.entries(i).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn all_seed_strategies_agree() {
+        // Force each strategy on the same data by varying the level so
+        // the key width crosses the dense and u64 thresholds.
+        let s = dna(&"ACGGTTA".repeat(30));
+        let g = gap(0, 1);
+        let dense = build_seed(&s, g, 3); // 6 key bits
+        let sparse = build_seed_sparse(&s, g, 3, KeyCodec::new(4));
+        let bytes = build_seed_bytes(&s, g, 3);
+        assert_eq!(dense, sparse);
+        assert_eq!(dense, bytes);
+    }
+
+    #[test]
+    fn paper_example_via_pilset() {
+        // S = AACCGTT, gap [1,2]: PIL(ACT) = {(1,3),(2,2)}.
+        let s = dna("AACCGTT");
+        let set = build_seed(&s, gap(1, 2), 3);
+        let act: Vec<u8> = vec![0, 1, 3];
+        let i = (0..set.len())
+            .find(|&i| set.pattern_codes(i) == act)
+            .unwrap();
+        assert_eq!(set.entries(i), &[(1, 3), (2, 2)]);
+        assert_eq!(set.support(i), 5);
+        assert!(set.max_support() >= 5);
+    }
+
+    #[test]
+    fn runs_group_shared_prefixes() {
+        let s = dna("ACGTACGTACGT");
+        let set = build_seed(&s, gap(0, 2), 2);
+        let kept: Vec<usize> = (0..set.len()).collect();
+        let runs = prefix_runs(&set, &kept);
+        // Every pattern is in exactly one run and runs tile `kept`.
+        assert_eq!(runs.first().unwrap().0, 0);
+        assert_eq!(runs.last().unwrap().1, kept.len());
+        for w in runs.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "runs tile without gaps");
+        }
+        for &(s_, e) in &runs {
+            let p = &set.pattern_codes(kept[s_])[..1];
+            for &k in &kept[s_..e] {
+                assert_eq!(&set.pattern_codes(k)[..1], p);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_match_naive_generation() {
+        let s = dna("ACGTTGCAACGTTACG");
+        let g = gap(1, 2);
+        let set = build_seed(&s, g, 3);
+        let kept: Vec<usize> = (0..set.len()).collect();
+        let runs = prefix_runs(&set, &kept);
+        let mut out = PilSet::new(4);
+        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut out);
+
+        // Naive: every ordered pair with suffix(p1) == prefix(p2).
+        let mut expected: Vec<(Vec<u8>, Pil)> = Vec::new();
+        for i in 0..set.len() {
+            for j in 0..set.len() {
+                let (p1, p2) = (set.pattern_codes(i), set.pattern_codes(j));
+                if p1[1..] == p2[..2] {
+                    let mut codes = p1.to_vec();
+                    codes.push(p2[2]);
+                    let pil = Pil::join(
+                        &Pil::from_raw(set.entries(i).to_vec()),
+                        &Pil::from_raw(set.entries(j).to_vec()),
+                        g,
+                    );
+                    expected.push((codes, pil));
+                }
+            }
+        }
+        expected.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(out.len(), expected.len());
+        for (i, (codes, pil)) in expected.iter().enumerate() {
+            assert_eq!(out.pattern_codes(i), &codes[..]);
+            assert_eq!(out.entries(i), pil.entries());
+        }
+        // And sorted output, by construction.
+        for i in 1..out.len() {
+            assert!(out.pattern_codes(i - 1) < out.pattern_codes(i));
+        }
+    }
+
+    #[test]
+    fn concat_preserves_chunked_generation() {
+        let s = dna("ACGTTGCAACGTTACGGTCA");
+        let g = gap(0, 2);
+        let set = build_seed(&s, g, 3);
+        let kept: Vec<usize> = (0..set.len()).collect();
+        let runs = prefix_runs(&set, &kept);
+        let mut whole = PilSet::new(4);
+        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut whole);
+        let mid = kept.len() / 2;
+        let mut a = PilSet::new(4);
+        let mut b = PilSet::new(4);
+        generate_candidates(&set, &kept, &runs, g, 0, mid, &mut a);
+        generate_candidates(&set, &kept, &runs, g, mid, kept.len(), &mut b);
+        assert_eq!(PilSet::concat(4, [a, b]), whole);
+    }
+
+    #[test]
+    fn reset_reuses_buffers() {
+        let s = dna("ACGTACGT");
+        let mut set = build_seed(&s, gap(0, 1), 2);
+        assert!(!set.is_empty());
+        let cap = set.entries.capacity();
+        set.reset(3);
+        assert!(set.is_empty());
+        assert_eq!(set.level(), 3);
+        assert_eq!(set.entries.capacity(), cap);
+    }
+
+    #[test]
+    fn into_pil_map_round_trips() {
+        let s = dna("AACCGTT");
+        let g = gap(1, 2);
+        let map = build_seed(&s, g, 3).into_pil_map();
+        let direct = Pil::build_all(&s, g, 3);
+        assert_eq!(map, direct);
+    }
+}

@@ -31,7 +31,10 @@ impl CycleTemplate {
     /// Panics if every slot is a wild-card or the template is empty.
     pub fn new(slots: Vec<Option<u8>>) -> CycleTemplate {
         assert!(!slots.is_empty(), "template needs a period of at least 1");
-        assert!(slots.iter().any(Option::is_some), "template needs a solid position");
+        assert!(
+            slots.iter().any(Option::is_some),
+            "template needs a solid position"
+        );
         CycleTemplate { slots }
     }
 
@@ -186,7 +189,10 @@ pub fn longest_valid_subsequence(
             end: s + cycles * p,
             repetitions: best_reps[i],
         };
-        if best.as_ref().is_none_or(|b| candidate.repetitions > b.repetitions) {
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.repetitions > b.repetitions)
+        {
             best = Some(candidate);
         }
     }
@@ -204,7 +210,10 @@ pub fn mine_singletons(
     min_total: usize,
 ) -> Result<Vec<(CycleTemplate, ValidSubsequence)>, MineError> {
     if p == 0 || p > seq.len() {
-        return Err(MineError::SequenceTooShort { len: seq.len(), needed: p.max(1) });
+        return Err(MineError::SequenceTooShort {
+            len: seq.len(),
+            needed: p.max(1),
+        });
     }
     let sigma = seq.alphabet().size() as u8;
     let mut out = Vec::new();
@@ -290,7 +299,10 @@ mod tests {
         let seq = dna(&text);
         let t = CycleTemplate::new(vec![Some(0), Some(1), Some(2)]);
         let v = longest_valid_subsequence(&seq, &t, 2, 1).unwrap();
-        assert_eq!(v.repetitions, 6, "both phases chain across the 1-char disturbance");
+        assert_eq!(
+            v.repetitions, 6,
+            "both phases chain across the 1-char disturbance"
+        );
     }
 
     #[test]
@@ -308,7 +320,9 @@ mod tests {
         // The A-at-offset-0 template should lead with 12 repetitions.
         assert_eq!(mined[0].1.repetitions, 12);
         // Sorted non-increasing.
-        assert!(mined.windows(2).all(|w| w[0].1.repetitions >= w[1].1.repetitions));
+        assert!(mined
+            .windows(2)
+            .all(|w| w[0].1.repetitions >= w[1].1.repetitions));
         // Degenerate period is rejected.
         assert!(mine_singletons(&seq, 0, 2, 3, 3).is_err());
     }

@@ -348,7 +348,7 @@ mod tests {
     #[test]
     fn f_closed_forms() {
         let c = counts(100, 3, 5); // W = 3
-        // i ≤ 0 → W^(l−1).
+                                   // i ≤ 0 → W^(l−1).
         assert_eq!(c.f(4, 0).to_u64(), Some(27));
         assert_eq!(c.f(4, -5).to_u64(), Some(27));
         // i beyond the band → 0.

@@ -72,7 +72,13 @@ fn kr_bounded(seq: &Sequence, gap: GapRequirement, m: usize, r: usize, floor: u6
     }
 }
 
-fn descend(seq: &Sequence, gap: GapRequirement, levels_left: usize, state: &[(u32, u64)], best: &mut u64) {
+fn descend(
+    seq: &Sequence,
+    gap: GapRequirement,
+    levels_left: usize,
+    state: &[(u32, u64)],
+    best: &mut u64,
+) {
     let sigma = seq.alphabet().size();
     // Successor buckets per character, merged by position.
     let mut buckets: Vec<Vec<(u32, u64)>> = vec![Vec::new(); sigma];

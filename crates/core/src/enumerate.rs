@@ -40,7 +40,10 @@ pub fn enumerate(
     let start = config.start_level;
     let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());
 
-    let mut stats = MineStats { n_used: 0, ..MineStats::default() };
+    let mut stats = MineStats {
+        n_used: 0,
+        ..MineStats::default()
+    };
     let mut frequent: Vec<FrequentPattern> = Vec::new();
     let mut spent: u128 = 0;
 
@@ -56,7 +59,10 @@ pub fn enumerate(
         let required = sigma.saturating_pow(level as u32);
         spent = spent.saturating_add(required);
         if spent > candidate_budget {
-            return Err(MineError::EnumerationBudget { required: spent, budget: candidate_budget });
+            return Err(MineError::EnumerationBudget {
+                required: spent,
+                budget: candidate_budget,
+            });
         }
         let bound = PruneBound::exact(&counts, &rho_exact, level);
         let n_l_f64 = counts.n_f64(level);
@@ -141,7 +147,10 @@ mod tests {
     /// the explosion the paper's Table 3 documents. Tests must cap the
     /// depth to stay tractable.
     fn capped(max_level: usize) -> MppConfig {
-        MppConfig { max_level: Some(max_level), ..MppConfig::default() }
+        MppConfig {
+            max_level: Some(max_level),
+            ..MppConfig::default()
+        }
     }
 
     #[test]
@@ -179,6 +188,9 @@ mod tests {
         let s = Sequence::dna("ACGTACGTACGT").unwrap();
         let outcome = enumerate(&s, gap(3, 3), 0.5, MppConfig::default(), u128::MAX).unwrap();
         let max_level = outcome.stats.levels.last().unwrap().level;
-        assert!(max_level <= 4, "rigid gap on 12 chars dies early, got {max_level}");
+        assert!(
+            max_level <= 4,
+            "rigid gap on 12 chars dies early, got {max_level}"
+        );
     }
 }

@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(MineError::InvalidGap { min: 5, max: 3 }.to_string().contains("[5, 3]"));
+        assert!(MineError::InvalidGap { min: 5, max: 3 }
+            .to_string()
+            .contains("[5, 3]"));
         assert!(MineError::InvalidThreshold(1.5).to_string().contains("1.5"));
         assert!(MineError::SequenceTooShort { len: 3, needed: 9 }
             .to_string()

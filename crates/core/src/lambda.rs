@@ -45,16 +45,13 @@ pub fn lambda(counts: &OffsetCounts, l: usize, d: usize) -> BigRatio {
 ///
 /// `em` is the sequence statistic for window size `m` (see
 /// [`crate::em`]); `s = ⌊d/m⌋`, `t = d − s·m`.
-pub fn lambda_prime(
-    counts: &OffsetCounts,
-    l: usize,
-    d: usize,
-    m: usize,
-    em: u64,
-) -> BigRatio {
+pub fn lambda_prime(counts: &OffsetCounts, l: usize, d: usize, m: usize, em: u64) -> BigRatio {
     assert!(d <= l, "λ'(l,d) requires d ≤ l");
     assert!(m >= 1, "m must be ≥ 1");
-    assert!(em >= 1, "e_m is a max over counts of non-empty sets, so ≥ 1");
+    assert!(
+        em >= 1,
+        "e_m is a max over counts of non-empty sets, so ≥ 1"
+    );
     let n_l = counts.n(l);
     if n_l.is_zero() {
         return BigRatio::zero();
@@ -106,8 +103,9 @@ impl PruneBound {
         let w = counts.gap().flexibility() as u64;
         let s = d / m;
         let t = d - s * m;
-        let divisor =
-            BigUint::from_u64(em).pow(s as u32).mul_ref(&BigUint::from_u64(w).pow(t as u32));
+        let divisor = BigUint::from_u64(em)
+            .pow(s as u32)
+            .mul_ref(&BigUint::from_u64(w).pow(t as u32));
         PruneBound {
             rhs: rho.mul(&BigRatio::from_integer(counts.n(l))),
             divisor,
@@ -187,8 +185,8 @@ mod tests {
         let c = counts(1000, 9, 12);
         let cc = (12.0 + 9.0) / 2.0 + 1.0;
         for (l, d) in [(13, 3), (10, 2), (20, 10), (5, 4)] {
-            let expected = (1000.0 - (l as f64 - 1.0) * cc)
-                / (1000.0 - (l as f64 - d as f64 - 1.0) * cc);
+            let expected =
+                (1000.0 - (l as f64 - 1.0) * cc) / (1000.0 - (l as f64 - d as f64 - 1.0) * cc);
             let got = lambda(&c, l, d).to_f64();
             assert!(
                 (got - expected).abs() < 1e-12,

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub(crate) mod arena;
 pub mod asynchronous;
 pub mod counts;
 pub mod em;
@@ -49,10 +50,12 @@ pub mod mpp;
 pub mod mppm;
 pub mod multiseq;
 pub mod naive;
+pub mod packed;
 pub mod parallel;
 pub mod pattern;
 pub mod pil;
 pub mod profile;
+pub mod reference;
 pub mod result;
 pub mod rigid;
 pub mod verify;

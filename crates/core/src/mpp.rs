@@ -7,16 +7,15 @@
 //! shared with [`crate::mppm`], which differs only in how `n` is
 //! chosen.
 
+use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::pattern::Pattern;
-use crate::pil::Pil;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Tuning knobs common to every level-wise run.
@@ -33,7 +32,10 @@ pub struct MppConfig {
 
 impl Default for MppConfig {
     fn default() -> Self {
-        MppConfig { start_level: 3, max_level: None }
+        MppConfig {
+            start_level: 3,
+            max_level: None,
+        }
     }
 }
 
@@ -51,7 +53,7 @@ pub fn mpp(
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
-    let pils = Pil::build_all(seq, gap, config.start_level);
+    let pils = build_seed(seq, gap, config.start_level);
     let mut outcome = run_levelwise(seq, &counts, &rho_exact, n, config, pils, None);
     outcome.stats.total_elapsed = started.elapsed();
     Ok(outcome)
@@ -72,23 +74,34 @@ pub(crate) fn prepare(
     }
     let needed = gap.min_span(config.start_level);
     if seq.len() < needed {
-        return Err(MineError::SequenceTooShort { len: seq.len(), needed });
+        return Err(MineError::SequenceTooShort {
+            len: seq.len(),
+            needed,
+        });
     }
-    Ok((OffsetCounts::new(seq.len(), gap), BigRatio::from_f64_exact(rho)))
+    Ok((
+        OffsetCounts::new(seq.len(), gap),
+        BigRatio::from_f64_exact(rho),
+    ))
 }
 
 /// The level-wise core shared by MPP and MPPm.
 ///
-/// `seed_pils` are the PILs of every start-level pattern with non-zero
-/// support. `bounds_override` lets MPPm substitute λ′-based L̂ bounds
-/// per level; `None` uses Theorem 1 with the given `n`.
+/// `seed` holds the PILs of every start-level pattern with non-zero
+/// support, sorted, in the arena layout. Each level filters the current
+/// generation against the exact and Theorem 1 bounds, then generates
+/// the next generation by run-detection over the sorted survivors
+/// (Section 5.1's `Gen(L̂)` without any hashing — see
+/// [`crate::arena`]). A level's [`LevelStats::elapsed`] covers the
+/// whole level: filtering *and* the join fan-out that produces the next
+/// generation.
 pub(crate) fn run_levelwise(
     seq: &Sequence,
     counts: &OffsetCounts,
     rho: &BigRatio,
     n: usize,
     config: MppConfig,
-    seed_pils: HashMap<Pattern, Pil>,
+    seed: PilSet,
     mut stats_seed: Option<MineStats>,
 ) -> MineOutcome {
     let gap = counts.gap();
@@ -104,16 +117,17 @@ pub(crate) fn run_levelwise(
     stats.n_used = n;
     let mut frequent: Vec<FrequentPattern> = Vec::new();
 
-    // Current generation: (pattern, PIL) pairs in L̂.
-    let mut current: Vec<(Pattern, Pil)> = Vec::new();
+    let mut current = seed;
+    // One reused output set: the join fan-out writes into buffers that
+    // survive across levels.
+    let mut next = PilSet::new(start + 1);
+    let mut kept: Vec<usize> = Vec::new();
     let mut level = start;
     let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
-    let mut seed: Option<HashMap<Pattern, Pil>> = Some(seed_pils);
 
     while level <= hard_cap {
         let level_started = Instant::now();
-        let n_l = counts.n(level);
-        if n_l.is_zero() {
+        if counts.n(level).is_zero() {
             break;
         }
         let exact_bound = PruneBound::exact(counts, rho, level);
@@ -124,72 +138,49 @@ pub(crate) fn run_levelwise(
         };
         let n_l_f64 = counts.n_f64(level);
 
-        let mut kept: Vec<(Pattern, Pil)> = Vec::new();
+        kept.clear();
         let mut frequent_here = 0usize;
-        let mut consider = |pattern: Pattern, pil: Pil,
-                            kept: &mut Vec<(Pattern, Pil)>,
-                            frequent: &mut Vec<FrequentPattern>| {
-            let sup = pil.support();
+        for i in 0..current.len() {
+            let sup = current.support(i);
             if exact_bound.admits_u128(sup) {
                 frequent.push(FrequentPattern {
-                    pattern: pattern.clone(),
+                    pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
                     ratio: sup as f64 / n_l_f64,
                 });
                 frequent_here += 1;
             }
             if lhat_bound.admits_u128(sup) {
-                kept.push((pattern, pil));
-            }
-        };
-
-        if let Some(seed) = seed.take() {
-            // Seed level: consider every pattern that occurs at all.
-            for (pattern, pil) in seed {
-                consider(pattern, pil, &mut kept, &mut frequent);
-            }
-        } else {
-            for (pattern, pil) in current.drain(..) {
-                consider(pattern, pil, &mut kept, &mut frequent);
+                kept.push(i);
             }
         }
         let extended = kept.len();
-        stats.levels.push(LevelStats {
-            level,
-            candidates: candidates_at_level,
-            frequent: frequent_here,
-            extended,
-            elapsed: level_started.elapsed(),
-        });
+        let push_stats = |stats: &mut MineStats, elapsed| {
+            stats.levels.push(LevelStats {
+                level,
+                candidates: candidates_at_level,
+                frequent: frequent_here,
+                extended,
+                elapsed,
+            });
+        };
 
         if kept.is_empty() || level == hard_cap {
+            push_stats(&mut stats, level_started.elapsed());
             break;
         }
 
         // Gen(L̂): join pairs with suffix(P1) = prefix(P2) (Section 5.1).
-        let mut by_prefix: HashMap<&[u8], Vec<usize>> = HashMap::new();
-        for (idx, (pattern, _)) in kept.iter().enumerate() {
-            by_prefix
-                .entry(&pattern.codes()[..pattern.len() - 1])
-                .or_default()
-                .push(idx);
-        }
-        let mut next: Vec<(Pattern, Pil)> = Vec::new();
-        for (p1, pil1) in &kept {
-            if let Some(partners) = by_prefix.get(&p1.codes()[1..]) {
-                for &idx in partners {
-                    let (p2, pil2) = &kept[idx];
-                    let candidate = p1.join(p2).expect("prefix/suffix overlap holds by construction");
-                    let pil = Pil::join(pil1, pil2, gap);
-                    next.push((candidate, pil));
-                }
-            }
-        }
+        let runs = prefix_runs(&current, &kept);
+        next.reset(level + 1);
+        generate_candidates(&current, &kept, &runs, gap, 0, kept.len(), &mut next);
+        push_stats(&mut stats, level_started.elapsed());
+
         candidates_at_level = next.len() as u128;
         if next.is_empty() {
             break;
         }
-        current = next;
+        std::mem::swap(&mut current, &mut next);
         level += 1;
     }
 
@@ -272,9 +263,9 @@ mod tests {
         let mined_short: Vec<_> = outcome.frequent.iter().filter(|f| f.len() <= CAP).collect();
         assert_eq!(mined_short.len(), expected.len());
         for (p, sup) in &expected {
-            let found = outcome.get(p).unwrap_or_else(|| {
-                panic!("missing pattern {:?}", p.display(&Alphabet::Dna))
-            });
+            let found = outcome
+                .get(p)
+                .unwrap_or_else(|| panic!("missing pattern {:?}", p.display(&Alphabet::Dna)));
             assert_eq!(found.support, *sup);
         }
     }
@@ -309,7 +300,11 @@ mod tests {
             assert_eq!(f.support, support_dp(&s, g, &f.pattern));
             let expected_ratio = f.support as f64 / counts.n_f64(f.len());
             assert!((f.ratio - expected_ratio).abs() < 1e-12);
-            assert!(f.ratio >= 0.005 * (1.0 - 1e-9), "ratio {} below rho", f.ratio);
+            assert!(
+                f.ratio >= 0.005 * (1.0 - 1e-9),
+                "ratio {} below rho",
+                f.ratio
+            );
         }
     }
 
@@ -372,7 +367,10 @@ mod tests {
     fn max_level_caps_depth() {
         let s = Sequence::dna(&"AT".repeat(100)).unwrap();
         let g = gap(1, 1);
-        let config = MppConfig { start_level: 3, max_level: Some(4) };
+        let config = MppConfig {
+            start_level: 3,
+            max_level: Some(4),
+        };
         let outcome = mpp(&s, g, 0.5, 10, config).unwrap();
         assert!(outcome.longest_len() <= 4);
         assert!(outcome.stats.levels.iter().all(|l| l.level <= 4));
@@ -387,7 +385,11 @@ mod tests {
         let s = Sequence::dna(&"AT".repeat(50)).unwrap();
         let g = gap(1, 1);
         let outcome = mpp(&s, g, 0.4, 20, MppConfig::default()).unwrap();
-        assert!(outcome.longest_len() >= 10, "longest = {}", outcome.longest_len());
+        assert!(
+            outcome.longest_len() >= 10,
+            "longest = {}",
+            outcome.longest_len()
+        );
         for f in &outcome.frequent {
             let codes = f.pattern.codes();
             assert!(

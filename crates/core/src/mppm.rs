@@ -7,12 +7,12 @@
 //! length-`k` frequent pattern can exist; `n` is the largest `k` that
 //! survives. From there the run is exactly MPP.
 
+use crate::arena::build_seed;
 use crate::em::compute_em;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::mpp::{prepare, run_levelwise, MppConfig};
-use crate::pil::Pil;
 use crate::result::{MineOutcome, MineStats};
 use perigap_seq::Sequence;
 use std::time::Instant;
@@ -57,8 +57,8 @@ pub fn mppm(
 
     // Phase 2: seed-level supports.
     let start = config.start_level;
-    let pils = Pil::build_all(seq, gap, start);
-    let max_sup = pils.values().map(Pil::support).max().unwrap_or(0);
+    let pils = build_seed(seq, gap, start);
+    let max_sup = pils.max_support();
 
     // Phase 3: estimate n = max { k : some seed pattern clears
     // λ′(k, k−3)·ρs·N_3 }. Only the best-supported seed pattern matters,
@@ -102,8 +102,7 @@ pub fn estimate_n(
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
     let em = compute_em(seq, gap, m).max(1);
     let start = config.start_level;
-    let pils = Pil::build_all(seq, gap, start);
-    let max_sup = pils.values().map(Pil::support).max().unwrap_or(0);
+    let max_sup = build_seed(seq, gap, start).max_support();
     let mut n = start;
     for k in (start + 1)..=counts.l1().max(start) {
         let bound = PruneBound::theorem2(&counts, &rho_exact, k, k - start, m, em);

@@ -56,7 +56,11 @@ pub struct CollectionOutcome {
 impl CollectionOutcome {
     /// Longest collection-frequent pattern length.
     pub fn longest_len(&self) -> usize {
-        self.patterns.iter().map(|p| p.pattern.len()).max().unwrap_or(0)
+        self.patterns
+            .iter()
+            .map(|p| p.pattern.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Look up a pattern.
@@ -221,7 +225,13 @@ mod tests {
 
     fn random_seqs(n: usize, len: usize, base_seed: u64) -> Vec<Sequence> {
         (0..n)
-            .map(|i| uniform(&mut StdRng::seed_from_u64(base_seed + i as u64), Alphabet::Dna, len))
+            .map(|i| {
+                uniform(
+                    &mut StdRng::seed_from_u64(base_seed + i as u64),
+                    Alphabet::Dna,
+                    len,
+                )
+            })
             .collect()
     }
 
@@ -230,16 +240,18 @@ mod tests {
         let seqs = random_seqs(3, 100, 100);
         let g = gap(1, 2);
         let rho = 0.003;
-        let collection =
-            mine_collection(&seqs, g, rho, 1, 20, MppConfig::default()).unwrap();
+        let collection = mine_collection(&seqs, g, rho, 1, 20, MppConfig::default()).unwrap();
         // Union of per-sequence frequent sets.
         let mut union: std::collections::HashSet<Pattern> = Default::default();
         for seq in &seqs {
             let outcome = mppm(seq, g, rho, 2, MppConfig::default()).unwrap();
             union.extend(outcome.frequent.into_iter().map(|f| f.pattern));
         }
-        let mined: std::collections::HashSet<Pattern> =
-            collection.patterns.iter().map(|p| p.pattern.clone()).collect();
+        let mined: std::collections::HashSet<Pattern> = collection
+            .patterns
+            .iter()
+            .map(|p| p.pattern.clone())
+            .collect();
         assert_eq!(mined, union);
     }
 
@@ -248,8 +260,7 @@ mod tests {
         let seqs = random_seqs(3, 100, 200);
         let g = gap(1, 2);
         let rho = 0.003;
-        let collection =
-            mine_collection(&seqs, g, rho, 3, 20, MppConfig::default()).unwrap();
+        let collection = mine_collection(&seqs, g, rho, 3, 20, MppConfig::default()).unwrap();
         let mut per_seq: Vec<std::collections::HashSet<Pattern>> = Vec::new();
         for seq in &seqs {
             let outcome = mppm(seq, g, rho, 2, MppConfig::default()).unwrap();
@@ -260,8 +271,11 @@ mod tests {
             .filter(|p| per_seq[1..].iter().all(|s| s.contains(*p)))
             .cloned()
             .collect();
-        let mined: std::collections::HashSet<Pattern> =
-            collection.patterns.iter().map(|p| p.pattern.clone()).collect();
+        let mined: std::collections::HashSet<Pattern> = collection
+            .patterns
+            .iter()
+            .map(|p| p.pattern.clone())
+            .collect();
         assert_eq!(mined, intersection);
     }
 
@@ -269,8 +283,7 @@ mod tests {
     fn per_sequence_evidence_is_accurate() {
         let seqs = random_seqs(2, 120, 300);
         let g = gap(1, 3);
-        let collection =
-            mine_collection(&seqs, g, 0.002, 1, 15, MppConfig::default()).unwrap();
+        let collection = mine_collection(&seqs, g, 0.002, 1, 15, MppConfig::default()).unwrap();
         assert!(!collection.patterns.is_empty());
         for cp in &collection.patterns {
             for (j, seq) in seqs.iter().enumerate() {
@@ -291,14 +304,20 @@ mod tests {
         let mut seqs = random_seqs(4, 400, 400);
         let mut rng = StdRng::seed_from_u64(9);
         for seq in &mut seqs {
-            let spec = PeriodicMotif { motif: vec![2, 1, 2], gap_min: 2, gap_max: 4, occurrences: 40 };
+            let spec = PeriodicMotif {
+                motif: vec![2, 1, 2],
+                gap_min: 2,
+                gap_max: 4,
+                occurrences: 40,
+            };
             plant_periodic(&mut rng, seq, &spec);
         }
         let g = gap(2, 4);
-        let collection =
-            mine_collection(&seqs, g, 0.002, 4, 10, MppConfig::default()).unwrap();
+        let collection = mine_collection(&seqs, g, 0.002, 4, 10, MppConfig::default()).unwrap();
         let gcg = Pattern::from_codes(vec![2, 1, 2]);
-        let found = collection.get(&gcg).expect("planted GCG frequent in all four");
+        let found = collection
+            .get(&gcg)
+            .expect("planted GCG frequent in all four");
         assert_eq!(found.sequence_count(), 4);
     }
 
@@ -328,8 +347,7 @@ mod tests {
         let mut seqs = random_seqs(2, 100, 600);
         seqs.push(Sequence::dna("ACG").unwrap()); // too short for level 3 spans
         let g = gap(2, 3);
-        let collection =
-            mine_collection(&seqs, g, 0.005, 1, 10, MppConfig::default()).unwrap();
+        let collection = mine_collection(&seqs, g, 0.005, 1, 10, MppConfig::default()).unwrap();
         for cp in &collection.patterns {
             assert!(!cp.frequent_in.contains(&2), "tiny sequence cannot vote");
         }

@@ -13,7 +13,12 @@ use perigap_seq::Sequence;
 /// Does `pattern` match `seq` with respect to `offsets` (1-based,
 /// as in the paper)? Checks both the gap requirement and the character
 /// equalities `S[c_j] = P[j]`.
-pub fn matches_at(seq: &Sequence, gap: GapRequirement, pattern: &Pattern, offsets: &[usize]) -> bool {
+pub fn matches_at(
+    seq: &Sequence,
+    gap: GapRequirement,
+    pattern: &Pattern,
+    offsets: &[usize],
+) -> bool {
     if offsets.len() != pattern.len() || offsets.is_empty() {
         return pattern.is_empty() && offsets.is_empty();
     }

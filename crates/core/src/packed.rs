@@ -1,0 +1,147 @@
+//! Fixed-width integer keys for patterns.
+//!
+//! A pattern over an alphabet of size `σ` is a short string of codes
+//! `0..σ`. Packing each code into `⌈log₂ σ⌉` bits of a `u64` turns the
+//! pattern into a single machine word: comparisons are one integer
+//! compare, the seed scan ([`crate::pil::Pil::build_all`]) can index a
+//! dense table by key with zero hashing or allocation per scan event,
+//! and numeric key order coincides with lexicographic code order (the
+//! first character occupies the most significant bits), so a table
+//! walked in key order yields patterns already sorted.
+
+/// Bit-packing codec for one alphabet size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyCodec {
+    bits: u32,
+}
+
+impl KeyCodec {
+    /// Codec for an alphabet of `sigma` symbols (`⌈log₂ σ⌉` bits per
+    /// symbol, minimum 1).
+    ///
+    /// # Panics
+    /// Panics if `sigma` is 0 or exceeds 256.
+    pub fn new(sigma: usize) -> KeyCodec {
+        assert!(sigma > 0, "alphabet cannot be empty");
+        assert!(sigma <= 256, "alphabet codes must fit u8");
+        let bits = (usize::BITS - (sigma - 1).leading_zeros()).max(1);
+        KeyCodec { bits }
+    }
+
+    /// Bits per symbol.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Can a length-`level` pattern fit one `u64` key?
+    pub fn fits(&self, level: usize) -> bool {
+        (level as u64) * (self.bits as u64) <= 64
+    }
+
+    /// Number of key bits a length-`level` pattern occupies.
+    ///
+    /// # Panics
+    /// Panics if the pattern does not [fit](Self::fits).
+    pub fn key_bits(&self, level: usize) -> u32 {
+        assert!(self.fits(level), "level {level} overflows a u64 key");
+        level as u32 * self.bits
+    }
+
+    /// Append one code to a key: `key · 2^bits + code`.
+    #[inline(always)]
+    pub fn push(&self, key: u64, code: u8) -> u64 {
+        (key << self.bits) | code as u64
+    }
+
+    /// Pack a full code slice (first code most significant).
+    ///
+    /// # Panics
+    /// Panics if the slice does not [fit](Self::fits).
+    pub fn pack(&self, codes: &[u8]) -> u64 {
+        assert!(self.fits(codes.len()), "pattern overflows a u64 key");
+        codes.iter().fold(0u64, |key, &c| self.push(key, c))
+    }
+
+    /// Invert [`pack`](Self::pack), appending `level` codes to `out`.
+    pub fn unpack_into(&self, key: u64, level: usize, out: &mut Vec<u8>) {
+        let mask = (1u64 << self.bits) - 1;
+        let base = out.len();
+        out.resize(base + level, 0);
+        let mut k = key;
+        for slot in out[base..].iter_mut().rev() {
+            *slot = (k & mask) as u8;
+            k >>= self.bits;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_cover_the_alphabet() {
+        assert_eq!(KeyCodec::new(1).bits(), 1);
+        assert_eq!(KeyCodec::new(2).bits(), 1);
+        assert_eq!(KeyCodec::new(4).bits(), 2);
+        assert_eq!(KeyCodec::new(5).bits(), 3);
+        assert_eq!(KeyCodec::new(20).bits(), 5);
+        assert_eq!(KeyCodec::new(256).bits(), 8);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let codec = KeyCodec::new(20);
+        let codes = [0u8, 19, 7, 3, 12];
+        let key = codec.pack(&codes);
+        let mut out = Vec::new();
+        codec.unpack_into(key, codes.len(), &mut out);
+        assert_eq!(out, codes);
+    }
+
+    #[test]
+    fn key_order_is_lexicographic() {
+        let codec = KeyCodec::new(4);
+        let mut pairs: Vec<(u64, Vec<u8>)> = Vec::new();
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    pairs.push((codec.pack(&[a, b, c]), vec![a, b, c]));
+                }
+            }
+        }
+        let mut by_key = pairs.clone();
+        by_key.sort_by_key(|&(k, _)| k);
+        let mut by_codes = pairs;
+        by_codes.sort_by(|x, y| x.1.cmp(&y.1));
+        assert_eq!(by_key, by_codes);
+    }
+
+    #[test]
+    fn incremental_push_matches_pack() {
+        let codec = KeyCodec::new(4);
+        let codes = [2u8, 0, 3, 1];
+        let mut key = 0;
+        for &c in &codes {
+            key = codec.push(key, c);
+        }
+        assert_eq!(key, codec.pack(&codes));
+    }
+
+    #[test]
+    fn fits_boundaries() {
+        let dna = KeyCodec::new(4); // 2 bits
+        assert!(dna.fits(32));
+        assert!(!dna.fits(33));
+        let byte = KeyCodec::new(256); // 8 bits
+        assert!(byte.fits(8));
+        assert!(!byte.fits(9));
+        assert_eq!(dna.key_bits(3), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overlong_pack_panics() {
+        KeyCodec::new(4).pack(&[0; 33]);
+    }
+}

@@ -2,26 +2,45 @@
 //! is single-threaded).
 //!
 //! The dominant cost of a level is independent per candidate: join two
-//! parent PILs, sum the result. This module re-runs the level-wise
-//! engine with the join/count step fanned out over scoped threads.
-//! Determinism is preserved: results are merged in partition order and
-//! the final outcome is sorted exactly like the serial engine's.
+//! parent PILs, sum the result. This module runs the level-wise engine
+//! with the join fan-out spread over a **persistent worker pool**: the
+//! threads are spawned once per mine and live for the whole run.
+//! Each level publishes one [`LevelJob`] (the kept generation, its
+//! prefix runs, and an atomic chunk cursor); the main thread and every
+//! worker *steal* chunks of left-parent indices from the cursor until
+//! the level is drained, so a skewed chunk cannot stall the level the
+//! way statically partitioned spawns could.
+//!
+//! Determinism is preserved: chunk results are merged in chunk-index
+//! order (chunks partition the sorted kept slice, so concatenation is
+//! already globally sorted) and the final outcome is sorted exactly
+//! like the serial engine's. Output is byte-identical to
+//! [`crate::mpp::mpp`].
 
+use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::mpp::{prepare, MppConfig};
 use crate::pattern::Pattern;
-use crate::pil::Pil;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use perigap_seq::Sequence;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Below this many join tasks a level runs serially — thread spawn
+/// Below this many join tasks a level runs serially — chunk handoff
 /// overhead would dominate.
 const PARALLEL_THRESHOLD: usize = 256;
+
+/// Stealing granularity: aim for this many chunks per thread so a slow
+/// chunk is absorbed by the others...
+const CHUNKS_PER_THREAD: usize = 8;
+
+/// ...but never bother stealing fewer than this many left parents.
+const MIN_CHUNK: usize = 32;
 
 /// MPP with the candidate-evaluation step parallelized over `threads`
 /// OS threads. Produces byte-identical outcomes to [`crate::mpp::mpp`].
@@ -36,10 +55,125 @@ pub fn mpp_parallel(
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
-    let pils = Pil::build_all(seq, gap, config.start_level);
+    let pils = build_seed(seq, gap, config.start_level);
     let mut outcome = run_parallel(seq, &counts, &rho_exact, n, config, pils, threads);
     outcome.stats.total_elapsed = started.elapsed();
     Ok(outcome)
+}
+
+/// One level's join fan-out, shared with the pool. Workers claim chunk
+/// indices from `cursor` until it passes `n_chunks`.
+struct LevelJob {
+    /// The current (kept-filtered inputs) generation.
+    set: PilSet,
+    /// Indices into `set` that survived the L̂ bound, ascending.
+    kept: Vec<usize>,
+    /// Equal-prefix runs over `kept` (see [`crate::arena::prefix_runs`]).
+    runs: Vec<(usize, usize)>,
+    gap: GapRequirement,
+    next_level: usize,
+    chunk: usize,
+    n_chunks: usize,
+    cursor: AtomicUsize,
+}
+
+impl LevelJob {
+    /// Generate the candidates whose left parent lies in chunk `c`.
+    fn process(&self, c: usize) -> PilSet {
+        let lo = c * self.chunk;
+        let hi = (lo + self.chunk).min(self.kept.len());
+        let mut out = PilSet::new(self.next_level);
+        generate_candidates(
+            &self.set, &self.kept, &self.runs, self.gap, lo, hi, &mut out,
+        );
+        out
+    }
+}
+
+/// The persistent pool: `threads − 1` workers (the main thread is the
+/// remaining worker) that live for the whole mine and steal chunks of
+/// whatever job is current.
+struct WorkerPool {
+    job_txs: Vec<mpsc::Sender<Arc<LevelJob>>>,
+    results_rx: mpsc::Receiver<(usize, PilSet)>,
+    /// Kept so `results_rx.recv` can never observe a closed channel
+    /// while the pool is alive.
+    _results_tx: mpsc::Sender<(usize, PilSet)>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(workers: usize) -> WorkerPool {
+        let (results_tx, results_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (job_tx, job_rx) = mpsc::channel::<Arc<LevelJob>>();
+            let results = results_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    loop {
+                        let c = job.cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= job.n_chunks {
+                            break;
+                        }
+                        if results.send((c, job.process(c))).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }));
+            job_txs.push(job_tx);
+        }
+        WorkerPool {
+            job_txs,
+            results_rx,
+            _results_tx: results_tx,
+            handles,
+        }
+    }
+
+    /// Drain one job across the pool plus the calling thread; merge the
+    /// chunk results in index order.
+    fn run(&self, job: Arc<LevelJob>) -> PilSet {
+        for tx in &self.job_txs {
+            // A send only fails if a worker died; the stealing loop
+            // below still completes the level without it.
+            let _ = tx.send(Arc::clone(&job));
+        }
+        let mut parts: Vec<Option<PilSet>> = (0..job.n_chunks).map(|_| None).collect();
+        let mut mined_here = 0usize;
+        loop {
+            let c = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= job.n_chunks {
+                break;
+            }
+            parts[c] = Some(job.process(c));
+            mined_here += 1;
+        }
+        // Every chunk was claimed exactly once; the rest arrive from
+        // the workers that claimed them.
+        for _ in mined_here..job.n_chunks {
+            let (c, out) = self.results_rx.recv().expect("pool workers alive");
+            parts[c] = Some(out);
+        }
+        PilSet::concat(
+            job.next_level,
+            parts
+                .into_iter()
+                .map(|p| p.expect("all chunks accounted for")),
+        )
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels lands every worker's `recv` on Err.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// The parallel twin of `run_levelwise`. Kept separate so the serial
@@ -50,7 +184,7 @@ fn run_parallel(
     rho: &perigap_math::BigRatio,
     n: usize,
     config: MppConfig,
-    seed_pils: HashMap<Pattern, Pil>,
+    seed: PilSet,
     threads: usize,
 ) -> MineOutcome {
     let gap = counts.gap();
@@ -59,11 +193,16 @@ fn run_parallel(
     let n = n.clamp(start, counts.l1().max(start));
     let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());
 
-    let mut stats = MineStats { n_used: n, ..MineStats::default() };
+    // Spawned once; lives until the mine returns.
+    let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
+
+    let mut stats = MineStats {
+        n_used: n,
+        ..MineStats::default()
+    };
     let mut frequent: Vec<FrequentPattern> = Vec::new();
-    let mut current: Vec<(Pattern, Pil)> = seed_pils.into_iter().collect();
-    // Deterministic processing order regardless of HashMap iteration.
-    current.sort_by(|a, b| a.0.codes().cmp(b.0.codes()));
+    let mut current = seed;
+    let mut kept: Vec<usize> = Vec::new();
     let mut level = start;
     let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
 
@@ -80,64 +219,67 @@ fn run_parallel(
         };
         let n_l_f64 = counts.n_f64(level);
 
-        let mut kept: Vec<(Pattern, Pil)> = Vec::new();
+        kept.clear();
         let mut frequent_here = 0usize;
-        for (pattern, pil) in current.drain(..) {
-            let sup = pil.support();
+        for i in 0..current.len() {
+            let sup = current.support(i);
             if exact_bound.admits_u128(sup) {
                 frequent.push(FrequentPattern {
-                    pattern: pattern.clone(),
+                    pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
                     ratio: sup as f64 / n_l_f64,
                 });
                 frequent_here += 1;
             }
             if lhat_bound.admits_u128(sup) {
-                kept.push((pattern, pil));
+                kept.push(i);
             }
         }
-        stats.levels.push(LevelStats {
-            level,
-            candidates: candidates_at_level,
-            frequent: frequent_here,
-            extended: kept.len(),
-            elapsed: level_started.elapsed(),
-        });
+        let extended = kept.len();
+        let push_stats = |stats: &mut MineStats, elapsed| {
+            stats.levels.push(LevelStats {
+                level,
+                candidates: candidates_at_level,
+                frequent: frequent_here,
+                extended,
+                elapsed,
+            });
+        };
+
         if kept.is_empty() || level == hard_cap {
+            push_stats(&mut stats, level_started.elapsed());
             break;
         }
 
-        // Join phase, fanned out.
-        let mut by_prefix: HashMap<&[u8], Vec<usize>> = HashMap::new();
-        for (idx, (pattern, _)) in kept.iter().enumerate() {
-            by_prefix
-                .entry(&pattern.codes()[..pattern.len() - 1])
-                .or_default()
-                .push(idx);
-        }
-        let next: Vec<(Pattern, Pil)> = if threads <= 1 || kept.len() < PARALLEL_THRESHOLD {
-            join_range(&kept, &by_prefix, gap, 0, kept.len())
-        } else {
-            let workers = threads.min(kept.len());
-            let chunk = kept.len().div_ceil(workers);
-            let kept_ref = &kept;
-            let by_prefix_ref = &by_prefix;
-            let mut partials: Vec<Vec<(Pattern, Pil)>> = Vec::with_capacity(workers);
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let lo = w * chunk;
-                        let hi = ((w + 1) * chunk).min(kept_ref.len());
-                        scope.spawn(move |_| join_range(kept_ref, by_prefix_ref, gap, lo, hi))
-                    })
-                    .collect();
-                for h in handles {
-                    partials.push(h.join().expect("join worker panicked"));
-                }
-            })
-            .expect("crossbeam scope");
-            partials.into_iter().flatten().collect()
+        // Join fan-out: stolen in chunks when it is worth the handoff.
+        let runs = prefix_runs(&current, &kept);
+        let next: PilSet = match &pool {
+            Some(pool) if kept.len() >= PARALLEL_THRESHOLD => {
+                let chunk = kept
+                    .len()
+                    .div_ceil(threads * CHUNKS_PER_THREAD)
+                    .max(MIN_CHUNK);
+                let n_chunks = kept.len().div_ceil(chunk);
+                let job = Arc::new(LevelJob {
+                    set: std::mem::take(&mut current),
+                    kept: std::mem::take(&mut kept),
+                    runs,
+                    gap,
+                    next_level: level + 1,
+                    chunk,
+                    n_chunks,
+                    cursor: AtomicUsize::new(0),
+                });
+                pool.run(job)
+            }
+            _ => {
+                let mut out = PilSet::new(level + 1);
+                generate_candidates(&current, &kept, &runs, gap, 0, kept.len(), &mut out);
+                out
+            }
         };
+        push_stats(&mut stats, level_started.elapsed());
+
         candidates_at_level = next.len() as u128;
         if next.is_empty() {
             break;
@@ -149,29 +291,6 @@ fn run_parallel(
     let mut outcome = MineOutcome { frequent, stats };
     outcome.sort();
     outcome
-}
-
-/// Generate the candidates whose *left parent* index lies in
-/// `lo..hi` — a disjoint partition of the join work.
-fn join_range(
-    kept: &[(Pattern, Pil)],
-    by_prefix: &HashMap<&[u8], Vec<usize>>,
-    gap: GapRequirement,
-    lo: usize,
-    hi: usize,
-) -> Vec<(Pattern, Pil)> {
-    let mut out = Vec::new();
-    for (p1, pil1) in &kept[lo..hi] {
-        if let Some(partners) = by_prefix.get(&p1.codes()[1..]) {
-            for &idx in partners {
-                let (p2, pil2) = &kept[idx];
-                let candidate = p1.join(p2).expect("overlap holds by construction");
-                let pil = Pil::join(pil1, pil2, gap);
-                out.push((candidate, pil));
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -187,6 +306,15 @@ mod tests {
         GapRequirement::new(n, m).unwrap()
     }
 
+    fn assert_same_outcome(parallel: &MineOutcome, serial: &MineOutcome, label: &str) {
+        assert_eq!(parallel.frequent.len(), serial.frequent.len(), "{label}");
+        for (a, b) in parallel.frequent.iter().zip(&serial.frequent) {
+            assert_eq!(a.pattern, b.pattern, "{label}");
+            assert_eq!(a.support, b.support, "{label}");
+        }
+        assert_eq!(parallel.stats.n_used, serial.stats.n_used, "{label}");
+    }
+
     #[test]
     fn parallel_matches_serial_exactly() {
         let seq = uniform(&mut StdRng::seed_from_u64(95), Alphabet::Dna, 400);
@@ -194,18 +322,28 @@ mod tests {
         let rho = 0.0008;
         let serial = mpp(&seq, g, rho, 12, MppConfig::default()).unwrap();
         for threads in [1usize, 2, 4, 8] {
-            let parallel =
-                mpp_parallel(&seq, g, rho, 12, MppConfig::default(), threads).unwrap();
-            assert_eq!(
-                parallel.frequent.len(),
-                serial.frequent.len(),
-                "{threads} threads"
-            );
-            for (a, b) in parallel.frequent.iter().zip(&serial.frequent) {
-                assert_eq!(a.pattern, b.pattern, "{threads} threads");
-                assert_eq!(a.support, b.support, "{threads} threads");
-            }
-            assert_eq!(parallel.stats.n_used, serial.stats.n_used);
+            let parallel = mpp_parallel(&seq, g, rho, 12, MppConfig::default(), threads).unwrap();
+            assert_same_outcome(&parallel, &serial, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn pool_engages_above_threshold_and_matches_serial() {
+        // A protein alphabet seeds 20^3 = 8000 level-3 patterns, so the
+        // kept set comfortably exceeds PARALLEL_THRESHOLD and the level
+        // actually crosses the worker pool.
+        let seq = uniform(&mut StdRng::seed_from_u64(99), Alphabet::Protein, 3_000);
+        let g = gap(0, 2);
+        let rho = 1e-6;
+        let serial = mpp(&seq, g, rho, 6, MppConfig::default()).unwrap();
+        let kept_level3 = serial.stats.levels[0].extended;
+        assert!(
+            kept_level3 >= PARALLEL_THRESHOLD,
+            "test must exercise the pool (kept = {kept_level3})"
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = mpp_parallel(&seq, g, rho, 6, MppConfig::default(), threads).unwrap();
+            assert_same_outcome(&parallel, &serial, &format!("{threads} threads"));
         }
     }
 
@@ -220,6 +358,17 @@ mod tests {
             assert_eq!(x.pattern, y.pattern);
             assert_eq!(x.support, y.support);
         }
+    }
+
+    #[test]
+    fn level_elapsed_covers_filter_and_join() {
+        // Every level must report a non-degenerate duration, and the
+        // sum of level times must not exceed the total.
+        let seq = uniform(&mut StdRng::seed_from_u64(101), Alphabet::Dna, 500);
+        let outcome = mpp_parallel(&seq, gap(1, 3), 0.0008, 12, MppConfig::default(), 4).unwrap();
+        let level_sum: std::time::Duration = outcome.stats.levels.iter().map(|l| l.elapsed).sum();
+        assert!(level_sum <= outcome.stats.total_elapsed);
+        assert!(!outcome.stats.levels.is_empty());
     }
 
     #[test]

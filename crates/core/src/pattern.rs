@@ -27,9 +27,9 @@ impl Pattern {
         let codes = text
             .bytes()
             .map(|ch| {
-                alphabet
-                    .code(ch)
-                    .ok_or_else(|| MineError::PatternParse(format!("unknown character {:?}", ch as char)))
+                alphabet.code(ch).ok_or_else(|| {
+                    MineError::PatternParse(format!("unknown character {:?}", ch as char))
+                })
             })
             .collect::<Result<Vec<u8>, _>>()?;
         Ok(Pattern { codes })
@@ -56,7 +56,11 @@ impl Pattern {
     /// # Panics
     /// Panics if `i` is 0 or exceeds the pattern length.
     pub fn at1(&self, i: usize) -> u8 {
-        assert!(i >= 1 && i <= self.codes.len(), "P[{i}] out of range 1..={}", self.codes.len());
+        assert!(
+            i >= 1 && i <= self.codes.len(),
+            "P[{i}] out of range 1..={}",
+            self.codes.len()
+        );
         self.codes[i - 1]
     }
 
@@ -67,7 +71,9 @@ impl Pattern {
     /// length ≥ 2).
     pub fn prefix(&self) -> Pattern {
         assert!(self.codes.len() >= 2, "prefix requires |P| ≥ 2");
-        Pattern { codes: self.codes[..self.codes.len() - 1].to_vec() }
+        Pattern {
+            codes: self.codes[..self.codes.len() - 1].to_vec(),
+        }
     }
 
     /// `suffix(P)`: the last `|P| − 1` characters.
@@ -76,7 +82,9 @@ impl Pattern {
     /// Panics if `|P| < 2`.
     pub fn suffix(&self) -> Pattern {
         assert!(self.codes.len() >= 2, "suffix requires |P| ≥ 2");
-        Pattern { codes: self.codes[1..].to_vec() }
+        Pattern {
+            codes: self.codes[1..].to_vec(),
+        }
     }
 
     /// The sub-pattern `P[i] … P[i+len−1]` (1-based `i`, as in
@@ -85,8 +93,13 @@ impl Pattern {
     /// # Panics
     /// Panics if the range exceeds the pattern.
     pub fn sub_pattern(&self, i: usize, len: usize) -> Pattern {
-        assert!(i >= 1 && i - 1 + len <= self.codes.len(), "sub-pattern out of range");
-        Pattern { codes: self.codes[i - 1..i - 1 + len].to_vec() }
+        assert!(
+            i >= 1 && i - 1 + len <= self.codes.len(),
+            "sub-pattern out of range"
+        );
+        Pattern {
+            codes: self.codes[i - 1..i - 1 + len].to_vec(),
+        }
     }
 
     /// Whether `self` equals `other`'s first `|self|` characters.

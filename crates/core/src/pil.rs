@@ -13,6 +13,17 @@
 //!
 //! The join here improves on the paper's quadratic pseudo-code with a
 //! sliding-window sum over the sorted suffix list (`O(|A| + |B|)`).
+//!
+//! ## Performance notes
+//!
+//! This type is the public, per-pattern view. The miners do not
+//! traverse `HashMap<Pattern, Pil>` internally: generations live in the
+//! arena-backed [`crate::arena::PilSet`] (one contiguous entry buffer
+//! per generation, patterns as packed integer keys during seeding — see
+//! [`crate::packed::KeyCodec`]), and [`Pil::build_all`] is a conversion
+//! shell over that engine. [`Pil::join`] short-circuits when either
+//! side is empty and pre-reserves the output from the prefix length
+//! (the result has at most one entry per prefix offset).
 
 use crate::gap::GapRequirement;
 use crate::pattern::Pattern;
@@ -46,7 +57,18 @@ impl Pil {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "PIL offsets must be strictly ascending"
         );
-        assert!(entries.iter().all(|&(_, y)| y > 0), "PIL counts must be positive");
+        assert!(
+            entries.iter().all(|&(_, y)| y > 0),
+            "PIL counts must be positive"
+        );
+        Pil { entries }
+    }
+
+    /// Internal constructor for entries already known to be valid
+    /// (produced by the scan or a join).
+    pub(crate) fn from_raw(entries: Vec<(u32, u64)>) -> Pil {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(entries.iter().all(|&(_, y)| y > 0));
         Pil { entries }
     }
 
@@ -109,25 +131,12 @@ impl Pil {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn join(prefix: &Pil, suffix: &Pil, gap: GapRequirement) -> Pil {
-        let mut out = Vec::new();
-        let b = &suffix.entries;
-        let (mut lo, mut hi) = (0usize, 0usize); // window is b[lo..hi]
-        let mut window: u64 = 0;
-        for &(x, _) in &prefix.entries {
-            let min_pos = x as u64 + gap.min_step() as u64;
-            let max_pos = x as u64 + gap.max_step() as u64;
-            while hi < b.len() && (b[hi].0 as u64) <= max_pos {
-                window = window.saturating_add(b[hi].1);
-                hi += 1;
-            }
-            while lo < hi && (b[lo].0 as u64) < min_pos {
-                window -= b[lo].1;
-                lo += 1;
-            }
-            if window > 0 {
-                out.push((x, window));
-            }
+        if prefix.is_empty() || suffix.is_empty() {
+            return Pil::new();
         }
+        // One output entry per prefix offset at most.
+        let mut out = Vec::with_capacity(prefix.len());
+        join_into(&prefix.entries, &suffix.entries, gap, &mut out);
         Pil { entries: out }
     }
 
@@ -142,53 +151,38 @@ impl Pil {
     /// # Panics
     /// Panics if `level == 0`.
     pub fn build_all(seq: &Sequence, gap: GapRequirement, level: usize) -> HashMap<Pattern, Pil> {
-        assert!(level >= 1, "level must be at least 1");
-        let mut map: HashMap<Vec<u8>, Vec<(u32, u64)>> = HashMap::new();
-        let len = seq.len();
-        let mut chars = Vec::with_capacity(level);
-        for start in 1..=len {
-            chars.clear();
-            chars.push(seq.at1(start));
-            scan_rec(seq, gap, level, start, start, &mut chars, &mut |codes| {
-                let entries = map.entry(codes.to_vec()).or_default();
-                match entries.last_mut() {
-                    Some(last) if last.0 == start as u32 => {
-                        last.1 = last.1.saturating_add(1);
-                    }
-                    _ => entries.push((start as u32, 1)),
-                }
-            });
-        }
-        map.into_iter()
-            .map(|(codes, entries)| (Pattern::from_codes(codes), Pil { entries }))
-            .collect()
+        crate::arena::build_seed(seq, gap, level).into_pil_map()
     }
 }
 
-/// Recursive scan helper: extend the current offset chain by every
-/// admissible step, invoking `sink` with the full character string at
-/// depth `level`.
-fn scan_rec(
-    seq: &Sequence,
+/// The sliding-window join core, appending to a caller-owned buffer so
+/// the arena engine can write a whole generation into one allocation.
+/// See [`Pil::join`] for the algorithm.
+pub(crate) fn join_into(
+    a: &[(u32, u64)],
+    b: &[(u32, u64)],
     gap: GapRequirement,
-    level: usize,
-    _start: usize,
-    pos: usize,
-    chars: &mut Vec<u8>,
-    sink: &mut impl FnMut(&[u8]),
+    out: &mut Vec<(u32, u64)>,
 ) {
-    if chars.len() == level {
-        sink(chars);
+    if a.is_empty() || b.is_empty() {
         return;
     }
-    for step in gap.steps() {
-        let next = pos + step;
-        if next > seq.len() {
-            break;
+    let (mut lo, mut hi) = (0usize, 0usize); // window is b[lo..hi]
+    let mut window: u64 = 0;
+    for &(x, _) in a {
+        let min_pos = x as u64 + gap.min_step() as u64;
+        let max_pos = x as u64 + gap.max_step() as u64;
+        while hi < b.len() && (b[hi].0 as u64) <= max_pos {
+            window = window.saturating_add(b[hi].1);
+            hi += 1;
         }
-        chars.push(seq.at1(next));
-        scan_rec(seq, gap, level, _start, next, chars, sink);
-        chars.pop();
+        while lo < hi && (b[lo].0 as u64) < min_pos {
+            window -= b[lo].1;
+            lo += 1;
+        }
+        if window > 0 {
+            out.push((x, window));
+        }
     }
 }
 

@@ -46,7 +46,9 @@ impl GapProfile {
     /// The paper's uniform model: the same `[N, M]` at every step, for
     /// patterns up to `max_len` characters.
     pub fn uniform(gap: GapRequirement, max_len: usize) -> GapProfile {
-        GapProfile { steps: vec![gap; max_len.saturating_sub(1).max(1)] }
+        GapProfile {
+            steps: vec![gap; max_len.saturating_sub(1).max(1)],
+        }
     }
 
     /// Per-step requirements.
@@ -198,7 +200,9 @@ pub fn mine_with_profile(
     let sigma = seq.alphabet().size() as u8;
 
     // N_l table for every reachable level.
-    let n_table: Vec<BigUint> = (0..=max_len).map(|l| profile_n(seq.len(), profile, l)).collect();
+    let n_table: Vec<BigUint> = (0..=max_len)
+        .map(|l| profile_n(seq.len(), profile, l))
+        .collect();
     let n_n = n_table[n].clone();
 
     // Seed: EILs of every length-1 pattern.
@@ -223,7 +227,10 @@ pub fn mine_with_profile(
         level += 1;
     }
 
-    let mut stats = MineStats { n_used: n, ..MineStats::default() };
+    let mut stats = MineStats {
+        n_used: n,
+        ..MineStats::default()
+    };
     let mut frequent = Vec::new();
     let mut candidates_at_level = (sigma as u128).saturating_pow(start as u32);
 
@@ -444,9 +451,8 @@ mod tests {
             loop {
                 let p = Pattern::from_codes(stack.clone());
                 let sup = support_dp_profile(&seq, &profile, &p);
-                let is_frequent =
-                    BigUint::from_u128(sup).mul_ref(rho_exact.denom())
-                        >= rho_exact.numer().mul_ref(&n_l);
+                let is_frequent = BigUint::from_u128(sup).mul_ref(rho_exact.denom())
+                    >= rho_exact.numer().mul_ref(&n_l);
                 assert_eq!(
                     mined.get(&p).is_some(),
                     is_frequent,

@@ -146,8 +146,16 @@ mod tests {
     fn stats_totals() {
         let stats = MineStats {
             levels: vec![
-                LevelStats { level: 3, candidates: 64, ..Default::default() },
-                LevelStats { level: 4, candidates: 100, ..Default::default() },
+                LevelStats {
+                    level: 3,
+                    candidates: 64,
+                    ..Default::default()
+                },
+                LevelStats {
+                    level: 4,
+                    candidates: 100,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };

@@ -33,7 +33,9 @@ pub struct RigidPattern {
 impl RigidPattern {
     /// A single-character pattern.
     pub fn solid(code: u8) -> RigidPattern {
-        RigidPattern { slots: vec![Some(code)] }
+        RigidPattern {
+            slots: vec![Some(code)],
+        }
     }
 
     /// The slot vector.
@@ -194,10 +196,7 @@ pub fn rigid_mine(seq: &Sequence, config: RigidConfig) -> Result<Vec<RigidResult
                 for &start in occ {
                     let pos = start as usize + next_offset;
                     if pos < seq.len() {
-                        buckets
-                            .entry(seq.codes()[pos])
-                            .or_default()
-                            .push(start);
+                        buckets.entry(seq.codes()[pos]).or_default().push(start);
                     }
                 }
                 for (code, survivors) in buckets {
@@ -228,7 +227,11 @@ pub fn rigid_mine(seq: &Sequence, config: RigidConfig) -> Result<Vec<RigidResult
     // Flush the final generation.
     for (pattern, occ) in current {
         if pattern.solid_count() >= config.min_solids {
-            out.push(RigidResult { pattern, support: occ.len(), right_maximal: true });
+            out.push(RigidResult {
+                pattern,
+                support: occ.len(),
+                right_maximal: true,
+            });
         }
     }
     out.sort_by(|a, b| {
@@ -255,7 +258,9 @@ mod tests {
 
     /// Brute-force support: count matching start positions.
     fn brute_support(seq: &Sequence, pattern: &RigidPattern) -> usize {
-        (0..seq.len()).filter(|&s| pattern.matches_at(seq, s)).count()
+        (0..seq.len())
+            .filter(|&s| pattern.matches_at(seq, s))
+            .count()
     }
 
     #[test]
@@ -283,7 +288,12 @@ mod tests {
         let results = rigid_mine(&seq, config(2, 4, 4)).unwrap();
         assert!(!results.is_empty());
         for r in &results {
-            assert_eq!(r.support, brute_support(&seq, &r.pattern), "{:?}", r.pattern);
+            assert_eq!(
+                r.support,
+                brute_support(&seq, &r.pattern),
+                "{:?}",
+                r.pattern
+            );
             assert!(r.support >= 4);
             assert!(r.pattern.is_dense(2, 4));
         }
@@ -297,7 +307,13 @@ mod tests {
         // Compare against brute force over all dense rigid patterns with
         // 2..=3 solids and span ≤ 5 on a small sequence.
         let seq = Sequence::dna("ACGTACGGTACGAACG").unwrap();
-        let cfg = RigidConfig { density_l: 2, density_w: 3, min_support: 3, min_solids: 2, max_solids: 3 };
+        let cfg = RigidConfig {
+            density_l: 2,
+            density_w: 3,
+            min_support: 3,
+            min_solids: 2,
+            max_solids: 3,
+        };
         let mined = rigid_mine(&seq, cfg).unwrap();
         // Enumerate candidates: spans from solid positions.
         let mut expected = 0usize;
@@ -353,13 +369,22 @@ mod tests {
         // so AC extends to ACG at full support and is not right-maximal;
         // ACG itself loses its last occurrence on extension and is.
         let seq = Sequence::dna(&"ACG".repeat(10)).unwrap();
-        let cfg = RigidConfig { density_l: 2, density_w: 2, min_support: 3, min_solids: 2, max_solids: 3 };
+        let cfg = RigidConfig {
+            density_l: 2,
+            density_w: 2,
+            min_support: 3,
+            min_solids: 2,
+            max_solids: 3,
+        };
         let results = rigid_mine(&seq, cfg).unwrap();
         let ac = RigidPattern::solid(0).extend(0, 1);
         let found = results.iter().find(|r| r.pattern == ac).expect("AC mined");
         assert!(!found.right_maximal, "AC → ACG preserves every occurrence");
         let acg = ac.extend(0, 2);
-        let found = results.iter().find(|r| r.pattern == acg).expect("ACG mined");
+        let found = results
+            .iter()
+            .find(|r| r.pattern == acg)
+            .expect("ACG mined");
         assert!(found.right_maximal, "ACG → ACGA drops the final occurrence");
     }
 
@@ -367,21 +392,27 @@ mod tests {
     fn invalid_configs_are_rejected() {
         let seq = Sequence::dna("ACGT").unwrap();
         assert!(rigid_mine(&seq, config(1, 4, 1)).is_err());
-        assert!(rigid_mine(&seq, RigidConfig {
-            density_l: 3,
-            density_w: 2,
-            min_support: 1,
-            min_solids: 2,
-            max_solids: 5,
-        })
+        assert!(rigid_mine(
+            &seq,
+            RigidConfig {
+                density_l: 3,
+                density_w: 2,
+                min_support: 1,
+                min_solids: 2,
+                max_solids: 5,
+            }
+        )
         .is_err());
-        assert!(rigid_mine(&seq, RigidConfig {
-            density_l: 2,
-            density_w: 4,
-            min_support: 0,
-            min_solids: 2,
-            max_solids: 5,
-        })
+        assert!(rigid_mine(
+            &seq,
+            RigidConfig {
+                density_l: 2,
+                density_w: 4,
+                min_support: 0,
+                min_solids: 2,
+                max_solids: 5,
+            }
+        )
         .is_err());
     }
 }

@@ -87,8 +87,8 @@ pub fn verify_outcome(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mppm::mppm;
     use crate::mpp::MppConfig;
+    use crate::mppm::mppm;
     use crate::pattern::Pattern;
     use crate::result::FrequentPattern;
     use perigap_seq::gen::iid::uniform;
@@ -145,7 +145,9 @@ mod tests {
                 }
             }
         }
-        outcome.frequent.push(smuggled.expect("some length-4 pattern is infrequent"));
+        outcome
+            .frequent
+            .push(smuggled.expect("some length-4 pattern is infrequent"));
         let problems = verify_outcome(&seq, gap, rho, &outcome);
         assert!(problems
             .iter()

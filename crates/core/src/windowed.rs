@@ -74,12 +74,18 @@ pub fn windowed_mine(
     config: MppConfig,
 ) -> Result<WindowedOutcome, MineError> {
     if window == 0 {
-        return Err(MineError::SequenceTooShort { len: seq.len(), needed: 1 });
+        return Err(MineError::SequenceTooShort {
+            len: seq.len(),
+            needed: 1,
+        });
     }
     let wins = fragments(seq, window, 1);
     let total = wins.len();
     if total == 0 || min_windows == 0 || min_windows > total {
-        return Ok(WindowedOutcome { patterns: Vec::new(), windows: total });
+        return Ok(WindowedOutcome {
+            patterns: Vec::new(),
+            windows: total,
+        });
     }
     let start = config.start_level;
     let hard_cap = config.max_level.unwrap_or(usize::MAX);
@@ -162,7 +168,10 @@ pub fn windowed_mine(
     out.sort_by(|a, b| {
         (a.pattern.len(), a.pattern.codes()).cmp(&(b.pattern.len(), b.pattern.codes()))
     });
-    Ok(WindowedOutcome { patterns: out, windows: total })
+    Ok(WindowedOutcome {
+        patterns: out,
+        windows: total,
+    })
 }
 
 /// Patterns that the paper's whole-sequence model (`reference`) finds
@@ -199,7 +208,10 @@ mod tests {
         // Two windows; pattern occurs 3 times in window 0, once in 1.
         let seq = Sequence::dna("AACCAACCAA_AACC".replace('_', "G").as_str()).unwrap();
         let g = gap(1, 2);
-        let config = MppConfig { start_level: 2, max_level: Some(3) };
+        let config = MppConfig {
+            start_level: 2,
+            max_level: Some(3),
+        };
         let outcome = windowed_mine(&seq, g, 8, 2, config).unwrap();
         // AC occurs in both windows → window_count 2.
         let ac = Pattern::from_codes(vec![0, 1]);
@@ -211,7 +223,10 @@ mod tests {
     fn min_windows_filters() {
         let seq = uniform(&mut StdRng::seed_from_u64(1), Alphabet::Dna, 300);
         let g = gap(1, 2);
-        let config = MppConfig { start_level: 3, max_level: Some(5) };
+        let config = MppConfig {
+            start_level: 3,
+            max_level: Some(5),
+        };
         let lax = windowed_mine(&seq, g, 60, 1, config).unwrap();
         let strict = windowed_mine(&seq, g, 60, 5, config).unwrap();
         assert_eq!(lax.windows, 5);
@@ -225,7 +240,10 @@ mod tests {
     fn window_counts_are_correct() {
         let seq = uniform(&mut StdRng::seed_from_u64(2), Alphabet::Dna, 240);
         let g = gap(1, 3);
-        let config = MppConfig { start_level: 3, max_level: Some(4) };
+        let config = MppConfig {
+            start_level: 3,
+            max_level: Some(4),
+        };
         let outcome = windowed_mine(&seq, g, 80, 1, config).unwrap();
         let wins = fragments(&seq, 80, 1);
         for wp in &outcome.patterns {
@@ -242,8 +260,8 @@ mod tests {
         // Plant a pattern whose occurrences all straddle a window
         // boundary: window model misses it, whole-sequence model finds it.
         let mut codes = vec![1u8; 120]; // all C background
-        // Occurrences of A g(2,2) A g(2,2) A, every one straddling the
-        // window boundary at offset 60 (start < 60 ≤ start + 6).
+                                        // Occurrences of A g(2,2) A g(2,2) A, every one straddling the
+                                        // window boundary at offset 60 (start < 60 ≤ start + 6).
         for start in [54usize, 56, 58] {
             codes[start] = 0;
             codes[start + 3] = 0;
@@ -254,12 +272,21 @@ mod tests {
         let aaa = Pattern::from_codes(vec![0, 0, 0]);
         assert!(support_dp(&seq, g, &aaa) >= 3);
 
-        let config = MppConfig { start_level: 3, max_level: Some(3) };
+        let config = MppConfig {
+            start_level: 3,
+            max_level: Some(3),
+        };
         let windowed = windowed_mine(&seq, g, 60, 1, config).unwrap();
-        assert!(windowed.get(&aaa).is_none(), "boundary-straddling AAA invisible to windows");
+        assert!(
+            windowed.get(&aaa).is_none(),
+            "boundary-straddling AAA invisible to windows"
+        );
 
         let reference = mppm(&seq, g, 0.0001, 2, config).unwrap();
-        assert!(reference.get(&aaa).is_some(), "whole-sequence model finds AAA");
+        assert!(
+            reference.get(&aaa).is_some(),
+            "whole-sequence model finds AAA"
+        );
         let lost = cross_window_loss(&reference, &windowed);
         assert!(lost.iter().any(|p| **p == aaa));
     }

@@ -56,7 +56,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigUint { limbs: vec![lo, hi] };
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -90,9 +92,7 @@ impl BigUint {
     pub fn bit_len(&self) -> u64 {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64)
-            }
+            Some(&top) => (self.limbs.len() as u64 - 1) * 64 + (64 - top.leading_zeros() as u64),
         }
     }
 
@@ -472,7 +472,9 @@ impl std::str::FromStr for BigUint {
             if ch == '_' {
                 continue;
             }
-            let digit = ch.to_digit(10).ok_or(ParseBigUintError { bad_char: Some(ch) })?;
+            let digit = ch
+                .to_digit(10)
+                .ok_or(ParseBigUintError { bad_char: Some(ch) })?;
             acc.mul_assign_u64(10);
             acc.add_assign_ref(&BigUint::from_u64(digit as u64));
             any = true;
@@ -508,7 +510,10 @@ impl fmt::Display for BigUint {
             chunks.push(r);
             cur = q;
         }
-        let mut s = chunks.pop().expect("non-zero has at least one chunk").to_string();
+        let mut s = chunks
+            .pop()
+            .expect("non-zero has at least one chunk")
+            .to_string();
         for c in chunks.iter().rev() {
             s.push_str(&format!("{c:019}"));
         }

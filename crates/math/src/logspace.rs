@@ -21,7 +21,9 @@ pub struct LogNum {
 impl LogNum {
     /// The number 0 (log value −∞).
     pub fn zero() -> Self {
-        LogNum { ln: f64::NEG_INFINITY }
+        LogNum {
+            ln: f64::NEG_INFINITY,
+        }
     }
 
     /// The number 1 (log value 0).
@@ -61,7 +63,9 @@ impl LogNum {
     /// Multiplication (log-space addition).
     #[allow(clippy::should_implement_trait)] // deliberate: panics/identities differ from std ops
     pub fn mul(self, rhs: LogNum) -> LogNum {
-        LogNum { ln: self.ln + rhs.ln }
+        LogNum {
+            ln: self.ln + rhs.ln,
+        }
     }
 
     /// Division (log-space subtraction).
@@ -71,12 +75,16 @@ impl LogNum {
     #[allow(clippy::should_implement_trait)] // deliberate: panics/identities differ from std ops
     pub fn div(self, rhs: LogNum) -> LogNum {
         assert!(!rhs.is_zero(), "LogNum division by zero");
-        LogNum { ln: self.ln - rhs.ln }
+        LogNum {
+            ln: self.ln - rhs.ln,
+        }
     }
 
     /// Integer power.
     pub fn powi(self, exp: i32) -> LogNum {
-        LogNum { ln: self.ln * exp as f64 }
+        LogNum {
+            ln: self.ln * exp as f64,
+        }
     }
 
     /// Stable addition via log-sum-exp.
@@ -93,7 +101,9 @@ impl LogNum {
         } else {
             (rhs.ln, self.ln)
         };
-        LogNum { ln: hi + (lo - hi).exp().ln_1p() }
+        LogNum {
+            ln: hi + (lo - hi).exp().ln_1p(),
+        }
     }
 }
 

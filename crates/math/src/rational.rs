@@ -22,12 +22,18 @@ pub struct BigRatio {
 impl BigRatio {
     /// The value 0.
     pub fn zero() -> Self {
-        BigRatio { num: BigUint::zero(), den: BigUint::one() }
+        BigRatio {
+            num: BigUint::zero(),
+            den: BigUint::one(),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        BigRatio { num: BigUint::one(), den: BigUint::one() }
+        BigRatio {
+            num: BigUint::one(),
+            den: BigUint::one(),
+        }
     }
 
     /// Construct `num / den` and reduce to lowest terms.
@@ -48,7 +54,10 @@ impl BigRatio {
 
     /// Construct the integer `v`.
     pub fn from_integer(v: BigUint) -> Self {
-        BigRatio { num: v, den: BigUint::one() }
+        BigRatio {
+            num: v,
+            den: BigUint::one(),
+        }
     }
 
     /// Exact conversion from a finite non-negative `f64`.
@@ -59,7 +68,10 @@ impl BigRatio {
     /// # Panics
     /// Panics on negative, NaN or infinite input.
     pub fn from_f64_exact(v: f64) -> Self {
-        assert!(v.is_finite() && v >= 0.0, "need a finite non-negative f64, got {v}");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "need a finite non-negative f64, got {v}"
+        );
         if v == 0.0 {
             return Self::zero();
         }
@@ -193,7 +205,9 @@ impl PartialOrd for BigRatio {
 
 impl Ord for BigRatio {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.num.mul_ref(&other.den).cmp(&other.num.mul_ref(&self.den))
+        self.num
+            .mul_ref(&other.den)
+            .cmp(&other.num.mul_ref(&self.den))
     }
 }
 
@@ -288,8 +302,17 @@ mod tests {
 
     #[test]
     fn cmp_integer() {
-        assert_eq!(ratio(9, 2).cmp_integer(&BigUint::from_u64(4)), Ordering::Greater);
-        assert_eq!(ratio(8, 2).cmp_integer(&BigUint::from_u64(4)), Ordering::Equal);
-        assert_eq!(ratio(7, 2).cmp_integer(&BigUint::from_u64(4)), Ordering::Less);
+        assert_eq!(
+            ratio(9, 2).cmp_integer(&BigUint::from_u64(4)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            ratio(8, 2).cmp_integer(&BigUint::from_u64(4)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            ratio(7, 2).cmp_integer(&BigUint::from_u64(4)),
+            Ordering::Less
+        );
     }
 }

@@ -116,7 +116,10 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    assert!((0.0..=1.0).contains(&q), "percentile q must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "percentile q must be in [0,1], got {q}"
+    );
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in percentile input"));
     let pos = q * (sorted.len() - 1) as f64;

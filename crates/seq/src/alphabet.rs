@@ -96,7 +96,10 @@ impl Alphabet {
             },
             Alphabet::Protein => {
                 let upper = letter.to_ascii_uppercase();
-                AMINO_ACIDS.iter().position(|&a| a == upper).map(|i| i as u8)
+                AMINO_ACIDS
+                    .iter()
+                    .position(|&a| a == upper)
+                    .map(|i| i as u8)
             }
             Alphabet::Custom(c) => {
                 let code = c.codes[letter as usize];
@@ -179,7 +182,10 @@ mod tests {
 
     #[test]
     fn custom_rejects_bad_inputs() {
-        assert!(matches!(Alphabet::custom(b""), Err(SeqError::EmptyAlphabet)));
+        assert!(matches!(
+            Alphabet::custom(b""),
+            Err(SeqError::EmptyAlphabet)
+        ));
         assert!(matches!(
             Alphabet::custom(b"AA"),
             Err(SeqError::DuplicateLetter('A'))

@@ -42,7 +42,10 @@ impl fmt::Display for SeqError {
                 write!(f, "alphabet character {c:?} appears more than once")
             }
             SeqError::UnknownLetter { letter, pos } => {
-                write!(f, "character {letter:?} at position {pos} is not in the alphabet")
+                write!(
+                    f,
+                    "character {letter:?} at position {pos} is not in the alphabet"
+                )
             }
             SeqError::FastaMissingHeader => {
                 write!(f, "FASTA input must begin with a '>' header line")
@@ -69,7 +72,10 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = SeqError::UnknownLetter { letter: 'N', pos: 3 };
+        let e = SeqError::UnknownLetter {
+            letter: 'N',
+            pos: 3,
+        };
         assert!(e.to_string().contains("'N'"));
         assert!(e.to_string().contains('3'));
         assert!(SeqError::EmptyAlphabet.to_string().contains("at least one"));

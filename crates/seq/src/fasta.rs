@@ -25,21 +25,28 @@ pub struct FastaRecord {
 ///
 /// Characters in sequence lines must belong to `alphabet` (whitespace is
 /// ignored). Empty records and a missing leading header are errors.
-pub fn read_fasta<R: BufRead>(reader: R, alphabet: &Alphabet) -> Result<Vec<FastaRecord>, SeqError> {
+pub fn read_fasta<R: BufRead>(
+    reader: R,
+    alphabet: &Alphabet,
+) -> Result<Vec<FastaRecord>, SeqError> {
     let mut records = Vec::new();
     let mut header: Option<(String, Option<String>)> = None;
     let mut body = String::new();
 
     let flush = |header: &mut Option<(String, Option<String>)>,
-                     body: &mut String,
-                     records: &mut Vec<FastaRecord>|
+                 body: &mut String,
+                 records: &mut Vec<FastaRecord>|
      -> Result<(), SeqError> {
         if let Some((id, description)) = header.take() {
             if body.trim().is_empty() {
                 return Err(SeqError::FastaEmptyRecord { id });
             }
             let sequence = Sequence::from_str_checked(alphabet.clone(), body)?;
-            records.push(FastaRecord { id, description, sequence });
+            records.push(FastaRecord {
+                id,
+                description,
+                sequence,
+            });
             body.clear();
         }
         Ok(())

@@ -74,7 +74,11 @@ impl MarkovModel {
             }
             row[sigma - 1] = 1.0;
         }
-        MarkovModel { alphabet, order, cumulative }
+        MarkovModel {
+            alphabet,
+            order,
+            cumulative,
+        }
     }
 
     /// The model's alphabet.
@@ -90,7 +94,11 @@ impl MarkovModel {
     /// Transition probability `P(next | context)`; `context` must have
     /// exactly `order` codes.
     pub fn probability(&self, context: &[u8], next: u8) -> f64 {
-        assert_eq!(context.len(), self.order, "context must have order-many codes");
+        assert_eq!(
+            context.len(),
+            self.order,
+            "context must have order-many codes"
+        );
         let sigma = self.alphabet.size();
         let row = context_index(context, sigma) * sigma;
         let hi = self.cumulative[row + next as usize];
@@ -154,7 +162,10 @@ mod tests {
         for a in 0..4u8 {
             for b in 0..4u8 {
                 let total: f64 = (0..4u8).map(|n| model.probability(&[a, b], n)).sum();
-                assert!((total - 1.0).abs() < 1e-12, "context [{a},{b}] sums to {total}");
+                assert!(
+                    (total - 1.0).abs() < 1e-12,
+                    "context [{a},{b}] sums to {total}"
+                );
             }
         }
     }

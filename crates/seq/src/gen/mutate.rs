@@ -25,12 +25,20 @@ pub struct MutationConfig {
 impl MutationConfig {
     /// Substitution-only noise.
     pub fn substitutions(rate: f64) -> Self {
-        MutationConfig { substitution: rate, insertion: 0.0, deletion: 0.0 }
+        MutationConfig {
+            substitution: rate,
+            insertion: 0.0,
+            deletion: 0.0,
+        }
     }
 
     /// Indel-only noise (equal insertion and deletion rates).
     pub fn indels(rate: f64) -> Self {
-        MutationConfig { substitution: 0.0, insertion: rate, deletion: rate }
+        MutationConfig {
+            substitution: 0.0,
+            insertion: rate,
+            deletion: rate,
+        }
     }
 
     fn validate(&self) {
@@ -39,7 +47,10 @@ impl MutationConfig {
             ("insertion", self.insertion),
             ("deletion", self.deletion),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} rate must be in [0,1], got {p}");
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} rate must be in [0,1], got {p}"
+            );
         }
         assert!(
             self.substitution + self.insertion + self.deletion <= 1.0,
@@ -135,11 +146,19 @@ mod tests {
     fn insertions_grow_and_deletions_shrink() {
         let s = input(2_000);
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = MutationConfig { substitution: 0.0, insertion: 0.05, deletion: 0.0 };
+        let cfg = MutationConfig {
+            substitution: 0.0,
+            insertion: 0.05,
+            deletion: 0.0,
+        };
         let (out, summary) = mutate(&mut rng, &s, cfg);
         assert_eq!(out.len(), s.len() + summary.insertions);
 
-        let cfg = MutationConfig { substitution: 0.0, insertion: 0.0, deletion: 0.05 };
+        let cfg = MutationConfig {
+            substitution: 0.0,
+            insertion: 0.0,
+            deletion: 0.05,
+        };
         let (out, summary) = mutate(&mut rng, &s, cfg);
         assert_eq!(out.len(), s.len() - summary.deletions);
     }
@@ -160,7 +179,11 @@ mod tests {
     fn over_unit_total_panics() {
         let s = input(10);
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = MutationConfig { substitution: 0.5, insertion: 0.4, deletion: 0.2 };
+        let cfg = MutationConfig {
+            substitution: 0.5,
+            insertion: 0.4,
+            deletion: 0.2,
+        };
         let _ = mutate(&mut rng, &s, cfg);
     }
 }

@@ -148,7 +148,12 @@ mod tests {
 
     #[test]
     fn max_span_formula() {
-        let spec = PeriodicMotif { motif: vec![0; 3], gap_min: 3, gap_max: 4, occurrences: 0 };
+        let spec = PeriodicMotif {
+            motif: vec![0; 3],
+            gap_min: 3,
+            gap_max: 4,
+            occurrences: 0,
+        };
         // 3 characters + 2 gaps of at most 4 = 11; matches the paper's
         // maxspan(l) = (l−1)M + l with l = 3, M = 4.
         assert_eq!(spec.max_span(), 11);
@@ -159,7 +164,12 @@ mod tests {
     fn motif_too_long_panics() {
         let mut s = background(10, 5);
         let mut rng = StdRng::seed_from_u64(6);
-        let spec = PeriodicMotif { motif: vec![0; 5], gap_min: 9, gap_max: 12, occurrences: 1 };
+        let spec = PeriodicMotif {
+            motif: vec![0; 5],
+            gap_min: 9,
+            gap_max: 12,
+            occurrences: 1,
+        };
         let _ = plant_periodic(&mut rng, &mut s, &spec);
     }
 
@@ -168,7 +178,12 @@ mod tests {
     fn empty_motif_panics() {
         let mut s = background(100, 7);
         let mut rng = StdRng::seed_from_u64(8);
-        let spec = PeriodicMotif { motif: vec![], gap_min: 1, gap_max: 2, occurrences: 1 };
+        let spec = PeriodicMotif {
+            motif: vec![],
+            gap_min: 1,
+            gap_max: 2,
+            occurrences: 1,
+        };
         let _ = plant_periodic(&mut rng, &mut s, &spec);
     }
 
@@ -177,7 +192,12 @@ mod tests {
         let mut s = background(200, 9);
         let orig = s.clone();
         let mut rng = StdRng::seed_from_u64(10);
-        let spec = PeriodicMotif { motif: vec![0, 1], gap_min: 2, gap_max: 3, occurrences: 0 };
+        let spec = PeriodicMotif {
+            motif: vec![0, 1],
+            gap_min: 2,
+            gap_max: 3,
+            occurrences: 0,
+        };
         let starts = plant_periodic(&mut rng, &mut s, &spec);
         assert!(starts.is_empty());
         assert_eq!(s, orig);

@@ -54,7 +54,10 @@ pub fn plant_tandem<R: Rng + ?Sized>(
         background.alphabet() == unit.alphabet(),
         "unit and background must share an alphabet"
     );
-    assert!((0.0..=1.0).contains(&error_rate), "error_rate must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&error_rate),
+        "error_rate must be in [0,1]"
+    );
     let array = tandem_repeat(unit, copies, None);
     assert!(
         start + array.len() <= background.len(),
@@ -125,7 +128,10 @@ mod tests {
         let unit = Sequence::dna("ACGT").unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let errors = plant_tandem(&mut rng, &mut bg, &unit, 50, 0, 0.25);
-        assert!(errors > 20 && errors < 80, "errors = {errors}, expected ≈ 50");
+        assert!(
+            errors > 20 && errors < 80,
+            "errors = {errors}, expected ≈ 50"
+        );
         // Every substituted position holds a *different* character, so the
         // mismatch count against the clean array equals the error count.
         let clean = tandem_repeat(&unit, 50, None);

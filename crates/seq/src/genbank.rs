@@ -37,8 +37,8 @@ pub fn read_genbank<R: BufRead>(
     let mut body = String::new();
 
     let flush = |locus: &mut Option<(String, Option<usize>)>,
-                     body: &mut String,
-                     records: &mut Vec<GenBankRecord>|
+                 body: &mut String,
+                 records: &mut Vec<GenBankRecord>|
      -> Result<(), SeqError> {
         if let Some((name, stated_len)) = locus.take() {
             if body.is_empty() {
@@ -53,7 +53,11 @@ pub fn read_genbank<R: BufRead>(
                     )));
                 }
             }
-            records.push(GenBankRecord { locus: name, stated_len, sequence });
+            records.push(GenBankRecord {
+                locus: name,
+                stated_len,
+                sequence,
+            });
             body.clear();
         }
         Ok(())
@@ -124,8 +128,10 @@ ORIGIN
 
     #[test]
     fn parses_multiple_records() {
-        let two = format!("{SAMPLE}{}",
-            "LOCUS       TINY                   8 bp    DNA\nORIGIN\n        1 aattccgg\n//\n");
+        let two = format!(
+            "{SAMPLE}{}",
+            "LOCUS       TINY                   8 bp    DNA\nORIGIN\n        1 aattccgg\n//\n"
+        );
         let recs = parse_genbank(&two, &Alphabet::Dna).unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[1].locus, "TINY");

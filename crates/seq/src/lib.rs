@@ -24,8 +24,8 @@ pub mod alphabet;
 pub mod error;
 pub mod fasta;
 pub mod fragment;
-pub mod genbank;
 pub mod gen;
+pub mod genbank;
 pub mod oscillation;
 pub mod packed;
 pub mod sequence;

@@ -48,7 +48,11 @@ impl OscillationSpectrum {
         let mut out = Vec::new();
         for i in 0..v.len() {
             let left = if i == 0 { f64::NEG_INFINITY } else { v[i - 1] };
-            let right = if i + 1 == v.len() { f64::NEG_INFINITY } else { v[i + 1] };
+            let right = if i + 1 == v.len() {
+                f64::NEG_INFINITY
+            } else {
+                v[i + 1]
+            };
             if v[i] > threshold && v[i] >= left && v[i] >= right {
                 out.push((self.min_distance + i, v[i]));
             }
@@ -97,7 +101,12 @@ pub fn correlation_spectrum(
             observed - expected
         })
         .collect();
-    OscillationSpectrum { a, b, min_distance, values }
+    OscillationSpectrum {
+        a,
+        b,
+        min_distance,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +170,12 @@ mod tests {
         let mut s = uniform(&mut StdRng::seed_from_u64(2), Alphabet::Dna, 10_000);
         let mut rng = StdRng::seed_from_u64(3);
         // Plant A.{10}A.{10}A chains (fixed gap 10 → distance 11).
-        let spec = PeriodicMotif { motif: vec![0; 6], gap_min: 10, gap_max: 10, occurrences: 250 };
+        let spec = PeriodicMotif {
+            motif: vec![0; 6],
+            gap_min: 10,
+            gap_max: 10,
+            occurrences: 250,
+        };
         plant_periodic(&mut rng, &mut s, &spec);
         let spectrum = correlation_spectrum(&s, 0, 0, 5, 20);
         let (peak_p, _) = spectrum.peak().unwrap();

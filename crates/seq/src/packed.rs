@@ -89,7 +89,11 @@ impl PackedDna {
     /// # Panics
     /// Panics if `i >= len`.
     pub fn get(&self, i: usize) -> u8 {
-        assert!(i < self.len, "index {i} out of range for {} bases", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for {} bases",
+            self.len
+        );
         (self.bytes[i / 4] >> (2 * (i % 4))) & 0b11
     }
 
@@ -98,7 +102,11 @@ impl PackedDna {
     /// # Panics
     /// Panics if `i >= len` or `code >= 4`.
     pub fn set(&mut self, i: usize, code: u8) {
-        assert!(i < self.len, "index {i} out of range for {} bases", self.len);
+        assert!(
+            i < self.len,
+            "index {i} out of range for {} bases",
+            self.len
+        );
         assert!(code < 4, "DNA code must be 0..4, got {code}");
         let shift = 2 * (i % 4);
         let byte = &mut self.bytes[i / 4];

@@ -86,7 +86,11 @@ impl Sequence {
     /// # Panics
     /// Panics if `i` is 0 or exceeds the length.
     pub fn at1(&self, i: usize) -> u8 {
-        assert!(i >= 1 && i <= self.codes.len(), "S[{i}] out of range 1..={}", self.codes.len());
+        assert!(
+            i >= 1 && i <= self.codes.len(),
+            "S[{i}] out of range 1..={}",
+            self.codes.len()
+        );
         self.codes[i - 1]
     }
 
@@ -147,7 +151,10 @@ impl Sequence {
         );
         // Codes: A=0, C=1, G=2, T=3 — complement is 3 − code.
         let codes = self.codes.iter().rev().map(|&c| 3 - c).collect();
-        Sequence { alphabet: Alphabet::Dna, codes }
+        Sequence {
+            alphabet: Alphabet::Dna,
+            codes,
+        }
     }
 
     /// Per-code occurrence frequencies summing to 1 (all zeros for an
@@ -222,7 +229,13 @@ mod tests {
     #[test]
     fn rejects_unknown_characters() {
         let err = Sequence::dna("ACGN").unwrap_err();
-        assert!(matches!(err, SeqError::UnknownLetter { letter: 'N', pos: 3 }));
+        assert!(matches!(
+            err,
+            SeqError::UnknownLetter {
+                letter: 'N',
+                pos: 3
+            }
+        ));
     }
 
     #[test]
@@ -274,7 +287,13 @@ mod tests {
     #[test]
     fn protein_rejects_nonstandard_codes() {
         let err = Sequence::protein("MKXVT").unwrap_err();
-        assert!(matches!(err, SeqError::UnknownLetter { letter: 'X', pos: 2 }));
+        assert!(matches!(
+            err,
+            SeqError::UnknownLetter {
+                letter: 'X',
+                pos: 2
+            }
+        ));
     }
 
     #[test]

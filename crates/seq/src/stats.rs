@@ -103,7 +103,7 @@ mod tests {
         assert_eq!(k3[&vec![0u8, 1, 2]], 2); // ACG twice
         assert_eq!(k3[&vec![1u8, 2, 0]], 1); // CGA once
         assert_eq!(k3.values().sum::<u64>(), 4); // L - k + 1
-        // k longer than the sequence → empty map.
+                                                 // k longer than the sequence → empty map.
         assert!(kmer_counts(&s, 7).is_empty());
     }
 

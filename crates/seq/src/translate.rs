@@ -33,22 +33,70 @@ pub fn translate_codon(codon: [u8; 3]) -> Codon {
         // Build from (first, second, third) triples. b'*' marks stop.
         // Rows follow the standard codon table.
         let entries: [(&[u8; 3], u8); 64] = [
-            (b"AAA", b'K'), (b"AAC", b'N'), (b"AAG", b'K'), (b"AAT", b'N'),
-            (b"ACA", b'T'), (b"ACC", b'T'), (b"ACG", b'T'), (b"ACT", b'T'),
-            (b"AGA", b'R'), (b"AGC", b'S'), (b"AGG", b'R'), (b"AGT", b'S'),
-            (b"ATA", b'I'), (b"ATC", b'I'), (b"ATG", b'M'), (b"ATT", b'I'),
-            (b"CAA", b'Q'), (b"CAC", b'H'), (b"CAG", b'Q'), (b"CAT", b'H'),
-            (b"CCA", b'P'), (b"CCC", b'P'), (b"CCG", b'P'), (b"CCT", b'P'),
-            (b"CGA", b'R'), (b"CGC", b'R'), (b"CGG", b'R'), (b"CGT", b'R'),
-            (b"CTA", b'L'), (b"CTC", b'L'), (b"CTG", b'L'), (b"CTT", b'L'),
-            (b"GAA", b'E'), (b"GAC", b'D'), (b"GAG", b'E'), (b"GAT", b'D'),
-            (b"GCA", b'A'), (b"GCC", b'A'), (b"GCG", b'A'), (b"GCT", b'A'),
-            (b"GGA", b'G'), (b"GGC", b'G'), (b"GGG", b'G'), (b"GGT", b'G'),
-            (b"GTA", b'V'), (b"GTC", b'V'), (b"GTG", b'V'), (b"GTT", b'V'),
-            (b"TAA", b'*'), (b"TAC", b'Y'), (b"TAG", b'*'), (b"TAT", b'Y'),
-            (b"TCA", b'S'), (b"TCC", b'S'), (b"TCG", b'S'), (b"TCT", b'S'),
-            (b"TGA", b'*'), (b"TGC", b'C'), (b"TGG", b'W'), (b"TGT", b'C'),
-            (b"TTA", b'L'), (b"TTC", b'F'), (b"TTG", b'L'), (b"TTT", b'F'),
+            (b"AAA", b'K'),
+            (b"AAC", b'N'),
+            (b"AAG", b'K'),
+            (b"AAT", b'N'),
+            (b"ACA", b'T'),
+            (b"ACC", b'T'),
+            (b"ACG", b'T'),
+            (b"ACT", b'T'),
+            (b"AGA", b'R'),
+            (b"AGC", b'S'),
+            (b"AGG", b'R'),
+            (b"AGT", b'S'),
+            (b"ATA", b'I'),
+            (b"ATC", b'I'),
+            (b"ATG", b'M'),
+            (b"ATT", b'I'),
+            (b"CAA", b'Q'),
+            (b"CAC", b'H'),
+            (b"CAG", b'Q'),
+            (b"CAT", b'H'),
+            (b"CCA", b'P'),
+            (b"CCC", b'P'),
+            (b"CCG", b'P'),
+            (b"CCT", b'P'),
+            (b"CGA", b'R'),
+            (b"CGC", b'R'),
+            (b"CGG", b'R'),
+            (b"CGT", b'R'),
+            (b"CTA", b'L'),
+            (b"CTC", b'L'),
+            (b"CTG", b'L'),
+            (b"CTT", b'L'),
+            (b"GAA", b'E'),
+            (b"GAC", b'D'),
+            (b"GAG", b'E'),
+            (b"GAT", b'D'),
+            (b"GCA", b'A'),
+            (b"GCC", b'A'),
+            (b"GCG", b'A'),
+            (b"GCT", b'A'),
+            (b"GGA", b'G'),
+            (b"GGC", b'G'),
+            (b"GGG", b'G'),
+            (b"GGT", b'G'),
+            (b"GTA", b'V'),
+            (b"GTC", b'V'),
+            (b"GTG", b'V'),
+            (b"GTT", b'V'),
+            (b"TAA", b'*'),
+            (b"TAC", b'Y'),
+            (b"TAG", b'*'),
+            (b"TAT", b'Y'),
+            (b"TCA", b'S'),
+            (b"TCC", b'S'),
+            (b"TCG", b'S'),
+            (b"TCT", b'S'),
+            (b"TGA", b'*'),
+            (b"TGC", b'C'),
+            (b"TGG", b'W'),
+            (b"TGT", b'C'),
+            (b"TTA", b'L'),
+            (b"TTC", b'F'),
+            (b"TTG", b'L'),
+            (b"TTT", b'F'),
         ];
         const fn code(ch: u8) -> usize {
             match ch {
@@ -82,7 +130,10 @@ pub fn translate_codon(codon: [u8; 3]) -> Codon {
 /// # Panics
 /// Panics if the input is not DNA or `frame > 2`.
 pub fn translate(seq: &Sequence, frame: usize, stop_at_stop: bool) -> Sequence {
-    assert!(*seq.alphabet() == Alphabet::Dna, "translation needs DNA input");
+    assert!(
+        *seq.alphabet() == Alphabet::Dna,
+        "translation needs DNA input"
+    );
     assert!(frame <= 2, "reading frame must be 0, 1 or 2");
     let codes = seq.codes();
     let mut protein = Vec::with_capacity(codes.len() / 3);
@@ -146,7 +197,11 @@ pub fn find_orfs(seq: &Sequence, min_codons: usize) -> Vec<Orf> {
                     j += 3;
                 }
                 if let Some(end) = found {
-                    let orf = Orf { start: i, end, frame };
+                    let orf = Orf {
+                        start: i,
+                        end,
+                        frame,
+                    };
                     if orf.codons() >= min_codons {
                         out.push(orf);
                     }
@@ -191,7 +246,11 @@ mod tests {
                 for c in 0..4u8 {
                     match translate_codon([a, b, c]) {
                         Codon::AminoAcid(aa) => {
-                            assert!(Alphabet::Protein.code(aa).is_some(), "residue {}", aa as char);
+                            assert!(
+                                Alphabet::Protein.code(aa).is_some(),
+                                "residue {}",
+                                aa as char
+                            );
                             aa_count += 1;
                         }
                         Codon::Stop => stop_count += 1,

@@ -115,7 +115,9 @@ fn alphabet_from_code(code: u8, letters: &[u8]) -> Result<Alphabet, StoreError> 
         1 => Ok(Alphabet::Protein),
         2 => Alphabet::custom(letters)
             .map_err(|e| StoreError::Corrupt(format!("custom alphabet: {e}"))),
-        other => Err(StoreError::Corrupt(format!("unknown alphabet code {other}"))),
+        other => Err(StoreError::Corrupt(format!(
+            "unknown alphabet code {other}"
+        ))),
     }
 }
 
@@ -244,12 +246,19 @@ pub fn load_outcome<R: Read>(source: R) -> Result<LoadedOutcome, StoreError> {
         }
         let support = r.u128()?;
         let ratio = r.f64()?;
-        frequent.push(FrequentPattern { pattern: Pattern::from_codes(codes), support, ratio });
+        frequent.push(FrequentPattern {
+            pattern: Pattern::from_codes(codes),
+            support,
+            ratio,
+        });
     }
     r.verify_checksum()?;
     let outcome = MineOutcome {
         frequent,
-        stats: MineStats { n_used, ..MineStats::default() },
+        stats: MineStats {
+            n_used,
+            ..MineStats::default()
+        },
     };
     Ok(LoadedOutcome { outcome, gap, rho })
 }
@@ -257,8 +266,8 @@ pub fn load_outcome<R: Read>(source: R) -> Result<LoadedOutcome, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perigap_core::mppm::mppm;
     use perigap_core::mpp::MppConfig;
+    use perigap_core::mppm::mppm;
     use perigap_seq::gen::iid::uniform;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -322,18 +331,27 @@ mod tests {
         let seq = dna(40, 3);
         let mut buf = save_sequence(Vec::new(), &seq).unwrap();
         buf[0] = b'X';
-        assert!(matches!(load_sequence(&buf[..]), Err(StoreError::BadHeader(_))));
+        assert!(matches!(
+            load_sequence(&buf[..]),
+            Err(StoreError::BadHeader(_))
+        ));
 
         let mut buf = save_sequence(Vec::new(), &seq).unwrap();
         buf[4] = 99; // version
-        assert!(matches!(load_sequence(&buf[..]), Err(StoreError::BadHeader(_))));
+        assert!(matches!(
+            load_sequence(&buf[..]),
+            Err(StoreError::BadHeader(_))
+        ));
     }
 
     #[test]
     fn cross_section_loads_are_rejected() {
         let seq = dna(40, 4);
         let buf = save_sequence(Vec::new(), &seq).unwrap();
-        assert!(matches!(load_outcome(&buf[..]), Err(StoreError::BadHeader(_))));
+        assert!(matches!(
+            load_outcome(&buf[..]),
+            Err(StoreError::BadHeader(_))
+        ));
     }
 
     #[test]
@@ -351,13 +369,17 @@ mod tests {
         let seq = dna(300, 6);
         let buf = save_sequence(Vec::new(), &seq).unwrap();
         let result = load_sequence(&buf[..buf.len() - 3]);
-        assert!(matches!(result, Err(StoreError::Io(_) | StoreError::ChecksumMismatch { .. })));
+        assert!(matches!(
+            result,
+            Err(StoreError::Io(_) | StoreError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]
     fn file_roundtrip() {
         let seq = dna(500, 8);
-        let path = std::env::temp_dir().join(format!("perigap-store-test-{}.pgst", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("perigap-store-test-{}.pgst", std::process::id()));
         let file = std::fs::File::create(&path).unwrap();
         save_sequence(file, &seq).unwrap();
         let back = load_sequence(std::fs::File::open(&path).unwrap()).unwrap();

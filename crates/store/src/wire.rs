@@ -48,7 +48,10 @@ pub struct Writer<W: Write> {
 impl<W: Write> Writer<W> {
     /// Wrap a sink.
     pub fn new(inner: W) -> Self {
-        Writer { inner, hash: Fnv1a::default() }
+        Writer {
+            inner,
+            hash: Fnv1a::default(),
+        }
     }
 
     /// The checksum of everything written so far.
@@ -112,7 +115,10 @@ pub struct Reader<R: Read> {
 impl<R: Read> Reader<R> {
     /// Wrap a source.
     pub fn new(inner: R) -> Self {
-        Reader { inner, hash: Fnv1a::default() }
+        Reader {
+            inner,
+            hash: Fnv1a::default(),
+        }
     }
 
     /// Read exactly `n` bytes (hashed).
@@ -169,7 +175,10 @@ impl<R: Read> Reader<R> {
         self.inner.read_exact(&mut buf)?;
         let stored = u64::from_le_bytes(buf);
         if stored != expected {
-            return Err(StoreError::ChecksumMismatch { stored, computed: expected });
+            return Err(StoreError::ChecksumMismatch {
+                stored,
+                computed: expected,
+            });
         }
         Ok(())
     }

@@ -27,7 +27,12 @@ fn genome(seed: u64, len: usize, g_rich: bool) -> Sequence {
     let mut seq = weighted(&mut rng, Alphabet::Dna, len, &weights);
     for _ in 0..(len / 400).max(2) {
         let motif: Vec<u8> = (0..12).map(|i| if i % 2 == 0 { 0 } else { 3 }).collect();
-        let spec = PeriodicMotif { motif, gap_min: 10, gap_max: 12, occurrences: 1 };
+        let spec = PeriodicMotif {
+            motif,
+            gap_min: 10,
+            gap_max: 12,
+            occurrences: 1,
+        };
         plant_periodic(&mut rng, &mut seq, &spec);
     }
     if g_rich {
@@ -60,9 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         focal_length: 8,
     };
     let (at_total, one_total, many_total) = class_totals(8);
-    println!(
-        "length-8 classes: {at_total} A/T-only, {one_total} one-C/G, {many_total} many-C/G\n"
-    );
+    println!("length-8 classes: {at_total} A/T-only, {one_total} one-C/G, {many_total} many-C/G\n");
 
     let genomes = [
         ("bacterium-1", genome(11, 36_000, false)),
@@ -71,7 +74,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let mut table = TextTable::new(&[
-        "genome", "fragments", "mean A/T-only", "mean many-C/G", "ubiquitous A/T", "longest",
+        "genome",
+        "fragments",
+        "mean A/T-only",
+        "mean many-C/G",
+        "ubiquitous A/T",
+        "longest",
     ]);
     for (name, g) in &genomes {
         let report = run_case_study(name, g, &config)?;

@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gap,
         window,
         2,
-        MppConfig { max_level: Some(reference.longest_len().max(3)), ..MppConfig::default() },
+        MppConfig {
+            max_level: Some(reference.longest_len().max(3)),
+            ..MppConfig::default()
+        },
     )?;
     let lost = cross_window_loss(&reference, &windowed);
     let lost_long = lost.iter().filter(|p| p.len() >= 5).count();

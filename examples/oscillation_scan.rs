@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(1999);
     let mut seq = weighted(&mut rng, Alphabet::Dna, 12_000, &[0.3, 0.2, 0.2, 0.3]);
     for _ in 0..40 {
-        let spec = PeriodicMotif { motif: vec![0; 12], gap_min: 10, gap_max: 10, occurrences: 1 };
+        let spec = PeriodicMotif {
+            motif: vec![0; 12],
+            gap_min: 10,
+            gap_max: 10,
+            occurrences: 1,
+        };
         plant_periodic(&mut rng, &mut seq, &spec);
     }
 

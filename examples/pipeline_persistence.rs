@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    gaps that *vary* between 5 and 7 per occurrence.
     let mut rng = StdRng::seed_from_u64(7777);
     let mut genome = weighted(&mut rng, Alphabet::Dna, 4_000, &[0.3, 0.2, 0.2, 0.3]);
-    let spec = PeriodicMotif { motif: vec![1, 0, 3], gap_min: 5, gap_max: 7, occurrences: 150 };
+    let spec = PeriodicMotif {
+        motif: vec![1, 0, 3],
+        gap_min: 5,
+        gap_max: 7,
+        occurrences: 150,
+    };
     plant_periodic(&mut rng, &mut genome, &spec);
 
     // 2. Persist the sequence (2-bit packed on disk).
@@ -61,7 +66,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flexible_sup = outcome.get(&cat).map(|f| f.support).unwrap_or(0);
     let rigid = rigid_mine(
         &loaded_seq,
-        RigidConfig { density_l: 2, density_w: 8, min_support: 5, min_solids: 3, max_solids: 3 },
+        RigidConfig {
+            density_l: 2,
+            density_w: 8,
+            min_support: 5,
+            min_solids: 3,
+            max_solids: 3,
+        },
     )?;
     let best_rigid = rigid
         .iter()

@@ -11,7 +11,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn assert_same_outcomes(a: &MineOutcome, b: &MineOutcome, label: &str) {
-    assert_eq!(a.frequent.len(), b.frequent.len(), "{label}: set sizes differ");
+    assert_eq!(
+        a.frequent.len(),
+        b.frequent.len(),
+        "{label}: set sizes differ"
+    );
     for f in &a.frequent {
         let other = b
             .get(&f.pattern)
@@ -34,13 +38,24 @@ fn all_miners_agree_across_seeds() {
         // The enumeration baseline needs a level cap to stay tractable;
         // compare the sets restricted to that depth.
         let depth = worst.longest_len().max(4);
-        let capped = MppConfig { max_level: Some(depth), ..config };
+        let capped = MppConfig {
+            max_level: Some(depth),
+            ..config
+        };
         let baseline = enumerate(&seq, gap, rho, capped, u128::MAX).unwrap();
         let worst_capped = mpp(&seq, gap, rho, gap.l1(seq.len()), capped).unwrap();
 
         assert_same_outcomes(&worst, &auto, &format!("seed {seed}: worst vs mppm"));
-        assert_same_outcomes(&worst, &adapt.outcome, &format!("seed {seed}: worst vs adaptive"));
-        assert_same_outcomes(&worst_capped, &baseline, &format!("seed {seed}: worst vs enum"));
+        assert_same_outcomes(
+            &worst,
+            &adapt.outcome,
+            &format!("seed {seed}: worst vs adaptive"),
+        );
+        assert_same_outcomes(
+            &worst_capped,
+            &baseline,
+            &format!("seed {seed}: worst vs enum"),
+        );
     }
 }
 

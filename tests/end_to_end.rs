@@ -21,7 +21,12 @@ fn fasta_to_report_pipeline() {
     // 1. Generate.
     let mut rng = StdRng::seed_from_u64(2024);
     let mut genome = weighted(&mut rng, Alphabet::Dna, 6_000, &[0.33, 0.17, 0.17, 0.33]);
-    let spec = PeriodicMotif { motif: vec![0, 3, 0, 3, 0, 3], gap_min: 9, gap_max: 11, occurrences: 80 };
+    let spec = PeriodicMotif {
+        motif: vec![0, 3, 0, 3, 0, 3],
+        gap_min: 9,
+        gap_max: 11,
+        occurrences: 80,
+    };
     plant_periodic(&mut rng, &mut genome, &spec);
 
     // 2. FASTA round trip.
@@ -57,8 +62,11 @@ fn fasta_to_report_pipeline() {
         enrichment(&genome, &counts, &planted, sup) > 1.2,
         "planted ATATA should beat the i.i.d. expectation"
     );
-    let mined: Vec<(&Pattern, u128)> =
-        outcome.frequent.iter().map(|f| (&f.pattern, f.support)).collect();
+    let mined: Vec<(&Pattern, u128)> = outcome
+        .frequent
+        .iter()
+        .map(|f| (&f.pattern, f.support))
+        .collect();
     let ranked = rank_by_enrichment(&genome, &counts, mined);
     assert_eq!(ranked.len(), outcome.frequent.len());
     assert!(ranked.windows(2).all(|w| w[0].3 >= w[1].3));
@@ -66,7 +74,11 @@ fn fasta_to_report_pipeline() {
     // 7. Report renders.
     let mut table = TextTable::new(&["pattern", "sup", "enrichment"]);
     for (p, sup, _, e) in ranked.iter().take(5) {
-        table.row(&[p.display(&Alphabet::Dna), sup.to_string(), format!("{e:.2}")]);
+        table.row(&[
+            p.display(&Alphabet::Dna),
+            sup.to_string(),
+            format!("{e:.2}"),
+        ]);
     }
     let rendered = table.render();
     assert!(rendered.lines().count() >= 3);
@@ -77,7 +89,12 @@ fn fragmented_case_study_pipeline() {
     let mut rng = StdRng::seed_from_u64(77);
     let mut genome = weighted(&mut rng, Alphabet::Dna, 9_000, &[0.32, 0.18, 0.18, 0.32]);
     for _ in 0..20 {
-        let spec = PeriodicMotif { motif: vec![0; 10], gap_min: 10, gap_max: 12, occurrences: 1 };
+        let spec = PeriodicMotif {
+            motif: vec![0; 10],
+            gap_min: 10,
+            gap_max: 12,
+            occurrences: 1,
+        };
         plant_periodic(&mut rng, &mut genome, &spec);
     }
     let config = CaseStudyConfig {
@@ -95,8 +112,14 @@ fn fragmented_case_study_pipeline() {
     assert_eq!(frags.len(), 3);
     assert_eq!(frags[1].start, 3_000);
     // Per-fragment mining agrees with a direct run on that fragment.
-    let direct = mppm(&frags[0].sequence, config.gap, config.rho, config.m, MppConfig::default())
-        .unwrap();
+    let direct = mppm(
+        &frags[0].sequence,
+        config.gap,
+        config.rho,
+        config.m,
+        MppConfig::default(),
+    )
+    .unwrap();
     assert_eq!(report.fragments[0].longest, direct.longest_len());
     assert_eq!(
         report.fragments[0].focal_patterns.len(),

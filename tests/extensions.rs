@@ -16,7 +16,12 @@ use rand::SeedableRng;
 fn shared_input() -> (Sequence, GapRequirement, f64) {
     let mut rng = StdRng::seed_from_u64(31415);
     let mut seq = weighted(&mut rng, Alphabet::Dna, 1_500, &[0.3, 0.2, 0.2, 0.3]);
-    let spec = PeriodicMotif { motif: vec![2, 0, 3, 1], gap_min: 4, gap_max: 6, occurrences: 90 };
+    let spec = PeriodicMotif {
+        motif: vec![2, 0, 3, 1],
+        gap_min: 4,
+        gap_max: 6,
+        occurrences: 90,
+    };
     plant_periodic(&mut rng, &mut seq, &spec);
     (seq, GapRequirement::new(4, 6).unwrap(), 0.0005)
 }
@@ -52,7 +57,13 @@ fn rigid_baseline_splits_flexible_support() {
     let flexible = support_dp(&seq, gap, &motif);
     let rigid = rigid_mine(
         &seq,
-        RigidConfig { density_l: 2, density_w: 7, min_support: 3, min_solids: 4, max_solids: 4 },
+        RigidConfig {
+            density_l: 2,
+            density_w: 7,
+            min_support: 3,
+            min_solids: 4,
+            max_solids: 4,
+        },
     )
     .unwrap();
     let best_layout = rigid
@@ -71,7 +82,10 @@ fn rigid_baseline_splits_flexible_support() {
     // Sanity: the sum over all layouts is at least the flexible count
     // is NOT generally true (layout combinations multiply), but each
     // layout's support is a lower bound contributor.
-    assert!(best_layout > 0, "the planted motif has at least one rigid layout");
+    assert!(
+        best_layout > 0,
+        "the planted motif has at least one rigid layout"
+    );
 }
 
 #[test]
@@ -91,7 +105,10 @@ fn asynchronous_model_needs_contiguity_flexible_model_does_not() {
     let gap = GapRequirement::new(4, 6).unwrap();
     let aaa = Pattern::parse("AAA", &Alphabet::Dna).unwrap();
     let flexible = support_dp(&seq, gap, &aaa);
-    assert!(flexible > 50, "flexible model sees the varying-period chain: {flexible}");
+    assert!(
+        flexible > 50,
+        "flexible model sees the varying-period chain: {flexible}"
+    );
     // Fixed-period template (p = 6) only catches stretches where the
     // spacing happens to be exactly 6.
     let template = CycleTemplate::singleton(6, 0, 0);
@@ -105,7 +122,9 @@ fn asynchronous_model_needs_contiguity_flexible_model_does_not() {
     // But the singleton miner still works on truly fixed-period data.
     let fixed = Sequence::dna(&"ATTTTT".repeat(40)).unwrap();
     let mined = mine_singletons(&fixed, 6, 3, 2, 10).unwrap();
-    assert!(mined.iter().any(|(t, v)| t.solid_count() == 1 && v.repetitions >= 39));
+    assert!(mined
+        .iter()
+        .any(|(t, v)| t.solid_count() == 1 && v.repetitions >= 39));
 }
 
 #[test]
@@ -114,7 +133,7 @@ fn translation_bridges_to_protein_mining() {
     // then mine the protein side — the paper's suggested workflow for
     // its α-helix explanation.
     let unit_protein = "LKDAQGE"; // 7 residues
-    // Reverse-translate with arbitrary codons.
+                                  // Reverse-translate with arbitrary codons.
     let codon_for = |aa: char| match aa {
         'L' => "CTG",
         'K' => "AAA",
@@ -137,7 +156,7 @@ fn translation_bridges_to_protein_mining() {
     assert_eq!(orfs.len(), 1);
     let protein = translate(&gene, 0, true);
     assert_eq!(protein.len(), 1 + 12 * 7); // M + repeats
-    // Mine the protein at the repeat period: gap [6,6] (7 residues apart).
+                                           // Mine the protein at the repeat period: gap [6,6] (7 residues apart).
     let gap = GapRequirement::new(6, 6).unwrap();
     let outcome = mppm(&protein, gap, 0.05, 2, MppConfig::default()).unwrap();
     assert!(

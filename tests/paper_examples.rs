@@ -1,10 +1,10 @@
 //! Every worked example in the paper, verified end to end against the
 //! public API. Each test cites the section it reproduces.
 
-use perigap::prelude::*;
 use perigap::core::em::kr_table;
 use perigap::core::naive::{enumerate_matches, support_dp};
 use perigap::core::pil::Pil;
+use perigap::prelude::*;
 
 fn pat(text: &str) -> Pattern {
     Pattern::parse(text, &Alphabet::Dna).unwrap()

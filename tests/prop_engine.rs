@@ -1,0 +1,109 @@
+//! Differential property tests: the packed-key arena engine vs the
+//! seed reference implementation, across random sequences, gap
+//! requirements (including the degenerate `N == M`) and alphabets
+//! (dense-table DNA, sparse-key protein, and an odd-sized custom set).
+
+use perigap::core::naive::support_dp;
+use perigap::core::pil::Pil;
+use perigap::core::reference::{build_all_reference, mpp_reference};
+use perigap::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an alphabet whose size exercises all three seeding paths —
+/// 4 (dense, 2 bits/symbol), 20 (dense at level 3, sparse higher), and
+/// a 3-letter custom alphabet (non-power-of-two bit width).
+fn alphabet() -> impl Strategy<Value = Alphabet> {
+    (0u8..3).prop_map(|which| match which {
+        0 => Alphabet::Dna,
+        1 => Alphabet::Protein,
+        _ => Alphabet::custom(b"xyz").unwrap(),
+    })
+}
+
+/// Strategy: codes valid for any of the alphabets above (< 3 always).
+fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..3, 5..max_len)
+}
+
+/// Strategy: a gap requirement, biased to include `N == M`.
+fn gap_req() -> impl Strategy<Value = (usize, usize)> {
+    (0usize..4, 0usize..3).prop_map(|(n, w)| (n, n + w))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_seed_matches_reference(
+        (alpha, codes, (n, m)) in (alphabet(), codes(60), gap_req())
+    ) {
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        for level in 1..=4usize {
+            let engine = Pil::build_all(&seq, gap, level);
+            let reference = build_all_reference(&seq, gap, level);
+            prop_assert_eq!(engine.len(), reference.len(), "level {}", level);
+            for (pattern, pil) in &reference {
+                prop_assert_eq!(engine.get(pattern), Some(pil), "level {}", level);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_seed_matches_dp_oracle(
+        (alpha, codes, (n, m)) in (alphabet(), codes(40), gap_req())
+    ) {
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        for level in 1..=3usize {
+            for (pattern, pil) in &Pil::build_all(&seq, gap, level) {
+                prop_assert_eq!(pil.support(), support_dp(&seq, gap, pattern));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_equal_gap_agrees(
+        (alpha, codes, n) in (alphabet(), codes(50), 0usize..5)
+    ) {
+        // N == M: exactly one admissible step, so PILs collapse to
+        // single-count entries and the join window has width one.
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, n).unwrap();
+        let engine = Pil::build_all(&seq, gap, 3);
+        let reference = build_all_reference(&seq, gap, 3);
+        prop_assert_eq!(engine.len(), reference.len());
+        for (pattern, pil) in &reference {
+            prop_assert_eq!(engine.get(pattern), Some(pil));
+        }
+    }
+
+    #[test]
+    fn mined_frequent_sets_agree(
+        (alpha, codes, (n, m), rho_scale, threads) in
+            (alphabet(), codes(60), gap_req(), 1usize..40, 1usize..5)
+    ) {
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = rho_scale as f64 * 1e-4;
+        let config = MppConfig::default();
+        let old = mpp_reference(&seq, gap, rho, 8, config, threads);
+        let new = mpp_parallel(&seq, gap, rho, 8, config, threads);
+        // Sequences too short for a level-3 pattern under this gap are
+        // rejected; both engines must agree on that too.
+        prop_assert_eq!(old.is_ok(), new.is_ok());
+        let Ok(old) = old else { return Ok(()) };
+        let new = new.unwrap();
+        prop_assert_eq!(old.frequent.len(), new.frequent.len());
+        for (a, b) in old.frequent.iter().zip(&new.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+        }
+        let serial = mpp(&seq, gap, rho, 8, config).unwrap();
+        prop_assert_eq!(serial.frequent.len(), new.frequent.len());
+        for (a, b) in serial.frequent.iter().zip(&new.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+        }
+    }
+}

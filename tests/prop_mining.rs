@@ -1,9 +1,9 @@
 //! Property-based tests of the mining invariants on random sequences,
 //! gap requirements and thresholds.
 
+use perigap::core::counts::{n_by_position_dp, OffsetCounts};
 use perigap::core::naive::{enumerate_matches, support_dp};
 use perigap::core::pil::Pil;
-use perigap::core::counts::{n_by_position_dp, OffsetCounts};
 use perigap::prelude::*;
 use proptest::prelude::*;
 

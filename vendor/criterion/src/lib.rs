@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! patches `criterion` to this crate. It implements the harness
+//! surface the workspace's benches use — `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId`], and [`black_box`] — with a
+//! simple timer instead of criterion's statistical machinery.
+//!
+//! Two modes, selected by argv (as cargo passes it):
+//! - `--test` (what `cargo test --benches` passes): run every
+//!   benchmark body exactly once as a smoke test, no timing.
+//! - otherwise (`cargo bench`): warm up briefly, then time a fixed
+//!   wall-clock budget per benchmark and print mean iteration time.
+//!
+//! All other flags (`--bench`, filters, criterion options) are
+//! accepted and ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier, preventing the optimiser from deleting
+/// benchmarked work. Re-exported from `std::hint`.
+pub use std::hint::black_box;
+
+const WARM_UP_BUDGET: Duration = Duration::from_millis(200);
+const MEASURE_BUDGET: Duration = Duration::from_millis(800);
+
+/// The benchmark manager handed to each `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Build from process argv; `--test` selects run-once smoke mode.
+    pub fn from_args() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// A single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.test_mode, &id, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed time budget
+    /// ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.test_mode, &id, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.test_mode, &id, |b| f(b, input));
+        self
+    }
+
+    /// End the group. (Upstream consumes `self`; kept for parity.)
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    mode: BenchMode,
+    report: Option<(u64, Duration)>,
+}
+
+enum BenchMode {
+    Once,
+    Timed,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly (or once in `--test` mode) and record
+    /// the mean iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::Once => {
+                black_box(routine());
+                self.report = Some((1, Duration::ZERO));
+            }
+            BenchMode::Timed => {
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < WARM_UP_BUDGET {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let mut iters: u64 = 0;
+                let started = Instant::now();
+                let elapsed = loop {
+                    black_box(routine());
+                    iters += 1;
+                    let elapsed = started.elapsed();
+                    if elapsed >= MEASURE_BUDGET {
+                        break elapsed;
+                    }
+                };
+                let _ = warm_iters;
+                self.report = Some((iters, elapsed));
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        mode: if test_mode {
+            BenchMode::Once
+        } else {
+            BenchMode::Timed
+        },
+        report: None,
+    };
+    f(&mut bencher);
+    match bencher.report {
+        Some((1, _)) if test_mode => println!("test {id} ... ok"),
+        Some((iters, elapsed)) => {
+            let mean = elapsed.as_secs_f64() / iters as f64;
+            println!(
+                "bench {id:<48} {:>12.3} µs/iter ({iters} iters)",
+                mean * 1e6
+            );
+        }
+        None => println!("bench {id} ... no iter() call"),
+    }
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms benches pass to `bench_function`
+/// and `bench_with_input`.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_smoke_runs_each_body() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut calls = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("a", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &n| {
+            b.iter(|| calls += n)
+        });
+        group.finish();
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn id_forms_render() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_benchmark_id(), "x");
+        assert_eq!("plain".into_benchmark_id(), "plain");
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! patches `proptest` to this crate. It implements the subset the
+//! workspace's property tests use: the [`proptest!`] macro (with
+//! `pat in strategy` and `name: Type` argument forms, mixed, with
+//! optional trailing commas and an optional
+//! `#![proptest_config(...)]` header), range / tuple / map / vec
+//! strategies, `any::<T>()`, and the `prop_assert!` family.
+//!
+//! Differences from upstream: cases are generated from a fixed
+//! deterministic seed (stable across runs and machines), and failing
+//! inputs are reported but not shrunk.
+
+use std::fmt;
+
+pub mod test_runner;
+
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// A generator of values of one type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this subset only ever samples.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every sampled value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy producing one fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Sample an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T` — used by the macro's `name: Type`
+/// argument form.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::Standard::sample_standard(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f64);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                min: exact,
+                max: exact,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length lies in `size` and whose elements come from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Fail the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discard the current case (it is resampled, not counted) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The test-definition macro. Supports:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]  // optional
+///     #[test]
+///     fn name(pat in strategy, typed: u64) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_munch!(($cfg, stringify!($name)) [] [] ($($args)*) $body);
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    // All arguments consumed: build the strategy tuple and run.
+    (($cfg:expr, $name:expr) [$($pat:pat),*] [$($strat:expr),*] () $body:block) => {{
+        let config = $cfg;
+        let strategies = ($($strat,)*);
+        $crate::test_runner::run(&config, $name, &strategies, |values| {
+            let ($($pat,)*) = values;
+            (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            })()
+        });
+    }};
+    // `pattern in strategy` (more arguments follow).
+    (($cfg:expr, $name:expr) [$($pat:pat),*] [$($strat:expr),*] ($p:pat in $s:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_munch!(($cfg, $name) [$($pat,)* $p] [$($strat,)* $s] ($($rest)*) $body);
+    };
+    // `pattern in strategy` (final argument, no trailing comma).
+    (($cfg:expr, $name:expr) [$($pat:pat),*] [$($strat:expr),*] ($p:pat in $s:expr) $body:block) => {
+        $crate::__proptest_munch!(($cfg, $name) [$($pat,)* $p] [$($strat,)* $s] () $body);
+    };
+    // `name: Type` (more arguments follow).
+    (($cfg:expr, $name:expr) [$($pat:pat),*] [$($strat:expr),*] ($p:ident: $t:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_munch!(($cfg, $name) [$($pat,)* $p] [$($strat,)* $crate::any::<$t>()] ($($rest)*) $body);
+    };
+    // `name: Type` (final argument, no trailing comma).
+    (($cfg:expr, $name:expr) [$($pat:pat),*] [$($strat:expr),*] ($p:ident: $t:ty) $body:block) => {
+        $crate::__proptest_munch!(($cfg, $name) [$($pat,)* $p] [$($strat,)* $crate::any::<$t>()] () $body);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs() -> impl Strategy<Value = (u8, u8)> {
+        (0u8..10, 0u8..10).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3usize..9, b in 1u64..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn typed_and_in_forms_mix(x: u64, lo in 5u32..6) {
+            prop_assert_eq!(lo, 5);
+            let _ = x;
+        }
+
+        #[test]
+        fn tuples_and_maps((lo, hi) in pairs()) {
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(v in collection::vec(0u8..4, 2..5),) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&c| c < 4));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u8..8) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(n in 0u8..8) {
+            if n > 0 {
+                return Ok(());
+            }
+            prop_assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_panic_with_input_report() {
+        let config = ProptestConfig::with_cases(4);
+        crate::test_runner::run(&config, "always_fails", &(0u8..4,), |(v,)| {
+            crate::prop_assert!(v > 100);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut seen = Vec::new();
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run(&config, "collect", &(0u32..1000,), |(v,)| {
+            seen.push(v);
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::test_runner::run(&config, "collect", &(0u32..1000,), |(v,)| {
+            second.push(v);
+            Ok(())
+        });
+        assert_eq!(seen, second);
+    }
+}

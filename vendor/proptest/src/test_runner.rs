@@ -1,0 +1,128 @@
+//! The case loop behind [`proptest!`](crate::proptest): deterministic
+//! sampling, rejection resampling, and failure reporting with the
+//! offending input.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rand::{RngCore, SeedableRng};
+
+use crate::Strategy;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` successful cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy a `prop_assume!`; it is
+    /// resampled without counting against `cases`.
+    Reject,
+    /// The case failed; the whole test fails with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection (see [`TestCaseError::Reject`]).
+    pub fn reject(_reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject
+    }
+}
+
+/// The generator handed to strategies. Deterministic: seeded from the
+/// test's name, so runs are reproducible across machines and
+/// invocations (this subset does not support `PROPTEST_SEED`
+/// randomisation).
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    fn from_test_name(name: &str) -> TestRng {
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(fnv1a(name.as_bytes())),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Run `test` against `config.cases` sampled inputs, panicking (with
+/// the offending input) on the first failure. Called by the expansion
+/// of [`proptest!`](crate::proptest).
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_test_name(name);
+    let reject_budget = config.cases.saturating_mul(64).max(4096);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let value = strategy.sample(&mut rng);
+        // Captured before the call: the value is consumed by `test`,
+        // but failure reports must still show it.
+        let shown = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(value))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "proptest `{name}`: gave up after {rejected} rejected cases \
+                         ({passed}/{} passed); weaken the prop_assume! filter",
+                        config.cases
+                    );
+                }
+            }
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest `{name}` failed at case {passed} with input {shown}\n{msg}")
+            }
+            Err(payload) => {
+                let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s
+                } else {
+                    "<non-string panic payload>"
+                };
+                panic!("proptest `{name}` panicked at case {passed} with input {shown}\n{msg}")
+            }
+        }
+    }
+}
