@@ -18,11 +18,13 @@
 
 use super::timed;
 use crate::data::scaling_sequence;
-use perigap_core::mpp::MppConfig;
+use perigap_core::mpp::{mpp_traced, MppConfig};
+use perigap_core::mppm::mppm_traced;
 use perigap_core::parallel::mpp_parallel;
 use perigap_core::pil::Pil;
 use perigap_core::reference::{build_all_reference, mpp_reference};
 use perigap_core::result::MineOutcome;
+use perigap_core::trace::{LevelEvent, MetricsObserver};
 use perigap_core::GapRequirement;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -48,6 +50,25 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
         }
     }
     (out, best)
+}
+
+/// The pruning-power series (the paper's Figure 4/5 axes): per-level
+/// candidate counts and what each bound discarded, from the observer's
+/// level events.
+fn pruning_json(levels: &[LevelEvent]) -> String {
+    let mut s = String::from("[");
+    for (i, l) in levels.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"level\": {}, \"candidates\": {}, \"evaluated\": {}, \"kept\": {}, \"pruned_bound\": {}, \"frequent\": {}}}",
+            l.level, l.candidates, l.evaluated, l.kept, l.pruned_bound, l.frequent
+        );
+    }
+    s.push(']');
+    s
 }
 
 fn level_json(outcome: &MineOutcome) -> String {
@@ -147,8 +168,46 @@ pub fn run(quick: bool) {
     }
     matrix.push(']');
 
+    // Pruning power (Figures 4–5): per-level candidate counts under the
+    // Theorem 1 bound (mpp with fixed n, λ) vs the Theorem 2 bound
+    // (mppm with e_m-estimated n, λ′). The frequent sets must agree —
+    // the bounds only change how much survives *between* levels.
+    let pp_len = if quick { 5_000 } else { 10_000 };
+    let pp_m = 8;
+    let pp_seq = scaling_sequence(pp_len);
+    let mut lambda_metrics = MetricsObserver::new();
+    let lambda = mpp_traced(&pp_seq, gap, RHO, N, config, &mut lambda_metrics).unwrap();
+    let mut lambda_prime_metrics = MetricsObserver::new();
+    let lambda_prime =
+        mppm_traced(&pp_seq, gap, RHO, pp_m, config, &mut lambda_prime_metrics).unwrap();
+    assert_eq!(
+        lambda.frequent.len(),
+        lambda_prime.frequent.len(),
+        "λ and λ′ runs must find the same patterns"
+    );
+    let em = lambda_prime.stats.em.unwrap_or(0);
+    println!(
+        "bench: pruning power L = {pp_len}: λ kept {} vs λ′ kept {} (n {} vs {}, e_{pp_m} = {em})",
+        lambda_metrics.levels.iter().map(|l| l.kept).sum::<usize>(),
+        lambda_prime_metrics
+            .levels
+            .iter()
+            .map(|l| l.kept)
+            .sum::<usize>(),
+        lambda.stats.n_used,
+        lambda_prime.stats.n_used,
+    );
+    let pruning_power = format!(
+        "{{\"length\": {pp_len}, \"m\": {pp_m}, \"em\": {em}, \"n_lambda\": {}, \"n_lambda_prime\": {}, \"frequent\": {},\n    \"lambda_levels\": {},\n    \"lambda_prime_levels\": {}}}",
+        lambda.stats.n_used,
+        lambda_prime.stats.n_used,
+        lambda.frequent.len(),
+        pruning_json(&lambda_metrics.levels),
+        pruning_json(&lambda_prime_metrics.levels)
+    );
+
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
@@ -161,7 +220,8 @@ pub fn run(quick: bool) {
         e2e_speedup,
         level_json(&old_outcome),
         level_json(&new_outcome),
-        matrix
+        matrix,
+        pruning_power
     );
     std::fs::write("BENCH_mining.json", &json).expect("write BENCH_mining.json");
     println!("bench: wrote BENCH_mining.json");
@@ -176,6 +236,18 @@ mod tests {
         let (v, d) = best_of(3, || 41 + 1);
         assert_eq!(v, 42);
         assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn pruning_json_matches_engine_stats() {
+        let seq = scaling_sequence(2_000);
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let mut metrics = MetricsObserver::new();
+        let outcome = mpp_traced(&seq, gap, 0.001, 5, MppConfig::default(), &mut metrics).unwrap();
+        assert_eq!(metrics.levels.len(), outcome.stats.levels.len());
+        let json = pruning_json(&metrics.levels);
+        assert!(json.contains("\"pruned_bound\""), "{json}");
+        assert!(json.contains("\"level\": 3"), "{json}");
     }
 
     #[test]

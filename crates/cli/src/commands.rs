@@ -4,9 +4,10 @@ use crate::args::{parse_gap, parse_rho, ArgError, Args};
 use perigap_analysis::report::TextTable;
 use perigap_core::adaptive::adaptive_mpp;
 use perigap_core::enumerate::enumerate;
-use perigap_core::mpp::{mpp, MppConfig};
-use perigap_core::mppm::mppm;
-use perigap_core::parallel::mpp_parallel;
+use perigap_core::mpp::{mpp_traced, MppConfig};
+use perigap_core::mppm::mppm_traced;
+use perigap_core::parallel::mpp_parallel_traced;
+use perigap_core::trace::{validate_trace, JsonlObserver, MetricsObserver};
 use perigap_core::verify::verify_outcome;
 use perigap_core::{GapRequirement, MineOutcome};
 use perigap_seq::fasta::read_fasta;
@@ -26,14 +27,17 @@ USAGE:
                [--m <window>] [--record <id>] [--alphabet dna|protein]
                [--top <k>] [--max-level <l>] [--threads <k>  mpp only]
                [--format table|tsv] [--save <path.pgst>] [--verify]
+               [--trace <path.jsonl>  mpp/mppm only] [--metrics]
   pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
                [--record <id>]
   pgmine stats --input <fasta>
   pgmine show  --input <pgst>     inspect a persisted outcome
+  pgmine trace-check --input <trace.jsonl>   validate a --trace file
   pgmine help
 
 EXAMPLES:
   pgmine mine --input genome.fa --gap 9:12 --rho 0.003% --algorithm mppm --m 10
+  pgmine mine --input genome.fa --gap 1:3 --rho 0.5% --trace run.jsonl --metrics
   pgmine scan --input genome.fa --pair AA --max 30
 ";
 
@@ -60,14 +64,16 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "profile",
             "save",
             "threads",
+            "trace",
         ],
-        &["verify"],
+        &["verify", "metrics"],
     )?;
     match args.positional().first().map(String::as_str) {
         Some("mine") => mine_command(&args),
         Some("scan") => scan_command(&args),
         Some("stats") => stats_command(&args),
         Some("show") => show_command(&args),
+        Some("trace-check") => trace_check_command(&args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(ArgError(format!(
             "unknown command {other:?}; try `pgmine help`"
@@ -151,14 +157,38 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         )));
     }
 
+    let trace_path = args.get("trace");
+    let want_metrics = args.flag("metrics");
+    if (trace_path.is_some() || want_metrics) && !matches!(algorithm, "mpp" | "mppm") {
+        return Err(ArgError(format!(
+            "--trace/--metrics apply to --algorithm mpp or mppm only (got {algorithm:?})"
+        )));
+    }
+    if want_metrics && args.get("format") == Some("tsv") {
+        return Err(ArgError(
+            "--metrics would corrupt --format tsv output; drop one of them".into(),
+        ));
+    }
+    let jsonl = match trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("cannot create {path:?}: {e}")))?;
+            Some(JsonlObserver::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    // Composed sink: either half may be absent; absent halves are
+    // no-ops (see `perigap_core::trace`).
+    let mut observer = (jsonl, want_metrics.then(MetricsObserver::new));
+
     let outcome: MineOutcome = match algorithm {
-        "mppm" => mppm(&seq, gap, rho, m, config),
+        "mppm" => mppm_traced(&seq, gap, rho, m, config, &mut observer),
         "mpp" => {
             let n: usize = args.parse_or("n", gap.l1(seq.len()))?;
             if threads > 1 {
-                mpp_parallel(&seq, gap, rho, n, config, threads)
+                mpp_parallel_traced(&seq, gap, rho, n, config, threads, &mut observer)
             } else {
-                mpp(&seq, gap, rho, n, config)
+                mpp_traced(&seq, gap, rho, n, config, &mut observer)
             }
         }
         "adaptive" => {
@@ -169,6 +199,12 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         other => return Err(ArgError(format!("unknown algorithm {other:?}"))),
     }
     .map_err(|e| ArgError(e.to_string()))?;
+
+    let (jsonl, metrics) = observer;
+    if let Some(sink) = jsonl {
+        sink.finish()
+            .map_err(|e| ArgError(format!("trace write failed: {e}")))?;
+    }
 
     if let Some(path) = args.get("save") {
         let file = std::fs::File::create(path)
@@ -231,7 +267,31 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
             ));
         }
     }
+    if let Some(metrics) = metrics {
+        out.push('\n');
+        out.push_str(&metrics.render());
+    }
+    if outcome.stats.support_saturated {
+        out.push_str(
+            "\nwarning: a support counter saturated at u64::MAX; reported supports are lower bounds\n",
+        );
+    }
     Ok(out)
+}
+
+/// Validate a `--trace` JSONL file against the schema (see
+/// `perigap_core::trace`): every line parses, level events are strictly
+/// increasing, and the summary totals match the level events.
+fn trace_check_command(args: &Args) -> Result<String, ArgError> {
+    let path = args.require("input")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path:?}: {e}")))?;
+    let report =
+        validate_trace(&text).map_err(|e| ArgError(format!("invalid trace {path:?}: {e}")))?;
+    Ok(format!(
+        "trace OK: {} lines, {} level events, {} frequent patterns, {} candidates\n",
+        report.lines, report.level_events, report.frequent, report.total_candidates
+    ))
 }
 
 fn mine_with_profile_command(
@@ -480,6 +540,50 @@ mod tests {
         assert_eq!(serial, parallel, "threaded mining must match serial output");
         assert!(run_words(&base(&["--algorithm", "mpp", "--threads", "0"])).is_err());
         assert!(run_words(&base(&["--algorithm", "mppm", "--threads", "4"])).is_err());
+    }
+
+    #[test]
+    fn mine_with_trace_and_metrics() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let mut trace_path = std::env::temp_dir();
+        trace_path.push(format!("pgmine-trace-{}.jsonl", std::process::id()));
+        let trace_str = trace_path.to_str().unwrap().to_string();
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        for algo_args in [
+            &["--algorithm", "mppm"][..],
+            &["--algorithm", "mpp"],
+            &["--algorithm", "mpp", "--threads", "2"],
+        ] {
+            let mut extra = algo_args.to_vec();
+            extra.extend(["--trace", &trace_str, "--metrics"]);
+            let out = run_words(&base(&extra)).unwrap_or_else(|e| panic!("{algo_args:?}: {e}"));
+            assert!(out.contains("mining metrics"), "{out}");
+            assert!(out.contains("level | candidates"), "{out}");
+            let checked =
+                run_words(&["trace-check".into(), "--input".into(), trace_str.clone()]).unwrap();
+            assert!(checked.contains("trace OK"), "{checked}");
+        }
+        std::fs::remove_file(&trace_path).ok();
+        // Observers only attach to mpp/mppm.
+        assert!(run_words(&base(&["--algorithm", "enumerate", "--metrics"])).is_err());
+        assert!(run_words(&base(&["--algorithm", "adaptive", "--trace", &trace_str])).is_err());
+        // Metrics would corrupt machine-readable TSV.
+        assert!(run_words(&base(&["--metrics", "--format", "tsv"])).is_err());
+        // A non-trace file fails validation loudly.
+        assert!(run_words(&["trace-check".into(), "--input".into(), f.as_str().into()]).is_err());
     }
 
     #[test]

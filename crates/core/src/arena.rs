@@ -49,6 +49,9 @@ pub(crate) struct PilSet {
     bounds: Vec<usize>,
     /// All `(first offset, count)` pairs of the generation.
     entries: Vec<(u32, u64)>,
+    /// True when any count in this generation clamped at `u64::MAX`
+    /// during seeding or joining — supports are then lower bounds.
+    saturated: bool,
 }
 
 impl PilSet {
@@ -58,7 +61,25 @@ impl PilSet {
             codes: Vec::new(),
             bounds: vec![0],
             entries: Vec::new(),
+            saturated: false,
         }
+    }
+
+    /// True when any count in this generation hit the `u64` ceiling.
+    pub(crate) fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Total PIL entries across all patterns (the arena's payload size).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Approximate heap bytes held by the generation's buffers.
+    pub(crate) fn arena_bytes(&self) -> usize {
+        self.codes.len()
+            + self.entries.len() * std::mem::size_of::<(u32, u64)>()
+            + self.bounds.len() * std::mem::size_of::<usize>()
     }
 
     pub(crate) fn level(&self) -> usize {
@@ -118,7 +139,7 @@ impl PilSet {
         debug_assert_eq!(p1_codes.len() + 1, self.level);
         self.codes.extend_from_slice(p1_codes);
         self.codes.push(last);
-        join_into(prefix, suffix, gap, &mut self.entries);
+        self.saturated |= join_into(prefix, suffix, gap, &mut self.entries);
         self.bounds.push(self.entries.len());
     }
 
@@ -130,6 +151,7 @@ impl PilSet {
         self.entries.clear();
         self.bounds.clear();
         self.bounds.push(0);
+        self.saturated = false;
     }
 
     /// Concatenate parts (in order) into one set. Parts must hold
@@ -144,6 +166,7 @@ impl PilSet {
             out.codes.extend_from_slice(&part.codes);
             out.entries.extend_from_slice(&part.entries);
             out.bounds.extend(part.bounds[1..].iter().map(|b| base + b));
+            out.saturated |= part.saturated;
         }
         out
     }
@@ -191,21 +214,31 @@ pub(crate) fn build_seed(seq: &Sequence, gap: GapRequirement, level: usize) -> P
 }
 
 /// Accumulate one scan event (an offset sequence starting at `start`
-/// matching the pattern) into an entry list.
+/// matching the pattern) into an entry list. Returns `true` when the
+/// count was already at `u64::MAX` and the event was lost to
+/// saturation.
 #[inline(always)]
-fn bump(entries: &mut Vec<(u32, u64)>, start: u32) {
+fn bump(entries: &mut Vec<(u32, u64)>, start: u32) -> bool {
     match entries.last_mut() {
-        Some(last) if last.0 == start => last.1 = last.1.saturating_add(1),
-        _ => entries.push((start, 1)),
+        Some(last) if last.0 == start => {
+            let saturated = last.1 == u64::MAX;
+            last.1 = last.1.saturating_add(1);
+            saturated
+        }
+        _ => {
+            entries.push((start, 1));
+            false
+        }
     }
 }
 
 fn build_seed_dense(seq: &Sequence, gap: GapRequirement, level: usize, codec: KeyCodec) -> PilSet {
     let mut slots: Vec<Vec<(u32, u64)>> = vec![Vec::new(); 1usize << codec.key_bits(level)];
+    let mut saturated = false;
     for start in 1..=seq.len() {
         let key0 = codec.push(0, seq.at1(start));
         scan_keys(seq, gap, start, key0, level - 1, codec, &mut |key| {
-            bump(&mut slots[key as usize], start as u32);
+            saturated |= bump(&mut slots[key as usize], start as u32);
         });
     }
     // Ascending slot index == ascending packed key == lexicographic
@@ -220,15 +253,17 @@ fn build_seed_dense(seq: &Sequence, gap: GapRequirement, level: usize, codec: Ke
         codec.unpack_into(key as u64, level, &mut codes);
         set.push_pattern(&codes, entries);
     }
+    set.saturated = saturated;
     set
 }
 
 fn build_seed_sparse(seq: &Sequence, gap: GapRequirement, level: usize, codec: KeyCodec) -> PilSet {
     let mut map: HashMap<u64, Vec<(u32, u64)>> = HashMap::new();
+    let mut saturated = false;
     for start in 1..=seq.len() {
         let key0 = codec.push(0, seq.at1(start));
         scan_keys(seq, gap, start, key0, level - 1, codec, &mut |key| {
-            bump(map.entry(key).or_default(), start as u32);
+            saturated |= bump(map.entry(key).or_default(), start as u32);
         });
     }
     let mut pairs: Vec<(u64, Vec<(u32, u64)>)> = map.into_iter().collect();
@@ -240,17 +275,19 @@ fn build_seed_sparse(seq: &Sequence, gap: GapRequirement, level: usize, codec: K
         codec.unpack_into(key, level, &mut codes);
         set.push_pattern(&codes, &entries);
     }
+    set.saturated = saturated;
     set
 }
 
 fn build_seed_bytes(seq: &Sequence, gap: GapRequirement, level: usize) -> PilSet {
     let mut map: HashMap<Vec<u8>, Vec<(u32, u64)>> = HashMap::new();
     let mut chars = Vec::with_capacity(level);
+    let mut saturated = false;
     for start in 1..=seq.len() {
         chars.clear();
         chars.push(seq.at1(start));
         scan_codes(seq, gap, level, start, &mut chars, &mut |codes| {
-            bump(map.entry(codes.to_vec()).or_default(), start as u32);
+            saturated |= bump(map.entry(codes.to_vec()).or_default(), start as u32);
         });
     }
     let mut pairs: Vec<_> = map.into_iter().collect();
@@ -259,6 +296,7 @@ fn build_seed_bytes(seq: &Sequence, gap: GapRequirement, level: usize) -> PilSet
     for (codes, entries) in pairs {
         set.push_pattern(&codes, &entries);
     }
+    set.saturated = saturated;
     set
 }
 
@@ -496,6 +534,33 @@ mod tests {
         generate_candidates(&set, &kept, &runs, g, 0, mid, &mut a);
         generate_candidates(&set, &kept, &runs, g, mid, kept.len(), &mut b);
         assert_eq!(PilSet::concat(4, [a, b]), whole);
+    }
+
+    #[test]
+    fn saturation_is_flagged_and_propagated() {
+        // `bump` loses an event only at the ceiling — and says so.
+        let mut entries = vec![(1u32, u64::MAX - 1)];
+        assert!(!bump(&mut entries, 1));
+        assert!(bump(&mut entries, 1));
+        assert_eq!(entries, vec![(1, u64::MAX)]);
+        // A join whose window sum overflows flags the candidate set.
+        let g = gap(1, 2);
+        let mut set = PilSet::new(3);
+        let prefix = [(1u32, 1u64)];
+        let suffix = [(3u32, u64::MAX), (4u32, 2u64)];
+        set.push_candidate(&[0, 0], 0, &prefix, &suffix, g);
+        assert!(set.saturated());
+        assert!(set.entry_count() > 0);
+        assert!(set.arena_bytes() > 0);
+        // concat carries the flag; reset clears it.
+        let clean = PilSet::new(3);
+        assert!(!clean.saturated());
+        let mut merged = PilSet::concat(3, [clean, set]);
+        assert!(merged.saturated());
+        merged.reset(4);
+        assert!(!merged.saturated());
+        // An ordinary seed never saturates.
+        assert!(!build_seed(&dna("ACGTACGT"), g, 2).saturated());
     }
 
     #[test]

@@ -55,21 +55,18 @@ pub fn kr_table(seq: &Sequence, gap: GapRequirement, m: usize) -> (Vec<u64>, u64
 }
 
 /// `K_r` computed by DFS, pruning any branch that cannot exceed
-/// `floor`. Returns the exact value when it is above `floor`, otherwise
-/// some value ≤ `floor` (sufficient for maxima).
+/// `floor`. Returns the exact `K_r` when it exceeds `floor`; otherwise
+/// returns `floor` unchanged (branches that cannot beat it were
+/// pruned, so the true local value is unknown). Every caller folds the
+/// result with `max`, for which this contract is sufficient — pass
+/// `floor == 0` for the exact per-offset value.
 fn kr_bounded(seq: &Sequence, gap: GapRequirement, m: usize, r: usize, floor: u64) -> u64 {
     let mut best = floor;
     // State: positions reachable for the current string, with the
     // number of offset sequences reaching each. Kept sorted by position.
     let state = vec![(r as u32, 1u64)];
     descend(seq, gap, m, &state, &mut best);
-    if best > floor {
-        best
-    } else {
-        // Nothing beat the floor; recompute the honest local value only
-        // if the caller asked for it (floor == 0 means exact mode).
-        best
-    }
+    best
 }
 
 fn descend(

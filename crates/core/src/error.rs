@@ -33,6 +33,15 @@ pub enum MineError {
         /// Configured budget.
         budget: u128,
     },
+    /// A worker-pool thread died (panicked or exited) while it owned a
+    /// join chunk, so the parallel mine cannot complete the level.
+    WorkerFailed {
+        /// The chunk index the failure was observed on (`usize::MAX`
+        /// when the dead worker never reported which chunk it held).
+        chunk: usize,
+        /// The panic payload, when one could be recovered.
+        message: String,
+    },
 }
 
 impl fmt::Display for MineError {
@@ -54,6 +63,13 @@ impl fmt::Display for MineError {
                 f,
                 "enumeration would generate {required} candidates, over the budget of {budget}"
             ),
+            MineError::WorkerFailed { chunk, message } => {
+                if *chunk == usize::MAX {
+                    write!(f, "a mining worker thread died: {message}")
+                } else {
+                    write!(f, "a mining worker thread died on chunk {chunk}: {message}")
+                }
+            }
         }
     }
 }
@@ -74,5 +90,17 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(MineError::InvalidM(0).to_string().contains("m must be"));
+        assert!(MineError::WorkerFailed {
+            chunk: 7,
+            message: "injected".into()
+        }
+        .to_string()
+        .contains("chunk 7"));
+        assert!(MineError::WorkerFailed {
+            chunk: usize::MAX,
+            message: "gone".into()
+        }
+        .to_string()
+        .contains("died: gone"));
     }
 }

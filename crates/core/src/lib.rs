@@ -58,6 +58,7 @@ pub mod profile;
 pub mod reference;
 pub mod result;
 pub mod rigid;
+pub mod trace;
 pub mod verify;
 pub mod windowed;
 

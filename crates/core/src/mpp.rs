@@ -14,9 +14,10 @@ use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::pattern::Pattern;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
+use crate::trace::{CompleteEvent, LevelEvent, MineObserver, NoopObserver, SeedEvent};
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs common to every level-wise run.
 #[derive(Clone, Copy, Debug)]
@@ -51,11 +52,34 @@ pub fn mpp(
     n: usize,
     config: MppConfig,
 ) -> Result<MineOutcome, MineError> {
+    mpp_traced(seq, gap, rho, n, config, &mut NoopObserver)
+}
+
+/// [`mpp`] with a [`MineObserver`] attached. The observer is a generic
+/// parameter, so `mpp` (which passes [`NoopObserver`]) monomorphizes to
+/// the exact pre-observability hot path.
+pub fn mpp_traced<O: MineObserver>(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    n: usize,
+    config: MppConfig,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
-    let mut outcome = run_levelwise(seq, &counts, &rho_exact, n, config, pils, None);
+    observer.on_seed(&SeedEvent {
+        level: config.start_level,
+        patterns: pils.len(),
+        pil_entries: pils.entry_count(),
+        arena_bytes: pils.arena_bytes(),
+        elapsed: seed_started.elapsed(),
+    });
+    let mut outcome = run_levelwise(seq, &counts, &rho_exact, n, config, pils, None, observer);
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome));
     Ok(outcome)
 }
 
@@ -95,7 +119,8 @@ pub(crate) fn prepare(
 /// [`crate::arena`]). A level's [`LevelStats::elapsed`] covers the
 /// whole level: filtering *and* the join fan-out that produces the next
 /// generation.
-pub(crate) fn run_levelwise(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_levelwise<O: MineObserver>(
     seq: &Sequence,
     counts: &OffsetCounts,
     rho: &BigRatio,
@@ -103,6 +128,7 @@ pub(crate) fn run_levelwise(
     config: MppConfig,
     seed: PilSet,
     mut stats_seed: Option<MineStats>,
+    observer: &mut O,
 ) -> MineOutcome {
     let gap = counts.gap();
     let sigma = seq.alphabet().size() as u128;
@@ -154,27 +180,54 @@ pub(crate) fn run_levelwise(
                 kept.push(i);
             }
         }
+        let evaluated = current.len();
         let extended = kept.len();
-        let push_stats = |stats: &mut MineStats, elapsed| {
-            stats.levels.push(LevelStats {
-                level,
-                candidates: candidates_at_level,
-                frequent: frequent_here,
-                extended,
-                elapsed,
-            });
-        };
+        let gen_saturated = current.saturated();
+        stats.support_saturated |= gen_saturated;
+        let finish_level =
+            |stats: &mut MineStats, observer: &mut O, join_elapsed: Duration, elapsed| {
+                stats.levels.push(LevelStats {
+                    level,
+                    candidates: candidates_at_level,
+                    frequent: frequent_here,
+                    extended,
+                    elapsed,
+                });
+                observer.on_level(&LevelEvent {
+                    level,
+                    candidates: candidates_at_level,
+                    evaluated,
+                    frequent: frequent_here,
+                    kept: extended,
+                    pruned_bound: evaluated - extended,
+                    pruned_support: evaluated - frequent_here,
+                    join_elapsed,
+                    elapsed,
+                    saturated: gen_saturated,
+                });
+            };
 
         if kept.is_empty() || level == hard_cap {
-            push_stats(&mut stats, level_started.elapsed());
+            finish_level(
+                &mut stats,
+                observer,
+                Duration::ZERO,
+                level_started.elapsed(),
+            );
             break;
         }
 
         // Gen(L̂): join pairs with suffix(P1) = prefix(P2) (Section 5.1).
+        let join_started = Instant::now();
         let runs = prefix_runs(&current, &kept);
         next.reset(level + 1);
         generate_candidates(&current, &kept, &runs, gap, 0, kept.len(), &mut next);
-        push_stats(&mut stats, level_started.elapsed());
+        finish_level(
+            &mut stats,
+            observer,
+            join_started.elapsed(),
+            level_started.elapsed(),
+        );
 
         candidates_at_level = next.len() as u128;
         if next.is_empty() {

@@ -14,6 +14,7 @@ use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::mpp::{prepare, run_levelwise, MppConfig};
 use crate::result::{MineOutcome, MineStats};
+use crate::trace::{CompleteEvent, EmEvent, MineObserver, NoopObserver, SeedEvent};
 use perigap_seq::Sequence;
 use std::time::Instant;
 
@@ -42,6 +43,19 @@ pub fn mppm(
     m: usize,
     config: MppConfig,
 ) -> Result<MineOutcome, MineError> {
+    mppm_traced(seq, gap, rho, m, config, &mut NoopObserver)
+}
+
+/// [`mppm`] with a [`MineObserver`] attached; see
+/// [`crate::mpp::mpp_traced`] for the zero-cost argument.
+pub fn mppm_traced<O: MineObserver>(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    m: usize,
+    config: MppConfig,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
     if m == 0 {
         return Err(MineError::InvalidM(0));
     }
@@ -54,10 +68,23 @@ pub fn mppm(
     // loosens λ′ and is therefore sound.
     let em = compute_em(seq, gap, m).max(1);
     let em_elapsed = em_started.elapsed();
+    observer.on_em(&EmEvent {
+        m,
+        em,
+        elapsed: em_elapsed,
+    });
 
     // Phase 2: seed-level supports.
     let start = config.start_level;
+    let seed_started = Instant::now();
     let pils = build_seed(seq, gap, start);
+    observer.on_seed(&SeedEvent {
+        level: start,
+        patterns: pils.len(),
+        pil_entries: pils.entry_count(),
+        arena_bytes: pils.arena_bytes(),
+        elapsed: seed_started.elapsed(),
+    });
     let max_sup = pils.max_support();
 
     // Phase 3: estimate n = max { k : some seed pattern clears
@@ -81,8 +108,18 @@ pub fn mppm(
         em_elapsed,
         ..MineStats::default()
     };
-    let mut outcome = run_levelwise(seq, &counts, &rho_exact, n, config, pils, Some(stats_seed));
+    let mut outcome = run_levelwise(
+        seq,
+        &counts,
+        &rho_exact,
+        n,
+        config,
+        pils,
+        Some(stats_seed),
+        observer,
+    );
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome));
     Ok(outcome)
 }
 

@@ -23,9 +23,11 @@ use crate::lambda::PruneBound;
 use crate::mpp::MppConfig;
 use crate::pattern::Pattern;
 use crate::pil::Pil;
+use crate::trace::{CompleteEvent, LevelEvent, MineObserver, NoopObserver};
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// One collection-frequent pattern with its per-sequence evidence.
 #[derive(Clone, Debug)]
@@ -82,10 +84,47 @@ pub fn mine_collection(
     n: usize,
     config: MppConfig,
 ) -> Result<CollectionOutcome, MineError> {
+    mine_collection_traced(
+        sequences,
+        gap,
+        rho,
+        min_sequences,
+        n,
+        config,
+        &mut NoopObserver,
+    )
+}
+
+/// [`mine_collection`] with a [`MineObserver`] attached.
+///
+/// The collection engine has no nominal candidate universe (patterns
+/// are unioned across sequences), so each level event reports
+/// `candidates == evaluated` — the number of patterns with at least one
+/// non-empty per-sequence PIL — and `saturated` is always `false` (the
+/// public [`Pil`] path clamps without a stats channel; see
+/// [`Pil::join`]).
+pub fn mine_collection_traced<O: MineObserver>(
+    sequences: &[Sequence],
+    gap: GapRequirement,
+    rho: f64,
+    min_sequences: usize,
+    n: usize,
+    config: MppConfig,
+    observer: &mut O,
+) -> Result<CollectionOutcome, MineError> {
+    let started = Instant::now();
     if !(rho > 0.0 && rho <= 1.0) {
         return Err(MineError::InvalidThreshold(rho));
     }
     if sequences.is_empty() || min_sequences == 0 || min_sequences > sequences.len() {
+        observer.on_complete(&CompleteEvent {
+            frequent: 0,
+            levels: 0,
+            total_candidates: 0,
+            n_used: n,
+            support_saturated: false,
+            total_elapsed: started.elapsed(),
+        });
         return Ok(CollectionOutcome::default());
     }
     let alphabet = sequences[0].alphabet();
@@ -126,7 +165,10 @@ pub fn mine_collection(
 
     let mut out = Vec::new();
     let mut level = start;
+    let mut level_events = 0usize;
+    let mut total_candidates: u128 = 0;
     while level <= hard_cap && !current.is_empty() {
+        let level_started = Instant::now();
         // Per-sequence bounds at this level.
         let exact_bounds: Vec<PruneBound> = counts
             .iter()
@@ -144,7 +186,9 @@ pub fn mine_collection(
             })
             .collect();
 
+        let evaluated = current.len();
         let mut kept: Vec<(Pattern, Vec<Pil>)> = Vec::new();
+        let mut frequent_here = 0usize;
         for (pattern, pils) in current.drain() {
             let mut frequent_in = Vec::new();
             let mut votes = 0usize;
@@ -166,16 +210,35 @@ pub fn mine_collection(
                     frequent_in,
                     supports: pils.iter().map(Pil::support).collect(),
                 });
+                frequent_here += 1;
             }
             if votes >= min_sequences {
                 kept.push((pattern, pils));
             }
         }
+        let emit_level = |observer: &mut O, join_elapsed: Duration, elapsed: Duration| {
+            observer.on_level(&LevelEvent {
+                level,
+                candidates: evaluated as u128,
+                evaluated,
+                frequent: frequent_here,
+                kept: kept.len(),
+                pruned_bound: evaluated - kept.len(),
+                pruned_support: evaluated - frequent_here,
+                join_elapsed,
+                elapsed,
+                saturated: false,
+            });
+        };
+        level_events += 1;
+        total_candidates += evaluated as u128;
         if kept.is_empty() || level == hard_cap {
+            emit_level(observer, Duration::ZERO, level_started.elapsed());
             break;
         }
 
         // Join per the single-sequence engine, sequence by sequence.
+        let join_started = Instant::now();
         let mut by_prefix: HashMap<&[u8], Vec<usize>> = HashMap::new();
         for (idx, (pattern, _)) in kept.iter().enumerate() {
             by_prefix
@@ -200,12 +263,21 @@ pub fn mine_collection(
                 }
             }
         }
+        emit_level(observer, join_started.elapsed(), level_started.elapsed());
         current = next;
         level += 1;
     }
 
     out.sort_by(|a, b| {
         (a.pattern.len(), a.pattern.codes()).cmp(&(b.pattern.len(), b.pattern.codes()))
+    });
+    observer.on_complete(&CompleteEvent {
+        frequent: out.len(),
+        levels: level_events,
+        total_candidates,
+        n_used: n,
+        support_saturated: false,
+        total_elapsed: started.elapsed(),
     });
     Ok(CollectionOutcome { patterns: out })
 }

@@ -16,6 +16,19 @@
 //! already globally sorted) and the final outcome is sorted exactly
 //! like the serial engine's. Output is byte-identical to
 //! [`crate::mpp::mpp`].
+//!
+//! ## Failure handling
+//!
+//! The cursor hands each chunk to exactly one thread, so the merge loop
+//! knows exactly how many results are outstanding. Worker-side join
+//! work runs under `catch_unwind`: a panic becomes a
+//! [`WorkerMsg::Failed`] report and the mine aborts with
+//! [`MineError::WorkerFailed`] instead of blocking forever on a chunk
+//! that will never arrive (the deadlock this module shipped with — the
+//! old merge loop did a bare `recv()` while the pool's retained result
+//! sender kept the channel open). A belt-and-braces liveness check
+//! (`JoinHandle::is_finished` during receive timeouts) covers the
+//! pathological case of a worker dying without managing to report.
 
 use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
@@ -25,11 +38,16 @@ use crate::lambda::PruneBound;
 use crate::mpp::{prepare, MppConfig};
 use crate::pattern::Pattern;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
+use crate::trace::{
+    CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
+    WorkerLevelStats,
+};
 use perigap_seq::Sequence;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Below this many join tasks a level runs serially — chunk handoff
 /// overhead would dominate.
@@ -42,6 +60,15 @@ const CHUNKS_PER_THREAD: usize = 8;
 /// ...but never bother stealing fewer than this many left parents.
 const MIN_CHUNK: usize = 32;
 
+/// How long the merge loop waits between liveness checks of the worker
+/// threads while chunk results are outstanding.
+const RECV_TICK: Duration = Duration::from_millis(50);
+
+/// Once a worker thread is observed dead, how long the merge loop keeps
+/// draining the channel for an in-flight failure report before giving
+/// up with a generic [`MineError::WorkerFailed`].
+const DEAD_WORKER_GRACE: Duration = Duration::from_secs(1);
+
 /// MPP with the candidate-evaluation step parallelized over `threads`
 /// OS threads. Produces byte-identical outcomes to [`crate::mpp::mpp`].
 pub fn mpp_parallel(
@@ -52,13 +79,86 @@ pub fn mpp_parallel(
     config: MppConfig,
     threads: usize,
 ) -> Result<MineOutcome, MineError> {
+    mpp_parallel_traced(seq, gap, rho, n, config, threads, &mut NoopObserver)
+}
+
+/// [`mpp_parallel`] with a [`MineObserver`] attached. Beyond the serial
+/// events, every pool-engaged level also emits a
+/// [`PoolLevelEvent`] with the per-worker chunk/candidate/busy-time
+/// breakdown.
+pub fn mpp_parallel_traced<O: MineObserver>(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    n: usize,
+    config: MppConfig,
+    threads: usize,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
-    let mut outcome = run_parallel(seq, &counts, &rho_exact, n, config, pils, threads);
+    observer.on_seed(&SeedEvent {
+        level: config.start_level,
+        patterns: pils.len(),
+        pil_entries: pils.entry_count(),
+        arena_bytes: pils.arena_bytes(),
+        elapsed: seed_started.elapsed(),
+    });
+    let mut outcome = run_parallel(
+        seq,
+        &counts,
+        &rho_exact,
+        n,
+        config,
+        pils,
+        threads,
+        PoolHooks::default(),
+        observer,
+    )?;
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome));
     Ok(outcome)
+}
+
+/// Test-only fault injection, carried by every [`LevelJob`]. Outside
+/// `cfg(test)` this is a zero-sized token whose accessors fold to
+/// constants.
+#[derive(Clone, Copy, Default)]
+struct PoolHooks {
+    /// Make every worker thread panic on the first chunk it claims.
+    #[cfg(test)]
+    panic_workers: bool,
+    /// Keep the calling thread out of the stealing loop, guaranteeing a
+    /// worker claims a chunk.
+    #[cfg(test)]
+    main_no_steal: bool,
+}
+
+impl PoolHooks {
+    fn panic_workers(&self) -> bool {
+        #[cfg(test)]
+        {
+            self.panic_workers
+        }
+        #[cfg(not(test))]
+        {
+            false
+        }
+    }
+
+    fn main_no_steal(&self) -> bool {
+        #[cfg(test)]
+        {
+            self.main_no_steal
+        }
+        #[cfg(not(test))]
+        {
+            false
+        }
+    }
 }
 
 /// One level's join fan-out, shared with the pool. Workers claim chunk
@@ -75,6 +175,7 @@ struct LevelJob {
     chunk: usize,
     n_chunks: usize,
     cursor: AtomicUsize,
+    hooks: PoolHooks,
 }
 
 impl LevelJob {
@@ -90,15 +191,84 @@ impl LevelJob {
     }
 }
 
+/// What a worker sends back for each chunk it claimed. Exactly one
+/// message per claimed chunk, success or not — the invariant the merge
+/// loop's outstanding count rests on.
+enum WorkerMsg {
+    /// Chunk `chunk` completed with the given candidates.
+    Chunk {
+        chunk: usize,
+        worker: usize,
+        out: PilSet,
+        elapsed: Duration,
+    },
+    /// The worker panicked while processing `chunk` and is exiting.
+    Failed { chunk: usize, message: String },
+}
+
+/// Render a panic payload for the failure report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// A worker thread: claim chunks of the current job until its cursor
+/// drains. The join work runs under `catch_unwind` so every claimed
+/// chunk yields exactly one [`WorkerMsg`]; after reporting a failure
+/// the worker exits.
+fn worker_loop(id: usize, job_rx: mpsc::Receiver<Arc<LevelJob>>, results: mpsc::Sender<WorkerMsg>) {
+    while let Ok(job) = job_rx.recv() {
+        loop {
+            let c = job.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= job.n_chunks {
+                break;
+            }
+            let chunk_started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if job.hooks.panic_workers() {
+                    panic!("injected worker panic");
+                }
+                job.process(c)
+            }));
+            match outcome {
+                Ok(out) => {
+                    let msg = WorkerMsg::Chunk {
+                        chunk: c,
+                        worker: id,
+                        out,
+                        elapsed: chunk_started.elapsed(),
+                    };
+                    if results.send(msg).is_err() {
+                        return;
+                    }
+                }
+                Err(payload) => {
+                    // `&*payload` reborrows the payload itself; a bare
+                    // `&payload` would coerce the Box into the `dyn Any`
+                    // and every downcast would miss.
+                    let _ = results.send(WorkerMsg::Failed {
+                        chunk: c,
+                        message: panic_message(&*payload),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// The persistent pool: `threads − 1` workers (the main thread is the
 /// remaining worker) that live for the whole mine and steal chunks of
-/// whatever job is current.
+/// whatever job is current. Worker `0` is the calling thread; pool
+/// threads are `1..threads` (named `pgmine-worker-<id>`).
 struct WorkerPool {
     job_txs: Vec<mpsc::Sender<Arc<LevelJob>>>,
-    results_rx: mpsc::Receiver<(usize, PilSet)>,
-    /// Kept so `results_rx.recv` can never observe a closed channel
-    /// while the pool is alive.
-    _results_tx: mpsc::Sender<(usize, PilSet)>,
+    results_rx: mpsc::Receiver<WorkerMsg>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -107,62 +277,126 @@ impl WorkerPool {
         let (results_tx, results_rx) = mpsc::channel();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for id in 1..=workers {
             let (job_tx, job_rx) = mpsc::channel::<Arc<LevelJob>>();
             let results = results_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                while let Ok(job) = job_rx.recv() {
-                    loop {
-                        let c = job.cursor.fetch_add(1, Ordering::Relaxed);
-                        if c >= job.n_chunks {
-                            break;
-                        }
-                        if results.send((c, job.process(c))).is_err() {
-                            return;
-                        }
-                    }
-                }
-            }));
+            let handle = std::thread::Builder::new()
+                .name(format!("pgmine-worker-{id}"))
+                .spawn(move || worker_loop(id, job_rx, results))
+                .expect("spawn mining worker");
+            handles.push(handle);
             job_txs.push(job_tx);
         }
+        // `results_tx` is dropped here on purpose: only workers hold
+        // senders, so if every worker dies the merge loop observes a
+        // disconnect instead of blocking forever.
         WorkerPool {
             job_txs,
             results_rx,
-            _results_tx: results_tx,
             handles,
         }
     }
 
     /// Drain one job across the pool plus the calling thread; merge the
-    /// chunk results in index order.
-    fn run(&self, job: Arc<LevelJob>) -> PilSet {
+    /// chunk results in index order. A worker failure aborts with
+    /// [`MineError::WorkerFailed`] in bounded time.
+    fn run(&self, job: Arc<LevelJob>) -> Result<(PilSet, PoolLevelEvent), MineError> {
+        let level_started = Instant::now();
         for tx in &self.job_txs {
             // A send only fails if a worker died; the stealing loop
-            // below still completes the level without it.
+            // below still completes the level without it (and the
+            // liveness check reports the death if it claimed a chunk).
             let _ = tx.send(Arc::clone(&job));
         }
+        let workers = self.handles.len() + 1; // worker 0 = this thread
+        let mut chunks = vec![0usize; workers];
+        let mut candidates = vec![0usize; workers];
+        let mut busy = vec![Duration::ZERO; workers];
         let mut parts: Vec<Option<PilSet>> = (0..job.n_chunks).map(|_| None).collect();
         let mut mined_here = 0usize;
-        loop {
-            let c = job.cursor.fetch_add(1, Ordering::Relaxed);
-            if c >= job.n_chunks {
-                break;
+        if !job.hooks.main_no_steal() {
+            loop {
+                let c = job.cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= job.n_chunks {
+                    break;
+                }
+                let chunk_started = Instant::now();
+                let out = job.process(c);
+                busy[0] += chunk_started.elapsed();
+                chunks[0] += 1;
+                candidates[0] += out.len();
+                parts[c] = Some(out);
+                mined_here += 1;
             }
-            parts[c] = Some(job.process(c));
-            mined_here += 1;
         }
-        // Every chunk was claimed exactly once; the rest arrive from
-        // the workers that claimed them.
-        for _ in mined_here..job.n_chunks {
-            let (c, out) = self.results_rx.recv().expect("pool workers alive");
-            parts[c] = Some(out);
+        // Each chunk was claimed by exactly one thread, and every
+        // worker-claimed chunk sends exactly one message (success or
+        // failure — see `worker_loop`), so the merge waits on a count.
+        let mut outstanding = job.n_chunks - mined_here;
+        let mut dead_since: Option<Instant> = None;
+        while outstanding > 0 {
+            match self.results_rx.recv_timeout(RECV_TICK) {
+                Ok(WorkerMsg::Chunk {
+                    chunk,
+                    worker,
+                    out,
+                    elapsed,
+                }) => {
+                    chunks[worker] += 1;
+                    candidates[worker] += out.len();
+                    busy[worker] += elapsed;
+                    parts[chunk] = Some(out);
+                    outstanding -= 1;
+                }
+                Ok(WorkerMsg::Failed { chunk, message }) => {
+                    return Err(MineError::WorkerFailed { chunk, message });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Every worker is gone and no failure report made
+                    // it out.
+                    return Err(MineError::WorkerFailed {
+                        chunk: usize::MAX,
+                        message: "all worker threads exited with chunks outstanding".into(),
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // A worker never exits while the pool lives unless
+                    // it failed, so a finished handle here means a
+                    // death the channel may still be carrying a report
+                    // for — drain a little longer, then give up.
+                    if self.handles.iter().any(JoinHandle::is_finished) {
+                        let since = *dead_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() > DEAD_WORKER_GRACE {
+                            return Err(MineError::WorkerFailed {
+                                chunk: usize::MAX,
+                                message: "a worker thread died without reporting a failure".into(),
+                            });
+                        }
+                    }
+                }
+            }
         }
-        PilSet::concat(
+        let wall = level_started.elapsed();
+        let event = PoolLevelEvent {
+            level: job.next_level,
+            chunks: job.n_chunks,
+            workers: (0..workers)
+                .map(|w| WorkerLevelStats {
+                    worker: w,
+                    chunks: chunks[w],
+                    candidates: candidates[w],
+                    busy: busy[w],
+                    idle: wall.saturating_sub(busy[w]),
+                })
+                .collect(),
+        };
+        let set = PilSet::concat(
             job.next_level,
             parts
                 .into_iter()
                 .map(|p| p.expect("all chunks accounted for")),
-        )
+        );
+        Ok((set, event))
     }
 }
 
@@ -178,7 +412,8 @@ impl Drop for WorkerPool {
 
 /// The parallel twin of `run_levelwise`. Kept separate so the serial
 /// engine stays dependency-free and obviously faithful to Figure 3.
-fn run_parallel(
+#[allow(clippy::too_many_arguments)]
+fn run_parallel<O: MineObserver>(
     seq: &Sequence,
     counts: &OffsetCounts,
     rho: &perigap_math::BigRatio,
@@ -186,7 +421,9 @@ fn run_parallel(
     config: MppConfig,
     seed: PilSet,
     threads: usize,
-) -> MineOutcome {
+    hooks: PoolHooks,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
     let gap = counts.gap();
     let sigma = seq.alphabet().size() as u128;
     let start = config.start_level;
@@ -235,23 +472,45 @@ fn run_parallel(
                 kept.push(i);
             }
         }
+        let evaluated = current.len();
         let extended = kept.len();
-        let push_stats = |stats: &mut MineStats, elapsed| {
-            stats.levels.push(LevelStats {
-                level,
-                candidates: candidates_at_level,
-                frequent: frequent_here,
-                extended,
-                elapsed,
-            });
-        };
+        let gen_saturated = current.saturated();
+        stats.support_saturated |= gen_saturated;
+        let finish_level =
+            |stats: &mut MineStats, observer: &mut O, join_elapsed: Duration, elapsed| {
+                stats.levels.push(LevelStats {
+                    level,
+                    candidates: candidates_at_level,
+                    frequent: frequent_here,
+                    extended,
+                    elapsed,
+                });
+                observer.on_level(&LevelEvent {
+                    level,
+                    candidates: candidates_at_level,
+                    evaluated,
+                    frequent: frequent_here,
+                    kept: extended,
+                    pruned_bound: evaluated - extended,
+                    pruned_support: evaluated - frequent_here,
+                    join_elapsed,
+                    elapsed,
+                    saturated: gen_saturated,
+                });
+            };
 
         if kept.is_empty() || level == hard_cap {
-            push_stats(&mut stats, level_started.elapsed());
+            finish_level(
+                &mut stats,
+                observer,
+                Duration::ZERO,
+                level_started.elapsed(),
+            );
             break;
         }
 
         // Join fan-out: stolen in chunks when it is worth the handoff.
+        let join_started = Instant::now();
         let runs = prefix_runs(&current, &kept);
         let next: PilSet = match &pool {
             Some(pool) if kept.len() >= PARALLEL_THRESHOLD => {
@@ -269,8 +528,11 @@ fn run_parallel(
                     chunk,
                     n_chunks,
                     cursor: AtomicUsize::new(0),
+                    hooks,
                 });
-                pool.run(job)
+                let (set, pool_event) = pool.run(job)?;
+                observer.on_pool(&pool_event);
+                set
             }
             _ => {
                 let mut out = PilSet::new(level + 1);
@@ -278,7 +540,12 @@ fn run_parallel(
                 out
             }
         };
-        push_stats(&mut stats, level_started.elapsed());
+        finish_level(
+            &mut stats,
+            observer,
+            join_started.elapsed(),
+            level_started.elapsed(),
+        );
 
         candidates_at_level = next.len() as u128;
         if next.is_empty() {
@@ -290,13 +557,14 @@ fn run_parallel(
 
     let mut outcome = MineOutcome { frequent, stats };
     outcome.sort();
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::mpp::mpp;
+    use crate::trace::MetricsObserver;
     use perigap_seq::gen::iid::uniform;
     use perigap_seq::Alphabet;
     use rand::rngs::StdRng;
@@ -304,6 +572,31 @@ mod tests {
 
     fn gap(n: usize, m: usize) -> GapRequirement {
         GapRequirement::new(n, m).unwrap()
+    }
+
+    /// `mpp_parallel` with fault injection, for the regression tests.
+    fn mpp_parallel_with_hooks(
+        seq: &Sequence,
+        g: GapRequirement,
+        rho: f64,
+        n: usize,
+        config: MppConfig,
+        threads: usize,
+        hooks: PoolHooks,
+    ) -> Result<MineOutcome, MineError> {
+        let (counts, rho_exact) = prepare(seq, g, rho, config)?;
+        let pils = build_seed(seq, g, config.start_level);
+        run_parallel(
+            seq,
+            &counts,
+            &rho_exact,
+            n,
+            config,
+            pils,
+            threads,
+            hooks,
+            &mut NoopObserver,
+        )
     }
 
     fn assert_same_outcome(parallel: &MineOutcome, serial: &MineOutcome, label: &str) {
@@ -345,6 +638,74 @@ mod tests {
             let parallel = mpp_parallel(&seq, g, rho, 6, MppConfig::default(), threads).unwrap();
             assert_same_outcome(&parallel, &serial, &format!("{threads} threads"));
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_hang() {
+        // Regression: a panicking worker used to leave the merge loop
+        // blocked on `recv()` forever. The mine must now abort with
+        // `WorkerFailed` in bounded time. `main_no_steal` keeps the
+        // main thread out of the cursor race so a worker is guaranteed
+        // to claim (and die on) a chunk.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            let seq = uniform(&mut StdRng::seed_from_u64(99), Alphabet::Protein, 3_000);
+            let hooks = PoolHooks {
+                panic_workers: true,
+                main_no_steal: true,
+            };
+            let result =
+                mpp_parallel_with_hooks(&seq, gap(0, 2), 1e-6, 6, MppConfig::default(), 4, hooks);
+            let _ = tx.send(result);
+        });
+        let result = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("mine must error out in bounded time, not deadlock");
+        match result {
+            Err(MineError::WorkerFailed { message, .. }) => {
+                assert!(message.contains("injected"), "unexpected message {message}");
+            }
+            Ok(_) => panic!("mine must fail when every worker panics"),
+            Err(other) => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pool_events_account_every_chunk() {
+        let seq = uniform(&mut StdRng::seed_from_u64(99), Alphabet::Protein, 3_000);
+        let mut metrics = MetricsObserver::new();
+        let outcome = mpp_parallel_traced(
+            &seq,
+            gap(0, 2),
+            1e-6,
+            6,
+            MppConfig::default(),
+            4,
+            &mut metrics,
+        )
+        .unwrap();
+        assert!(
+            !metrics.pool.is_empty(),
+            "pool must engage above the threshold"
+        );
+        for p in &metrics.pool {
+            assert_eq!(p.workers.len(), 4, "main + 3 pool workers");
+            let claimed: usize = p.workers.iter().map(|w| w.chunks).sum();
+            assert_eq!(claimed, p.chunks, "level {}", p.level);
+        }
+        // Observer totals agree with the engine's own stats.
+        assert_eq!(metrics.levels.len(), outcome.stats.levels.len());
+        for (e, s) in metrics.levels.iter().zip(&outcome.stats.levels) {
+            assert_eq!(e.level, s.level);
+            assert_eq!(e.candidates, s.candidates);
+            assert_eq!(e.frequent, s.frequent);
+            assert_eq!(e.kept, s.extended);
+        }
+        assert!(metrics.seed.is_some());
+        assert_eq!(
+            metrics.complete.as_ref().unwrap().frequent,
+            outcome.frequent.len()
+        );
     }
 
     #[test]

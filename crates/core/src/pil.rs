@@ -88,6 +88,11 @@ impl Pil {
     }
 
     /// Property 1: `sup(P)` is the sum of the counts.
+    ///
+    /// The fold widens to `u128` before summing, so it cannot clamp for
+    /// any physically representable list (< 2³² entries of ≤ 2⁶⁴ each);
+    /// the saturation risk lives in the per-entry `u64` counts, which
+    /// the mining engines track via `MineStats::support_saturated`.
     pub fn support(&self) -> u128 {
         self.entries
             .iter()
@@ -134,9 +139,12 @@ impl Pil {
         if prefix.is_empty() || suffix.is_empty() {
             return Pil::new();
         }
-        // One output entry per prefix offset at most.
+        // One output entry per prefix offset at most. The saturation
+        // flag is dropped here: the public per-pattern view has no
+        // stats channel (counts clamp at u64::MAX either way); the
+        // miners go through the arena engine, which propagates it.
         let mut out = Vec::with_capacity(prefix.len());
-        join_into(&prefix.entries, &suffix.entries, gap, &mut out);
+        let _ = join_into(&prefix.entries, &suffix.entries, gap, &mut out);
         Pil { entries: out }
     }
 
@@ -158,32 +166,50 @@ impl Pil {
 /// The sliding-window join core, appending to a caller-owned buffer so
 /// the arena engine can write a whole generation into one allocation.
 /// See [`Pil::join`] for the algorithm.
+///
+/// Returns `true` when the running window sum hit `u64::MAX`: from that
+/// point the emitted counts are lower bounds, not exact (and later
+/// window subtractions can only drift further below the true value).
+/// Callers that report supports must surface the flag — the arena
+/// engine ORs it into [`crate::arena::PilSet`] and the miners raise
+/// `MineStats::support_saturated`.
 pub(crate) fn join_into(
     a: &[(u32, u64)],
     b: &[(u32, u64)],
     gap: GapRequirement,
     out: &mut Vec<(u32, u64)>,
-) {
+) -> bool {
     if a.is_empty() || b.is_empty() {
-        return;
+        return false;
     }
     let (mut lo, mut hi) = (0usize, 0usize); // window is b[lo..hi]
     let mut window: u64 = 0;
+    let mut saturated = false;
     for &(x, _) in a {
         let min_pos = x as u64 + gap.min_step() as u64;
         let max_pos = x as u64 + gap.max_step() as u64;
         while hi < b.len() && (b[hi].0 as u64) <= max_pos {
-            window = window.saturating_add(b[hi].1);
+            window = match window.checked_add(b[hi].1) {
+                Some(w) => w,
+                None => {
+                    saturated = true;
+                    u64::MAX
+                }
+            };
             hi += 1;
         }
         while lo < hi && (b[lo].0 as u64) < min_pos {
-            window -= b[lo].1;
+            // Saturating: once the window has clamped, the running sum
+            // sits below the true total and an exact subtraction could
+            // wrap through zero.
+            window = window.saturating_sub(b[lo].1);
             lo += 1;
         }
         if window > 0 {
             out.push((x, window));
         }
     }
+    saturated
 }
 
 #[cfg(test)]

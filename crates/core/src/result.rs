@@ -58,6 +58,10 @@ pub struct MineStats {
     pub em_elapsed: Duration,
     /// Total wall-clock time of the run.
     pub total_elapsed: Duration,
+    /// True when any PIL support counter hit its `u64` ceiling during
+    /// the run: reported supports are then lower bounds, not exact
+    /// counts. Surfaced by the CLI and by `trace::CompleteEvent`.
+    pub support_saturated: bool,
 }
 
 impl MineStats {

@@ -1,0 +1,994 @@
+//! Observability for the mining engines — zero-cost when off.
+//!
+//! The paper's whole evaluation is about *pruning power*: how many
+//! candidates survive each level under the λ (Theorem 1) and λ′
+//! (Theorem 2) bounds. This module makes those series — plus seed
+//! construction cost, worker-pool behaviour and the `e_m` computation —
+//! first-class outputs of every mine, without touching the hot path
+//! when nobody is listening.
+//!
+//! ## Design
+//!
+//! [`MineObserver`] is a trait with empty default methods. The engines
+//! (`run_levelwise`, `run_parallel`, `mine_collection`) are generic
+//! over `O: MineObserver`, so a run with [`NoopObserver`] monomorphizes
+//! every callback to an empty inlined body: the compiled hot loop is
+//! identical to the pre-observability one. The public `mpp`/`mppm`/
+//! `mpp_parallel` entry points call the `_traced` variants with
+//! [`NoopObserver`]; attaching a real observer is opt-in.
+//!
+//! Two sinks ship with the crate:
+//!
+//! - [`JsonlObserver`] streams one JSON object per event to any
+//!   `io::Write` (the `pgmine mine --trace <path>` file);
+//! - [`MetricsObserver`] aggregates the events in memory and renders a
+//!   human-readable summary (`pgmine mine --metrics`).
+//!
+//! Observers compose: `(A, B)` fans every event out to both, and
+//! `Option<O>` is a no-op when `None`.
+//!
+//! ## JSONL schema
+//!
+//! Every line is a flat JSON object with an `"event"` discriminator:
+//!
+//! | event | fields |
+//! |---|---|
+//! | `seed` | `level`, `patterns`, `pil_entries`, `arena_bytes`, `elapsed_ms` |
+//! | `level` | `level`, `candidates`, `evaluated`, `frequent`, `kept`, `pruned_bound`, `pruned_support`, `join_ms`, `elapsed_ms`, `saturated` |
+//! | `pool` | `level`, `chunks`, `workers` (array of `{worker, chunks, candidates, busy_ms, idle_ms}`) |
+//! | `em` | `m`, `em`, `elapsed_ms` |
+//! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `total_ms` |
+//!
+//! `level` events appear in strictly increasing level order and the
+//! `summary` line is last; [`validate_trace`] checks both plus the
+//! totals-vs-levels consistency, and backs the `pgmine trace-check`
+//! command and the CI smoke job.
+
+use crate::result::MineOutcome;
+use std::fmt::Write as _;
+use std::io;
+use std::time::Duration;
+
+/// Seed construction: the level-`start` scan that feeds the level-wise
+/// engine.
+#[derive(Clone, Debug)]
+pub struct SeedEvent {
+    /// The start level (pattern length of the seed generation).
+    pub level: usize,
+    /// Patterns with non-empty PILs in the seed generation.
+    pub patterns: usize,
+    /// Total PIL entries across the generation.
+    pub pil_entries: usize,
+    /// Approximate bytes held by the generation's arena buffers.
+    pub arena_bytes: usize,
+    /// Wall-clock time of the seed scan.
+    pub elapsed: Duration,
+}
+
+/// One level of the level-wise engine: the paper's pruning-power
+/// counters (Figures 4–5, Table 3) plus timings.
+#[derive(Clone, Debug)]
+pub struct LevelEvent {
+    /// Pattern length at this level.
+    pub level: usize,
+    /// Nominal candidates at this level (`σ^start` for the seed level,
+    /// generated-candidate count afterwards) — `LevelStats::candidates`.
+    pub candidates: u128,
+    /// Patterns with non-empty PILs actually evaluated.
+    pub evaluated: usize,
+    /// Patterns meeting the exact frequency threshold
+    /// (`LevelStats::frequent`).
+    pub frequent: usize,
+    /// Patterns meeting the relaxed λ/λ′ bound and carried into
+    /// candidate generation (`LevelStats::extended`).
+    pub kept: usize,
+    /// `evaluated − kept`: pruned by the λ/λ′ bound.
+    pub pruned_bound: usize,
+    /// `evaluated − frequent`: below the exact support threshold.
+    pub pruned_support: usize,
+    /// Time spent in the join fan-out generating the next level (zero
+    /// when the level is terminal).
+    pub join_elapsed: Duration,
+    /// Whole-level wall clock (filter + join).
+    pub elapsed: Duration,
+    /// True when a support counter in this generation saturated — the
+    /// reported counts are lower bounds (see `MineStats::support_saturated`).
+    pub saturated: bool,
+}
+
+/// One worker's share of a level's chunk stealing. Worker 0 is the
+/// main thread; ids 1.. are pool threads.
+#[derive(Clone, Debug)]
+pub struct WorkerLevelStats {
+    /// Worker id (0 = the calling thread).
+    pub worker: usize,
+    /// Chunks this worker claimed.
+    pub chunks: usize,
+    /// Candidates this worker produced.
+    pub candidates: usize,
+    /// Time spent processing chunks.
+    pub busy: Duration,
+    /// Level wall-clock minus busy time.
+    pub idle: Duration,
+}
+
+/// Worker-pool activity for one parallel level.
+#[derive(Clone, Debug)]
+pub struct PoolLevelEvent {
+    /// The level being *generated* (parents are at `level − 1`).
+    pub level: usize,
+    /// Number of stolen chunks.
+    pub chunks: usize,
+    /// Per-worker breakdown, main thread first.
+    pub workers: Vec<WorkerLevelStats>,
+}
+
+/// The `e_m` computation of MPPm (Theorem 2).
+#[derive(Clone, Debug)]
+pub struct EmEvent {
+    /// The window parameter `m`.
+    pub m: usize,
+    /// The computed statistic (clamped to ≥ 1 as used by λ′).
+    pub em: u64,
+    /// Wall-clock time of the computation.
+    pub elapsed: Duration,
+}
+
+/// Mine completion: run-wide totals.
+#[derive(Clone, Debug)]
+pub struct CompleteEvent {
+    /// Frequent patterns found.
+    pub frequent: usize,
+    /// Levels visited.
+    pub levels: usize,
+    /// Candidates summed over all levels.
+    pub total_candidates: u128,
+    /// The `n` the engine actually used.
+    pub n_used: usize,
+    /// True when any support counter saturated during the run.
+    pub support_saturated: bool,
+    /// Total wall-clock time.
+    pub total_elapsed: Duration,
+}
+
+impl CompleteEvent {
+    /// Build the completion event from a finished outcome.
+    pub fn from_outcome(outcome: &MineOutcome) -> CompleteEvent {
+        CompleteEvent {
+            frequent: outcome.frequent.len(),
+            levels: outcome.stats.levels.len(),
+            total_candidates: outcome.stats.total_candidates(),
+            n_used: outcome.stats.n_used,
+            support_saturated: outcome.stats.support_saturated,
+            total_elapsed: outcome.stats.total_elapsed,
+        }
+    }
+}
+
+/// Receiver of mining events. All methods default to no-ops, so an
+/// observer implements only what it cares about — and [`NoopObserver`]
+/// monomorphizes to nothing at all.
+pub trait MineObserver {
+    /// The seed generation was built.
+    fn on_seed(&mut self, _event: &SeedEvent) {}
+    /// A level finished (filter + join).
+    fn on_level(&mut self, _event: &LevelEvent) {}
+    /// A parallel level's worker-pool breakdown.
+    fn on_pool(&mut self, _event: &PoolLevelEvent) {}
+    /// MPPm computed `e_m`.
+    fn on_em(&mut self, _event: &EmEvent) {}
+    /// The mine finished.
+    fn on_complete(&mut self, _event: &CompleteEvent) {}
+}
+
+/// The do-nothing observer: the default for every untraced mine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl MineObserver for NoopObserver {}
+
+impl<O: MineObserver + ?Sized> MineObserver for &mut O {
+    fn on_seed(&mut self, event: &SeedEvent) {
+        (**self).on_seed(event);
+    }
+    fn on_level(&mut self, event: &LevelEvent) {
+        (**self).on_level(event);
+    }
+    fn on_pool(&mut self, event: &PoolLevelEvent) {
+        (**self).on_pool(event);
+    }
+    fn on_em(&mut self, event: &EmEvent) {
+        (**self).on_em(event);
+    }
+    fn on_complete(&mut self, event: &CompleteEvent) {
+        (**self).on_complete(event);
+    }
+}
+
+impl<A: MineObserver, B: MineObserver> MineObserver for (A, B) {
+    fn on_seed(&mut self, event: &SeedEvent) {
+        self.0.on_seed(event);
+        self.1.on_seed(event);
+    }
+    fn on_level(&mut self, event: &LevelEvent) {
+        self.0.on_level(event);
+        self.1.on_level(event);
+    }
+    fn on_pool(&mut self, event: &PoolLevelEvent) {
+        self.0.on_pool(event);
+        self.1.on_pool(event);
+    }
+    fn on_em(&mut self, event: &EmEvent) {
+        self.0.on_em(event);
+        self.1.on_em(event);
+    }
+    fn on_complete(&mut self, event: &CompleteEvent) {
+        self.0.on_complete(event);
+        self.1.on_complete(event);
+    }
+}
+
+impl<O: MineObserver> MineObserver for Option<O> {
+    fn on_seed(&mut self, event: &SeedEvent) {
+        if let Some(o) = self {
+            o.on_seed(event);
+        }
+    }
+    fn on_level(&mut self, event: &LevelEvent) {
+        if let Some(o) = self {
+            o.on_level(event);
+        }
+    }
+    fn on_pool(&mut self, event: &PoolLevelEvent) {
+        if let Some(o) = self {
+            o.on_pool(event);
+        }
+    }
+    fn on_em(&mut self, event: &EmEvent) {
+        if let Some(o) = self {
+            o.on_em(event);
+        }
+    }
+    fn on_complete(&mut self, event: &CompleteEvent) {
+        if let Some(o) = self {
+            o.on_complete(event);
+        }
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Streams every event as one JSON line (the schema in the module
+/// docs). Write errors are sticky: the first one stops further output
+/// and surfaces from [`JsonlObserver::finish`].
+pub struct JsonlObserver<W: io::Write> {
+    out: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlObserver<W> {
+    /// Wrap a writer.
+    pub fn new(out: W) -> JsonlObserver<W> {
+        JsonlObserver { out, error: None }
+    }
+
+    /// Flush and return the writer, or the first write error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: io::Write> MineObserver for JsonlObserver<W> {
+    fn on_seed(&mut self, e: &SeedEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"seed\", \"level\": {}, \"patterns\": {}, \"pil_entries\": {}, \"arena_bytes\": {}, \"elapsed_ms\": {:.3}}}",
+            e.level, e.patterns, e.pil_entries, e.arena_bytes, ms(e.elapsed)
+        ));
+    }
+
+    fn on_level(&mut self, e: &LevelEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"level\", \"level\": {}, \"candidates\": {}, \"evaluated\": {}, \"frequent\": {}, \"kept\": {}, \"pruned_bound\": {}, \"pruned_support\": {}, \"join_ms\": {:.3}, \"elapsed_ms\": {:.3}, \"saturated\": {}}}",
+            e.level,
+            e.candidates,
+            e.evaluated,
+            e.frequent,
+            e.kept,
+            e.pruned_bound,
+            e.pruned_support,
+            ms(e.join_elapsed),
+            ms(e.elapsed),
+            e.saturated
+        ));
+    }
+
+    fn on_pool(&mut self, e: &PoolLevelEvent) {
+        let mut workers = String::from("[");
+        for (i, w) in e.workers.iter().enumerate() {
+            if i > 0 {
+                workers.push_str(", ");
+            }
+            let _ = write!(
+                workers,
+                "{{\"worker\": {}, \"chunks\": {}, \"candidates\": {}, \"busy_ms\": {:.3}, \"idle_ms\": {:.3}}}",
+                w.worker,
+                w.chunks,
+                w.candidates,
+                ms(w.busy),
+                ms(w.idle)
+            );
+        }
+        workers.push(']');
+        self.write_line(&format!(
+            "{{\"event\": \"pool\", \"level\": {}, \"chunks\": {}, \"workers\": {workers}}}",
+            e.level, e.chunks
+        ));
+    }
+
+    fn on_em(&mut self, e: &EmEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"em\", \"m\": {}, \"em\": {}, \"elapsed_ms\": {:.3}}}",
+            e.m,
+            e.em,
+            ms(e.elapsed)
+        ));
+    }
+
+    fn on_complete(&mut self, e: &CompleteEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"total_ms\": {:.3}}}",
+            e.frequent,
+            e.levels,
+            e.total_candidates,
+            e.n_used,
+            e.support_saturated,
+            ms(e.total_elapsed)
+        ));
+    }
+}
+
+/// Aggregates every event in memory — the `--metrics` sink and the
+/// bench harness's source for the pruning-power series.
+#[derive(Debug, Default)]
+pub struct MetricsObserver {
+    /// The seed event, if one fired.
+    pub seed: Option<SeedEvent>,
+    /// Level events in arrival (= level) order.
+    pub levels: Vec<LevelEvent>,
+    /// Pool events in arrival order.
+    pub pool: Vec<PoolLevelEvent>,
+    /// The `e_m` event, if the mine was MPPm.
+    pub em: Option<EmEvent>,
+    /// The completion event.
+    pub complete: Option<CompleteEvent>,
+}
+
+impl MetricsObserver {
+    /// An empty aggregator.
+    pub fn new() -> MetricsObserver {
+        MetricsObserver::default()
+    }
+
+    /// Candidates summed over observed levels.
+    pub fn total_candidates(&self) -> u128 {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+
+    /// Render the human-readable summary printed by `pgmine mine
+    /// --metrics`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("mining metrics\n");
+        if let Some(s) = &self.seed {
+            let _ = writeln!(
+                out,
+                "  seed: level {} | {} patterns | {} PIL entries | {} arena bytes | {:.3} ms",
+                s.level,
+                s.patterns,
+                s.pil_entries,
+                s.arena_bytes,
+                ms(s.elapsed)
+            );
+        }
+        if let Some(e) = &self.em {
+            let _ = writeln!(
+                out,
+                "  e_m: m = {} -> e_m = {} in {:.3} ms",
+                e.m,
+                e.em,
+                ms(e.elapsed)
+            );
+        }
+        out.push_str(
+            "  level | candidates | evaluated | frequent | kept | pruned_bound | pruned_support | join_ms | total_ms\n",
+        );
+        for l in &self.levels {
+            let _ = writeln!(
+                out,
+                "  {:>5} | {:>10} | {:>9} | {:>8} | {:>4} | {:>12} | {:>14} | {:>7.3} | {:>8.3}{}",
+                l.level,
+                l.candidates,
+                l.evaluated,
+                l.frequent,
+                l.kept,
+                l.pruned_bound,
+                l.pruned_support,
+                ms(l.join_elapsed),
+                ms(l.elapsed),
+                if l.saturated { "  [saturated]" } else { "" }
+            );
+        }
+        for p in &self.pool {
+            let _ = writeln!(out, "  pool @ level {}: {} chunks", p.level, p.chunks);
+            for w in &p.workers {
+                let _ = writeln!(
+                    out,
+                    "    worker {:>2}: {:>4} chunks | {:>8} candidates | busy {:>8.3} ms | idle {:>8.3} ms",
+                    w.worker,
+                    w.chunks,
+                    w.candidates,
+                    ms(w.busy),
+                    ms(w.idle)
+                );
+            }
+        }
+        if let Some(c) = &self.complete {
+            let _ = writeln!(
+                out,
+                "  total: {} frequent over {} levels | {} candidates | n = {} | {:.3} ms{}",
+                c.frequent,
+                c.levels,
+                c.total_candidates,
+                c.n_used,
+                ms(c.total_elapsed),
+                if c.support_saturated {
+                    " | SUPPORT SATURATED"
+                } else {
+                    ""
+                }
+            );
+        }
+        out
+    }
+}
+
+impl MineObserver for MetricsObserver {
+    fn on_seed(&mut self, event: &SeedEvent) {
+        self.seed = Some(event.clone());
+    }
+    fn on_level(&mut self, event: &LevelEvent) {
+        self.levels.push(event.clone());
+    }
+    fn on_pool(&mut self, event: &PoolLevelEvent) {
+        self.pool.push(event.clone());
+    }
+    fn on_em(&mut self, event: &EmEvent) {
+        self.em = Some(event.clone());
+    }
+    fn on_complete(&mut self, event: &CompleteEvent) {
+        self.complete = Some(event.clone());
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSONL validation (pgmine trace-check, CI smoke, integration tests).
+// The workspace carries no serde, so this is a minimal hand-rolled JSON
+// reader covering exactly what the sinks emit.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for the trace schema).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer without fraction or exponent (kept exact — candidate
+    /// counts exceed `f64` precision).
+    Int(u128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse one JSON document (must consume the whole input).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Look up an object field.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u128().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at offset {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at offset {}", *pos))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Advance one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let ch = rest.chars().next().ok_or("empty string tail")?;
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if !fractional && !text.starts_with('-') {
+        if let Ok(v) = text.parse::<u128>() {
+            return Ok(Json::Int(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?}"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        out.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+        }
+    }
+}
+
+/// What [`validate_trace`] found in a well-formed trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceReport {
+    /// Non-empty lines in the file.
+    pub lines: usize,
+    /// Level events.
+    pub level_events: usize,
+    /// The summary line's frequent-pattern total.
+    pub frequent: usize,
+    /// The summary line's candidate total.
+    pub total_candidates: u128,
+}
+
+/// Validate a JSONL trace against the schema: every line parses as an
+/// object with an `"event"` field; `level` events are strictly
+/// increasing in level; exactly one `summary` line exists, comes last,
+/// and its totals match the level events.
+pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
+    let mut report = TraceReport::default();
+    let mut last_level: Option<usize> = None;
+    let mut level_frequent = 0usize;
+    let mut level_candidates = 0u128;
+    let mut summary: Option<(usize, Json)> = None;
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        report.lines += 1;
+        let value = Json::parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let event = value
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or(format!("line {lineno}: missing \"event\" field"))?
+            .to_string();
+        if summary.is_some() {
+            return Err(format!("line {lineno}: events after the summary line"));
+        }
+        match event.as_str() {
+            "level" => {
+                let level = value
+                    .get("level")
+                    .and_then(Json::as_usize)
+                    .ok_or(format!("line {lineno}: level event without level"))?;
+                if let Some(prev) = last_level {
+                    if level <= prev {
+                        return Err(format!(
+                            "line {lineno}: level {level} not above previous {prev}"
+                        ));
+                    }
+                }
+                last_level = Some(level);
+                report.level_events += 1;
+                level_frequent += value
+                    .get("frequent")
+                    .and_then(Json::as_usize)
+                    .ok_or(format!("line {lineno}: level event without frequent"))?;
+                level_candidates += value
+                    .get("candidates")
+                    .and_then(Json::as_u128)
+                    .ok_or(format!("line {lineno}: level event without candidates"))?;
+            }
+            "summary" => summary = Some((lineno, value)),
+            "seed" | "pool" | "em" => {}
+            other => return Err(format!("line {lineno}: unknown event {other:?}")),
+        }
+    }
+
+    let (lineno, summary) = summary.ok_or("trace has no summary line")?;
+    let frequent = summary
+        .get("frequent")
+        .and_then(Json::as_usize)
+        .ok_or(format!("line {lineno}: summary without frequent"))?;
+    let total_candidates = summary
+        .get("total_candidates")
+        .and_then(Json::as_u128)
+        .ok_or(format!("line {lineno}: summary without total_candidates"))?;
+    let levels = summary
+        .get("levels")
+        .and_then(Json::as_usize)
+        .ok_or(format!("line {lineno}: summary without levels"))?;
+    if frequent != level_frequent {
+        return Err(format!(
+            "summary frequent {frequent} != {level_frequent} summed over level events"
+        ));
+    }
+    if total_candidates != level_candidates {
+        return Err(format!(
+            "summary total_candidates {total_candidates} != {level_candidates} summed over level events"
+        ));
+    }
+    if levels != report.level_events {
+        return Err(format!(
+            "summary levels {levels} != {} level events",
+            report.level_events
+        ));
+    }
+    report.frequent = frequent;
+    report.total_candidates = total_candidates;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level_event(level: usize) -> LevelEvent {
+        LevelEvent {
+            level,
+            candidates: 64,
+            evaluated: 60,
+            frequent: 10,
+            kept: 20,
+            pruned_bound: 40,
+            pruned_support: 50,
+            join_elapsed: Duration::from_micros(500),
+            elapsed: Duration::from_millis(1),
+            saturated: false,
+        }
+    }
+
+    fn complete_event(levels: usize) -> CompleteEvent {
+        CompleteEvent {
+            frequent: 10 * levels,
+            levels,
+            total_candidates: 64 * levels as u128,
+            n_used: 8,
+            support_saturated: false,
+            total_elapsed: Duration::from_millis(3),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_validator() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_seed(&SeedEvent {
+            level: 3,
+            patterns: 64,
+            pil_entries: 1000,
+            arena_bytes: 16_192,
+            elapsed: Duration::from_millis(2),
+        });
+        sink.on_level(&level_event(3));
+        sink.on_pool(&PoolLevelEvent {
+            level: 4,
+            chunks: 8,
+            workers: vec![WorkerLevelStats {
+                worker: 0,
+                chunks: 8,
+                candidates: 100,
+                busy: Duration::from_millis(1),
+                idle: Duration::ZERO,
+            }],
+        });
+        sink.on_level(&level_event(4));
+        sink.on_em(&EmEvent {
+            m: 8,
+            em: 12,
+            elapsed: Duration::from_millis(1),
+        });
+        sink.on_complete(&complete_event(2));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let report = validate_trace(&text).unwrap();
+        assert_eq!(report.level_events, 2);
+        assert_eq!(report.frequent, 20);
+        assert_eq!(report.total_candidates, 128);
+        assert_eq!(report.lines, 6);
+    }
+
+    #[test]
+    fn validator_rejects_non_monotone_levels() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_level(&level_event(4));
+        sink.on_level(&level_event(3));
+        sink.on_complete(&complete_event(2));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let err = validate_trace(&text).unwrap_err();
+        assert!(err.contains("not above"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_mismatched_totals() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_level(&level_event(3));
+        let mut complete = complete_event(1);
+        complete.frequent = 999;
+        sink.on_complete(&complete);
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let err = validate_trace(&text).unwrap_err();
+        assert!(err.contains("frequent"), "{err}");
+    }
+
+    #[test]
+    fn validator_requires_summary_last() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_complete(&complete_event(0));
+        sink.on_level(&level_event(3));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert!(validate_trace(&text).is_err());
+        assert!(validate_trace("").is_err(), "no summary at all");
+        assert!(validate_trace("not json\n").is_err());
+        assert!(validate_trace("{\"no_event\": 1}\n").is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_trace_shapes() {
+        let v = Json::parse(
+            "{\"a\": 1, \"b\": -2.5, \"c\": true, \"d\": \"x\", \"e\": [1, 2], \"f\": {}, \"g\": null}",
+        )
+        .unwrap();
+        assert_eq!(v.get("a").unwrap().as_u128(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("d").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("e").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("f"), Some(&Json::Obj(vec![])));
+        assert_eq!(v.get("g"), Some(&Json::Null));
+        // Exact huge integers survive (beyond f64 precision).
+        let big = Json::parse("{\"n\": 340282366920938463463374607431768211455}").unwrap();
+        assert_eq!(big.get("n").unwrap().as_u128(), Some(u128::MAX));
+        // Malformed inputs fail loudly.
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn composed_observers_fan_out() {
+        let mut pair = (MetricsObserver::new(), Some(MetricsObserver::new()));
+        pair.on_level(&level_event(3));
+        pair.on_complete(&complete_event(1));
+        assert_eq!(pair.0.levels.len(), 1);
+        assert_eq!(pair.1.as_ref().unwrap().levels.len(), 1);
+        assert!(pair.0.complete.is_some());
+        let mut none: Option<MetricsObserver> = None;
+        none.on_level(&level_event(3)); // no-op, must not panic
+        let mut by_ref = MetricsObserver::new();
+        {
+            let r = &mut by_ref;
+            fn takes_observer<O: MineObserver>(o: &mut O, e: &LevelEvent) {
+                o.on_level(e);
+            }
+            takes_observer(&mut &mut *r, &level_event(3));
+        }
+        assert_eq!(by_ref.levels.len(), 1);
+    }
+
+    #[test]
+    fn metrics_render_mentions_key_numbers() {
+        let mut m = MetricsObserver::new();
+        m.on_em(&EmEvent {
+            m: 8,
+            em: 42,
+            elapsed: Duration::from_millis(1),
+        });
+        m.on_level(&level_event(3));
+        m.on_complete(&complete_event(1));
+        let text = m.render();
+        assert!(text.contains("e_m = 42"), "{text}");
+        assert!(text.contains("10 frequent"), "{text}");
+        assert_eq!(m.total_candidates(), 64);
+    }
+}
