@@ -4,9 +4,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use perigap_bench::data::ax_fragment;
+use perigap_core::dfs::mpp_dfs;
 use perigap_core::mpp::{mpp, MppConfig};
 use perigap_core::mppm::mppm;
 use perigap_core::parallel::mpp_parallel;
+use perigap_core::pil::{join_multi_into, MultiJoinScratch, Pil};
 use perigap_core::profile::{mine_with_profile, GapProfile};
 use perigap_core::GapRequirement;
 
@@ -88,12 +90,80 @@ fn bench_profile_vs_uniform(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engines(c: &mut Criterion) {
+    // Breadth-first vs hybrid BFS→DFS on the same join-heavy workload.
+    let seq = ax_fragment(1_000);
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("bfs", threads), &threads, |b, &t| {
+            b.iter(|| {
+                mpp_parallel(black_box(&seq), gap(), RHO, 30, MppConfig::default(), t)
+                    .expect("runs")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("dfs", threads), &threads, |b, &t| {
+            b.iter(|| {
+                mpp_dfs(black_box(&seq), gap(), RHO, 30, MppConfig::default(), t).expect("runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_kernel(c: &mut Criterion) {
+    // One left parent joined against its whole suffix fan-out:
+    // per-candidate `join_checked` calls vs the batched one-scan walk.
+    let seq = ax_fragment(2_000);
+    let g = gap();
+    let pils: Vec<(Vec<u8>, Pil)> = Pil::build_all(&seq, g, 3)
+        .into_iter()
+        .map(|(p, pil)| (p.codes().to_vec(), pil))
+        .collect();
+    let (left_codes, left) = pils
+        .iter()
+        .max_by_key(|(_, pil)| pil.len())
+        .expect("seed patterns exist");
+    let partners: Vec<&Pil> = pils
+        .iter()
+        .filter(|(codes, _)| codes[..2] == left_codes[1..])
+        .map(|(_, pil)| pil)
+        .collect();
+    assert!(!partners.is_empty());
+    let mut group = c.benchmark_group("join_kernel");
+    group.bench_function("per_candidate", |b| {
+        b.iter(|| {
+            for p in &partners {
+                black_box(Pil::join_checked(black_box(left), p, g));
+            }
+        });
+    });
+    group.bench_function("batched_multi", |b| {
+        let entries: Vec<&[(u32, u64)]> = partners.iter().map(|p| p.entries()).collect();
+        let mut outs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); entries.len()];
+        let mut scratch = MultiJoinScratch::default();
+        b.iter(|| {
+            join_multi_into(
+                black_box(left.entries()),
+                &entries,
+                g,
+                &mut outs,
+                &mut scratch,
+            );
+            black_box(&outs);
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mpp_by_n,
     bench_mppm_by_len,
     bench_mppm_by_w,
     bench_parallel_threads,
-    bench_profile_vs_uniform
+    bench_profile_vs_uniform,
+    bench_engines,
+    bench_join_kernel
 );
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--quick] [--adaptive]
+//! repro skew --trace <run.jsonl>
 //!
 //! experiments:
 //!   counts     Section 4.1 N_l table and the N_10 example
@@ -16,7 +17,8 @@
 //!   casestudy  Section 7 genome panels
 //!   extensions windowed-model loss, collection mining, gap profiles
 //!   bench      engine perf baseline -> BENCH_mining.json (not in `all`)
-//!   all        everything above except `bench`, in order
+//!   skew       per-worker utilization table from a --trace JSONL file
+//!   all        everything above except `bench`/`skew`, in order
 //!
 //! --quick shrinks sweep ranges and sequence lengths so the full run
 //! finishes in well under a minute; the default regenerates the paper's
@@ -29,9 +31,18 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let adaptive = args.iter().any(|a| a == "--adaptive");
+    // Value options (`--key <value>`): the value word must not be
+    // mistaken for the experiment name.
+    let value_of = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let consumed_values: Vec<&str> = ["--trace"].iter().filter_map(|key| value_of(key)).collect();
     let which = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| !a.starts_with("--") && !consumed_values.contains(&a.as_str()))
         .map(String::as_str)
         .unwrap_or("all");
 
@@ -72,6 +83,13 @@ fn main() {
         "casestudy" => experiments::casestudy::run(scale),
         "extensions" => experiments::extensions::run(seq_len),
         "bench" => experiments::bench_mining::run(quick),
+        "skew" => match value_of("--trace") {
+            Some(path) => experiments::skew::run(path),
+            None => {
+                eprintln!("skew needs --trace <run.jsonl> (a pgmine/mpp trace file)");
+                std::process::exit(2);
+            }
+        },
         other => {
             eprintln!("unknown experiment {other:?}; see --help text in the source header");
             std::process::exit(2);

@@ -11,17 +11,26 @@
 //!    ([`perigap_core::reference::mpp_reference`]) on the same config,
 //!    with per-level wall-clock from both engines;
 //! 3. **a size matrix**: per-level wall-clock of the new engine over a
-//!    fixed seed/size grid, so later PRs can diff trajectories.
+//!    fixed seed/size grid, so later PRs can diff trajectories;
+//! 4. **engine comparison**: the breadth-first pooled engine vs the
+//!    hybrid BFS→DFS engine ([`perigap_core::dfs`]) at 4 threads —
+//!    wall-clock plus the deterministic peak live-arena bytes each
+//!    engine reports, with a hard check that the DFS peak is strictly
+//!    lower and all stats counters identical;
+//! 5. **join kernel**: per-candidate [`Pil::join_checked`] calls vs the
+//!    batched multi-suffix walk ([`join_multi_into`]) over the same
+//!    shared-parent fan-out.
 //!
 //! The JSON is hand-rolled (the workspace carries no serde); the format
 //! is flat enough to eyeball and to parse with anything.
 
 use super::timed;
 use crate::data::scaling_sequence;
+use perigap_core::dfs::{mpp_dfs, mpp_dfs_traced};
 use perigap_core::mpp::{mpp_traced, MppConfig};
 use perigap_core::mppm::mppm_traced;
-use perigap_core::parallel::mpp_parallel;
-use perigap_core::pil::Pil;
+use perigap_core::parallel::{mpp_parallel, mpp_parallel_traced};
+use perigap_core::pil::{join_multi_into, MultiJoinScratch, Pil};
 use perigap_core::reference::{build_all_reference, mpp_reference};
 use perigap_core::result::MineOutcome;
 use perigap_core::trace::{LevelEvent, MetricsObserver};
@@ -206,8 +215,11 @@ pub fn run(quick: bool) {
         pruning_json(&lambda_prime_metrics.levels)
     );
 
+    let engine_comparison = engine_comparison(&e2e_seq, gap, reps);
+    let join_kernel = join_kernel(&e2e_seq, gap, if quick { 50 } else { 200 });
+
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"pruning_power\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"join_kernel\": {join_kernel},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
@@ -225,6 +237,170 @@ pub fn run(quick: bool) {
     );
     std::fs::write("BENCH_mining.json", &json).expect("write BENCH_mining.json");
     println!("bench: wrote BENCH_mining.json");
+}
+
+/// Engine threads for the BFS-vs-DFS comparison (the ISSUE-3
+/// acceptance config).
+const ENGINE_THREADS: usize = 4;
+
+/// Breadth-first pooled engine vs the hybrid BFS→DFS engine on the
+/// acceptance config: best-of wall-clock, the deterministic peak
+/// live-arena bytes each engine reports, and a counter-identity check.
+/// Returns the JSON fragment.
+fn engine_comparison(seq: &perigap_seq::Sequence, gap: GapRequirement, reps: usize) -> String {
+    let config = MppConfig::default();
+    println!(
+        "bench: engine comparison bfs vs dfs, {ENGINE_THREADS} threads, L = {}",
+        seq.len()
+    );
+    let (_, bfs_wall) = best_of(reps, || {
+        mpp_parallel(seq, gap, RHO, N, config, ENGINE_THREADS).unwrap()
+    });
+    let (_, dfs_wall) = best_of(reps, || {
+        mpp_dfs(seq, gap, RHO, N, config, ENGINE_THREADS).unwrap()
+    });
+    // Peaks come from one traced run each; the gauge is deterministic
+    // across thread schedules (transient chunk buffers are unaccounted).
+    let mut bfs_metrics = MetricsObserver::new();
+    let bfs =
+        mpp_parallel_traced(seq, gap, RHO, N, config, ENGINE_THREADS, &mut bfs_metrics).unwrap();
+    let mut dfs_metrics = MetricsObserver::new();
+    let dfs = mpp_dfs_traced(seq, gap, RHO, N, config, ENGINE_THREADS, &mut dfs_metrics).unwrap();
+    let bfs_peak = bfs_metrics.complete.as_ref().unwrap().peak_arena_bytes;
+    let dfs_peak = dfs_metrics.complete.as_ref().unwrap().peak_arena_bytes;
+
+    let counters_identical = bfs.frequent == dfs.frequent
+        && bfs.stats.n_used == dfs.stats.n_used
+        && bfs.stats.support_saturated == dfs.stats.support_saturated
+        && bfs.stats.levels.len() == dfs.stats.levels.len()
+        && bfs
+            .stats
+            .levels
+            .iter()
+            .zip(&dfs.stats.levels)
+            .all(|(a, b)| {
+                a.level == b.level
+                    && a.candidates == b.candidates
+                    && a.frequent == b.frequent
+                    && a.extended == b.extended
+            });
+    assert!(counters_identical, "engines disagree on stats counters");
+    assert!(
+        dfs_peak < bfs_peak,
+        "dfs peak {dfs_peak} must be strictly below bfs peak {bfs_peak}"
+    );
+    println!(
+        "  bfs {:.1} ms peak {} B | dfs {:.1} ms peak {} B | peak ratio {:.2}x",
+        ms(bfs_wall),
+        bfs_peak,
+        ms(dfs_wall),
+        dfs_peak,
+        bfs_peak as f64 / dfs_peak as f64
+    );
+    format!(
+        "{{\"length\": {}, \"threads\": {ENGINE_THREADS}, \"frequent\": {}, \"bfs_ms\": {:.3}, \"dfs_ms\": {:.3}, \"bfs_peak_arena_bytes\": {bfs_peak}, \"dfs_peak_arena_bytes\": {dfs_peak}, \"peak_ratio\": {:.3}, \"counters_identical\": {counters_identical}}}",
+        seq.len(),
+        dfs.frequent.len(),
+        ms(bfs_wall),
+        ms(dfs_wall),
+        bfs_peak as f64 / dfs_peak as f64
+    )
+}
+
+/// The batched multi-suffix kernel vs per-candidate joins over the same
+/// work: every level-3 left parent joined against its full suffix
+/// fan-out, `rounds` times. Returns the JSON fragment.
+fn join_kernel(seq: &perigap_seq::Sequence, gap: GapRequirement, rounds: usize) -> String {
+    use std::collections::HashMap;
+    let pils: Vec<(Vec<u8>, Pil)> = {
+        let mut v: Vec<_> = Pil::build_all(seq, gap, 3)
+            .into_iter()
+            .map(|(p, pil)| (p.codes().to_vec(), pil))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    };
+    let by_prefix: HashMap<&[u8], Vec<usize>> = {
+        let mut m: HashMap<&[u8], Vec<usize>> = HashMap::new();
+        for (i, (codes, _)) in pils.iter().enumerate() {
+            m.entry(&codes[..2]).or_default().push(i);
+        }
+        m
+    };
+    let fan_outs: Vec<(usize, Vec<usize>)> = pils
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (codes, _))| {
+            by_prefix
+                .get(&codes[1..])
+                .map(|partners| (i, partners.clone()))
+        })
+        .collect();
+    let candidates: usize = fan_outs.iter().map(|(_, p)| p.len()).sum();
+
+    let (_, per_candidate) = timed(|| {
+        for _ in 0..rounds {
+            for (i, partners) in &fan_outs {
+                for &j in partners {
+                    std::hint::black_box(Pil::join_checked(&pils[*i].1, &pils[j].1, gap));
+                }
+            }
+        }
+    });
+    let mut scratch = MultiJoinScratch::default();
+    let mut outs: Vec<Vec<(u32, u64)>> = Vec::new();
+    let (_, batched) = timed(|| {
+        for _ in 0..rounds {
+            for (i, partners) in &fan_outs {
+                if outs.len() < partners.len() {
+                    outs.resize_with(partners.len(), Vec::new);
+                }
+                let entries: Vec<&[(u32, u64)]> =
+                    partners.iter().map(|&j| pils[j].1.entries()).collect();
+                join_multi_into(
+                    pils[*i].1.entries(),
+                    &entries,
+                    gap,
+                    &mut outs[..entries.len()],
+                    &mut scratch,
+                );
+                std::hint::black_box(&outs);
+            }
+        }
+    });
+    // Cross-check once: the batched outputs must match the scalar path.
+    for (i, partners) in fan_outs.iter().take(4) {
+        let entries: Vec<&[(u32, u64)]> = partners.iter().map(|&j| pils[j].1.entries()).collect();
+        if outs.len() < entries.len() {
+            outs.resize_with(entries.len(), Vec::new);
+        }
+        join_multi_into(
+            pils[*i].1.entries(),
+            &entries,
+            gap,
+            &mut outs[..entries.len()],
+            &mut scratch,
+        );
+        for (k, &j) in partners.iter().enumerate() {
+            let (scalar, _) = Pil::join_checked(&pils[*i].1, &pils[j].1, gap);
+            assert_eq!(scalar.entries(), &outs[k][..], "kernel mismatch");
+        }
+    }
+    let speedup = per_candidate.as_secs_f64() / batched.as_secs_f64();
+    println!(
+        "bench: join kernel {candidates} candidates x {rounds} rounds: per-candidate {:.1} ms | batched {:.1} ms | speedup {:.2}x",
+        ms(per_candidate),
+        ms(batched),
+        speedup
+    );
+    format!(
+        "{{\"length\": {}, \"parents\": {}, \"candidates\": {candidates}, \"rounds\": {rounds}, \"per_candidate_ms\": {:.3}, \"batched_ms\": {:.3}, \"speedup\": {:.3}}}",
+        seq.len(),
+        fan_outs.len(),
+        ms(per_candidate),
+        ms(batched),
+        speedup
+    )
 }
 
 #[cfg(test)]
@@ -248,6 +424,24 @@ mod tests {
         let json = pruning_json(&metrics.levels);
         assert!(json.contains("\"pruned_bound\""), "{json}");
         assert!(json.contains("\"level\": 3"), "{json}");
+    }
+
+    #[test]
+    fn engine_comparison_fragment_shape() {
+        let seq = scaling_sequence(3_000);
+        let gap = GapRequirement::new(GAP.0, GAP.1).unwrap();
+        let json = engine_comparison(&seq, gap, 1);
+        assert!(json.contains("\"counters_identical\": true"), "{json}");
+        assert!(json.contains("\"dfs_peak_arena_bytes\""), "{json}");
+    }
+
+    #[test]
+    fn join_kernel_fragment_matches_scalar_path() {
+        let seq = scaling_sequence(2_000);
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let json = join_kernel(&seq, gap, 2);
+        assert!(json.contains("\"speedup\""), "{json}");
+        assert!(json.contains("\"candidates\""), "{json}");
     }
 
     #[test]

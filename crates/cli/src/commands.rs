@@ -3,9 +3,10 @@
 use crate::args::{parse_gap, parse_rho, ArgError, Args};
 use perigap_analysis::report::TextTable;
 use perigap_core::adaptive::adaptive_mpp;
+use perigap_core::dfs::mpp_dfs_traced;
 use perigap_core::enumerate::enumerate;
 use perigap_core::mpp::{mpp_traced, MppConfig};
-use perigap_core::mppm::mppm_traced;
+use perigap_core::mppm::{mppm_dfs_traced, mppm_traced};
 use perigap_core::parallel::mpp_parallel_traced;
 use perigap_core::trace::{validate_trace, JsonlObserver, MetricsObserver};
 use perigap_core::verify::verify_outcome;
@@ -25,7 +26,10 @@ USAGE:
                [--algorithm mppm|mpp|adaptive|enumerate] [--n <len>]
                [--profile <N:M,N:M,...>  per-step gaps; overrides --gap]
                [--m <window>] [--record <id>] [--alphabet dna|protein]
-               [--top <k>] [--max-level <l>] [--threads <k>  mpp only]
+               [--top <k>] [--max-level <l>]
+               [--engine bfs|dfs  mpp/mppm; dfs = depth-first subtrees]
+               [--threads <k>  mpp, or mppm with --engine dfs]
+               [--max-arena-bytes <bytes>  abort if live arenas exceed]
                [--format table|tsv] [--save <path.pgst>] [--verify]
                [--trace <path.jsonl>  mpp/mppm only] [--metrics]
   pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
@@ -65,6 +69,8 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "save",
             "threads",
             "trace",
+            "engine",
+            "max-arena-bytes",
         ],
         &["verify", "metrics"],
     )?;
@@ -142,18 +148,39 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         ),
         None => default_cap,
     };
+    let max_arena_bytes: Option<usize> = match args.get("max-arena-bytes") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| ArgError(format!("bad --max-arena-bytes {raw:?}")))?,
+        ),
+        None => None,
+    };
     let config = MppConfig {
         max_level,
+        max_arena_bytes,
         ..MppConfig::default()
     };
+
+    let engine = args.get("engine").unwrap_or("bfs");
+    if !matches!(engine, "bfs" | "dfs") {
+        return Err(ArgError(format!("unknown engine {engine:?} (bfs|dfs)")));
+    }
+    if (args.get("engine").is_some() || max_arena_bytes.is_some())
+        && !matches!(algorithm, "mpp" | "mppm")
+    {
+        return Err(ArgError(format!(
+            "--engine/--max-arena-bytes apply to --algorithm mpp or mppm only (got {algorithm:?})"
+        )));
+    }
 
     let threads: usize = args.parse_or("threads", 1)?;
     if threads == 0 {
         return Err(ArgError("--threads must be at least 1".into()));
     }
-    if threads > 1 && algorithm != "mpp" {
+    if threads > 1 && !(algorithm == "mpp" || (algorithm == "mppm" && engine == "dfs")) {
         return Err(ArgError(format!(
-            "--threads applies to --algorithm mpp only (got {algorithm:?})"
+            "--threads applies to --algorithm mpp, or mppm with --engine dfs \
+             (got {algorithm:?} on engine {engine:?})"
         )));
     }
 
@@ -181,11 +208,19 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
     // no-ops (see `perigap_core::trace`).
     let mut observer = (jsonl, want_metrics.then(MetricsObserver::new));
 
-    let outcome: MineOutcome = match algorithm {
-        "mppm" => mppm_traced(&seq, gap, rho, m, config, &mut observer),
+    let mined: Result<MineOutcome, _> = match algorithm {
+        "mppm" => {
+            if engine == "dfs" {
+                mppm_dfs_traced(&seq, gap, rho, m, config, threads, &mut observer)
+            } else {
+                mppm_traced(&seq, gap, rho, m, config, &mut observer)
+            }
+        }
         "mpp" => {
             let n: usize = args.parse_or("n", gap.l1(seq.len()))?;
-            if threads > 1 {
+            if engine == "dfs" {
+                mpp_dfs_traced(&seq, gap, rho, n, config, threads, &mut observer)
+            } else if threads > 1 {
                 mpp_parallel_traced(&seq, gap, rho, n, config, threads, &mut observer)
             } else {
                 mpp_traced(&seq, gap, rho, n, config, &mut observer)
@@ -197,14 +232,16 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         }
         "enumerate" => enumerate(&seq, gap, rho, config, 100_000_000),
         other => return Err(ArgError(format!("unknown algorithm {other:?}"))),
-    }
-    .map_err(|e| ArgError(e.to_string()))?;
+    };
 
+    // Flush the trace before surfacing a mining error: an aborted run's
+    // trace (terminal `abort` line) is exactly what post-mortems need.
     let (jsonl, metrics) = observer;
     if let Some(sink) = jsonl {
         sink.finish()
             .map_err(|e| ArgError(format!("trace write failed: {e}")))?;
     }
+    let outcome = mined.map_err(|e| ArgError(e.to_string()))?;
 
     if let Some(path) = args.get("save") {
         let file = std::fs::File::create(path)
@@ -540,6 +577,101 @@ mod tests {
         assert_eq!(serial, parallel, "threaded mining must match serial output");
         assert!(run_words(&base(&["--algorithm", "mpp", "--threads", "0"])).is_err());
         assert!(run_words(&base(&["--algorithm", "mppm", "--threads", "4"])).is_err());
+    }
+
+    #[test]
+    fn mine_with_dfs_engine() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        let bfs = run_words(&base(&["--algorithm", "mpp"])).unwrap();
+        let dfs = run_words(&base(&["--algorithm", "mpp", "--engine", "dfs"])).unwrap();
+        assert_eq!(bfs, dfs, "engines must report identical tables");
+        let dfs4 = run_words(&base(&[
+            "--algorithm",
+            "mpp",
+            "--engine",
+            "dfs",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(bfs, dfs4);
+        // mppm accepts --threads only on the dfs engine.
+        let mppm_bfs = run_words(&base(&["--algorithm", "mppm"])).unwrap();
+        let mppm_dfs = run_words(&base(&[
+            "--algorithm",
+            "mppm",
+            "--engine",
+            "dfs",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(mppm_bfs, mppm_dfs);
+        assert!(run_words(&base(&["--algorithm", "mppm", "--threads", "4"])).is_err());
+        assert!(run_words(&base(&["--algorithm", "mpp", "--engine", "zigzag"])).is_err());
+        assert!(run_words(&base(&["--algorithm", "enumerate", "--engine", "dfs"])).is_err());
+    }
+
+    #[test]
+    fn mine_arena_ceiling_aborts_but_writes_trace() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let mut trace_path = std::env::temp_dir();
+        trace_path.push(format!("pgmine-abort-{}.jsonl", std::process::id()));
+        let trace_str = trace_path.to_str().unwrap().to_string();
+        let err = run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--gap".into(),
+            "1:3".into(),
+            "--rho".into(),
+            "0.5%".into(),
+            "--algorithm".into(),
+            "mpp".into(),
+            "--engine".into(),
+            "dfs".into(),
+            "--max-arena-bytes".into(),
+            "16".into(),
+            "--trace".into(),
+            trace_str.clone(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("ceiling"), "{err}");
+        // The abort-terminated trace must still land on disk and validate.
+        let checked =
+            run_words(&["trace-check".into(), "--input".into(), trace_str.clone()]).unwrap();
+        assert!(checked.contains("trace OK"), "{checked}");
+        std::fs::remove_file(&trace_path).ok();
+        // Flags are rejected on engines that cannot honor them.
+        assert!(run_words(&[
+            "mine".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--gap".into(),
+            "1:3".into(),
+            "--rho".into(),
+            "0.5%".into(),
+            "--algorithm".into(),
+            "adaptive".into(),
+            "--max-arena-bytes".into(),
+            "16".into(),
+        ])
+        .is_err());
     }
 
     #[test]

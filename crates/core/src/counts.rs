@@ -61,6 +61,15 @@ impl OffsetCounts {
         }
     }
 
+    /// A fresh table for the same `(L, [N,M])` configuration with empty
+    /// caches. The interior-mutable caches make `OffsetCounts` `!Sync`,
+    /// so concurrent subtree tasks each fork their own instead of
+    /// sharing one behind a lock; the configuration copy is trivially
+    /// cheap next to the first `n(l)` evaluation.
+    pub fn fork(&self) -> OffsetCounts {
+        OffsetCounts::new(self.seq_len, self.gap)
+    }
+
     /// The subject sequence length `L`.
     pub fn seq_len(&self) -> usize {
         self.seq_len

@@ -1,0 +1,1136 @@
+//! The hybrid BFS→DFS mining engine.
+//!
+//! The breadth-first engines ([`crate::mpp`], [`crate::parallel`]) hold
+//! two *full* generations alive at every level, so their footprint is
+//! O(widest level). This engine mines breadth-first only while the
+//! survivor set is one connected prefix-run component; as soon as the
+//! survivors split into two or more components it hands each component
+//! to the worker pool as an independent **depth-first subtree task**.
+//! Inside a subtree the engine keeps a *double-buffered* chain — the
+//! parent generation and the generation under construction — so live
+//! arena bytes along a chain are O(deepest chain), not O(widest level).
+//!
+//! Two further levers:
+//!
+//! - **Eager candidate filtering.** Candidates are evaluated against
+//!   the exact and Theorem 1 bounds the moment they are generated;
+//!   only survivors are written to the next arena. The breadth-first
+//!   engines persist every candidate (empty PILs included) until the
+//!   next level's filter pass.
+//! - **Batched multi-suffix joins.** All right parents of one left
+//!   parent share a single walk of the left PIL
+//!   ([`crate::pil::join_multi_into`]), instead of re-scanning it per
+//!   candidate.
+//!
+//! ## Why the component handoff is sound
+//!
+//! Let the survivors at level `h` be split into prefix runs (equal
+//! `(h−1)`-prefix groups). Union, for every pattern `p` in run `r`, the
+//! run keyed by `suffix(p)` into `r`'s component. Claim: every
+//! generation partner at *every* deeper level stays inside one
+//! component. A level-`h+1` candidate `d = p·x` lives where its left
+//! parent `p` lives; its right parent `q` satisfies
+//! `prefix(q) = suffix(p)`, so `q` is in the run keyed `suffix(p)` —
+//! unioned with `p`'s component. Inductively, any deeper pattern's
+//! parents both descend from level-`h` patterns of the same component.
+//! Components are therefore independent mining problems, and the same
+//! argument re-applies inside a subtree whenever its survivors split
+//! again.
+//!
+//! ## Engine invariants
+//!
+//! Every counter in [`MineStats`] and every [`LevelEvent`] counter
+//! (candidates, evaluated, frequent, kept, pruned, saturated) is
+//! **identical** to the breadth-first engines': both consult the same
+//! [`BoundTable`] rows and enumerate the same partner pairs. Durations
+//! and `arena_bytes` are engine-dependent — here a level's elapsed
+//! time is the summed generation+evaluation time that *produced* it,
+//! and `arena_bytes` covers the surviving arenas only.
+
+use crate::arena::{build_seed, prefix_runs, PilSet};
+use crate::counts::OffsetCounts;
+use crate::error::MineError;
+use crate::gap::GapRequirement;
+use crate::lambda::{BoundRow, BoundTable};
+use crate::mpp::{prepare, MppConfig};
+use crate::parallel::{
+    PoolHooks, PoolJob, WorkerPool, CHUNKS_PER_THREAD, MIN_CHUNK, PARALLEL_THRESHOLD,
+};
+use crate::pattern::Pattern;
+use crate::pil::{join_multi_into, MultiJoinScratch};
+use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
+use crate::trace::{
+    AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
+    SubtreeEvent,
+};
+use perigap_math::BigRatio;
+use perigap_seq::Sequence;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// MPP on the hybrid BFS→DFS engine. Identical frequent patterns and
+/// stats counters to [`crate::mpp::mpp`] / [`crate::parallel::mpp_parallel`];
+/// lower peak memory on workloads whose survivor set splits or narrows.
+pub fn mpp_dfs(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    n: usize,
+    config: MppConfig,
+    threads: usize,
+) -> Result<MineOutcome, MineError> {
+    mpp_dfs_traced(seq, gap, rho, n, config, threads, &mut NoopObserver)
+}
+
+/// [`mpp_dfs`] with a [`MineObserver`] attached. Beyond the shared
+/// events, every subtree task emits a [`SubtreeEvent`] and pooled
+/// phases emit [`crate::trace::PoolLevelEvent`]s.
+pub fn mpp_dfs_traced<O: MineObserver>(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    n: usize,
+    config: MppConfig,
+    threads: usize,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
+    assert!(threads >= 1, "need at least one thread");
+    let started = Instant::now();
+    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let seed_started = Instant::now();
+    let pils = build_seed(seq, gap, config.start_level);
+    observer.on_seed(&SeedEvent {
+        level: config.start_level,
+        patterns: pils.len(),
+        pil_entries: pils.entry_count(),
+        arena_bytes: pils.arena_bytes(),
+        elapsed: seed_started.elapsed(),
+    });
+    let run = run_hybrid(
+        seq,
+        &counts,
+        &rho_exact,
+        n,
+        config,
+        pils,
+        threads,
+        PoolHooks::default(),
+        None,
+        observer,
+    );
+    let (mut outcome, peak) = match run {
+        Ok(done) => done,
+        Err(e) => {
+            observer.on_abort(&AbortEvent {
+                message: e.to_string(),
+            });
+            return Err(e);
+        }
+    };
+    outcome.stats.total_elapsed = started.elapsed();
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
+    Ok(outcome)
+}
+
+/// Per-level counter totals, merged across the prelude, chunk tasks,
+/// and subtree tasks. Field-for-field the ingredients of one
+/// [`LevelEvent`]/[`LevelStats`] pair.
+#[derive(Clone, Default)]
+struct LevelAgg {
+    candidates: u128,
+    evaluated: usize,
+    frequent: usize,
+    kept: usize,
+    saturated: bool,
+    arena_bytes: usize,
+    join_elapsed: Duration,
+    elapsed: Duration,
+}
+
+/// Merge `add` into the slot for `level`.
+fn absorb(aggs: &mut BTreeMap<usize, LevelAgg>, level: usize, add: LevelAgg) {
+    let a = aggs.entry(level).or_default();
+    a.candidates += add.candidates;
+    a.evaluated += add.evaluated;
+    a.frequent += add.frequent;
+    a.kept += add.kept;
+    a.saturated |= add.saturated;
+    a.arena_bytes += add.arena_bytes;
+    a.join_elapsed += add.join_elapsed;
+    a.elapsed += add.elapsed;
+}
+
+/// Shared live/peak arena accounting. `grow` charges bytes against the
+/// engine-wide gauge (and the optional ceiling) *before* the allocation
+/// is considered live; `shrink` releases them. Transient chunk output
+/// buffers are deliberately unaccounted — they are bounded by a chunk's
+/// share of one generation and keeping them out makes the reported peak
+/// deterministic across thread schedules.
+struct MemGauge<'a> {
+    live: &'a AtomicUsize,
+    peak: &'a AtomicUsize,
+    limit: Option<usize>,
+    /// Largest `held` this gauge saw (per-task peak for [`SubtreeEvent`]).
+    task_peak: usize,
+    /// Bytes currently charged through this gauge.
+    held: usize,
+}
+
+impl MemGauge<'_> {
+    fn new<'a>(live: &'a AtomicUsize, peak: &'a AtomicUsize, limit: Option<usize>) -> MemGauge<'a> {
+        MemGauge {
+            live,
+            peak,
+            limit,
+            task_peak: 0,
+            held: 0,
+        }
+    }
+
+    fn grow(&mut self, bytes: usize) -> Result<(), MineError> {
+        self.held += bytes;
+        self.task_peak = self.task_peak.max(self.held);
+        let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(live, Ordering::Relaxed);
+        if let Some(cap) = self.limit {
+            if live > cap {
+                return Err(MineError::MemoryCeiling {
+                    limit: cap,
+                    required: live,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn shrink(&mut self, bytes: usize) {
+        self.held -= bytes;
+        self.live.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Counters from one [`eager_generate`] call.
+#[derive(Default)]
+struct EagerStats {
+    evaluated: usize,
+    frequent: usize,
+    kept: usize,
+    saturated: bool,
+    batches: u64,
+    batch_candidates: u64,
+}
+
+/// Generate the level `set.level() + 1` candidates whose left parent is
+/// `members[lo..hi]`, evaluating each against `row` the moment it is
+/// produced. Frequent candidates are appended to `frequent`; candidates
+/// passing the extension bound are appended to `next`. Every partner
+/// pair is counted in `evaluated` (empty joins included), matching the
+/// breadth-first engines' candidate accounting exactly.
+#[allow(clippy::too_many_arguments)]
+fn eager_generate(
+    set: &PilSet,
+    members: &[usize],
+    runs: &[(usize, usize)],
+    lo: usize,
+    hi: usize,
+    gap: GapRequirement,
+    row: &BoundRow,
+    next: &mut PilSet,
+    scratch: &mut MultiJoinScratch,
+    outs: &mut Vec<Vec<(u32, u64)>>,
+    codes: &mut Vec<u8>,
+    frequent: &mut Vec<FrequentPattern>,
+) -> EagerStats {
+    let level = set.level();
+    let mut st = EagerStats::default();
+    let mut partners: Vec<&[(u32, u64)]> = Vec::new();
+    for &i in &members[lo..hi] {
+        let p1 = set.pattern_codes(i);
+        let suffix = &p1[1..];
+        let found =
+            runs.binary_search_by(|&(s, _)| set.pattern_codes(members[s])[..level - 1].cmp(suffix));
+        let Ok(r) = found else { continue };
+        let (s, e) = runs[r];
+        partners.clear();
+        partners.extend(members[s..e].iter().map(|&j| set.entries(j)));
+        let cnt = partners.len();
+        if outs.len() < cnt {
+            outs.resize_with(cnt, Vec::new);
+        }
+        join_multi_into(set.entries(i), &partners, gap, &mut outs[..cnt], scratch);
+        st.batches += 1;
+        st.batch_candidates += cnt as u64;
+        for (j, &m) in members[s..e].iter().enumerate() {
+            st.evaluated += 1;
+            st.saturated |= scratch.saturated[j];
+            let entries = &outs[j];
+            let sup: u128 = entries.iter().map(|&(_, c)| c as u128).sum();
+            let admitted_exact = row.exact.admits_u128(sup);
+            let admitted_lhat = row.lhat.admits_u128(sup);
+            if admitted_exact || admitted_lhat {
+                codes.clear();
+                codes.extend_from_slice(p1);
+                codes.push(set.pattern_codes(m)[level - 1]);
+            }
+            if admitted_exact {
+                frequent.push(FrequentPattern {
+                    pattern: Pattern::from_codes(codes.clone()),
+                    support: sup,
+                    ratio: sup as f64 / row.n_f64,
+                });
+                st.frequent += 1;
+            }
+            if admitted_lhat {
+                next.push_pattern(codes, entries);
+                st.kept += 1;
+            }
+        }
+    }
+    st
+}
+
+/// Partition the survivor set into connected prefix-run components:
+/// union-find over `runs`, where each pattern's run is unioned with the
+/// run keyed by its suffix (the component-closure rule from the module
+/// docs). Returns ascending member lists, in first-seen run order; one
+/// list means the set cannot be split yet.
+fn run_components(set: &PilSet, members: &[usize], runs: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let level = set.level();
+    let mut parent: Vec<usize> = (0..runs.len()).collect();
+    for (r, &(s, e)) in runs.iter().enumerate() {
+        for &m in &members[s..e] {
+            let suffix = &set.pattern_codes(m)[1..];
+            let found = runs.binary_search_by(|&(s2, _)| {
+                set.pattern_codes(members[s2])[..level - 1].cmp(suffix)
+            });
+            if let Ok(r2) = found {
+                let (a, b) = (find(&mut parent, r), find(&mut parent, r2));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut slot: Vec<Option<usize>> = vec![None; runs.len()];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for (r, &(s, e)) in runs.iter().enumerate() {
+        let root = find(&mut parent, r);
+        let idx = match slot[root] {
+            Some(idx) => idx,
+            None => {
+                comps.push(Vec::new());
+                slot[root] = Some(comps.len() - 1);
+                comps.len() - 1
+            }
+        };
+        comps[idx].extend_from_slice(&members[s..e]);
+    }
+    comps
+}
+
+/// One pool item of the hybrid engine.
+enum DfsTask {
+    /// Prelude chunk: eager-generate for left parents
+    /// `members[lo..hi]` of the shared base generation.
+    Chunk { lo: usize, hi: usize },
+    /// Depth-first subtree over one component's base-level members.
+    Subtree { members: Vec<usize> },
+}
+
+/// What one [`DfsTask`] returns (inside `Ok`; a task that trips the
+/// memory ceiling returns the error as its output value).
+struct TaskOut {
+    /// Chunk tasks: the surviving slice of the next generation.
+    part: Option<PilSet>,
+    /// Per-level counter totals this task contributed.
+    aggs: Vec<(usize, LevelAgg)>,
+    /// Frequent patterns this task found.
+    frequent: Vec<FrequentPattern>,
+    /// Subtree tasks: the progress event.
+    subtree: Option<SubtreeEvent>,
+}
+
+/// A roster of [`DfsTask`]s over one shared base generation, claimed
+/// off the common [`WorkerPool`] cursor.
+struct DfsJob {
+    base: PilSet,
+    /// Survivor indices into `base`, ascending.
+    members: Vec<usize>,
+    /// Prefix runs over `members`.
+    runs: Vec<(usize, usize)>,
+    tasks: Vec<DfsTask>,
+    gap: GapRequirement,
+    seq_len: usize,
+    base_level: usize,
+    n: usize,
+    rho: BigRatio,
+    hard_cap: usize,
+    limit: Option<usize>,
+    live: Arc<AtomicUsize>,
+    peak: Arc<AtomicUsize>,
+    /// The `base_level + 1` bound row, built once on the main thread so
+    /// chunk tasks skip per-task bound construction.
+    first_row: BoundRow,
+    cursor: AtomicUsize,
+    hooks: PoolHooks,
+}
+
+impl PoolJob for DfsJob {
+    type Out = Result<TaskOut, MineError>;
+
+    fn n_items(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn cursor(&self) -> &AtomicUsize {
+        &self.cursor
+    }
+
+    fn hooks(&self) -> &PoolHooks {
+        &self.hooks
+    }
+
+    fn progress_level(&self) -> usize {
+        self.base_level + 1
+    }
+
+    fn process(&self, item: usize) -> Self::Out {
+        match &self.tasks[item] {
+            DfsTask::Chunk { lo, hi } => self.process_chunk(*lo, *hi),
+            DfsTask::Subtree { members } => self.process_subtree(item, members),
+        }
+    }
+
+    fn out_weight(out: &Self::Out) -> usize {
+        match out {
+            Ok(t) => t.aggs.iter().map(|(_, a)| a.evaluated).sum(),
+            Err(_) => 0,
+        }
+    }
+}
+
+impl DfsJob {
+    fn process_chunk(&self, lo: usize, hi: usize) -> Result<TaskOut, MineError> {
+        let started = Instant::now();
+        let mut next = PilSet::new(self.base_level + 1);
+        let mut scratch = MultiJoinScratch::default();
+        let mut outs: Vec<Vec<(u32, u64)>> = Vec::new();
+        let mut codes: Vec<u8> = Vec::new();
+        let mut frequent: Vec<FrequentPattern> = Vec::new();
+        let st = eager_generate(
+            &self.base,
+            &self.members,
+            &self.runs,
+            lo,
+            hi,
+            self.gap,
+            &self.first_row,
+            &mut next,
+            &mut scratch,
+            &mut outs,
+            &mut codes,
+            &mut frequent,
+        );
+        let elapsed = started.elapsed();
+        let agg = LevelAgg {
+            candidates: st.evaluated as u128,
+            evaluated: st.evaluated,
+            frequent: st.frequent,
+            kept: st.kept,
+            saturated: st.saturated,
+            arena_bytes: next.arena_bytes(),
+            join_elapsed: elapsed,
+            elapsed,
+        };
+        Ok(TaskOut {
+            part: Some(next),
+            aggs: vec![(self.base_level + 1, agg)],
+            frequent,
+            subtree: None,
+        })
+    }
+
+    fn process_subtree(&self, item: usize, members: &[usize]) -> Result<TaskOut, MineError> {
+        let started = Instant::now();
+        // `OffsetCounts` caches are `!Sync`, so each task builds its own
+        // (cheap: the tables are lazy and shallow at mining depths).
+        let counts = OffsetCounts::new(self.seq_len, self.gap);
+        let mut ctx = TaskCtx {
+            gap: self.gap,
+            hard_cap: self.hard_cap,
+            counts: &counts,
+            bounds: BoundTable::new(&counts, &self.rho, self.n),
+            gauge: MemGauge::new(&self.live, &self.peak, self.limit),
+            scratch: MultiJoinScratch::default(),
+            outs: Vec::new(),
+            codes: Vec::new(),
+            aggs: BTreeMap::new(),
+            frequent: Vec::new(),
+            deepest: self.base_level,
+            batches: 0,
+            batch_candidates: 0,
+        };
+        descend_split(&mut ctx, &self.base, members, self.base_level)?;
+        let evaluated: usize = ctx.aggs.values().map(|a| a.evaluated).sum();
+        let event = SubtreeEvent {
+            index: item,
+            level: self.base_level,
+            patterns: members.len(),
+            deepest: ctx.deepest,
+            evaluated,
+            frequent: ctx.frequent.len(),
+            peak_arena_bytes: ctx.gauge.task_peak,
+            batches: ctx.batches,
+            batch_candidates: ctx.batch_candidates,
+            elapsed: started.elapsed(),
+        };
+        Ok(TaskOut {
+            part: None,
+            aggs: ctx.aggs.into_iter().collect(),
+            frequent: ctx.frequent,
+            subtree: Some(event),
+        })
+    }
+}
+
+/// Mutable state threaded through one subtree task's recursion.
+struct TaskCtx<'a> {
+    gap: GapRequirement,
+    hard_cap: usize,
+    counts: &'a OffsetCounts,
+    bounds: BoundTable<'a>,
+    gauge: MemGauge<'a>,
+    scratch: MultiJoinScratch,
+    outs: Vec<Vec<(u32, u64)>>,
+    codes: Vec<u8>,
+    aggs: BTreeMap<usize, LevelAgg>,
+    frequent: Vec<FrequentPattern>,
+    deepest: usize,
+    batches: u64,
+    batch_candidates: u64,
+}
+
+/// Split `members` of `set` (at `level`) into components and mine each;
+/// a single component takes one generation step and continues as a
+/// [`mine_chain`]. `set` is owned by the caller — its bytes are on the
+/// caller's account, not this frame's.
+fn descend_split(
+    ctx: &mut TaskCtx<'_>,
+    set: &PilSet,
+    members: &[usize],
+    level: usize,
+) -> Result<(), MineError> {
+    if members.is_empty() || level >= ctx.hard_cap || ctx.counts.n(level + 1).is_zero() {
+        return Ok(());
+    }
+    let runs = prefix_runs(set, members);
+    let comps = run_components(set, members, &runs);
+    if comps.len() > 1 {
+        for comp in &comps {
+            descend_split(ctx, set, comp, level)?;
+        }
+        return Ok(());
+    }
+    let gen_started = Instant::now();
+    let mut next = PilSet::new(level + 1);
+    let row = ctx.bounds.row(level + 1).clone();
+    let st = eager_generate(
+        set,
+        members,
+        &runs,
+        0,
+        members.len(),
+        ctx.gap,
+        &row,
+        &mut next,
+        &mut ctx.scratch,
+        &mut ctx.outs,
+        &mut ctx.codes,
+        &mut ctx.frequent,
+    );
+    ctx.batches += st.batches;
+    ctx.batch_candidates += st.batch_candidates;
+    if st.evaluated == 0 {
+        return Ok(());
+    }
+    let elapsed = gen_started.elapsed();
+    let next_bytes = next.arena_bytes();
+    absorb(
+        &mut ctx.aggs,
+        level + 1,
+        LevelAgg {
+            candidates: st.evaluated as u128,
+            evaluated: st.evaluated,
+            frequent: st.frequent,
+            kept: st.kept,
+            saturated: st.saturated,
+            arena_bytes: next_bytes,
+            join_elapsed: elapsed,
+            elapsed,
+        },
+    );
+    ctx.deepest = ctx.deepest.max(level + 1);
+    if next.is_empty() {
+        return Ok(());
+    }
+    ctx.gauge.grow(next_bytes)?;
+    mine_chain(ctx, next, next_bytes, level + 1)
+}
+
+/// The double-buffered depth-first chain: `current` (charged to the
+/// gauge by the caller) is extended one level at a time, freeing each
+/// parent the moment its child generation survives — live bytes along
+/// the chain are O(parent + child). A split hands the components back
+/// to [`descend_split`] while `current` stays live underneath them.
+fn mine_chain(
+    ctx: &mut TaskCtx<'_>,
+    mut current: PilSet,
+    mut cur_bytes: usize,
+    mut level: usize,
+) -> Result<(), MineError> {
+    loop {
+        if level >= ctx.hard_cap || ctx.counts.n(level + 1).is_zero() {
+            ctx.gauge.shrink(cur_bytes);
+            return Ok(());
+        }
+        let members: Vec<usize> = (0..current.len()).collect();
+        let runs = prefix_runs(&current, &members);
+        let comps = run_components(&current, &members, &runs);
+        if comps.len() > 1 {
+            for comp in &comps {
+                descend_split(ctx, &current, comp, level)?;
+            }
+            ctx.gauge.shrink(cur_bytes);
+            return Ok(());
+        }
+        let gen_started = Instant::now();
+        let mut next = PilSet::new(level + 1);
+        let row = ctx.bounds.row(level + 1).clone();
+        let st = eager_generate(
+            &current,
+            &members,
+            &runs,
+            0,
+            members.len(),
+            ctx.gap,
+            &row,
+            &mut next,
+            &mut ctx.scratch,
+            &mut ctx.outs,
+            &mut ctx.codes,
+            &mut ctx.frequent,
+        );
+        ctx.batches += st.batches;
+        ctx.batch_candidates += st.batch_candidates;
+        if st.evaluated == 0 {
+            ctx.gauge.shrink(cur_bytes);
+            return Ok(());
+        }
+        let elapsed = gen_started.elapsed();
+        let next_bytes = next.arena_bytes();
+        absorb(
+            &mut ctx.aggs,
+            level + 1,
+            LevelAgg {
+                candidates: st.evaluated as u128,
+                evaluated: st.evaluated,
+                frequent: st.frequent,
+                kept: st.kept,
+                saturated: st.saturated,
+                arena_bytes: next_bytes,
+                join_elapsed: elapsed,
+                elapsed,
+            },
+        );
+        ctx.deepest = ctx.deepest.max(level + 1);
+        if next.is_empty() {
+            ctx.gauge.shrink(cur_bytes);
+            return Ok(());
+        }
+        // Double buffer: charge the child, release the parent, step.
+        ctx.gauge.grow(next_bytes)?;
+        ctx.gauge.shrink(cur_bytes);
+        current = next;
+        cur_bytes = next_bytes;
+        level += 1;
+    }
+}
+
+/// The hybrid core shared by [`mpp_dfs`] and [`crate::mppm::mppm_dfs`]:
+/// breadth-first prelude with eager filtering, component handoff to
+/// depth-first subtree tasks, and engine-wide peak-arena accounting.
+/// Returns the outcome plus peak live arena bytes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_hybrid<O: MineObserver>(
+    seq: &Sequence,
+    counts: &OffsetCounts,
+    rho: &BigRatio,
+    n: usize,
+    config: MppConfig,
+    seed: PilSet,
+    threads: usize,
+    hooks: PoolHooks,
+    mut stats_seed: Option<MineStats>,
+    observer: &mut O,
+) -> Result<(MineOutcome, usize), MineError> {
+    assert!(threads >= 1, "need at least one thread");
+    let gap = counts.gap();
+    let sigma = seq.alphabet().size() as u128;
+    let start = config.start_level;
+    let n = n.clamp(start, counts.l1().max(start));
+    let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());
+
+    let mut stats = stats_seed.take().unwrap_or_default();
+    stats.n_used = n;
+    let mut frequent: Vec<FrequentPattern> = Vec::new();
+    let mut aggs: BTreeMap<usize, LevelAgg> = BTreeMap::new();
+    let mut pool_events: Vec<PoolLevelEvent> = Vec::new();
+    let mut subtree_events: Vec<SubtreeEvent> = Vec::new();
+
+    let live = Arc::new(AtomicUsize::new(0));
+    let peak_shared = Arc::new(AtomicUsize::new(0));
+    let mut gauge = MemGauge::new(&live, &peak_shared, config.max_arena_bytes);
+    let pool = (threads > 1).then(|| WorkerPool::<DfsJob>::new(threads - 1));
+    let mut bounds = BoundTable::new(counts, rho, n);
+
+    if hard_cap >= start && !counts.n(start).is_zero() {
+        let mut current = seed;
+        let mut cur_bytes = current.arena_bytes();
+        gauge.grow(cur_bytes)?;
+
+        // Seed filter — the only level whose members were not already
+        // evaluated at generation time.
+        let filter_started = Instant::now();
+        let row = bounds.row(start).clone();
+        let mut kept: Vec<usize> = Vec::new();
+        let mut frequent_here = 0usize;
+        for i in 0..current.len() {
+            let sup = current.support(i);
+            if row.exact.admits_u128(sup) {
+                frequent.push(FrequentPattern {
+                    pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
+                    support: sup,
+                    ratio: sup as f64 / row.n_f64,
+                });
+                frequent_here += 1;
+            }
+            if row.lhat.admits_u128(sup) {
+                kept.push(i);
+            }
+        }
+        absorb(
+            &mut aggs,
+            start,
+            LevelAgg {
+                candidates: sigma.saturating_pow(start as u32),
+                evaluated: current.len(),
+                frequent: frequent_here,
+                kept: kept.len(),
+                saturated: current.saturated(),
+                arena_bytes: cur_bytes,
+                join_elapsed: Duration::ZERO,
+                elapsed: filter_started.elapsed(),
+            },
+        );
+
+        let mut scratch = MultiJoinScratch::default();
+        let mut outs_buf: Vec<Vec<(u32, u64)>> = Vec::new();
+        let mut codes_buf: Vec<u8> = Vec::new();
+        let mut level = start;
+        loop {
+            if kept.is_empty() || level >= hard_cap || counts.n(level + 1).is_zero() {
+                break;
+            }
+            let runs = prefix_runs(&current, &kept);
+            let comps = run_components(&current, &kept, &runs);
+            if comps.len() >= 2 {
+                // Handoff: every component is an independent subtree.
+                let first_row = bounds.row(level + 1).clone();
+                let tasks: Vec<DfsTask> = comps
+                    .into_iter()
+                    .map(|members| DfsTask::Subtree { members })
+                    .collect();
+                let job = Arc::new(DfsJob {
+                    base: current,
+                    members: kept,
+                    runs,
+                    tasks,
+                    gap,
+                    seq_len: seq.len(),
+                    base_level: level,
+                    n,
+                    rho: rho.clone(),
+                    hard_cap,
+                    limit: config.max_arena_bytes,
+                    live: Arc::clone(&live),
+                    peak: Arc::clone(&peak_shared),
+                    first_row,
+                    cursor: AtomicUsize::new(0),
+                    hooks,
+                });
+                let outs = match &pool {
+                    Some(pool) => {
+                        let (outs, event) = pool.run(Arc::clone(&job))?;
+                        pool_events.push(event);
+                        outs
+                    }
+                    None => (0..job.n_items()).map(|i| job.process(i)).collect(),
+                };
+                for out in outs {
+                    let t = out?;
+                    for (l, a) in t.aggs {
+                        absorb(&mut aggs, l, a);
+                    }
+                    frequent.extend(t.frequent);
+                    if let Some(ev) = t.subtree {
+                        subtree_events.push(ev);
+                    }
+                }
+                gauge.shrink(cur_bytes);
+                break;
+            }
+
+            // One component: eager-generate the next level, pooled when
+            // the fan-out is wide enough to pay for chunk handoff.
+            let gen_started = Instant::now();
+            let first_row = bounds.row(level + 1).clone();
+            let (next, mut agg) = match &pool {
+                Some(pool) if kept.len() >= PARALLEL_THRESHOLD => {
+                    let chunk = kept
+                        .len()
+                        .div_ceil(threads * CHUNKS_PER_THREAD)
+                        .max(MIN_CHUNK);
+                    let n_chunks = kept.len().div_ceil(chunk);
+                    let tasks: Vec<DfsTask> = (0..n_chunks)
+                        .map(|c| {
+                            let lo = c * chunk;
+                            DfsTask::Chunk {
+                                lo,
+                                hi: (lo + chunk).min(kept.len()),
+                            }
+                        })
+                        .collect();
+                    let job = Arc::new(DfsJob {
+                        base: std::mem::take(&mut current),
+                        members: std::mem::take(&mut kept),
+                        runs,
+                        tasks,
+                        gap,
+                        seq_len: seq.len(),
+                        base_level: level,
+                        n,
+                        rho: rho.clone(),
+                        hard_cap,
+                        limit: config.max_arena_bytes,
+                        live: Arc::clone(&live),
+                        peak: Arc::clone(&peak_shared),
+                        first_row,
+                        cursor: AtomicUsize::new(0),
+                        hooks,
+                    });
+                    let (outs, event) = pool.run(Arc::clone(&job))?;
+                    pool_events.push(event);
+                    let mut parts = Vec::with_capacity(outs.len());
+                    let mut merged = LevelAgg::default();
+                    for out in outs {
+                        let t = out?;
+                        for (l, a) in t.aggs {
+                            debug_assert_eq!(l, level + 1);
+                            merged.candidates += a.candidates;
+                            merged.evaluated += a.evaluated;
+                            merged.frequent += a.frequent;
+                            merged.kept += a.kept;
+                            merged.saturated |= a.saturated;
+                        }
+                        frequent.extend(t.frequent);
+                        if let Some(p) = t.part {
+                            parts.push(p);
+                        }
+                    }
+                    (PilSet::concat(level + 1, parts), merged)
+                }
+                _ => {
+                    let mut next = PilSet::new(level + 1);
+                    let st = eager_generate(
+                        &current,
+                        &kept,
+                        &runs,
+                        0,
+                        kept.len(),
+                        gap,
+                        &first_row,
+                        &mut next,
+                        &mut scratch,
+                        &mut outs_buf,
+                        &mut codes_buf,
+                        &mut frequent,
+                    );
+                    let agg = LevelAgg {
+                        candidates: st.evaluated as u128,
+                        evaluated: st.evaluated,
+                        frequent: st.frequent,
+                        kept: st.kept,
+                        saturated: st.saturated,
+                        ..LevelAgg::default()
+                    };
+                    (next, agg)
+                }
+            };
+            if agg.evaluated == 0 {
+                gauge.shrink(cur_bytes);
+                break;
+            }
+            let elapsed = gen_started.elapsed();
+            let next_bytes = next.arena_bytes();
+            agg.arena_bytes = next_bytes;
+            agg.join_elapsed = elapsed;
+            agg.elapsed = elapsed;
+            let survivors = agg.kept;
+            absorb(&mut aggs, level + 1, agg);
+            if survivors == 0 {
+                gauge.shrink(cur_bytes);
+                break;
+            }
+            gauge.grow(next_bytes)?;
+            gauge.shrink(cur_bytes);
+            current = next;
+            cur_bytes = next_bytes;
+            kept = (0..current.len()).collect();
+            level += 1;
+        }
+    }
+
+    for (&level, agg) in &aggs {
+        stats.support_saturated |= agg.saturated;
+        stats.levels.push(LevelStats {
+            level,
+            candidates: agg.candidates,
+            frequent: agg.frequent,
+            extended: agg.kept,
+            elapsed: agg.elapsed,
+        });
+        observer.on_level(&LevelEvent {
+            level,
+            candidates: agg.candidates,
+            evaluated: agg.evaluated,
+            frequent: agg.frequent,
+            kept: agg.kept,
+            pruned_bound: agg.evaluated - agg.kept,
+            pruned_support: agg.evaluated - agg.frequent,
+            arena_bytes: agg.arena_bytes,
+            join_elapsed: agg.join_elapsed,
+            elapsed: agg.elapsed,
+            saturated: agg.saturated,
+        });
+    }
+    for ev in &pool_events {
+        observer.on_pool(ev);
+    }
+    subtree_events.sort_by_key(|e| e.index);
+    for ev in &subtree_events {
+        observer.on_subtree(ev);
+    }
+
+    let peak = peak_shared.load(Ordering::Relaxed);
+    let mut outcome = MineOutcome { frequent, stats };
+    outcome.sort();
+    Ok((outcome, peak))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mpp::mpp;
+    use crate::trace::MetricsObserver;
+    use perigap_seq::gen::iid::uniform;
+    use perigap_seq::Alphabet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gap(n: usize, m: usize) -> GapRequirement {
+        GapRequirement::new(n, m).unwrap()
+    }
+
+    fn assert_counters_match(dfs: &MineOutcome, bfs: &MineOutcome, label: &str) {
+        assert_eq!(dfs.frequent.len(), bfs.frequent.len(), "{label}");
+        for (a, b) in dfs.frequent.iter().zip(&bfs.frequent) {
+            assert_eq!(a.pattern, b.pattern, "{label}");
+            assert_eq!(a.support, b.support, "{label}");
+            assert!((a.ratio - b.ratio).abs() < 1e-12, "{label}");
+        }
+        assert_eq!(dfs.stats.n_used, bfs.stats.n_used, "{label}");
+        assert_eq!(
+            dfs.stats.support_saturated, bfs.stats.support_saturated,
+            "{label}"
+        );
+        assert_eq!(dfs.stats.levels.len(), bfs.stats.levels.len(), "{label}");
+        for (a, b) in dfs.stats.levels.iter().zip(&bfs.stats.levels) {
+            assert_eq!(a.level, b.level, "{label}");
+            assert_eq!(a.candidates, b.candidates, "{label} level {}", a.level);
+            assert_eq!(a.frequent, b.frequent, "{label} level {}", a.level);
+            assert_eq!(a.extended, b.extended, "{label} level {}", a.level);
+        }
+    }
+
+    #[test]
+    fn dfs_matches_bfs_exactly() {
+        let seq = uniform(&mut StdRng::seed_from_u64(95), Alphabet::Dna, 400);
+        let g = gap(1, 3);
+        let rho = 0.0008;
+        let bfs = mpp(&seq, g, rho, 12, MppConfig::default()).unwrap();
+        for threads in [1usize, 4] {
+            let dfs = mpp_dfs(&seq, g, rho, 12, MppConfig::default(), threads).unwrap();
+            assert_counters_match(&dfs, &bfs, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn pooled_prelude_matches_serial() {
+        // 20^3 = 8000 seed patterns: the single-component prelude must
+        // cross PARALLEL_THRESHOLD and exercise the chunked fan-out.
+        let seq = uniform(&mut StdRng::seed_from_u64(99), Alphabet::Protein, 3_000);
+        let g = gap(0, 2);
+        let rho = 1e-6;
+        let bfs = mpp(&seq, g, rho, 6, MppConfig::default()).unwrap();
+        assert!(bfs.stats.levels[0].extended >= PARALLEL_THRESHOLD);
+        for threads in [2usize, 4] {
+            let dfs = mpp_dfs(&seq, g, rho, 6, MppConfig::default(), threads).unwrap();
+            assert_counters_match(&dfs, &bfs, &format!("{threads} threads"));
+        }
+    }
+
+    #[test]
+    fn component_split_hands_off_subtrees() {
+        // ATATAT… with gap [1,1]: the A-run and T-run never join each
+        // other, so the survivor set splits immediately and each side
+        // mines as its own depth-first subtree.
+        let seq = Sequence::dna(&"AT".repeat(50)).unwrap();
+        let g = gap(1, 1);
+        let bfs = mpp(&seq, g, 0.4, 20, MppConfig::default()).unwrap();
+        for threads in [1usize, 2] {
+            let mut metrics = MetricsObserver::new();
+            let dfs = mpp_dfs_traced(
+                &seq,
+                g,
+                0.4,
+                20,
+                MppConfig::default(),
+                threads,
+                &mut metrics,
+            )
+            .unwrap();
+            assert_counters_match(&dfs, &bfs, &format!("{threads} threads"));
+            assert!(
+                metrics.subtrees.len() >= 2,
+                "expected a component handoff, got {} subtree events",
+                metrics.subtrees.len()
+            );
+            assert!(dfs.longest_len() >= 10);
+            for ev in &metrics.subtrees {
+                assert!(ev.deepest >= ev.level);
+                assert!(ev.batches > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_peak_no_higher_than_bfs_peak() {
+        let seq = uniform(&mut StdRng::seed_from_u64(41), Alphabet::Dna, 2_000);
+        let g = gap(0, 3);
+        let rho = 0.0003;
+        let mut bfs_metrics = MetricsObserver::new();
+        crate::parallel::mpp_parallel_traced(
+            &seq,
+            g,
+            rho,
+            8,
+            MppConfig::default(),
+            1,
+            &mut bfs_metrics,
+        )
+        .unwrap();
+        let mut dfs_metrics = MetricsObserver::new();
+        mpp_dfs_traced(&seq, g, rho, 8, MppConfig::default(), 1, &mut dfs_metrics).unwrap();
+        let bfs_peak = bfs_metrics.complete.as_ref().unwrap().peak_arena_bytes;
+        let dfs_peak = dfs_metrics.complete.as_ref().unwrap().peak_arena_bytes;
+        assert!(bfs_peak > 0 && dfs_peak > 0);
+        assert!(
+            dfs_peak <= bfs_peak,
+            "eager filtering must not raise the peak: dfs {dfs_peak} vs bfs {bfs_peak}"
+        );
+    }
+
+    #[test]
+    fn memory_ceiling_aborts_with_trace_event() {
+        let seq = uniform(&mut StdRng::seed_from_u64(42), Alphabet::Dna, 400);
+        let config = MppConfig {
+            max_arena_bytes: Some(16),
+            ..MppConfig::default()
+        };
+        let mut metrics = MetricsObserver::new();
+        let result = mpp_dfs_traced(&seq, gap(0, 3), 0.0008, 10, config, 2, &mut metrics);
+        match result {
+            Err(MineError::MemoryCeiling { limit, required }) => {
+                assert_eq!(limit, 16);
+                assert!(required > 16);
+            }
+            other => panic!("expected MemoryCeiling, got {other:?}"),
+        }
+        let abort = metrics.abort.expect("abort event must be emitted");
+        assert!(abort.message.contains("ceiling"), "{}", abort.message);
+        assert!(metrics.complete.is_none());
+    }
+
+    #[test]
+    fn worker_panic_in_subtree_surfaces_as_error_not_hang() {
+        // The AT-repeat workload splits into 2 components at the seed
+        // level, so the handoff happens immediately and a worker is
+        // guaranteed to claim (and die on) a subtree task.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let seq = Sequence::dna(&"AT".repeat(50)).unwrap();
+            let g = gap(1, 1);
+            let config = MppConfig::default();
+            let hooks = PoolHooks {
+                panic_workers: true,
+                main_no_steal: true,
+            };
+            let result = prepare(&seq, g, 0.4, config).and_then(|(counts, rho_exact)| {
+                let pils = build_seed(&seq, g, config.start_level);
+                run_hybrid(
+                    &seq,
+                    &counts,
+                    &rho_exact,
+                    20,
+                    config,
+                    pils,
+                    4,
+                    hooks,
+                    None,
+                    &mut NoopObserver,
+                )
+                .map(|(outcome, _)| outcome)
+            });
+            let _ = tx.send(result);
+        });
+        let result = rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("mine must error out in bounded time, not deadlock");
+        match result {
+            Err(MineError::WorkerFailed { message, .. }) => {
+                assert!(message.contains("injected"), "unexpected message {message}");
+            }
+            Ok(_) => panic!("mine must fail when every worker panics"),
+            Err(other) => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+}

@@ -33,6 +33,14 @@ pub enum MineError {
         /// Configured budget.
         budget: u128,
     },
+    /// The next generation (BFS) or subtree buffer (DFS) would push the
+    /// live arena bytes past `MppConfig::max_arena_bytes`.
+    MemoryCeiling {
+        /// Configured ceiling in bytes.
+        limit: usize,
+        /// Bytes the mine would have needed to continue.
+        required: usize,
+    },
     /// A worker-pool thread died (panicked or exited) while it owned a
     /// join chunk, so the parallel mine cannot complete the level.
     WorkerFailed {
@@ -63,6 +71,10 @@ impl fmt::Display for MineError {
                 f,
                 "enumeration would generate {required} candidates, over the budget of {budget}"
             ),
+            MineError::MemoryCeiling { limit, required } => write!(
+                f,
+                "arena memory ceiling of {limit} bytes exceeded: mining would need {required} bytes"
+            ),
             MineError::WorkerFailed { chunk, message } => {
                 if *chunk == usize::MAX {
                     write!(f, "a mining worker thread died: {message}")
@@ -90,6 +102,15 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(MineError::InvalidM(0).to_string().contains("m must be"));
+        let ceiling = MineError::MemoryCeiling {
+            limit: 1024,
+            required: 4096,
+        }
+        .to_string();
+        assert!(
+            ceiling.contains("1024") && ceiling.contains("4096"),
+            "{ceiling}"
+        );
         assert!(MineError::WorkerFailed {
             chunk: 7,
             message: "injected".into()

@@ -143,6 +143,65 @@ impl PruneBound {
     }
 }
 
+/// One level's worth of prune machinery: the exact frequency test, the
+/// Theorem 1 look-ahead bound toward level `n`, and `N_l` as `f64` for
+/// ratio reporting.
+#[derive(Clone)]
+pub(crate) struct BoundRow {
+    /// `sup ≥ ρ·N_l` — decides frequency at this level.
+    pub exact: PruneBound,
+    /// `sup·W^(n−l) ≥ ρ·N_n` — decides extension toward level `n`
+    /// (collapses to `exact` once `l ≥ n`).
+    pub lhat: PruneBound,
+    /// `N_l` as `f64`, the ratio denominator.
+    pub n_f64: f64,
+}
+
+/// Lazily built per-level [`BoundRow`] table, shared by the BFS and DFS
+/// engines so each bound is constructed once per depth instead of once
+/// per candidate. The two engines consulting the same rows is what
+/// keeps their keep/frequent decisions — and therefore their stats —
+/// identical.
+pub(crate) struct BoundTable<'a> {
+    counts: &'a OffsetCounts,
+    rho: &'a BigRatio,
+    n: usize,
+    rows: Vec<Option<BoundRow>>,
+}
+
+impl<'a> BoundTable<'a> {
+    /// A table for mining toward level `n` under threshold `rho`.
+    pub fn new(counts: &'a OffsetCounts, rho: &'a BigRatio, n: usize) -> BoundTable<'a> {
+        BoundTable {
+            counts,
+            rho,
+            n,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The bounds for `level`, built on first use.
+    pub fn row(&mut self, level: usize) -> &BoundRow {
+        if level >= self.rows.len() {
+            self.rows.resize_with(level + 1, || None);
+        }
+        if self.rows[level].is_none() {
+            let exact = PruneBound::exact(self.counts, self.rho, level);
+            let lhat = if level < self.n {
+                PruneBound::theorem1(self.counts, self.rho, self.n, self.n - level)
+            } else {
+                exact.clone()
+            };
+            self.rows[level] = Some(BoundRow {
+                exact,
+                lhat,
+                n_f64: self.counts.n_f64(level),
+            });
+        }
+        self.rows[level].as_ref().expect("row just built")
+    }
+}
+
 /// `⌈a / b⌉` for big integers (b > 0) via shift-and-subtract long
 /// division on the top bits.
 fn ceil_div(a: &BigUint, b: &BigUint) -> BigUint {
@@ -285,6 +344,30 @@ mod tests {
         let b2 = PruneBound::theorem2(&c, &rho, 13, 10, 3, 2);
         // Theorem 2's divisor is smaller, so its minimum support is larger.
         assert!(b2.min_support() >= b1.min_support());
+    }
+
+    #[test]
+    fn bound_table_rows_match_direct_construction() {
+        let c = counts(500, 2, 5);
+        let rho = BigRatio::from_f64_exact(0.001);
+        let n = 8;
+        let mut table = BoundTable::new(&c, &rho, n);
+        for level in [3usize, 5, 8, 10, 3] {
+            let row = table.row(level);
+            let exact = PruneBound::exact(&c, &rho, level);
+            assert_eq!(
+                row.exact.min_support(),
+                exact.min_support(),
+                "level {level}"
+            );
+            let lhat = if level < n {
+                PruneBound::theorem1(&c, &rho, n, n - level)
+            } else {
+                exact
+            };
+            assert_eq!(row.lhat.min_support(), lhat.min_support(), "level {level}");
+            assert!((row.n_f64 - c.n_f64(level)).abs() <= row.n_f64.abs() * 1e-12);
+        }
     }
 
     #[test]

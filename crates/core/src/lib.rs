@@ -41,6 +41,7 @@ pub mod adaptive;
 pub(crate) mod arena;
 pub mod asynchronous;
 pub mod counts;
+pub mod dfs;
 pub mod em;
 pub mod enumerate;
 pub mod error;

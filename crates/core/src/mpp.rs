@@ -11,10 +11,10 @@ use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
-use crate::lambda::PruneBound;
+use crate::lambda::BoundTable;
 use crate::pattern::Pattern;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
-use crate::trace::{CompleteEvent, LevelEvent, MineObserver, NoopObserver, SeedEvent};
+use crate::trace::{AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, SeedEvent};
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
 use std::time::{Duration, Instant};
@@ -29,6 +29,11 @@ pub struct MppConfig {
     /// Hard cap on the deepest level (safety valve; `None` runs to
     /// `l2`).
     pub max_level: Option<usize>,
+    /// Ceiling on live arena bytes (parent + candidate generations
+    /// combined). When mining would exceed it the run aborts with
+    /// [`MineError::MemoryCeiling`] instead of thrashing; `None` is
+    /// unlimited.
+    pub max_arena_bytes: Option<usize>,
 }
 
 impl Default for MppConfig {
@@ -36,6 +41,7 @@ impl Default for MppConfig {
         MppConfig {
             start_level: 3,
             max_level: None,
+            max_arena_bytes: None,
         }
     }
 }
@@ -77,10 +83,31 @@ pub fn mpp_traced<O: MineObserver>(
         arena_bytes: pils.arena_bytes(),
         elapsed: seed_started.elapsed(),
     });
-    let mut outcome = run_levelwise(seq, &counts, &rho_exact, n, config, pils, None, observer);
+    let (mut outcome, peak) =
+        match run_levelwise(seq, &counts, &rho_exact, n, config, pils, None, observer) {
+            Ok(done) => done,
+            Err(e) => {
+                observer.on_abort(&AbortEvent {
+                    message: e.to_string(),
+                });
+                return Err(e);
+            }
+        };
     outcome.stats.total_elapsed = started.elapsed();
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome));
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
+}
+
+/// Fail with [`MineError::MemoryCeiling`] when `live` arena bytes
+/// exceed the configured ceiling.
+pub(crate) fn check_ceiling(limit: Option<usize>, live: usize) -> Result<(), MineError> {
+    match limit {
+        Some(cap) if live > cap => Err(MineError::MemoryCeiling {
+            limit: cap,
+            required: live,
+        }),
+        _ => Ok(()),
+    }
 }
 
 /// Validate inputs and build the shared counting table.
@@ -119,6 +146,11 @@ pub(crate) fn prepare(
 /// [`crate::arena`]). A level's [`LevelStats::elapsed`] covers the
 /// whole level: filtering *and* the join fan-out that produces the next
 /// generation.
+///
+/// Returns the outcome together with the peak live arena bytes the run
+/// reached (parent + candidate generation combined), or
+/// [`MineError::MemoryCeiling`] when [`MppConfig::max_arena_bytes`]
+/// would be exceeded.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_levelwise<O: MineObserver>(
     seq: &Sequence,
@@ -129,7 +161,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     seed: PilSet,
     mut stats_seed: Option<MineStats>,
     observer: &mut O,
-) -> MineOutcome {
+) -> Result<(MineOutcome, usize), MineError> {
     let gap = counts.gap();
     let sigma = seq.alphabet().size() as u128;
     let start = config.start_level;
@@ -142,6 +174,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     let mut stats = stats_seed.take().unwrap_or_default();
     stats.n_used = n;
     let mut frequent: Vec<FrequentPattern> = Vec::new();
+    let mut bounds = BoundTable::new(counts, rho, n);
 
     let mut current = seed;
     // One reused output set: the join fan-out writes into buffers that
@@ -150,33 +183,29 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     let mut kept: Vec<usize> = Vec::new();
     let mut level = start;
     let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
+    let mut peak = current.arena_bytes();
+    check_ceiling(config.max_arena_bytes, peak)?;
 
     while level <= hard_cap {
         let level_started = Instant::now();
         if counts.n(level).is_zero() {
             break;
         }
-        let exact_bound = PruneBound::exact(counts, rho, level);
-        let lhat_bound = if level < n {
-            PruneBound::theorem1(counts, rho, n, n - level)
-        } else {
-            exact_bound.clone()
-        };
-        let n_l_f64 = counts.n_f64(level);
+        let row = bounds.row(level);
 
         kept.clear();
         let mut frequent_here = 0usize;
         for i in 0..current.len() {
             let sup = current.support(i);
-            if exact_bound.admits_u128(sup) {
+            if row.exact.admits_u128(sup) {
                 frequent.push(FrequentPattern {
                     pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
-                    ratio: sup as f64 / n_l_f64,
+                    ratio: sup as f64 / row.n_f64,
                 });
                 frequent_here += 1;
             }
-            if lhat_bound.admits_u128(sup) {
+            if row.lhat.admits_u128(sup) {
                 kept.push(i);
             }
         }
@@ -184,28 +213,32 @@ pub(crate) fn run_levelwise<O: MineObserver>(
         let extended = kept.len();
         let gen_saturated = current.saturated();
         stats.support_saturated |= gen_saturated;
-        let finish_level =
-            |stats: &mut MineStats, observer: &mut O, join_elapsed: Duration, elapsed| {
-                stats.levels.push(LevelStats {
-                    level,
-                    candidates: candidates_at_level,
-                    frequent: frequent_here,
-                    extended,
-                    elapsed,
-                });
-                observer.on_level(&LevelEvent {
-                    level,
-                    candidates: candidates_at_level,
-                    evaluated,
-                    frequent: frequent_here,
-                    kept: extended,
-                    pruned_bound: evaluated - extended,
-                    pruned_support: evaluated - frequent_here,
-                    join_elapsed,
-                    elapsed,
-                    saturated: gen_saturated,
-                });
-            };
+        let finish_level = |stats: &mut MineStats,
+                            observer: &mut O,
+                            join_elapsed: Duration,
+                            elapsed,
+                            arena_bytes: usize| {
+            stats.levels.push(LevelStats {
+                level,
+                candidates: candidates_at_level,
+                frequent: frequent_here,
+                extended,
+                elapsed,
+            });
+            observer.on_level(&LevelEvent {
+                level,
+                candidates: candidates_at_level,
+                evaluated,
+                frequent: frequent_here,
+                kept: extended,
+                pruned_bound: evaluated - extended,
+                pruned_support: evaluated - frequent_here,
+                arena_bytes,
+                join_elapsed,
+                elapsed,
+                saturated: gen_saturated,
+            });
+        };
 
         if kept.is_empty() || level == hard_cap {
             finish_level(
@@ -213,6 +246,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
                 observer,
                 Duration::ZERO,
                 level_started.elapsed(),
+                current.arena_bytes(),
             );
             break;
         }
@@ -222,11 +256,15 @@ pub(crate) fn run_levelwise<O: MineObserver>(
         let runs = prefix_runs(&current, &kept);
         next.reset(level + 1);
         generate_candidates(&current, &kept, &runs, gap, 0, kept.len(), &mut next);
+        let live = current.arena_bytes() + next.arena_bytes();
+        peak = peak.max(live);
+        check_ceiling(config.max_arena_bytes, live)?;
         finish_level(
             &mut stats,
             observer,
             join_started.elapsed(),
             level_started.elapsed(),
+            live,
         );
 
         candidates_at_level = next.len() as u128;
@@ -239,12 +277,13 @@ pub(crate) fn run_levelwise<O: MineObserver>(
 
     let mut outcome = MineOutcome { frequent, stats };
     outcome.sort();
-    outcome
+    Ok((outcome, peak))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lambda::PruneBound;
     use crate::naive::support_dp;
     use perigap_seq::gen::iid::uniform;
     use perigap_seq::Alphabet;
@@ -421,12 +460,37 @@ mod tests {
         let s = Sequence::dna(&"AT".repeat(100)).unwrap();
         let g = gap(1, 1);
         let config = MppConfig {
-            start_level: 3,
             max_level: Some(4),
+            ..MppConfig::default()
         };
         let outcome = mpp(&s, g, 0.5, 10, config).unwrap();
         assert!(outcome.longest_len() <= 4);
         assert!(outcome.stats.levels.iter().all(|l| l.level <= 4));
+    }
+
+    #[test]
+    fn arena_ceiling_aborts_mining() {
+        let s = uniform(&mut StdRng::seed_from_u64(17), Alphabet::Dna, 400);
+        let g = gap(0, 3);
+        let config = MppConfig {
+            max_arena_bytes: Some(64),
+            ..MppConfig::default()
+        };
+        match mpp(&s, g, 0.0005, 10, config) {
+            Err(MineError::MemoryCeiling { limit, required }) => {
+                assert_eq!(limit, 64);
+                assert!(required > 64);
+            }
+            other => panic!("expected MemoryCeiling, got {other:?}"),
+        }
+        // A generous ceiling leaves the result untouched.
+        let roomy = MppConfig {
+            max_arena_bytes: Some(usize::MAX),
+            ..MppConfig::default()
+        };
+        let capped = mpp(&s, g, 0.0005, 10, roomy).unwrap();
+        let free = mpp(&s, g, 0.0005, 10, MppConfig::default()).unwrap();
+        assert_eq!(capped.frequent, free.frequent);
     }
 
     #[test]

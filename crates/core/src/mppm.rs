@@ -5,16 +5,21 @@
 //! MPPm checks for every `k` up to `l1` whether *any* length-3 pattern
 //! clears the Theorem 2 bound `λ′(k, k−3) · ρs · N_3`. If none does, no
 //! length-`k` frequent pattern can exist; `n` is the largest `k` that
-//! survives. From there the run is exactly MPP.
+//! survives. From there the run is exactly MPP — on either the
+//! breadth-first engine ([`mppm`]) or the hybrid BFS→DFS engine
+//! ([`mppm_dfs`], see [`crate::dfs`]).
 
-use crate::arena::build_seed;
+use crate::arena::{build_seed, PilSet};
+use crate::counts::OffsetCounts;
 use crate::em::compute_em;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::mpp::{prepare, run_levelwise, MppConfig};
+use crate::parallel::PoolHooks;
 use crate::result::{MineOutcome, MineStats};
-use crate::trace::{CompleteEvent, EmEvent, MineObserver, NoopObserver, SeedEvent};
+use crate::trace::{AbortEvent, CompleteEvent, EmEvent, MineObserver, NoopObserver, SeedEvent};
+use perigap_math::BigRatio;
 use perigap_seq::Sequence;
 use std::time::Instant;
 
@@ -46,20 +51,30 @@ pub fn mppm(
     mppm_traced(seq, gap, rho, m, config, &mut NoopObserver)
 }
 
-/// [`mppm`] with a [`MineObserver`] attached; see
-/// [`crate::mpp::mpp_traced`] for the zero-cost argument.
-pub fn mppm_traced<O: MineObserver>(
+/// Everything the MPPm front half (validation, `e_m`, seed supports,
+/// `n` estimation) hands to whichever engine runs the level-wise back
+/// half.
+struct MppmPrelude {
+    counts: OffsetCounts,
+    rho_exact: BigRatio,
+    n: usize,
+    pils: PilSet,
+    stats_seed: MineStats,
+}
+
+/// The shared MPPm front half. Emits the [`EmEvent`] and [`SeedEvent`]
+/// so both engines produce identical trace preludes.
+fn mppm_prelude<O: MineObserver>(
     seq: &Sequence,
     gap: GapRequirement,
     rho: f64,
     m: usize,
     config: MppConfig,
     observer: &mut O,
-) -> Result<MineOutcome, MineError> {
+) -> Result<MppmPrelude, MineError> {
     if m == 0 {
         return Err(MineError::InvalidM(0));
     }
-    let started = Instant::now();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
 
     // Phase 1: the e_m statistic.
@@ -108,18 +123,99 @@ pub fn mppm_traced<O: MineObserver>(
         em_elapsed,
         ..MineStats::default()
     };
-    let mut outcome = run_levelwise(
-        seq,
-        &counts,
-        &rho_exact,
+    Ok(MppmPrelude {
+        counts,
+        rho_exact,
         n,
-        config,
         pils,
-        Some(stats_seed),
+        stats_seed,
+    })
+}
+
+/// [`mppm`] with a [`MineObserver`] attached; see
+/// [`crate::mpp::mpp_traced`] for the zero-cost argument.
+pub fn mppm_traced<O: MineObserver>(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    m: usize,
+    config: MppConfig,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
+    let started = Instant::now();
+    let p = mppm_prelude(seq, gap, rho, m, config, observer)?;
+    let run = run_levelwise(
+        seq,
+        &p.counts,
+        &p.rho_exact,
+        p.n,
+        config,
+        p.pils,
+        Some(p.stats_seed),
         observer,
     );
+    finish(run, started, observer)
+}
+
+/// [`mppm`] on the hybrid BFS→DFS engine: the same `n` estimate and
+/// seed, mined by [`crate::dfs`] with `threads` workers.
+pub fn mppm_dfs(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    m: usize,
+    config: MppConfig,
+    threads: usize,
+) -> Result<MineOutcome, MineError> {
+    mppm_dfs_traced(seq, gap, rho, m, config, threads, &mut NoopObserver)
+}
+
+/// [`mppm_dfs`] with a [`MineObserver`] attached.
+pub fn mppm_dfs_traced<O: MineObserver>(
+    seq: &Sequence,
+    gap: GapRequirement,
+    rho: f64,
+    m: usize,
+    config: MppConfig,
+    threads: usize,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
+    let started = Instant::now();
+    let p = mppm_prelude(seq, gap, rho, m, config, observer)?;
+    let run = crate::dfs::run_hybrid(
+        seq,
+        &p.counts,
+        &p.rho_exact,
+        p.n,
+        config,
+        p.pils,
+        threads,
+        PoolHooks::default(),
+        Some(p.stats_seed),
+        observer,
+    );
+    finish(run, started, observer)
+}
+
+/// Shared MPPm tail: stamp the total wall time and emit the terminal
+/// trace event — [`CompleteEvent`] with the peak, or [`AbortEvent`] on
+/// error.
+fn finish<O: MineObserver>(
+    run: Result<(MineOutcome, usize), MineError>,
+    started: Instant,
+    observer: &mut O,
+) -> Result<MineOutcome, MineError> {
+    let (mut outcome, peak) = match run {
+        Ok(done) => done,
+        Err(e) => {
+            observer.on_abort(&AbortEvent {
+                message: e.to_string(),
+            });
+            return Err(e);
+        }
+    };
     outcome.stats.total_elapsed = started.elapsed();
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome));
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
 }
 
@@ -133,21 +229,9 @@ pub fn estimate_n(
     m: usize,
     config: MppConfig,
 ) -> Result<(usize, u64), MineError> {
-    if m == 0 {
-        return Err(MineError::InvalidM(0));
-    }
-    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
-    let em = compute_em(seq, gap, m).max(1);
-    let start = config.start_level;
-    let max_sup = build_seed(seq, gap, start).max_support();
-    let mut n = start;
-    for k in (start + 1)..=counts.l1().max(start) {
-        let bound = PruneBound::theorem2(&counts, &rho_exact, k, k - start, m, em);
-        if bound.admits_u128(max_sup) {
-            n = k;
-        }
-    }
-    Ok((n, em))
+    let p = mppm_prelude(seq, gap, rho, m, config, &mut NoopObserver)?;
+    let em = p.stats_seed.em.expect("prelude always records e_m");
+    Ok((p.n, em))
 }
 
 #[cfg(test)]
@@ -218,6 +302,20 @@ mod tests {
         let outcome = mppm(&s, g, 0.001, 3, MppConfig::default()).unwrap();
         assert!(outcome.stats.em.is_some());
         assert!(outcome.stats.n_used >= 3);
+    }
+
+    #[test]
+    fn dfs_engine_matches_bfs_engine() {
+        let s = uniform(&mut StdRng::seed_from_u64(26), Alphabet::Dna, 300);
+        let g = gap(1, 3);
+        let rho = 0.0008;
+        let bfs = mppm(&s, g, rho, 4, MppConfig::default()).unwrap();
+        for threads in [1usize, 4] {
+            let dfs = mppm_dfs(&s, g, rho, 4, MppConfig::default(), threads).unwrap();
+            assert_eq!(bfs.frequent, dfs.frequent, "threads = {threads}");
+            assert_eq!(bfs.stats.n_used, dfs.stats.n_used);
+            assert_eq!(bfs.stats.em, dfs.stats.em);
+        }
     }
 
     #[test]

@@ -123,6 +123,7 @@ pub fn mine_collection_traced<O: MineObserver>(
             total_candidates: 0,
             n_used: n,
             support_saturated: false,
+            peak_arena_bytes: 0,
             total_elapsed: started.elapsed(),
         });
         return Ok(CollectionOutcome::default());
@@ -225,6 +226,7 @@ pub fn mine_collection_traced<O: MineObserver>(
                 kept: kept.len(),
                 pruned_bound: evaluated - kept.len(),
                 pruned_support: evaluated - frequent_here,
+                arena_bytes: 0,
                 join_elapsed,
                 elapsed,
                 saturated: false,
@@ -277,6 +279,7 @@ pub fn mine_collection_traced<O: MineObserver>(
         total_candidates,
         n_used: n,
         support_saturated: false,
+        peak_arena_bytes: 0,
         total_elapsed: started.elapsed(),
     });
     Ok(CollectionOutcome { patterns: out })

@@ -34,12 +34,12 @@ use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
-use crate::lambda::PruneBound;
-use crate::mpp::{prepare, MppConfig};
+use crate::lambda::BoundTable;
+use crate::mpp::{check_ceiling, prepare, MppConfig};
 use crate::pattern::Pattern;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{
-    CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
+    AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
     WorkerLevelStats,
 };
 use perigap_seq::Sequence;
@@ -51,14 +51,14 @@ use std::time::{Duration, Instant};
 
 /// Below this many join tasks a level runs serially — chunk handoff
 /// overhead would dominate.
-const PARALLEL_THRESHOLD: usize = 256;
+pub(crate) const PARALLEL_THRESHOLD: usize = 256;
 
 /// Stealing granularity: aim for this many chunks per thread so a slow
 /// chunk is absorbed by the others...
-const CHUNKS_PER_THREAD: usize = 8;
+pub(crate) const CHUNKS_PER_THREAD: usize = 8;
 
 /// ...but never bother stealing fewer than this many left parents.
-const MIN_CHUNK: usize = 32;
+pub(crate) const MIN_CHUNK: usize = 32;
 
 /// How long the merge loop waits between liveness checks of the worker
 /// threads while chunk results are outstanding.
@@ -107,7 +107,7 @@ pub fn mpp_parallel_traced<O: MineObserver>(
         arena_bytes: pils.arena_bytes(),
         elapsed: seed_started.elapsed(),
     });
-    let mut outcome = run_parallel(
+    let run = run_parallel(
         seq,
         &counts,
         &rho_exact,
@@ -117,28 +117,37 @@ pub fn mpp_parallel_traced<O: MineObserver>(
         threads,
         PoolHooks::default(),
         observer,
-    )?;
+    );
+    let (mut outcome, peak) = match run {
+        Ok(done) => done,
+        Err(e) => {
+            observer.on_abort(&AbortEvent {
+                message: e.to_string(),
+            });
+            return Err(e);
+        }
+    };
     outcome.stats.total_elapsed = started.elapsed();
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome));
+    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
 }
 
-/// Test-only fault injection, carried by every [`LevelJob`]. Outside
+/// Test-only fault injection, carried by every pool job. Outside
 /// `cfg(test)` this is a zero-sized token whose accessors fold to
 /// constants.
 #[derive(Clone, Copy, Default)]
-struct PoolHooks {
-    /// Make every worker thread panic on the first chunk it claims.
+pub(crate) struct PoolHooks {
+    /// Make every worker thread panic on the first item it claims.
     #[cfg(test)]
-    panic_workers: bool,
+    pub(crate) panic_workers: bool,
     /// Keep the calling thread out of the stealing loop, guaranteeing a
-    /// worker claims a chunk.
+    /// worker claims an item.
     #[cfg(test)]
-    main_no_steal: bool,
+    pub(crate) main_no_steal: bool,
 }
 
 impl PoolHooks {
-    fn panic_workers(&self) -> bool {
+    pub(crate) fn panic_workers(&self) -> bool {
         #[cfg(test)]
         {
             self.panic_workers
@@ -149,7 +158,7 @@ impl PoolHooks {
         }
     }
 
-    fn main_no_steal(&self) -> bool {
+    pub(crate) fn main_no_steal(&self) -> bool {
         #[cfg(test)]
         {
             self.main_no_steal
@@ -159,6 +168,35 @@ impl PoolHooks {
             false
         }
     }
+}
+
+/// A unit of pool work: a fixed roster of independent items claimed
+/// off an atomic cursor. The breadth-first engine's [`LevelJob`] (items
+/// = chunks of left parents) and the hybrid engine's subtree job
+/// (items = prefix-run components, see [`crate::dfs`]) both implement
+/// this, sharing one pool, one merge loop, and one failure protocol.
+pub(crate) trait PoolJob: Send + Sync + 'static {
+    /// What one item produces.
+    type Out: Send + 'static;
+
+    /// Number of items to claim; the cursor drains at this count.
+    fn n_items(&self) -> usize;
+
+    /// The shared claim cursor.
+    fn cursor(&self) -> &AtomicUsize;
+
+    /// Fault-injection switches.
+    fn hooks(&self) -> &PoolHooks;
+
+    /// The level this job's [`PoolLevelEvent`] reports.
+    fn progress_level(&self) -> usize;
+
+    /// Process item `item`. Runs under `catch_unwind` on workers.
+    fn process(&self, item: usize) -> Self::Out;
+
+    /// How many candidates `out` contributes to the per-worker
+    /// [`WorkerLevelStats`] tally.
+    fn out_weight(out: &Self::Out) -> usize;
 }
 
 /// One level's join fan-out, shared with the pool. Workers claim chunk
@@ -178,7 +216,25 @@ struct LevelJob {
     hooks: PoolHooks,
 }
 
-impl LevelJob {
+impl PoolJob for LevelJob {
+    type Out = PilSet;
+
+    fn n_items(&self) -> usize {
+        self.n_chunks
+    }
+
+    fn cursor(&self) -> &AtomicUsize {
+        &self.cursor
+    }
+
+    fn hooks(&self) -> &PoolHooks {
+        &self.hooks
+    }
+
+    fn progress_level(&self) -> usize {
+        self.next_level
+    }
+
     /// Generate the candidates whose left parent lies in chunk `c`.
     fn process(&self, c: usize) -> PilSet {
         let lo = c * self.chunk;
@@ -189,17 +245,21 @@ impl LevelJob {
         );
         out
     }
+
+    fn out_weight(out: &PilSet) -> usize {
+        out.len()
+    }
 }
 
-/// What a worker sends back for each chunk it claimed. Exactly one
-/// message per claimed chunk, success or not — the invariant the merge
+/// What a worker sends back for each item it claimed. Exactly one
+/// message per claimed item, success or not — the invariant the merge
 /// loop's outstanding count rests on.
-enum WorkerMsg {
-    /// Chunk `chunk` completed with the given candidates.
+enum WorkerMsg<T> {
+    /// Item `chunk` completed with the given output.
     Chunk {
         chunk: usize,
         worker: usize,
-        out: PilSet,
+        out: T,
         elapsed: Duration,
     },
     /// The worker panicked while processing `chunk` and is exiting.
@@ -217,20 +277,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// A worker thread: claim chunks of the current job until its cursor
-/// drains. The join work runs under `catch_unwind` so every claimed
-/// chunk yields exactly one [`WorkerMsg`]; after reporting a failure
+/// A worker thread: claim items of the current job until its cursor
+/// drains. The work runs under `catch_unwind` so every claimed
+/// item yields exactly one [`WorkerMsg`]; after reporting a failure
 /// the worker exits.
-fn worker_loop(id: usize, job_rx: mpsc::Receiver<Arc<LevelJob>>, results: mpsc::Sender<WorkerMsg>) {
+fn worker_loop<J: PoolJob>(
+    id: usize,
+    job_rx: mpsc::Receiver<Arc<J>>,
+    results: mpsc::Sender<WorkerMsg<J::Out>>,
+) {
     while let Ok(job) = job_rx.recv() {
         loop {
-            let c = job.cursor.fetch_add(1, Ordering::Relaxed);
-            if c >= job.n_chunks {
+            let c = job.cursor().fetch_add(1, Ordering::Relaxed);
+            if c >= job.n_items() {
                 break;
             }
             let chunk_started = Instant::now();
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                if job.hooks.panic_workers() {
+                if job.hooks().panic_workers() {
                     panic!("injected worker panic");
                 }
                 job.process(c)
@@ -263,22 +327,22 @@ fn worker_loop(id: usize, job_rx: mpsc::Receiver<Arc<LevelJob>>, results: mpsc::
 }
 
 /// The persistent pool: `threads − 1` workers (the main thread is the
-/// remaining worker) that live for the whole mine and steal chunks of
+/// remaining worker) that live for the whole mine and steal items of
 /// whatever job is current. Worker `0` is the calling thread; pool
 /// threads are `1..threads` (named `pgmine-worker-<id>`).
-struct WorkerPool {
-    job_txs: Vec<mpsc::Sender<Arc<LevelJob>>>,
-    results_rx: mpsc::Receiver<WorkerMsg>,
+pub(crate) struct WorkerPool<J: PoolJob> {
+    job_txs: Vec<mpsc::Sender<Arc<J>>>,
+    results_rx: mpsc::Receiver<WorkerMsg<J::Out>>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl WorkerPool {
-    fn new(workers: usize) -> WorkerPool {
+impl<J: PoolJob> WorkerPool<J> {
+    pub(crate) fn new(workers: usize) -> WorkerPool<J> {
         let (results_tx, results_rx) = mpsc::channel();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for id in 1..=workers {
-            let (job_tx, job_rx) = mpsc::channel::<Arc<LevelJob>>();
+            let (job_tx, job_rx) = mpsc::channel::<Arc<J>>();
             let results = results_tx.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("pgmine-worker-{id}"))
@@ -297,10 +361,10 @@ impl WorkerPool {
         }
     }
 
-    /// Drain one job across the pool plus the calling thread; merge the
-    /// chunk results in index order. A worker failure aborts with
+    /// Drain one job across the pool plus the calling thread; return
+    /// the per-item outputs in item order. A worker failure aborts with
     /// [`MineError::WorkerFailed`] in bounded time.
-    fn run(&self, job: Arc<LevelJob>) -> Result<(PilSet, PoolLevelEvent), MineError> {
+    pub(crate) fn run(&self, job: Arc<J>) -> Result<(Vec<J::Out>, PoolLevelEvent), MineError> {
         let level_started = Instant::now();
         for tx in &self.job_txs {
             // A send only fails if a worker died; the stealing loop
@@ -308,31 +372,32 @@ impl WorkerPool {
             // liveness check reports the death if it claimed a chunk).
             let _ = tx.send(Arc::clone(&job));
         }
+        let n_items = job.n_items();
         let workers = self.handles.len() + 1; // worker 0 = this thread
         let mut chunks = vec![0usize; workers];
         let mut candidates = vec![0usize; workers];
         let mut busy = vec![Duration::ZERO; workers];
-        let mut parts: Vec<Option<PilSet>> = (0..job.n_chunks).map(|_| None).collect();
+        let mut parts: Vec<Option<J::Out>> = (0..n_items).map(|_| None).collect();
         let mut mined_here = 0usize;
-        if !job.hooks.main_no_steal() {
+        if !job.hooks().main_no_steal() {
             loop {
-                let c = job.cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= job.n_chunks {
+                let c = job.cursor().fetch_add(1, Ordering::Relaxed);
+                if c >= n_items {
                     break;
                 }
                 let chunk_started = Instant::now();
                 let out = job.process(c);
                 busy[0] += chunk_started.elapsed();
                 chunks[0] += 1;
-                candidates[0] += out.len();
+                candidates[0] += J::out_weight(&out);
                 parts[c] = Some(out);
                 mined_here += 1;
             }
         }
-        // Each chunk was claimed by exactly one thread, and every
-        // worker-claimed chunk sends exactly one message (success or
+        // Each item was claimed by exactly one thread, and every
+        // worker-claimed item sends exactly one message (success or
         // failure — see `worker_loop`), so the merge waits on a count.
-        let mut outstanding = job.n_chunks - mined_here;
+        let mut outstanding = n_items - mined_here;
         let mut dead_since: Option<Instant> = None;
         while outstanding > 0 {
             match self.results_rx.recv_timeout(RECV_TICK) {
@@ -343,7 +408,7 @@ impl WorkerPool {
                     elapsed,
                 }) => {
                     chunks[worker] += 1;
-                    candidates[worker] += out.len();
+                    candidates[worker] += J::out_weight(&out);
                     busy[worker] += elapsed;
                     parts[chunk] = Some(out);
                     outstanding -= 1;
@@ -378,8 +443,8 @@ impl WorkerPool {
         }
         let wall = level_started.elapsed();
         let event = PoolLevelEvent {
-            level: job.next_level,
-            chunks: job.n_chunks,
+            level: job.progress_level(),
+            chunks: n_items,
             workers: (0..workers)
                 .map(|w| WorkerLevelStats {
                     worker: w,
@@ -390,17 +455,15 @@ impl WorkerPool {
                 })
                 .collect(),
         };
-        let set = PilSet::concat(
-            job.next_level,
-            parts
-                .into_iter()
-                .map(|p| p.expect("all chunks accounted for")),
-        );
-        Ok((set, event))
+        let outs = parts
+            .into_iter()
+            .map(|p| p.expect("all items accounted for"))
+            .collect();
+        Ok((outs, event))
     }
 }
 
-impl Drop for WorkerPool {
+impl<J: PoolJob> Drop for WorkerPool<J> {
     fn drop(&mut self) {
         // Closing the job channels lands every worker's `recv` on Err.
         self.job_txs.clear();
@@ -412,6 +475,8 @@ impl Drop for WorkerPool {
 
 /// The parallel twin of `run_levelwise`. Kept separate so the serial
 /// engine stays dependency-free and obviously faithful to Figure 3.
+/// Returns the outcome plus the peak live arena bytes, like the serial
+/// engine.
 #[allow(clippy::too_many_arguments)]
 fn run_parallel<O: MineObserver>(
     seq: &Sequence,
@@ -423,7 +488,7 @@ fn run_parallel<O: MineObserver>(
     threads: usize,
     hooks: PoolHooks,
     observer: &mut O,
-) -> Result<MineOutcome, MineError> {
+) -> Result<(MineOutcome, usize), MineError> {
     let gap = counts.gap();
     let sigma = seq.alphabet().size() as u128;
     let start = config.start_level;
@@ -431,44 +496,41 @@ fn run_parallel<O: MineObserver>(
     let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());
 
     // Spawned once; lives until the mine returns.
-    let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
+    let pool = (threads > 1).then(|| WorkerPool::<LevelJob>::new(threads - 1));
 
     let mut stats = MineStats {
         n_used: n,
         ..MineStats::default()
     };
     let mut frequent: Vec<FrequentPattern> = Vec::new();
+    let mut bounds = BoundTable::new(counts, rho, n);
     let mut current = seed;
     let mut kept: Vec<usize> = Vec::new();
     let mut level = start;
     let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
+    let mut peak = current.arena_bytes();
+    check_ceiling(config.max_arena_bytes, peak)?;
 
     while level <= hard_cap {
         let level_started = Instant::now();
         if counts.n(level).is_zero() {
             break;
         }
-        let exact_bound = PruneBound::exact(counts, rho, level);
-        let lhat_bound = if level < n {
-            PruneBound::theorem1(counts, rho, n, n - level)
-        } else {
-            exact_bound.clone()
-        };
-        let n_l_f64 = counts.n_f64(level);
+        let row = bounds.row(level);
 
         kept.clear();
         let mut frequent_here = 0usize;
         for i in 0..current.len() {
             let sup = current.support(i);
-            if exact_bound.admits_u128(sup) {
+            if row.exact.admits_u128(sup) {
                 frequent.push(FrequentPattern {
                     pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
-                    ratio: sup as f64 / n_l_f64,
+                    ratio: sup as f64 / row.n_f64,
                 });
                 frequent_here += 1;
             }
-            if lhat_bound.admits_u128(sup) {
+            if row.lhat.admits_u128(sup) {
                 kept.push(i);
             }
         }
@@ -476,28 +538,32 @@ fn run_parallel<O: MineObserver>(
         let extended = kept.len();
         let gen_saturated = current.saturated();
         stats.support_saturated |= gen_saturated;
-        let finish_level =
-            |stats: &mut MineStats, observer: &mut O, join_elapsed: Duration, elapsed| {
-                stats.levels.push(LevelStats {
-                    level,
-                    candidates: candidates_at_level,
-                    frequent: frequent_here,
-                    extended,
-                    elapsed,
-                });
-                observer.on_level(&LevelEvent {
-                    level,
-                    candidates: candidates_at_level,
-                    evaluated,
-                    frequent: frequent_here,
-                    kept: extended,
-                    pruned_bound: evaluated - extended,
-                    pruned_support: evaluated - frequent_here,
-                    join_elapsed,
-                    elapsed,
-                    saturated: gen_saturated,
-                });
-            };
+        let finish_level = |stats: &mut MineStats,
+                            observer: &mut O,
+                            join_elapsed: Duration,
+                            elapsed,
+                            arena_bytes: usize| {
+            stats.levels.push(LevelStats {
+                level,
+                candidates: candidates_at_level,
+                frequent: frequent_here,
+                extended,
+                elapsed,
+            });
+            observer.on_level(&LevelEvent {
+                level,
+                candidates: candidates_at_level,
+                evaluated,
+                frequent: frequent_here,
+                kept: extended,
+                pruned_bound: evaluated - extended,
+                pruned_support: evaluated - frequent_here,
+                arena_bytes,
+                join_elapsed,
+                elapsed,
+                saturated: gen_saturated,
+            });
+        };
 
         if kept.is_empty() || level == hard_cap {
             finish_level(
@@ -505,6 +571,7 @@ fn run_parallel<O: MineObserver>(
                 observer,
                 Duration::ZERO,
                 level_started.elapsed(),
+                current.arena_bytes(),
             );
             break;
         }
@@ -512,6 +579,9 @@ fn run_parallel<O: MineObserver>(
         // Join fan-out: stolen in chunks when it is worth the handoff.
         let join_started = Instant::now();
         let runs = prefix_runs(&current, &kept);
+        // The parents move into the job below; their size is part of
+        // the live footprint either way.
+        let parent_bytes = current.arena_bytes();
         let next: PilSet = match &pool {
             Some(pool) if kept.len() >= PARALLEL_THRESHOLD => {
                 let chunk = kept
@@ -530,9 +600,9 @@ fn run_parallel<O: MineObserver>(
                     cursor: AtomicUsize::new(0),
                     hooks,
                 });
-                let (set, pool_event) = pool.run(job)?;
+                let (parts, pool_event) = pool.run(job)?;
                 observer.on_pool(&pool_event);
-                set
+                PilSet::concat(level + 1, parts)
             }
             _ => {
                 let mut out = PilSet::new(level + 1);
@@ -540,11 +610,15 @@ fn run_parallel<O: MineObserver>(
                 out
             }
         };
+        let live = parent_bytes + next.arena_bytes();
+        peak = peak.max(live);
+        check_ceiling(config.max_arena_bytes, live)?;
         finish_level(
             &mut stats,
             observer,
             join_started.elapsed(),
             level_started.elapsed(),
+            live,
         );
 
         candidates_at_level = next.len() as u128;
@@ -557,7 +631,7 @@ fn run_parallel<O: MineObserver>(
 
     let mut outcome = MineOutcome { frequent, stats };
     outcome.sort();
-    Ok(outcome)
+    Ok((outcome, peak))
 }
 
 #[cfg(test)]
@@ -597,6 +671,7 @@ mod tests {
             hooks,
             &mut NoopObserver,
         )
+        .map(|(outcome, _peak)| outcome)
     }
 
     fn assert_same_outcome(parallel: &MineOutcome, serial: &MineOutcome, label: &str) {

@@ -136,16 +136,23 @@ impl Pil {
     /// # Ok::<(), Box<dyn std::error::Error>>(())
     /// ```
     pub fn join(prefix: &Pil, suffix: &Pil, gap: GapRequirement) -> Pil {
+        Pil::join_checked(prefix, suffix, gap).0
+    }
+
+    /// [`Pil::join`] with the saturation flag surfaced: the second
+    /// element is `true` when the running window sum clamped at
+    /// `u64::MAX`, making the returned counts lower bounds rather than
+    /// exact. Callers that compare supports (the reference engine, the
+    /// verifiers) must check it instead of silently trusting clamped
+    /// counts.
+    pub fn join_checked(prefix: &Pil, suffix: &Pil, gap: GapRequirement) -> (Pil, bool) {
         if prefix.is_empty() || suffix.is_empty() {
-            return Pil::new();
+            return (Pil::new(), false);
         }
-        // One output entry per prefix offset at most. The saturation
-        // flag is dropped here: the public per-pattern view has no
-        // stats channel (counts clamp at u64::MAX either way); the
-        // miners go through the arena engine, which propagates it.
+        // One output entry per prefix offset at most.
         let mut out = Vec::with_capacity(prefix.len());
-        let _ = join_into(&prefix.entries, &suffix.entries, gap, &mut out);
-        Pil { entries: out }
+        let saturated = join_into(&prefix.entries, &suffix.entries, gap, &mut out);
+        (Pil { entries: out }, saturated)
     }
 
     /// Build `PIL(P)` for every length-`level` pattern that occurs in
@@ -210,6 +217,91 @@ pub(crate) fn join_into(
         }
     }
     saturated
+}
+
+/// Reusable cursor state for [`join_multi_into`]: per-partner window
+/// bounds and running sums in struct-of-arrays layout so the inner
+/// advance loop touches three dense arrays instead of scattered
+/// per-partner structs.
+#[derive(Default)]
+pub struct MultiJoinScratch {
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+    window: Vec<u64>,
+    /// Per-partner saturation flags from the most recent call.
+    pub saturated: Vec<bool>,
+}
+
+impl MultiJoinScratch {
+    fn reset(&mut self, partners: usize) {
+        self.lo.clear();
+        self.lo.resize(partners, 0);
+        self.hi.clear();
+        self.hi.resize(partners, 0);
+        self.window.clear();
+        self.window.resize(partners, 0);
+        self.saturated.clear();
+        self.saturated.resize(partners, false);
+    }
+}
+
+/// Batched multi-suffix join: one fixed left parent `a` joined against
+/// every list in `partners` simultaneously. The left entries are walked
+/// once; each partner keeps its own monotone window `[lo_j, hi_j)` over
+/// its entries, so the left scan and the per-offset window arithmetic
+/// are amortized across every candidate that shares the parent (the
+/// run-local fan-out of the DFS engine). Output `j` is written into
+/// `outs[j]` (cleared first) and `scratch.saturated[j]` carries the
+/// same flag [`join_into`] returns. Results are entry-for-entry
+/// identical to calling `join_into(a, partners[j], gap, ..)` per `j`.
+pub fn join_multi_into(
+    a: &[(u32, u64)],
+    partners: &[&[(u32, u64)]],
+    gap: GapRequirement,
+    outs: &mut [Vec<(u32, u64)>],
+    scratch: &mut MultiJoinScratch,
+) {
+    debug_assert_eq!(partners.len(), outs.len());
+    scratch.reset(partners.len());
+    for out in outs.iter_mut() {
+        out.clear();
+    }
+    if a.is_empty() {
+        return;
+    }
+    let min_step = gap.min_step() as u64;
+    let max_step = gap.max_step() as u64;
+    for &(x, _) in a {
+        let min_pos = x as u64 + min_step;
+        let max_pos = x as u64 + max_step;
+        for (j, b) in partners.iter().enumerate() {
+            let mut hi = scratch.hi[j];
+            let mut lo = scratch.lo[j];
+            let mut window = scratch.window[j];
+            while hi < b.len() && (b[hi].0 as u64) <= max_pos {
+                window = match window.checked_add(b[hi].1) {
+                    Some(w) => w,
+                    None => {
+                        scratch.saturated[j] = true;
+                        u64::MAX
+                    }
+                };
+                hi += 1;
+            }
+            while lo < hi && (b[lo].0 as u64) < min_pos {
+                // Saturating for the same reason as `join_into`: a
+                // clamped window sits below the true total.
+                window = window.saturating_sub(b[lo].1);
+                lo += 1;
+            }
+            if window > 0 {
+                outs[j].push((x, window));
+            }
+            scratch.hi[j] = hi;
+            scratch.lo[j] = lo;
+            scratch.window[j] = window;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -340,5 +432,68 @@ mod tests {
         let pil = Pil::from_entries(vec![(1, 3), (2, 2)]);
         assert_eq!(pil.support(), 5);
         assert_eq!(Pil::new().support(), 0);
+    }
+
+    #[test]
+    fn join_checked_surfaces_saturation() {
+        // One left offset whose window spans two counts that overflow
+        // u64 when summed: the count clamps and the flag must say so.
+        let a = Pil::from_entries(vec![(1, 1)]);
+        let b = Pil::from_entries(vec![(3, u64::MAX), (4, 5)]);
+        let g = gap(1, 5);
+        let (joined, saturated) = Pil::join_checked(&a, &b, g);
+        assert!(saturated, "overflowing window sum must raise the flag");
+        assert_eq!(joined.entries(), &[(1, u64::MAX)]);
+        // Non-overflowing joins keep the flag clear.
+        let c = Pil::from_entries(vec![(3, 7)]);
+        let (joined, saturated) = Pil::join_checked(&a, &c, g);
+        assert!(!saturated);
+        assert_eq!(joined.support(), 7);
+        // Pil::join stays the unchecked view of the same result.
+        assert_eq!(Pil::join(&a, &b, g).entries(), &[(1, u64::MAX)]);
+    }
+
+    #[test]
+    fn multi_join_matches_single_joins() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // A shared-parent run: one left PIL joined against every
+        // level-2 PIL of a random sequence, batched vs one-at-a-time.
+        let s = uniform(&mut StdRng::seed_from_u64(11), Alphabet::Dna, 400);
+        for (n, m) in [(0, 0), (1, 2), (2, 5), (0, 9)] {
+            let g = gap(n, m);
+            let level2 = Pil::build_all(&s, g, 2);
+            let mut pils: Vec<&Pil> = level2.values().collect();
+            pils.sort_by_key(|p| p.entries().first().copied());
+            let left = pils[0];
+            let partners: Vec<&[(u32, u64)]> = pils.iter().map(|p| p.entries()).collect();
+            let mut outs = vec![Vec::new(); partners.len()];
+            let mut scratch = MultiJoinScratch::default();
+            join_multi_into(left.entries(), &partners, g, &mut outs, &mut scratch);
+            for (j, b) in partners.iter().enumerate() {
+                let mut expect = Vec::new();
+                let saturated = join_into(left.entries(), b, g, &mut expect);
+                assert_eq!(outs[j], expect, "partner {j} under gap [{n}, {m}]");
+                assert_eq!(scratch.saturated[j], saturated);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_join_saturation_is_per_partner() {
+        let left: Vec<(u32, u64)> = vec![(1, 1), (2, 1)];
+        let hot: Vec<(u32, u64)> = vec![(3, u64::MAX), (4, 2)];
+        let cold: Vec<(u32, u64)> = vec![(3, 9)];
+        let g = gap(0, 5);
+        let mut outs = vec![Vec::new(), Vec::new()];
+        let mut scratch = MultiJoinScratch::default();
+        join_multi_into(&left, &[&hot, &cold], g, &mut outs, &mut scratch);
+        assert_eq!(scratch.saturated, vec![true, false]);
+        assert_eq!(outs[1], vec![(1, 9), (2, 9)]);
+        // Scratch reuse across calls must fully reset the cursors.
+        join_multi_into(&left, &[&cold], g, &mut outs[..1], &mut scratch);
+        assert_eq!(scratch.saturated, vec![false]);
+        assert_eq!(outs[0], vec![(1, 9), (2, 9)]);
     }
 }

@@ -184,27 +184,33 @@ fn run_reference(
                 .or_default()
                 .push(idx);
         }
-        let next: Vec<(Pattern, Pil)> = if threads <= 1 || kept.len() < PARALLEL_THRESHOLD {
-            join_range(&kept, &by_prefix, gap, 0, kept.len())
-        } else {
-            let workers = threads.min(kept.len());
-            let chunk = kept.len().div_ceil(workers);
-            let kept_ref = &kept;
-            let by_prefix_ref = &by_prefix;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let lo = w * chunk;
-                        let hi = ((w + 1) * chunk).min(kept_ref.len());
-                        scope.spawn(move || join_range(kept_ref, by_prefix_ref, gap, lo, hi))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("join worker panicked"))
-                    .collect()
-            })
-        };
+        let (next, joins_saturated): (Vec<(Pattern, Pil)>, bool) =
+            if threads <= 1 || kept.len() < PARALLEL_THRESHOLD {
+                join_range(&kept, &by_prefix, gap, 0, kept.len())
+            } else {
+                let workers = threads.min(kept.len());
+                let chunk = kept.len().div_ceil(workers);
+                let kept_ref = &kept;
+                let by_prefix_ref = &by_prefix;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let lo = w * chunk;
+                            let hi = ((w + 1) * chunk).min(kept_ref.len());
+                            scope.spawn(move || join_range(kept_ref, by_prefix_ref, gap, lo, hi))
+                        })
+                        .collect();
+                    let mut merged = Vec::new();
+                    let mut saturated = false;
+                    for h in handles {
+                        let (part, s) = h.join().expect("join worker panicked");
+                        merged.extend(part);
+                        saturated |= s;
+                    }
+                    (merged, saturated)
+                })
+            };
+        stats.support_saturated |= joins_saturated;
         push_stats(&mut stats, level_started.elapsed());
         candidates_at_level = next.len() as u128;
         if next.is_empty() {
@@ -220,26 +226,31 @@ fn run_reference(
 }
 
 /// Generate the candidates whose *left parent* index lies in
-/// `lo..hi` — a disjoint partition of the join work.
+/// `lo..hi` — a disjoint partition of the join work. The second
+/// element reports whether any join's window sum saturated
+/// ([`Pil::join_checked`]), so comparisons against this engine know
+/// when its supports are lower bounds.
 fn join_range(
     kept: &[(Pattern, Pil)],
     by_prefix: &HashMap<&[u8], Vec<usize>>,
     gap: GapRequirement,
     lo: usize,
     hi: usize,
-) -> Vec<(Pattern, Pil)> {
+) -> (Vec<(Pattern, Pil)>, bool) {
     let mut out = Vec::new();
+    let mut saturated = false;
     for (p1, pil1) in &kept[lo..hi] {
         if let Some(partners) = by_prefix.get(&p1.codes()[1..]) {
             for &idx in partners {
                 let (p2, pil2) = &kept[idx];
                 let candidate = p1.join(p2).expect("overlap holds by construction");
-                let pil = Pil::join(pil1, pil2, gap);
+                let (pil, s) = Pil::join_checked(pil1, pil2, gap);
+                saturated |= s;
                 out.push((candidate, pil));
             }
         }
     }
-    out
+    (out, saturated)
 }
 
 #[cfg(test)]

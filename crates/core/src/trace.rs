@@ -34,15 +34,19 @@
 //! | event | fields |
 //! |---|---|
 //! | `seed` | `level`, `patterns`, `pil_entries`, `arena_bytes`, `elapsed_ms` |
-//! | `level` | `level`, `candidates`, `evaluated`, `frequent`, `kept`, `pruned_bound`, `pruned_support`, `join_ms`, `elapsed_ms`, `saturated` |
+//! | `level` | `level`, `candidates`, `evaluated`, `frequent`, `kept`, `pruned_bound`, `pruned_support`, `arena_bytes`, `join_ms`, `elapsed_ms`, `saturated` |
 //! | `pool` | `level`, `chunks`, `workers` (array of `{worker, chunks, candidates, busy_ms, idle_ms}`) |
+//! | `subtree` | `index`, `level`, `patterns`, `deepest`, `evaluated`, `frequent`, `peak_arena_bytes`, `batches`, `batch_candidates`, `elapsed_ms` |
 //! | `em` | `m`, `em`, `elapsed_ms` |
-//! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `total_ms` |
+//! | `abort` | `message` |
+//! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `peak_arena_bytes`, `total_ms` |
 //!
 //! `level` events appear in strictly increasing level order and the
 //! `summary` line is last; [`validate_trace`] checks both plus the
 //! totals-vs-levels consistency, and backs the `pgmine trace-check`
-//! command and the CI smoke job.
+//! command and the CI smoke job. A trace that ends in an `abort` line
+//! (a mine cut short by e.g. [`crate::MineError::MemoryCeiling`])
+//! carries no `summary`; the abort must then be the final line.
 
 use crate::result::MineOutcome;
 use std::fmt::Write as _;
@@ -86,6 +90,10 @@ pub struct LevelEvent {
     pub pruned_bound: usize,
     /// `evaluated − frequent`: below the exact support threshold.
     pub pruned_support: usize,
+    /// Approximate arena bytes live once this level settled (engine-
+    /// dependent: the breadth-first engines report parent + candidate
+    /// arenas, the hybrid engine the surviving arenas only).
+    pub arena_bytes: usize,
     /// Time spent in the join fan-out generating the next level (zero
     /// when the level is terminal).
     pub join_elapsed: Duration,
@@ -134,6 +142,43 @@ pub struct EmEvent {
     pub elapsed: Duration,
 }
 
+/// One depth-first subtree task of the hybrid engine
+/// ([`crate::dfs`]): a connected component of the prefix-run graph
+/// mined to exhaustion by a single worker.
+#[derive(Clone, Debug)]
+pub struct SubtreeEvent {
+    /// Task index within the handoff batch.
+    pub index: usize,
+    /// Level of the parent generation the task started from.
+    pub level: usize,
+    /// Kept parent patterns handed to the task.
+    pub patterns: usize,
+    /// Deepest level the task generated (equals `level` when the
+    /// component produced no candidates at all).
+    pub deepest: usize,
+    /// Candidates evaluated across the whole subtree.
+    pub evaluated: usize,
+    /// Frequent patterns the subtree contributed.
+    pub frequent: usize,
+    /// Peak arena bytes attributed to this task's double buffer.
+    pub peak_arena_bytes: usize,
+    /// Batched multi-suffix join kernel invocations.
+    pub batches: u64,
+    /// Candidates produced through the batched kernel.
+    pub batch_candidates: u64,
+    /// Wall-clock time of the task.
+    pub elapsed: Duration,
+}
+
+/// A mine cut short by an error after events were already emitted —
+/// e.g. [`crate::MineError::MemoryCeiling`]. Terminal: no `summary`
+/// follows.
+#[derive(Clone, Debug)]
+pub struct AbortEvent {
+    /// Human-readable reason (the error's `Display`).
+    pub message: String,
+}
+
 /// Mine completion: run-wide totals.
 #[derive(Clone, Debug)]
 pub struct CompleteEvent {
@@ -147,6 +192,9 @@ pub struct CompleteEvent {
     pub n_used: usize,
     /// True when any support counter saturated during the run.
     pub support_saturated: bool,
+    /// Peak arena bytes observed across the run (0 when the engine
+    /// predates the gauge).
+    pub peak_arena_bytes: usize,
     /// Total wall-clock time.
     pub total_elapsed: Duration,
 }
@@ -160,8 +208,15 @@ impl CompleteEvent {
             total_candidates: outcome.stats.total_candidates(),
             n_used: outcome.stats.n_used,
             support_saturated: outcome.stats.support_saturated,
+            peak_arena_bytes: 0,
             total_elapsed: outcome.stats.total_elapsed,
         }
+    }
+
+    /// Attach the engine's peak arena gauge reading.
+    pub fn with_peak_arena_bytes(mut self, peak: usize) -> CompleteEvent {
+        self.peak_arena_bytes = peak;
+        self
     }
 }
 
@@ -175,8 +230,12 @@ pub trait MineObserver {
     fn on_level(&mut self, _event: &LevelEvent) {}
     /// A parallel level's worker-pool breakdown.
     fn on_pool(&mut self, _event: &PoolLevelEvent) {}
+    /// A depth-first subtree task completed (hybrid engine only).
+    fn on_subtree(&mut self, _event: &SubtreeEvent) {}
     /// MPPm computed `e_m`.
     fn on_em(&mut self, _event: &EmEvent) {}
+    /// The mine aborted after partial progress (terminal).
+    fn on_abort(&mut self, _event: &AbortEvent) {}
     /// The mine finished.
     fn on_complete(&mut self, _event: &CompleteEvent) {}
 }
@@ -197,8 +256,14 @@ impl<O: MineObserver + ?Sized> MineObserver for &mut O {
     fn on_pool(&mut self, event: &PoolLevelEvent) {
         (**self).on_pool(event);
     }
+    fn on_subtree(&mut self, event: &SubtreeEvent) {
+        (**self).on_subtree(event);
+    }
     fn on_em(&mut self, event: &EmEvent) {
         (**self).on_em(event);
+    }
+    fn on_abort(&mut self, event: &AbortEvent) {
+        (**self).on_abort(event);
     }
     fn on_complete(&mut self, event: &CompleteEvent) {
         (**self).on_complete(event);
@@ -218,9 +283,17 @@ impl<A: MineObserver, B: MineObserver> MineObserver for (A, B) {
         self.0.on_pool(event);
         self.1.on_pool(event);
     }
+    fn on_subtree(&mut self, event: &SubtreeEvent) {
+        self.0.on_subtree(event);
+        self.1.on_subtree(event);
+    }
     fn on_em(&mut self, event: &EmEvent) {
         self.0.on_em(event);
         self.1.on_em(event);
+    }
+    fn on_abort(&mut self, event: &AbortEvent) {
+        self.0.on_abort(event);
+        self.1.on_abort(event);
     }
     fn on_complete(&mut self, event: &CompleteEvent) {
         self.0.on_complete(event);
@@ -244,9 +317,19 @@ impl<O: MineObserver> MineObserver for Option<O> {
             o.on_pool(event);
         }
     }
+    fn on_subtree(&mut self, event: &SubtreeEvent) {
+        if let Some(o) = self {
+            o.on_subtree(event);
+        }
+    }
     fn on_em(&mut self, event: &EmEvent) {
         if let Some(o) = self {
             o.on_em(event);
+        }
+    }
+    fn on_abort(&mut self, event: &AbortEvent) {
+        if let Some(o) = self {
+            o.on_abort(event);
         }
     }
     fn on_complete(&mut self, event: &CompleteEvent) {
@@ -258,6 +341,25 @@ impl<O: MineObserver> MineObserver for Option<O> {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Minimal JSON string escape for the few free-text fields (abort
+/// messages carry panic payloads, which may contain anything).
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Streams every event as one JSON line (the schema in the module
@@ -303,7 +405,7 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
 
     fn on_level(&mut self, e: &LevelEvent) {
         self.write_line(&format!(
-            "{{\"event\": \"level\", \"level\": {}, \"candidates\": {}, \"evaluated\": {}, \"frequent\": {}, \"kept\": {}, \"pruned_bound\": {}, \"pruned_support\": {}, \"join_ms\": {:.3}, \"elapsed_ms\": {:.3}, \"saturated\": {}}}",
+            "{{\"event\": \"level\", \"level\": {}, \"candidates\": {}, \"evaluated\": {}, \"frequent\": {}, \"kept\": {}, \"pruned_bound\": {}, \"pruned_support\": {}, \"arena_bytes\": {}, \"join_ms\": {:.3}, \"elapsed_ms\": {:.3}, \"saturated\": {}}}",
             e.level,
             e.candidates,
             e.evaluated,
@@ -311,6 +413,7 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
             e.kept,
             e.pruned_bound,
             e.pruned_support,
+            e.arena_bytes,
             ms(e.join_elapsed),
             ms(e.elapsed),
             e.saturated
@@ -340,6 +443,22 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
         ));
     }
 
+    fn on_subtree(&mut self, e: &SubtreeEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"subtree\", \"index\": {}, \"level\": {}, \"patterns\": {}, \"deepest\": {}, \"evaluated\": {}, \"frequent\": {}, \"peak_arena_bytes\": {}, \"batches\": {}, \"batch_candidates\": {}, \"elapsed_ms\": {:.3}}}",
+            e.index,
+            e.level,
+            e.patterns,
+            e.deepest,
+            e.evaluated,
+            e.frequent,
+            e.peak_arena_bytes,
+            e.batches,
+            e.batch_candidates,
+            ms(e.elapsed)
+        ));
+    }
+
     fn on_em(&mut self, e: &EmEvent) {
         self.write_line(&format!(
             "{{\"event\": \"em\", \"m\": {}, \"em\": {}, \"elapsed_ms\": {:.3}}}",
@@ -349,14 +468,22 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
         ));
     }
 
+    fn on_abort(&mut self, e: &AbortEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"abort\", \"message\": \"{}\"}}",
+            escape_json(&e.message)
+        ));
+    }
+
     fn on_complete(&mut self, e: &CompleteEvent) {
         self.write_line(&format!(
-            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"total_ms\": {:.3}}}",
+            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"peak_arena_bytes\": {}, \"total_ms\": {:.3}}}",
             e.frequent,
             e.levels,
             e.total_candidates,
             e.n_used,
             e.support_saturated,
+            e.peak_arena_bytes,
             ms(e.total_elapsed)
         ));
     }
@@ -372,8 +499,12 @@ pub struct MetricsObserver {
     pub levels: Vec<LevelEvent>,
     /// Pool events in arrival order.
     pub pool: Vec<PoolLevelEvent>,
+    /// Subtree events in arrival (= handoff task) order.
+    pub subtrees: Vec<SubtreeEvent>,
     /// The `e_m` event, if the mine was MPPm.
     pub em: Option<EmEvent>,
+    /// The abort event, if the mine was cut short.
+    pub abort: Option<AbortEvent>,
     /// The completion event.
     pub complete: Option<CompleteEvent>,
 }
@@ -446,14 +577,33 @@ impl MetricsObserver {
                 );
             }
         }
+        for s in &self.subtrees {
+            let _ = writeln!(
+                out,
+                "  subtree {:>3} @ level {}: {} parents -> depth {} | {} evaluated | {} frequent | peak {} bytes | {} kernel batches | {:.3} ms",
+                s.index,
+                s.level,
+                s.patterns,
+                s.deepest,
+                s.evaluated,
+                s.frequent,
+                s.peak_arena_bytes,
+                s.batches,
+                ms(s.elapsed)
+            );
+        }
+        if let Some(a) = &self.abort {
+            let _ = writeln!(out, "  ABORTED: {}", a.message);
+        }
         if let Some(c) = &self.complete {
             let _ = writeln!(
                 out,
-                "  total: {} frequent over {} levels | {} candidates | n = {} | {:.3} ms{}",
+                "  total: {} frequent over {} levels | {} candidates | n = {} | peak {} arena bytes | {:.3} ms{}",
                 c.frequent,
                 c.levels,
                 c.total_candidates,
                 c.n_used,
+                c.peak_arena_bytes,
                 ms(c.total_elapsed),
                 if c.support_saturated {
                     " | SUPPORT SATURATED"
@@ -476,8 +626,14 @@ impl MineObserver for MetricsObserver {
     fn on_pool(&mut self, event: &PoolLevelEvent) {
         self.pool.push(event.clone());
     }
+    fn on_subtree(&mut self, event: &SubtreeEvent) {
+        self.subtrees.push(event.clone());
+    }
     fn on_em(&mut self, event: &EmEvent) {
         self.em = Some(event.clone());
+    }
+    fn on_abort(&mut self, event: &AbortEvent) {
+        self.abort = Some(event.clone());
     }
     fn on_complete(&mut self, event: &CompleteEvent) {
         self.complete = Some(event.clone());
@@ -633,6 +789,19 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'/') => out.push('/'),
                     Some(b'n') => out.push('\n'),
                     Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at offset {}", *pos))?;
+                        // The sinks only emit BMP scalars (control chars);
+                        // surrogate halves are rejected.
+                        let ch = char::from_u32(hex)
+                            .ok_or_else(|| format!("non-scalar \\u escape at offset {}", *pos))?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
                     other => return Err(format!("unsupported escape {other:?}")),
                 }
                 *pos += 1;
@@ -739,18 +908,23 @@ pub struct TraceReport {
     pub frequent: usize,
     /// The summary line's candidate total.
     pub total_candidates: u128,
+    /// True when the trace ends in an `abort` line instead of a
+    /// `summary` (the mine was cut short; totals are partial).
+    pub aborted: bool,
 }
 
 /// Validate a JSONL trace against the schema: every line parses as an
 /// object with an `"event"` field; `level` events are strictly
 /// increasing in level; exactly one `summary` line exists, comes last,
-/// and its totals match the level events.
+/// and its totals match the level events. A trace may instead end in
+/// one `abort` line (and then carries no `summary`).
 pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
     let mut report = TraceReport::default();
     let mut last_level: Option<usize> = None;
     let mut level_frequent = 0usize;
     let mut level_candidates = 0u128;
     let mut summary: Option<(usize, Json)> = None;
+    let mut aborted = false;
 
     for (i, line) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -766,6 +940,9 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
             .to_string();
         if summary.is_some() {
             return Err(format!("line {lineno}: events after the summary line"));
+        }
+        if aborted {
+            return Err(format!("line {lineno}: events after the abort line"));
         }
         match event.as_str() {
             "level" => {
@@ -792,11 +969,26 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
                     .ok_or(format!("line {lineno}: level event without candidates"))?;
             }
             "summary" => summary = Some((lineno, value)),
-            "seed" | "pool" | "em" => {}
+            "abort" => {
+                value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {lineno}: abort event without message"))?;
+                aborted = true;
+            }
+            "seed" | "pool" | "subtree" | "em" => {}
             other => return Err(format!("line {lineno}: unknown event {other:?}")),
         }
     }
 
+    if aborted {
+        // A cut-short mine: no summary, partial totals from the level
+        // events that did make it out.
+        report.frequent = level_frequent;
+        report.total_candidates = level_candidates;
+        report.aborted = true;
+        return Ok(report);
+    }
     let (lineno, summary) = summary.ok_or("trace has no summary line")?;
     let frequent = summary
         .get("frequent")
@@ -844,6 +1036,7 @@ mod tests {
             kept: 20,
             pruned_bound: 40,
             pruned_support: 50,
+            arena_bytes: 4096,
             join_elapsed: Duration::from_micros(500),
             elapsed: Duration::from_millis(1),
             saturated: false,
@@ -857,7 +1050,23 @@ mod tests {
             total_candidates: 64 * levels as u128,
             n_used: 8,
             support_saturated: false,
+            peak_arena_bytes: 8192,
             total_elapsed: Duration::from_millis(3),
+        }
+    }
+
+    fn subtree_event(index: usize) -> SubtreeEvent {
+        SubtreeEvent {
+            index,
+            level: 4,
+            patterns: 7,
+            deepest: 9,
+            evaluated: 120,
+            frequent: 5,
+            peak_arena_bytes: 2048,
+            batches: 11,
+            batch_candidates: 120,
+            elapsed: Duration::from_millis(2),
         }
     }
 
@@ -884,6 +1093,7 @@ mod tests {
             }],
         });
         sink.on_level(&level_event(4));
+        sink.on_subtree(&subtree_event(0));
         sink.on_em(&EmEvent {
             m: 8,
             em: 12,
@@ -891,11 +1101,38 @@ mod tests {
         });
         sink.on_complete(&complete_event(2));
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert!(text.contains("\"arena_bytes\": 4096"), "{text}");
+        assert!(text.contains("\"peak_arena_bytes\": 8192"), "{text}");
         let report = validate_trace(&text).unwrap();
         assert_eq!(report.level_events, 2);
         assert_eq!(report.frequent, 20);
         assert_eq!(report.total_candidates, 128);
-        assert_eq!(report.lines, 6);
+        assert_eq!(report.lines, 7);
+        assert!(!report.aborted);
+    }
+
+    #[test]
+    fn aborted_trace_validates_without_summary() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_level(&level_event(3));
+        sink.on_abort(&AbortEvent {
+            message: "arena memory ceiling of 10 bytes exceeded: \"boom\"\n".into(),
+        });
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let report = validate_trace(&text).unwrap();
+        assert!(report.aborted);
+        assert_eq!(report.level_events, 1);
+        assert_eq!(report.frequent, 10);
+
+        // Nothing may follow the abort line.
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_abort(&AbortEvent {
+            message: "x".into(),
+        });
+        sink.on_level(&level_event(3));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let err = validate_trace(&text).unwrap_err();
+        assert!(err.contains("after the abort"), "{err}");
     }
 
     #[test]

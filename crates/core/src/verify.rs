@@ -9,6 +9,8 @@ use crate::counts::OffsetCounts;
 use crate::gap::GapRequirement;
 use crate::lambda::PruneBound;
 use crate::naive::support_dp;
+use crate::pattern::Pattern;
+use crate::pil::Pil;
 use crate::result::MineOutcome;
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
@@ -43,9 +45,31 @@ pub enum Discrepancy {
     },
 }
 
+/// Recount `sup(P)` by folding [`Pil::join_checked`] right-to-left
+/// over the level-1 occurrence lists (the join only needs the *first*
+/// characters' positions on the left, so single-character prefixes
+/// suffice). Returns the support and whether any join's window sum
+/// saturated — in which case the count is a lower bound, not exact.
+pub fn support_via_joins(seq: &Sequence, gap: GapRequirement, pattern: &Pattern) -> (u128, bool) {
+    let codes = pattern.codes();
+    let Some((&last, rest)) = codes.split_last() else {
+        return (0, false);
+    };
+    let mut pil = Pil::build_level1(seq, last);
+    let mut saturated = false;
+    for &c in rest.iter().rev() {
+        let (joined, s) = Pil::join_checked(&Pil::build_level1(seq, c), &pil, gap);
+        saturated |= s;
+        pil = joined;
+    }
+    (pil.support(), saturated)
+}
+
 /// Re-verify every pattern of `outcome` against `seq`: recount supports
-/// with the naive DP, re-apply the exact threshold test, and recheck
-/// ratios. Returns all discrepancies (empty = verified).
+/// with the naive DP *and* a [`Pil::join_checked`] chain (two
+/// independent counters must agree unless the join saturated), re-apply
+/// the exact threshold test, and recheck ratios. Returns all
+/// discrepancies (empty = verified).
 pub fn verify_outcome(
     seq: &Sequence,
     gap: GapRequirement,
@@ -57,7 +81,8 @@ pub fn verify_outcome(
     let mut problems = Vec::new();
     for f in &outcome.frequent {
         let recomputed = support_dp(seq, gap, &f.pattern);
-        if recomputed != f.support {
+        let (rejoined, join_saturated) = support_via_joins(seq, gap, &f.pattern);
+        if recomputed != f.support || (!join_saturated && rejoined != recomputed) {
             problems.push(Discrepancy::SupportMismatch {
                 pattern: f.pattern.codes().to_vec(),
                 recorded: f.support,
@@ -152,6 +177,18 @@ mod tests {
         assert!(problems
             .iter()
             .any(|d| matches!(d, Discrepancy::BelowThreshold { .. })));
+    }
+
+    #[test]
+    fn join_recount_matches_dp() {
+        let seq = uniform(&mut StdRng::seed_from_u64(65), Alphabet::Dna, 250);
+        let gap = GapRequirement::new(0, 3).unwrap();
+        for text in ["A", "ACG", "TTTT", "ACGTA"] {
+            let p = Pattern::parse(text, &Alphabet::Dna).unwrap();
+            let (sup, saturated) = support_via_joins(&seq, gap, &p);
+            assert!(!saturated, "{text}");
+            assert_eq!(sup, support_dp(&seq, gap, &p), "{text}");
+        }
     }
 
     #[test]

@@ -211,6 +211,7 @@ mod tests {
         let config = MppConfig {
             start_level: 2,
             max_level: Some(3),
+            ..MppConfig::default()
         };
         let outcome = windowed_mine(&seq, g, 8, 2, config).unwrap();
         // AC occurs in both windows → window_count 2.
@@ -226,6 +227,7 @@ mod tests {
         let config = MppConfig {
             start_level: 3,
             max_level: Some(5),
+            ..MppConfig::default()
         };
         let lax = windowed_mine(&seq, g, 60, 1, config).unwrap();
         let strict = windowed_mine(&seq, g, 60, 5, config).unwrap();
@@ -243,6 +245,7 @@ mod tests {
         let config = MppConfig {
             start_level: 3,
             max_level: Some(4),
+            ..MppConfig::default()
         };
         let outcome = windowed_mine(&seq, g, 80, 1, config).unwrap();
         let wins = fragments(&seq, 80, 1);
@@ -275,6 +278,7 @@ mod tests {
         let config = MppConfig {
             start_level: 3,
             max_level: Some(3),
+            ..MppConfig::default()
         };
         let windowed = windowed_mine(&seq, g, 60, 1, config).unwrap();
         assert!(

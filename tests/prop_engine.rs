@@ -106,4 +106,42 @@ proptest! {
             prop_assert_eq!(a.support, b.support);
         }
     }
+
+    #[test]
+    fn dfs_engine_agrees_with_bfs_and_reference(
+        (alpha, codes, (n, m), rho_scale, threads) in
+            (alphabet(), codes(60), gap_req(), 1usize..40, 1usize..5)
+    ) {
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = rho_scale as f64 * 1e-4;
+        let config = MppConfig::default();
+        let bfs = mpp(&seq, gap, rho, 8, config);
+        let dfs = mpp_dfs(&seq, gap, rho, 8, config, threads);
+        prop_assert_eq!(bfs.is_ok(), dfs.is_ok());
+        let Ok(bfs) = bfs else { return Ok(()) };
+        let dfs = dfs.unwrap();
+        // Frequent sets, supports, and every stats counter must be
+        // engine-invariant — only durations and arena bytes may differ.
+        prop_assert_eq!(bfs.frequent.len(), dfs.frequent.len());
+        for (a, b) in bfs.frequent.iter().zip(&dfs.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+        }
+        prop_assert_eq!(bfs.stats.n_used, dfs.stats.n_used);
+        prop_assert_eq!(bfs.stats.support_saturated, dfs.stats.support_saturated);
+        prop_assert_eq!(bfs.stats.levels.len(), dfs.stats.levels.len());
+        for (a, b) in bfs.stats.levels.iter().zip(&dfs.stats.levels) {
+            prop_assert_eq!(a.level, b.level);
+            prop_assert_eq!(a.candidates, b.candidates, "level {}", a.level);
+            prop_assert_eq!(a.frequent, b.frequent, "level {}", a.level);
+            prop_assert_eq!(a.extended, b.extended, "level {}", a.level);
+        }
+        let reference = mpp_reference(&seq, gap, rho, 8, config, 1).unwrap();
+        prop_assert_eq!(reference.frequent.len(), dfs.frequent.len());
+        for (a, b) in reference.frequent.iter().zip(&dfs.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+        }
+    }
 }
