@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment> [--quick] [--adaptive]
 //! repro skew --trace <run.jsonl>
+//! repro pil-repr [--pil-repr auto|sparse|dense]
 //!
 //! experiments:
 //!   counts     Section 4.1 N_l table and the N_10 example
@@ -17,6 +18,10 @@
 //!   casestudy  Section 7 genome panels
 //!   extensions windowed-model loss, collection mining, gap profiles
 //!   bench      engine perf baseline -> BENCH_mining.json (not in `all`)
+//!   pil-repr   PIL layout section: occupancy kernel sweep + the
+//!              representation-invariance gate (not in `all`); the
+//!              optional --pil-repr MODE narrows the gate to
+//!              sparse-vs-MODE
 //!   skew       per-worker utilization table from a --trace JSONL file
 //!   all        everything above except `bench`/`skew`, in order
 //!
@@ -39,7 +44,10 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .map(String::as_str)
     };
-    let consumed_values: Vec<&str> = ["--trace"].iter().filter_map(|key| value_of(key)).collect();
+    let consumed_values: Vec<&str> = ["--trace", "--pil-repr"]
+        .iter()
+        .filter_map(|key| value_of(key))
+        .collect();
     let which = args
         .iter()
         .find(|a| !a.starts_with("--") && !consumed_values.contains(&a.as_str()))
@@ -83,6 +91,15 @@ fn main() {
         "casestudy" => experiments::casestudy::run(scale),
         "extensions" => experiments::extensions::run(seq_len),
         "bench" => experiments::bench_mining::run(quick),
+        "pil-repr" => {
+            let forced = value_of("--pil-repr").map(|raw| {
+                raw.parse::<perigap_core::PilRepr>().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            });
+            experiments::pil_repr::run(quick, forced)
+        }
         "skew" => match value_of("--trace") {
             Some(path) => experiments::skew::run(path),
             None => {

@@ -10,7 +10,7 @@ use perigap_core::mppm::{mppm_dfs_traced, mppm_traced};
 use perigap_core::parallel::mpp_parallel_traced;
 use perigap_core::trace::{validate_trace, JsonlObserver, MetricsObserver};
 use perigap_core::verify::verify_outcome;
-use perigap_core::{GapRequirement, MineOutcome};
+use perigap_core::{GapRequirement, MineOutcome, PilRepr, ReprPolicy};
 use perigap_seq::fasta::read_fasta;
 use perigap_seq::oscillation::correlation_spectrum;
 use perigap_seq::stats::{gc_content, shannon_entropy};
@@ -30,6 +30,8 @@ USAGE:
                [--engine bfs|dfs  mpp/mppm; dfs = depth-first subtrees]
                [--threads <k>  mpp, or mppm with --engine dfs]
                [--max-arena-bytes <bytes>  abort if live arenas exceed]
+               [--pil-repr auto|sparse|dense  per-list PIL join layout;
+                output-identical, performance only]
                [--format table|tsv] [--save <path.pgst>] [--verify]
                [--trace <path.jsonl>  mpp/mppm only] [--metrics]
   pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
@@ -71,6 +73,7 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "trace",
             "engine",
             "max-arena-bytes",
+            "pil-repr",
         ],
         &["verify", "metrics"],
     )?;
@@ -155,9 +158,14 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         ),
         None => None,
     };
+    let pil_repr = match args.get("pil-repr") {
+        Some(raw) => ReprPolicy::of(raw.parse::<PilRepr>().map_err(ArgError)?),
+        None => ReprPolicy::default(),
+    };
     let config = MppConfig {
         max_level,
         max_arena_bytes,
+        pil_repr,
         ..MppConfig::default()
     };
 
@@ -624,6 +632,50 @@ mod tests {
         assert!(run_words(&base(&["--algorithm", "mppm", "--threads", "4"])).is_err());
         assert!(run_words(&base(&["--algorithm", "mpp", "--engine", "zigzag"])).is_err());
         assert!(run_words(&base(&["--algorithm", "enumerate", "--engine", "dfs"])).is_err());
+    }
+
+    #[test]
+    fn mine_with_pil_repr_is_output_identical() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        for algo_args in [
+            &["--algorithm", "mpp"][..],
+            &["--algorithm", "mpp", "--engine", "dfs"],
+            &["--algorithm", "mppm"],
+        ] {
+            let reference = run_words(&base(algo_args)).unwrap();
+            for mode in ["auto", "sparse", "dense"] {
+                let mut extra = algo_args.to_vec();
+                extra.extend(["--pil-repr", mode]);
+                let out = run_words(&base(&extra)).unwrap_or_else(|e| panic!("{mode}: {e}"));
+                assert_eq!(out, reference, "--pil-repr {mode} changed the output");
+            }
+        }
+        // The histogram surfaces through --metrics.
+        let out = run_words(&base(&[
+            "--algorithm",
+            "mpp",
+            "--pil-repr",
+            "dense",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert!(out.contains("pil repr (dense):"), "{out}");
+        let err = run_words(&base(&["--pil-repr", "bitmap"])).unwrap_err();
+        assert!(err.to_string().contains("auto|sparse|dense"), "{err}");
     }
 
     #[test]

@@ -25,10 +25,11 @@
 //! its behaviour — including byte-identical mining output — is
 //! unchanged.
 
+use crate::adaptive::ReprCache;
 use crate::gap::GapRequirement;
 use crate::packed::KeyCodec;
 use crate::pattern::Pattern;
-use crate::pil::{join_into, Pil};
+use crate::pil::{join_dense_into, join_into, DensePil, Pil};
 use perigap_seq::Sequence;
 use std::collections::HashMap;
 
@@ -140,6 +141,25 @@ impl PilSet {
         self.codes.extend_from_slice(p1_codes);
         self.codes.push(last);
         self.saturated |= join_into(prefix, suffix, gap, &mut self.entries);
+        self.bounds.push(self.entries.len());
+    }
+
+    /// [`PilSet::push_candidate`] through the dense prefix-sum kernel:
+    /// the suffix arrives as a pre-built [`DensePil`] (cached per
+    /// suffix by [`ReprCache`]), so the join is one O(1) probe per
+    /// prefix offset and can never saturate (see [`DensePil::build`]).
+    pub(crate) fn push_candidate_dense(
+        &mut self,
+        p1_codes: &[u8],
+        last: u8,
+        prefix: &[(u32, u64)],
+        suffix: &DensePil,
+        gap: GapRequirement,
+    ) {
+        debug_assert_eq!(p1_codes.len() + 1, self.level);
+        self.codes.extend_from_slice(p1_codes);
+        self.codes.push(last);
+        join_dense_into(prefix, suffix, gap, &mut self.entries);
         self.bounds.push(self.entries.len());
     }
 
@@ -376,6 +396,13 @@ pub(crate) fn prefix_runs(set: &PilSet, kept: &[usize]) -> Vec<(usize, usize)> {
 /// Generate candidates whose left parent is `kept[lo..hi]`, appending
 /// them (already sorted) to `out`. The right-parent run is found by
 /// binary search over the prefix runs.
+///
+/// `repr` decides per suffix list whether the join runs on the sparse
+/// merge or the dense prefix-sum probe; the dense build is cached in it
+/// and reused across every left parent sharing the suffix. The caller
+/// must have [`ReprCache::begin`]-reset it for `set`'s pattern indices.
+/// Either way the emitted candidates are bit-identical.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn generate_candidates(
     set: &PilSet,
     kept: &[usize],
@@ -384,6 +411,7 @@ pub(crate) fn generate_candidates(
     lo: usize,
     hi: usize,
     out: &mut PilSet,
+    repr: &mut ReprCache,
 ) {
     debug_assert_eq!(out.level(), set.level() + 1);
     let level = set.level();
@@ -396,7 +424,14 @@ pub(crate) fn generate_candidates(
             let (s, e) = runs[r];
             for &j in &kept[s..e] {
                 let p2 = set.pattern_codes(j);
-                out.push_candidate(p1, p2[level - 1], set.entries(i), set.entries(j), gap);
+                match repr.dense_for(j, set.entries(j)) {
+                    Some(dense) => {
+                        out.push_candidate_dense(p1, p2[level - 1], set.entries(i), dense, gap)
+                    }
+                    None => {
+                        out.push_candidate(p1, p2[level - 1], set.entries(i), set.entries(j), gap)
+                    }
+                }
             }
         }
     }
@@ -405,11 +440,19 @@ pub(crate) fn generate_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adaptive::{PilRepr, ReprPolicy};
     use crate::naive::support_dp;
     use perigap_seq::Sequence;
 
     fn gap(n: usize, m: usize) -> GapRequirement {
         GapRequirement::new(n, m).unwrap()
+    }
+
+    /// A fresh cache sized for `set`, under `mode`.
+    fn cache_for(set: &PilSet, mode: PilRepr) -> ReprCache {
+        let mut cache = ReprCache::new(ReprPolicy::of(mode));
+        cache.begin(set.len());
+        cache
     }
 
     fn dna(text: &str) -> Sequence {
@@ -488,7 +531,8 @@ mod tests {
         let kept: Vec<usize> = (0..set.len()).collect();
         let runs = prefix_runs(&set, &kept);
         let mut out = PilSet::new(4);
-        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut out);
+        let mut repr = cache_for(&set, PilRepr::Sparse);
+        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut out, &mut repr);
 
         // Naive: every ordered pair with suffix(p1) == prefix(p2).
         let mut expected: Vec<(Vec<u8>, Pil)> = Vec::new();
@@ -520,6 +564,28 @@ mod tests {
     }
 
     #[test]
+    fn candidate_generation_is_representation_invariant() {
+        // The same generation through the sparse merge, the dense
+        // probe, and the occupancy policy must be byte-identical —
+        // codes, entries, bounds, and the saturation flag.
+        let s = dna("ACGTTGCAACGTTACGGTCAACGT");
+        for g in [gap(0, 2), gap(1, 3), gap(2, 5)] {
+            let set = build_seed(&s, g, 3);
+            let kept: Vec<usize> = (0..set.len()).collect();
+            let runs = prefix_runs(&set, &kept);
+            let mut sparse = PilSet::new(4);
+            let mut repr = cache_for(&set, PilRepr::Sparse);
+            generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut sparse, &mut repr);
+            for mode in [PilRepr::Dense, PilRepr::Auto] {
+                let mut out = PilSet::new(4);
+                let mut repr = cache_for(&set, mode);
+                generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut out, &mut repr);
+                assert_eq!(out, sparse, "mode {mode} under gap {g}");
+            }
+        }
+    }
+
+    #[test]
     fn concat_preserves_chunked_generation() {
         let s = dna("ACGTTGCAACGTTACGGTCA");
         let g = gap(0, 2);
@@ -527,12 +593,17 @@ mod tests {
         let kept: Vec<usize> = (0..set.len()).collect();
         let runs = prefix_runs(&set, &kept);
         let mut whole = PilSet::new(4);
-        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut whole);
+        let mut repr = cache_for(&set, PilRepr::Auto);
+        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut whole, &mut repr);
         let mid = kept.len() / 2;
         let mut a = PilSet::new(4);
         let mut b = PilSet::new(4);
-        generate_candidates(&set, &kept, &runs, g, 0, mid, &mut a);
-        generate_candidates(&set, &kept, &runs, g, mid, kept.len(), &mut b);
+        // Chunked generation rebuilds the cache per chunk, as the
+        // parallel engine does.
+        let mut repr_a = cache_for(&set, PilRepr::Auto);
+        let mut repr_b = cache_for(&set, PilRepr::Auto);
+        generate_candidates(&set, &kept, &runs, g, 0, mid, &mut a, &mut repr_a);
+        generate_candidates(&set, &kept, &runs, g, mid, kept.len(), &mut b, &mut repr_b);
         assert_eq!(PilSet::concat(4, [a, b]), whole);
     }
 

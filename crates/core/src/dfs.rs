@@ -47,6 +47,7 @@
 //! time is the summed generation+evaluation time that *produced* it,
 //! and `arena_bytes` covers the surviving arenas only.
 
+use crate::adaptive::{ReprCache, ReprPolicy};
 use crate::arena::{build_seed, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
@@ -57,7 +58,7 @@ use crate::parallel::{
     PoolHooks, PoolJob, WorkerPool, CHUNKS_PER_THREAD, MIN_CHUNK, PARALLEL_THRESHOLD,
 };
 use crate::pattern::Pattern;
-use crate::pil::{join_multi_into, MultiJoinScratch};
+use crate::pil::{join_dense_into, join_multi_into, MultiJoinScratch};
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{
     AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
@@ -98,6 +99,7 @@ pub fn mpp_dfs_traced<O: MineObserver>(
 ) -> Result<MineOutcome, MineError> {
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
+    let repr_before = crate::adaptive::repr_stats();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
     let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
@@ -130,6 +132,11 @@ pub fn mpp_dfs_traced<O: MineObserver>(
         }
     };
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_repr(
+        &crate::adaptive::repr_stats()
+            .since(repr_before)
+            .to_event(config.pil_repr.mode),
+    );
     observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
 }
@@ -222,12 +229,34 @@ struct EagerStats {
     batch_candidates: u64,
 }
 
+/// Reusable working buffers for [`eager_generate`], bundled so callers
+/// amortise their allocations across generation steps. `outs[j]` maps
+/// position-for-position onto one batch's partner run; `souts` is the
+/// staging area for the sparse subset of a mixed batch (buffers migrate
+/// between the two via `mem::swap`, so capacity is retained either way).
+#[derive(Default)]
+struct EagerBufs {
+    scratch: MultiJoinScratch,
+    outs: Vec<Vec<(u32, u64)>>,
+    souts: Vec<Vec<(u32, u64)>>,
+    sat: Vec<bool>,
+    dense_pos: Vec<usize>,
+    sparse_pos: Vec<usize>,
+    codes: Vec<u8>,
+}
+
 /// Generate the level `set.level() + 1` candidates whose left parent is
 /// `members[lo..hi]`, evaluating each against `row` the moment it is
 /// produced. Frequent candidates are appended to `frequent`; candidates
 /// passing the extension bound are appended to `next`. Every partner
 /// pair is counted in `evaluated` (empty joins included), matching the
 /// breadth-first engines' candidate accounting exactly.
+///
+/// Each batch is split by `repr`'s per-suffix representation decision:
+/// dense partners take the O(|A|) prefix-sum probe
+/// ([`join_dense_into`]), the sparse remainder shares one batched
+/// sliding-window walk ([`join_multi_into`]). Outputs and saturation
+/// flags are position-identical to the all-sparse path.
 #[allow(clippy::too_many_arguments)]
 fn eager_generate(
     set: &PilSet,
@@ -238,13 +267,13 @@ fn eager_generate(
     gap: GapRequirement,
     row: &BoundRow,
     next: &mut PilSet,
-    scratch: &mut MultiJoinScratch,
-    outs: &mut Vec<Vec<(u32, u64)>>,
-    codes: &mut Vec<u8>,
+    repr: &mut ReprCache,
+    bufs: &mut EagerBufs,
     frequent: &mut Vec<FrequentPattern>,
 ) -> EagerStats {
     let level = set.level();
     let mut st = EagerStats::default();
+    repr.begin(set.len());
     let mut partners: Vec<&[(u32, u64)]> = Vec::new();
     for &i in &members[lo..hi] {
         let p1 = set.pattern_codes(i);
@@ -253,37 +282,68 @@ fn eager_generate(
             runs.binary_search_by(|&(s, _)| set.pattern_codes(members[s])[..level - 1].cmp(suffix));
         let Ok(r) = found else { continue };
         let (s, e) = runs[r];
-        partners.clear();
-        partners.extend(members[s..e].iter().map(|&j| set.entries(j)));
-        let cnt = partners.len();
-        if outs.len() < cnt {
-            outs.resize_with(cnt, Vec::new);
+        let cnt = e - s;
+        if bufs.outs.len() < cnt {
+            bufs.outs.resize_with(cnt, Vec::new);
         }
-        join_multi_into(set.entries(i), &partners, gap, &mut outs[..cnt], scratch);
+        bufs.dense_pos.clear();
+        bufs.sparse_pos.clear();
+        bufs.sat.clear();
+        bufs.sat.resize(cnt, false);
+        for (j, &m) in members[s..e].iter().enumerate() {
+            if repr.decide(m, set.entries(m)) {
+                bufs.dense_pos.push(j);
+            } else {
+                bufs.sparse_pos.push(j);
+            }
+        }
+        let a = set.entries(i);
+        for &j in &bufs.dense_pos {
+            // A dense list can never saturate: `DensePil::build` already
+            // proved the *total* count sum fits in u64, and every window
+            // is a sub-sum of it — `sat[j]` stays false, matching what
+            // the sparse walk would have reported.
+            let dense = repr.get(members[s + j]).expect("decided dense");
+            bufs.outs[j].clear();
+            join_dense_into(a, dense, gap, &mut bufs.outs[j]);
+        }
+        if !bufs.sparse_pos.is_empty() {
+            let k = bufs.sparse_pos.len();
+            partners.clear();
+            partners.extend(bufs.sparse_pos.iter().map(|&j| set.entries(members[s + j])));
+            if bufs.souts.len() < k {
+                bufs.souts.resize_with(k, Vec::new);
+            }
+            join_multi_into(a, &partners, gap, &mut bufs.souts[..k], &mut bufs.scratch);
+            for (k2, &j) in bufs.sparse_pos.iter().enumerate() {
+                std::mem::swap(&mut bufs.outs[j], &mut bufs.souts[k2]);
+                bufs.sat[j] = bufs.scratch.saturated[k2];
+            }
+        }
         st.batches += 1;
         st.batch_candidates += cnt as u64;
         for (j, &m) in members[s..e].iter().enumerate() {
             st.evaluated += 1;
-            st.saturated |= scratch.saturated[j];
-            let entries = &outs[j];
+            st.saturated |= bufs.sat[j];
+            let entries = &bufs.outs[j];
             let sup: u128 = entries.iter().map(|&(_, c)| c as u128).sum();
             let admitted_exact = row.exact.admits_u128(sup);
             let admitted_lhat = row.lhat.admits_u128(sup);
             if admitted_exact || admitted_lhat {
-                codes.clear();
-                codes.extend_from_slice(p1);
-                codes.push(set.pattern_codes(m)[level - 1]);
+                bufs.codes.clear();
+                bufs.codes.extend_from_slice(p1);
+                bufs.codes.push(set.pattern_codes(m)[level - 1]);
             }
             if admitted_exact {
                 frequent.push(FrequentPattern {
-                    pattern: Pattern::from_codes(codes.clone()),
+                    pattern: Pattern::from_codes(bufs.codes.clone()),
                     support: sup,
                     ratio: sup as f64 / row.n_f64,
                 });
                 st.frequent += 1;
             }
             if admitted_lhat {
-                next.push_pattern(codes, entries);
+                next.push_pattern(&bufs.codes, entries);
                 st.kept += 1;
             }
         }
@@ -380,6 +440,10 @@ struct DfsJob {
     /// The `base_level + 1` bound row, built once on the main thread so
     /// chunk tasks skip per-task bound construction.
     first_row: BoundRow,
+    /// Per-list representation policy; each task builds its own
+    /// [`ReprCache`] (dense lists are reused across the left parents of
+    /// one task, never shared between threads).
+    repr: ReprPolicy,
     cursor: AtomicUsize,
     hooks: PoolHooks,
 }
@@ -422,9 +486,8 @@ impl DfsJob {
     fn process_chunk(&self, lo: usize, hi: usize) -> Result<TaskOut, MineError> {
         let started = Instant::now();
         let mut next = PilSet::new(self.base_level + 1);
-        let mut scratch = MultiJoinScratch::default();
-        let mut outs: Vec<Vec<(u32, u64)>> = Vec::new();
-        let mut codes: Vec<u8> = Vec::new();
+        let mut repr = ReprCache::new(self.repr);
+        let mut bufs = EagerBufs::default();
         let mut frequent: Vec<FrequentPattern> = Vec::new();
         let st = eager_generate(
             &self.base,
@@ -435,9 +498,8 @@ impl DfsJob {
             self.gap,
             &self.first_row,
             &mut next,
-            &mut scratch,
-            &mut outs,
-            &mut codes,
+            &mut repr,
+            &mut bufs,
             &mut frequent,
         );
         let elapsed = started.elapsed();
@@ -470,9 +532,8 @@ impl DfsJob {
             counts: &counts,
             bounds: BoundTable::new(&counts, &self.rho, self.n),
             gauge: MemGauge::new(&self.live, &self.peak, self.limit),
-            scratch: MultiJoinScratch::default(),
-            outs: Vec::new(),
-            codes: Vec::new(),
+            repr: ReprCache::new(self.repr),
+            bufs: EagerBufs::default(),
             aggs: BTreeMap::new(),
             frequent: Vec::new(),
             deepest: self.base_level,
@@ -509,9 +570,8 @@ struct TaskCtx<'a> {
     counts: &'a OffsetCounts,
     bounds: BoundTable<'a>,
     gauge: MemGauge<'a>,
-    scratch: MultiJoinScratch,
-    outs: Vec<Vec<(u32, u64)>>,
-    codes: Vec<u8>,
+    repr: ReprCache,
+    bufs: EagerBufs,
     aggs: BTreeMap<usize, LevelAgg>,
     frequent: Vec<FrequentPattern>,
     deepest: usize,
@@ -552,9 +612,8 @@ fn descend_split(
         ctx.gap,
         &row,
         &mut next,
-        &mut ctx.scratch,
-        &mut ctx.outs,
-        &mut ctx.codes,
+        &mut ctx.repr,
+        &mut ctx.bufs,
         &mut ctx.frequent,
     );
     ctx.batches += st.batches;
@@ -624,9 +683,8 @@ fn mine_chain(
             ctx.gap,
             &row,
             &mut next,
-            &mut ctx.scratch,
-            &mut ctx.outs,
-            &mut ctx.codes,
+            &mut ctx.repr,
+            &mut ctx.bufs,
             &mut ctx.frequent,
         );
         ctx.batches += st.batches;
@@ -742,9 +800,8 @@ pub(crate) fn run_hybrid<O: MineObserver>(
             },
         );
 
-        let mut scratch = MultiJoinScratch::default();
-        let mut outs_buf: Vec<Vec<(u32, u64)>> = Vec::new();
-        let mut codes_buf: Vec<u8> = Vec::new();
+        let mut repr_cache = ReprCache::new(config.pil_repr);
+        let mut bufs = EagerBufs::default();
         let mut level = start;
         loop {
             if kept.is_empty() || level >= hard_cap || counts.n(level + 1).is_zero() {
@@ -774,6 +831,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     live: Arc::clone(&live),
                     peak: Arc::clone(&peak_shared),
                     first_row,
+                    repr: config.pil_repr,
                     cursor: AtomicUsize::new(0),
                     hooks,
                 });
@@ -834,6 +892,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         live: Arc::clone(&live),
                         peak: Arc::clone(&peak_shared),
                         first_row,
+                        repr: config.pil_repr,
                         cursor: AtomicUsize::new(0),
                         hooks,
                     });
@@ -869,9 +928,8 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         gap,
                         &first_row,
                         &mut next,
-                        &mut scratch,
-                        &mut outs_buf,
-                        &mut codes_buf,
+                        &mut repr_cache,
+                        &mut bufs,
                         &mut frequent,
                     );
                     let agg = LevelAgg {
@@ -1038,6 +1096,25 @@ mod tests {
             for ev in &metrics.subtrees {
                 assert!(ev.deepest >= ev.level);
                 assert!(ev.batches > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_mining_is_representation_invariant() {
+        use crate::adaptive::{PilRepr, ReprPolicy};
+        let seq = uniform(&mut StdRng::seed_from_u64(95), Alphabet::Dna, 400);
+        let g = gap(1, 3);
+        let rho = 0.0008;
+        let base = mpp_dfs(&seq, g, rho, 12, MppConfig::default(), 1).unwrap();
+        for mode in [PilRepr::Sparse, PilRepr::Dense, PilRepr::Auto] {
+            let config = MppConfig {
+                pil_repr: ReprPolicy::of(mode),
+                ..MppConfig::default()
+            };
+            for threads in [1usize, 4] {
+                let run = mpp_dfs(&seq, g, rho, 12, config, threads).unwrap();
+                assert_counters_match(&run, &base, &format!("{mode} on {threads} threads"));
             }
         }
     }

@@ -63,9 +63,10 @@ pub mod trace;
 pub mod verify;
 pub mod windowed;
 
+pub use adaptive::{repr_stats, PilRepr, ReprPolicy, ReprStats};
 pub use counts::OffsetCounts;
 pub use error::MineError;
 pub use gap::GapRequirement;
 pub use pattern::Pattern;
-pub use pil::Pil;
+pub use pil::{DensePil, Pil};
 pub use result::{FrequentPattern, MineOutcome, MineStats};

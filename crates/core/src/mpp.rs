@@ -7,6 +7,7 @@
 //! shared with [`crate::mppm`], which differs only in how `n` is
 //! chosen.
 
+use crate::adaptive::{ReprCache, ReprPolicy};
 use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
@@ -34,6 +35,11 @@ pub struct MppConfig {
     /// [`MineError::MemoryCeiling`] instead of thrashing; `None` is
     /// unlimited.
     pub max_arena_bytes: Option<usize>,
+    /// Per-suffix PIL representation policy for the join kernels
+    /// (sparse sliding-window merge vs dense prefix-sum probe) — a pure
+    /// performance knob; mined output and `MineStats` are bit-identical
+    /// under every setting. See [`crate::adaptive::ReprPolicy`].
+    pub pil_repr: ReprPolicy,
 }
 
 impl Default for MppConfig {
@@ -42,6 +48,7 @@ impl Default for MppConfig {
             start_level: 3,
             max_level: None,
             max_arena_bytes: None,
+            pil_repr: ReprPolicy::default(),
         }
     }
 }
@@ -73,6 +80,7 @@ pub fn mpp_traced<O: MineObserver>(
     observer: &mut O,
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
+    let repr_before = crate::adaptive::repr_stats();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
     let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
@@ -94,6 +102,11 @@ pub fn mpp_traced<O: MineObserver>(
             }
         };
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_repr(
+        &crate::adaptive::repr_stats()
+            .since(repr_before)
+            .to_event(config.pil_repr.mode),
+    );
     observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
 }
@@ -180,6 +193,9 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     // One reused output set: the join fan-out writes into buffers that
     // survive across levels.
     let mut next = PilSet::new(start + 1);
+    // One reused representation cache: per-suffix dense builds live
+    // only for the level that decided them.
+    let mut repr = ReprCache::new(config.pil_repr);
     let mut kept: Vec<usize> = Vec::new();
     let mut level = start;
     let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
@@ -255,7 +271,17 @@ pub(crate) fn run_levelwise<O: MineObserver>(
         let join_started = Instant::now();
         let runs = prefix_runs(&current, &kept);
         next.reset(level + 1);
-        generate_candidates(&current, &kept, &runs, gap, 0, kept.len(), &mut next);
+        repr.begin(current.len());
+        generate_candidates(
+            &current,
+            &kept,
+            &runs,
+            gap,
+            0,
+            kept.len(),
+            &mut next,
+            &mut repr,
+        );
         let live = current.arena_bytes() + next.arena_bytes();
         peak = peak.max(live);
         check_ceiling(config.max_arena_bytes, live)?;
@@ -491,6 +517,37 @@ mod tests {
         let capped = mpp(&s, g, 0.0005, 10, roomy).unwrap();
         let free = mpp(&s, g, 0.0005, 10, MppConfig::default()).unwrap();
         assert_eq!(capped.frequent, free.frequent);
+    }
+
+    #[test]
+    fn mining_is_representation_invariant() {
+        use crate::adaptive::{PilRepr, ReprPolicy};
+        let s = uniform(&mut StdRng::seed_from_u64(18), Alphabet::Dna, 300);
+        let g = gap(0, 3);
+        let rho = 0.0008;
+        let base_cfg = MppConfig {
+            pil_repr: ReprPolicy::of(PilRepr::Sparse),
+            ..MppConfig::default()
+        };
+        let base = mpp(&s, g, rho, 12, base_cfg).unwrap();
+        for mode in [PilRepr::Dense, PilRepr::Auto] {
+            let cfg = MppConfig {
+                pil_repr: ReprPolicy::of(mode),
+                ..MppConfig::default()
+            };
+            let out = mpp(&s, g, rho, 12, cfg).unwrap();
+            assert_eq!(base.frequent, out.frequent, "mode {mode}");
+            assert_eq!(base.stats.n_used, out.stats.n_used);
+            assert_eq!(base.stats.support_saturated, out.stats.support_saturated);
+            assert_eq!(base.stats.levels.len(), out.stats.levels.len());
+            for (a, b) in base.stats.levels.iter().zip(&out.stats.levels) {
+                assert_eq!(
+                    (a.level, a.candidates, a.frequent, a.extended),
+                    (b.level, b.candidates, b.frequent, b.extended),
+                    "mode {mode}"
+                );
+            }
+        }
     }
 
     #[test]

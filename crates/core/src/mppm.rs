@@ -143,6 +143,7 @@ pub fn mppm_traced<O: MineObserver>(
     observer: &mut O,
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
+    let repr_before = crate::adaptive::repr_stats();
     let p = mppm_prelude(seq, gap, rho, m, config, observer)?;
     let run = run_levelwise(
         seq,
@@ -154,7 +155,7 @@ pub fn mppm_traced<O: MineObserver>(
         Some(p.stats_seed),
         observer,
     );
-    finish(run, started, observer)
+    finish(run, started, repr_before, config, observer)
 }
 
 /// [`mppm`] on the hybrid BFS→DFS engine: the same `n` estimate and
@@ -181,6 +182,7 @@ pub fn mppm_dfs_traced<O: MineObserver>(
     observer: &mut O,
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
+    let repr_before = crate::adaptive::repr_stats();
     let p = mppm_prelude(seq, gap, rho, m, config, observer)?;
     let run = crate::dfs::run_hybrid(
         seq,
@@ -194,15 +196,18 @@ pub fn mppm_dfs_traced<O: MineObserver>(
         Some(p.stats_seed),
         observer,
     );
-    finish(run, started, observer)
+    finish(run, started, repr_before, config, observer)
 }
 
 /// Shared MPPm tail: stamp the total wall time and emit the terminal
-/// trace event — [`CompleteEvent`] with the peak, or [`AbortEvent`] on
-/// error.
+/// trace events — the representation histogram delta since
+/// `repr_before` followed by [`CompleteEvent`] with the peak, or
+/// [`AbortEvent`] on error.
 fn finish<O: MineObserver>(
     run: Result<(MineOutcome, usize), MineError>,
     started: Instant,
+    repr_before: crate::adaptive::ReprStats,
+    config: MppConfig,
     observer: &mut O,
 ) -> Result<MineOutcome, MineError> {
     let (mut outcome, peak) = match run {
@@ -215,6 +220,11 @@ fn finish<O: MineObserver>(
         }
     };
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_repr(
+        &crate::adaptive::repr_stats()
+            .since(repr_before)
+            .to_event(config.pil_repr.mode),
+    );
     observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
 }

@@ -30,6 +30,7 @@
 //! (`JoinHandle::is_finished` during receive timeouts) covers the
 //! pathological case of a worker dying without managing to report.
 
+use crate::adaptive::{ReprCache, ReprPolicy};
 use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
@@ -97,6 +98,7 @@ pub fn mpp_parallel_traced<O: MineObserver>(
 ) -> Result<MineOutcome, MineError> {
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
+    let repr_before = crate::adaptive::repr_stats();
     let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
     let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
@@ -128,6 +130,11 @@ pub fn mpp_parallel_traced<O: MineObserver>(
         }
     };
     outcome.stats.total_elapsed = started.elapsed();
+    observer.on_repr(
+        &crate::adaptive::repr_stats()
+            .since(repr_before)
+            .to_event(config.pil_repr.mode),
+    );
     observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
     Ok(outcome)
 }
@@ -214,6 +221,9 @@ struct LevelJob {
     n_chunks: usize,
     cursor: AtomicUsize,
     hooks: PoolHooks,
+    /// PIL representation policy; each chunk builds its own
+    /// [`ReprCache`] (suffix reuse amortizes within a chunk).
+    repr: ReprPolicy,
 }
 
 impl PoolJob for LevelJob {
@@ -240,8 +250,10 @@ impl PoolJob for LevelJob {
         let lo = c * self.chunk;
         let hi = (lo + self.chunk).min(self.kept.len());
         let mut out = PilSet::new(self.next_level);
+        let mut repr = ReprCache::new(self.repr);
+        repr.begin(self.set.len());
         generate_candidates(
-            &self.set, &self.kept, &self.runs, self.gap, lo, hi, &mut out,
+            &self.set, &self.kept, &self.runs, self.gap, lo, hi, &mut out, &mut repr,
         );
         out
     }
@@ -599,6 +611,7 @@ fn run_parallel<O: MineObserver>(
                     n_chunks,
                     cursor: AtomicUsize::new(0),
                     hooks,
+                    repr: config.pil_repr,
                 });
                 let (parts, pool_event) = pool.run(job)?;
                 observer.on_pool(&pool_event);
@@ -606,7 +619,18 @@ fn run_parallel<O: MineObserver>(
             }
             _ => {
                 let mut out = PilSet::new(level + 1);
-                generate_candidates(&current, &kept, &runs, gap, 0, kept.len(), &mut out);
+                let mut repr = ReprCache::new(config.pil_repr);
+                repr.begin(current.len());
+                generate_candidates(
+                    &current,
+                    &kept,
+                    &runs,
+                    gap,
+                    0,
+                    kept.len(),
+                    &mut out,
+                    &mut repr,
+                );
                 out
             }
         };

@@ -22,8 +22,28 @@
 //! per generation, patterns as packed integer keys during seeding — see
 //! [`crate::packed::KeyCodec`]), and [`Pil::build_all`] is a conversion
 //! shell over that engine. [`Pil::join`] short-circuits when either
-//! side is empty and pre-reserves the output from the prefix length
-//! (the result has at most one entry per prefix offset).
+//! side is empty and pre-reserves the output from the overlap span of
+//! the two lists under the gap window (at most one entry per prefix
+//! offset, and none for prefix offsets whose window cannot reach the
+//! suffix range).
+//!
+//! ## Two layouts
+//!
+//! Occurrence lists come in two physical representations:
+//!
+//! * **sparse** — the sorted `(offset, count)` pairs of [`Pil`], joined
+//!   by the sliding-window merge in [`join_into`] /
+//!   [`join_multi_into`]: `O(|A| + |B|)` with two monotone cursors.
+//! * **dense** — [`DensePil`], an exclusive prefix-sum array over the
+//!   occupied offset span, joined by [`join_dense_into`]: one O(1)
+//!   subtraction per prefix offset, `O(|A|)` regardless of `|B|` or the
+//!   window width, at the cost of `span + 1` words of memory and an
+//!   `O(span)` build.
+//!
+//! The dense build amortizes across every prefix sharing the suffix
+//! (the run-local fan-out of candidate generation), which is why the
+//! engines cache it per suffix — see [`crate::adaptive::ReprCache`] for
+//! the occupancy-based policy that picks a side per list.
 
 use crate::gap::GapRequirement;
 use crate::pattern::Pattern;
@@ -149,10 +169,30 @@ impl Pil {
         if prefix.is_empty() || suffix.is_empty() {
             return (Pil::new(), false);
         }
-        // One output entry per prefix offset at most.
-        let mut out = Vec::with_capacity(prefix.len());
+        let mut out = Vec::with_capacity(overlap_reserve(&prefix.entries, &suffix.entries, gap));
         let saturated = join_into(&prefix.entries, &suffix.entries, gap, &mut out);
         (Pil { entries: out }, saturated)
+    }
+
+    /// [`Pil::join_checked`] evaluated through the dense prefix-sum
+    /// kernel ([`DensePil`] + [`join_dense_into`]). Falls back to the
+    /// sparse kernel when the suffix cannot be densified (empty list, or
+    /// total count overflowing `u64` — the only configurations where the
+    /// sparse kernel can saturate), so the result is bit-identical to
+    /// `join_checked` in every case, saturation flag included.
+    pub fn join_dense(prefix: &Pil, suffix: &Pil, gap: GapRequirement) -> (Pil, bool) {
+        if prefix.is_empty() || suffix.is_empty() {
+            return (Pil::new(), false);
+        }
+        match DensePil::build(&suffix.entries) {
+            Some(dense) => {
+                let mut out =
+                    Vec::with_capacity(overlap_reserve(&prefix.entries, &suffix.entries, gap));
+                join_dense_into(&prefix.entries, &dense, gap, &mut out);
+                (Pil { entries: out }, false)
+            }
+            None => Pil::join_checked(prefix, suffix, gap),
+        }
     }
 
     /// Build `PIL(P)` for every length-`level` pattern that occurs in
@@ -168,6 +208,130 @@ impl Pil {
     pub fn build_all(seq: &Sequence, gap: GapRequirement, level: usize) -> HashMap<Pattern, Pil> {
         crate::arena::build_seed(seq, gap, level).into_pil_map()
     }
+}
+
+/// Tight pre-reserve for a join: only prefix offsets whose gap window
+/// `[x + N + 1, x + M + 1]` intersects the suffix's occupied offset
+/// range can produce output, so the bound is the count of those offsets
+/// rather than the whole prefix length. Disjoint ranges reserve zero.
+/// Both lists must be non-empty.
+fn overlap_reserve(a: &[(u32, u64)], b: &[(u32, u64)], gap: GapRequirement) -> usize {
+    let b_first = b[0].0 as u64;
+    let b_last = b[b.len() - 1].0 as u64;
+    let min_step = gap.min_step() as u64;
+    let max_step = gap.max_step() as u64;
+    // Offset x contributes only when its window [x + min_step,
+    // x + max_step] meets [b_first, b_last]; offsets are ascending, so
+    // the contributors form one contiguous run.
+    let from = a.partition_point(|&(x, _)| (x as u64) + max_step < b_first);
+    let to = a.partition_point(|&(x, _)| (x as u64) + min_step <= b_last);
+    to.saturating_sub(from)
+}
+
+/// The dense PIL layout: per-offset counts over the occupied offset
+/// span, stored as an exclusive prefix-sum array so any gap window
+/// collapses to one subtraction.
+///
+/// `psum[i]` holds the total count at offsets below `base + i`
+/// (`psum.len() == span + 1`), so the window sum over offset positions
+/// `[p, q)` is `psum[q − base] − psum[p − base]` once both positions
+/// are clamped into `[base, base + span]`.
+///
+/// Construction fails when the total count does not fit in `u64`.
+/// Every gap window is a sub-range of the total, so a buildable dense
+/// list can never overflow a window sum — which is exactly what keeps
+/// the dense kernel bit-identical to the sparse one: whenever the
+/// sparse kernel could saturate, `build` returns `None` and the caller
+/// stays on the sparse path with its exact saturation tracking.
+#[derive(Clone, Debug)]
+pub struct DensePil {
+    /// First occupied offset.
+    base: u64,
+    /// Exclusive prefix sums over the span; `len == span + 1`.
+    psum: Vec<u64>,
+}
+
+impl DensePil {
+    /// Build from sparse entries (strictly ascending offsets). Returns
+    /// `None` for an empty list or when the total count overflows
+    /// `u64`.
+    pub fn build(entries: &[(u32, u64)]) -> Option<DensePil> {
+        let (&(first, _), &(last, _)) = (entries.first()?, entries.last()?);
+        let base = first as u64;
+        let span = (last as u64 - base) as usize + 1;
+        let mut psum = vec![0u64; span + 1];
+        for &(x, y) in entries {
+            psum[(x as u64 - base) as usize + 1] = y;
+        }
+        let mut acc: u64 = 0;
+        for slot in psum.iter_mut() {
+            acc = acc.checked_add(*slot)?;
+            *slot = acc;
+        }
+        Some(DensePil { base, psum })
+    }
+
+    /// Occupied offset span (number of dense slots).
+    pub fn span(&self) -> usize {
+        self.psum.len() - 1
+    }
+
+    /// Heap bytes held by the prefix-sum array.
+    pub fn bytes(&self) -> usize {
+        self.psum.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// The prefix-sum window probe: for each prefix offset `x` the count is
+/// `psum[hi(x)] − psum[lo(x)]` with `[lo, hi)` the gap window clamped
+/// into the suffix's occupied span — an O(1) probe per offset replacing
+/// the sliding-window merge. Appends to `out` exactly like
+/// [`join_into`] and never saturates (see [`DensePil::build`]).
+///
+/// The probe arithmetic runs over exact-width chunks (`chunks_exact`
+/// into a fixed-size lane buffer) so LLVM vectorizes the clamp/subtract
+/// sequence; output compaction is branch-free — unconditional write,
+/// conditional index advance — then one truncate.
+pub fn join_dense_into(
+    a: &[(u32, u64)],
+    b: &DensePil,
+    gap: GapRequirement,
+    out: &mut Vec<(u32, u64)>,
+) {
+    const LANES: usize = 8;
+    if a.is_empty() {
+        return;
+    }
+    let min_step = gap.min_step() as u64;
+    let max_step = gap.max_step() as u64;
+    let base = b.base;
+    let end = b.base + b.span() as u64;
+    let psum = b.psum.as_slice();
+    let start = out.len();
+    out.resize(start + a.len(), (0, 0));
+    let dst = &mut out[start..];
+    let mut k = 0usize;
+    let mut sums = [0u64; LANES];
+    let mut chunks = a.chunks_exact(LANES);
+    for chunk in chunks.by_ref() {
+        for (s, &(x, _)) in sums.iter_mut().zip(chunk) {
+            let lo = (x as u64 + min_step).clamp(base, end) - base;
+            let hi = (x as u64 + max_step + 1).clamp(base, end) - base;
+            *s = psum[hi as usize] - psum[lo as usize];
+        }
+        for (&(x, _), &w) in chunk.iter().zip(sums.iter()) {
+            dst[k] = (x, w);
+            k += (w > 0) as usize;
+        }
+    }
+    for &(x, _) in chunks.remainder() {
+        let lo = (x as u64 + min_step).clamp(base, end) - base;
+        let hi = (x as u64 + max_step + 1).clamp(base, end) - base;
+        let w = psum[hi as usize] - psum[lo as usize];
+        dst[k] = (x, w);
+        k += (w > 0) as usize;
+    }
+    out.truncate(start + k);
 }
 
 /// The sliding-window join core, appending to a caller-owned buffer so
@@ -478,6 +642,104 @@ mod tests {
                 assert_eq!(scratch.saturated[j], saturated);
             }
         }
+    }
+
+    #[test]
+    fn join_reserve_is_tight_on_disjoint_ranges() {
+        // Prefix offsets far above the suffix range: no gap window can
+        // reach back, so the join must not pre-allocate at all.
+        let a = Pil::from_entries((1000..1100).map(|x| (x, 1u64)).collect());
+        let b = Pil::from_entries(vec![(1, 5), (2, 3)]);
+        let g = gap(1, 3);
+        let (joined, saturated) = Pil::join_checked(&a, &b, g);
+        assert!(joined.is_empty());
+        assert!(!saturated);
+        assert_eq!(joined.entries.capacity(), 0, "disjoint join over-allocated");
+        // Suffix far above every prefix window: same result.
+        let (joined, _) = Pil::join_checked(&b, &a, gap(0, 2));
+        assert!(joined.is_empty());
+        assert_eq!(joined.entries.capacity(), 0);
+        // Partial overlap reserves only the contributing run, not the
+        // whole prefix.
+        let wide = Pil::from_entries((1..=100).map(|x| (x, 1u64)).collect());
+        let narrow = Pil::from_entries(vec![(50, 1)]);
+        let (joined, _) = Pil::join_checked(&wide, &narrow, gap(0, 1));
+        assert_eq!(joined.entries(), &[(48, 1), (49, 1)]);
+        assert!(
+            joined.entries.capacity() < wide.len(),
+            "overlap reserve must beat the prefix-length bound"
+        );
+    }
+
+    #[test]
+    fn dense_build_and_probe_match_sparse_join() {
+        use perigap_seq::gen::iid::uniform;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let s = uniform(&mut StdRng::seed_from_u64(12), Alphabet::Dna, 500);
+        for (n, m) in [(0, 0), (1, 2), (2, 5), (0, 9), (7, 30)] {
+            let g = gap(n, m);
+            let level2 = Pil::build_all(&s, g, 2);
+            let mut pils: Vec<&Pil> = level2.values().collect();
+            pils.sort_by_key(|p| p.entries().first().copied());
+            for a in &pils {
+                for b in &pils {
+                    let sparse = Pil::join_checked(a, b, g);
+                    let dense = Pil::join_dense(a, b, g);
+                    assert_eq!(sparse, dense, "gap [{n}, {m}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_probe_handles_chunk_boundaries() {
+        // Left lengths straddling the 8-lane chunking: 7 (remainder
+        // only), 8 (one exact chunk), 9 (chunk + remainder).
+        let b = Pil::from_entries(vec![(5, 2), (7, 3), (12, 1)]);
+        let g = gap(0, 4);
+        for len in [1u32, 7, 8, 9, 16, 17] {
+            let a = Pil::from_entries((1..=len).map(|x| (x, 1u64)).collect());
+            assert_eq!(
+                Pil::join_dense(&a, &b, g),
+                Pil::join_checked(&a, &b, g),
+                "left length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_build_refuses_overflowing_totals() {
+        // Window sums can overflow u64 only when the total does; build
+        // must refuse so the caller stays on the saturation-exact
+        // sparse kernel.
+        let entries = vec![(3u32, u64::MAX), (4u32, 5u64)];
+        assert!(DensePil::build(&entries).is_none());
+        assert!(DensePil::build(&[]).is_none());
+        // join_dense therefore reproduces the sparse saturation corner
+        // bit-for-bit, flag included.
+        let a = Pil::from_entries(vec![(1, 1)]);
+        let b = Pil::from_entries(entries);
+        let g = gap(1, 5);
+        assert_eq!(Pil::join_dense(&a, &b, g), Pil::join_checked(&a, &b, g));
+        assert!(Pil::join_dense(&a, &b, g).1, "fallback keeps the flag");
+    }
+
+    #[test]
+    fn dense_probe_appends_like_join_into() {
+        // join_dense_into must append after existing content, matching
+        // the arena engine's contract with join_into.
+        let a: Vec<(u32, u64)> = vec![(1, 1), (4, 2)];
+        let b: Vec<(u32, u64)> = vec![(3, 5), (6, 7)];
+        let g = gap(1, 2);
+        let dense = DensePil::build(&b).unwrap();
+        assert_eq!(dense.span(), 4);
+        assert_eq!(dense.bytes(), 5 * 8);
+        let mut out = vec![(99, 99)];
+        join_dense_into(&a, &dense, g, &mut out);
+        let mut expect = vec![(99, 99)];
+        join_into(&a, &b, g, &mut expect);
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 //! | `pool` | `level`, `chunks`, `workers` (array of `{worker, chunks, candidates, busy_ms, idle_ms}`) |
 //! | `subtree` | `index`, `level`, `patterns`, `deepest`, `evaluated`, `frequent`, `peak_arena_bytes`, `batches`, `batch_candidates`, `elapsed_ms` |
 //! | `em` | `m`, `em`, `elapsed_ms` |
+//! | `repr` | `mode`, `dense`, `sparse`, `fallbacks` |
 //! | `abort` | `message` |
 //! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `peak_arena_bytes`, `total_ms` |
 //!
@@ -170,6 +171,24 @@ pub struct SubtreeEvent {
     pub elapsed: Duration,
 }
 
+/// Per-list PIL representation choices made during a run (the
+/// [`crate::adaptive::ReprCache`] histogram): how many suffix lists
+/// were materialised as dense prefix-sum arrays, how many stayed
+/// sparse, and how many dense candidates fell back to sparse because
+/// their total count sum would overflow `u64`. Purely informational —
+/// mined patterns and [`crate::MineStats`] are identical across modes.
+#[derive(Clone, Debug)]
+pub struct ReprEvent {
+    /// The configured [`crate::adaptive::PilRepr`] mode, rendered.
+    pub mode: String,
+    /// Lists joined through the dense prefix-sum kernel.
+    pub dense: u64,
+    /// Lists joined through the sparse sliding-window kernel.
+    pub sparse: u64,
+    /// Dense candidates refused by the overflow guard.
+    pub fallbacks: u64,
+}
+
 /// A mine cut short by an error after events were already emitted —
 /// e.g. [`crate::MineError::MemoryCeiling`]. Terminal: no `summary`
 /// follows.
@@ -234,6 +253,9 @@ pub trait MineObserver {
     fn on_subtree(&mut self, _event: &SubtreeEvent) {}
     /// MPPm computed `e_m`.
     fn on_em(&mut self, _event: &EmEvent) {}
+    /// The run's PIL representation histogram (emitted once, before
+    /// the completion event).
+    fn on_repr(&mut self, _event: &ReprEvent) {}
     /// The mine aborted after partial progress (terminal).
     fn on_abort(&mut self, _event: &AbortEvent) {}
     /// The mine finished.
@@ -261,6 +283,9 @@ impl<O: MineObserver + ?Sized> MineObserver for &mut O {
     }
     fn on_em(&mut self, event: &EmEvent) {
         (**self).on_em(event);
+    }
+    fn on_repr(&mut self, event: &ReprEvent) {
+        (**self).on_repr(event);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         (**self).on_abort(event);
@@ -290,6 +315,10 @@ impl<A: MineObserver, B: MineObserver> MineObserver for (A, B) {
     fn on_em(&mut self, event: &EmEvent) {
         self.0.on_em(event);
         self.1.on_em(event);
+    }
+    fn on_repr(&mut self, event: &ReprEvent) {
+        self.0.on_repr(event);
+        self.1.on_repr(event);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.0.on_abort(event);
@@ -325,6 +354,11 @@ impl<O: MineObserver> MineObserver for Option<O> {
     fn on_em(&mut self, event: &EmEvent) {
         if let Some(o) = self {
             o.on_em(event);
+        }
+    }
+    fn on_repr(&mut self, event: &ReprEvent) {
+        if let Some(o) = self {
+            o.on_repr(event);
         }
     }
     fn on_abort(&mut self, event: &AbortEvent) {
@@ -468,6 +502,16 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
         ));
     }
 
+    fn on_repr(&mut self, e: &ReprEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"repr\", \"mode\": \"{}\", \"dense\": {}, \"sparse\": {}, \"fallbacks\": {}}}",
+            escape_json(&e.mode),
+            e.dense,
+            e.sparse,
+            e.fallbacks
+        ));
+    }
+
     fn on_abort(&mut self, e: &AbortEvent) {
         self.write_line(&format!(
             "{{\"event\": \"abort\", \"message\": \"{}\"}}",
@@ -503,6 +547,8 @@ pub struct MetricsObserver {
     pub subtrees: Vec<SubtreeEvent>,
     /// The `e_m` event, if the mine was MPPm.
     pub em: Option<EmEvent>,
+    /// The PIL representation histogram, if the engine emitted one.
+    pub repr: Option<ReprEvent>,
     /// The abort event, if the mine was cut short.
     pub abort: Option<AbortEvent>,
     /// The completion event.
@@ -592,6 +638,13 @@ impl MetricsObserver {
                 ms(s.elapsed)
             );
         }
+        if let Some(r) = &self.repr {
+            let _ = writeln!(
+                out,
+                "  pil repr ({}): {} dense | {} sparse | {} fallbacks",
+                r.mode, r.dense, r.sparse, r.fallbacks
+            );
+        }
         if let Some(a) = &self.abort {
             let _ = writeln!(out, "  ABORTED: {}", a.message);
         }
@@ -631,6 +684,9 @@ impl MineObserver for MetricsObserver {
     }
     fn on_em(&mut self, event: &EmEvent) {
         self.em = Some(event.clone());
+    }
+    fn on_repr(&mut self, event: &ReprEvent) {
+        self.repr = Some(event.clone());
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.abort = Some(event.clone());
@@ -976,7 +1032,7 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
                     .ok_or(format!("line {lineno}: abort event without message"))?;
                 aborted = true;
             }
-            "seed" | "pool" | "subtree" | "em" => {}
+            "seed" | "pool" | "subtree" | "em" | "repr" => {}
             other => return Err(format!("line {lineno}: unknown event {other:?}")),
         }
     }
@@ -1099,15 +1155,25 @@ mod tests {
             em: 12,
             elapsed: Duration::from_millis(1),
         });
+        sink.on_repr(&ReprEvent {
+            mode: "auto".into(),
+            dense: 30,
+            sparse: 12,
+            fallbacks: 1,
+        });
         sink.on_complete(&complete_event(2));
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
         assert!(text.contains("\"arena_bytes\": 4096"), "{text}");
         assert!(text.contains("\"peak_arena_bytes\": 8192"), "{text}");
+        assert!(
+            text.contains("\"event\": \"repr\", \"mode\": \"auto\", \"dense\": 30"),
+            "{text}"
+        );
         let report = validate_trace(&text).unwrap();
         assert_eq!(report.level_events, 2);
         assert_eq!(report.frequent, 20);
         assert_eq!(report.total_candidates, 128);
-        assert_eq!(report.lines, 7);
+        assert_eq!(report.lines, 8);
         assert!(!report.aborted);
     }
 
@@ -1222,10 +1288,20 @@ mod tests {
             elapsed: Duration::from_millis(1),
         });
         m.on_level(&level_event(3));
+        m.on_repr(&ReprEvent {
+            mode: "auto".into(),
+            dense: 5,
+            sparse: 3,
+            fallbacks: 0,
+        });
         m.on_complete(&complete_event(1));
         let text = m.render();
         assert!(text.contains("e_m = 42"), "{text}");
         assert!(text.contains("10 frequent"), "{text}");
+        assert!(
+            text.contains("pil repr (auto): 5 dense | 3 sparse"),
+            "{text}"
+        );
         assert_eq!(m.total_candidates(), 64);
     }
 }

@@ -38,6 +38,7 @@ pub mod prelude {
     pub use perigap_core::windowed::windowed_mine;
     pub use perigap_core::{
         FrequentPattern, GapRequirement, MineError, MineOutcome, OffsetCounts, Pattern, Pil,
+        PilRepr, ReprPolicy,
     };
     pub use perigap_seq::{Alphabet, Sequence};
 }

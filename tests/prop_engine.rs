@@ -3,8 +3,9 @@
 //! requirements (including the degenerate `N == M`) and alphabets
 //! (dense-table DNA, sparse-key protein, and an odd-sized custom set).
 
+use perigap::core::adaptive::ReprCache;
 use perigap::core::naive::support_dp;
-use perigap::core::pil::Pil;
+use perigap::core::pil::{join_dense_into, join_multi_into, DensePil, MultiJoinScratch, Pil};
 use perigap::core::reference::{build_all_reference, mpp_reference};
 use perigap::prelude::*;
 use proptest::prelude::*;
@@ -28,6 +29,28 @@ fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
 /// Strategy: a gap requirement, biased to include `N == M`.
 fn gap_req() -> impl Strategy<Value = (usize, usize)> {
     (0usize..4, 0usize..3).prop_map(|(n, w)| (n, n + w))
+}
+
+/// Strategy: one PIL entry count — mostly small, sometimes huge enough
+/// that a handful of entries overflow `u64` when summed (the corner
+/// where `DensePil::build` must refuse and the saturating sparse walk
+/// takes over).
+fn entry_count() -> impl Strategy<Value = u64> {
+    (0u8..6, 1u64..1_000).prop_map(|(which, small)| match which {
+        4 => u64::MAX / 3,
+        5 => u64::MAX,
+        _ => small,
+    })
+}
+
+/// Strategy: arbitrary sorted-unique PIL entries over a narrow offset
+/// range (so dense and sparse regimes both occur), including empty.
+fn pil_entries() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    collection::vec((0u32..300, entry_count()), 0..40).prop_map(|mut v| {
+        v.sort_by_key(|&(x, _)| x);
+        v.dedup_by_key(|e| e.0);
+        v
+    })
 }
 
 proptest! {
@@ -102,6 +125,132 @@ proptest! {
         let serial = mpp(&seq, gap, rho, 8, config).unwrap();
         prop_assert_eq!(serial.frequent.len(), new.frequent.len());
         for (a, b) in serial.frequent.iter().zip(&new.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+        }
+    }
+
+    #[test]
+    fn dense_join_agrees_with_sparse_reference(
+        (a, b, (n, m)) in (pil_entries(), pil_entries(), gap_req())
+    ) {
+        let gap = GapRequirement::new(n, m).unwrap();
+        let prefix = Pil::from_entries(a);
+        let suffix = Pil::from_entries(b);
+        let (sparse, sparse_sat) = Pil::join_checked(&prefix, &suffix, gap);
+        // The public dense entry point (falls back to sparse when the
+        // suffix total overflows u64) must be exactly equivalent,
+        // saturation flag included.
+        let (dense, dense_sat) = Pil::join_dense(&prefix, &suffix, gap);
+        prop_assert_eq!(dense.entries(), sparse.entries());
+        prop_assert_eq!(dense_sat, sparse_sat);
+        // When the dense build is possible, the raw kernel agrees too —
+        // and a buildable suffix can never saturate any window.
+        if let Some(d) = DensePil::build(suffix.entries()) {
+            let mut out = Vec::new();
+            join_dense_into(prefix.entries(), &d, gap, &mut out);
+            prop_assert_eq!(out.as_slice(), sparse.entries());
+            prop_assert!(!sparse_sat);
+        }
+    }
+
+    #[test]
+    fn batched_and_cache_dispatched_joins_agree(
+        (a, partners, (n, m), crossover) in (
+            pil_entries(),
+            collection::vec(pil_entries(), 1..6),
+            gap_req(),
+            (0u8..3).prop_map(|w| match w {
+                0 => 0.0f64,
+                1 => 0.25,
+                _ => 1.0,
+            }),
+        )
+    ) {
+        let gap = GapRequirement::new(n, m).unwrap();
+        let prefix = Pil::from_entries(a);
+        let suffixes: Vec<Pil> = partners.into_iter().map(Pil::from_entries).collect();
+        let expected: Vec<(Pil, bool)> = suffixes
+            .iter()
+            .map(|s| Pil::join_checked(&prefix, s, gap))
+            .collect();
+
+        // The batched multi-suffix walk (one pass over the prefix).
+        let views: Vec<&[(u32, u64)]> = suffixes.iter().map(|s| s.entries()).collect();
+        let mut outs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); views.len()];
+        let mut scratch = MultiJoinScratch::default();
+        join_multi_into(prefix.entries(), &views, gap, &mut outs, &mut scratch);
+        for (j, (pil, sat)) in expected.iter().enumerate() {
+            prop_assert_eq!(outs[j].as_slice(), pil.entries(), "partner {}", j);
+            prop_assert_eq!(scratch.saturated[j], *sat, "partner {}", j);
+        }
+
+        // The adaptive cache dispatch (what the engines run), across
+        // crossover extremes: always-sparse, default, always-dense.
+        let policy = ReprPolicy {
+            crossover,
+            ..ReprPolicy::default()
+        };
+        let mut cache = ReprCache::new(policy);
+        cache.begin(suffixes.len());
+        for (j, s) in suffixes.iter().enumerate() {
+            let (pil, sat) = &expected[j];
+            match cache.dense_for(j, s.entries()) {
+                Some(d) => {
+                    let mut out = Vec::new();
+                    join_dense_into(prefix.entries(), d, gap, &mut out);
+                    prop_assert_eq!(out.as_slice(), pil.entries(), "dense partner {}", j);
+                    prop_assert!(!sat, "a dense-joinable partner cannot saturate");
+                }
+                None => {
+                    let (again, sat_again) = Pil::join_checked(&prefix, s, gap);
+                    prop_assert_eq!(again.entries(), pil.entries());
+                    prop_assert_eq!(sat_again, *sat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mining_agrees_across_pil_repr(
+        (alpha, codes, (n, m), rho_scale, mode) in (
+            alphabet(),
+            codes(60),
+            gap_req(),
+            1usize..40,
+            (0u8..2).prop_map(|w| if w == 0 { PilRepr::Auto } else { PilRepr::Dense }),
+        )
+    ) {
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = rho_scale as f64 * 1e-4;
+        let sparse_config = MppConfig {
+            pil_repr: ReprPolicy::of(PilRepr::Sparse),
+            ..MppConfig::default()
+        };
+        let config = MppConfig {
+            pil_repr: ReprPolicy::of(mode),
+            ..MppConfig::default()
+        };
+        let base = mpp(&seq, gap, rho, 8, sparse_config);
+        let run = mpp(&seq, gap, rho, 8, config);
+        prop_assert_eq!(base.is_ok(), run.is_ok());
+        let Ok(base) = base else { return Ok(()) };
+        let run = run.unwrap();
+        prop_assert_eq!(base.frequent.len(), run.frequent.len());
+        for (a, b) in base.frequent.iter().zip(&run.frequent) {
+            prop_assert_eq!(&a.pattern, &b.pattern);
+            prop_assert_eq!(a.support, b.support);
+        }
+        prop_assert_eq!(base.stats.support_saturated, run.stats.support_saturated);
+        for (a, b) in base.stats.levels.iter().zip(&run.stats.levels) {
+            prop_assert_eq!(a.candidates, b.candidates, "level {}", a.level);
+            prop_assert_eq!(a.frequent, b.frequent, "level {}", a.level);
+            prop_assert_eq!(a.extended, b.extended, "level {}", a.level);
+        }
+        let dfs = mpp_dfs(&seq, gap, rho, 8, config, 2).unwrap();
+        prop_assert_eq!(base.frequent.len(), dfs.frequent.len());
+        for (a, b) in base.frequent.iter().zip(&dfs.frequent) {
             prop_assert_eq!(&a.pattern, &b.pattern);
             prop_assert_eq!(a.support, b.support);
         }
