@@ -82,12 +82,12 @@ pub fn permutation_study<R: Rng + ?Sized>(
     shuffles: usize,
 ) -> Result<PermutationReport, MineError> {
     let config = MppConfig::default();
-    let real = mppm(seq, gap, rho, m, config)?;
+    let real = mppm(seq, gap, rho, m, config.clone())?;
     let mut null_counts = Vec::with_capacity(shuffles);
     let mut null_longest = Vec::with_capacity(shuffles);
     for _ in 0..shuffles {
         let shuffled = shuffle_sequence(rng, seq);
-        let outcome: MineOutcome = mppm(&shuffled, gap, rho, m, config)?;
+        let outcome: MineOutcome = mppm(&shuffled, gap, rho, m, config.clone())?;
         null_counts.push(outcome.frequent.len());
         null_longest.push(outcome.longest_len());
     }

@@ -134,10 +134,10 @@ pub fn run(quick: bool) {
     let e2e_seq = scaling_sequence(e2e_len);
     let config = MppConfig::default();
     let (old_outcome, e2e_ref) = best_of(reps.min(2), || {
-        mpp_reference(&e2e_seq, gap, RHO, N, config, THREADS).unwrap()
+        mpp_reference(&e2e_seq, gap, RHO, N, config.clone(), THREADS).unwrap()
     });
     let (new_outcome, e2e_new) = best_of(reps.min(2), || {
-        mpp_parallel(&e2e_seq, gap, RHO, N, config, THREADS).unwrap()
+        mpp_parallel(&e2e_seq, gap, RHO, N, config.clone(), THREADS).unwrap()
     });
     assert_eq!(
         old_outcome.frequent.len(),
@@ -156,7 +156,8 @@ pub fn run(quick: bool) {
     let mut matrix = String::from("[");
     for (i, &len) in matrix_lens.iter().enumerate() {
         let seq = scaling_sequence(len);
-        let (outcome, total) = timed(|| mpp_parallel(&seq, gap, RHO, N, config, THREADS).unwrap());
+        let (outcome, total) =
+            timed(|| mpp_parallel(&seq, gap, RHO, N, config.clone(), THREADS).unwrap());
         println!(
             "bench: matrix L = {len}: {:.1} ms over {} levels",
             ms(total),
@@ -185,10 +186,17 @@ pub fn run(quick: bool) {
     let pp_m = 8;
     let pp_seq = scaling_sequence(pp_len);
     let mut lambda_metrics = MetricsObserver::new();
-    let lambda = mpp_traced(&pp_seq, gap, RHO, N, config, &mut lambda_metrics).unwrap();
+    let lambda = mpp_traced(&pp_seq, gap, RHO, N, config.clone(), &mut lambda_metrics).unwrap();
     let mut lambda_prime_metrics = MetricsObserver::new();
-    let lambda_prime =
-        mppm_traced(&pp_seq, gap, RHO, pp_m, config, &mut lambda_prime_metrics).unwrap();
+    let lambda_prime = mppm_traced(
+        &pp_seq,
+        gap,
+        RHO,
+        pp_m,
+        config.clone(),
+        &mut lambda_prime_metrics,
+    )
+    .unwrap();
     assert_eq!(
         lambda.frequent.len(),
         lambda_prime.frequent.len(),
@@ -216,6 +224,7 @@ pub fn run(quick: bool) {
     );
 
     let engine_comparison = engine_comparison(&e2e_seq, gap, reps);
+    let spill = spill_overhead(&e2e_seq, gap, reps);
     let join_kernel = join_kernel(&e2e_seq, gap, if quick { 50 } else { 200 });
 
     // The adaptive-layout section (ISSUE-4): occupancy kernel sweep,
@@ -226,7 +235,7 @@ pub fn run(quick: bool) {
     let dfs_sweep = super::pil_repr::dfs_sweep(quick);
 
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"join_kernel\": {join_kernel},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
@@ -261,18 +270,35 @@ fn engine_comparison(seq: &perigap_seq::Sequence, gap: GapRequirement, reps: usi
         seq.len()
     );
     let (_, bfs_wall) = best_of(reps, || {
-        mpp_parallel(seq, gap, RHO, N, config, ENGINE_THREADS).unwrap()
+        mpp_parallel(seq, gap, RHO, N, config.clone(), ENGINE_THREADS).unwrap()
     });
     let (_, dfs_wall) = best_of(reps, || {
-        mpp_dfs(seq, gap, RHO, N, config, ENGINE_THREADS).unwrap()
+        mpp_dfs(seq, gap, RHO, N, config.clone(), ENGINE_THREADS).unwrap()
     });
     // Peaks come from one traced run each; the gauge is deterministic
     // across thread schedules (transient chunk buffers are unaccounted).
     let mut bfs_metrics = MetricsObserver::new();
-    let bfs =
-        mpp_parallel_traced(seq, gap, RHO, N, config, ENGINE_THREADS, &mut bfs_metrics).unwrap();
+    let bfs = mpp_parallel_traced(
+        seq,
+        gap,
+        RHO,
+        N,
+        config.clone(),
+        ENGINE_THREADS,
+        &mut bfs_metrics,
+    )
+    .unwrap();
     let mut dfs_metrics = MetricsObserver::new();
-    let dfs = mpp_dfs_traced(seq, gap, RHO, N, config, ENGINE_THREADS, &mut dfs_metrics).unwrap();
+    let dfs = mpp_dfs_traced(
+        seq,
+        gap,
+        RHO,
+        N,
+        config.clone(),
+        ENGINE_THREADS,
+        &mut dfs_metrics,
+    )
+    .unwrap();
     let bfs_peak = bfs_metrics.complete.as_ref().unwrap().peak_arena_bytes;
     let dfs_peak = dfs_metrics.complete.as_ref().unwrap().peak_arena_bytes;
 
@@ -311,6 +337,84 @@ fn engine_comparison(seq: &perigap_seq::Sequence, gap: GapRequirement, reps: usi
         ms(bfs_wall),
         ms(dfs_wall),
         bfs_peak as f64 / dfs_peak as f64
+    )
+}
+
+/// Spill-to-disk overhead on the acceptance config: the DFS engine
+/// unbounded vs under 2–3 arena ceilings derived from its own measured
+/// peak, spilling to a temp dir with a zero watermark (spill on every
+/// handoff). A ceiling whose hot working set genuinely does not fit is
+/// reported as `completed: false` rather than papered over. Returns
+/// the JSON fragment.
+fn spill_overhead(seq: &perigap_seq::Sequence, gap: GapRequirement, reps: usize) -> String {
+    println!(
+        "bench: spill overhead, {ENGINE_THREADS} threads, L = {}",
+        seq.len()
+    );
+    let mut metrics = MetricsObserver::new();
+    let base = mpp_dfs_traced(
+        seq,
+        gap,
+        RHO,
+        N,
+        MppConfig::default(),
+        ENGINE_THREADS,
+        &mut metrics,
+    )
+    .unwrap();
+    let peak = metrics.complete.as_ref().unwrap().peak_arena_bytes;
+    let (_, unbounded_wall) = best_of(reps, || {
+        mpp_dfs(seq, gap, RHO, N, MppConfig::default(), ENGINE_THREADS).unwrap()
+    });
+    let dir = std::env::temp_dir().join(format!("perigap-bench-spill-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for pct in [150usize, 100, 75] {
+        let cap = (peak * pct / 100).max(1);
+        let config = MppConfig {
+            max_arena_bytes: Some(cap),
+            spill_dir: Some(dir.clone()),
+            spill_watermark: 0.0,
+            ..MppConfig::default()
+        };
+        match mpp_dfs(seq, gap, RHO, N, config.clone(), ENGINE_THREADS) {
+            Ok(outcome) => {
+                assert_eq!(
+                    outcome.frequent, base.frequent,
+                    "spilling changed the pattern set at {pct}% ceiling"
+                );
+                let (_, wall) = best_of(reps, || {
+                    mpp_dfs(seq, gap, RHO, N, config.clone(), ENGINE_THREADS).unwrap()
+                });
+                let overhead = wall.as_secs_f64() / unbounded_wall.as_secs_f64();
+                println!(
+                    "  ceiling {pct}% ({cap} B): {:.1} ms ({overhead:.2}x) | {} records / {} B spilled",
+                    ms(wall),
+                    outcome.stats.spilled_records,
+                    outcome.stats.spilled_bytes
+                );
+                rows.push(format!(
+                    "{{\"ceiling_pct\": {pct}, \"cap_bytes\": {cap}, \"completed\": true, \"wall_ms\": {:.3}, \"overhead\": {overhead:.3}, \"spilled_records\": {}, \"spilled_bytes\": {}, \"restored_records\": {}, \"restored_bytes\": {}}}",
+                    ms(wall),
+                    outcome.stats.spilled_records,
+                    outcome.stats.spilled_bytes,
+                    outcome.stats.restored_records,
+                    outcome.stats.restored_bytes
+                ));
+            }
+            Err(e) => {
+                println!("  ceiling {pct}% ({cap} B): aborted ({e})");
+                rows.push(format!(
+                    "{{\"ceiling_pct\": {pct}, \"cap_bytes\": {cap}, \"completed\": false, \"error\": \"{e}\"}}"
+                ));
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    format!(
+        "{{\"length\": {}, \"threads\": {ENGINE_THREADS}, \"unbounded_ms\": {:.3}, \"unbounded_peak_arena_bytes\": {peak}, \"ceilings\": [{}]}}",
+        seq.len(),
+        ms(unbounded_wall),
+        rows.join(", ")
     )
 }
 

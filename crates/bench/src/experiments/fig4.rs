@@ -44,13 +44,15 @@ pub fn sweep(seq_len: usize, include_worst: bool, rhos_percent: &[f64]) -> Vec<F
     let mut rows = Vec::new();
     for &rho_pct in rhos_percent {
         let rho = rho_pct / 100.0;
-        let (auto, t_mppm) = timed(|| mppm(&seq, gap, rho, paper::M, config).expect("mppm runs"));
+        let (auto, t_mppm) =
+            timed(|| mppm(&seq, gap, rho, paper::M, config.clone()).expect("mppm runs"));
         let no = auto.longest_len().max(3);
-        let (best, t_best) = timed(|| mpp(&seq, gap, rho, no, config).expect("mpp best runs"));
+        let (best, t_best) =
+            timed(|| mpp(&seq, gap, rho, no, config.clone()).expect("mpp best runs"));
         debug_assert_eq!(best.frequent.len(), auto.frequent.len());
         let t_worst = include_worst.then(|| {
             let l1 = gap.l1(seq.len());
-            timed(|| mpp(&seq, gap, rho, l1, config).expect("mpp worst runs")).1
+            timed(|| mpp(&seq, gap, rho, l1, config.clone()).expect("mpp worst runs")).1
         });
         rows.push(Fig4Row {
             rho,

@@ -296,7 +296,7 @@ pub fn mining_section(quick: bool, forced: Option<PilRepr>) -> String {
         };
         let before = repr_stats();
         let (outcome, wall) = timed_median(1, || {
-            mpp_parallel(&seq, gap, RHO, N, config, THREADS).expect("mining runs")
+            mpp_parallel(&seq, gap, RHO, N, config.clone(), THREADS).expect("mining runs")
         });
         let hist = repr_stats().since(before);
         match &reference {
@@ -446,10 +446,21 @@ pub fn dfs_sweep(quick: bool) -> String {
             sweep_point(
                 reps,
                 pct(rho),
-                |o| mppm_traced(&seq, paper_gap, rho, paper::M, config, o).expect("mppm runs"),
                 |o| {
-                    mppm_dfs_traced(&seq, paper_gap, rho, paper::M, config, ENGINE_THREADS, o)
-                        .expect("mppm_dfs runs")
+                    mppm_traced(&seq, paper_gap, rho, paper::M, config.clone(), o)
+                        .expect("mppm runs")
+                },
+                |o| {
+                    mppm_dfs_traced(
+                        &seq,
+                        paper_gap,
+                        rho,
+                        paper::M,
+                        config.clone(),
+                        ENGINE_THREADS,
+                        o,
+                    )
+                    .expect("mppm_dfs runs")
                 },
             )
         })
@@ -469,12 +480,28 @@ pub fn dfs_sweep(quick: bool) -> String {
                 reps,
                 n.to_string(),
                 |o| {
-                    mpp_parallel_traced(&seq, paper_gap, paper::RHO, n, config, ENGINE_THREADS, o)
-                        .expect("mpp_parallel runs")
+                    mpp_parallel_traced(
+                        &seq,
+                        paper_gap,
+                        paper::RHO,
+                        n,
+                        config.clone(),
+                        ENGINE_THREADS,
+                        o,
+                    )
+                    .expect("mpp_parallel runs")
                 },
                 |o| {
-                    mpp_dfs_traced(&seq, paper_gap, paper::RHO, n, config, ENGINE_THREADS, o)
-                        .expect("mpp_dfs runs")
+                    mpp_dfs_traced(
+                        &seq,
+                        paper_gap,
+                        paper::RHO,
+                        n,
+                        config.clone(),
+                        ENGINE_THREADS,
+                        o,
+                    )
+                    .expect("mpp_dfs runs")
                 },
             )
         })
@@ -495,9 +522,9 @@ pub fn dfs_sweep(quick: bool) -> String {
             sweep_point(
                 reps,
                 format!("W={w}"),
-                |o| mppm_traced(&seq, gap, paper::RHO, 8, config, o).expect("mppm runs"),
+                |o| mppm_traced(&seq, gap, paper::RHO, 8, config.clone(), o).expect("mppm runs"),
                 |o| {
-                    mppm_dfs_traced(&seq, gap, paper::RHO, 8, config, ENGINE_THREADS, o)
+                    mppm_dfs_traced(&seq, gap, paper::RHO, 8, config.clone(), ENGINE_THREADS, o)
                         .expect("mppm_dfs runs")
                 },
             )
@@ -518,9 +545,9 @@ pub fn dfs_sweep(quick: bool) -> String {
             sweep_point(
                 reps,
                 format!("N={gmin}"),
-                |o| mppm_traced(&seq, gap, paper::RHO, 8, config, o).expect("mppm runs"),
+                |o| mppm_traced(&seq, gap, paper::RHO, 8, config.clone(), o).expect("mppm runs"),
                 |o| {
-                    mppm_dfs_traced(&seq, gap, paper::RHO, 8, config, ENGINE_THREADS, o)
+                    mppm_dfs_traced(&seq, gap, paper::RHO, 8, config.clone(), ENGINE_THREADS, o)
                         .expect("mppm_dfs runs")
                 },
             )
@@ -542,7 +569,7 @@ pub fn dfs_sweep(quick: bool) -> String {
                 reps,
                 len.to_string(),
                 |o| {
-                    mppm_traced(&seq, paper_gap, paper::RHO, paper::M, config, o)
+                    mppm_traced(&seq, paper_gap, paper::RHO, paper::M, config.clone(), o)
                         .expect("mppm runs")
                 },
                 |o| {
@@ -551,7 +578,7 @@ pub fn dfs_sweep(quick: bool) -> String {
                         paper_gap,
                         paper::RHO,
                         paper::M,
-                        config,
+                        config.clone(),
                         ENGINE_THREADS,
                         o,
                     )

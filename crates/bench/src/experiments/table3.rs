@@ -32,10 +32,11 @@ pub fn run(seq_len: usize) {
     let gap = GapRequirement::new(paper::GAP_MIN, paper::GAP_MAX).expect("static gap");
     let config = MppConfig::default();
 
-    let auto = mppm(&seq, gap, paper::RHO, paper::M, config).expect("mppm runs");
+    let auto = mppm(&seq, gap, paper::RHO, paper::M, config.clone()).expect("mppm runs");
     let no = auto.longest_len().max(3);
-    let best = mpp(&seq, gap, paper::RHO, no, config).expect("mpp best runs");
-    let worst = mpp(&seq, gap, paper::RHO, gap.l1(seq.len()), config).expect("mpp worst runs");
+    let best = mpp(&seq, gap, paper::RHO, no, config.clone()).expect("mpp best runs");
+    let worst =
+        mpp(&seq, gap, paper::RHO, gap.l1(seq.len()), config.clone()).expect("mpp worst runs");
 
     let auto_counts = counts_by_level(&auto.stats);
     let best_counts = counts_by_level(&best.stats);
@@ -86,10 +87,10 @@ mod tests {
         let seq = ax_fragment(500);
         let gap = GapRequirement::new(paper::GAP_MIN, paper::GAP_MAX).unwrap();
         let config = MppConfig::default();
-        let auto = mppm(&seq, gap, paper::RHO, 6, config).unwrap();
+        let auto = mppm(&seq, gap, paper::RHO, 6, config.clone()).unwrap();
         let no = auto.longest_len().max(3);
-        let best = mpp(&seq, gap, paper::RHO, no, config).unwrap();
-        let worst = mpp(&seq, gap, paper::RHO, gap.l1(500), config).unwrap();
+        let best = mpp(&seq, gap, paper::RHO, no, config.clone()).unwrap();
+        let worst = mpp(&seq, gap, paper::RHO, gap.l1(500), config.clone()).unwrap();
         assert!(best.stats.total_candidates() <= auto.stats.total_candidates());
         assert!(auto.stats.total_candidates() <= worst.stats.total_candidates());
         // All three find the same frequent set.

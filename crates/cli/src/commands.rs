@@ -30,6 +30,10 @@ USAGE:
                [--engine bfs|dfs  mpp/mppm; dfs = depth-first subtrees]
                [--threads <k>  mpp, or mppm with --engine dfs]
                [--max-arena-bytes <bytes>  abort if live arenas exceed]
+               [--spill-dir <dir>  --engine dfs: spill cold subtrees to
+                disk instead of aborting at the ceiling]
+               [--spill-watermark <frac>  spill once live arenas reach
+                frac * ceiling (default 0.5)]
                [--pil-repr auto|sparse|dense  per-list PIL join layout;
                 output-identical, performance only]
                [--format table|tsv] [--save <path.pgst>] [--verify]
@@ -73,6 +77,8 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "trace",
             "engine",
             "max-arena-bytes",
+            "spill-dir",
+            "spill-watermark",
             "pil-repr",
         ],
         &["verify", "metrics"],
@@ -162,11 +168,20 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         Some(raw) => ReprPolicy::of(raw.parse::<PilRepr>().map_err(ArgError)?),
         None => ReprPolicy::default(),
     };
-    let config = MppConfig {
-        max_level,
-        max_arena_bytes,
-        pil_repr,
-        ..MppConfig::default()
+    let spill_dir = args.get("spill-dir").map(std::path::PathBuf::from);
+    let spill_watermark: f64 = match args.get("spill-watermark") {
+        Some(raw) => {
+            let v: f64 = raw
+                .parse()
+                .map_err(|_| ArgError(format!("bad --spill-watermark {raw:?}")))?;
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArgError(format!(
+                    "--spill-watermark must be in 0.0..=1.0 (got {raw})"
+                )));
+            }
+            v
+        }
+        None => MppConfig::default().spill_watermark,
     };
 
     let engine = args.get("engine").unwrap_or("bfs");
@@ -180,6 +195,35 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
             "--engine/--max-arena-bytes apply to --algorithm mpp or mppm only (got {algorithm:?})"
         )));
     }
+    if args.get("spill-watermark").is_some() && spill_dir.is_none() {
+        return Err(ArgError(
+            "--spill-watermark needs --spill-dir to have any effect".into(),
+        ));
+    }
+    if spill_dir.is_some() {
+        if max_arena_bytes.is_none() {
+            return Err(ArgError(
+                "--spill-dir needs --max-arena-bytes: without a ceiling there \
+                 is nothing to spill under"
+                    .into(),
+            ));
+        }
+        if engine != "dfs" {
+            return Err(ArgError(
+                "--spill-dir applies to --engine dfs only: the BFS engines \
+                 abort at the ceiling"
+                    .into(),
+            ));
+        }
+    }
+    let config = MppConfig {
+        max_level,
+        max_arena_bytes,
+        pil_repr,
+        spill_dir,
+        spill_watermark,
+        ..MppConfig::default()
+    };
 
     let threads: usize = args.parse_or("threads", 1)?;
     if threads == 0 {
@@ -724,6 +768,87 @@ mod tests {
             "16".into(),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn mine_spill_flags_mine_identically_and_trace_the_spill() {
+        // AT-repeat with gap [1,1] splits into two components at the
+        // seed level, so a zero watermark forces a spill + restores.
+        let body = "AT".repeat(50);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:1".into(),
+                "--rho".into(),
+                "40%".into(),
+                "--algorithm".into(),
+                "mpp".into(),
+                "--n".into(),
+                "20".into(),
+                "--engine".into(),
+                "dfs".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        let unbounded = run_words(&base(&[])).unwrap();
+
+        let mut spill_dir = std::env::temp_dir();
+        spill_dir.push(format!("pgmine-spill-{}", std::process::id()));
+        let mut trace_path = std::env::temp_dir();
+        trace_path.push(format!("pgmine-spill-{}.jsonl", std::process::id()));
+        let trace_str = trace_path.to_str().unwrap().to_string();
+        let spilled = run_words(&base(&[
+            "--max-arena-bytes",
+            "1048576",
+            "--spill-dir",
+            spill_dir.to_str().unwrap(),
+            "--spill-watermark",
+            "0",
+            "--trace",
+            &trace_str,
+        ]))
+        .unwrap();
+        assert_eq!(spilled, unbounded, "spilling must not change the output");
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"event\": \"spill\""), "{trace}");
+        assert!(trace.contains("\"event\": \"restore\""), "{trace}");
+        let checked =
+            run_words(&["trace-check".into(), "--input".into(), trace_str.clone()]).unwrap();
+        assert!(checked.contains("trace OK"), "{checked}");
+        // Restored records are deleted from the spill dir on the way out.
+        let leftovers = std::fs::read_dir(&spill_dir)
+            .map(|d| d.count())
+            .unwrap_or(0);
+        assert_eq!(leftovers, 0, "restored spill files must be removed");
+        std::fs::remove_file(&trace_path).ok();
+        std::fs::remove_dir_all(&spill_dir).ok();
+
+        // Gating: each spill flag demands the context it needs.
+        let err = run_words(&base(&["--spill-dir", "/tmp/x"])).unwrap_err();
+        assert!(err.to_string().contains("--max-arena-bytes"), "{err}");
+        let err = run_words(&base(&["--spill-watermark", "0.5"])).unwrap_err();
+        assert!(err.to_string().contains("--spill-dir"), "{err}");
+        let err = run_words(&base(&[
+            "--max-arena-bytes",
+            "1048576",
+            "--spill-dir",
+            "/tmp/x",
+            "--spill-watermark",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("0.0..=1.0"), "{err}");
+        let mut bfs_words = base(&["--max-arena-bytes", "1048576", "--spill-dir", "/tmp/x"]);
+        let engine_at = bfs_words.iter().position(|w| w == "dfs").unwrap();
+        bfs_words[engine_at] = "bfs".into();
+        let err = run_words(&bfs_words).unwrap_err();
+        assert!(err.to_string().contains("dfs"), "{err}");
     }
 
     #[test]

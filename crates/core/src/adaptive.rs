@@ -57,7 +57,7 @@ pub fn adaptive_mpp(
         .max(config.start_level)
         .min(l1.max(config.start_level));
     let mut trajectory = vec![n];
-    let mut outcome = mpp(seq, gap, rho, n, config)?;
+    let mut outcome = mpp(seq, gap, rho, n, config.clone())?;
     loop {
         let longest = outcome.longest_len().max(config.start_level);
         // Refine: the next n must cover everything seen so far.
@@ -67,7 +67,7 @@ pub fn adaptive_mpp(
         }
         n = next_n;
         trajectory.push(n);
-        outcome = mpp(seq, gap, rho, n, config)?;
+        outcome = mpp(seq, gap, rho, n, config.clone())?;
     }
     Ok(AdaptiveOutcome {
         outcome,

@@ -71,6 +71,14 @@ impl PilSet {
         self.saturated
     }
 
+    /// Restore the saturation flag on a set rebuilt from parts —
+    /// [`push_pattern`](PilSet::push_pattern) deliberately never sets
+    /// it, so deserialization (see [`crate::spill`]) must carry it over
+    /// explicitly.
+    pub(crate) fn set_saturated(&mut self, saturated: bool) {
+        self.saturated = saturated;
+    }
+
     /// Total PIL entries across all patterns (the arena's payload size).
     pub(crate) fn entry_count(&self) -> usize {
         self.entries.len()

@@ -53,16 +53,17 @@ use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
 use crate::lambda::{BoundRow, BoundTable};
-use crate::mpp::{prepare, MppConfig};
+use crate::mpp::{check_ceiling, prepare, MppConfig};
 use crate::parallel::{
     PoolHooks, PoolJob, WorkerPool, CHUNKS_PER_THREAD, MIN_CHUNK, PARALLEL_THRESHOLD,
 };
 use crate::pattern::Pattern;
 use crate::pil::{join_dense_into, join_multi_into, MultiJoinScratch};
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
+use crate::spill::{self, SpillState};
 use crate::trace::{
-    AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
-    SubtreeEvent,
+    AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent,
+    RestoreEvent, SeedEvent, SpillEvent, SubtreeEvent,
 };
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
@@ -100,7 +101,7 @@ pub fn mpp_dfs_traced<O: MineObserver>(
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
-    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
     let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
     observer.on_seed(&SeedEvent {
@@ -115,7 +116,7 @@ pub fn mpp_dfs_traced<O: MineObserver>(
         &counts,
         &rho_exact,
         n,
-        config,
+        &config,
         pils,
         threads,
         PoolHooks::default(),
@@ -201,15 +202,9 @@ impl MemGauge<'_> {
         self.task_peak = self.task_peak.max(self.held);
         let live = self.live.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.peak.fetch_max(live, Ordering::Relaxed);
-        if let Some(cap) = self.limit {
-            if live > cap {
-                return Err(MineError::MemoryCeiling {
-                    limit: cap,
-                    required: live,
-                });
-            }
-        }
-        Ok(())
+        // One place pins the boundary semantics for the whole
+        // workspace: `live == cap` passes, `live > cap` aborts.
+        check_ceiling(self.limit, live)
     }
 
     fn shrink(&mut self, bytes: usize) {
@@ -404,6 +399,9 @@ enum DfsTask {
     Chunk { lo: usize, hi: usize },
     /// Depth-first subtree over one component's base-level members.
     Subtree { members: Vec<usize> },
+    /// A subtree whose base component was serialized to the spill
+    /// backend at handoff; the processing worker restores it first.
+    SpilledSubtree { record: u64 },
 }
 
 /// What one [`DfsTask`] returns (inside `Ok`; a task that trips the
@@ -417,6 +415,8 @@ struct TaskOut {
     frequent: Vec<FrequentPattern>,
     /// Subtree tasks: the progress event.
     subtree: Option<SubtreeEvent>,
+    /// Spilled subtree tasks: the restore event.
+    restore: Option<RestoreEvent>,
 }
 
 /// A roster of [`DfsTask`]s over one shared base generation, claimed
@@ -444,6 +444,9 @@ struct DfsJob {
     /// [`ReprCache`] (dense lists are reused across the left parents of
     /// one task, never shared between threads).
     repr: ReprPolicy,
+    /// Present when the base generation was spilled: the backend plus
+    /// the once-only claim guard for each record.
+    spill: Option<SpillState>,
     cursor: AtomicUsize,
     hooks: PoolHooks,
 }
@@ -471,6 +474,7 @@ impl PoolJob for DfsJob {
         match &self.tasks[item] {
             DfsTask::Chunk { lo, hi } => self.process_chunk(*lo, *hi),
             DfsTask::Subtree { members } => self.process_subtree(item, members),
+            DfsTask::SpilledSubtree { record } => self.process_spilled(item, *record),
         }
     }
 
@@ -518,6 +522,7 @@ impl DfsJob {
             aggs: vec![(self.base_level + 1, agg)],
             frequent,
             subtree: None,
+            restore: None,
         })
     }
 
@@ -559,6 +564,80 @@ impl DfsJob {
             aggs: ctx.aggs.into_iter().collect(),
             frequent: ctx.frequent,
             subtree: Some(event),
+            restore: None,
+        })
+    }
+
+    /// Restore one spilled component and mine it like
+    /// [`process_subtree`]. The record is claimed exactly once across
+    /// the pool (a stealing worker that re-dispatches a task can never
+    /// restore the same bytes twice), its arena is re-charged to the
+    /// shared gauge before any join runs, and the backing file is
+    /// removed only after the subtree finished cleanly.
+    fn process_spilled(&self, item: usize, record: u64) -> Result<TaskOut, MineError> {
+        let started = Instant::now();
+        let state = self
+            .spill
+            .as_ref()
+            .expect("spilled task scheduled without spill state");
+        state.claim(record)?;
+        let bytes = state
+            .io
+            .read(record)
+            .map_err(|e| spill::spill_err(record, e.to_string()))?;
+        let set = spill::decode_record(record, &bytes)?;
+        let restore = RestoreEvent {
+            record,
+            bytes: bytes.len() as u64,
+            patterns: set.len(),
+            elapsed: started.elapsed(),
+        };
+        drop(bytes);
+        let counts = OffsetCounts::new(self.seq_len, self.gap);
+        let mut ctx = TaskCtx {
+            gap: self.gap,
+            hard_cap: self.hard_cap,
+            counts: &counts,
+            bounds: BoundTable::new(&counts, &self.rho, self.n),
+            gauge: MemGauge::new(&self.live, &self.peak, self.limit),
+            repr: ReprCache::new(self.repr),
+            bufs: EagerBufs::default(),
+            aggs: BTreeMap::new(),
+            frequent: Vec::new(),
+            deepest: self.base_level,
+            batches: 0,
+            batch_candidates: 0,
+        };
+        // The restored component is the hot working set: it goes back
+        // on the gauge, and if even that overflows the ceiling the run
+        // aborts with `MemoryCeiling` — spilling never hides a working
+        // set that genuinely does not fit.
+        let arena = set.arena_bytes();
+        ctx.gauge.grow(arena)?;
+        let members: Vec<usize> = (0..set.len()).collect();
+        let res = descend_split(&mut ctx, &set, &members, self.base_level);
+        ctx.gauge.shrink(arena);
+        res?;
+        state.io.remove(record);
+        let evaluated: usize = ctx.aggs.values().map(|a| a.evaluated).sum();
+        let event = SubtreeEvent {
+            index: item,
+            level: self.base_level,
+            patterns: set.len(),
+            deepest: ctx.deepest,
+            evaluated,
+            frequent: ctx.frequent.len(),
+            peak_arena_bytes: ctx.gauge.task_peak,
+            batches: ctx.batches,
+            batch_candidates: ctx.batch_candidates,
+            elapsed: started.elapsed(),
+        };
+        Ok(TaskOut {
+            part: None,
+            aggs: ctx.aggs.into_iter().collect(),
+            frequent: ctx.frequent,
+            subtree: Some(event),
+            restore: Some(restore),
         })
     }
 }
@@ -733,7 +812,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
     counts: &OffsetCounts,
     rho: &BigRatio,
     n: usize,
-    config: MppConfig,
+    config: &MppConfig,
     seed: PilSet,
     threads: usize,
     hooks: PoolHooks,
@@ -753,6 +832,25 @@ pub(crate) fn run_hybrid<O: MineObserver>(
     let mut aggs: BTreeMap<usize, LevelAgg> = BTreeMap::new();
     let mut pool_events: Vec<PoolLevelEvent> = Vec::new();
     let mut subtree_events: Vec<SubtreeEvent> = Vec::new();
+    let mut restore_events: Vec<RestoreEvent> = Vec::new();
+    let mut spill_event: Option<SpillEvent> = None;
+
+    // Spilling needs both a ceiling (otherwise there is nothing to
+    // stay under) and a backend: an injected `spill_io` wins over
+    // `spill_dir` so tests and callers can capture the raw records.
+    let spill_io: Option<Arc<dyn spill::SpillIo>> = if config.max_arena_bytes.is_some() {
+        config.spill_io.clone().or_else(|| {
+            config
+                .spill_dir
+                .as_ref()
+                .map(|dir| Arc::new(spill::FsSpillIo::new(dir)) as Arc<dyn spill::SpillIo>)
+        })
+    } else {
+        None
+    };
+    let watermark_bytes = config
+        .max_arena_bytes
+        .map(|cap| (cap as f64 * config.spill_watermark) as usize);
 
     let live = Arc::new(AtomicUsize::new(0));
     let peak_shared = Arc::new(AtomicUsize::new(0));
@@ -811,11 +909,60 @@ pub(crate) fn run_hybrid<O: MineObserver>(
             let comps = run_components(&current, &kept, &runs);
             if comps.len() >= 2 {
                 // Handoff: every component is an independent subtree.
+                // Only the main thread has grown the gauge so far, so
+                // `live == cur_bytes` here and the spill decision is
+                // deterministic across thread counts.
                 let first_row = bounds.row(level + 1).clone();
-                let tasks: Vec<DfsTask> = comps
-                    .into_iter()
-                    .map(|members| DfsTask::Subtree { members })
-                    .collect();
+                let spilling = spill_io.is_some()
+                    && watermark_bytes.is_some_and(|wm| live.load(Ordering::Relaxed) >= wm);
+                let (tasks, spill_state): (Vec<DfsTask>, Option<SpillState>) = if spilling {
+                    let io = Arc::clone(spill_io.as_ref().expect("spill decision needs a backend"));
+                    let spill_started = Instant::now();
+                    let mut bytes_written = 0u64;
+                    for (r, comp) in comps.iter().enumerate() {
+                        let bytes = spill::encode_record(r as u64, &current, comp);
+                        if let Err(e) = io.write(r as u64, &bytes) {
+                            // Best-effort cleanup of records already on
+                            // disk before surfacing the typed error.
+                            for done in 0..r as u64 {
+                                io.remove(done);
+                            }
+                            return Err(spill::spill_err(r as u64, e.to_string()));
+                        }
+                        bytes_written += bytes.len() as u64;
+                    }
+                    let records = comps.len() as u64;
+                    stats.spilled_records = records;
+                    stats.spilled_bytes = bytes_written;
+                    spill_event = Some(SpillEvent {
+                        level,
+                        records,
+                        bytes: bytes_written,
+                        live_bytes: live.load(Ordering::Relaxed),
+                        watermark_bytes: watermark_bytes.unwrap_or(0),
+                        elapsed: spill_started.elapsed(),
+                    });
+                    // Release the cold base before any subtree runs:
+                    // each worker re-charges only the component it is
+                    // actively restoring.
+                    gauge.shrink(cur_bytes);
+                    current = PilSet::new(level);
+                    kept = Vec::new();
+                    (
+                        (0..records)
+                            .map(|record| DfsTask::SpilledSubtree { record })
+                            .collect(),
+                        Some(SpillState::new(io, records as usize)),
+                    )
+                } else {
+                    (
+                        comps
+                            .into_iter()
+                            .map(|members| DfsTask::Subtree { members })
+                            .collect(),
+                        None,
+                    )
+                };
                 let job = Arc::new(DfsJob {
                     base: current,
                     members: kept,
@@ -832,6 +979,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     peak: Arc::clone(&peak_shared),
                     first_row,
                     repr: config.pil_repr,
+                    spill: spill_state,
                     cursor: AtomicUsize::new(0),
                     hooks,
                 });
@@ -852,8 +1000,15 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     if let Some(ev) = t.subtree {
                         subtree_events.push(ev);
                     }
+                    if let Some(ev) = t.restore {
+                        stats.restored_records += 1;
+                        stats.restored_bytes += ev.bytes;
+                        restore_events.push(ev);
+                    }
                 }
-                gauge.shrink(cur_bytes);
+                if !spilling {
+                    gauge.shrink(cur_bytes);
+                }
                 break;
             }
 
@@ -893,6 +1048,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         peak: Arc::clone(&peak_shared),
                         first_row,
                         repr: config.pil_repr,
+                        spill: None,
                         cursor: AtomicUsize::new(0),
                         hooks,
                     });
@@ -990,12 +1146,19 @@ pub(crate) fn run_hybrid<O: MineObserver>(
             saturated: agg.saturated,
         });
     }
+    if let Some(ev) = &spill_event {
+        observer.on_spill(ev);
+    }
     for ev in &pool_events {
         observer.on_pool(ev);
     }
     subtree_events.sort_by_key(|e| e.index);
     for ev in &subtree_events {
         observer.on_subtree(ev);
+    }
+    restore_events.sort_by_key(|e| e.record);
+    for ev in &restore_events {
+        observer.on_restore(ev);
     }
 
     let peak = peak_shared.load(Ordering::Relaxed);
@@ -1113,7 +1276,7 @@ mod tests {
                 ..MppConfig::default()
             };
             for threads in [1usize, 4] {
-                let run = mpp_dfs(&seq, g, rho, 12, config, threads).unwrap();
+                let run = mpp_dfs(&seq, g, rho, 12, config.clone(), threads).unwrap();
                 assert_counters_match(&run, &base, &format!("{mode} on {threads} threads"));
             }
         }
@@ -1181,14 +1344,14 @@ mod tests {
                 panic_workers: true,
                 main_no_steal: true,
             };
-            let result = prepare(&seq, g, 0.4, config).and_then(|(counts, rho_exact)| {
+            let result = prepare(&seq, g, 0.4, &config).and_then(|(counts, rho_exact)| {
                 let pils = build_seed(&seq, g, config.start_level);
                 run_hybrid(
                     &seq,
                     &counts,
                     &rho_exact,
                     20,
-                    config,
+                    &config,
                     pils,
                     4,
                     hooks,
@@ -1208,6 +1371,87 @@ mod tests {
             }
             Ok(_) => panic!("mine must fail when every worker panics"),
             Err(other) => panic!("expected WorkerFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mem_gauge_shares_check_ceiling_boundary() {
+        // Same semantics as `check_ceiling`: exactly at the cap is
+        // fine, one byte over aborts.
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut gauge = MemGauge::new(&live, &peak, Some(100));
+        gauge.grow(100).expect("live == cap must pass");
+        match gauge.grow(1) {
+            Err(MineError::MemoryCeiling { limit, required }) => {
+                assert_eq!((limit, required), (100, 101));
+            }
+            other => panic!("expected MemoryCeiling, got {other:?}"),
+        }
+        assert_eq!(
+            peak.load(Ordering::Relaxed),
+            101,
+            "peak records the overshoot"
+        );
+    }
+
+    #[test]
+    fn spill_completes_under_ceiling_that_otherwise_aborts() {
+        use crate::spill::MemSpillIo;
+        let seq = Sequence::dna(&"AT".repeat(50)).unwrap();
+        let g = gap(1, 1);
+
+        // Unbounded baseline: record the true peak.
+        let mut free_metrics = MetricsObserver::new();
+        let free =
+            mpp_dfs_traced(&seq, g, 0.4, 20, MppConfig::default(), 1, &mut free_metrics).unwrap();
+        let peak = free_metrics.complete.as_ref().unwrap().peak_arena_bytes;
+        assert!(peak > 0);
+        let cap = peak - 1;
+
+        // Under that cap without spilling, the run must abort …
+        let no_spill = MppConfig {
+            max_arena_bytes: Some(cap),
+            ..MppConfig::default()
+        };
+        assert!(matches!(
+            mpp_dfs(&seq, g, 0.4, 20, no_spill, 1),
+            Err(MineError::MemoryCeiling { .. })
+        ));
+
+        // … and with spilling it completes bit-identically, with the
+        // counters and trace events firing. One thread gets the tight
+        // cap; two threads mine both restored components concurrently
+        // (their live sets stack), so they get headroom — the zero
+        // watermark still forces the spill path either way.
+        for (threads, cap) in [(1usize, cap), (2usize, peak * 2)] {
+            let io = Arc::new(MemSpillIo::default());
+            let config = MppConfig {
+                max_arena_bytes: Some(cap),
+                spill_watermark: 0.0,
+                spill_io: Some(io),
+                ..MppConfig::default()
+            };
+            let mut metrics = MetricsObserver::new();
+            let spilled = mpp_dfs_traced(&seq, g, 0.4, 20, config, threads, &mut metrics).unwrap();
+            assert_counters_match(&spilled, &free, &format!("spill on {threads} threads"));
+            assert!(spilled.stats.spilled_records >= 2, "handoff must spill");
+            assert_eq!(
+                spilled.stats.restored_records,
+                spilled.stats.spilled_records
+            );
+            assert_eq!(spilled.stats.restored_bytes, spilled.stats.spilled_bytes);
+            assert!(spilled.stats.spilled_bytes > 0);
+            assert_eq!(metrics.spills.len(), 1);
+            assert_eq!(
+                metrics.restores.len() as u64,
+                spilled.stats.restored_records
+            );
+            let spill_peak = metrics.complete.as_ref().unwrap().peak_arena_bytes;
+            assert!(
+                spill_peak <= cap,
+                "spilling must hold the peak under the cap: {spill_peak} vs {cap}"
+            );
         }
     }
 }

@@ -35,7 +35,7 @@ pub fn enumerate(
     candidate_budget: u128,
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
-    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
     let sigma = seq.alphabet().size() as u128;
     let start = config.start_level;
     let hard_cap = config.max_level.unwrap_or(usize::MAX).min(counts.l2());

@@ -50,6 +50,16 @@ pub enum MineError {
         /// The panic payload, when one could be recovered.
         message: String,
     },
+    /// Writing, reading, or decoding a spill record failed — an I/O
+    /// error from the [`crate::spill::SpillIo`] backend, or a record
+    /// that came back torn, truncated, or with a bad checksum. The run
+    /// aborts rather than mine from state it cannot trust.
+    SpillIo {
+        /// The spill record id involved.
+        record: u64,
+        /// What went wrong (I/O error text or corruption description).
+        message: String,
+    },
 }
 
 impl fmt::Display for MineError {
@@ -81,6 +91,9 @@ impl fmt::Display for MineError {
                 } else {
                     write!(f, "a mining worker thread died on chunk {chunk}: {message}")
                 }
+            }
+            MineError::SpillIo { record, message } => {
+                write!(f, "spill record {record} failed: {message}")
             }
         }
     }
@@ -123,5 +136,14 @@ mod tests {
         }
         .to_string()
         .contains("died: gone"));
+        let spill = MineError::SpillIo {
+            record: 3,
+            message: "checksum mismatch".into(),
+        }
+        .to_string();
+        assert!(
+            spill.contains("record 3") && spill.contains("checksum mismatch"),
+            "{spill}"
+        );
     }
 }

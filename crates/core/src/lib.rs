@@ -59,6 +59,7 @@ pub mod profile;
 pub mod reference;
 pub mod result;
 pub mod rigid;
+pub mod spill;
 pub mod trace;
 pub mod verify;
 pub mod windowed;

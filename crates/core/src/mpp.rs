@@ -18,10 +18,12 @@ use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, SeedEvent};
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs common to every level-wise run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MppConfig {
     /// First mined pattern length. The paper starts at 3 because over a
     /// 4-letter alphabet shorter patterns are always frequent and thus
@@ -33,13 +35,29 @@ pub struct MppConfig {
     /// Ceiling on live arena bytes (parent + candidate generations
     /// combined). When mining would exceed it the run aborts with
     /// [`MineError::MemoryCeiling`] instead of thrashing; `None` is
-    /// unlimited.
+    /// unlimited. The hybrid DFS engine can finish under the ceiling
+    /// anyway by spilling cold subtrees — see [`MppConfig::spill_dir`].
     pub max_arena_bytes: Option<usize>,
     /// Per-suffix PIL representation policy for the join kernels
     /// (sparse sliding-window merge vs dense prefix-sum probe) — a pure
     /// performance knob; mined output and `MineStats` are bit-identical
     /// under every setting. See [`crate::adaptive::ReprPolicy`].
     pub pil_repr: ReprPolicy,
+    /// Directory for DFS spill records (see [`crate::spill`]). `Some`
+    /// arms spill-to-disk on the hybrid engine when `max_arena_bytes`
+    /// is also set; the breadth-first engines ignore it and keep the
+    /// abort-at-ceiling behaviour. Ignored when [`MppConfig::spill_io`]
+    /// supplies a backend directly.
+    pub spill_dir: Option<PathBuf>,
+    /// Fraction of `max_arena_bytes` at which the hybrid engine starts
+    /// spilling cold subtree arenas (`0.0` spills at every handoff,
+    /// `1.0` only at the ceiling itself). Only consulted when a spill
+    /// backend is configured. Default `0.5`.
+    pub spill_watermark: f64,
+    /// Spill backend override for tests and benchmarks. Takes
+    /// precedence over [`MppConfig::spill_dir`]; mining results are
+    /// identical for any correct backend.
+    pub spill_io: Option<Arc<dyn crate::spill::SpillIo>>,
 }
 
 impl Default for MppConfig {
@@ -49,6 +67,9 @@ impl Default for MppConfig {
             max_level: None,
             max_arena_bytes: None,
             pil_repr: ReprPolicy::default(),
+            spill_dir: None,
+            spill_watermark: 0.5,
+            spill_io: None,
         }
     }
 }
@@ -81,7 +102,7 @@ pub fn mpp_traced<O: MineObserver>(
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
-    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
     let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
     observer.on_seed(&SeedEvent {
@@ -92,7 +113,7 @@ pub fn mpp_traced<O: MineObserver>(
         elapsed: seed_started.elapsed(),
     });
     let (mut outcome, peak) =
-        match run_levelwise(seq, &counts, &rho_exact, n, config, pils, None, observer) {
+        match run_levelwise(seq, &counts, &rho_exact, n, &config, pils, None, observer) {
             Ok(done) => done,
             Err(e) => {
                 observer.on_abort(&AbortEvent {
@@ -128,7 +149,7 @@ pub(crate) fn prepare(
     seq: &Sequence,
     gap: GapRequirement,
     rho: f64,
-    config: MppConfig,
+    config: &MppConfig,
 ) -> Result<(OffsetCounts, BigRatio), MineError> {
     if !(rho > 0.0 && rho <= 1.0) {
         return Err(MineError::InvalidThreshold(rho));
@@ -170,7 +191,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     counts: &OffsetCounts,
     rho: &BigRatio,
     n: usize,
-    config: MppConfig,
+    config: &MppConfig,
     seed: PilSet,
     mut stats_seed: Option<MineStats>,
     observer: &mut O,
@@ -492,6 +513,28 @@ mod tests {
         let outcome = mpp(&s, g, 0.5, 10, config).unwrap();
         assert!(outcome.longest_len() <= 4);
         assert!(outcome.stats.levels.iter().all(|l| l.level <= 4));
+    }
+
+    #[test]
+    fn check_ceiling_boundary_is_strictly_greater() {
+        // The pinned semantics for every ceiling check in the
+        // workspace (the BFS engines here, the DFS `MemGauge`): a live
+        // total exactly at the cap passes, one byte over aborts, and
+        // the error reports both sides.
+        assert!(check_ceiling(None, usize::MAX).is_ok());
+        assert!(check_ceiling(Some(1024), 0).is_ok());
+        assert!(
+            check_ceiling(Some(1024), 1024).is_ok(),
+            "live == cap passes"
+        );
+        match check_ceiling(Some(1024), 1025) {
+            Err(MineError::MemoryCeiling { limit, required }) => {
+                assert_eq!((limit, required), (1024, 1025));
+            }
+            other => panic!("expected MemoryCeiling, got {other:?}"),
+        }
+        assert!(check_ceiling(Some(0), 0).is_ok());
+        assert!(check_ceiling(Some(0), 1).is_err());
     }
 
     #[test]

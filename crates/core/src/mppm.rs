@@ -69,7 +69,7 @@ fn mppm_prelude<O: MineObserver>(
     gap: GapRequirement,
     rho: f64,
     m: usize,
-    config: MppConfig,
+    config: &MppConfig,
     observer: &mut O,
 ) -> Result<MppmPrelude, MineError> {
     if m == 0 {
@@ -144,18 +144,18 @@ pub fn mppm_traced<O: MineObserver>(
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
-    let p = mppm_prelude(seq, gap, rho, m, config, observer)?;
+    let p = mppm_prelude(seq, gap, rho, m, &config, observer)?;
     let run = run_levelwise(
         seq,
         &p.counts,
         &p.rho_exact,
         p.n,
-        config,
+        &config,
         p.pils,
         Some(p.stats_seed),
         observer,
     );
-    finish(run, started, repr_before, config, observer)
+    finish(run, started, repr_before, &config, observer)
 }
 
 /// [`mppm`] on the hybrid BFS→DFS engine: the same `n` estimate and
@@ -183,20 +183,20 @@ pub fn mppm_dfs_traced<O: MineObserver>(
 ) -> Result<MineOutcome, MineError> {
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
-    let p = mppm_prelude(seq, gap, rho, m, config, observer)?;
+    let p = mppm_prelude(seq, gap, rho, m, &config, observer)?;
     let run = crate::dfs::run_hybrid(
         seq,
         &p.counts,
         &p.rho_exact,
         p.n,
-        config,
+        &config,
         p.pils,
         threads,
         PoolHooks::default(),
         Some(p.stats_seed),
         observer,
     );
-    finish(run, started, repr_before, config, observer)
+    finish(run, started, repr_before, &config, observer)
 }
 
 /// Shared MPPm tail: stamp the total wall time and emit the terminal
@@ -207,7 +207,7 @@ fn finish<O: MineObserver>(
     run: Result<(MineOutcome, usize), MineError>,
     started: Instant,
     repr_before: crate::adaptive::ReprStats,
-    config: MppConfig,
+    config: &MppConfig,
     observer: &mut O,
 ) -> Result<MineOutcome, MineError> {
     let (mut outcome, peak) = match run {
@@ -239,7 +239,7 @@ pub fn estimate_n(
     m: usize,
     config: MppConfig,
 ) -> Result<(usize, u64), MineError> {
-    let p = mppm_prelude(seq, gap, rho, m, config, &mut NoopObserver)?;
+    let p = mppm_prelude(seq, gap, rho, m, &config, &mut NoopObserver)?;
     let em = p.stats_seed.em.expect("prelude always records e_m");
     Ok((p.n, em))
 }

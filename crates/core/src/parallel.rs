@@ -99,7 +99,7 @@ pub fn mpp_parallel_traced<O: MineObserver>(
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
-    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
     let seed_started = Instant::now();
     let pils = build_seed(seq, gap, config.start_level);
     observer.on_seed(&SeedEvent {
@@ -114,7 +114,7 @@ pub fn mpp_parallel_traced<O: MineObserver>(
         &counts,
         &rho_exact,
         n,
-        config,
+        &config,
         pils,
         threads,
         PoolHooks::default(),
@@ -495,7 +495,7 @@ fn run_parallel<O: MineObserver>(
     counts: &OffsetCounts,
     rho: &perigap_math::BigRatio,
     n: usize,
-    config: MppConfig,
+    config: &MppConfig,
     seed: PilSet,
     threads: usize,
     hooks: PoolHooks,
@@ -682,14 +682,14 @@ mod tests {
         threads: usize,
         hooks: PoolHooks,
     ) -> Result<MineOutcome, MineError> {
-        let (counts, rho_exact) = prepare(seq, g, rho, config)?;
+        let (counts, rho_exact) = prepare(seq, g, rho, &config)?;
         let pils = build_seed(seq, g, config.start_level);
         run_parallel(
             seq,
             &counts,
             &rho_exact,
             n,
-            config,
+            &config,
             pils,
             threads,
             hooks,

@@ -99,9 +99,9 @@ pub fn mpp_reference(
 ) -> Result<MineOutcome, MineError> {
     assert!(threads >= 1, "need at least one thread");
     let started = Instant::now();
-    let (counts, rho_exact) = prepare(seq, gap, rho, config)?;
+    let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
     let pils = build_all_reference(seq, gap, config.start_level);
-    let mut outcome = run_reference(seq, &counts, &rho_exact, n, config, pils, threads);
+    let mut outcome = run_reference(seq, &counts, &rho_exact, n, &config, pils, threads);
     outcome.stats.total_elapsed = started.elapsed();
     Ok(outcome)
 }
@@ -111,7 +111,7 @@ fn run_reference(
     counts: &OffsetCounts,
     rho: &perigap_math::BigRatio,
     n: usize,
-    config: MppConfig,
+    config: &MppConfig,
     seed_pils: HashMap<Pattern, Pil>,
     threads: usize,
 ) -> MineOutcome {

@@ -62,6 +62,19 @@ pub struct MineStats {
     /// the run: reported supports are then lower bounds, not exact
     /// counts. Surfaced by the CLI and by `trace::CompleteEvent`.
     pub support_saturated: bool,
+    /// Spill records the DFS engine wrote under the memory ceiling
+    /// (see [`crate::spill`]); zero on the breadth-first engines and on
+    /// unbounded runs. Like every other counter these are deterministic,
+    /// but they describe the memory policy, not the mined output — the
+    /// spill invariance tests compare stats *minus* these four fields.
+    pub spilled_records: u64,
+    /// Serialized bytes written across all spill records.
+    pub spilled_bytes: u64,
+    /// Spill records read back and mined (equals `spilled_records` on a
+    /// completed run — every cold subtree is restored exactly once).
+    pub restored_records: u64,
+    /// Serialized bytes read back across all restores.
+    pub restored_bytes: u64,
 }
 
 impl MineStats {

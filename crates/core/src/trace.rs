@@ -39,6 +39,8 @@
 //! | `subtree` | `index`, `level`, `patterns`, `deepest`, `evaluated`, `frequent`, `peak_arena_bytes`, `batches`, `batch_candidates`, `elapsed_ms` |
 //! | `em` | `m`, `em`, `elapsed_ms` |
 //! | `repr` | `mode`, `dense`, `sparse`, `fallbacks` |
+//! | `spill` | `level`, `records`, `bytes`, `live_bytes`, `watermark_bytes`, `elapsed_ms` |
+//! | `restore` | `record`, `bytes`, `patterns`, `elapsed_ms` |
 //! | `abort` | `message` |
 //! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `peak_arena_bytes`, `total_ms` |
 //!
@@ -171,6 +173,41 @@ pub struct SubtreeEvent {
     pub elapsed: Duration,
 }
 
+/// The DFS engine spilled the cold subtree arenas to disk at the
+/// BFS→DFS handoff because the live gauge crossed the spill watermark
+/// (see [`crate::spill`]): one event per handoff batch.
+#[derive(Clone, Debug)]
+pub struct SpillEvent {
+    /// Level of the parent generation whose components were spilled.
+    pub level: usize,
+    /// Spill records written (one per cold component).
+    pub records: u64,
+    /// Serialized bytes written across those records.
+    pub bytes: u64,
+    /// Live arena bytes at the moment the spill decision was taken.
+    pub live_bytes: usize,
+    /// The watermark in bytes (`max_arena_bytes × spill_watermark`)
+    /// the live gauge crossed.
+    pub watermark_bytes: usize,
+    /// Wall-clock time spent encoding and writing the records.
+    pub elapsed: Duration,
+}
+
+/// One spill record read back and decoded on the worker that popped
+/// its subtree task. A completed spilling run emits exactly one
+/// restore per spill record.
+#[derive(Clone, Debug)]
+pub struct RestoreEvent {
+    /// The spill record id.
+    pub record: u64,
+    /// Serialized bytes read back.
+    pub bytes: u64,
+    /// Patterns in the restored component.
+    pub patterns: usize,
+    /// Wall-clock time spent reading and decoding the record.
+    pub elapsed: Duration,
+}
+
 /// Per-list PIL representation choices made during a run (the
 /// [`crate::adaptive::ReprCache`] histogram): how many suffix lists
 /// were materialised as dense prefix-sum arrays, how many stayed
@@ -256,6 +293,10 @@ pub trait MineObserver {
     /// The run's PIL representation histogram (emitted once, before
     /// the completion event).
     fn on_repr(&mut self, _event: &ReprEvent) {}
+    /// Cold subtree arenas were spilled at the BFS→DFS handoff.
+    fn on_spill(&mut self, _event: &SpillEvent) {}
+    /// A spill record was restored and mined (hybrid engine only).
+    fn on_restore(&mut self, _event: &RestoreEvent) {}
     /// The mine aborted after partial progress (terminal).
     fn on_abort(&mut self, _event: &AbortEvent) {}
     /// The mine finished.
@@ -286,6 +327,12 @@ impl<O: MineObserver + ?Sized> MineObserver for &mut O {
     }
     fn on_repr(&mut self, event: &ReprEvent) {
         (**self).on_repr(event);
+    }
+    fn on_spill(&mut self, event: &SpillEvent) {
+        (**self).on_spill(event);
+    }
+    fn on_restore(&mut self, event: &RestoreEvent) {
+        (**self).on_restore(event);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         (**self).on_abort(event);
@@ -319,6 +366,14 @@ impl<A: MineObserver, B: MineObserver> MineObserver for (A, B) {
     fn on_repr(&mut self, event: &ReprEvent) {
         self.0.on_repr(event);
         self.1.on_repr(event);
+    }
+    fn on_spill(&mut self, event: &SpillEvent) {
+        self.0.on_spill(event);
+        self.1.on_spill(event);
+    }
+    fn on_restore(&mut self, event: &RestoreEvent) {
+        self.0.on_restore(event);
+        self.1.on_restore(event);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.0.on_abort(event);
@@ -359,6 +414,16 @@ impl<O: MineObserver> MineObserver for Option<O> {
     fn on_repr(&mut self, event: &ReprEvent) {
         if let Some(o) = self {
             o.on_repr(event);
+        }
+    }
+    fn on_spill(&mut self, event: &SpillEvent) {
+        if let Some(o) = self {
+            o.on_spill(event);
+        }
+    }
+    fn on_restore(&mut self, event: &RestoreEvent) {
+        if let Some(o) = self {
+            o.on_restore(event);
         }
     }
     fn on_abort(&mut self, event: &AbortEvent) {
@@ -512,6 +577,28 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
         ));
     }
 
+    fn on_spill(&mut self, e: &SpillEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"spill\", \"level\": {}, \"records\": {}, \"bytes\": {}, \"live_bytes\": {}, \"watermark_bytes\": {}, \"elapsed_ms\": {:.3}}}",
+            e.level,
+            e.records,
+            e.bytes,
+            e.live_bytes,
+            e.watermark_bytes,
+            ms(e.elapsed)
+        ));
+    }
+
+    fn on_restore(&mut self, e: &RestoreEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"restore\", \"record\": {}, \"bytes\": {}, \"patterns\": {}, \"elapsed_ms\": {:.3}}}",
+            e.record,
+            e.bytes,
+            e.patterns,
+            ms(e.elapsed)
+        ));
+    }
+
     fn on_abort(&mut self, e: &AbortEvent) {
         self.write_line(&format!(
             "{{\"event\": \"abort\", \"message\": \"{}\"}}",
@@ -549,6 +636,10 @@ pub struct MetricsObserver {
     pub em: Option<EmEvent>,
     /// The PIL representation histogram, if the engine emitted one.
     pub repr: Option<ReprEvent>,
+    /// Spill events in arrival order (at most one per handoff).
+    pub spills: Vec<SpillEvent>,
+    /// Restore events in record order.
+    pub restores: Vec<RestoreEvent>,
     /// The abort event, if the mine was cut short.
     pub abort: Option<AbortEvent>,
     /// The completion event.
@@ -645,6 +736,28 @@ impl MetricsObserver {
                 r.mode, r.dense, r.sparse, r.fallbacks
             );
         }
+        for s in &self.spills {
+            let _ = writeln!(
+                out,
+                "  spill @ level {}: {} records | {} bytes | live {} over watermark {} | {:.3} ms",
+                s.level,
+                s.records,
+                s.bytes,
+                s.live_bytes,
+                s.watermark_bytes,
+                ms(s.elapsed)
+            );
+        }
+        for r in &self.restores {
+            let _ = writeln!(
+                out,
+                "  restore record {}: {} bytes | {} patterns | {:.3} ms",
+                r.record,
+                r.bytes,
+                r.patterns,
+                ms(r.elapsed)
+            );
+        }
         if let Some(a) = &self.abort {
             let _ = writeln!(out, "  ABORTED: {}", a.message);
         }
@@ -687,6 +800,12 @@ impl MineObserver for MetricsObserver {
     }
     fn on_repr(&mut self, event: &ReprEvent) {
         self.repr = Some(event.clone());
+    }
+    fn on_spill(&mut self, event: &SpillEvent) {
+        self.spills.push(event.clone());
+    }
+    fn on_restore(&mut self, event: &RestoreEvent) {
+        self.restores.push(event.clone());
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.abort = Some(event.clone());
@@ -1032,7 +1151,7 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
                     .ok_or(format!("line {lineno}: abort event without message"))?;
                 aborted = true;
             }
-            "seed" | "pool" | "subtree" | "em" | "repr" => {}
+            "seed" | "pool" | "subtree" | "em" | "repr" | "spill" | "restore" => {}
             other => return Err(format!("line {lineno}: unknown event {other:?}")),
         }
     }
@@ -1161,6 +1280,20 @@ mod tests {
             sparse: 12,
             fallbacks: 1,
         });
+        sink.on_spill(&SpillEvent {
+            level: 4,
+            records: 3,
+            bytes: 900,
+            live_bytes: 5000,
+            watermark_bytes: 4096,
+            elapsed: Duration::from_millis(1),
+        });
+        sink.on_restore(&RestoreEvent {
+            record: 2,
+            bytes: 300,
+            patterns: 7,
+            elapsed: Duration::from_micros(200),
+        });
         sink.on_complete(&complete_event(2));
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
         assert!(text.contains("\"arena_bytes\": 4096"), "{text}");
@@ -1169,11 +1302,19 @@ mod tests {
             text.contains("\"event\": \"repr\", \"mode\": \"auto\", \"dense\": 30"),
             "{text}"
         );
+        assert!(
+            text.contains("\"event\": \"spill\", \"level\": 4, \"records\": 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"event\": \"restore\", \"record\": 2, \"bytes\": 300"),
+            "{text}"
+        );
         let report = validate_trace(&text).unwrap();
         assert_eq!(report.level_events, 2);
         assert_eq!(report.frequent, 20);
         assert_eq!(report.total_candidates, 128);
-        assert_eq!(report.lines, 8);
+        assert_eq!(report.lines, 10);
         assert!(!report.aborted);
     }
 
@@ -1294,12 +1435,34 @@ mod tests {
             sparse: 3,
             fallbacks: 0,
         });
+        m.on_spill(&SpillEvent {
+            level: 3,
+            records: 2,
+            bytes: 640,
+            live_bytes: 900,
+            watermark_bytes: 512,
+            elapsed: Duration::from_millis(1),
+        });
+        m.on_restore(&RestoreEvent {
+            record: 0,
+            bytes: 320,
+            patterns: 4,
+            elapsed: Duration::from_micros(100),
+        });
         m.on_complete(&complete_event(1));
         let text = m.render();
         assert!(text.contains("e_m = 42"), "{text}");
         assert!(text.contains("10 frequent"), "{text}");
         assert!(
             text.contains("pil repr (auto): 5 dense | 3 sparse"),
+            "{text}"
+        );
+        assert!(
+            text.contains("spill @ level 3: 2 records | 640 bytes"),
+            "{text}"
+        );
+        assert!(
+            text.contains("restore record 0: 320 bytes | 4 patterns"),
             "{text}"
         );
         assert_eq!(m.total_candidates(), 64);

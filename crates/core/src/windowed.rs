@@ -213,7 +213,7 @@ mod tests {
             max_level: Some(3),
             ..MppConfig::default()
         };
-        let outcome = windowed_mine(&seq, g, 8, 2, config).unwrap();
+        let outcome = windowed_mine(&seq, g, 8, 2, config.clone()).unwrap();
         // AC occurs in both windows → window_count 2.
         let ac = Pattern::from_codes(vec![0, 1]);
         let found = outcome.get(&ac).expect("AC spans both windows");
@@ -229,8 +229,8 @@ mod tests {
             max_level: Some(5),
             ..MppConfig::default()
         };
-        let lax = windowed_mine(&seq, g, 60, 1, config).unwrap();
-        let strict = windowed_mine(&seq, g, 60, 5, config).unwrap();
+        let lax = windowed_mine(&seq, g, 60, 1, config.clone()).unwrap();
+        let strict = windowed_mine(&seq, g, 60, 5, config.clone()).unwrap();
         assert_eq!(lax.windows, 5);
         assert!(strict.patterns.len() <= lax.patterns.len());
         for p in &strict.patterns {
@@ -247,7 +247,7 @@ mod tests {
             max_level: Some(4),
             ..MppConfig::default()
         };
-        let outcome = windowed_mine(&seq, g, 80, 1, config).unwrap();
+        let outcome = windowed_mine(&seq, g, 80, 1, config.clone()).unwrap();
         let wins = fragments(&seq, 80, 1);
         for wp in &outcome.patterns {
             let expected = wins
@@ -280,13 +280,13 @@ mod tests {
             max_level: Some(3),
             ..MppConfig::default()
         };
-        let windowed = windowed_mine(&seq, g, 60, 1, config).unwrap();
+        let windowed = windowed_mine(&seq, g, 60, 1, config.clone()).unwrap();
         assert!(
             windowed.get(&aaa).is_none(),
             "boundary-straddling AAA invisible to windows"
         );
 
-        let reference = mppm(&seq, g, 0.0001, 2, config).unwrap();
+        let reference = mppm(&seq, g, 0.0001, 2, config.clone()).unwrap();
         assert!(
             reference.get(&aaa).is_some(),
             "whole-sequence model finds AAA"
@@ -300,8 +300,8 @@ mod tests {
         let seq = Sequence::dna("ACGTACGT").unwrap();
         let g = gap(1, 2);
         let config = MppConfig::default();
-        assert!(windowed_mine(&seq, g, 0, 1, config).is_err());
-        let out = windowed_mine(&seq, g, 4, 3, config).unwrap();
+        assert!(windowed_mine(&seq, g, 0, 1, config.clone()).is_err());
+        let out = windowed_mine(&seq, g, 4, 3, config.clone()).unwrap();
         assert!(out.patterns.is_empty(), "min_windows above window count");
         assert_eq!(out.windows, 2);
     }

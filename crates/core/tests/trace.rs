@@ -81,17 +81,18 @@ fn jsonl_totals_match_stats_across_engines() {
     let config = MppConfig::default();
 
     let mut serial_sink = JsonlObserver::new(Vec::new());
-    let serial = mpp_traced(&seq, g, rho, 12, config, &mut serial_sink).unwrap();
+    let serial = mpp_traced(&seq, g, rho, 12, config.clone(), &mut serial_sink).unwrap();
     let serial_text = String::from_utf8(serial_sink.finish().unwrap()).unwrap();
     assert_trace_matches(&serial_text, &serial, "mpp");
 
     let mut parallel_sink = JsonlObserver::new(Vec::new());
-    let parallel = mpp_parallel_traced(&seq, g, rho, 12, config, 4, &mut parallel_sink).unwrap();
+    let parallel =
+        mpp_parallel_traced(&seq, g, rho, 12, config.clone(), 4, &mut parallel_sink).unwrap();
     let parallel_text = String::from_utf8(parallel_sink.finish().unwrap()).unwrap();
     assert_trace_matches(&parallel_text, &parallel, "mpp_parallel");
 
     let mut mppm_sink = JsonlObserver::new(Vec::new());
-    let auto = mppm_traced(&seq, g, rho, 4, config, &mut mppm_sink).unwrap();
+    let auto = mppm_traced(&seq, g, rho, 4, config.clone(), &mut mppm_sink).unwrap();
     let mppm_text = String::from_utf8(mppm_sink.finish().unwrap()).unwrap();
     assert_trace_matches(&mppm_text, &auto, "mppm");
     assert!(
@@ -144,7 +145,8 @@ fn multiseq_trace_matches_outcome() {
         .collect();
     let config = MppConfig::default();
     let mut sink = JsonlObserver::new(Vec::new());
-    let outcome = mine_collection_traced(&seqs, gap(1, 2), 0.002, 3, 8, config, &mut sink).unwrap();
+    let outcome =
+        mine_collection_traced(&seqs, gap(1, 2), 0.002, 3, 8, config.clone(), &mut sink).unwrap();
     let text = String::from_utf8(sink.finish().unwrap()).unwrap();
     let report = validate_trace(&text).unwrap();
     assert_eq!(report.frequent, outcome.patterns.len());
@@ -152,8 +154,16 @@ fn multiseq_trace_matches_outcome() {
     // Degenerate input still produces a valid (summary-only) trace.
     let mut empty_sink = JsonlObserver::new(Vec::new());
     let none: Vec<Sequence> = Vec::new();
-    let empty =
-        mine_collection_traced(&none, gap(1, 2), 0.002, 3, 8, config, &mut empty_sink).unwrap();
+    let empty = mine_collection_traced(
+        &none,
+        gap(1, 2),
+        0.002,
+        3,
+        8,
+        config.clone(),
+        &mut empty_sink,
+    )
+    .unwrap();
     assert!(empty.patterns.is_empty());
     let empty_text = String::from_utf8(empty_sink.finish().unwrap()).unwrap();
     validate_trace(&empty_text).unwrap();

@@ -30,6 +30,12 @@ const MAGIC: &[u8; 4] = b"PGST";
 const VERSION: u32 = 1;
 const TAG_SEQUENCE: u8 = 1;
 const TAG_OUTCOME: u8 = 2;
+/// Section tag reserved for DFS spill records. The records themselves
+/// are written by `perigap_core::spill` (the dependency points the
+/// other way, so core duplicates the wire conventions), but they use
+/// the same magic, version, and trailing-checksum layout and can be
+/// decoded with [`wire::Reader`].
+pub const TAG_SPILL: u8 = 3;
 /// Sanity cap for on-disk blobs (1 GiB) — far above any real input,
 /// low enough to refuse nonsense lengths from corrupt files.
 const MAX_BLOB: u64 = 1 << 30;
@@ -43,6 +49,15 @@ pub enum StoreError {
     BadHeader(String),
     /// Structurally invalid contents.
     Corrupt(String),
+    /// A length-prefixed blob claims more bytes than the caller's
+    /// sanity limit allows — almost certainly a corrupt or hostile
+    /// length field, refused before any allocation happens.
+    BlobTooLarge {
+        /// Length the file claims the blob has.
+        len: u64,
+        /// The sanity limit the caller imposed.
+        max_len: u64,
+    },
     /// The trailing checksum does not match.
     ChecksumMismatch {
         /// Checksum recorded in the file.
@@ -58,6 +73,9 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "I/O error: {e}"),
             StoreError::BadHeader(msg) => write!(f, "bad store header: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::BlobTooLarge { len, max_len } => {
+                write!(f, "blob length {len} exceeds the sanity limit {max_len}")
+            }
             StoreError::ChecksumMismatch { stored, computed } => write!(
                 f,
                 "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
@@ -385,5 +403,76 @@ mod tests {
         let back = load_sequence(std::fs::File::open(&path).unwrap()).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back, seq);
+    }
+
+    /// Captures every record the engine spills, while serving reads
+    /// from the real in-memory backend, so the raw bytes survive the
+    /// engine's post-restore cleanup.
+    #[derive(Debug, Default)]
+    struct CapturingSpillIo {
+        inner: perigap_core::spill::MemSpillIo,
+        captured: std::sync::Mutex<Vec<(u64, Vec<u8>)>>,
+    }
+
+    impl perigap_core::spill::SpillIo for CapturingSpillIo {
+        fn write(&self, record: u64, bytes: &[u8]) -> std::io::Result<()> {
+            self.captured.lock().unwrap().push((record, bytes.to_vec()));
+            self.inner.write(record, bytes)
+        }
+
+        fn read(&self, record: u64) -> std::io::Result<Vec<u8>> {
+            self.inner.read(record)
+        }
+
+        fn remove(&self, record: u64) {
+            self.inner.remove(record);
+        }
+    }
+
+    /// Spill records are written by `perigap_core::spill` (this crate
+    /// sits above core, so core cannot call our writer), but they must
+    /// stay decodable with the plain PGST [`wire::Reader`] — same
+    /// magic, version, tag byte and trailing FNV-1a digest.
+    #[test]
+    fn spill_records_honor_the_store_wire_format() {
+        use perigap_core::dfs::mpp_dfs;
+        use std::sync::Arc;
+
+        let seq = Sequence::dna(&"AT".repeat(50)).unwrap();
+        let io = Arc::new(CapturingSpillIo::default());
+        let config = MppConfig {
+            max_arena_bytes: Some(1 << 20),
+            spill_watermark: 0.0,
+            spill_io: Some(Arc::clone(&io) as Arc<dyn perigap_core::spill::SpillIo>),
+            ..MppConfig::default()
+        };
+        let gap = GapRequirement::new(1, 1).unwrap();
+        let outcome = mpp_dfs(&seq, gap, 0.4, 20, config, 1).unwrap();
+        assert!(outcome.stats.spilled_records >= 2, "workload must spill");
+
+        let captured = io.captured.lock().unwrap();
+        assert_eq!(captured.len() as u64, outcome.stats.spilled_records);
+        for (record, bytes) in captured.iter() {
+            let mut r = Reader::new(&bytes[..]);
+            assert_eq!(r.bytes(4).unwrap(), MAGIC, "record {record}");
+            assert_eq!(r.u32().unwrap(), VERSION, "record {record}");
+            assert_eq!(r.u8().unwrap(), TAG_SPILL, "record {record}");
+            assert_eq!(r.u64().unwrap(), *record);
+            let level = r.u32().unwrap() as usize;
+            assert!(level >= 1, "record {record}");
+            assert!(r.u8().unwrap() <= 1, "record {record}: saturated flag");
+            let n_patterns = r.u32().unwrap();
+            assert!(n_patterns >= 1, "record {record}");
+            for _ in 0..n_patterns {
+                let _codes = r.bytes(level).unwrap();
+                let n_entries = r.u32().unwrap();
+                for _ in 0..n_entries {
+                    let _offset = r.u32().unwrap();
+                    let _count = r.u64().unwrap();
+                }
+            }
+            r.verify_checksum()
+                .expect("digest must match the store convention");
+        }
     }
 }

@@ -161,9 +161,7 @@ impl<R: Read> Reader<R> {
     pub fn blob(&mut self, max_len: u64) -> Result<Vec<u8>, StoreError> {
         let len = self.u64()?;
         if len > max_len {
-            return Err(StoreError::Corrupt(format!(
-                "blob length {len} exceeds the sanity limit {max_len}"
-            )));
+            return Err(StoreError::BlobTooLarge { len, max_len });
         }
         self.bytes(len as usize)
     }
@@ -239,7 +237,27 @@ mod tests {
         w.blob(&[0u8; 100]).unwrap();
         let buf = w.finish().unwrap();
         let mut r = Reader::new(&buf[..]);
-        assert!(matches!(r.blob(10), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            r.blob(10),
+            Err(StoreError::BlobTooLarge {
+                len: 100,
+                max_len: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_blob_error_displays_both_lengths() {
+        let mut w = Writer::new(Vec::new());
+        w.blob(&[0u8; 100]).unwrap();
+        let buf = w.finish().unwrap();
+        let mut r = Reader::new(&buf[..]);
+        let err = r.blob(10).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("100") && text.contains("10"),
+            "display must carry the claimed length and the limit: {text}"
+        );
     }
 
     #[test]

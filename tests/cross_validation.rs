@@ -32,9 +32,9 @@ fn all_miners_agree_across_seeds() {
         let rho = 0.002;
         let config = MppConfig::default();
 
-        let worst = mpp(&seq, gap, rho, gap.l1(seq.len()), config).unwrap();
-        let auto = mppm(&seq, gap, rho, 4, config).unwrap();
-        let adapt = adaptive_mpp(&seq, gap, rho, 5, config).unwrap();
+        let worst = mpp(&seq, gap, rho, gap.l1(seq.len()), config.clone()).unwrap();
+        let auto = mppm(&seq, gap, rho, 4, config.clone()).unwrap();
+        let adapt = adaptive_mpp(&seq, gap, rho, 5, config.clone()).unwrap();
         // The enumeration baseline needs a level cap to stay tractable;
         // compare the sets restricted to that depth.
         let depth = worst.longest_len().max(4);
@@ -42,8 +42,8 @@ fn all_miners_agree_across_seeds() {
             max_level: Some(depth),
             ..config
         };
-        let baseline = enumerate(&seq, gap, rho, capped, u128::MAX).unwrap();
-        let worst_capped = mpp(&seq, gap, rho, gap.l1(seq.len()), capped).unwrap();
+        let baseline = enumerate(&seq, gap, rho, capped.clone(), u128::MAX).unwrap();
+        let worst_capped = mpp(&seq, gap, rho, gap.l1(seq.len()), capped.clone()).unwrap();
 
         assert_same_outcomes(&worst, &auto, &format!("seed {seed}: worst vs mppm"));
         assert_same_outcomes(

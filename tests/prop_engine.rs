@@ -110,8 +110,8 @@ proptest! {
         let gap = GapRequirement::new(n, m).unwrap();
         let rho = rho_scale as f64 * 1e-4;
         let config = MppConfig::default();
-        let old = mpp_reference(&seq, gap, rho, 8, config, threads);
-        let new = mpp_parallel(&seq, gap, rho, 8, config, threads);
+        let old = mpp_reference(&seq, gap, rho, 8, config.clone(), threads);
+        let new = mpp_parallel(&seq, gap, rho, 8, config.clone(), threads);
         // Sequences too short for a level-3 pattern under this gap are
         // rejected; both engines must agree on that too.
         prop_assert_eq!(old.is_ok(), new.is_ok());
@@ -122,7 +122,7 @@ proptest! {
             prop_assert_eq!(&a.pattern, &b.pattern);
             prop_assert_eq!(a.support, b.support);
         }
-        let serial = mpp(&seq, gap, rho, 8, config).unwrap();
+        let serial = mpp(&seq, gap, rho, 8, config.clone()).unwrap();
         prop_assert_eq!(serial.frequent.len(), new.frequent.len());
         for (a, b) in serial.frequent.iter().zip(&new.frequent) {
             prop_assert_eq!(&a.pattern, &b.pattern);
@@ -233,7 +233,7 @@ proptest! {
             ..MppConfig::default()
         };
         let base = mpp(&seq, gap, rho, 8, sparse_config);
-        let run = mpp(&seq, gap, rho, 8, config);
+        let run = mpp(&seq, gap, rho, 8, config.clone());
         prop_assert_eq!(base.is_ok(), run.is_ok());
         let Ok(base) = base else { return Ok(()) };
         let run = run.unwrap();
@@ -248,7 +248,7 @@ proptest! {
             prop_assert_eq!(a.frequent, b.frequent, "level {}", a.level);
             prop_assert_eq!(a.extended, b.extended, "level {}", a.level);
         }
-        let dfs = mpp_dfs(&seq, gap, rho, 8, config, 2).unwrap();
+        let dfs = mpp_dfs(&seq, gap, rho, 8, config.clone(), 2).unwrap();
         prop_assert_eq!(base.frequent.len(), dfs.frequent.len());
         for (a, b) in base.frequent.iter().zip(&dfs.frequent) {
             prop_assert_eq!(&a.pattern, &b.pattern);
@@ -265,8 +265,8 @@ proptest! {
         let gap = GapRequirement::new(n, m).unwrap();
         let rho = rho_scale as f64 * 1e-4;
         let config = MppConfig::default();
-        let bfs = mpp(&seq, gap, rho, 8, config);
-        let dfs = mpp_dfs(&seq, gap, rho, 8, config, threads);
+        let bfs = mpp(&seq, gap, rho, 8, config.clone());
+        let dfs = mpp_dfs(&seq, gap, rho, 8, config.clone(), threads);
         prop_assert_eq!(bfs.is_ok(), dfs.is_ok());
         let Ok(bfs) = bfs else { return Ok(()) };
         let dfs = dfs.unwrap();
@@ -286,11 +286,110 @@ proptest! {
             prop_assert_eq!(a.frequent, b.frequent, "level {}", a.level);
             prop_assert_eq!(a.extended, b.extended, "level {}", a.level);
         }
-        let reference = mpp_reference(&seq, gap, rho, 8, config, 1).unwrap();
+        let reference = mpp_reference(&seq, gap, rho, 8, config.clone(), 1).unwrap();
         prop_assert_eq!(reference.frequent.len(), dfs.frequent.len());
         for (a, b) in reference.frequent.iter().zip(&dfs.frequent) {
             prop_assert_eq!(&a.pattern, &b.pattern);
             prop_assert_eq!(a.support, b.support);
+        }
+    }
+}
+
+/// Everything observable except durations, arena bytes and the spill
+/// counters must be bit-identical between a spilling and a
+/// non-spilling run.
+fn assert_spill_invariant(a: &MineOutcome, b: &MineOutcome, label: &str) {
+    assert_eq!(a.frequent.len(), b.frequent.len(), "{label}");
+    for (x, y) in a.frequent.iter().zip(&b.frequent) {
+        assert_eq!(x.pattern, y.pattern, "{label}");
+        assert_eq!(x.support, y.support, "{label}");
+    }
+    assert_eq!(a.stats.n_used, b.stats.n_used, "{label}");
+    assert_eq!(a.stats.em, b.stats.em, "{label}");
+    assert_eq!(
+        a.stats.support_saturated, b.stats.support_saturated,
+        "{label}"
+    );
+    assert_eq!(a.stats.levels.len(), b.stats.levels.len(), "{label}");
+    for (x, y) in a.stats.levels.iter().zip(&b.stats.levels) {
+        assert_eq!(x.level, y.level, "{label}");
+        assert_eq!(x.candidates, y.candidates, "{label} level {}", x.level);
+        assert_eq!(x.frequent, y.frequent, "{label} level {}", x.level);
+        assert_eq!(x.extended, y.extended, "{label} level {}", x.level);
+    }
+}
+
+// The spill differential runs three full mines per engine per case, so
+// it gets its own smaller case budget.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn spilling_never_changes_the_mined_outcome(
+        (alpha, codes, (n, m), rho_scale, mode, watermark) in (
+            alphabet(),
+            codes(60),
+            gap_req(),
+            1usize..40,
+            (0u8..3).prop_map(|w| match w {
+                0 => PilRepr::Sparse,
+                1 => PilRepr::Dense,
+                _ => PilRepr::Auto,
+            }),
+            (0u8..3).prop_map(|w| match w {
+                0 => 0.0f64,
+                1 => 0.5,
+                _ => 1.0,
+            }),
+        )
+    ) {
+        use perigap::core::dfs::mpp_dfs_traced;
+        use perigap::core::mppm::mppm_dfs;
+        use perigap::core::spill::{MemSpillIo, SpillIo};
+        use perigap::core::trace::MetricsObserver;
+        use std::sync::Arc;
+
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = rho_scale as f64 * 1e-4;
+        let repr = ReprPolicy::of(mode);
+        let unbounded_cfg = MppConfig {
+            pil_repr: repr,
+            ..MppConfig::default()
+        };
+        let spill_cfg = |cap: usize| MppConfig {
+            pil_repr: repr,
+            max_arena_bytes: Some(cap),
+            spill_watermark: watermark,
+            spill_io: Some(Arc::new(MemSpillIo::default()) as Arc<dyn SpillIo>),
+            ..MppConfig::default()
+        };
+
+        for threads in [1usize, 2] {
+            let free = mpp_dfs(&seq, gap, rho, 8, unbounded_cfg.clone(), threads);
+            let spill = mpp_dfs(&seq, gap, rho, 8, spill_cfg(1 << 30), threads);
+            prop_assert_eq!(free.is_ok(), spill.is_ok());
+            if let Ok(free) = free {
+                assert_spill_invariant(&free, &spill.unwrap(), &format!("mpp {threads}t"));
+            }
+
+            let free_m = mppm_dfs(&seq, gap, rho, 4, unbounded_cfg.clone(), threads);
+            let spill_m = mppm_dfs(&seq, gap, rho, 4, spill_cfg(1 << 30), threads);
+            prop_assert_eq!(free_m.is_ok(), spill_m.is_ok());
+            if let Ok(free_m) = free_m {
+                assert_spill_invariant(&free_m, &spill_m.unwrap(), &format!("mppm {threads}t"));
+            }
+        }
+
+        // Tiny cap: single-threaded, capped at exactly the peak the
+        // spilling run itself reports — it must still complete, with
+        // the same outcome.
+        let mut metrics = MetricsObserver::new();
+        let traced = mpp_dfs_traced(&seq, gap, rho, 8, spill_cfg(1 << 30), 1, &mut metrics);
+        if let Ok(traced) = traced {
+            let peak = metrics.complete.as_ref().unwrap().peak_arena_bytes.max(1);
+            let tiny = mpp_dfs(&seq, gap, rho, 8, spill_cfg(peak), 1).unwrap();
+            assert_spill_invariant(&traced, &tiny, "tiny cap");
         }
     }
 }

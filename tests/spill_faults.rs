@@ -1,0 +1,226 @@
+//! Fault injection for the spill-to-disk layer: whatever the backing
+//! storage does — short writes, a full disk mid-record, torn reads,
+//! flipped bits, or a panic inside a restore — the engine must either
+//! return the correct pattern set or a typed error in bounded time.
+//! It must never hang and never "succeed" with a wrong answer.
+//!
+//! Every injector wraps the real in-memory backend
+//! ([`MemSpillIo`]) so the fault is the *only* difference from a
+//! healthy run.
+
+use perigap::core::spill::{MemSpillIo, SpillIo};
+use perigap::prelude::*;
+use std::io;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The workload every test mines: `ATATAT…` under gap `[1,1]` splits
+/// into two components at the seed level, so a zero watermark forces a
+/// spill of (at least) two records followed by their restores.
+fn mine_with(io: Arc<dyn SpillIo>, threads: usize) -> Result<MineOutcome, MineError> {
+    let seq = Sequence::dna(&"AT".repeat(50)).unwrap();
+    let gap = GapRequirement::new(1, 1).unwrap();
+    let config = MppConfig {
+        max_arena_bytes: Some(1 << 20),
+        spill_watermark: 0.0,
+        spill_io: Some(io),
+        ..MppConfig::default()
+    };
+    perigap::core::dfs::mpp_dfs(&seq, gap, 0.4, 20, config, threads)
+}
+
+/// The healthy baseline the faulty runs are measured against.
+fn healthy_outcome() -> MineOutcome {
+    let out = mine_with(Arc::new(MemSpillIo::default()), 1).expect("healthy run mines");
+    assert!(out.stats.spilled_records >= 2, "workload must spill");
+    out
+}
+
+/// A faulty run may only ever fail with the typed spill error — and if
+/// it somehow succeeds, the answer must be the correct one.
+fn assert_fails_typed(result: Result<MineOutcome, MineError>, label: &str) {
+    match result {
+        Err(MineError::SpillIo { .. }) => {}
+        Ok(out) => {
+            assert_eq!(
+                out.frequent,
+                healthy_outcome().frequent,
+                "{label}: a run that claims success must not lie"
+            );
+            panic!("{label}: the injected fault was never hit");
+        }
+        Err(other) => panic!("{label}: expected MineError::SpillIo, got {other:?}"),
+    }
+}
+
+/// Drops the tail of every record on the way to storage.
+#[derive(Debug, Default)]
+struct ShortWriteIo {
+    inner: MemSpillIo,
+}
+
+impl SpillIo for ShortWriteIo {
+    fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()> {
+        let keep = bytes.len().saturating_sub(7);
+        self.inner.write(record, &bytes[..keep])
+    }
+    fn read(&self, record: u64) -> io::Result<Vec<u8>> {
+        self.inner.read(record)
+    }
+    fn remove(&self, record: u64) {
+        self.inner.remove(record);
+    }
+}
+
+/// Accepts the first record, then the disk is full.
+#[derive(Debug, Default)]
+struct FullDiskIo {
+    inner: MemSpillIo,
+}
+
+impl SpillIo for FullDiskIo {
+    fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()> {
+        if record >= 1 {
+            return Err(io::Error::other("ENOSPC: no space left on device"));
+        }
+        self.inner.write(record, bytes)
+    }
+    fn read(&self, record: u64) -> io::Result<Vec<u8>> {
+        self.inner.read(record)
+    }
+    fn remove(&self, record: u64) {
+        self.inner.remove(record);
+    }
+}
+
+/// Stores faithfully, returns only the first half on restore.
+#[derive(Debug, Default)]
+struct TornReadIo {
+    inner: MemSpillIo,
+}
+
+impl SpillIo for TornReadIo {
+    fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write(record, bytes)
+    }
+    fn read(&self, record: u64) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read(record)?;
+        bytes.truncate(bytes.len() / 2);
+        Ok(bytes)
+    }
+    fn remove(&self, record: u64) {
+        self.inner.remove(record);
+    }
+}
+
+/// Stores faithfully, flips one payload bit on restore.
+#[derive(Debug, Default)]
+struct BitFlipIo {
+    inner: MemSpillIo,
+}
+
+impl SpillIo for BitFlipIo {
+    fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write(record, bytes)
+    }
+    fn read(&self, record: u64) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read(record)?;
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        Ok(bytes)
+    }
+    fn remove(&self, record: u64) {
+        self.inner.remove(record);
+    }
+}
+
+#[test]
+fn short_writes_are_caught_on_restore() {
+    for threads in [1usize, 2] {
+        assert_fails_typed(
+            mine_with(Arc::new(ShortWriteIo::default()), threads),
+            &format!("short write, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn full_disk_mid_spill_fails_typed_and_cleans_up() {
+    let io = Arc::new(FullDiskIo::default());
+    assert_fails_typed(mine_with(Arc::clone(&io) as _, 1), "full disk");
+    // The record written before the disk filled up was removed again:
+    // a failed spill leaves nothing behind.
+    assert!(
+        io.inner.read(0).is_err(),
+        "record 0 must be cleaned up after the failed spill"
+    );
+}
+
+#[test]
+fn torn_reads_are_caught_on_restore() {
+    for threads in [1usize, 2] {
+        assert_fails_typed(
+            mine_with(Arc::new(TornReadIo::default()), threads),
+            &format!("torn read, {threads} threads"),
+        );
+    }
+}
+
+#[test]
+fn flipped_bits_are_caught_on_restore() {
+    for threads in [1usize, 2] {
+        assert_fails_typed(
+            mine_with(Arc::new(BitFlipIo::default()), threads),
+            &format!("bit flip, {threads} threads"),
+        );
+    }
+}
+
+/// Panics inside [`SpillIo::read`], but only on pool worker threads
+/// (named `pgmine-worker-<id>`); on the mining thread it first parks
+/// long enough for a worker to wake up and claim the other record,
+/// then restores normally.
+#[derive(Debug, Default)]
+struct PanicOnWorkerIo {
+    inner: MemSpillIo,
+}
+
+impl SpillIo for PanicOnWorkerIo {
+    fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write(record, bytes)
+    }
+    fn read(&self, record: u64) -> io::Result<Vec<u8>> {
+        let on_worker = std::thread::current()
+            .name()
+            .is_some_and(|n| n.starts_with("pgmine-worker"));
+        if on_worker {
+            panic!("injected restore panic");
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        self.inner.read(record)
+    }
+    fn remove(&self, record: u64) {
+        self.inner.remove(record);
+    }
+}
+
+/// A worker dying mid-restore must surface as [`MineError::WorkerFailed`]
+/// through the pool's liveness fallback — in bounded time, never as a
+/// hang waiting on the dead worker's result.
+#[test]
+fn panic_during_restore_drains_the_pool_instead_of_hanging() {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(mine_with(Arc::new(PanicOnWorkerIo::default()), 4));
+    });
+    let result = rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("mine must finish in bounded time, not deadlock");
+    match result {
+        Err(MineError::WorkerFailed { message, .. }) => {
+            assert!(message.contains("injected"), "unexpected message {message}");
+        }
+        Ok(_) => panic!("a worker died mid-restore; the run cannot have drained cleanly"),
+        Err(other) => panic!("expected WorkerFailed, got {other:?}"),
+    }
+}
