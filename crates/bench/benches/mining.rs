@@ -8,7 +8,7 @@ use perigap_core::dfs::mpp_dfs;
 use perigap_core::mpp::{mpp, MppConfig};
 use perigap_core::mppm::mppm;
 use perigap_core::parallel::mpp_parallel;
-use perigap_core::pil::{join_multi_into, MultiJoinScratch, Pil};
+use perigap_core::pil::{join_multi_into, JoinCounters, MultiJoinScratch, Pil};
 use perigap_core::profile::{mine_with_profile, GapProfile};
 use perigap_core::GapRequirement;
 
@@ -142,6 +142,7 @@ fn bench_join_kernel(c: &mut Criterion) {
         let entries: Vec<&[(u32, u64)]> = partners.iter().map(|p| p.entries()).collect();
         let mut outs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); entries.len()];
         let mut scratch = MultiJoinScratch::default();
+        let mut jc = JoinCounters::default();
         b.iter(|| {
             join_multi_into(
                 black_box(left.entries()),
@@ -149,6 +150,7 @@ fn bench_join_kernel(c: &mut Criterion) {
                 g,
                 &mut outs,
                 &mut scratch,
+                &mut jc,
             );
             black_box(&outs);
         });

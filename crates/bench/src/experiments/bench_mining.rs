@@ -19,7 +19,17 @@
 //!    lower and all stats counters identical;
 //! 5. **join kernel**: per-candidate [`Pil::join_checked`] calls vs the
 //!    batched multi-suffix walk ([`join_multi_into`]) over the same
-//!    shared-parent fan-out.
+//!    shared-parent fan-out;
+//! 6. **simd kernel**: the AVX2 dense window probe
+//!    ([`perigap_core::kernel::join_dense_kernel`]) vs the scalar
+//!    prefix-sum probe over identical windowed [`DensePil`]s, and the
+//!    AVX2 level-3 seeding scan vs the scalar packed-key path —
+//!    outputs cross-checked before any timing is trusted (≥ 2×
+//!    required on AVX2 hardware);
+//! 7. **single thread**: the serial packed engine vs the seed
+//!    reference at one thread on L = 50 000 (the ISSUE-6 parity row),
+//!    with per-level wall-clock from both so a late-level regression
+//!    is visible individually.
 //!
 //! The JSON is hand-rolled (the workspace carries no serde); the format
 //! is flat enough to eyeball and to parse with anything.
@@ -27,10 +37,12 @@
 use super::timed;
 use crate::data::scaling_sequence;
 use perigap_core::dfs::{mpp_dfs, mpp_dfs_traced};
-use perigap_core::mpp::{mpp_traced, MppConfig};
+use perigap_core::kernel::{join_dense_kernel, seed_level3, simd_available, ResolvedKernel};
+use perigap_core::mpp::{mpp, mpp_traced, MppConfig};
 use perigap_core::mppm::mppm_traced;
 use perigap_core::parallel::{mpp_parallel, mpp_parallel_traced};
-use perigap_core::pil::{join_multi_into, MultiJoinScratch, Pil};
+use perigap_core::pil::{join_dense_into, DensePil};
+use perigap_core::pil::{join_multi_into, JoinCounters, MultiJoinScratch, Pil};
 use perigap_core::reference::{build_all_reference, mpp_reference};
 use perigap_core::result::MineOutcome;
 use perigap_core::trace::{LevelEvent, MetricsObserver};
@@ -226,6 +238,8 @@ pub fn run(quick: bool) {
     let engine_comparison = engine_comparison(&e2e_seq, gap, reps);
     let spill = spill_overhead(&e2e_seq, gap, reps);
     let join_kernel = join_kernel(&e2e_seq, gap, if quick { 50 } else { 200 });
+    let simd_kernel = simd_kernel(&e2e_seq, gap, if quick { 20 } else { 100 });
+    let single_thread = single_thread(if quick { 10_000 } else { 50_000 }, gap, reps);
 
     // The adaptive-layout section (ISSUE-4): occupancy kernel sweep,
     // the representation-invariance gate with histogram, and the
@@ -235,7 +249,7 @@ pub fn run(quick: bool) {
     let dfs_sweep = super::pil_repr::dfs_sweep(quick);
 
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
@@ -460,6 +474,7 @@ fn join_kernel(seq: &perigap_seq::Sequence, gap: GapRequirement, rounds: usize) 
     });
     let mut scratch = MultiJoinScratch::default();
     let mut outs: Vec<Vec<(u32, u64)>> = Vec::new();
+    let mut jc = JoinCounters::default();
     let (_, batched) = timed(|| {
         for _ in 0..rounds {
             for (i, partners) in &fan_outs {
@@ -474,6 +489,7 @@ fn join_kernel(seq: &perigap_seq::Sequence, gap: GapRequirement, rounds: usize) 
                     gap,
                     &mut outs[..entries.len()],
                     &mut scratch,
+                    &mut jc,
                 );
                 std::hint::black_box(&outs);
             }
@@ -491,6 +507,7 @@ fn join_kernel(seq: &perigap_seq::Sequence, gap: GapRequirement, rounds: usize) 
             gap,
             &mut outs[..entries.len()],
             &mut scratch,
+            &mut jc,
         );
         for (k, &j) in partners.iter().enumerate() {
             let (scalar, _) = Pil::join_checked(&pils[*i].1, &pils[j].1, gap);
@@ -511,6 +528,203 @@ fn join_kernel(seq: &perigap_seq::Sequence, gap: GapRequirement, rounds: usize) 
         ms(per_candidate),
         ms(batched),
         speedup
+    )
+}
+
+/// The SIMD kernel section: the AVX2 dense window probe vs the scalar
+/// prefix-sum probe over the same pre-built windowed [`DensePil`]s (the
+/// level-3 fan-out of `seq`), and the AVX2 level-3 seeding scan vs the
+/// scalar packed-key path. Both halves cross-check outputs before any
+/// timing is trusted; without AVX2 (or under `PERIGAP_FORCE_SCALAR`)
+/// the "simd" timings measure the fallback and `simd_available` in the
+/// fragment says so. Returns the JSON fragment.
+fn simd_kernel(seq: &perigap_seq::Sequence, gap: GapRequirement, rounds: usize) -> String {
+    use std::collections::HashMap;
+    let available = simd_available();
+    println!(
+        "bench: simd kernel, L = {}, avx2 {}",
+        seq.len(),
+        if available { "yes" } else { "NO (fallback)" }
+    );
+
+    // The same shared-parent fan-out as `join_kernel`, with every
+    // suffix lifted into the windowed dense layout the SIMD probe
+    // wants. Builds happen here, outside the timed region.
+    let pils: Vec<(Vec<u8>, Pil)> = {
+        let mut v: Vec<_> = Pil::build_all(seq, gap, 3)
+            .into_iter()
+            .map(|(p, pil)| (p.codes().to_vec(), pil))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    };
+    let dense: Vec<DensePil> = pils
+        .iter()
+        .map(|(_, pil)| DensePil::build_windowed(pil.entries(), gap).expect("bench counts fit u64"))
+        .collect();
+    let by_prefix: HashMap<&[u8], Vec<usize>> = {
+        let mut m: HashMap<&[u8], Vec<usize>> = HashMap::new();
+        for (i, (codes, _)) in pils.iter().enumerate() {
+            m.entry(&codes[..2]).or_default().push(i);
+        }
+        m
+    };
+    let fan_outs: Vec<(usize, Vec<usize>)> = pils
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (codes, _))| {
+            by_prefix
+                .get(&codes[1..])
+                .map(|partners| (i, partners.clone()))
+        })
+        .collect();
+    let candidates: usize = fan_outs.iter().map(|(_, p)| p.len()).sum();
+
+    // Cross-check first: the vector probe must be bit-identical to the
+    // scalar one over every candidate in the fan-out.
+    let mut jc = JoinCounters::default();
+    let mut scalar_out = Vec::new();
+    let mut simd_out = Vec::new();
+    for (i, partners) in &fan_outs {
+        for &j in partners {
+            scalar_out.clear();
+            simd_out.clear();
+            join_dense_into(
+                pils[*i].1.entries(),
+                &dense[j],
+                gap,
+                &mut scalar_out,
+                &mut jc,
+            );
+            join_dense_kernel(
+                ResolvedKernel::Simd,
+                pils[*i].1.entries(),
+                &dense[j],
+                gap,
+                &mut simd_out,
+                &mut jc,
+            );
+            assert_eq!(scalar_out, simd_out, "dense probe kernels disagree");
+        }
+    }
+
+    let (_, probe_scalar) = timed(|| {
+        for _ in 0..rounds {
+            for (i, partners) in &fan_outs {
+                for &j in partners {
+                    scalar_out.clear();
+                    join_dense_into(
+                        pils[*i].1.entries(),
+                        &dense[j],
+                        gap,
+                        &mut scalar_out,
+                        &mut jc,
+                    );
+                    std::hint::black_box(&scalar_out);
+                }
+            }
+        }
+    });
+    let (_, probe_simd) = timed(|| {
+        for _ in 0..rounds {
+            for (i, partners) in &fan_outs {
+                for &j in partners {
+                    simd_out.clear();
+                    join_dense_kernel(
+                        ResolvedKernel::Simd,
+                        pils[*i].1.entries(),
+                        &dense[j],
+                        gap,
+                        &mut simd_out,
+                        &mut jc,
+                    );
+                    std::hint::black_box(&simd_out);
+                }
+            }
+        }
+    });
+    let probe_speedup = probe_scalar.as_secs_f64() / probe_simd.as_secs_f64();
+    println!(
+        "  dense probe {candidates} candidates x {rounds} rounds: scalar {:.1} ms | simd {:.1} ms | speedup {:.2}x",
+        ms(probe_scalar),
+        ms(probe_simd),
+        probe_speedup
+    );
+
+    // Level-3 seeding: the whole seed build, scalar vs vector scan.
+    // `seed_level3` returns (patterns, total PIL entries); both kernels
+    // must agree exactly.
+    let reps = 3;
+    let (scalar_counts, seed_scalar) =
+        best_of(reps, || seed_level3(seq, gap, ResolvedKernel::Scalar));
+    let (simd_counts, seed_simd) = best_of(reps, || seed_level3(seq, gap, ResolvedKernel::Simd));
+    assert_eq!(scalar_counts, simd_counts, "seeding kernels disagree");
+    let seed_speedup = seed_scalar.as_secs_f64() / seed_simd.as_secs_f64();
+    println!(
+        "  level-3 seeding {} patterns / {} entries: scalar {:.1} ms | simd {:.1} ms | speedup {:.2}x",
+        scalar_counts.0,
+        scalar_counts.1,
+        ms(seed_scalar),
+        ms(seed_simd),
+        seed_speedup
+    );
+
+    format!(
+        "{{\"length\": {}, \"simd_available\": {available}, \"dense_probe\": {{\"parents\": {}, \"candidates\": {candidates}, \"rounds\": {rounds}, \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.3}}}, \"seeding_level3\": {{\"patterns\": {}, \"pil_entries\": {}, \"scalar_ms\": {:.3}, \"simd_ms\": {:.3}, \"speedup\": {:.3}}}}}",
+        seq.len(),
+        fan_outs.len(),
+        ms(probe_scalar),
+        ms(probe_simd),
+        probe_speedup,
+        scalar_counts.0,
+        scalar_counts.1,
+        ms(seed_scalar),
+        ms(seed_simd),
+        seed_speedup
+    )
+}
+
+/// Single-thread end-to-end parity (the ISSUE-6 acceptance row): the
+/// serial packed engine vs the seed reference at one thread, with
+/// per-level wall-clock from both runs so a late-level regression is
+/// visible individually, not averaged away. `late_levels_no_slower`
+/// checks levels ≥ 7 at a 10% timing-noise tolerance. Returns the JSON
+/// fragment.
+fn single_thread(len: usize, gap: GapRequirement, reps: usize) -> String {
+    let seq = scaling_sequence(len);
+    let config = MppConfig::default();
+    println!("bench: single-thread parity, L = {len}");
+    let (ref_outcome, ref_wall) = best_of(reps, || {
+        mpp_reference(&seq, gap, RHO, N, config.clone(), 1).unwrap()
+    });
+    let (new_outcome, new_wall) = best_of(reps, || mpp(&seq, gap, RHO, N, config.clone()).unwrap());
+    assert_eq!(
+        ref_outcome.frequent.len(),
+        new_outcome.frequent.len(),
+        "engines disagree"
+    );
+    let speedup = ref_wall.as_secs_f64() / new_wall.as_secs_f64();
+    let late_levels_no_slower = new_outcome
+        .stats
+        .levels
+        .iter()
+        .zip(&ref_outcome.stats.levels)
+        .filter(|(l, _)| l.level >= 7)
+        .all(|(new, old)| new.elapsed.as_secs_f64() <= old.elapsed.as_secs_f64() * 1.10);
+    println!(
+        "  reference {:.1} ms | packed {:.1} ms | speedup {:.2}x | late levels no slower: {late_levels_no_slower}",
+        ms(ref_wall),
+        ms(new_wall),
+        speedup
+    );
+    format!(
+        "{{\"length\": {len}, \"threads\": 1, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3}, \"late_levels_no_slower\": {late_levels_no_slower},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}}",
+        new_outcome.frequent.len(),
+        ms(ref_wall),
+        ms(new_wall),
+        speedup,
+        level_json(&ref_outcome),
+        level_json(&new_outcome)
     )
 }
 
@@ -553,6 +767,25 @@ mod tests {
         let json = join_kernel(&seq, gap, 2);
         assert!(json.contains("\"speedup\""), "{json}");
         assert!(json.contains("\"candidates\""), "{json}");
+    }
+
+    #[test]
+    fn simd_kernel_fragment_cross_checks() {
+        let seq = scaling_sequence(2_000);
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let json = simd_kernel(&seq, gap, 2);
+        assert!(json.contains("\"dense_probe\""), "{json}");
+        assert!(json.contains("\"seeding_level3\""), "{json}");
+        assert!(json.contains("\"simd_available\""), "{json}");
+    }
+
+    #[test]
+    fn single_thread_fragment_shape() {
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let json = single_thread(2_000, gap, 1);
+        assert!(json.contains("\"threads\": 1"), "{json}");
+        assert!(json.contains("\"late_levels_no_slower\""), "{json}");
+        assert!(json.contains("\"engine_levels\""), "{json}");
     }
 
     #[test]

@@ -29,7 +29,9 @@ use perigap_core::adaptive::{repr_stats, ReprCache};
 use perigap_core::dfs::mpp_dfs_traced;
 use perigap_core::mppm::{mppm_dfs_traced, mppm_traced};
 use perigap_core::parallel::{mpp_parallel, mpp_parallel_traced};
-use perigap_core::pil::{join_dense_into, join_multi_into, DensePil, MultiJoinScratch};
+use perigap_core::pil::{
+    join_dense_into, join_multi_into, DensePil, JoinCounters, MultiJoinScratch,
+};
 use perigap_core::trace::MetricsObserver;
 use perigap_core::{GapRequirement, MineOutcome, PilRepr, ReprPolicy};
 use std::fmt::Write as _;
@@ -100,18 +102,26 @@ pub fn occupancy_section(quick: bool) -> String {
         let mut scratch = MultiJoinScratch::default();
         let mut outs: Vec<Vec<(u32, u64)>> = vec![Vec::new()];
         let mut dout: Vec<(u32, u64)> = Vec::new();
+        let mut jc = JoinCounters::default();
 
         // Cross-check once per occupancy: the dense probe must match
         // the sparse merge exactly before any timing is trusted.
-        join_multi_into(&prefixes[0], &[&suffix], gap, &mut outs[..1], &mut scratch);
+        join_multi_into(
+            &prefixes[0],
+            &[&suffix],
+            gap,
+            &mut outs[..1],
+            &mut scratch,
+            &mut jc,
+        );
         let check = DensePil::build(&suffix).expect("bench counts fit u64");
-        join_dense_into(&prefixes[0], &check, gap, &mut dout);
+        join_dense_into(&prefixes[0], &check, gap, &mut dout, &mut jc);
         assert_eq!(outs[0], dout, "kernel mismatch at occupancy {occ}");
 
         let (_, sparse) = timed_median(reps, || {
             for _ in 0..rounds {
                 for p in &prefixes {
-                    join_multi_into(p, &[&suffix], gap, &mut outs[..1], &mut scratch);
+                    join_multi_into(p, &[&suffix], gap, &mut outs[..1], &mut scratch, &mut jc);
                     std::hint::black_box(&outs);
                 }
             }
@@ -121,7 +131,7 @@ pub fn occupancy_section(quick: bool) -> String {
                 let d = DensePil::build(&suffix).expect("bench counts fit u64");
                 for p in &prefixes {
                     dout.clear();
-                    join_dense_into(p, &d, gap, &mut dout);
+                    join_dense_into(p, &d, gap, &mut dout, &mut jc);
                     std::hint::black_box(&dout);
                 }
             }
@@ -138,12 +148,12 @@ pub fn occupancy_section(quick: bool) -> String {
                     let d = cache.get(0).expect("decided dense");
                     for p in &prefixes {
                         dout.clear();
-                        join_dense_into(p, d, gap, &mut dout);
+                        join_dense_into(p, d, gap, &mut dout, &mut jc);
                         std::hint::black_box(&dout);
                     }
                 } else {
                     for p in &prefixes {
-                        join_multi_into(p, &[&suffix], gap, &mut outs[..1], &mut scratch);
+                        join_multi_into(p, &[&suffix], gap, &mut outs[..1], &mut scratch, &mut jc);
                         std::hint::black_box(&outs);
                     }
                 }

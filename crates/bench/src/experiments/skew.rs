@@ -7,6 +7,12 @@
 //! imbalance — one worker dragging a level while the rest idle — is
 //! visible without replaying the mine. A worker whose total busy time
 //! exceeds twice the median is flagged `SKEW`.
+//!
+//! Each `level` event also carries the join-path micro-counters
+//! (`joins`, `probed`, `reallocs`, `bytes_moved`, `join_ms`); those are
+//! rendered as a second table so a skewed level can be tied to its
+//! join work — many reallocs on one level points at reserve trouble,
+//! a high probed/joins ratio at overlap-heavy fan-out.
 
 use perigap_analysis::report::TextTable;
 use perigap_core::trace::Json;
@@ -44,11 +50,18 @@ pub fn run(trace_path: &str) {
 pub fn render(text: &str) -> Result<String, String> {
     let mut totals: Vec<WorkerTotals> = Vec::new();
     let mut pool_events = 0usize;
+    let mut join_rows: Vec<JoinRow> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let value = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if value.get("event").and_then(Json::as_str) == Some("level") {
+            if let Some(row) = JoinRow::from_event(&value) {
+                join_rows.push(row);
+            }
+            continue;
+        }
         if value.get("event").and_then(Json::as_str) != Some("pool") {
             continue;
         }
@@ -76,11 +89,11 @@ pub fn render(text: &str) -> Result<String, String> {
         }
     }
     if pool_events == 0 {
-        return Ok(
-            "no pool events in trace (serial run, or no level crossed the \
+        let mut out = "no pool events in trace (serial run, or no level crossed the \
                    parallel threshold); nothing to skew-check\n"
-                .to_string(),
-        );
+            .to_string();
+        out.push_str(&render_join_rows(&join_rows));
+        return Ok(out);
     }
 
     // Flag threshold: twice the median total busy time. With an even
@@ -140,7 +153,68 @@ pub fn render(text: &str) -> Result<String, String> {
             if flagged == 1 { "" } else { "s" }
         ));
     }
+    out.push_str(&render_join_rows(&join_rows));
     Ok(out)
+}
+
+/// Join-path micro-counters lifted from one `level` event.
+struct JoinRow {
+    level: usize,
+    joins: u128,
+    probed: u128,
+    reallocs: u128,
+    bytes_moved: u128,
+    join_ms: f64,
+}
+
+impl JoinRow {
+    fn from_event(value: &Json) -> Option<JoinRow> {
+        Some(JoinRow {
+            level: value.get("level")?.as_usize()?,
+            joins: value.get("joins")?.as_u128()?,
+            probed: value.get("probed")?.as_u128()?,
+            reallocs: value.get("reallocs")?.as_u128()?,
+            bytes_moved: value.get("bytes_moved")?.as_u128()?,
+            join_ms: value.get("join_ms")?.as_f64()?,
+        })
+    }
+}
+
+/// The per-level join-counter table. Empty input (a trace predating the
+/// counters, or one with no level events) renders nothing rather than
+/// an empty table.
+fn render_join_rows(rows: &[JoinRow]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = "\njoin-path counters per level\n\n".to_string();
+    let mut table = TextTable::new(&[
+        "level",
+        "joins",
+        "probed",
+        "probed/join",
+        "reallocs",
+        "moved bytes",
+        "join ms",
+    ]);
+    for r in rows {
+        let per_join = if r.joins > 0 {
+            format!("{:.1}", r.probed as f64 / r.joins as f64)
+        } else {
+            "-".to_string()
+        };
+        table.row(&[
+            r.level.to_string(),
+            r.joins.to_string(),
+            r.probed.to_string(),
+            per_join,
+            r.reallocs.to_string(),
+            r.bytes_moved.to_string(),
+            format!("{:.3}", r.join_ms),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
 }
 
 #[cfg(test)]
@@ -148,6 +222,7 @@ mod tests {
     use super::*;
 
     const TRACE: &str = r#"{"event": "seed", "level": 3, "patterns": 64, "pil_entries": 10, "arena_bytes": 100, "elapsed_ms": 1.0}
+{"event": "level", "level": 4, "candidates": 12, "evaluated": 12, "frequent": 6, "kept": 6, "pruned_bound": 0, "pruned_support": 6, "arena_bytes": 200, "joins": 4, "probed": 120, "reallocs": 1, "bytes_moved": 96, "join_ms": 0.5, "elapsed_ms": 2.0, "saturated": false}
 {"event": "pool", "level": 4, "chunks": 8, "workers": [{"worker": 0, "chunks": 2, "candidates": 100, "busy_ms": 1.0, "idle_ms": 3.0}, {"worker": 1, "chunks": 6, "candidates": 300, "busy_ms": 9.0, "idle_ms": 0.5}]}
 {"event": "pool", "level": 5, "chunks": 8, "workers": [{"worker": 0, "chunks": 4, "candidates": 200, "busy_ms": 1.5, "idle_ms": 1.0}, {"worker": 1, "chunks": 4, "candidates": 200, "busy_ms": 2.0, "idle_ms": 0.0}]}
 "#;
@@ -161,12 +236,32 @@ mod tests {
         assert!(out.contains("0 (main)"), "{out}");
         assert!(out.contains("500"), "worker 1 candidate total: {out}");
         assert!(out.contains("1 worker above"), "{out}");
+        // The level event's join counters land in the second table.
+        assert!(out.contains("join-path counters"), "{out}");
+        assert!(out.contains("30.0"), "probed/join ratio 120/4: {out}");
     }
 
     #[test]
     fn serial_trace_renders_note() {
         let out = render("{\"event\": \"seed\", \"level\": 3}\n").unwrap();
         assert!(out.contains("no pool events"), "{out}");
+        assert!(
+            !out.contains("join-path counters"),
+            "no level events, no join table: {out}"
+        );
+    }
+
+    #[test]
+    fn serial_trace_with_levels_still_renders_join_counters() {
+        let text: String = TRACE
+            .lines()
+            .filter(|l| !l.contains("\"pool\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let out = render(&text).unwrap();
+        assert!(out.contains("no pool events"), "{out}");
+        assert!(out.contains("join-path counters"), "{out}");
+        assert!(out.contains("120"), "{out}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use perigap_core::mppm::{mppm_dfs_traced, mppm_traced};
 use perigap_core::parallel::mpp_parallel_traced;
 use perigap_core::trace::{validate_trace, JsonlObserver, MetricsObserver};
 use perigap_core::verify::verify_outcome;
-use perigap_core::{GapRequirement, MineOutcome, PilRepr, ReprPolicy};
+use perigap_core::{GapRequirement, Kernel, MineOutcome, PilRepr, ReprPolicy};
 use perigap_seq::fasta::read_fasta;
 use perigap_seq::oscillation::correlation_spectrum;
 use perigap_seq::stats::{gc_content, shannon_entropy};
@@ -36,6 +36,8 @@ USAGE:
                 frac * ceiling (default 0.5)]
                [--pil-repr auto|sparse|dense  per-list PIL join layout;
                 output-identical, performance only]
+               [--kernel auto|scalar|simd  join/seed kernels; simd needs
+                AVX2 and falls back to scalar; output-identical]
                [--format table|tsv] [--save <path.pgst>] [--verify]
                [--trace <path.jsonl>  mpp/mppm only] [--metrics]
   pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
@@ -80,6 +82,7 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "spill-dir",
             "spill-watermark",
             "pil-repr",
+            "kernel",
         ],
         &["verify", "metrics"],
     )?;
@@ -168,6 +171,10 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         Some(raw) => ReprPolicy::of(raw.parse::<PilRepr>().map_err(ArgError)?),
         None => ReprPolicy::default(),
     };
+    let kernel = match args.get("kernel") {
+        Some(raw) => raw.parse::<Kernel>().map_err(ArgError)?,
+        None => Kernel::default(),
+    };
     let spill_dir = args.get("spill-dir").map(std::path::PathBuf::from);
     let spill_watermark: f64 = match args.get("spill-watermark") {
         Some(raw) => {
@@ -220,6 +227,7 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         max_level,
         max_arena_bytes,
         pil_repr,
+        kernel,
         spill_dir,
         spill_watermark,
         ..MppConfig::default()
@@ -720,6 +728,56 @@ mod tests {
         assert!(out.contains("pil repr (dense):"), "{out}");
         let err = run_words(&base(&["--pil-repr", "bitmap"])).unwrap_err();
         assert!(err.to_string().contains("auto|sparse|dense"), "{err}");
+    }
+
+    #[test]
+    fn mine_with_kernel_is_output_identical() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        for algo_args in [
+            &["--algorithm", "mpp"][..],
+            &["--algorithm", "mpp", "--engine", "dfs"],
+            &["--algorithm", "mppm"],
+        ] {
+            let reference = run_words(&base(algo_args)).unwrap();
+            for mode in ["auto", "scalar", "simd"] {
+                let mut extra = algo_args.to_vec();
+                extra.extend(["--kernel", mode]);
+                let out = run_words(&base(&extra)).unwrap_or_else(|e| panic!("{mode}: {e}"));
+                assert_eq!(out, reference, "--kernel {mode} changed the output");
+            }
+        }
+        // The resolved kernel lands in the trace summary line.
+        let mut trace_path = std::env::temp_dir();
+        trace_path.push(format!("pgmine-kernel-{}.jsonl", std::process::id()));
+        let trace_str = trace_path.to_str().unwrap().to_string();
+        run_words(&base(&[
+            "--algorithm",
+            "mpp",
+            "--kernel",
+            "scalar",
+            "--trace",
+            &trace_str,
+        ]))
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(trace.contains("\"kernel\": \"scalar\""), "{trace}");
+        std::fs::remove_file(&trace_path).ok();
+        let err = run_words(&base(&["--kernel", "neon"])).unwrap_err();
+        assert!(err.to_string().contains("auto|scalar|simd"), "{err}");
     }
 
     #[test]

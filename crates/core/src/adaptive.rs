@@ -21,6 +21,7 @@
 
 use crate::error::MineError;
 use crate::gap::GapRequirement;
+use crate::kernel::ResolvedKernel;
 use crate::mpp::{mpp, MppConfig};
 use crate::pil::DensePil;
 use crate::result::MineOutcome;
@@ -198,6 +199,12 @@ const TAG_DENSE: u8 = 2;
 /// whenever the indices start referring to a different generation.
 pub struct ReprCache {
     policy: ReprPolicy,
+    /// The resolved join kernel: under [`ResolvedKernel::Simd`] dense
+    /// builds also materialize the windowed-sum array for `gap` so the
+    /// vector probe has its gather target.
+    kern: ResolvedKernel,
+    /// The gap the windowed sums are precomputed for (SIMD only).
+    gap: Option<GapRequirement>,
     /// Decision per pattern index; `TAG_UNDECIDED` until first use.
     tags: Vec<u8>,
     /// Built prefix-sum arrays for the dense-tagged indices.
@@ -205,10 +212,26 @@ pub struct ReprCache {
 }
 
 impl ReprCache {
-    /// An empty cache carrying `policy`.
+    /// An empty cache carrying `policy`, building plain (scalar-probe)
+    /// dense arrays.
     pub fn new(policy: ReprPolicy) -> ReprCache {
+        ReprCache::with_kernel(policy, ResolvedKernel::Scalar, None)
+    }
+
+    /// An empty cache whose dense builds match `kern`: the SIMD kernel
+    /// gets windowed-sum arrays for `gap`. The dense/sparse *decisions*
+    /// are identical across kernels — [`DensePil::build_windowed`]
+    /// succeeds exactly when [`DensePil::build`] does — so
+    /// representation choice stays kernel-invariant.
+    pub fn with_kernel(
+        policy: ReprPolicy,
+        kern: ResolvedKernel,
+        gap: Option<GapRequirement>,
+    ) -> ReprCache {
         ReprCache {
             policy,
+            kern,
+            gap,
             tags: Vec::new(),
             dense: HashMap::new(),
         }
@@ -239,7 +262,10 @@ impl ReprCache {
             _ => {
                 let mut built = None;
                 if self.policy.wants_dense(entries) {
-                    built = DensePil::build(entries);
+                    built = match (self.kern, self.gap) {
+                        (ResolvedKernel::Simd, Some(gap)) => DensePil::build_windowed(entries, gap),
+                        _ => DensePil::build(entries),
+                    };
                     if built.is_none() {
                         DENSE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
                     }

@@ -27,9 +27,10 @@
 
 use crate::adaptive::ReprCache;
 use crate::gap::GapRequirement;
+use crate::kernel::{self, ResolvedKernel};
 use crate::packed::KeyCodec;
 use crate::pattern::Pattern;
-use crate::pil::{join_dense_into, join_into, DensePil, Pil};
+use crate::pil::{join_into, join_multi_into, DensePil, JoinCounters, MultiJoinScratch, Pil};
 use perigap_seq::Sequence;
 use std::collections::HashMap;
 
@@ -144,11 +145,12 @@ impl PilSet {
         prefix: &[(u32, u64)],
         suffix: &[(u32, u64)],
         gap: GapRequirement,
+        counters: &mut JoinCounters,
     ) {
         debug_assert_eq!(p1_codes.len() + 1, self.level);
         self.codes.extend_from_slice(p1_codes);
         self.codes.push(last);
-        self.saturated |= join_into(prefix, suffix, gap, &mut self.entries);
+        self.saturated |= join_into(prefix, suffix, gap, &mut self.entries, counters);
         self.bounds.push(self.entries.len());
     }
 
@@ -156,6 +158,8 @@ impl PilSet {
     /// the suffix arrives as a pre-built [`DensePil`] (cached per
     /// suffix by [`ReprCache`]), so the join is one O(1) probe per
     /// prefix offset and can never saturate (see [`DensePil::build`]).
+    /// `kern` picks the scalar or AVX2 probe — same output either way.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn push_candidate_dense(
         &mut self,
         p1_codes: &[u8],
@@ -163,11 +167,31 @@ impl PilSet {
         prefix: &[(u32, u64)],
         suffix: &DensePil,
         gap: GapRequirement,
+        kern: ResolvedKernel,
+        counters: &mut JoinCounters,
     ) {
         debug_assert_eq!(p1_codes.len() + 1, self.level);
         self.codes.extend_from_slice(p1_codes);
         self.codes.push(last);
-        join_dense_into(prefix, suffix, gap, &mut self.entries);
+        kernel::join_dense_kernel(kern, prefix, suffix, gap, &mut self.entries, counters);
+        self.bounds.push(self.entries.len());
+    }
+
+    /// Append the candidate `p1_codes · last` with a PIL already
+    /// computed by the batched multi-suffix join — the entries are
+    /// copied in and the partner's saturation flag is absorbed.
+    pub(crate) fn push_batched(
+        &mut self,
+        p1_codes: &[u8],
+        last: u8,
+        entries: &[(u32, u64)],
+        saturated: bool,
+    ) {
+        debug_assert_eq!(p1_codes.len() + 1, self.level);
+        self.codes.extend_from_slice(p1_codes);
+        self.codes.push(last);
+        self.entries.extend_from_slice(entries);
+        self.saturated |= saturated;
         self.bounds.push(self.entries.len());
     }
 
@@ -227,11 +251,26 @@ impl PilSet {
 /// - key fits a `u64`: hash the packed key (still allocation-free per
 ///   event).
 /// - otherwise: hash the code string (the original pipeline's shape).
-pub(crate) fn build_seed(seq: &Sequence, gap: GapRequirement, level: usize) -> PilSet {
+pub(crate) fn build_seed(
+    seq: &Sequence,
+    gap: GapRequirement,
+    level: usize,
+    kern: ResolvedKernel,
+) -> PilSet {
     assert!(level >= 1, "level must be at least 1");
     let codec = KeyCodec::new(seq.alphabet().size());
     if codec.fits(level) {
         if codec.key_bits(level) <= DENSE_KEY_BITS_MAX {
+            // Level 3 (the engines' start level) has a vectorized scan;
+            // `build_seed_l3_simd` declines at runtime when AVX2 is
+            // unavailable and the recursive scalar scan takes over.
+            if level == 3 && kern == ResolvedKernel::Simd {
+                if let Some((slots, saturated)) =
+                    kernel::build_seed_l3_simd(seq, gap, codec, DENSE_KEY_BITS_MAX)
+                {
+                    return slots_to_set(&slots, level, codec, saturated);
+                }
+            }
             build_seed_dense(seq, gap, level, codec)
         } else {
             build_seed_sparse(seq, gap, level, codec)
@@ -269,8 +308,20 @@ fn build_seed_dense(seq: &Sequence, gap: GapRequirement, level: usize, codec: Ke
             saturated |= bump(&mut slots[key as usize], start as u32);
         });
     }
-    // Ascending slot index == ascending packed key == lexicographic
-    // code order: the set comes out sorted for free.
+    slots_to_set(&slots, level, codec, saturated)
+}
+
+/// Walk a dense key-indexed slot table into a sorted [`PilSet`].
+/// Ascending slot index == ascending packed key == lexicographic code
+/// order, so the set comes out sorted for free. Shared by the scalar
+/// scan and [`kernel::build_seed_l3_simd`], which both fill the same
+/// slot layout.
+fn slots_to_set(
+    slots: &[Vec<(u32, u64)>],
+    level: usize,
+    codec: KeyCodec,
+    saturated: bool,
+) -> PilSet {
     let mut set = PilSet::new(level);
     let mut codes = Vec::with_capacity(level);
     for (key, entries) in slots.iter().enumerate() {
@@ -409,7 +460,13 @@ pub(crate) fn prefix_runs(set: &PilSet, kept: &[usize]) -> Vec<(usize, usize)> {
 /// merge or the dense prefix-sum probe; the dense build is cached in it
 /// and reused across every left parent sharing the suffix. The caller
 /// must have [`ReprCache::begin`]-reset it for `set`'s pattern indices.
-/// Either way the emitted candidates are bit-identical.
+///
+/// Each left parent's partner run is a *sibling group*: the sparse
+/// subset shares one batched walk of the left PIL
+/// ([`join_multi_into`]), the dense subset takes the per-partner
+/// prefix-sum probe under `kern`, and candidates are emitted back in
+/// partner order — so the output is byte-identical to the per-candidate
+/// path, saturation flags included.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn generate_candidates(
     set: &PilSet,
@@ -420,9 +477,15 @@ pub(crate) fn generate_candidates(
     hi: usize,
     out: &mut PilSet,
     repr: &mut ReprCache,
+    kern: ResolvedKernel,
+    counters: &mut JoinCounters,
 ) {
     debug_assert_eq!(out.level(), set.level() + 1);
     let level = set.level();
+    let mut scratch = MultiJoinScratch::default();
+    let mut souts: Vec<Vec<(u32, u64)>> = Vec::new();
+    let mut partners: Vec<&[(u32, u64)]> = Vec::new();
+    let mut sparse_pos: Vec<usize> = Vec::new();
     for &i in &kept[lo..hi] {
         let p1 = set.pattern_codes(i);
         let suffix = &p1[1..];
@@ -430,15 +493,45 @@ pub(crate) fn generate_candidates(
             runs.binary_search_by(|&(s, _)| set.pattern_codes(kept[s])[..level - 1].cmp(suffix));
         if let Ok(r) = found {
             let (s, e) = runs[r];
-            for &j in &kept[s..e] {
-                let p2 = set.pattern_codes(j);
-                match repr.dense_for(j, set.entries(j)) {
-                    Some(dense) => {
-                        out.push_candidate_dense(p1, p2[level - 1], set.entries(i), dense, gap)
-                    }
-                    None => {
-                        out.push_candidate(p1, p2[level - 1], set.entries(i), set.entries(j), gap)
-                    }
+            sparse_pos.clear();
+            for (j, &m) in kept[s..e].iter().enumerate() {
+                if !repr.decide(m, set.entries(m)) {
+                    sparse_pos.push(j);
+                }
+            }
+            if e - s == 1 && sparse_pos.len() == 1 {
+                // Singleton sparse group: join straight into the arena,
+                // skipping the staging buffer round-trip.
+                let m = kept[s];
+                let last = set.pattern_codes(m)[level - 1];
+                out.push_candidate(p1, last, set.entries(i), set.entries(m), gap, counters);
+                continue;
+            }
+            if !sparse_pos.is_empty() {
+                let k = sparse_pos.len();
+                partners.clear();
+                partners.extend(sparse_pos.iter().map(|&j| set.entries(kept[s + j])));
+                if souts.len() < k {
+                    souts.resize_with(k, Vec::new);
+                }
+                join_multi_into(
+                    set.entries(i),
+                    &partners,
+                    gap,
+                    &mut souts[..k],
+                    &mut scratch,
+                    counters,
+                );
+            }
+            let mut sp = 0usize;
+            for (j, &m) in kept[s..e].iter().enumerate() {
+                let last = set.pattern_codes(m)[level - 1];
+                if sparse_pos.get(sp) == Some(&j) {
+                    out.push_batched(p1, last, &souts[sp], scratch.saturated[sp]);
+                    sp += 1;
+                } else {
+                    let dense = repr.get(m).expect("decided dense");
+                    out.push_candidate_dense(p1, last, set.entries(i), dense, gap, kern, counters);
                 }
             }
         }
@@ -463,6 +556,38 @@ mod tests {
         cache
     }
 
+    /// `build_seed` pinned to the scalar kernel, as most tests want.
+    fn seed(s: &Sequence, g: GapRequirement, level: usize) -> PilSet {
+        build_seed(s, g, level, ResolvedKernel::Scalar)
+    }
+
+    /// `generate_candidates` with the scalar kernel and throwaway counters.
+    #[allow(clippy::too_many_arguments)]
+    fn gen(
+        set: &PilSet,
+        kept: &[usize],
+        runs: &[(usize, usize)],
+        g: GapRequirement,
+        lo: usize,
+        hi: usize,
+        out: &mut PilSet,
+        repr: &mut ReprCache,
+    ) {
+        let mut jc = JoinCounters::default();
+        generate_candidates(
+            set,
+            kept,
+            runs,
+            g,
+            lo,
+            hi,
+            out,
+            repr,
+            ResolvedKernel::Scalar,
+            &mut jc,
+        );
+    }
+
     fn dna(text: &str) -> Sequence {
         Sequence::dna(text).unwrap()
     }
@@ -472,7 +597,7 @@ mod tests {
         let s = dna("ACGTACGTTGCAACGT");
         let g = gap(1, 3);
         for level in 1..=3 {
-            let set = build_seed(&s, g, level);
+            let set = seed(&s, g, level);
             for i in 1..set.len() {
                 assert!(set.pattern_codes(i - 1) < set.pattern_codes(i), "sorted");
             }
@@ -490,7 +615,7 @@ mod tests {
         // the key width crosses the dense and u64 thresholds.
         let s = dna(&"ACGGTTA".repeat(30));
         let g = gap(0, 1);
-        let dense = build_seed(&s, g, 3); // 6 key bits
+        let dense = seed(&s, g, 3); // 6 key bits
         let sparse = build_seed_sparse(&s, g, 3, KeyCodec::new(4));
         let bytes = build_seed_bytes(&s, g, 3);
         assert_eq!(dense, sparse);
@@ -501,7 +626,7 @@ mod tests {
     fn paper_example_via_pilset() {
         // S = AACCGTT, gap [1,2]: PIL(ACT) = {(1,3),(2,2)}.
         let s = dna("AACCGTT");
-        let set = build_seed(&s, gap(1, 2), 3);
+        let set = seed(&s, gap(1, 2), 3);
         let act: Vec<u8> = vec![0, 1, 3];
         let i = (0..set.len())
             .find(|&i| set.pattern_codes(i) == act)
@@ -514,7 +639,7 @@ mod tests {
     #[test]
     fn runs_group_shared_prefixes() {
         let s = dna("ACGTACGTACGT");
-        let set = build_seed(&s, gap(0, 2), 2);
+        let set = seed(&s, gap(0, 2), 2);
         let kept: Vec<usize> = (0..set.len()).collect();
         let runs = prefix_runs(&set, &kept);
         // Every pattern is in exactly one run and runs tile `kept`.
@@ -535,12 +660,12 @@ mod tests {
     fn candidates_match_naive_generation() {
         let s = dna("ACGTTGCAACGTTACG");
         let g = gap(1, 2);
-        let set = build_seed(&s, g, 3);
+        let set = seed(&s, g, 3);
         let kept: Vec<usize> = (0..set.len()).collect();
         let runs = prefix_runs(&set, &kept);
         let mut out = PilSet::new(4);
         let mut repr = cache_for(&set, PilRepr::Sparse);
-        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut out, &mut repr);
+        gen(&set, &kept, &runs, g, 0, kept.len(), &mut out, &mut repr);
 
         // Naive: every ordered pair with suffix(p1) == prefix(p2).
         let mut expected: Vec<(Vec<u8>, Pil)> = Vec::new();
@@ -578,16 +703,16 @@ mod tests {
         // codes, entries, bounds, and the saturation flag.
         let s = dna("ACGTTGCAACGTTACGGTCAACGT");
         for g in [gap(0, 2), gap(1, 3), gap(2, 5)] {
-            let set = build_seed(&s, g, 3);
+            let set = seed(&s, g, 3);
             let kept: Vec<usize> = (0..set.len()).collect();
             let runs = prefix_runs(&set, &kept);
             let mut sparse = PilSet::new(4);
             let mut repr = cache_for(&set, PilRepr::Sparse);
-            generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut sparse, &mut repr);
+            gen(&set, &kept, &runs, g, 0, kept.len(), &mut sparse, &mut repr);
             for mode in [PilRepr::Dense, PilRepr::Auto] {
                 let mut out = PilSet::new(4);
                 let mut repr = cache_for(&set, mode);
-                generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut out, &mut repr);
+                gen(&set, &kept, &runs, g, 0, kept.len(), &mut out, &mut repr);
                 assert_eq!(out, sparse, "mode {mode} under gap {g}");
             }
         }
@@ -597,12 +722,12 @@ mod tests {
     fn concat_preserves_chunked_generation() {
         let s = dna("ACGTTGCAACGTTACGGTCA");
         let g = gap(0, 2);
-        let set = build_seed(&s, g, 3);
+        let set = seed(&s, g, 3);
         let kept: Vec<usize> = (0..set.len()).collect();
         let runs = prefix_runs(&set, &kept);
         let mut whole = PilSet::new(4);
         let mut repr = cache_for(&set, PilRepr::Auto);
-        generate_candidates(&set, &kept, &runs, g, 0, kept.len(), &mut whole, &mut repr);
+        gen(&set, &kept, &runs, g, 0, kept.len(), &mut whole, &mut repr);
         let mid = kept.len() / 2;
         let mut a = PilSet::new(4);
         let mut b = PilSet::new(4);
@@ -610,8 +735,8 @@ mod tests {
         // parallel engine does.
         let mut repr_a = cache_for(&set, PilRepr::Auto);
         let mut repr_b = cache_for(&set, PilRepr::Auto);
-        generate_candidates(&set, &kept, &runs, g, 0, mid, &mut a, &mut repr_a);
-        generate_candidates(&set, &kept, &runs, g, mid, kept.len(), &mut b, &mut repr_b);
+        gen(&set, &kept, &runs, g, 0, mid, &mut a, &mut repr_a);
+        gen(&set, &kept, &runs, g, mid, kept.len(), &mut b, &mut repr_b);
         assert_eq!(PilSet::concat(4, [a, b]), whole);
     }
 
@@ -627,7 +752,14 @@ mod tests {
         let mut set = PilSet::new(3);
         let prefix = [(1u32, 1u64)];
         let suffix = [(3u32, u64::MAX), (4u32, 2u64)];
-        set.push_candidate(&[0, 0], 0, &prefix, &suffix, g);
+        set.push_candidate(
+            &[0, 0],
+            0,
+            &prefix,
+            &suffix,
+            g,
+            &mut JoinCounters::default(),
+        );
         assert!(set.saturated());
         assert!(set.entry_count() > 0);
         assert!(set.arena_bytes() > 0);
@@ -639,13 +771,13 @@ mod tests {
         merged.reset(4);
         assert!(!merged.saturated());
         // An ordinary seed never saturates.
-        assert!(!build_seed(&dna("ACGTACGT"), g, 2).saturated());
+        assert!(!seed(&dna("ACGTACGT"), g, 2).saturated());
     }
 
     #[test]
     fn reset_reuses_buffers() {
         let s = dna("ACGTACGT");
-        let mut set = build_seed(&s, gap(0, 1), 2);
+        let mut set = seed(&s, gap(0, 1), 2);
         assert!(!set.is_empty());
         let cap = set.entries.capacity();
         set.reset(3);
@@ -658,8 +790,23 @@ mod tests {
     fn into_pil_map_round_trips() {
         let s = dna("AACCGTT");
         let g = gap(1, 2);
-        let map = build_seed(&s, g, 3).into_pil_map();
+        let map = seed(&s, g, 3).into_pil_map();
         let direct = Pil::build_all(&s, g, 3);
         assert_eq!(map, direct);
+    }
+
+    #[test]
+    fn seed_is_kernel_invariant() {
+        // The SIMD level-3 seeding scan must match the scalar table
+        // walk entry for entry. Without AVX2 (or under
+        // PERIGAP_FORCE_SCALAR) the Simd kernel falls back and the
+        // comparison is trivially true.
+        let s = dna(&"ACGTTGCAACGGTTACGTCA".repeat(17));
+        for g in [gap(0, 0), gap(0, 3), gap(1, 4), gap(3, 9)] {
+            let scalar = build_seed(&s, g, 3, ResolvedKernel::Scalar);
+            let simd = build_seed(&s, g, 3, ResolvedKernel::Simd);
+            assert_eq!(scalar, simd, "gap {g}");
+            assert_eq!(scalar.saturated(), simd.saturated());
+        }
     }
 }

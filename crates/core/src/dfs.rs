@@ -52,13 +52,14 @@ use crate::arena::{build_seed, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
+use crate::kernel::{self, ResolvedKernel};
 use crate::lambda::{BoundRow, BoundTable};
 use crate::mpp::{check_ceiling, prepare, MppConfig};
 use crate::parallel::{
     PoolHooks, PoolJob, WorkerPool, CHUNKS_PER_THREAD, MIN_CHUNK, PARALLEL_THRESHOLD,
 };
 use crate::pattern::Pattern;
-use crate::pil::{join_dense_into, join_multi_into, MultiJoinScratch};
+use crate::pil::{join_multi_into, JoinCounters, MultiJoinScratch};
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::spill::{self, SpillState};
 use crate::trace::{
@@ -102,8 +103,9 @@ pub fn mpp_dfs_traced<O: MineObserver>(
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
     let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
+    let kern = config.kernel.resolve();
     let seed_started = Instant::now();
-    let pils = build_seed(seq, gap, config.start_level);
+    let pils = build_seed(seq, gap, config.start_level, kern);
     observer.on_seed(&SeedEvent {
         level: config.start_level,
         patterns: pils.len(),
@@ -117,6 +119,7 @@ pub fn mpp_dfs_traced<O: MineObserver>(
         &rho_exact,
         n,
         &config,
+        kern,
         pils,
         threads,
         PoolHooks::default(),
@@ -138,7 +141,11 @@ pub fn mpp_dfs_traced<O: MineObserver>(
             .since(repr_before)
             .to_event(config.pil_repr.mode),
     );
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
+    observer.on_complete(
+        &CompleteEvent::from_outcome(&outcome)
+            .with_peak_arena_bytes(peak)
+            .with_kernel(kern),
+    );
     Ok(outcome)
 }
 
@@ -153,6 +160,7 @@ struct LevelAgg {
     kept: usize,
     saturated: bool,
     arena_bytes: usize,
+    jc: JoinCounters,
     join_elapsed: Duration,
     elapsed: Duration,
 }
@@ -166,6 +174,7 @@ fn absorb(aggs: &mut BTreeMap<usize, LevelAgg>, level: usize, add: LevelAgg) {
     a.kept += add.kept;
     a.saturated |= add.saturated;
     a.arena_bytes += add.arena_bytes;
+    a.jc.absorb(&add.jc);
     a.join_elapsed += add.join_elapsed;
     a.elapsed += add.elapsed;
 }
@@ -222,6 +231,7 @@ struct EagerStats {
     saturated: bool,
     batches: u64,
     batch_candidates: u64,
+    jc: JoinCounters,
 }
 
 /// Reusable working buffers for [`eager_generate`], bundled so callers
@@ -260,6 +270,7 @@ fn eager_generate(
     lo: usize,
     hi: usize,
     gap: GapRequirement,
+    kern: ResolvedKernel,
     row: &BoundRow,
     next: &mut PilSet,
     repr: &mut ReprCache,
@@ -300,7 +311,7 @@ fn eager_generate(
             // the sparse walk would have reported.
             let dense = repr.get(members[s + j]).expect("decided dense");
             bufs.outs[j].clear();
-            join_dense_into(a, dense, gap, &mut bufs.outs[j]);
+            kernel::join_dense_kernel(kern, a, dense, gap, &mut bufs.outs[j], &mut st.jc);
         }
         if !bufs.sparse_pos.is_empty() {
             let k = bufs.sparse_pos.len();
@@ -309,7 +320,14 @@ fn eager_generate(
             if bufs.souts.len() < k {
                 bufs.souts.resize_with(k, Vec::new);
             }
-            join_multi_into(a, &partners, gap, &mut bufs.souts[..k], &mut bufs.scratch);
+            join_multi_into(
+                a,
+                &partners,
+                gap,
+                &mut bufs.souts[..k],
+                &mut bufs.scratch,
+                &mut st.jc,
+            );
             for (k2, &j) in bufs.sparse_pos.iter().enumerate() {
                 std::mem::swap(&mut bufs.outs[j], &mut bufs.souts[k2]);
                 bufs.sat[j] = bufs.scratch.saturated[k2];
@@ -444,6 +462,8 @@ struct DfsJob {
     /// [`ReprCache`] (dense lists are reused across the left parents of
     /// one task, never shared between threads).
     repr: ReprPolicy,
+    /// Compute kernel for the dense probes inside every task.
+    kern: ResolvedKernel,
     /// Present when the base generation was spilled: the backend plus
     /// the once-only claim guard for each record.
     spill: Option<SpillState>,
@@ -490,7 +510,7 @@ impl DfsJob {
     fn process_chunk(&self, lo: usize, hi: usize) -> Result<TaskOut, MineError> {
         let started = Instant::now();
         let mut next = PilSet::new(self.base_level + 1);
-        let mut repr = ReprCache::new(self.repr);
+        let mut repr = ReprCache::with_kernel(self.repr, self.kern, Some(self.gap));
         let mut bufs = EagerBufs::default();
         let mut frequent: Vec<FrequentPattern> = Vec::new();
         let st = eager_generate(
@@ -500,6 +520,7 @@ impl DfsJob {
             lo,
             hi,
             self.gap,
+            self.kern,
             &self.first_row,
             &mut next,
             &mut repr,
@@ -514,6 +535,7 @@ impl DfsJob {
             kept: st.kept,
             saturated: st.saturated,
             arena_bytes: next.arena_bytes(),
+            jc: st.jc,
             join_elapsed: elapsed,
             elapsed,
         };
@@ -537,7 +559,8 @@ impl DfsJob {
             counts: &counts,
             bounds: BoundTable::new(&counts, &self.rho, self.n),
             gauge: MemGauge::new(&self.live, &self.peak, self.limit),
-            repr: ReprCache::new(self.repr),
+            repr: ReprCache::with_kernel(self.repr, self.kern, Some(self.gap)),
+            kern: self.kern,
             bufs: EagerBufs::default(),
             aggs: BTreeMap::new(),
             frequent: Vec::new(),
@@ -600,7 +623,8 @@ impl DfsJob {
             counts: &counts,
             bounds: BoundTable::new(&counts, &self.rho, self.n),
             gauge: MemGauge::new(&self.live, &self.peak, self.limit),
-            repr: ReprCache::new(self.repr),
+            repr: ReprCache::with_kernel(self.repr, self.kern, Some(self.gap)),
+            kern: self.kern,
             bufs: EagerBufs::default(),
             aggs: BTreeMap::new(),
             frequent: Vec::new(),
@@ -650,6 +674,7 @@ struct TaskCtx<'a> {
     bounds: BoundTable<'a>,
     gauge: MemGauge<'a>,
     repr: ReprCache,
+    kern: ResolvedKernel,
     bufs: EagerBufs,
     aggs: BTreeMap<usize, LevelAgg>,
     frequent: Vec<FrequentPattern>,
@@ -689,6 +714,7 @@ fn descend_split(
         0,
         members.len(),
         ctx.gap,
+        ctx.kern,
         &row,
         &mut next,
         &mut ctx.repr,
@@ -712,6 +738,7 @@ fn descend_split(
             kept: st.kept,
             saturated: st.saturated,
             arena_bytes: next_bytes,
+            jc: st.jc,
             join_elapsed: elapsed,
             elapsed,
         },
@@ -760,6 +787,7 @@ fn mine_chain(
             0,
             members.len(),
             ctx.gap,
+            ctx.kern,
             &row,
             &mut next,
             &mut ctx.repr,
@@ -784,6 +812,7 @@ fn mine_chain(
                 kept: st.kept,
                 saturated: st.saturated,
                 arena_bytes: next_bytes,
+                jc: st.jc,
                 join_elapsed: elapsed,
                 elapsed,
             },
@@ -813,6 +842,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
     rho: &BigRatio,
     n: usize,
     config: &MppConfig,
+    kern: ResolvedKernel,
     seed: PilSet,
     threads: usize,
     hooks: PoolHooks,
@@ -893,12 +923,13 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                 kept: kept.len(),
                 saturated: current.saturated(),
                 arena_bytes: cur_bytes,
+                jc: JoinCounters::default(),
                 join_elapsed: Duration::ZERO,
                 elapsed: filter_started.elapsed(),
             },
         );
 
-        let mut repr_cache = ReprCache::new(config.pil_repr);
+        let mut repr_cache = ReprCache::with_kernel(config.pil_repr, kern, Some(gap));
         let mut bufs = EagerBufs::default();
         let mut level = start;
         loop {
@@ -979,6 +1010,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     peak: Arc::clone(&peak_shared),
                     first_row,
                     repr: config.pil_repr,
+                    kern,
                     spill: spill_state,
                     cursor: AtomicUsize::new(0),
                     hooks,
@@ -1048,6 +1080,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         peak: Arc::clone(&peak_shared),
                         first_row,
                         repr: config.pil_repr,
+                        kern,
                         spill: None,
                         cursor: AtomicUsize::new(0),
                         hooks,
@@ -1065,6 +1098,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                             merged.frequent += a.frequent;
                             merged.kept += a.kept;
                             merged.saturated |= a.saturated;
+                            merged.jc.absorb(&a.jc);
                         }
                         frequent.extend(t.frequent);
                         if let Some(p) = t.part {
@@ -1082,6 +1116,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         0,
                         kept.len(),
                         gap,
+                        kern,
                         &first_row,
                         &mut next,
                         &mut repr_cache,
@@ -1094,6 +1129,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         frequent: st.frequent,
                         kept: st.kept,
                         saturated: st.saturated,
+                        jc: st.jc,
                         ..LevelAgg::default()
                     };
                     (next, agg)
@@ -1141,6 +1177,10 @@ pub(crate) fn run_hybrid<O: MineObserver>(
             pruned_bound: agg.evaluated - agg.kept,
             pruned_support: agg.evaluated - agg.frequent,
             arena_bytes: agg.arena_bytes,
+            joins: agg.jc.joins,
+            probed: agg.jc.probed,
+            reallocs: agg.jc.reallocs,
+            bytes_moved: agg.jc.bytes_moved,
             join_elapsed: agg.join_elapsed,
             elapsed: agg.elapsed,
             saturated: agg.saturated,
@@ -1345,13 +1385,14 @@ mod tests {
                 main_no_steal: true,
             };
             let result = prepare(&seq, g, 0.4, &config).and_then(|(counts, rho_exact)| {
-                let pils = build_seed(&seq, g, config.start_level);
+                let pils = build_seed(&seq, g, config.start_level, ResolvedKernel::Scalar);
                 run_hybrid(
                     &seq,
                     &counts,
                     &rho_exact,
                     20,
                     &config,
+                    ResolvedKernel::Scalar,
                     pils,
                     4,
                     hooks,

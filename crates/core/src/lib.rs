@@ -46,6 +46,7 @@ pub mod em;
 pub mod enumerate;
 pub mod error;
 pub mod gap;
+pub mod kernel;
 pub mod lambda;
 pub mod mpp;
 pub mod mppm;
@@ -68,6 +69,7 @@ pub use adaptive::{repr_stats, PilRepr, ReprPolicy, ReprStats};
 pub use counts::OffsetCounts;
 pub use error::MineError;
 pub use gap::GapRequirement;
+pub use kernel::{Kernel, ResolvedKernel};
 pub use pattern::Pattern;
-pub use pil::{DensePil, Pil};
+pub use pil::{DensePil, JoinCounters, Pil};
 pub use result::{FrequentPattern, MineOutcome, MineStats};

@@ -12,8 +12,10 @@ use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
+use crate::kernel::{Kernel, ResolvedKernel};
 use crate::lambda::BoundTable;
 use crate::pattern::Pattern;
+use crate::pil::JoinCounters;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, SeedEvent};
 use perigap_math::BigRatio;
@@ -43,6 +45,12 @@ pub struct MppConfig {
     /// performance knob; mined output and `MineStats` are bit-identical
     /// under every setting. See [`crate::adaptive::ReprPolicy`].
     pub pil_repr: ReprPolicy,
+    /// Compute-kernel selection for the dense window probe and the
+    /// level-3 seeding scan (scalar vs AVX2 SIMD). Like
+    /// [`MppConfig::pil_repr`] this is a pure performance knob: mined
+    /// output, saturation flags and `MineStats` are bit-identical under
+    /// every setting. See [`crate::kernel`].
+    pub kernel: Kernel,
     /// Directory for DFS spill records (see [`crate::spill`]). `Some`
     /// arms spill-to-disk on the hybrid engine when `max_arena_bytes`
     /// is also set; the breadth-first engines ignore it and keep the
@@ -67,6 +75,7 @@ impl Default for MppConfig {
             max_level: None,
             max_arena_bytes: None,
             pil_repr: ReprPolicy::default(),
+            kernel: Kernel::default(),
             spill_dir: None,
             spill_watermark: 0.5,
             spill_io: None,
@@ -103,8 +112,9 @@ pub fn mpp_traced<O: MineObserver>(
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
     let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
+    let kern = config.kernel.resolve();
     let seed_started = Instant::now();
-    let pils = build_seed(seq, gap, config.start_level);
+    let pils = build_seed(seq, gap, config.start_level, kern);
     observer.on_seed(&SeedEvent {
         level: config.start_level,
         patterns: pils.len(),
@@ -112,23 +122,28 @@ pub fn mpp_traced<O: MineObserver>(
         arena_bytes: pils.arena_bytes(),
         elapsed: seed_started.elapsed(),
     });
-    let (mut outcome, peak) =
-        match run_levelwise(seq, &counts, &rho_exact, n, &config, pils, None, observer) {
-            Ok(done) => done,
-            Err(e) => {
-                observer.on_abort(&AbortEvent {
-                    message: e.to_string(),
-                });
-                return Err(e);
-            }
-        };
+    let (mut outcome, peak) = match run_levelwise(
+        seq, &counts, &rho_exact, n, &config, kern, pils, None, observer,
+    ) {
+        Ok(done) => done,
+        Err(e) => {
+            observer.on_abort(&AbortEvent {
+                message: e.to_string(),
+            });
+            return Err(e);
+        }
+    };
     outcome.stats.total_elapsed = started.elapsed();
     observer.on_repr(
         &crate::adaptive::repr_stats()
             .since(repr_before)
             .to_event(config.pil_repr.mode),
     );
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
+    observer.on_complete(
+        &CompleteEvent::from_outcome(&outcome)
+            .with_peak_arena_bytes(peak)
+            .with_kernel(kern),
+    );
     Ok(outcome)
 }
 
@@ -192,6 +207,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     rho: &BigRatio,
     n: usize,
     config: &MppConfig,
+    kern: ResolvedKernel,
     seed: PilSet,
     mut stats_seed: Option<MineStats>,
     observer: &mut O,
@@ -216,7 +232,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     let mut next = PilSet::new(start + 1);
     // One reused representation cache: per-suffix dense builds live
     // only for the level that decided them.
-    let mut repr = ReprCache::new(config.pil_repr);
+    let mut repr = ReprCache::with_kernel(config.pil_repr, kern, Some(gap));
     let mut kept: Vec<usize> = Vec::new();
     let mut level = start;
     let mut candidates_at_level: u128 = sigma.saturating_pow(start as u32);
@@ -254,7 +270,8 @@ pub(crate) fn run_levelwise<O: MineObserver>(
                             observer: &mut O,
                             join_elapsed: Duration,
                             elapsed,
-                            arena_bytes: usize| {
+                            arena_bytes: usize,
+                            jc: JoinCounters| {
             stats.levels.push(LevelStats {
                 level,
                 candidates: candidates_at_level,
@@ -271,6 +288,10 @@ pub(crate) fn run_levelwise<O: MineObserver>(
                 pruned_bound: evaluated - extended,
                 pruned_support: evaluated - frequent_here,
                 arena_bytes,
+                joins: jc.joins,
+                probed: jc.probed,
+                reallocs: jc.reallocs,
+                bytes_moved: jc.bytes_moved,
                 join_elapsed,
                 elapsed,
                 saturated: gen_saturated,
@@ -284,6 +305,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
                 Duration::ZERO,
                 level_started.elapsed(),
                 current.arena_bytes(),
+                JoinCounters::default(),
             );
             break;
         }
@@ -293,6 +315,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
         let runs = prefix_runs(&current, &kept);
         next.reset(level + 1);
         repr.begin(current.len());
+        let mut jc = JoinCounters::default();
         generate_candidates(
             &current,
             &kept,
@@ -302,6 +325,8 @@ pub(crate) fn run_levelwise<O: MineObserver>(
             kept.len(),
             &mut next,
             &mut repr,
+            kern,
+            &mut jc,
         );
         let live = current.arena_bytes() + next.arena_bytes();
         peak = peak.max(live);
@@ -312,6 +337,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
             join_started.elapsed(),
             level_started.elapsed(),
             live,
+            jc,
         );
 
         candidates_at_level = next.len() as u128;

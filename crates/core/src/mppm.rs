@@ -14,6 +14,7 @@ use crate::counts::OffsetCounts;
 use crate::em::compute_em;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
+use crate::kernel::ResolvedKernel;
 use crate::lambda::PruneBound;
 use crate::mpp::{prepare, run_levelwise, MppConfig};
 use crate::parallel::PoolHooks;
@@ -58,6 +59,7 @@ struct MppmPrelude {
     counts: OffsetCounts,
     rho_exact: BigRatio,
     n: usize,
+    kern: ResolvedKernel,
     pils: PilSet,
     stats_seed: MineStats,
 }
@@ -91,8 +93,9 @@ fn mppm_prelude<O: MineObserver>(
 
     // Phase 2: seed-level supports.
     let start = config.start_level;
+    let kern = config.kernel.resolve();
     let seed_started = Instant::now();
-    let pils = build_seed(seq, gap, start);
+    let pils = build_seed(seq, gap, start, kern);
     observer.on_seed(&SeedEvent {
         level: start,
         patterns: pils.len(),
@@ -127,6 +130,7 @@ fn mppm_prelude<O: MineObserver>(
         counts,
         rho_exact,
         n,
+        kern,
         pils,
         stats_seed,
     })
@@ -145,17 +149,19 @@ pub fn mppm_traced<O: MineObserver>(
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
     let p = mppm_prelude(seq, gap, rho, m, &config, observer)?;
+    let kern = p.kern;
     let run = run_levelwise(
         seq,
         &p.counts,
         &p.rho_exact,
         p.n,
         &config,
+        kern,
         p.pils,
         Some(p.stats_seed),
         observer,
     );
-    finish(run, started, repr_before, &config, observer)
+    finish(run, started, repr_before, &config, kern, observer)
 }
 
 /// [`mppm`] on the hybrid BFS→DFS engine: the same `n` estimate and
@@ -184,19 +190,21 @@ pub fn mppm_dfs_traced<O: MineObserver>(
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
     let p = mppm_prelude(seq, gap, rho, m, &config, observer)?;
+    let kern = p.kern;
     let run = crate::dfs::run_hybrid(
         seq,
         &p.counts,
         &p.rho_exact,
         p.n,
         &config,
+        kern,
         p.pils,
         threads,
         PoolHooks::default(),
         Some(p.stats_seed),
         observer,
     );
-    finish(run, started, repr_before, &config, observer)
+    finish(run, started, repr_before, &config, kern, observer)
 }
 
 /// Shared MPPm tail: stamp the total wall time and emit the terminal
@@ -208,6 +216,7 @@ fn finish<O: MineObserver>(
     started: Instant,
     repr_before: crate::adaptive::ReprStats,
     config: &MppConfig,
+    kern: ResolvedKernel,
     observer: &mut O,
 ) -> Result<MineOutcome, MineError> {
     let (mut outcome, peak) = match run {
@@ -225,7 +234,11 @@ fn finish<O: MineObserver>(
             .since(repr_before)
             .to_event(config.pil_repr.mode),
     );
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
+    observer.on_complete(
+        &CompleteEvent::from_outcome(&outcome)
+            .with_peak_arena_bytes(peak)
+            .with_kernel(kern),
+    );
     Ok(outcome)
 }
 

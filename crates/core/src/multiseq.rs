@@ -124,6 +124,7 @@ pub fn mine_collection_traced<O: MineObserver>(
             n_used: n,
             support_saturated: false,
             peak_arena_bytes: 0,
+            kernel: String::new(),
             total_elapsed: started.elapsed(),
         });
         return Ok(CollectionOutcome::default());
@@ -227,6 +228,10 @@ pub fn mine_collection_traced<O: MineObserver>(
                 pruned_bound: evaluated - kept.len(),
                 pruned_support: evaluated - frequent_here,
                 arena_bytes: 0,
+                joins: 0,
+                probed: 0,
+                reallocs: 0,
+                bytes_moved: 0,
                 join_elapsed,
                 elapsed,
                 saturated: false,
@@ -280,6 +285,7 @@ pub fn mine_collection_traced<O: MineObserver>(
         n_used: n,
         support_saturated: false,
         peak_arena_bytes: 0,
+        kernel: String::new(),
         total_elapsed: started.elapsed(),
     });
     Ok(CollectionOutcome { patterns: out })

@@ -35,9 +35,11 @@ use crate::arena::{build_seed, generate_candidates, prefix_runs, PilSet};
 use crate::counts::OffsetCounts;
 use crate::error::MineError;
 use crate::gap::GapRequirement;
+use crate::kernel::ResolvedKernel;
 use crate::lambda::BoundTable;
 use crate::mpp::{check_ceiling, prepare, MppConfig};
 use crate::pattern::Pattern;
+use crate::pil::JoinCounters;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{
     AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
@@ -100,8 +102,9 @@ pub fn mpp_parallel_traced<O: MineObserver>(
     let started = Instant::now();
     let repr_before = crate::adaptive::repr_stats();
     let (counts, rho_exact) = prepare(seq, gap, rho, &config)?;
+    let kern = config.kernel.resolve();
     let seed_started = Instant::now();
-    let pils = build_seed(seq, gap, config.start_level);
+    let pils = build_seed(seq, gap, config.start_level, kern);
     observer.on_seed(&SeedEvent {
         level: config.start_level,
         patterns: pils.len(),
@@ -115,6 +118,7 @@ pub fn mpp_parallel_traced<O: MineObserver>(
         &rho_exact,
         n,
         &config,
+        kern,
         pils,
         threads,
         PoolHooks::default(),
@@ -135,7 +139,11 @@ pub fn mpp_parallel_traced<O: MineObserver>(
             .since(repr_before)
             .to_event(config.pil_repr.mode),
     );
-    observer.on_complete(&CompleteEvent::from_outcome(&outcome).with_peak_arena_bytes(peak));
+    observer.on_complete(
+        &CompleteEvent::from_outcome(&outcome)
+            .with_peak_arena_bytes(peak)
+            .with_kernel(kern),
+    );
     Ok(outcome)
 }
 
@@ -224,10 +232,12 @@ struct LevelJob {
     /// PIL representation policy; each chunk builds its own
     /// [`ReprCache`] (suffix reuse amortizes within a chunk).
     repr: ReprPolicy,
+    /// Compute kernel for the dense probe inside each chunk.
+    kern: ResolvedKernel,
 }
 
 impl PoolJob for LevelJob {
-    type Out = PilSet;
+    type Out = (PilSet, JoinCounters);
 
     fn n_items(&self) -> usize {
         self.n_chunks
@@ -245,21 +255,25 @@ impl PoolJob for LevelJob {
         self.next_level
     }
 
-    /// Generate the candidates whose left parent lies in chunk `c`.
-    fn process(&self, c: usize) -> PilSet {
+    /// Generate the candidates whose left parent lies in chunk `c`,
+    /// together with the chunk's join counters (merged level-wide by
+    /// the caller).
+    fn process(&self, c: usize) -> (PilSet, JoinCounters) {
         let lo = c * self.chunk;
         let hi = (lo + self.chunk).min(self.kept.len());
         let mut out = PilSet::new(self.next_level);
-        let mut repr = ReprCache::new(self.repr);
+        let mut repr = ReprCache::with_kernel(self.repr, self.kern, Some(self.gap));
         repr.begin(self.set.len());
+        let mut jc = JoinCounters::default();
         generate_candidates(
-            &self.set, &self.kept, &self.runs, self.gap, lo, hi, &mut out, &mut repr,
+            &self.set, &self.kept, &self.runs, self.gap, lo, hi, &mut out, &mut repr, self.kern,
+            &mut jc,
         );
-        out
+        (out, jc)
     }
 
-    fn out_weight(out: &PilSet) -> usize {
-        out.len()
+    fn out_weight(out: &(PilSet, JoinCounters)) -> usize {
+        out.0.len()
     }
 }
 
@@ -496,6 +510,7 @@ fn run_parallel<O: MineObserver>(
     rho: &perigap_math::BigRatio,
     n: usize,
     config: &MppConfig,
+    kern: ResolvedKernel,
     seed: PilSet,
     threads: usize,
     hooks: PoolHooks,
@@ -554,7 +569,8 @@ fn run_parallel<O: MineObserver>(
                             observer: &mut O,
                             join_elapsed: Duration,
                             elapsed,
-                            arena_bytes: usize| {
+                            arena_bytes: usize,
+                            jc: JoinCounters| {
             stats.levels.push(LevelStats {
                 level,
                 candidates: candidates_at_level,
@@ -571,6 +587,10 @@ fn run_parallel<O: MineObserver>(
                 pruned_bound: evaluated - extended,
                 pruned_support: evaluated - frequent_here,
                 arena_bytes,
+                joins: jc.joins,
+                probed: jc.probed,
+                reallocs: jc.reallocs,
+                bytes_moved: jc.bytes_moved,
                 join_elapsed,
                 elapsed,
                 saturated: gen_saturated,
@@ -584,6 +604,7 @@ fn run_parallel<O: MineObserver>(
                 Duration::ZERO,
                 level_started.elapsed(),
                 current.arena_bytes(),
+                JoinCounters::default(),
             );
             break;
         }
@@ -594,6 +615,7 @@ fn run_parallel<O: MineObserver>(
         // The parents move into the job below; their size is part of
         // the live footprint either way.
         let parent_bytes = current.arena_bytes();
+        let mut level_jc = JoinCounters::default();
         let next: PilSet = match &pool {
             Some(pool) if kept.len() >= PARALLEL_THRESHOLD => {
                 let chunk = kept
@@ -612,14 +634,20 @@ fn run_parallel<O: MineObserver>(
                     cursor: AtomicUsize::new(0),
                     hooks,
                     repr: config.pil_repr,
+                    kern,
                 });
                 let (parts, pool_event) = pool.run(job)?;
                 observer.on_pool(&pool_event);
-                PilSet::concat(level + 1, parts)
+                let mut sets = Vec::with_capacity(parts.len());
+                for (set, jc) in parts {
+                    level_jc.absorb(&jc);
+                    sets.push(set);
+                }
+                PilSet::concat(level + 1, sets)
             }
             _ => {
                 let mut out = PilSet::new(level + 1);
-                let mut repr = ReprCache::new(config.pil_repr);
+                let mut repr = ReprCache::with_kernel(config.pil_repr, kern, Some(gap));
                 repr.begin(current.len());
                 generate_candidates(
                     &current,
@@ -630,6 +658,8 @@ fn run_parallel<O: MineObserver>(
                     kept.len(),
                     &mut out,
                     &mut repr,
+                    kern,
+                    &mut level_jc,
                 );
                 out
             }
@@ -643,6 +673,7 @@ fn run_parallel<O: MineObserver>(
             join_started.elapsed(),
             level_started.elapsed(),
             live,
+            level_jc,
         );
 
         candidates_at_level = next.len() as u128;
@@ -683,13 +714,15 @@ mod tests {
         hooks: PoolHooks,
     ) -> Result<MineOutcome, MineError> {
         let (counts, rho_exact) = prepare(seq, g, rho, &config)?;
-        let pils = build_seed(seq, g, config.start_level);
+        let kern = config.kernel.resolve();
+        let pils = build_seed(seq, g, config.start_level, kern);
         run_parallel(
             seq,
             &counts,
             &rho_exact,
             n,
             &config,
+            kern,
             pils,
             threads,
             hooks,

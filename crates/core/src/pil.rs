@@ -50,6 +50,60 @@ use crate::pattern::Pattern;
 use perigap_seq::Sequence;
 use std::collections::HashMap;
 
+/// Micro-counters for the join path, accumulated by every join kernel
+/// into a caller-owned struct (plain `u64` adds — no atomics, no
+/// overhead when the totals are discarded). The engines aggregate one
+/// of these per level and surface it through
+/// [`crate::trace::LevelEvent`], making the per-level join cost
+/// attributable without an external profiler.
+///
+/// Semantics:
+/// - `joins` — join kernel invocations (one per candidate, or one per
+///   partner for the batched kernel).
+/// - `probed` — probe positions scanned: left offsets examined after
+///   overlap clipping (× partners for the batched kernel) plus suffix
+///   entries absorbed into sliding windows. The dense and SIMD probe
+///   kernels count the same clipped left offsets, so the counter is
+///   kernel-invariant for a fixed representation; sparse and dense
+///   counts differ by construction.
+/// - `reallocs` — output-buffer growth events observed across a kernel
+///   call (a lower bound on the allocator's actual reallocations).
+/// - `bytes_moved` — bytes of live buffer content at each observed
+///   growth event (the payload a reallocation must copy).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinCounters {
+    /// Join kernel invocations.
+    pub joins: u64,
+    /// Probe positions scanned (see type docs for the exact rule).
+    pub probed: u64,
+    /// Observed output-buffer growth events.
+    pub reallocs: u64,
+    /// Bytes of live content at each observed growth event.
+    pub bytes_moved: u64,
+}
+
+impl JoinCounters {
+    /// Fold `other` into `self` (saturating — these are diagnostics).
+    pub fn absorb(&mut self, other: &JoinCounters) {
+        self.joins = self.joins.saturating_add(other.joins);
+        self.probed = self.probed.saturating_add(other.probed);
+        self.reallocs = self.reallocs.saturating_add(other.reallocs);
+        self.bytes_moved = self.bytes_moved.saturating_add(other.bytes_moved);
+    }
+
+    /// Record a growth event on `out` if its capacity changed since
+    /// `cap_before` was sampled.
+    #[inline]
+    pub(crate) fn note_growth(&mut self, out: &Vec<(u32, u64)>, cap_before: usize) {
+        if out.capacity() != cap_before {
+            self.reallocs += 1;
+            self.bytes_moved = self
+                .bytes_moved
+                .saturating_add((out.len() * std::mem::size_of::<(u32, u64)>()) as u64);
+        }
+    }
+}
+
 /// Partial index list: `(first offset, count)` pairs, strictly
 /// ascending in offset. Offsets are 1-based as in the paper.
 ///
@@ -170,7 +224,13 @@ impl Pil {
             return (Pil::new(), false);
         }
         let mut out = Vec::with_capacity(overlap_reserve(&prefix.entries, &suffix.entries, gap));
-        let saturated = join_into(&prefix.entries, &suffix.entries, gap, &mut out);
+        let saturated = join_into(
+            &prefix.entries,
+            &suffix.entries,
+            gap,
+            &mut out,
+            &mut JoinCounters::default(),
+        );
         (Pil { entries: out }, saturated)
     }
 
@@ -188,7 +248,13 @@ impl Pil {
             Some(dense) => {
                 let mut out =
                     Vec::with_capacity(overlap_reserve(&prefix.entries, &suffix.entries, gap));
-                join_dense_into(&prefix.entries, &dense, gap, &mut out);
+                join_dense_into(
+                    &prefix.entries,
+                    &dense,
+                    gap,
+                    &mut out,
+                    &mut JoinCounters::default(),
+                );
                 (Pil { entries: out }, false)
             }
             None => Pil::join_checked(prefix, suffix, gap),
@@ -206,26 +272,39 @@ impl Pil {
     /// # Panics
     /// Panics if `level == 0`.
     pub fn build_all(seq: &Sequence, gap: GapRequirement, level: usize) -> HashMap<Pattern, Pil> {
-        crate::arena::build_seed(seq, gap, level).into_pil_map()
+        crate::arena::build_seed(seq, gap, level, crate::kernel::Kernel::Auto.resolve())
+            .into_pil_map()
     }
 }
 
-/// Tight pre-reserve for a join: only prefix offsets whose gap window
-/// `[x + N + 1, x + M + 1]` intersects the suffix's occupied offset
-/// range can produce output, so the bound is the count of those offsets
-/// rather than the whole prefix length. Disjoint ranges reserve zero.
-/// Both lists must be non-empty.
-fn overlap_reserve(a: &[(u32, u64)], b: &[(u32, u64)], gap: GapRequirement) -> usize {
-    let b_first = b[0].0 as u64;
-    let b_last = b[b.len() - 1].0 as u64;
+/// The contiguous run of prefix offsets whose gap window `[x + N + 1,
+/// x + M + 1]` intersects the suffix's occupied offset range
+/// `[b_first, b_last]` — only those can produce output. Offsets are
+/// ascending, so the contributors form one run `a[from..to]`; every
+/// join kernel clips its left scan to it (probing the smaller,
+/// contributing side instead of the whole prefix list) and every
+/// reserve derives from its length.
+#[inline]
+pub(crate) fn overlap_range(
+    a: &[(u32, u64)],
+    b_first: u64,
+    b_last: u64,
+    gap: GapRequirement,
+) -> (usize, usize) {
     let min_step = gap.min_step() as u64;
     let max_step = gap.max_step() as u64;
-    // Offset x contributes only when its window [x + min_step,
-    // x + max_step] meets [b_first, b_last]; offsets are ascending, so
-    // the contributors form one contiguous run.
     let from = a.partition_point(|&(x, _)| (x as u64) + max_step < b_first);
     let to = a.partition_point(|&(x, _)| (x as u64) + min_step <= b_last);
-    to.saturating_sub(from)
+    (from, to.max(from))
+}
+
+/// Tight pre-reserve for a join: the length of the overlap run (see
+/// [`overlap_range`]) — at most one output entry per contributing
+/// prefix offset. Disjoint ranges reserve zero. Both lists must be
+/// non-empty.
+fn overlap_reserve(a: &[(u32, u64)], b: &[(u32, u64)], gap: GapRequirement) -> usize {
+    let (from, to) = overlap_range(a, b[0].0 as u64, b[b.len() - 1].0 as u64, gap);
+    to - from
 }
 
 /// The dense PIL layout: per-offset counts over the occupied offset
@@ -249,6 +328,12 @@ pub struct DensePil {
     base: u64,
     /// Exclusive prefix sums over the span; `len == span + 1`.
     psum: Vec<u64>,
+    /// Optional windowed sums for the SIMD probe kernel:
+    /// `wsum[i] = psum[min(i + width, span)] − psum[i]`, so an interior
+    /// probe is a single load instead of two. Built only on request
+    /// ([`DensePil::build_windowed`]) because it doubles the memory and
+    /// is specific to one gap width.
+    wsum: Option<(u64, Vec<u64>)>,
 }
 
 impl DensePil {
@@ -268,7 +353,26 @@ impl DensePil {
             acc = acc.checked_add(*slot)?;
             *slot = acc;
         }
-        Some(DensePil { base, psum })
+        Some(DensePil {
+            base,
+            psum,
+            wsum: None,
+        })
+    }
+
+    /// [`DensePil::build`] plus the windowed-sum array for `gap`'s
+    /// window width, enabling the single-load SIMD probe. Same `None`
+    /// conditions as `build`.
+    pub fn build_windowed(entries: &[(u32, u64)], gap: GapRequirement) -> Option<DensePil> {
+        let mut dense = DensePil::build(entries)?;
+        let span = dense.span();
+        let width = (gap.max_step() - gap.min_step() + 1) as u64;
+        let psum = &dense.psum;
+        let wsum = (0..=span)
+            .map(|i| psum[(i + width as usize).min(span)] - psum[i])
+            .collect();
+        dense.wsum = Some((width, wsum));
+        Some(dense)
     }
 
     /// Occupied offset span (number of dense slots).
@@ -276,9 +380,28 @@ impl DensePil {
         self.psum.len() - 1
     }
 
-    /// Heap bytes held by the prefix-sum array.
+    /// Heap bytes held by the prefix-sum (and any windowed-sum) array.
     pub fn bytes(&self) -> usize {
-        self.psum.len() * std::mem::size_of::<u64>()
+        let wsum = match &self.wsum {
+            Some((_, w)) => w.len(),
+            None => 0,
+        };
+        (self.psum.len() + wsum) * std::mem::size_of::<u64>()
+    }
+
+    /// First occupied offset (the dense array's origin).
+    pub(crate) fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The exclusive prefix sums (`len == span + 1`).
+    pub(crate) fn psum(&self) -> &[u64] {
+        &self.psum
+    }
+
+    /// The windowed sums, if built, with the window width they encode.
+    pub(crate) fn wsum(&self) -> Option<(u64, &[u64])> {
+        self.wsum.as_ref().map(|(w, v)| (*w, v.as_slice()))
     }
 }
 
@@ -288,26 +411,38 @@ impl DensePil {
 /// the sliding-window merge. Appends to `out` exactly like
 /// [`join_into`] and never saturates (see [`DensePil::build`]).
 ///
-/// The probe arithmetic runs over exact-width chunks (`chunks_exact`
-/// into a fixed-size lane buffer) so LLVM vectorizes the clamp/subtract
-/// sequence; output compaction is branch-free — unconditional write,
-/// conditional index advance — then one truncate.
+/// The left scan is clipped to the overlap run (see [`overlap_range`])
+/// and the output reserve is the run's length, not the whole prefix —
+/// offsets outside the run probe a zero-width window, so skipping them
+/// changes nothing but the work done. The probe arithmetic runs over
+/// exact-width chunks (`chunks_exact` into a fixed-size lane buffer) so
+/// LLVM vectorizes the clamp/subtract sequence; output compaction is
+/// branch-free — unconditional write, conditional index advance — then
+/// one truncate.
 pub fn join_dense_into(
     a: &[(u32, u64)],
     b: &DensePil,
     gap: GapRequirement,
     out: &mut Vec<(u32, u64)>,
+    counters: &mut JoinCounters,
 ) {
     const LANES: usize = 8;
+    counters.joins += 1;
+    let end = b.base + b.span() as u64;
+    // `end` is one past the last occupied offset (it indexes psum);
+    // the overlap clip wants the occupied range itself.
+    let (from, to) = overlap_range(a, b.base, end - 1, gap);
+    let a = &a[from..to];
     if a.is_empty() {
         return;
     }
+    counters.probed += a.len() as u64;
     let min_step = gap.min_step() as u64;
     let max_step = gap.max_step() as u64;
     let base = b.base;
-    let end = b.base + b.span() as u64;
     let psum = b.psum.as_slice();
     let start = out.len();
+    let cap_before = out.capacity();
     out.resize(start + a.len(), (0, 0));
     let dst = &mut out[start..];
     let mut k = 0usize;
@@ -332,6 +467,7 @@ pub fn join_dense_into(
         k += (w > 0) as usize;
     }
     out.truncate(start + k);
+    counters.note_growth(out, cap_before);
 }
 
 /// The sliding-window join core, appending to a caller-owned buffer so
@@ -349,10 +485,20 @@ pub(crate) fn join_into(
     b: &[(u32, u64)],
     gap: GapRequirement,
     out: &mut Vec<(u32, u64)>,
+    counters: &mut JoinCounters,
 ) -> bool {
+    counters.joins += 1;
     if a.is_empty() || b.is_empty() {
         return false;
     }
+    // Clip the left scan to the overlap run: offsets outside it have an
+    // empty window and can only burn cycles.
+    let (from, to) = overlap_range(a, b[0].0 as u64, b[b.len() - 1].0 as u64, gap);
+    let a = &a[from..to];
+    if a.is_empty() {
+        return false;
+    }
+    let cap_before = out.capacity();
     let (mut lo, mut hi) = (0usize, 0usize); // window is b[lo..hi]
     let mut window: u64 = 0;
     let mut saturated = false;
@@ -380,6 +526,8 @@ pub(crate) fn join_into(
             out.push((x, window));
         }
     }
+    counters.probed += (a.len() + hi) as u64;
+    counters.note_growth(out, cap_before);
     saturated
 }
 
@@ -392,6 +540,12 @@ pub struct MultiJoinScratch {
     lo: Vec<usize>,
     hi: Vec<usize>,
     window: Vec<u64>,
+    /// Per-partner occupied ranges (`b_first`, `b_last`), so the shared
+    /// left walk can skip a partner outside its own overlap run.
+    first: Vec<u64>,
+    last: Vec<u64>,
+    /// Output capacities sampled at call entry, for realloc counting.
+    caps: Vec<usize>,
     /// Per-partner saturation flags from the most recent call.
     pub saturated: Vec<bool>,
 }
@@ -404,6 +558,9 @@ impl MultiJoinScratch {
         self.hi.resize(partners, 0);
         self.window.clear();
         self.window.resize(partners, 0);
+        self.first.clear();
+        self.last.clear();
+        self.caps.clear();
         self.saturated.clear();
         self.saturated.resize(partners, false);
     }
@@ -424,21 +581,53 @@ pub fn join_multi_into(
     gap: GapRequirement,
     outs: &mut [Vec<(u32, u64)>],
     scratch: &mut MultiJoinScratch,
+    counters: &mut JoinCounters,
 ) {
     debug_assert_eq!(partners.len(), outs.len());
+    counters.joins += partners.len() as u64;
     scratch.reset(partners.len());
+    scratch.caps.extend(outs.iter().map(|o| o.capacity()));
     for out in outs.iter_mut() {
         out.clear();
     }
-    if a.is_empty() {
+    // Clip the shared left scan to the union of the partners' occupied
+    // ranges; inside it, each partner is skipped while the current
+    // offset sits outside its *own* overlap run. The skip is what keeps
+    // this batched walk bit-identical to per-partner [`join_into`]
+    // calls: an out-of-run offset's window is empty either way, but
+    // letting it advance the window would absorb entries in a different
+    // order and could saturate the running sum where the per-partner
+    // clipped walk never does.
+    let (b_first, b_last) = partners
+        .iter()
+        .filter(|b| !b.is_empty())
+        .fold((u64::MAX, 0u64), |(lo, hi), b| {
+            (lo.min(b[0].0 as u64), hi.max(b[b.len() - 1].0 as u64))
+        });
+    if a.is_empty() || b_first > b_last {
         return;
     }
+    for b in partners {
+        // Empty partners keep the impossible (MAX, 0) range, so the
+        // skip test below rejects every offset for them.
+        scratch
+            .first
+            .push(b.first().map_or(u64::MAX, |e| e.0 as u64));
+        scratch.last.push(b.last().map_or(0, |e| e.0 as u64));
+    }
+    let (from, to) = overlap_range(a, b_first, b_last, gap);
+    let a = &a[from..to];
     let min_step = gap.min_step() as u64;
     let max_step = gap.max_step() as u64;
+    let mut scanned = 0u64;
     for &(x, _) in a {
         let min_pos = x as u64 + min_step;
         let max_pos = x as u64 + max_step;
         for (j, b) in partners.iter().enumerate() {
+            if max_pos < scratch.first[j] || min_pos > scratch.last[j] {
+                continue;
+            }
+            scanned += 1;
             let mut hi = scratch.hi[j];
             let mut lo = scratch.lo[j];
             let mut window = scratch.window[j];
@@ -464,6 +653,16 @@ pub fn join_multi_into(
             scratch.hi[j] = hi;
             scratch.lo[j] = lo;
             scratch.window[j] = window;
+        }
+    }
+    let absorbed: usize = scratch.hi.iter().sum();
+    counters.probed += scanned + absorbed as u64;
+    for (out, &cap) in outs.iter().zip(&scratch.caps) {
+        if out.capacity() != cap {
+            counters.reallocs += 1;
+            counters.bytes_moved = counters
+                .bytes_moved
+                .saturating_add((out.len() * std::mem::size_of::<(u32, u64)>()) as u64);
         }
     }
 }
@@ -634,10 +833,25 @@ mod tests {
             let partners: Vec<&[(u32, u64)]> = pils.iter().map(|p| p.entries()).collect();
             let mut outs = vec![Vec::new(); partners.len()];
             let mut scratch = MultiJoinScratch::default();
-            join_multi_into(left.entries(), &partners, g, &mut outs, &mut scratch);
+            let mut jc = JoinCounters::default();
+            join_multi_into(
+                left.entries(),
+                &partners,
+                g,
+                &mut outs,
+                &mut scratch,
+                &mut jc,
+            );
+            assert_eq!(jc.joins, partners.len() as u64);
             for (j, b) in partners.iter().enumerate() {
                 let mut expect = Vec::new();
-                let saturated = join_into(left.entries(), b, g, &mut expect);
+                let saturated = join_into(
+                    left.entries(),
+                    b,
+                    g,
+                    &mut expect,
+                    &mut JoinCounters::default(),
+                );
                 assert_eq!(outs[j], expect, "partner {j} under gap [{n}, {m}]");
                 assert_eq!(scratch.saturated[j], saturated);
             }
@@ -736,10 +950,90 @@ mod tests {
         assert_eq!(dense.span(), 4);
         assert_eq!(dense.bytes(), 5 * 8);
         let mut out = vec![(99, 99)];
-        join_dense_into(&a, &dense, g, &mut out);
+        join_dense_into(&a, &dense, g, &mut out, &mut JoinCounters::default());
         let mut expect = vec![(99, 99)];
-        join_into(&a, &b, g, &mut expect);
+        join_into(&a, &b, g, &mut expect, &mut JoinCounters::default());
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn dense_probe_reserve_uses_overlap_span() {
+        // The dense kernel used to resize the output to the whole
+        // prefix length; it must now reserve (and scan) only the
+        // overlap run. Disjoint ranges: no allocation at all.
+        let a: Vec<(u32, u64)> = (1000..1100).map(|x| (x, 1u64)).collect();
+        let b = vec![(1u32, 5u64), (2, 3)];
+        let dense = DensePil::build(&b).unwrap();
+        let g = gap(1, 3);
+        let mut out = Vec::new();
+        let mut jc = JoinCounters::default();
+        join_dense_into(&a, &dense, g, &mut out, &mut jc);
+        assert!(out.is_empty());
+        assert_eq!(out.capacity(), 0, "disjoint dense join over-allocated");
+        assert_eq!(jc.probed, 0, "no left offset can contribute");
+        // Partial overlap: capacity bounded by the contributing run,
+        // not the prefix length.
+        let wide: Vec<(u32, u64)> = (1..=100).map(|x| (x, 1u64)).collect();
+        let narrow = vec![(50u32, 1u64)];
+        let dense = DensePil::build(&narrow).unwrap();
+        let g = gap(0, 1);
+        let mut out = Vec::new();
+        let mut jc = JoinCounters::default();
+        join_dense_into(&wide, &dense, g, &mut out, &mut jc);
+        assert_eq!(out, vec![(48, 1), (49, 1)]);
+        assert!(
+            out.capacity() < wide.len(),
+            "dense reserve must beat the prefix-length bound"
+        );
+        assert_eq!(jc.probed, 2, "scan clipped to the overlap run");
+        assert_eq!(jc.joins, 1);
+    }
+
+    #[test]
+    fn counters_track_joins_probes_and_growth() {
+        let a: Vec<(u32, u64)> = (1..=64).map(|x| (x, 1u64)).collect();
+        let b: Vec<(u32, u64)> = (1..=64).map(|x| (x, 2u64)).collect();
+        let g = gap(0, 4);
+        let mut jc = JoinCounters::default();
+        let mut out = Vec::new();
+        join_into(&a, &b, g, &mut out, &mut jc);
+        assert_eq!(jc.joins, 1);
+        // Overlap clipping drops x = 64 (its window starts past the
+        // suffix range), so 63 left offsets scan and all 64 suffix
+        // entries are absorbed into the window.
+        assert_eq!(jc.probed, 63 + 64);
+        assert!(jc.reallocs >= 1, "unreserved output must grow");
+        assert!(jc.bytes_moved > 0);
+        // A pre-reserved output records no growth.
+        let mut jc2 = JoinCounters::default();
+        let mut out2 = Vec::with_capacity(64);
+        join_into(&a, &b, g, &mut out2, &mut jc2);
+        assert_eq!(jc2.reallocs, 0);
+        assert_eq!(jc2.bytes_moved, 0);
+        assert_eq!(out, out2);
+        // absorb folds totals.
+        jc.absorb(&jc2);
+        assert_eq!(jc.joins, 2);
+    }
+
+    #[test]
+    fn windowed_build_matches_probe_layout() {
+        let entries: Vec<(u32, u64)> = vec![(5, 2), (7, 3), (12, 1), (20, 4)];
+        let g = gap(1, 4);
+        let plain = DensePil::build(&entries).unwrap();
+        let wide = DensePil::build_windowed(&entries, g).unwrap();
+        assert_eq!(plain.span(), wide.span());
+        assert_eq!(wide.bytes(), 2 * plain.bytes(), "wsum doubles the array");
+        let (width, wsum) = wide.wsum().unwrap();
+        assert_eq!(width, 4, "gap [1,4] admits 4 window positions");
+        let psum = wide.psum();
+        let span = wide.span();
+        for i in 0..=span {
+            assert_eq!(wsum[i], psum[(i + width as usize).min(span)] - psum[i]);
+        }
+        assert!(plain.wsum().is_none());
+        // The saturation refusal carries over.
+        assert!(DensePil::build_windowed(&[(1, u64::MAX), (2, 5)], g).is_none());
     }
 
     #[test]
@@ -750,11 +1044,12 @@ mod tests {
         let g = gap(0, 5);
         let mut outs = vec![Vec::new(), Vec::new()];
         let mut scratch = MultiJoinScratch::default();
-        join_multi_into(&left, &[&hot, &cold], g, &mut outs, &mut scratch);
+        let mut jc = JoinCounters::default();
+        join_multi_into(&left, &[&hot, &cold], g, &mut outs, &mut scratch, &mut jc);
         assert_eq!(scratch.saturated, vec![true, false]);
         assert_eq!(outs[1], vec![(1, 9), (2, 9)]);
         // Scratch reuse across calls must fully reset the cursors.
-        join_multi_into(&left, &[&cold], g, &mut outs[..1], &mut scratch);
+        join_multi_into(&left, &[&cold], g, &mut outs[..1], &mut scratch, &mut jc);
         assert_eq!(scratch.saturated, vec![false]);
         assert_eq!(outs[0], vec![(1, 9), (2, 9)]);
     }

@@ -34,7 +34,7 @@
 //! | event | fields |
 //! |---|---|
 //! | `seed` | `level`, `patterns`, `pil_entries`, `arena_bytes`, `elapsed_ms` |
-//! | `level` | `level`, `candidates`, `evaluated`, `frequent`, `kept`, `pruned_bound`, `pruned_support`, `arena_bytes`, `join_ms`, `elapsed_ms`, `saturated` |
+//! | `level` | `level`, `candidates`, `evaluated`, `frequent`, `kept`, `pruned_bound`, `pruned_support`, `arena_bytes`, `joins`, `probed`, `reallocs`, `bytes_moved`, `join_ms`, `elapsed_ms`, `saturated` |
 //! | `pool` | `level`, `chunks`, `workers` (array of `{worker, chunks, candidates, busy_ms, idle_ms}`) |
 //! | `subtree` | `index`, `level`, `patterns`, `deepest`, `evaluated`, `frequent`, `peak_arena_bytes`, `batches`, `batch_candidates`, `elapsed_ms` |
 //! | `em` | `m`, `em`, `elapsed_ms` |
@@ -42,7 +42,7 @@
 //! | `spill` | `level`, `records`, `bytes`, `live_bytes`, `watermark_bytes`, `elapsed_ms` |
 //! | `restore` | `record`, `bytes`, `patterns`, `elapsed_ms` |
 //! | `abort` | `message` |
-//! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `peak_arena_bytes`, `total_ms` |
+//! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `peak_arena_bytes`, `kernel`, `total_ms` |
 //!
 //! `level` events appear in strictly increasing level order and the
 //! `summary` line is last; [`validate_trace`] checks both plus the
@@ -97,6 +97,20 @@ pub struct LevelEvent {
     /// dependent: the breadth-first engines report parent + candidate
     /// arenas, the hybrid engine the surviving arenas only).
     pub arena_bytes: usize,
+    /// Join-kernel invocations in the fan-out that generated this
+    /// level's members (zero for the seed level, whose PILs come from
+    /// the sequence scan). Physical diagnostics: `joins`, `probed`,
+    /// `reallocs` and `bytes_moved` vary with the representation,
+    /// kernel, and batching choices — unlike the candidate counters
+    /// they are *not* part of the engine-invariant `MineStats`.
+    pub joins: u64,
+    /// Probe positions scanned across those joins (left offsets walked
+    /// plus right entries absorbed by the sliding windows).
+    pub probed: u64,
+    /// Output-buffer reallocations the joins triggered.
+    pub reallocs: u64,
+    /// Bytes copied by those reallocations.
+    pub bytes_moved: u64,
     /// Time spent in the join fan-out generating the next level (zero
     /// when the level is terminal).
     pub join_elapsed: Duration,
@@ -251,6 +265,9 @@ pub struct CompleteEvent {
     /// Peak arena bytes observed across the run (0 when the engine
     /// predates the gauge).
     pub peak_arena_bytes: usize,
+    /// The resolved join-kernel name (`"scalar"` / `"simd"`; empty
+    /// when the engine predates kernel selection).
+    pub kernel: String,
     /// Total wall-clock time.
     pub total_elapsed: Duration,
 }
@@ -265,6 +282,7 @@ impl CompleteEvent {
             n_used: outcome.stats.n_used,
             support_saturated: outcome.stats.support_saturated,
             peak_arena_bytes: 0,
+            kernel: String::new(),
             total_elapsed: outcome.stats.total_elapsed,
         }
     }
@@ -272,6 +290,12 @@ impl CompleteEvent {
     /// Attach the engine's peak arena gauge reading.
     pub fn with_peak_arena_bytes(mut self, peak: usize) -> CompleteEvent {
         self.peak_arena_bytes = peak;
+        self
+    }
+
+    /// Attach the resolved join-kernel name the run executed with.
+    pub fn with_kernel(mut self, kernel: crate::kernel::ResolvedKernel) -> CompleteEvent {
+        self.kernel = kernel.name().to_string();
         self
     }
 }
@@ -504,7 +528,7 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
 
     fn on_level(&mut self, e: &LevelEvent) {
         self.write_line(&format!(
-            "{{\"event\": \"level\", \"level\": {}, \"candidates\": {}, \"evaluated\": {}, \"frequent\": {}, \"kept\": {}, \"pruned_bound\": {}, \"pruned_support\": {}, \"arena_bytes\": {}, \"join_ms\": {:.3}, \"elapsed_ms\": {:.3}, \"saturated\": {}}}",
+            "{{\"event\": \"level\", \"level\": {}, \"candidates\": {}, \"evaluated\": {}, \"frequent\": {}, \"kept\": {}, \"pruned_bound\": {}, \"pruned_support\": {}, \"arena_bytes\": {}, \"joins\": {}, \"probed\": {}, \"reallocs\": {}, \"bytes_moved\": {}, \"join_ms\": {:.3}, \"elapsed_ms\": {:.3}, \"saturated\": {}}}",
             e.level,
             e.candidates,
             e.evaluated,
@@ -513,6 +537,10 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
             e.pruned_bound,
             e.pruned_support,
             e.arena_bytes,
+            e.joins,
+            e.probed,
+            e.reallocs,
+            e.bytes_moved,
             ms(e.join_elapsed),
             ms(e.elapsed),
             e.saturated
@@ -608,13 +636,14 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
 
     fn on_complete(&mut self, e: &CompleteEvent) {
         self.write_line(&format!(
-            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"peak_arena_bytes\": {}, \"total_ms\": {:.3}}}",
+            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"peak_arena_bytes\": {}, \"kernel\": \"{}\", \"total_ms\": {:.3}}}",
             e.frequent,
             e.levels,
             e.total_candidates,
             e.n_used,
             e.support_saturated,
             e.peak_arena_bytes,
+            escape_json(&e.kernel),
             ms(e.total_elapsed)
         ));
     }
@@ -682,12 +711,12 @@ impl MetricsObserver {
             );
         }
         out.push_str(
-            "  level | candidates | evaluated | frequent | kept | pruned_bound | pruned_support | join_ms | total_ms\n",
+            "  level | candidates | evaluated | frequent | kept | pruned_bound | pruned_support | joins | probed | reallocs | moved_bytes | join_ms | total_ms\n",
         );
         for l in &self.levels {
             let _ = writeln!(
                 out,
-                "  {:>5} | {:>10} | {:>9} | {:>8} | {:>4} | {:>12} | {:>14} | {:>7.3} | {:>8.3}{}",
+                "  {:>5} | {:>10} | {:>9} | {:>8} | {:>4} | {:>12} | {:>14} | {:>5} | {:>6} | {:>8} | {:>11} | {:>7.3} | {:>8.3}{}",
                 l.level,
                 l.candidates,
                 l.evaluated,
@@ -695,6 +724,10 @@ impl MetricsObserver {
                 l.kept,
                 l.pruned_bound,
                 l.pruned_support,
+                l.joins,
+                l.probed,
+                l.reallocs,
+                l.bytes_moved,
                 ms(l.join_elapsed),
                 ms(l.elapsed),
                 if l.saturated { "  [saturated]" } else { "" }
@@ -762,14 +795,20 @@ impl MetricsObserver {
             let _ = writeln!(out, "  ABORTED: {}", a.message);
         }
         if let Some(c) = &self.complete {
+            let kernel = if c.kernel.is_empty() {
+                String::new()
+            } else {
+                format!(" | {} kernel", c.kernel)
+            };
             let _ = writeln!(
                 out,
-                "  total: {} frequent over {} levels | {} candidates | n = {} | peak {} arena bytes | {:.3} ms{}",
+                "  total: {} frequent over {} levels | {} candidates | n = {} | peak {} arena bytes{} | {:.3} ms{}",
                 c.frequent,
                 c.levels,
                 c.total_candidates,
                 c.n_used,
                 c.peak_arena_bytes,
+                kernel,
                 ms(c.total_elapsed),
                 if c.support_saturated {
                     " | SUPPORT SATURATED"
@@ -1212,6 +1251,10 @@ mod tests {
             pruned_bound: 40,
             pruned_support: 50,
             arena_bytes: 4096,
+            joins: 60,
+            probed: 1200,
+            reallocs: 3,
+            bytes_moved: 768,
             join_elapsed: Duration::from_micros(500),
             elapsed: Duration::from_millis(1),
             saturated: false,
@@ -1226,6 +1269,7 @@ mod tests {
             n_used: 8,
             support_saturated: false,
             peak_arena_bytes: 8192,
+            kernel: "scalar".into(),
             total_elapsed: Duration::from_millis(3),
         }
     }
@@ -1298,6 +1342,11 @@ mod tests {
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
         assert!(text.contains("\"arena_bytes\": 4096"), "{text}");
         assert!(text.contains("\"peak_arena_bytes\": 8192"), "{text}");
+        assert!(
+            text.contains("\"joins\": 60, \"probed\": 1200, \"reallocs\": 3, \"bytes_moved\": 768"),
+            "{text}"
+        );
+        assert!(text.contains("\"kernel\": \"scalar\""), "{text}");
         assert!(
             text.contains("\"event\": \"repr\", \"mode\": \"auto\", \"dense\": 30"),
             "{text}"

@@ -37,8 +37,8 @@ pub mod prelude {
     pub use perigap_core::rigid::{rigid_mine, RigidConfig, RigidPattern};
     pub use perigap_core::windowed::windowed_mine;
     pub use perigap_core::{
-        FrequentPattern, GapRequirement, MineError, MineOutcome, OffsetCounts, Pattern, Pil,
-        PilRepr, ReprPolicy,
+        FrequentPattern, GapRequirement, Kernel, MineError, MineOutcome, OffsetCounts, Pattern,
+        Pil, PilRepr, ReprPolicy,
     };
     pub use perigap_seq::{Alphabet, Sequence};
 }

@@ -5,7 +5,9 @@
 
 use perigap::core::adaptive::ReprCache;
 use perigap::core::naive::support_dp;
-use perigap::core::pil::{join_dense_into, join_multi_into, DensePil, MultiJoinScratch, Pil};
+use perigap::core::pil::{
+    join_dense_into, join_multi_into, DensePil, JoinCounters, MultiJoinScratch, Pil,
+};
 use perigap::core::reference::{build_all_reference, mpp_reference};
 use perigap::prelude::*;
 use proptest::prelude::*;
@@ -148,7 +150,7 @@ proptest! {
         // and a buildable suffix can never saturate any window.
         if let Some(d) = DensePil::build(suffix.entries()) {
             let mut out = Vec::new();
-            join_dense_into(prefix.entries(), &d, gap, &mut out);
+            join_dense_into(prefix.entries(), &d, gap, &mut out, &mut JoinCounters::default());
             prop_assert_eq!(out.as_slice(), sparse.entries());
             prop_assert!(!sparse_sat);
         }
@@ -179,7 +181,14 @@ proptest! {
         let views: Vec<&[(u32, u64)]> = suffixes.iter().map(|s| s.entries()).collect();
         let mut outs: Vec<Vec<(u32, u64)>> = vec![Vec::new(); views.len()];
         let mut scratch = MultiJoinScratch::default();
-        join_multi_into(prefix.entries(), &views, gap, &mut outs, &mut scratch);
+        join_multi_into(
+            prefix.entries(),
+            &views,
+            gap,
+            &mut outs,
+            &mut scratch,
+            &mut JoinCounters::default(),
+        );
         for (j, (pil, sat)) in expected.iter().enumerate() {
             prop_assert_eq!(outs[j].as_slice(), pil.entries(), "partner {}", j);
             prop_assert_eq!(scratch.saturated[j], *sat, "partner {}", j);
@@ -198,7 +207,7 @@ proptest! {
             match cache.dense_for(j, s.entries()) {
                 Some(d) => {
                     let mut out = Vec::new();
-                    join_dense_into(prefix.entries(), d, gap, &mut out);
+                    join_dense_into(prefix.entries(), d, gap, &mut out, &mut JoinCounters::default());
                     prop_assert_eq!(out.as_slice(), pil.entries(), "dense partner {}", j);
                     prop_assert!(!sat, "a dense-joinable partner cannot saturate");
                 }
@@ -295,10 +304,11 @@ proptest! {
     }
 }
 
-/// Everything observable except durations, arena bytes and the spill
-/// counters must be bit-identical between a spilling and a
-/// non-spilling run.
-fn assert_spill_invariant(a: &MineOutcome, b: &MineOutcome, label: &str) {
+/// Everything observable except durations, arena bytes and the
+/// physical diagnostics (spill and join counters) must be bit-identical
+/// between two runs of the same mine — used for the spill and kernel
+/// differentials alike.
+fn assert_outcome_invariant(a: &MineOutcome, b: &MineOutcome, label: &str) {
     assert_eq!(a.frequent.len(), b.frequent.len(), "{label}");
     for (x, y) in a.frequent.iter().zip(&b.frequent) {
         assert_eq!(x.pattern, y.pattern, "{label}");
@@ -316,6 +326,70 @@ fn assert_spill_invariant(a: &MineOutcome, b: &MineOutcome, label: &str) {
         assert_eq!(x.candidates, y.candidates, "{label} level {}", x.level);
         assert_eq!(x.frequent, y.frequent, "{label} level {}", x.level);
         assert_eq!(x.extended, y.extended, "{label} level {}", x.level);
+    }
+}
+
+// The kernel differential mines the same input up to seven times per
+// case, so it gets its own smaller budget. Every (kernel × engine ×
+// repr) combination must reproduce the scalar/sparse baseline
+// bit-for-bit — patterns, supports, and all `MineStats` counters: the
+// `--kernel` knob is pure performance. On hardware without AVX2 (or
+// under `PERIGAP_FORCE_SCALAR`) Simd resolves to the scalar fallback
+// and the test degenerates to scalar-vs-scalar, which is still the
+// contract.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mining_agrees_across_kernels(
+        (alpha, codes, (n, m), rho_scale, kernel, mode) in (
+            alphabet(),
+            codes(60),
+            gap_req(),
+            1usize..40,
+            (0u8..3).prop_map(|w| match w {
+                0 => Kernel::Scalar,
+                1 => Kernel::Simd,
+                _ => Kernel::Auto,
+            }),
+            (0u8..3).prop_map(|w| match w {
+                0 => PilRepr::Sparse,
+                1 => PilRepr::Dense,
+                _ => PilRepr::Auto,
+            }),
+        )
+    ) {
+        use perigap::core::mppm::{mppm, mppm_dfs};
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = rho_scale as f64 * 1e-4;
+        let base_cfg = MppConfig {
+            kernel: Kernel::Scalar,
+            pil_repr: ReprPolicy::of(PilRepr::Sparse),
+            ..MppConfig::default()
+        };
+        let cfg = MppConfig {
+            kernel,
+            pil_repr: ReprPolicy::of(mode),
+            ..MppConfig::default()
+        };
+        let base = mpp(&seq, gap, rho, 8, base_cfg.clone());
+        let bfs = mpp(&seq, gap, rho, 8, cfg.clone());
+        prop_assert_eq!(base.is_ok(), bfs.is_ok());
+        let Ok(base) = base else { return Ok(()) };
+        assert_outcome_invariant(&base, &bfs.unwrap(), "bfs");
+        let par = mpp_parallel(&seq, gap, rho, 8, cfg.clone(), 3).unwrap();
+        assert_outcome_invariant(&base, &par, "parallel");
+        let dfs = mpp_dfs(&seq, gap, rho, 8, cfg.clone(), 2).unwrap();
+        assert_outcome_invariant(&base, &dfs, "dfs");
+        let base_m = mppm(&seq, gap, rho, 4, base_cfg);
+        let run_m = mppm(&seq, gap, rho, 4, cfg.clone());
+        prop_assert_eq!(base_m.is_ok(), run_m.is_ok());
+        if let Ok(base_m) = base_m {
+            assert_outcome_invariant(&base_m, &run_m.unwrap(), "mppm");
+            let dfs_m = mppm_dfs(&seq, gap, rho, 4, cfg, 2).unwrap();
+            assert_outcome_invariant(&base_m, &dfs_m, "mppm dfs");
+        }
     }
 }
 
@@ -370,14 +444,14 @@ proptest! {
             let spill = mpp_dfs(&seq, gap, rho, 8, spill_cfg(1 << 30), threads);
             prop_assert_eq!(free.is_ok(), spill.is_ok());
             if let Ok(free) = free {
-                assert_spill_invariant(&free, &spill.unwrap(), &format!("mpp {threads}t"));
+                assert_outcome_invariant(&free, &spill.unwrap(), &format!("mpp {threads}t"));
             }
 
             let free_m = mppm_dfs(&seq, gap, rho, 4, unbounded_cfg.clone(), threads);
             let spill_m = mppm_dfs(&seq, gap, rho, 4, spill_cfg(1 << 30), threads);
             prop_assert_eq!(free_m.is_ok(), spill_m.is_ok());
             if let Ok(free_m) = free_m {
-                assert_spill_invariant(&free_m, &spill_m.unwrap(), &format!("mppm {threads}t"));
+                assert_outcome_invariant(&free_m, &spill_m.unwrap(), &format!("mppm {threads}t"));
             }
         }
 
@@ -389,7 +463,7 @@ proptest! {
         if let Ok(traced) = traced {
             let peak = metrics.complete.as_ref().unwrap().peak_arena_bytes.max(1);
             let tiny = mpp_dfs(&seq, gap, rho, 8, spill_cfg(peak), 1).unwrap();
-            assert_spill_invariant(&traced, &tiny, "tiny cap");
+            assert_outcome_invariant(&traced, &tiny, "tiny cap");
         }
     }
 }
