@@ -29,7 +29,11 @@
 //! 7. **single thread**: the serial packed engine vs the seed
 //!    reference at one thread on L = 50 000 (the ISSUE-6 parity row),
 //!    with per-level wall-clock from both so a late-level regression
-//!    is visible individually.
+//!    is visible individually;
+//! 8. **query throughput**: the `pgmine serve` daemon over the mined
+//!    pattern set, hammered by 1 / 4 / 16 concurrent clients with a
+//!    mixed support/topk/prefix/overlap workload — queries/sec per
+//!    client count, every response checked `"ok": true`.
 //!
 //! The JSON is hand-rolled (the workspace carries no serde); the format
 //! is flat enough to eyeball and to parse with anything.
@@ -240,6 +244,7 @@ pub fn run(quick: bool) {
     let join_kernel = join_kernel(&e2e_seq, gap, if quick { 50 } else { 200 });
     let simd_kernel = simd_kernel(&e2e_seq, gap, if quick { 20 } else { 100 });
     let single_thread = single_thread(if quick { 10_000 } else { 50_000 }, gap, reps);
+    let query_throughput = query_throughput(gap, quick);
 
     // The adaptive-layout section (ISSUE-4): occupancy kernel sweep,
     // the representation-invariance gate with histogram, and the
@@ -249,7 +254,7 @@ pub fn run(quick: bool) {
     let dfs_sweep = super::pil_repr::dfs_sweep(quick);
 
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"query_throughput\": {query_throughput},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
@@ -728,6 +733,109 @@ fn single_thread(len: usize, gap: GapRequirement, reps: usize) -> String {
     )
 }
 
+/// Query throughput of the `pgmine serve` daemon over the mined
+/// pattern set, at 1 / 4 / 16 concurrent clients. Each client replays a
+/// mixed workload (support, topk, prefix, overlap in rotation) for a
+/// fixed query count; every response is checked `"ok": true`, so a
+/// regression that breaks answers cannot masquerade as a fast one.
+/// Returns the JSON fragment.
+fn query_throughput(gap: GapRequirement, quick: bool) -> String {
+    use perigap_serve::Client;
+    use perigap_store::{LoadedOutcome, PatternIndex};
+    use std::sync::Arc;
+
+    // A bounded mine of its own: occurrence summaries cost O(n·l·w) per
+    // pattern, so the throughput section caps the pattern set with a
+    // tighter rho instead of indexing the huge acceptance-config set.
+    let len = if quick { 5_000 } else { 20_000 };
+    let seq = scaling_sequence(len);
+    let rho = 0.005;
+    let outcome = mpp(&seq, gap, rho, N, MppConfig::default()).expect("throughput mine");
+    let seq = &seq;
+    let loaded = LoadedOutcome { outcome, gap, rho };
+    let index = Arc::new(PatternIndex::build(
+        &loaded,
+        seq.alphabet().clone(),
+        Some(seq),
+    ));
+    println!(
+        "bench: query throughput, {} patterns indexed, L = {}",
+        index.len(),
+        seq.len()
+    );
+
+    // The mixed workload: one request line per indexed pattern kind,
+    // derived from the top of the support ranking so every lookup hits.
+    let mut workload: Vec<String> = Vec::new();
+    for entry in index.top_k(8) {
+        let text = entry.display(seq.alphabet());
+        workload.push(format!("{{\"q\": \"support\", \"pattern\": \"{text}\"}}"));
+        let prefix: String = text.chars().take(2).collect();
+        workload.push(format!(
+            "{{\"q\": \"prefix\", \"prefix\": \"{prefix}\", \"limit\": 16}}"
+        ));
+    }
+    workload.push("{\"q\": \"topk\", \"k\": 10}".to_string());
+    workload.push(format!(
+        "{{\"q\": \"overlap\", \"a\": 1, \"b\": {}, \"limit\": 16}}",
+        (seq.len() / 4).max(1)
+    ));
+
+    let per_client = if quick { 200 } else { 1_000 };
+    let handle = perigap_serve::serve(
+        Arc::clone(&index),
+        "bench:memory".to_string(),
+        "127.0.0.1:0",
+        perigap_core::trace::NoopObserver,
+    )
+    .expect("bench server binds loopback");
+    let addr = handle.addr();
+
+    let mut rows = Vec::new();
+    for clients in [1usize, 4, 16] {
+        let workload = Arc::new(workload.clone());
+        let (_, wall) = timed(|| {
+            let workers: Vec<_> = (0..clients)
+                .map(|w| {
+                    let workload = Arc::clone(&workload);
+                    std::thread::spawn(move || {
+                        let mut client = Client::connect(addr, Duration::from_secs(60))
+                            .expect("bench client connects");
+                        for i in 0..per_client {
+                            let line = &workload[(w + i) % workload.len()];
+                            let response = client.roundtrip(line).expect("bench query answers");
+                            assert!(
+                                response.contains("\"ok\": true"),
+                                "bench query failed: {line} -> {response}"
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for worker in workers {
+                worker.join().expect("bench client finishes");
+            }
+        });
+        let total = (clients * per_client) as f64;
+        let qps = total / wall.as_secs_f64();
+        println!(
+            "  {clients:>2} clients x {per_client} queries: {:.1} ms | {qps:.0} qps",
+            ms(wall)
+        );
+        rows.push(format!(
+            "{{\"clients\": {clients}, \"queries_per_client\": {per_client}, \"wall_ms\": {:.3}, \"qps\": {qps:.1}}}",
+            ms(wall)
+        ));
+    }
+    handle.shutdown();
+    format!(
+        "{{\"length\": {}, \"patterns\": {}, \"workload_kinds\": [\"support\", \"topk\", \"prefix\", \"overlap\"], \"rows\": [{}]}}",
+        seq.len(),
+        index.len(),
+        rows.join(", ")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,6 +894,15 @@ mod tests {
         assert!(json.contains("\"threads\": 1"), "{json}");
         assert!(json.contains("\"late_levels_no_slower\""), "{json}");
         assert!(json.contains("\"engine_levels\""), "{json}");
+    }
+
+    #[test]
+    fn query_throughput_fragment_shape() {
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let json = query_throughput(gap, true);
+        assert!(json.contains("\"workload_kinds\""), "{json}");
+        assert!(json.contains("\"clients\": 16"), "{json}");
+        assert!(json.contains("\"qps\""), "{json}");
     }
 
     #[test]

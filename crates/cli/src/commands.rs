@@ -44,6 +44,15 @@ USAGE:
                [--record <id>]
   pgmine stats --input <fasta>
   pgmine show  --input <pgst>     inspect a persisted outcome
+  pgmine serve --store <pgst> [--input <fasta>  enables overlap queries]
+               [--addr <host:port>  default 127.0.0.1:0]
+               [--port-file <path>  write the bound address on startup]
+               [--trace <path.jsonl>] [--metrics]
+  pgmine serve --input <fasta> --gap <N:M> --rho <frac|pct%>  mine, then
+               serve (overlap queries available)
+               [--algorithm mppm|mpp] [--n <len>] [--m <window>]
+  pgmine query --addr <host:port> --json <request>
+               [--timeout-ms <ms>  default 10000]
   pgmine trace-check --input <trace.jsonl>   validate a --trace file
   pgmine help
 
@@ -51,6 +60,8 @@ EXAMPLES:
   pgmine mine --input genome.fa --gap 9:12 --rho 0.003% --algorithm mppm --m 10
   pgmine mine --input genome.fa --gap 1:3 --rho 0.5% --trace run.jsonl --metrics
   pgmine scan --input genome.fa --pair AA --max 30
+  pgmine serve --input genome.fa --gap 1:3 --rho 0.5% --addr 127.0.0.1:7071
+  pgmine query --addr 127.0.0.1:7071 --json '{\"q\": \"topk\", \"k\": 10}'
 ";
 
 /// Run a full command line (without the binary name). Returns the
@@ -83,6 +94,11 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "spill-watermark",
             "pil-repr",
             "kernel",
+            "store",
+            "addr",
+            "port-file",
+            "json",
+            "timeout-ms",
         ],
         &["verify", "metrics"],
     )?;
@@ -91,6 +107,8 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
         Some("scan") => scan_command(&args),
         Some("stats") => stats_command(&args),
         Some("show") => show_command(&args),
+        Some("serve") => serve_command(&args),
+        Some("query") => query_command(&args),
         Some("trace-check") => trace_check_command(&args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(ArgError(format!(
@@ -161,10 +179,19 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         None => default_cap,
     };
     let max_arena_bytes: Option<usize> = match args.get("max-arena-bytes") {
-        Some(raw) => Some(
-            raw.parse()
-                .map_err(|_| ArgError(format!("bad --max-arena-bytes {raw:?}")))?,
-        ),
+        Some(raw) => {
+            let v: usize = raw
+                .parse()
+                .map_err(|_| ArgError(format!("bad --max-arena-bytes {raw:?}")))?;
+            if v == 0 {
+                return Err(ArgError(
+                    "--max-arena-bytes must be at least 1: a zero ceiling would \
+                     abort before the seed level allocates anything"
+                        .into(),
+                ));
+            }
+            Some(v)
+        }
         None => None,
     };
     let pil_repr = match args.get("pil-repr") {
@@ -181,9 +208,10 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
             let v: f64 = raw
                 .parse()
                 .map_err(|_| ArgError(format!("bad --spill-watermark {raw:?}")))?;
-            if !(0.0..=1.0).contains(&v) {
+            if !(v > 0.0 && v <= 1.0) {
                 return Err(ArgError(format!(
-                    "--spill-watermark must be in 0.0..=1.0 (got {raw})"
+                    "--spill-watermark must be in (0.0, 1.0] (got {raw}); a zero or \
+                     negative watermark would spill every handoff unconditionally"
                 )));
             }
             v
@@ -501,6 +529,128 @@ fn show_command(args: &Args) -> Result<String, ArgError> {
     }
     out.push_str(&table.render());
     Ok(out)
+}
+
+/// Stand up the pattern-store daemon: load a PGST file (or mine the
+/// input in-process), index it, and serve queries until SIGINT or a
+/// client `shutdown` request.
+fn serve_command(args: &Args) -> Result<String, ArgError> {
+    use perigap_store::{Backend, PatternIndex};
+
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let (index, backend_desc) = match args.get("store") {
+        Some(path) => {
+            for flag in ["gap", "rho", "algorithm", "n", "m"] {
+                if args.get(flag).is_some() {
+                    return Err(ArgError(format!(
+                        "--{flag} comes from the store file; drop it when serving --store"
+                    )));
+                }
+            }
+            let backend = Backend::pgst_file(path);
+            let loaded = backend.load().map_err(|e| ArgError(e.to_string()))?;
+            // With the subject sequence alongside, occurrence summaries
+            // are recomputed and overlap queries become available.
+            let seq = match args.get("input") {
+                Some(_) => Some(load_sequence(args)?),
+                None => None,
+            };
+            let alphabet = seq
+                .as_ref()
+                .map(|s| s.alphabet().clone())
+                .unwrap_or(Alphabet::Dna);
+            let index = PatternIndex::build(&loaded, alphabet, seq.as_ref());
+            (index, backend.describe())
+        }
+        None => {
+            let seq = load_sequence(args)?;
+            let rho = parse_rho(args.require("rho")?)?;
+            let (lo, hi) = parse_gap(args.require("gap")?)?;
+            let gap = GapRequirement::new(lo, hi).map_err(|e| ArgError(e.to_string()))?;
+            let algorithm = args.get("algorithm").unwrap_or("mppm");
+            let outcome = match algorithm {
+                "mppm" => {
+                    let m: usize = args.parse_or("m", 4)?;
+                    perigap_core::mppm::mppm(&seq, gap, rho, m, MppConfig::default())
+                }
+                "mpp" => {
+                    let n: usize = args.parse_or("n", gap.l1(seq.len()))?;
+                    perigap_core::mpp::mpp(&seq, gap, rho, n, MppConfig::default())
+                }
+                other => {
+                    return Err(ArgError(format!(
+                        "serve mines with --algorithm mppm or mpp (got {other:?})"
+                    )))
+                }
+            }
+            .map_err(|e| ArgError(e.to_string()))?;
+            let backend = Backend::memory(outcome, gap, rho);
+            let loaded = backend.load().map_err(|e| ArgError(e.to_string()))?;
+            let index = PatternIndex::build(&loaded, seq.alphabet().clone(), Some(&seq));
+            (index, backend.describe())
+        }
+    };
+    let patterns = index.len();
+
+    let jsonl = match args.get("trace") {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| ArgError(format!("cannot create {path:?}: {e}")))?;
+            Some(JsonlObserver::new(std::io::BufWriter::new(file)))
+        }
+        None => None,
+    };
+    let observer = (jsonl, args.flag("metrics").then(MetricsObserver::new));
+
+    let handle = perigap_serve::serve(
+        std::sync::Arc::new(index),
+        backend_desc.clone(),
+        addr,
+        observer,
+    )
+    .map_err(|e| ArgError(format!("cannot bind {addr:?}: {e}")))?;
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, handle.addr().to_string())
+            .map_err(|e| ArgError(format!("cannot write port file {path:?}: {e}")))?;
+    }
+    // Block until SIGINT (ctrl-c) or a client shutdown request.
+    let sigint = perigap_serve::install_sigint_flag();
+    while !sigint.load(std::sync::atomic::Ordering::SeqCst) && !handle.stop_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let queries = handle.queries_served();
+    let bound = handle.addr();
+    let (jsonl, metrics) = handle.shutdown();
+    if let Some(sink) = jsonl {
+        sink.finish()
+            .map_err(|e| ArgError(format!("trace write failed: {e}")))?;
+    }
+    let mut out = format!(
+        "served {queries} queries over {patterns} patterns on {bound} (backend {backend_desc})\n"
+    );
+    if let Some(metrics) = metrics {
+        out.push('\n');
+        out.push_str(&metrics.render());
+    }
+    Ok(out)
+}
+
+/// One-shot client: send a single protocol request line to a running
+/// daemon and print the response line.
+fn query_command(args: &Args) -> Result<String, ArgError> {
+    let addr = args.require("addr")?;
+    let line = args.require("json")?;
+    let timeout_ms: u64 = args.parse_or("timeout-ms", 10_000)?;
+    if timeout_ms == 0 {
+        return Err(ArgError("--timeout-ms must be at least 1".into()));
+    }
+    let mut client =
+        perigap_serve::Client::connect(addr, std::time::Duration::from_millis(timeout_ms))
+            .map_err(|e| ArgError(format!("cannot connect to {addr:?}: {e}")))?;
+    let response = client
+        .roundtrip(line)
+        .map_err(|e| ArgError(format!("query failed: {e}")))?;
+    Ok(format!("{response}\n"))
 }
 
 fn stats_command(args: &Args) -> Result<String, ArgError> {
@@ -866,7 +1016,7 @@ mod tests {
             "--spill-dir",
             spill_dir.to_str().unwrap(),
             "--spill-watermark",
-            "0",
+            "0.000001",
             "--trace",
             &trace_str,
         ]))
@@ -901,12 +1051,160 @@ mod tests {
             "1.5",
         ]))
         .unwrap_err();
-        assert!(err.to_string().contains("0.0..=1.0"), "{err}");
+        assert!(err.to_string().contains("(0.0, 1.0]"), "{err}");
         let mut bfs_words = base(&["--max-arena-bytes", "1048576", "--spill-dir", "/tmp/x"]);
         let engine_at = bfs_words.iter().position(|w| w == "dfs").unwrap();
         bfs_words[engine_at] = "bfs".into();
         let err = run_words(&bfs_words).unwrap_err();
         assert!(err.to_string().contains("dfs"), "{err}");
+    }
+
+    /// Each resource flag rejects its degenerate value with a message
+    /// naming the flag, instead of silently misbehaving (`--threads 0`
+    /// deadlocked-by-construction, `--spill-watermark 0` spilled every
+    /// handoff, `--max-arena-bytes 0` aborted before mining anything).
+    #[test]
+    fn degenerate_resource_flags_are_rejected() {
+        let body = "ACGTT".repeat(40);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+                "--algorithm".into(),
+                "mpp".into(),
+                "--engine".into(),
+                "dfs".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+
+        let err = run_words(&base(&["--threads", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--threads"), "{err}");
+
+        let err = run_words(&base(&["--max-arena-bytes", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--max-arena-bytes"), "{err}");
+
+        for bad in ["0", "0.0", "-0.5"] {
+            let err = run_words(&base(&[
+                "--max-arena-bytes",
+                "1048576",
+                "--spill-dir",
+                "/tmp/x",
+                &format!("--spill-watermark={bad}"),
+            ]))
+            .unwrap_err();
+            assert!(
+                err.to_string().contains("--spill-watermark")
+                    && err.to_string().contains("(0.0, 1.0]"),
+                "watermark {bad}: {err}"
+            );
+        }
+        // The boundary that stays legal: spill exactly at the ceiling.
+        let valid = run_words(&base(&[
+            "--max-arena-bytes",
+            "1048576",
+            "--spill-dir",
+            std::env::temp_dir()
+                .join(format!("pgmine-wm1-{}", std::process::id()))
+                .to_str()
+                .unwrap(),
+            "--spill-watermark",
+            "1.0",
+        ]));
+        assert!(valid.is_ok(), "{valid:?}");
+    }
+
+    #[test]
+    fn serve_daemon_end_to_end() {
+        let body = "ACGT".repeat(50);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let mut port_file = std::env::temp_dir();
+        port_file.push(format!("pgmine-serve-port-{}.txt", std::process::id()));
+        let port_str = port_file.to_str().unwrap().to_string();
+        let words: Vec<String> = vec![
+            "serve".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--gap".into(),
+            "0:2".into(),
+            "--rho".into(),
+            "0.1%".into(),
+            "--algorithm".into(),
+            "mpp".into(),
+            "--n".into(),
+            "8".into(),
+            "--addr".into(),
+            "127.0.0.1:0".into(),
+            "--port-file".into(),
+            port_str.clone(),
+            "--metrics".into(),
+        ];
+        let daemon = std::thread::spawn(move || run_words(&words));
+
+        // Wait for the daemon to publish its bound address.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if !text.is_empty() {
+                    break text;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never wrote its port file"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let query = |json: &str| {
+            run_words(&[
+                "query".into(),
+                "--addr".into(),
+                addr.clone(),
+                "--json".into(),
+                json.into(),
+            ])
+            .unwrap()
+        };
+        let support = query(r#"{"q": "support", "pattern": "ACG"}"#);
+        assert!(support.contains("\"ok\": true"), "{support}");
+        let topk = query(r#"{"q": "topk", "k": 3}"#);
+        assert!(topk.contains("\"patterns\": ["), "{topk}");
+        let prefix = query(r#"{"q": "prefix", "prefix": "AC"}"#);
+        assert!(prefix.contains("\"total\":"), "{prefix}");
+        // Mine-then-serve keeps the sequence, so overlap works.
+        let overlap = query(r#"{"q": "overlap", "a": 1, "b": 30}"#);
+        assert!(overlap.contains("\"ok\": true"), "{overlap}");
+        let stopping = query(r#"{"q": "shutdown"}"#);
+        assert!(stopping.contains("\"stopping\": true"), "{stopping}");
+
+        let summary = daemon.join().unwrap().unwrap();
+        assert!(summary.contains("served 5 queries"), "{summary}");
+        assert!(summary.contains("query support:"), "{summary}");
+        assert!(summary.contains("query overlap:"), "{summary}");
+        std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
+    fn serve_flag_gating() {
+        let err = run_words(&[
+            "serve".into(),
+            "--store".into(),
+            "/tmp/whatever.pgst".into(),
+            "--gap".into(),
+            "1:2".into(),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("store file"), "{err}");
+        let err = run_words(&["query".into(), "--addr".into(), "127.0.0.1:1".into()]).unwrap_err();
+        assert!(err.to_string().contains("--json"), "{err}");
     }
 
     #[test]

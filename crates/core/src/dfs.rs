@@ -64,7 +64,7 @@ use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::spill::{self, SpillState};
 use crate::trace::{
     AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent,
-    RestoreEvent, SeedEvent, SpillEvent, SubtreeEvent,
+    RestoreEvent, SeedEvent, SpillEvent, SubtreeEvent, WarningEvent,
 };
 use perigap_math::BigRatio;
 use perigap_seq::Sequence;
@@ -435,6 +435,10 @@ struct TaskOut {
     subtree: Option<SubtreeEvent>,
     /// Spilled subtree tasks: the restore event.
     restore: Option<RestoreEvent>,
+    /// Spilled subtree tasks: set when the mined record's backing file
+    /// could not be removed (surfaced as a `spill-cleanup` warning, not
+    /// an error — see [`crate::spill::SpillIo::remove`]).
+    cleanup_failure: Option<String>,
 }
 
 /// A roster of [`DfsTask`]s over one shared base generation, claimed
@@ -545,6 +549,7 @@ impl DfsJob {
             frequent,
             subtree: None,
             restore: None,
+            cleanup_failure: None,
         })
     }
 
@@ -588,6 +593,7 @@ impl DfsJob {
             frequent: ctx.frequent,
             subtree: Some(event),
             restore: None,
+            cleanup_failure: None,
         })
     }
 
@@ -642,7 +648,9 @@ impl DfsJob {
         let res = descend_split(&mut ctx, &set, &members, self.base_level);
         ctx.gauge.shrink(arena);
         res?;
-        state.io.remove(record);
+        let cleanup_failure = state.io.remove(record).err().map(|e| {
+            format!("spill record {record} could not be removed after its subtree was mined: {e}")
+        });
         let evaluated: usize = ctx.aggs.values().map(|a| a.evaluated).sum();
         let event = SubtreeEvent {
             index: item,
@@ -662,7 +670,28 @@ impl DfsJob {
             frequent: ctx.frequent,
             subtree: Some(event),
             restore: Some(restore),
+            cleanup_failure,
         })
+    }
+}
+
+/// Best-effort removal of every spill record a job may have left
+/// behind, run on any error exit after the handoff wrote records. Most
+/// records are already gone (mined subtrees remove their own; `remove`
+/// treats missing files as success) — this catches the ones orphaned
+/// by the task that failed and by tasks that never ran.
+fn sweep_spill_records<O: MineObserver>(job: &DfsJob, stats: &mut MineStats, observer: &mut O) {
+    let Some(state) = &job.spill else { return };
+    for record in 0..job.tasks.len() as u64 {
+        if let Err(e) = state.io.remove(record) {
+            stats.spill_cleanup_failures += 1;
+            observer.on_warning(&WarningEvent {
+                kind: "spill-cleanup".into(),
+                message: format!(
+                    "orphan spill record {record} could not be removed in the abort sweep: {e}"
+                ),
+            });
+        }
     }
 }
 
@@ -956,7 +985,15 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                             // Best-effort cleanup of records already on
                             // disk before surfacing the typed error.
                             for done in 0..r as u64 {
-                                io.remove(done);
+                                if let Err(re) = io.remove(done) {
+                                    stats.spill_cleanup_failures += 1;
+                                    observer.on_warning(&WarningEvent {
+                                        kind: "spill-cleanup".into(),
+                                        message: format!(
+                                            "spill record {done} could not be removed after record {r} failed to write: {re}"
+                                        ),
+                                    });
+                                }
                             }
                             return Err(spill::spill_err(r as u64, e.to_string()));
                         }
@@ -1016,15 +1053,30 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     hooks,
                 });
                 let outs = match &pool {
-                    Some(pool) => {
-                        let (outs, event) = pool.run(Arc::clone(&job))?;
-                        pool_events.push(event);
-                        outs
-                    }
+                    Some(pool) => match pool.run(Arc::clone(&job)) {
+                        Ok((outs, event)) => {
+                            pool_events.push(event);
+                            outs
+                        }
+                        Err(e) => {
+                            sweep_spill_records(&job, &mut stats, observer);
+                            return Err(e);
+                        }
+                    },
                     None => (0..job.n_items()).map(|i| job.process(i)).collect(),
                 };
+                // Consume every task result before surfacing a failure:
+                // an early return here would skip the spill sweep and
+                // strand the records of tasks that never ran.
+                let mut first_err: Option<MineError> = None;
                 for out in outs {
-                    let t = out?;
+                    let t = match out {
+                        Ok(t) => t,
+                        Err(e) => {
+                            first_err.get_or_insert(e);
+                            continue;
+                        }
+                    };
                     for (l, a) in t.aggs {
                         absorb(&mut aggs, l, a);
                     }
@@ -1037,6 +1089,17 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         stats.restored_bytes += ev.bytes;
                         restore_events.push(ev);
                     }
+                    if let Some(message) = t.cleanup_failure {
+                        stats.spill_cleanup_failures += 1;
+                        observer.on_warning(&WarningEvent {
+                            kind: "spill-cleanup".into(),
+                            message,
+                        });
+                    }
+                }
+                if let Some(e) = first_err {
+                    sweep_spill_records(&job, &mut stats, observer);
+                    return Err(e);
                 }
                 if !spilling {
                     gauge.shrink(cur_bytes);

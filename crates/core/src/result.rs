@@ -75,6 +75,12 @@ pub struct MineStats {
     pub restored_records: u64,
     /// Serialized bytes read back across all restores.
     pub restored_bytes: u64,
+    /// Spill records whose backing file could not be removed after
+    /// their subtree was mined (or during the abort sweep). Each one
+    /// also surfaces as a `spill-cleanup` warning trace event; the mine
+    /// itself still completes — a leftover file costs disk, not
+    /// correctness.
+    pub spill_cleanup_failures: u64,
 }
 
 impl MineStats {

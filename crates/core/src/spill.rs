@@ -78,10 +78,13 @@ pub trait SpillIo: Send + Sync + std::fmt::Debug {
     fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()>;
     /// Read a record's bytes back, exactly as written.
     fn read(&self, record: u64) -> io::Result<Vec<u8>>;
-    /// Best-effort cleanup of a record that is no longer needed;
-    /// failures are ignored (a leftover file costs disk, not
-    /// correctness).
-    fn remove(&self, record: u64);
+    /// Remove a record that is no longer needed. A failure costs disk,
+    /// not correctness — the engine surfaces it as a `spill-cleanup`
+    /// warning trace event and counts it in
+    /// [`crate::MineStats::spill_cleanup_failures`] rather than
+    /// aborting the mine. Removing a record that no longer exists is
+    /// not an error.
+    fn remove(&self, record: u64) -> io::Result<()>;
 }
 
 /// The production [`SpillIo`]: one file per record under a spill
@@ -112,8 +115,11 @@ impl SpillIo for FsSpillIo {
         std::fs::read(self.path(record))
     }
 
-    fn remove(&self, record: u64) {
-        let _ = std::fs::remove_file(self.path(record));
+    fn remove(&self, record: u64) -> io::Result<()> {
+        match std::fs::remove_file(self.path(record)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -142,8 +148,9 @@ impl SpillIo for MemSpillIo {
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("record {record}")))
     }
 
-    fn remove(&self, record: u64) {
+    fn remove(&self, record: u64) -> io::Result<()> {
         self.records.lock().expect("spill map lock").remove(&record);
+        Ok(())
     }
 }
 
@@ -466,8 +473,14 @@ mod tests {
         let io = FsSpillIo::new(&dir);
         io.write(2, b"payload").unwrap();
         assert_eq!(io.read(2).unwrap(), b"payload");
-        io.remove(2);
+        io.remove(2).unwrap();
         assert!(io.read(2).is_err());
+        // Removing an already-gone record is not an error...
+        io.remove(2).unwrap();
+        // ...but a record trapped in an unreadable location is.
+        let nested = FsSpillIo::new(dir.join("not-a-dir"));
+        std::fs::write(dir.join("not-a-dir"), b"file, not dir").unwrap();
+        assert!(nested.remove(0).is_err(), "ENOTDIR must surface");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -476,7 +489,7 @@ mod tests {
         let io = MemSpillIo::default();
         io.write(9, b"abc").unwrap();
         assert_eq!(io.read(9).unwrap(), b"abc");
-        io.remove(9);
+        io.remove(9).unwrap();
         assert!(io.read(9).is_err());
     }
 

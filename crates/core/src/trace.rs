@@ -41,6 +41,8 @@
 //! | `repr` | `mode`, `dense`, `sparse`, `fallbacks` |
 //! | `spill` | `level`, `records`, `bytes`, `live_bytes`, `watermark_bytes`, `elapsed_ms` |
 //! | `restore` | `record`, `bytes`, `patterns`, `elapsed_ms` |
+//! | `warning` | `kind`, `message` |
+//! | `query` | `kind`, `ok`, `results`, `latency_ms` |
 //! | `abort` | `message` |
 //! | `summary` | `frequent`, `levels`, `total_candidates`, `n_used`, `support_saturated`, `peak_arena_bytes`, `kernel`, `total_ms` |
 //!
@@ -249,6 +251,34 @@ pub struct AbortEvent {
     pub message: String,
 }
 
+/// A non-fatal anomaly the run survived but the operator should know
+/// about — e.g. a spill record that could not be removed after its
+/// subtree was mined (`kind = "spill-cleanup"`). Warnings may appear
+/// anywhere before the terminal `summary`/`abort` line.
+#[derive(Clone, Debug)]
+pub struct WarningEvent {
+    /// Stable machine-readable category (`"spill-cleanup"`, ...).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One pattern-store query answered by `pgmine serve` — the daemon
+/// shares this trace layer so query counters flow through the same
+/// JSONL/metrics sinks as mining events.
+#[derive(Clone, Debug)]
+pub struct QueryEvent {
+    /// Query kind (`"support"`, `"topk"`, `"prefix"`, `"overlap"`,
+    /// `"stats"`).
+    pub kind: String,
+    /// False when the query was rejected (bad pattern, bad arguments).
+    pub ok: bool,
+    /// Result rows returned (0 for errors and scalar answers).
+    pub results: usize,
+    /// Wall-clock service time.
+    pub latency: Duration,
+}
+
 /// Mine completion: run-wide totals.
 #[derive(Clone, Debug)]
 pub struct CompleteEvent {
@@ -321,6 +351,10 @@ pub trait MineObserver {
     fn on_spill(&mut self, _event: &SpillEvent) {}
     /// A spill record was restored and mined (hybrid engine only).
     fn on_restore(&mut self, _event: &RestoreEvent) {}
+    /// A non-fatal anomaly was survived (e.g. spill cleanup failure).
+    fn on_warning(&mut self, _event: &WarningEvent) {}
+    /// A pattern-store query was served (`pgmine serve` only).
+    fn on_query(&mut self, _event: &QueryEvent) {}
     /// The mine aborted after partial progress (terminal).
     fn on_abort(&mut self, _event: &AbortEvent) {}
     /// The mine finished.
@@ -357,6 +391,12 @@ impl<O: MineObserver + ?Sized> MineObserver for &mut O {
     }
     fn on_restore(&mut self, event: &RestoreEvent) {
         (**self).on_restore(event);
+    }
+    fn on_warning(&mut self, event: &WarningEvent) {
+        (**self).on_warning(event);
+    }
+    fn on_query(&mut self, event: &QueryEvent) {
+        (**self).on_query(event);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         (**self).on_abort(event);
@@ -398,6 +438,14 @@ impl<A: MineObserver, B: MineObserver> MineObserver for (A, B) {
     fn on_restore(&mut self, event: &RestoreEvent) {
         self.0.on_restore(event);
         self.1.on_restore(event);
+    }
+    fn on_warning(&mut self, event: &WarningEvent) {
+        self.0.on_warning(event);
+        self.1.on_warning(event);
+    }
+    fn on_query(&mut self, event: &QueryEvent) {
+        self.0.on_query(event);
+        self.1.on_query(event);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.0.on_abort(event);
@@ -450,6 +498,16 @@ impl<O: MineObserver> MineObserver for Option<O> {
             o.on_restore(event);
         }
     }
+    fn on_warning(&mut self, event: &WarningEvent) {
+        if let Some(o) = self {
+            o.on_warning(event);
+        }
+    }
+    fn on_query(&mut self, event: &QueryEvent) {
+        if let Some(o) = self {
+            o.on_query(event);
+        }
+    }
     fn on_abort(&mut self, event: &AbortEvent) {
         if let Some(o) = self {
             o.on_abort(event);
@@ -467,8 +525,9 @@ fn ms(d: Duration) -> f64 {
 }
 
 /// Minimal JSON string escape for the few free-text fields (abort
-/// messages carry panic payloads, which may contain anything).
-fn escape_json(text: &str) -> String {
+/// messages carry panic payloads, which may contain anything). Public
+/// so the serve protocol can emit the same escaping the sinks use.
+pub fn escape_json(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     for c in text.chars() {
         match c {
@@ -627,6 +686,24 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
         ));
     }
 
+    fn on_warning(&mut self, e: &WarningEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"warning\", \"kind\": \"{}\", \"message\": \"{}\"}}",
+            escape_json(&e.kind),
+            escape_json(&e.message)
+        ));
+    }
+
+    fn on_query(&mut self, e: &QueryEvent) {
+        self.write_line(&format!(
+            "{{\"event\": \"query\", \"kind\": \"{}\", \"ok\": {}, \"results\": {}, \"latency_ms\": {:.3}}}",
+            escape_json(&e.kind),
+            e.ok,
+            e.results,
+            ms(e.latency)
+        ));
+    }
+
     fn on_abort(&mut self, e: &AbortEvent) {
         self.write_line(&format!(
             "{{\"event\": \"abort\", \"message\": \"{}\"}}",
@@ -669,10 +746,30 @@ pub struct MetricsObserver {
     pub spills: Vec<SpillEvent>,
     /// Restore events in record order.
     pub restores: Vec<RestoreEvent>,
+    /// Warnings in arrival order.
+    pub warnings: Vec<WarningEvent>,
+    /// Per-kind query aggregates, sorted by kind (serve runs only).
+    pub queries: std::collections::BTreeMap<String, QueryStats>,
     /// The abort event, if the mine was cut short.
     pub abort: Option<AbortEvent>,
     /// The completion event.
     pub complete: Option<CompleteEvent>,
+}
+
+/// Aggregated service counters for one query kind (the
+/// [`MetricsObserver`] rollup of [`QueryEvent`]s).
+#[derive(Clone, Debug, Default)]
+pub struct QueryStats {
+    /// Queries served.
+    pub count: u64,
+    /// Queries rejected (`ok = false`).
+    pub errors: u64,
+    /// Result rows summed over the kind.
+    pub results: u64,
+    /// Service time summed over the kind.
+    pub total_latency: Duration,
+    /// Worst single-query service time.
+    pub max_latency: Duration,
 }
 
 impl MetricsObserver {
@@ -791,6 +888,25 @@ impl MetricsObserver {
                 ms(r.elapsed)
             );
         }
+        for w in &self.warnings {
+            let _ = writeln!(out, "  warning [{}]: {}", w.kind, w.message);
+        }
+        for (kind, q) in &self.queries {
+            let mean = if q.count > 0 {
+                ms(q.total_latency) / q.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  query {kind}: {} served | {} errors | {} rows | mean {:.3} ms | max {:.3} ms",
+                q.count,
+                q.errors,
+                q.results,
+                mean,
+                ms(q.max_latency)
+            );
+        }
         if let Some(a) = &self.abort {
             let _ = writeln!(out, "  ABORTED: {}", a.message);
         }
@@ -845,6 +961,19 @@ impl MineObserver for MetricsObserver {
     }
     fn on_restore(&mut self, event: &RestoreEvent) {
         self.restores.push(event.clone());
+    }
+    fn on_warning(&mut self, event: &WarningEvent) {
+        self.warnings.push(event.clone());
+    }
+    fn on_query(&mut self, event: &QueryEvent) {
+        let q = self.queries.entry(event.kind.clone()).or_default();
+        q.count += 1;
+        if !event.ok {
+            q.errors += 1;
+        }
+        q.results += event.results as u64;
+        q.total_latency += event.latency;
+        q.max_latency = q.max_latency.max(event.latency);
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.abort = Some(event.clone());
@@ -1190,7 +1319,17 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
                     .ok_or(format!("line {lineno}: abort event without message"))?;
                 aborted = true;
             }
-            "seed" | "pool" | "subtree" | "em" | "repr" | "spill" | "restore" => {}
+            "warning" => {
+                value
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {lineno}: warning event without kind"))?;
+                value
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("line {lineno}: warning event without message"))?;
+            }
+            "seed" | "pool" | "subtree" | "em" | "repr" | "spill" | "restore" | "query" => {}
             other => return Err(format!("line {lineno}: unknown event {other:?}")),
         }
     }
@@ -1389,6 +1528,62 @@ mod tests {
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
         let err = validate_trace(&text).unwrap_err();
         assert!(err.contains("after the abort"), "{err}");
+    }
+
+    #[test]
+    fn warning_and_query_events_flow_through_sinks_and_validator() {
+        let mut sink = JsonlObserver::new(Vec::new());
+        sink.on_level(&level_event(3));
+        sink.on_warning(&WarningEvent {
+            kind: "spill-cleanup".into(),
+            message: "failed to remove \"spill-00000001.pgsp\"".into(),
+        });
+        sink.on_query(&QueryEvent {
+            kind: "topk".into(),
+            ok: true,
+            results: 5,
+            latency: Duration::from_micros(420),
+        });
+        sink.on_complete(&complete_event(1));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        assert!(
+            text.contains("\"event\": \"warning\", \"kind\": \"spill-cleanup\""),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"event\": \"query\", \"kind\": \"topk\", \"ok\": true, \"results\": 5"),
+            "{text}"
+        );
+        let report = validate_trace(&text).unwrap();
+        assert_eq!(report.lines, 4);
+
+        // A warning without its fields is rejected.
+        assert!(validate_trace("{\"event\": \"warning\"}\n").is_err());
+
+        let mut m = MetricsObserver::new();
+        m.on_warning(&WarningEvent {
+            kind: "spill-cleanup".into(),
+            message: "orphan".into(),
+        });
+        for ok in [true, true, false] {
+            m.on_query(&QueryEvent {
+                kind: "support".into(),
+                ok,
+                results: usize::from(ok),
+                latency: Duration::from_micros(100),
+            });
+        }
+        let stats = &m.queries["support"];
+        assert_eq!((stats.count, stats.errors, stats.results), (3, 1, 2));
+        let rendered = m.render();
+        assert!(
+            rendered.contains("warning [spill-cleanup]: orphan"),
+            "{rendered}"
+        );
+        assert!(
+            rendered.contains("query support: 3 served | 1 errors"),
+            "{rendered}"
+        );
     }
 
     #[test]

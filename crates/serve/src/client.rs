@@ -1,0 +1,51 @@
+//! A minimal blocking client for the serve protocol, used by the CLI
+//! `pgmine query` command, the bench harness, and the tests.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a pattern-store daemon.
+pub struct Client {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl Client {
+    /// Connect, with a response deadline applied to every round-trip.
+    pub fn connect<A: ToSocketAddrs>(addr: A, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Send one request line, wait for its response line.
+    pub fn roundtrip(&mut self, request: &str) -> io::Result<String> {
+        writeln!(self.stream, "{}", request.trim_end_matches('\n'))?;
+        self.stream.flush()?;
+        self.read_line()
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line[..pos]).into_owned());
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection before answering",
+                    ))
+                }
+                n => self.pending.extend_from_slice(&chunk[..n]),
+            }
+        }
+    }
+}

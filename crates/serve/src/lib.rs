@@ -1,0 +1,189 @@
+//! `pgmine serve`: a pattern-store daemon over mined outcomes.
+//!
+//! A mined pattern set — fresh from the engine or loaded back from a
+//! PGST store file through a [`perigap_store::Backend`] — is indexed
+//! once ([`perigap_store::PatternIndex`]) and served to concurrent
+//! clients over a line-delimited JSON protocol on a TCP socket:
+//!
+//! ```text
+//! -> {"q": "support", "pattern": "ACG"}
+//! <- {"ok": true, "found": true, "pattern": "ACG", "support": 42, "ratio": 0.013}
+//! ```
+//!
+//! [`protocol`] defines the wire format, [`server`] the daemon, and
+//! [`client`] a small blocking client. Every served request is a
+//! [`perigap_core::trace::QueryEvent`] through the observer the daemon
+//! was started with, so latency counters land in the same metrics
+//! sinks the miner uses.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use protocol::{parse_request, serve_line, Envelope, Request, Served, DEFAULT_LIMIT};
+pub use server::{serve, ServerHandle};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Install a SIGINT handler that flips a process-wide flag, and return
+/// the flag. The handler only stores an atomic (async-signal-safe);
+/// callers poll the flag and stop their server. Installing twice is
+/// harmless. Unix only; on other targets the flag simply never flips.
+pub fn install_sigint_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_sigint(_signum: i32) {
+            SIGINT_FLAG.store(true, Ordering::SeqCst);
+        }
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+    &SIGINT_FLAG
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::mpp::{mpp, MppConfig};
+    use perigap_core::trace::{Json, MetricsObserver};
+    use perigap_core::GapRequirement;
+    use perigap_seq::{Alphabet, Sequence};
+    use perigap_store::{LoadedOutcome, PatternIndex};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn served_index() -> Arc<PatternIndex> {
+        let seq = Sequence::dna(&"ACGT".repeat(25)).unwrap();
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let outcome = mpp(&seq, gap, 0.001, 8, MppConfig::default()).unwrap();
+        assert!(!outcome.frequent.is_empty());
+        let loaded = LoadedOutcome {
+            outcome,
+            gap,
+            rho: 0.001,
+        };
+        Arc::new(PatternIndex::build(&loaded, Alphabet::Dna, Some(&seq)))
+    }
+
+    #[test]
+    fn daemon_answers_every_query_kind_and_counts_them() {
+        let index = served_index();
+        let handle = serve(
+            Arc::clone(&index),
+            "memory:test".to_string(),
+            "127.0.0.1:0",
+            MetricsObserver::new(),
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr(), Duration::from_secs(10)).unwrap();
+
+        for line in [
+            r#"{"q": "support", "pattern": "ACG"}"#,
+            r#"{"q": "topk", "k": 3}"#,
+            r#"{"q": "prefix", "prefix": "AC"}"#,
+            r#"{"q": "overlap", "a": 1, "b": 12}"#,
+            r#"{"q": "stats"}"#,
+        ] {
+            let response = client.roundtrip(line).unwrap();
+            let parsed = Json::parse(&response).unwrap();
+            assert_eq!(
+                parsed.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{line} -> {response}"
+            );
+        }
+        // Garbage gets an error response, not a dropped connection.
+        let response = client.roundtrip("not json at all").unwrap();
+        assert!(response.contains("\"ok\": false"));
+
+        let metrics = handle.shutdown();
+        let total: u64 = metrics.queries.values().map(|s| s.count).sum();
+        assert_eq!(total, 6);
+        assert_eq!(metrics.queries["invalid"].errors, 1);
+        assert_eq!(metrics.queries["support"].count, 1);
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_daemon() {
+        let handle = serve(
+            served_index(),
+            "memory:test".to_string(),
+            "127.0.0.1:0",
+            MetricsObserver::new(),
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let mut client = Client::connect(addr, Duration::from_secs(10)).unwrap();
+        let response = client.roundtrip(r#"{"q": "shutdown", "id": 9}"#).unwrap();
+        assert!(response.contains("\"stopping\": true"));
+        assert!(response.contains("\"id\": 9"));
+        // The accept loop winds down; the handle observes the stop.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !handle.stop_requested() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(handle.stop_requested());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn sixteen_concurrent_clients_are_served() {
+        let index = served_index();
+        let expect_top: Vec<String> = index.top_k(5).map(|e| e.display(&Alphabet::Dna)).collect();
+        let handle = serve(
+            index,
+            "memory:test".to_string(),
+            "127.0.0.1:0",
+            MetricsObserver::new(),
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let workers: Vec<_> = (0..16)
+            .map(|w| {
+                let expect = expect_top.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr, Duration::from_secs(30)).unwrap();
+                    for i in 0..25 {
+                        let response = client
+                            .roundtrip(&format!(
+                                "{{\"q\": \"topk\", \"k\": 5, \"id\": {}}}",
+                                w * 100 + i
+                            ))
+                            .unwrap();
+                        let parsed = Json::parse(&response).unwrap();
+                        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+                        assert_eq!(
+                            parsed.get("id").and_then(Json::as_usize),
+                            Some(w * 100 + i),
+                            "pipelined responses must match their requests"
+                        );
+                        let got: Vec<&str> = parsed
+                            .get("patterns")
+                            .and_then(Json::as_arr)
+                            .unwrap()
+                            .iter()
+                            .map(|p| p.get("pattern").and_then(Json::as_str).unwrap())
+                            .collect();
+                        assert_eq!(got, expect, "every client sees the same ranking");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("client worker must not panic");
+        }
+        let metrics = handle.shutdown();
+        assert_eq!(metrics.queries["topk"].count, 16 * 25);
+        assert_eq!(metrics.queries["topk"].errors, 0);
+    }
+}

@@ -1,0 +1,430 @@
+//! The line-delimited JSON query protocol.
+//!
+//! One request per line, one response per line. Every request is a JSON
+//! object with a `"q"` field naming the query kind; every response is a
+//! JSON object whose first field is `"ok"`. An optional `"id"` (string
+//! or integer) is echoed back verbatim so pipelining clients can match
+//! responses to requests.
+//!
+//! Request kinds:
+//!
+//! | `q` | fields | answer |
+//! |---|---|---|
+//! | `support`  | `pattern` (text) | exact support of one pattern |
+//! | `topk`     | `k` | the `k` highest-support patterns |
+//! | `prefix`   | `prefix` (text), `limit`? | patterns starting with a prefix |
+//! | `overlap`  | `a`, `b` (1-based offsets), `limit`? | patterns with an occurrence overlapping `[a, b]` |
+//! | `stats`    | — | index and daemon counters |
+//! | `shutdown` | — | acknowledge, then stop the daemon |
+//!
+//! Malformed input never kills a connection: the daemon answers
+//! `{"ok": false, "error": "..."}` and keeps reading.
+
+use perigap_core::trace::{escape_json, Json};
+use perigap_core::Pattern;
+use perigap_store::{IndexEntry, PatternIndex};
+
+/// Row cap applied when a `prefix`/`overlap` request carries no
+/// `limit`. The `total` field always reports the uncapped match count.
+pub const DEFAULT_LIMIT: usize = 100;
+
+/// Hard cap on one request line; longer input is a protocol error.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Exact support of one pattern.
+    Support {
+        /// Pattern text under the index alphabet.
+        pattern: String,
+    },
+    /// The `k` highest-support patterns.
+    TopK {
+        /// How many rows.
+        k: usize,
+    },
+    /// Patterns whose text starts with `prefix`.
+    Prefix {
+        /// Prefix text under the index alphabet.
+        prefix: String,
+        /// Row cap.
+        limit: usize,
+    },
+    /// Patterns with an occurrence overlapping `[a, b]` (1-based).
+    Overlap {
+        /// Range start.
+        a: u32,
+        /// Range end.
+        b: u32,
+        /// Row cap.
+        limit: usize,
+    },
+    /// Index and daemon counters.
+    Stats,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+/// A request plus its optional `id` echo token (kept as the raw JSON
+/// rendering, so strings and integers round-trip without a value type).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Pre-rendered JSON token to echo, when the request carried one.
+    pub id: Option<String>,
+    /// The query itself.
+    pub request: Request,
+}
+
+/// What serving one line produced — the response to write back plus
+/// what the observer should record about it.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// The response line (no trailing newline).
+    pub response: String,
+    /// Query kind for metrics (`invalid` when the line didn't parse).
+    pub kind: &'static str,
+    /// Whether the response is an `"ok": true` one.
+    pub ok: bool,
+    /// Result rows carried by the response.
+    pub results: usize,
+    /// True when the request asked the daemon to stop.
+    pub shutdown: bool,
+}
+
+fn field_usize(obj: &Json, key: &str) -> Result<Option<usize>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Envelope, String> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(format!("request line exceeds {MAX_LINE_BYTES} bytes"));
+    }
+    let obj = Json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = match obj.get("id") {
+        None => None,
+        Some(Json::Int(v)) => Some(v.to_string()),
+        Some(Json::Str(s)) => Some(format!("\"{}\"", escape_json(s))),
+        Some(_) => return Err("field \"id\" must be a string or integer".to_string()),
+    };
+    let q = obj
+        .get("q")
+        .and_then(Json::as_str)
+        .ok_or("missing field \"q\" naming the query kind")?;
+    let text_field = |key: &str| -> Result<String, String> {
+        obj.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("query {q:?} needs a string field {key:?}"))
+    };
+    let request = match q {
+        "support" => Request::Support {
+            pattern: text_field("pattern")?,
+        },
+        "topk" => Request::TopK {
+            k: field_usize(&obj, "k")?.ok_or("query \"topk\" needs an integer field \"k\"")?,
+        },
+        "prefix" => Request::Prefix {
+            prefix: text_field("prefix")?,
+            limit: field_usize(&obj, "limit")?.unwrap_or(DEFAULT_LIMIT),
+        },
+        "overlap" => {
+            let bound = |key: &str| -> Result<u32, String> {
+                let v = field_usize(&obj, key)?
+                    .ok_or_else(|| format!("query \"overlap\" needs an integer field {key:?}"))?;
+                u32::try_from(v).map_err(|_| format!("field {key:?} is out of range"))
+            };
+            let (a, b) = (bound("a")?, bound("b")?);
+            if a == 0 || b < a {
+                return Err("overlap range must satisfy 1 <= a <= b".to_string());
+            }
+            Request::Overlap {
+                a,
+                b,
+                limit: field_usize(&obj, "limit")?.unwrap_or(DEFAULT_LIMIT),
+            }
+        }
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(format!("unknown query kind {other:?}")),
+    };
+    Ok(Envelope { id, request })
+}
+
+fn response_head(ok: bool, id: &Option<String>) -> String {
+    match id {
+        Some(token) => format!("{{\"ok\": {ok}, \"id\": {token}"),
+        None => format!("{{\"ok\": {ok}"),
+    }
+}
+
+fn error_response(id: &Option<String>, message: &str) -> String {
+    format!(
+        "{}, \"error\": \"{}\"}}",
+        response_head(false, id),
+        escape_json(message)
+    )
+}
+
+/// A bare `{"ok": false, ...}` line for transport-level failures that
+/// never reach a parsed request (oversized lines, closed pipes).
+pub fn error_line(message: &str) -> String {
+    error_response(&None, message)
+}
+
+fn entry_json(e: &IndexEntry, index: &PatternIndex) -> String {
+    format!(
+        "{{\"pattern\": \"{}\", \"support\": {}, \"ratio\": {}}}",
+        escape_json(&e.display(index.alphabet())),
+        e.support,
+        json_f64(e.ratio)
+    )
+}
+
+/// Render a finite float as a JSON number (`NaN`/`inf` cannot occur in
+/// supports or thresholds, but clamp to `null` rather than emit invalid
+/// JSON if they ever did).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn rows_response(
+    id: &Option<String>,
+    rows: &[&IndexEntry],
+    total: usize,
+    index: &PatternIndex,
+) -> String {
+    let rendered: Vec<String> = rows.iter().map(|e| entry_json(e, index)).collect();
+    format!(
+        "{}, \"total\": {total}, \"patterns\": [{}]}}",
+        response_head(true, id),
+        rendered.join(", ")
+    )
+}
+
+/// Serve one request line against the index. `backend` and `queries`
+/// feed the `stats` response; `queries` should count requests served so
+/// far on this daemon.
+pub fn serve_line(index: &PatternIndex, backend: &str, queries: u64, line: &str) -> Served {
+    let envelope = match parse_request(line) {
+        Ok(envelope) => envelope,
+        Err(message) => {
+            return Served {
+                response: error_response(&None, &message),
+                kind: "invalid",
+                ok: false,
+                results: 0,
+                shutdown: false,
+            }
+        }
+    };
+    let id = &envelope.id;
+    let (kind, outcome) = match &envelope.request {
+        Request::Support { pattern } => {
+            ("support", match Pattern::parse(pattern, index.alphabet()) {
+                Err(e) => Err(format!("bad pattern {pattern:?}: {e}")),
+                Ok(p) => match index.support(p.codes()) {
+                    Some(e) => Ok((
+                        format!(
+                            "{}, \"found\": true, \"pattern\": \"{}\", \"support\": {}, \"ratio\": {}}}",
+                            response_head(true, id),
+                            escape_json(pattern),
+                            e.support,
+                            json_f64(e.ratio)
+                        ),
+                        1,
+                    )),
+                    None => Ok((
+                        format!(
+                            "{}, \"found\": false, \"pattern\": \"{}\"}}",
+                            response_head(true, id),
+                            escape_json(pattern)
+                        ),
+                        0,
+                    )),
+                },
+            })
+        }
+        Request::TopK { k } => {
+            let rows: Vec<&IndexEntry> = index.top_k(*k).collect();
+            let n = rows.len();
+            ("topk", Ok((rows_response(id, &rows, n, index), n)))
+        }
+        Request::Prefix { prefix, limit } => {
+            // An empty prefix matches everything; otherwise it must
+            // parse under the index alphabet.
+            let codes = if prefix.is_empty() {
+                Ok(Vec::new())
+            } else {
+                Pattern::parse(prefix, index.alphabet())
+                    .map(|p| p.codes().to_vec())
+                    .map_err(|e| format!("bad prefix {prefix:?}: {e}"))
+            };
+            ("prefix", codes.map(|codes| {
+                let (rows, total) = index.prefix(&codes, *limit);
+                let n = rows.len();
+                (rows_response(id, &rows, total, index), n)
+            }))
+        }
+        Request::Overlap { a, b, limit } => {
+            ("overlap", match index.overlap(*a, *b, *limit) {
+                None => Err(
+                    "overlap queries unavailable: the index was loaded without the subject \
+                     sequence (serve a mine, or pass the sequence alongside the store file)"
+                        .to_string(),
+                ),
+                Some((rows, total)) => {
+                    let n = rows.len();
+                    Ok((rows_response(id, &rows, total, index), n))
+                }
+            })
+        }
+        Request::Stats => {
+            let gap = index.gap();
+            ("stats", Ok((
+                format!(
+                    "{}, \"patterns\": {}, \"gap_min\": {}, \"gap_max\": {}, \"rho\": {}, \
+                     \"n_used\": {}, \"occurrences\": {}, \"queries\": {}, \"backend\": \"{}\"}}",
+                    response_head(true, id),
+                    index.len(),
+                    gap.min(),
+                    gap.max(),
+                    json_f64(index.rho()),
+                    index.n_used(),
+                    index.has_occurrences(),
+                    queries,
+                    escape_json(backend)
+                ),
+                1,
+            )))
+        }
+        Request::Shutdown => (
+            "shutdown",
+            Ok((
+                format!("{}, \"stopping\": true}}", response_head(true, id)),
+                0,
+            )),
+        ),
+    };
+    match outcome {
+        Ok((response, results)) => Served {
+            response,
+            kind,
+            ok: true,
+            results,
+            shutdown: matches!(envelope.request, Request::Shutdown),
+        },
+        Err(message) => Served {
+            response: error_response(id, &message),
+            kind,
+            ok: false,
+            results: 0,
+            shutdown: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::mpp::{mpp, MppConfig};
+    use perigap_core::GapRequirement;
+    use perigap_seq::{Alphabet, Sequence};
+    use perigap_store::LoadedOutcome;
+
+    fn index(with_seq: bool) -> PatternIndex {
+        let seq = Sequence::dna(&"ACGT".repeat(25)).unwrap();
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let outcome = mpp(&seq, gap, 0.001, 8, MppConfig::default()).unwrap();
+        assert!(!outcome.frequent.is_empty());
+        let loaded = LoadedOutcome {
+            outcome,
+            gap,
+            rho: 0.001,
+        };
+        PatternIndex::build(&loaded, Alphabet::Dna, with_seq.then_some(&seq))
+    }
+
+    #[test]
+    fn requests_parse_and_ids_echo() {
+        let env = parse_request(r#"{"q": "topk", "k": 3, "id": 7}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("7"));
+        assert_eq!(env.request, Request::TopK { k: 3 });
+
+        let env = parse_request(r#"{"q": "prefix", "prefix": "AC", "id": "x"}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("\"x\""));
+        assert_eq!(
+            env.request,
+            Request::Prefix {
+                prefix: "AC".to_string(),
+                limit: DEFAULT_LIMIT
+            }
+        );
+
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"q": "overlap", "a": 0, "b": 4}"#).is_err());
+        assert!(parse_request(r#"{"q": "overlap", "a": 9, "b": 4}"#).is_err());
+        assert!(parse_request(r#"{"q": "nope"}"#).is_err());
+        assert!(parse_request(r#"{"k": 3}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_valid_json_and_carry_results() {
+        let idx = index(true);
+        for (line, want_ok) in [
+            (r#"{"q": "support", "pattern": "A"}"#, true),
+            (r#"{"q": "support", "pattern": "zz"}"#, false),
+            (r#"{"q": "topk", "k": 4}"#, true),
+            (r#"{"q": "prefix", "prefix": "AC"}"#, true),
+            (r#"{"q": "prefix", "prefix": ""}"#, true),
+            (r#"{"q": "overlap", "a": 1, "b": 20}"#, true),
+            (r#"{"q": "stats"}"#, true),
+            (r#"{"q": "shutdown"}"#, true),
+            ("garbage", false),
+        ] {
+            let served = serve_line(&idx, "memory:test", 0, line);
+            let parsed = Json::parse(&served.response)
+                .unwrap_or_else(|e| panic!("invalid response for {line}: {e}"));
+            assert_eq!(
+                parsed.get("ok").and_then(Json::as_bool),
+                Some(want_ok),
+                "{line} -> {}",
+                served.response
+            );
+            assert_eq!(served.ok, want_ok);
+        }
+        let stopping = serve_line(&idx, "memory:test", 0, r#"{"q": "shutdown"}"#);
+        assert!(stopping.shutdown);
+    }
+
+    #[test]
+    fn overlap_without_occurrences_is_a_typed_refusal() {
+        let idx = index(false);
+        let served = serve_line(&idx, "file:x", 0, r#"{"q": "overlap", "a": 1, "b": 5}"#);
+        assert!(!served.ok);
+        assert!(served.response.contains("unavailable"));
+        assert_eq!(served.kind, "overlap");
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_before_parsing() {
+        let line = format!(
+            "{{\"q\": \"support\", \"pattern\": \"{}\"}}",
+            "A".repeat(MAX_LINE_BYTES)
+        );
+        let served = serve_line(&index(false), "b", 0, &line);
+        assert!(!served.ok);
+        assert!(served.response.contains("exceeds"));
+    }
+}

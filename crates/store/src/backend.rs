@@ -1,0 +1,175 @@
+//! The storage seam behind `pgmine serve`: where a pattern set comes
+//! from.
+//!
+//! [`StoreBackend`] is deliberately tiny — describe yourself, load the
+//! pattern set — and [`Backend`] enum-dispatches over the concrete
+//! implementations so call sites stay monomorphic and a future real
+//! database can slot in as a third variant without touching the serve
+//! loop. The PGST file store is backend #1; the in-memory backend
+//! carries a just-mined outcome straight into the index (the
+//! mine-then-serve path, tests, and the bench harness).
+
+use crate::{load_outcome, LoadedOutcome, StoreError};
+use perigap_core::result::MineOutcome;
+use perigap_core::GapRequirement;
+use std::path::{Path, PathBuf};
+
+/// A source of mined pattern sets.
+pub trait StoreBackend {
+    /// Human-readable description for logs and the `stats` query.
+    fn describe(&self) -> String;
+    /// Load the pattern set with its run parameters.
+    fn load(&self) -> Result<LoadedOutcome, StoreError>;
+}
+
+/// A PGST outcome file on disk (written by `pgmine mine --save` /
+/// [`crate::save_outcome`]).
+#[derive(Clone, Debug)]
+pub struct PgstFileBackend {
+    path: PathBuf,
+}
+
+impl PgstFileBackend {
+    /// A backend reading `path`.
+    pub fn new(path: impl Into<PathBuf>) -> PgstFileBackend {
+        PgstFileBackend { path: path.into() }
+    }
+
+    /// The file the backend reads.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl StoreBackend for PgstFileBackend {
+    fn describe(&self) -> String {
+        format!("pgst-file:{}", self.path.display())
+    }
+
+    fn load(&self) -> Result<LoadedOutcome, StoreError> {
+        load_outcome(std::fs::File::open(&self.path)?)
+    }
+}
+
+/// An outcome already in memory — the mine-then-serve path.
+#[derive(Clone, Debug)]
+pub struct MemoryBackend {
+    outcome: MineOutcome,
+    gap: GapRequirement,
+    rho: f64,
+}
+
+impl MemoryBackend {
+    /// Wrap a mined outcome with its run parameters.
+    pub fn new(outcome: MineOutcome, gap: GapRequirement, rho: f64) -> MemoryBackend {
+        MemoryBackend { outcome, gap, rho }
+    }
+}
+
+impl StoreBackend for MemoryBackend {
+    fn describe(&self) -> String {
+        format!("memory:{} patterns", self.outcome.frequent.len())
+    }
+
+    fn load(&self) -> Result<LoadedOutcome, StoreError> {
+        Ok(LoadedOutcome {
+            outcome: self.outcome.clone(),
+            gap: self.gap,
+            rho: self.rho,
+        })
+    }
+}
+
+/// Enum dispatch over the concrete backends (the hindsight `DbEngine`
+/// idiom): one value names the storage choice, and every call site
+/// matches once instead of carrying a trait object.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// A PGST outcome file on disk.
+    PgstFile(PgstFileBackend),
+    /// An outcome already in memory.
+    Memory(MemoryBackend),
+}
+
+impl Backend {
+    /// A file backend over `path`.
+    pub fn pgst_file(path: impl Into<PathBuf>) -> Backend {
+        Backend::PgstFile(PgstFileBackend::new(path))
+    }
+
+    /// A memory backend over a mined outcome.
+    pub fn memory(outcome: MineOutcome, gap: GapRequirement, rho: f64) -> Backend {
+        Backend::Memory(MemoryBackend::new(outcome, gap, rho))
+    }
+
+    /// The backend's self-description.
+    pub fn describe(&self) -> String {
+        match self {
+            Backend::PgstFile(b) => b.describe(),
+            Backend::Memory(b) => b.describe(),
+        }
+    }
+
+    /// Load the pattern set with its run parameters.
+    pub fn load(&self) -> Result<LoadedOutcome, StoreError> {
+        match self {
+            Backend::PgstFile(b) => b.load(),
+            Backend::Memory(b) => b.load(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::save_outcome;
+    use perigap_core::mpp::{mpp, MppConfig};
+    use perigap_seq::Sequence;
+
+    fn mined() -> (MineOutcome, GapRequirement, f64) {
+        let seq = Sequence::dna(&"ACGT".repeat(25)).unwrap();
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let outcome = mpp(&seq, gap, 0.001, 8, MppConfig::default()).unwrap();
+        assert!(!outcome.frequent.is_empty(), "workload must mine patterns");
+        (outcome, gap, 0.001)
+    }
+
+    #[test]
+    fn file_and_memory_backends_agree() {
+        let (outcome, gap, rho) = mined();
+        let path =
+            std::env::temp_dir().join(format!("perigap-backend-test-{}.pgst", std::process::id()));
+        save_outcome(std::fs::File::create(&path).unwrap(), &outcome, gap, rho).unwrap();
+
+        let file = Backend::pgst_file(&path);
+        let mem = Backend::memory(outcome.clone(), gap, rho);
+        assert!(file.describe().starts_with("pgst-file:"));
+        assert!(mem.describe().starts_with("memory:"));
+
+        let from_file = file.load().unwrap();
+        let from_mem = mem.load().unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(from_file.gap, from_mem.gap);
+        assert_eq!(from_file.rho, from_mem.rho);
+        assert_eq!(from_file.outcome.frequent, from_mem.outcome.frequent);
+    }
+
+    #[test]
+    fn file_backend_surfaces_typed_errors() {
+        let missing = Backend::pgst_file("/nonexistent/deeply/missing.pgst");
+        assert!(matches!(missing.load(), Err(StoreError::Io(_))));
+
+        let path =
+            std::env::temp_dir().join(format!("perigap-backend-trunc-{}.pgst", std::process::id()));
+        let (outcome, gap, rho) = mined();
+        let buf = save_outcome(Vec::new(), &outcome, gap, rho).unwrap();
+        std::fs::write(&path, &buf[..buf.len() / 2]).unwrap();
+        let truncated = Backend::pgst_file(&path);
+        let err = truncated.load().unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(err, StoreError::Truncated { .. }),
+            "a half-written store file is a typed truncation, got {err:?}"
+        );
+    }
+}

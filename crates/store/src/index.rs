@@ -1,0 +1,410 @@
+//! The in-memory query index behind `pgmine serve`.
+//!
+//! A mined pattern set is useful at serving scale only if the four
+//! query kinds the daemon exposes — exact support, top-k by support,
+//! prefix enumeration, and region overlap — answer without rescanning
+//! the sequence. [`PatternIndex`] precomputes exactly what each needs:
+//!
+//! * **support / prefix** — entries sorted lexicographically by code
+//!   string, so an exact lookup is one binary search and a prefix query
+//!   is a contiguous range scan bounded by the prefix's byte-successor;
+//! * **top-k** — a rank array sorted by `(support desc, len asc,
+//!   codes asc)`, so top-k is a slice of the first `k` ranks and ties
+//!   break deterministically;
+//! * **overlap** — an optional per-pattern occurrence summary computed
+//!   from the subject sequence: the ascending list of 1-based start
+//!   offsets together with a running prefix-maximum of each start's
+//!   furthest reachable match end. A pattern has an occurrence
+//!   overlapping `[a, b]` iff some start `s ≤ b` reaches an end `≥ a`,
+//!   which one binary search plus one prefix-max probe answers.
+//!
+//! The occurrence summary needs the subject sequence (PGST outcome
+//!   files persist supports, not offset lists); an index built from a
+//! file alone serves the other three kinds and reports overlap queries
+//! as unavailable.
+
+use crate::LoadedOutcome;
+use perigap_core::{GapRequirement, Pattern};
+use perigap_seq::{Alphabet, Sequence};
+
+/// One pattern in the index.
+#[derive(Clone, Debug)]
+pub struct IndexEntry {
+    /// The pattern's code string.
+    pub pattern: Pattern,
+    /// Exact support from the mine.
+    pub support: u128,
+    /// `support / n` from the mine.
+    pub ratio: f64,
+    occ: Option<OccSummary>,
+}
+
+impl IndexEntry {
+    /// Render the pattern under the index's alphabet.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        self.pattern.display(alphabet)
+    }
+}
+
+/// Per-pattern occurrence summary for overlap queries.
+#[derive(Clone, Debug)]
+struct OccSummary {
+    /// Ascending 1-based offsets where a match starts.
+    starts: Vec<u32>,
+    /// `prefix_max_end[i]` = the furthest 1-based end offset reachable
+    /// from any start in `starts[..=i]`.
+    prefix_max_end: Vec<u32>,
+}
+
+impl OccSummary {
+    /// Does any occurrence `[s, e]` satisfy `s ≤ b && e ≥ a`?
+    fn overlaps(&self, a: u32, b: u32) -> bool {
+        // Last start ≤ b.
+        let idx = self.starts.partition_point(|&s| s <= b);
+        idx > 0 && self.prefix_max_end[idx - 1] >= a
+    }
+}
+
+/// The immutable in-memory index the serve daemon answers from.
+#[derive(Clone, Debug)]
+pub struct PatternIndex {
+    /// Entries sorted lexicographically by code string.
+    entries: Vec<IndexEntry>,
+    /// Entry indices sorted by `(support desc, len asc, codes asc)`.
+    by_support: Vec<u32>,
+    alphabet: Alphabet,
+    gap: GapRequirement,
+    rho: f64,
+    n_used: usize,
+    has_occurrences: bool,
+}
+
+impl PatternIndex {
+    /// Build an index over a loaded outcome. When `seq` is given, the
+    /// per-pattern occurrence summaries are computed from it and
+    /// overlap queries become available.
+    pub fn build(
+        loaded: &LoadedOutcome,
+        alphabet: Alphabet,
+        seq: Option<&Sequence>,
+    ) -> PatternIndex {
+        let gap = loaded.gap;
+        let mut entries: Vec<IndexEntry> = loaded
+            .outcome
+            .frequent
+            .iter()
+            .map(|f| IndexEntry {
+                pattern: f.pattern.clone(),
+                support: f.support,
+                ratio: f.ratio,
+                occ: seq.map(|s| occurrence_summary(s, gap, f.pattern.codes())),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.pattern.codes().cmp(b.pattern.codes()));
+        entries.dedup_by(|a, b| a.pattern.codes() == b.pattern.codes());
+        let mut by_support: Vec<u32> = (0..entries.len() as u32).collect();
+        by_support.sort_by(|&i, &j| {
+            let (a, b) = (&entries[i as usize], &entries[j as usize]);
+            b.support
+                .cmp(&a.support)
+                .then(a.pattern.len().cmp(&b.pattern.len()))
+                .then(a.pattern.codes().cmp(b.pattern.codes()))
+        });
+        PatternIndex {
+            entries,
+            by_support,
+            alphabet,
+            gap,
+            rho: loaded.rho,
+            n_used: loaded.outcome.stats.n_used,
+            has_occurrences: seq.is_some(),
+        }
+    }
+
+    /// Number of indexed patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the index holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The alphabet patterns render under.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Gap requirement of the mine the index was built from.
+    pub fn gap(&self) -> GapRequirement {
+        self.gap
+    }
+
+    /// Support threshold of the mine.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The `n` the mine used (denominator of the support ratios).
+    pub fn n_used(&self) -> usize {
+        self.n_used
+    }
+
+    /// True when overlap queries are available (the index was built
+    /// with the subject sequence).
+    pub fn has_occurrences(&self) -> bool {
+        self.has_occurrences
+    }
+
+    /// Exact-support lookup by code string.
+    pub fn support(&self, codes: &[u8]) -> Option<&IndexEntry> {
+        self.entries
+            .binary_search_by(|e| e.pattern.codes().cmp(codes))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The `k` highest-support patterns, ties broken by `(len, codes)`.
+    pub fn top_k(&self, k: usize) -> impl Iterator<Item = &IndexEntry> {
+        self.by_support
+            .iter()
+            .take(k)
+            .map(|&i| &self.entries[i as usize])
+    }
+
+    /// Patterns whose code string starts with `prefix`, in lexicographic
+    /// order: at most `limit` entries plus the total match count.
+    pub fn prefix(&self, prefix: &[u8], limit: usize) -> (Vec<&IndexEntry>, usize) {
+        let lo = self.entries.partition_point(|e| e.pattern.codes() < prefix);
+        let matches = self.entries[lo..]
+            .iter()
+            .take_while(|e| e.pattern.codes().starts_with(prefix));
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for e in matches {
+            if out.len() < limit {
+                out.push(e);
+            }
+            total += 1;
+        }
+        (out, total)
+    }
+
+    /// Patterns with an occurrence overlapping the 1-based offset range
+    /// `[a, b]`, in `(support desc, len, codes)` order: at most `limit`
+    /// entries plus the total match count. `None` when the index was
+    /// built without the subject sequence.
+    pub fn overlap(&self, a: u32, b: u32, limit: usize) -> Option<(Vec<&IndexEntry>, usize)> {
+        if !self.has_occurrences {
+            return None;
+        }
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for &i in &self.by_support {
+            let e = &self.entries[i as usize];
+            if e.occ.as_ref().is_some_and(|occ| occ.overlaps(a, b)) {
+                if out.len() < limit {
+                    out.push(e);
+                }
+                total += 1;
+            }
+        }
+        Some((out, total))
+    }
+}
+
+/// Compute a pattern's occurrence summary over `seq` by a backward
+/// dynamic program: walking pattern positions last-to-first, a position
+/// `i` matches pattern position `j` iff the codes agree and some
+/// position in the gap window `[i + min_step, i + max_step]` matches
+/// position `j + 1`; `max_end` carries the furthest reachable final
+/// offset alongside. One `O(n · l · w)` pass (window width
+/// `w = max_step − min_step + 1`) replaces per-query rematching.
+fn occurrence_summary(seq: &Sequence, gap: GapRequirement, codes: &[u8]) -> OccSummary {
+    let n = seq.len();
+    let l = codes.len();
+    if l == 0 || n == 0 {
+        return OccSummary {
+            starts: Vec::new(),
+            prefix_max_end: Vec::new(),
+        };
+    }
+    let data = seq.codes();
+    // reach[i] = Some(furthest 1-based end) when a match of the current
+    // suffix of the pattern starts at 0-based position i.
+    let mut reach: Vec<Option<u32>> = data
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c == codes[l - 1]).then_some(i as u32 + 1))
+        .collect();
+    let (lo_step, hi_step) = (gap.min_step(), gap.max_step());
+    for &code in codes[..l - 1].iter().rev() {
+        let mut next: Vec<Option<u32>> = vec![None; n];
+        for i in 0..n {
+            if data[i] != code {
+                continue;
+            }
+            let lo = i + lo_step;
+            if lo >= n {
+                continue;
+            }
+            let hi = (i + hi_step).min(n - 1);
+            next[i] = reach[lo..=hi].iter().flatten().copied().max();
+        }
+        reach = next;
+    }
+    let mut starts = Vec::new();
+    let mut prefix_max_end = Vec::new();
+    let mut running = 0u32;
+    for (i, e) in reach.iter().enumerate() {
+        if let Some(e) = e {
+            starts.push(i as u32 + 1);
+            running = running.max(*e);
+            prefix_max_end.push(running);
+        }
+    }
+    OccSummary {
+        starts,
+        prefix_max_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perigap_core::mpp::{mpp, MppConfig};
+    use perigap_core::naive;
+    use perigap_core::result::{MineOutcome, MineStats};
+    use perigap_core::FrequentPattern;
+
+    fn loaded_from(outcome: MineOutcome, gap: GapRequirement, rho: f64) -> LoadedOutcome {
+        LoadedOutcome { outcome, gap, rho }
+    }
+
+    fn mined() -> (Sequence, GapRequirement, f64, LoadedOutcome) {
+        let seq = Sequence::dna(&format!("{}AACCGGTT", "ACGT".repeat(30))).unwrap();
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let rho = 0.001;
+        let outcome = mpp(&seq, gap, rho, 10, MppConfig::default()).unwrap();
+        assert!(outcome.frequent.len() >= 4, "workload must mine patterns");
+        let loaded = loaded_from(outcome, gap, rho);
+        (seq, gap, rho, loaded)
+    }
+
+    #[test]
+    fn support_lookup_matches_the_mined_set() {
+        let (seq, _, _, loaded) = mined();
+        let index = PatternIndex::build(&loaded, Alphabet::Dna, Some(&seq));
+        assert_eq!(index.len(), loaded.outcome.frequent.len());
+        for f in &loaded.outcome.frequent {
+            let e = index.support(f.pattern.codes()).expect("indexed");
+            assert_eq!(e.support, f.support);
+            assert_eq!(e.ratio, f.ratio);
+        }
+        assert!(index.support(&[0, 0, 0, 0, 0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn top_k_is_sorted_and_deterministic() {
+        let (_, _, _, loaded) = mined();
+        let index = PatternIndex::build(&loaded, Alphabet::Dna, None);
+        let top: Vec<_> = index.top_k(5).collect();
+        assert_eq!(top.len(), 5.min(index.len()));
+        for pair in top.windows(2) {
+            assert!(
+                pair[0].support > pair[1].support
+                    || (pair[0].support == pair[1].support
+                        && (pair[0].pattern.len(), pair[0].pattern.codes())
+                            < (pair[1].pattern.len(), pair[1].pattern.codes())),
+                "rank order must be (support desc, len, codes)"
+            );
+        }
+        // k beyond the set size returns everything.
+        assert_eq!(index.top_k(usize::MAX).count(), index.len());
+    }
+
+    #[test]
+    fn prefix_query_equals_post_filtering() {
+        let (_, _, _, loaded) = mined();
+        let index = PatternIndex::build(&loaded, Alphabet::Dna, None);
+        for prefix in [&[0u8][..], &[1], &[0, 1], &[2, 3, 0], &[]] {
+            let (got, total) = index.prefix(prefix, usize::MAX);
+            let mut want: Vec<&[u8]> = loaded
+                .outcome
+                .frequent
+                .iter()
+                .map(|f| f.pattern.codes())
+                .filter(|c| c.starts_with(prefix))
+                .collect();
+            want.sort();
+            assert_eq!(total, want.len(), "prefix {prefix:?}");
+            let got_codes: Vec<&[u8]> = got.iter().map(|e| e.pattern.codes()).collect();
+            assert_eq!(got_codes, want, "prefix {prefix:?}");
+        }
+        // The limit caps rows but not the reported total.
+        let (capped, total) = index.prefix(&[], 3);
+        assert_eq!(capped.len(), 3.min(index.len()));
+        assert_eq!(total, index.len());
+    }
+
+    #[test]
+    fn overlap_matches_the_naive_match_enumerator() {
+        let (seq, gap, _, loaded) = mined();
+        let index = PatternIndex::build(&loaded, Alphabet::Dna, Some(&seq));
+        assert!(index.has_occurrences());
+        for f in &loaded.outcome.frequent {
+            let matches = naive::enumerate_matches(&seq, gap, &f.pattern);
+            for (a, b) in [
+                (1u32, 4u32),
+                (5, 8),
+                (10, 10),
+                (1, seq.len() as u32),
+                (20, 24),
+            ] {
+                let (hits, _) = index.overlap(a, b, usize::MAX).unwrap();
+                let served = hits.iter().any(|e| e.pattern == f.pattern);
+                let oracle = matches.iter().any(|m| {
+                    let (first, last) = (m[0] as u32, *m.last().unwrap() as u32);
+                    first <= b && last >= a
+                });
+                assert_eq!(
+                    served,
+                    oracle,
+                    "pattern {:?} over [{a}, {b}]",
+                    f.pattern.codes()
+                );
+            }
+        }
+        // Without the sequence, overlap is unavailable.
+        let blind = PatternIndex::build(&loaded, Alphabet::Dna, None);
+        assert!(blind.overlap(1, 4, 8).is_none());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs_are_harmless() {
+        let gap = GapRequirement::new(1, 2).unwrap();
+        let empty = loaded_from(MineOutcome::default(), gap, 0.5);
+        let index = PatternIndex::build(&empty, Alphabet::Dna, None);
+        assert!(index.is_empty());
+        assert_eq!(index.top_k(5).count(), 0);
+        assert_eq!(index.prefix(&[0], 5).1, 0);
+        assert!(index.support(&[0]).is_none());
+
+        // A pattern whose span exceeds the sequence end never matches.
+        let seq = Sequence::dna("ACG").unwrap();
+        let outcome = MineOutcome {
+            frequent: vec![FrequentPattern {
+                pattern: Pattern::from_codes(vec![0, 1, 2]),
+                support: 1,
+                ratio: 0.5,
+            }],
+            stats: MineStats::default(),
+        };
+        let loaded = loaded_from(outcome, GapRequirement::new(3, 5).unwrap(), 0.5);
+        let index = PatternIndex::build(&loaded, Alphabet::Dna, Some(&seq));
+        let (hits, total) = index.overlap(1, 3, 8).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(total, 0);
+    }
+}

@@ -17,7 +17,12 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod index;
 pub mod wire;
+
+pub use backend::{Backend, MemoryBackend, PgstFileBackend, StoreBackend};
+pub use index::{IndexEntry, PatternIndex};
 
 use perigap_core::result::{FrequentPattern, MineOutcome, MineStats};
 use perigap_core::{GapRequirement, Pattern};
@@ -65,6 +70,14 @@ pub enum StoreError {
         /// Checksum computed over the bytes actually read.
         computed: u64,
     },
+    /// The file ended mid-read: a store cut short mid-section or
+    /// mid-checksum. Distinguished from [`StoreError::Io`] so callers
+    /// (and the serve daemon) can tell "partial file" from "disk
+    /// trouble".
+    Truncated {
+        /// The section being read when the input ran out.
+        section: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -80,6 +93,9 @@ impl fmt::Display for StoreError {
                 f,
                 "checksum mismatch: file says {stored:#018x}, contents hash to {computed:#018x}"
             ),
+            StoreError::Truncated { section } => {
+                write!(f, "truncated store: input ended while reading {section}")
+            }
         }
     }
 }
@@ -99,6 +115,7 @@ fn write_header<W: Write>(w: &mut Writer<W>, tag: u8) -> Result<(), StoreError> 
 }
 
 fn read_header<R: Read>(r: &mut Reader<R>, expected_tag: u8) -> Result<(), StoreError> {
+    r.section("file header");
     let magic = r.bytes(4)?;
     if magic != MAGIC {
         return Err(StoreError::BadHeader(format!("magic {magic:02x?}")));
@@ -173,10 +190,13 @@ pub fn save_sequence<W: Write>(sink: W, seq: &Sequence) -> Result<W, StoreError>
 pub fn load_sequence<R: Read>(source: R) -> Result<Sequence, StoreError> {
     let mut r = Reader::new(source);
     read_header(&mut r, TAG_SEQUENCE)?;
+    r.section("alphabet");
     let code = r.u8()?;
     let letters = r.blob(256)?;
     let alphabet = alphabet_from_code(code, &letters)?;
+    r.section("sequence length");
     let len = r.u64()? as usize;
+    r.section("sequence payload");
     let seq = if alphabet == Alphabet::Dna {
         let payload = r.blob(MAX_BLOB)?;
         if payload.len() != len.div_ceil(4) {
@@ -243,6 +263,7 @@ pub struct LoadedOutcome {
 pub fn load_outcome<R: Read>(source: R) -> Result<LoadedOutcome, StoreError> {
     let mut r = Reader::new(source);
     read_header(&mut r, TAG_OUTCOME)?;
+    r.section("run parameters");
     let gap_min = r.u64()? as usize;
     let gap_max = r.u64()? as usize;
     let gap = GapRequirement::new(gap_min, gap_max)
@@ -252,11 +273,15 @@ pub fn load_outcome<R: Read>(source: R) -> Result<LoadedOutcome, StoreError> {
         return Err(StoreError::Corrupt(format!("threshold {rho} out of range")));
     }
     let n_used = r.u64()? as usize;
+    r.section("pattern count");
     let count = r.u64()?;
     if count > 100_000_000 {
         return Err(StoreError::Corrupt(format!("absurd pattern count {count}")));
     }
-    let mut frequent = Vec::with_capacity(count as usize);
+    r.section("pattern table");
+    // The count is attacker-controlled until the checksum verifies:
+    // cap the up-front reservation and let the vector grow normally.
+    let mut frequent = Vec::with_capacity((count as usize).min(4096));
     for _ in 0..count {
         let codes = r.blob(4096)?;
         if codes.is_empty() {
@@ -387,10 +412,47 @@ mod tests {
         let seq = dna(300, 6);
         let buf = save_sequence(Vec::new(), &seq).unwrap();
         let result = load_sequence(&buf[..buf.len() - 3]);
-        assert!(matches!(
-            result,
-            Err(StoreError::Io(_) | StoreError::ChecksumMismatch { .. })
-        ));
+        assert!(matches!(result, Err(StoreError::Truncated { .. })));
+    }
+
+    /// An outcome file cut at *any* byte — mid-header, mid-pattern,
+    /// mid-checksum — must yield a typed error, never a partial
+    /// `LoadedOutcome` and never a panic.
+    #[test]
+    fn outcome_truncated_at_every_byte_yields_a_typed_error() {
+        let seq = dna(200, 10);
+        let gap = GapRequirement::new(1, 3).unwrap();
+        let outcome = mppm(&seq, gap, 0.001, 3, MppConfig::default()).unwrap();
+        assert!(outcome.frequent.len() >= 2, "need a multi-pattern table");
+        let buf = save_outcome(Vec::new(), &outcome, gap, 0.001).unwrap();
+        for len in 0..buf.len() {
+            match load_outcome(&buf[..len]) {
+                Err(
+                    StoreError::Truncated { .. }
+                    | StoreError::BadHeader(_)
+                    | StoreError::Corrupt(_)
+                    | StoreError::ChecksumMismatch { .. },
+                ) => {}
+                Err(other) => panic!("prefix of {len} bytes: untyped error {other:?}"),
+                Ok(_) => panic!("prefix of {len} bytes loaded as a full outcome"),
+            }
+        }
+        // The named section boundaries report truncation specifically.
+        let boundaries = [
+            (4, "file header"),     // mid-version
+            (12, "run parameters"), // mid-gap
+            (42, "pattern count"),  // one byte into the count
+            (50, "pattern table"),  // mid-first-pattern
+            (buf.len() - 3, "checksum trailer"),
+        ];
+        for (len, want) in boundaries {
+            match load_outcome(&buf[..len]) {
+                Err(StoreError::Truncated { section }) => {
+                    assert_eq!(section, want, "cut at byte {len}");
+                }
+                other => panic!("cut at byte {len}: expected Truncated({want}), got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -424,8 +486,8 @@ mod tests {
             self.inner.read(record)
         }
 
-        fn remove(&self, record: u64) {
-            self.inner.remove(record);
+        fn remove(&self, record: u64) -> std::io::Result<()> {
+            self.inner.remove(record)
         }
     }
 

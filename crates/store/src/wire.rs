@@ -110,6 +110,7 @@ impl<W: Write> Writer<W> {
 pub struct Reader<R: Read> {
     inner: R,
     hash: Fnv1a,
+    section: &'static str,
 }
 
 impl<R: Read> Reader<R> {
@@ -118,13 +119,41 @@ impl<R: Read> Reader<R> {
         Reader {
             inner,
             hash: Fnv1a::default(),
+            section: "store data",
         }
     }
 
-    /// Read exactly `n` bytes (hashed).
+    /// Name the section about to be read, so a short read reports
+    /// *where* the file was cut ([`StoreError::Truncated`]).
+    pub fn section(&mut self, name: &'static str) {
+        self.section = name;
+    }
+
+    fn read_err(&self, e: std::io::Error) -> StoreError {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated {
+                section: self.section.to_string(),
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    }
+
+    /// Read exactly `n` bytes (hashed). Reads in bounded chunks so a
+    /// corrupt length field never triggers a giant up-front allocation
+    /// — a short source fails with [`StoreError::Truncated`] after
+    /// consuming only what actually exists.
     pub fn bytes(&mut self, n: usize) -> Result<Vec<u8>, StoreError> {
-        let mut buf = vec![0u8; n];
-        self.inner.read_exact(&mut buf)?;
+        const CHUNK: usize = 64 * 1024;
+        let mut buf = Vec::with_capacity(n.min(CHUNK));
+        while buf.len() < n {
+            let start = buf.len();
+            let want = (n - start).min(CHUNK);
+            buf.resize(start + want, 0);
+            if let Err(e) = self.inner.read_exact(&mut buf[start..]) {
+                return Err(self.read_err(e));
+            }
+        }
         self.hash.update(&buf);
         Ok(buf)
     }
@@ -168,9 +197,12 @@ impl<R: Read> Reader<R> {
 
     /// Verify the trailing checksum against everything read so far.
     pub fn verify_checksum(mut self) -> Result<(), StoreError> {
+        self.section = "checksum trailer";
         let expected = self.hash.digest();
         let mut buf = [0u8; 8];
-        self.inner.read_exact(&mut buf)?;
+        if let Err(e) = self.inner.read_exact(&mut buf) {
+            return Err(self.read_err(e));
+        }
         let stored = u64::from_le_bytes(buf);
         if stored != expected {
             return Err(StoreError::ChecksumMismatch {
@@ -228,7 +260,36 @@ mod tests {
         w.u64(42).unwrap();
         let buf = w.finish().unwrap();
         let mut r = Reader::new(&buf[..4]);
-        assert!(matches!(r.u64(), Err(StoreError::Io(_))));
+        r.section("the answer");
+        match r.u64() {
+            Err(StoreError::Truncated { section }) => assert_eq!(section, "the answer"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+
+        // Cut mid-checksum: the trailer read reports its own section.
+        let mut r = Reader::new(&buf[..buf.len() - 3]);
+        let _ = r.u64().unwrap();
+        match r.verify_checksum() {
+            Err(StoreError::Truncated { section }) => assert_eq!(section, "checksum trailer"),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_on_a_short_source_fails_without_a_giant_allocation() {
+        // A corrupt length field claiming ~1 GiB over a 16-byte file
+        // must fail after reading the 16 bytes — not allocate first.
+        let mut w = Writer::new(Vec::new());
+        w.u64((1 << 30) - 1).unwrap(); // blob length prefix
+        w.u64(0xFEED).unwrap(); // the only actual payload bytes
+        let buf = w.finish().unwrap();
+        let started = std::time::Instant::now();
+        let mut r = Reader::new(&buf[..]);
+        assert!(matches!(r.blob(1 << 30), Err(StoreError::Truncated { .. })));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(1),
+            "short-circuit, not a gigabyte zero-fill"
+        );
     }
 
     #[test]

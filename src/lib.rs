@@ -11,7 +11,8 @@
 //! * [`seq`] — alphabets, sequences, FASTA, synthetic generators;
 //! * [`core`] — the mining algorithms (MPP, MPPm, baselines);
 //! * [`analysis`] — case-study composition analysis and null models;
-//! * [`store`] — versioned binary persistence with checksums.
+//! * [`store`] — versioned binary persistence with checksums;
+//! * [`serve`] — the `pgmine serve` pattern-store daemon.
 //!
 //! See the `examples/` directory for runnable walkthroughs and
 //! `crates/bench/src/bin/repro.rs` for the paper-reproduction harness.
@@ -22,6 +23,7 @@ pub use perigap_analysis as analysis;
 pub use perigap_core as core;
 pub use perigap_math as math;
 pub use perigap_seq as seq;
+pub use perigap_serve as serve;
 pub use perigap_store as store;
 
 /// Convenience prelude with the types almost every user needs.

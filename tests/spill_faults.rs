@@ -36,6 +36,18 @@ fn healthy_outcome() -> MineOutcome {
     out
 }
 
+/// After any abort the engine sweeps the spill backend: no record may
+/// survive an error exit. (The workload spills only a handful of
+/// records; probing a fixed range past that is enough.)
+fn assert_backend_empty(inner: &MemSpillIo, label: &str) {
+    for record in 0..16u64 {
+        assert!(
+            inner.read(record).is_err(),
+            "{label}: record {record} survived the abort sweep"
+        );
+    }
+}
+
 /// A faulty run may only ever fail with the typed spill error — and if
 /// it somehow succeeds, the answer must be the correct one.
 fn assert_fails_typed(result: Result<MineOutcome, MineError>, label: &str) {
@@ -67,8 +79,8 @@ impl SpillIo for ShortWriteIo {
     fn read(&self, record: u64) -> io::Result<Vec<u8>> {
         self.inner.read(record)
     }
-    fn remove(&self, record: u64) {
-        self.inner.remove(record);
+    fn remove(&self, record: u64) -> io::Result<()> {
+        self.inner.remove(record)
     }
 }
 
@@ -88,8 +100,8 @@ impl SpillIo for FullDiskIo {
     fn read(&self, record: u64) -> io::Result<Vec<u8>> {
         self.inner.read(record)
     }
-    fn remove(&self, record: u64) {
-        self.inner.remove(record);
+    fn remove(&self, record: u64) -> io::Result<()> {
+        self.inner.remove(record)
     }
 }
 
@@ -108,8 +120,8 @@ impl SpillIo for TornReadIo {
         bytes.truncate(bytes.len() / 2);
         Ok(bytes)
     }
-    fn remove(&self, record: u64) {
-        self.inner.remove(record);
+    fn remove(&self, record: u64) -> io::Result<()> {
+        self.inner.remove(record)
     }
 }
 
@@ -129,18 +141,18 @@ impl SpillIo for BitFlipIo {
         bytes[mid] ^= 0x04;
         Ok(bytes)
     }
-    fn remove(&self, record: u64) {
-        self.inner.remove(record);
+    fn remove(&self, record: u64) -> io::Result<()> {
+        self.inner.remove(record)
     }
 }
 
 #[test]
 fn short_writes_are_caught_on_restore() {
     for threads in [1usize, 2] {
-        assert_fails_typed(
-            mine_with(Arc::new(ShortWriteIo::default()), threads),
-            &format!("short write, {threads} threads"),
-        );
+        let io = Arc::new(ShortWriteIo::default());
+        let label = format!("short write, {threads} threads");
+        assert_fails_typed(mine_with(Arc::clone(&io) as _, threads), &label);
+        assert_backend_empty(&io.inner, &label);
     }
 }
 
@@ -150,30 +162,82 @@ fn full_disk_mid_spill_fails_typed_and_cleans_up() {
     assert_fails_typed(mine_with(Arc::clone(&io) as _, 1), "full disk");
     // The record written before the disk filled up was removed again:
     // a failed spill leaves nothing behind.
-    assert!(
-        io.inner.read(0).is_err(),
-        "record 0 must be cleaned up after the failed spill"
-    );
+    assert_backend_empty(&io.inner, "full disk");
 }
 
 #[test]
 fn torn_reads_are_caught_on_restore() {
     for threads in [1usize, 2] {
-        assert_fails_typed(
-            mine_with(Arc::new(TornReadIo::default()), threads),
-            &format!("torn read, {threads} threads"),
-        );
+        let io = Arc::new(TornReadIo::default());
+        let label = format!("torn read, {threads} threads");
+        assert_fails_typed(mine_with(Arc::clone(&io) as _, threads), &label);
+        assert_backend_empty(&io.inner, &label);
     }
 }
 
 #[test]
 fn flipped_bits_are_caught_on_restore() {
     for threads in [1usize, 2] {
-        assert_fails_typed(
-            mine_with(Arc::new(BitFlipIo::default()), threads),
-            &format!("bit flip, {threads} threads"),
-        );
+        let io = Arc::new(BitFlipIo::default());
+        let label = format!("bit flip, {threads} threads");
+        assert_fails_typed(mine_with(Arc::clone(&io) as _, threads), &label);
+        assert_backend_empty(&io.inner, &label);
     }
+}
+
+/// Stores and restores faithfully, but every removal fails as if the
+/// directory had been made read-only mid-run.
+#[derive(Debug, Default)]
+struct StickyRemoveIo {
+    inner: MemSpillIo,
+}
+
+impl SpillIo for StickyRemoveIo {
+    fn write(&self, record: u64, bytes: &[u8]) -> io::Result<()> {
+        self.inner.write(record, bytes)
+    }
+    fn read(&self, record: u64) -> io::Result<Vec<u8>> {
+        self.inner.read(record)
+    }
+    fn remove(&self, _record: u64) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "EACCES: spill dir went read-only",
+        ))
+    }
+}
+
+/// A backend that cannot delete its records must not fail the mine —
+/// the run completes with the correct patterns, counts every failed
+/// removal in `spill_cleanup_failures`, and emits one `spill-cleanup`
+/// warning trace event per record.
+#[test]
+fn failed_cleanup_is_a_warning_not_an_error() {
+    use perigap::core::trace::MetricsObserver;
+
+    let seq = Sequence::dna(&"AT".repeat(50)).unwrap();
+    let gap = GapRequirement::new(1, 1).unwrap();
+    let config = MppConfig {
+        max_arena_bytes: Some(1 << 20),
+        spill_watermark: 0.0,
+        spill_io: Some(Arc::new(StickyRemoveIo::default())),
+        ..MppConfig::default()
+    };
+    let mut metrics = MetricsObserver::new();
+    let out = perigap::core::dfs::mpp_dfs_traced(&seq, gap, 0.4, 20, config, 1, &mut metrics)
+        .expect("cleanup failures must not abort the mine");
+    assert_eq!(out.frequent, healthy_outcome().frequent);
+    assert!(
+        out.stats.spill_cleanup_failures >= 2,
+        "every failed removal is counted, got {}",
+        out.stats.spill_cleanup_failures
+    );
+    assert_eq!(
+        metrics.warnings.len() as u64,
+        out.stats.spill_cleanup_failures,
+        "one warning per failed removal"
+    );
+    assert!(metrics.warnings.iter().all(|w| w.kind == "spill-cleanup"));
 }
 
 /// Panics inside [`SpillIo::read`], but only on pool worker threads
@@ -199,8 +263,8 @@ impl SpillIo for PanicOnWorkerIo {
         std::thread::sleep(Duration::from_millis(100));
         self.inner.read(record)
     }
-    fn remove(&self, record: u64) {
-        self.inner.remove(record);
+    fn remove(&self, record: u64) -> io::Result<()> {
+        self.inner.remove(record)
     }
 }
 
