@@ -18,6 +18,8 @@
 //!   casestudy  Section 7 genome panels
 //!   extensions windowed-model loss, collection mining, gap profiles
 //!   bench      engine perf baseline -> BENCH_mining.json (not in `all`)
+//!   topk       just the top-k pruning section of `bench`, printed as
+//!              its JSON fragment (not in `all`)
 //!   pil-repr   PIL layout section: occupancy kernel sweep + the
 //!              representation-invariance gate (not in `all`); the
 //!              optional --pil-repr MODE narrows the gate to
@@ -91,6 +93,10 @@ fn main() {
         "casestudy" => experiments::casestudy::run(scale),
         "extensions" => experiments::extensions::run(seq_len),
         "bench" => experiments::bench_mining::run(quick),
+        "topk" => {
+            let fragment = experiments::bench_mining::top_k_pruning(quick);
+            println!("{fragment}");
+        }
         "pil-repr" => {
             let forced = value_of("--pil-repr").map(|raw| {
                 raw.parse::<perigap_core::PilRepr>().unwrap_or_else(|e| {

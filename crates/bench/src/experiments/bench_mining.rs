@@ -33,7 +33,16 @@
 //! 8. **query throughput**: the `pgmine serve` daemon over the mined
 //!    pattern set, hammered by 1 / 4 / 16 concurrent clients with a
 //!    mixed support/topk/prefix/overlap workload — queries/sec per
-//!    client count, every response checked `"ok": true`.
+//!    client count, every response checked `"ok": true`;
+//! 9. **top-k pruning**: `PruneMode::top_k(k)` vs a full mine +
+//!    [`select_top_k`] post-filter at k ∈ {10, 100, 1000}, in both gap
+//!    regimes — the flexible acceptance gap `[0, 9]` (`W = 10`:
+//!    support is not anti-monotone, the floor gates emission only, so
+//!    the honest win is modest) and a rigid gap `0:0` (`W = 1`: the
+//!    rising floor prunes the search tree itself; ≥ 5× required at
+//!    k = 100 on the full-size run). Every pruned outcome is checked
+//!    bit-identical to the post-filter oracle before its timing is
+//!    trusted.
 //!
 //! The JSON is hand-rolled (the workspace carries no serde); the format
 //! is flat enough to eyeball and to parse with anything.
@@ -50,7 +59,7 @@ use perigap_core::pil::{join_multi_into, JoinCounters, MultiJoinScratch, Pil};
 use perigap_core::reference::{build_all_reference, mpp_reference};
 use perigap_core::result::MineOutcome;
 use perigap_core::trace::{LevelEvent, MetricsObserver};
-use perigap_core::GapRequirement;
+use perigap_core::{select_top_k, GapRequirement, PruneMode};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -245,6 +254,7 @@ pub fn run(quick: bool) {
     let simd_kernel = simd_kernel(&e2e_seq, gap, if quick { 20 } else { 100 });
     let single_thread = single_thread(if quick { 10_000 } else { 50_000 }, gap, reps);
     let query_throughput = query_throughput(gap, quick);
+    let top_k_pruning = top_k_pruning(quick);
 
     // The adaptive-layout section (ISSUE-4): occupancy kernel sweep,
     // the representation-invariance gate with histogram, and the
@@ -254,7 +264,7 @@ pub fn run(quick: bool) {
     let dfs_sweep = super::pil_repr::dfs_sweep(quick);
 
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"query_throughput\": {query_throughput},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"query_throughput\": {query_throughput},\n  \"top_k_pruning\": {top_k_pruning},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
@@ -836,6 +846,103 @@ fn query_throughput(gap: GapRequirement, quick: bool) -> String {
     )
 }
 
+/// Top-k pruning vs full mine + post-filter, both gap regimes. The
+/// flexible regime (`[0, 9]`, the acceptance gap) can only gate
+/// emission — a child's support may exceed its parent's by up to
+/// `W = M − N + 1`, so no subtree can be cut and the honest win is
+/// bounded. The rigid regime (`0:0`, `W = 1`) has anti-monotone
+/// support, so the rising floor prunes whole subtrees; `--top-k 100`
+/// is required ≥ 5× there on the full-size run. Every pruned outcome
+/// is compared bit-for-bit (patterns, supports, ratio bits, order)
+/// against [`select_top_k`] over the full mine before its timing is
+/// recorded. Returns the JSON fragment.
+pub fn top_k_pruning(quick: bool) -> String {
+    top_k_pruning_at(
+        if quick { 10_000 } else { 50_000 },
+        if quick { 1 } else { 3 },
+    )
+}
+
+fn top_k_pruning_at(len: usize, reps: usize) -> String {
+    let seq = scaling_sequence(len);
+    let ks: [usize; 3] = [10, 100, 1000];
+    let mut regimes = Vec::new();
+    // The rigid regime needs its own support threshold: at W = 1 a
+    // pattern's occurrences are exact substring chains, so the
+    // scaling sequence's RHO (tuned for flexible-gap counts) lands at
+    // min_sup ≈ 1 and the full mine enumerates every distinct
+    // substring — unbounded. Pinning min_sup ≈ 3 keeps the full mine
+    // finite while leaving a long low-support tail for the floor to
+    // prune.
+    let rigid_rho = 3.0 / len as f64;
+    for (regime, gap, rho) in [
+        ("flexible", GapRequirement::new(GAP.0, GAP.1).unwrap(), RHO),
+        ("rigid", GapRequirement::new(0, 0).unwrap(), rigid_rho),
+    ] {
+        println!(
+            "bench: top-k pruning, {regime} gap [{}, {}], L = {len}, rho = {rho}",
+            gap.min(),
+            gap.max()
+        );
+        let config = MppConfig::default();
+        let (full, full_wall) = best_of(reps, || {
+            mpp_parallel(&seq, gap, rho, N, config.clone(), THREADS).unwrap()
+        });
+        let mut rows = Vec::new();
+        for k in ks {
+            let topk_cfg = MppConfig {
+                prune: PruneMode::top_k(k),
+                ..config.clone()
+            };
+            let (pruned, topk_wall) = best_of(reps, || {
+                mpp_parallel(&seq, gap, rho, N, topk_cfg.clone(), THREADS).unwrap()
+            });
+            // The oracle: post-filter the full mine. Its cost counts
+            // toward the baseline the pruned run is up against.
+            let (oracle, filter_wall) = best_of(reps, || select_top_k(&full.frequent, k));
+            assert_eq!(oracle.len(), pruned.frequent.len(), "top-{k} disagrees");
+            for (want, got) in oracle.iter().zip(&pruned.frequent) {
+                assert_eq!(want.pattern, got.pattern, "top-{k} pattern order");
+                assert_eq!(want.support, got.support, "top-{k} support");
+                assert_eq!(
+                    want.ratio.to_bits(),
+                    got.ratio.to_bits(),
+                    "top-{k} ratio bits"
+                );
+            }
+            let baseline = full_wall + filter_wall;
+            let speedup = baseline.as_secs_f64() / topk_wall.as_secs_f64();
+            println!(
+                "  k = {k:>4}: full+filter {:.1} ms | top-k {:.1} ms | speedup {speedup:.2}x | floor raises {} | pruned by floor {}",
+                ms(baseline),
+                ms(topk_wall),
+                pruned.stats.floor_raises,
+                pruned.stats.pruned_by_floor
+            );
+            rows.push(format!(
+                "{{\"k\": {k}, \"kept\": {}, \"full_filter_ms\": {:.3}, \"topk_ms\": {:.3}, \"speedup\": {speedup:.3}, \"floor_raises\": {}, \"pruned_by_floor\": {}, \"identical\": true}}",
+                pruned.frequent.len(),
+                ms(baseline),
+                ms(topk_wall),
+                pruned.stats.floor_raises,
+                pruned.stats.pruned_by_floor
+            ));
+        }
+        regimes.push(format!(
+            "{{\"regime\": \"{regime}\", \"gap\": [{}, {}], \"rho\": {rho}, \"frequent\": {}, \"full_ms\": {:.3}, \"rows\": [{}]}}",
+            gap.min(),
+            gap.max(),
+            full.frequent.len(),
+            ms(full_wall),
+            rows.join(", ")
+        ));
+    }
+    format!(
+        "{{\"length\": {len}, \"n\": {N}, \"regimes\": [{}]}}",
+        regimes.join(",\n    ")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -903,6 +1010,16 @@ mod tests {
         assert!(json.contains("\"workload_kinds\""), "{json}");
         assert!(json.contains("\"clients\": 16"), "{json}");
         assert!(json.contains("\"qps\""), "{json}");
+    }
+
+    #[test]
+    fn top_k_pruning_fragment_shape() {
+        let json = top_k_pruning_at(3_000, 1);
+        assert!(json.contains("\"regime\": \"flexible\""), "{json}");
+        assert!(json.contains("\"regime\": \"rigid\""), "{json}");
+        assert!(json.contains("\"k\": 1000"), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+        assert!(json.contains("\"pruned_by_floor\""), "{json}");
     }
 
     #[test]

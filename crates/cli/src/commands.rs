@@ -10,7 +10,9 @@ use perigap_core::mppm::{mppm_dfs_traced, mppm_traced};
 use perigap_core::parallel::mpp_parallel_traced;
 use perigap_core::trace::{validate_trace, JsonlObserver, MetricsObserver};
 use perigap_core::verify::verify_outcome;
-use perigap_core::{GapRequirement, Kernel, MineOutcome, PilRepr, ReprPolicy};
+use perigap_core::{
+    GapRequirement, Kernel, MineOutcome, Pattern, PilRepr, PruneMode, ReprPolicy, TargetSpec,
+};
 use perigap_seq::fasta::read_fasta;
 use perigap_seq::oscillation::correlation_spectrum;
 use perigap_seq::stats::{gc_content, shannon_entropy};
@@ -27,6 +29,10 @@ USAGE:
                [--profile <N:M,N:M,...>  per-step gaps; overrides --gap]
                [--m <window>] [--record <id>] [--alphabet dna|protein]
                [--top <k>] [--max-level <l>]
+               [--top-k <k>  keep only the k best-supported patterns;
+                a rigid gap (N:N) also prunes the search itself]
+               [--target <pattern>  mine only patterns starting with
+                this prefix; join cones stay intact, emission filters]
                [--engine bfs|dfs  mpp/mppm; dfs = depth-first subtrees]
                [--threads <k>  mpp, or mppm with --engine dfs]
                [--max-arena-bytes <bytes>  abort if live arenas exceed]
@@ -53,12 +59,16 @@ USAGE:
                [--algorithm mppm|mpp] [--n <len>] [--m <window>]
   pgmine query --addr <host:port> --json <request>
                [--timeout-ms <ms>  default 10000]
+               a JSON array batches requests; served daemons also answer
+               mine_topk/mine_target query kinds on demand
   pgmine trace-check --input <trace.jsonl>   validate a --trace file
   pgmine help
 
 EXAMPLES:
   pgmine mine --input genome.fa --gap 9:12 --rho 0.003% --algorithm mppm --m 10
   pgmine mine --input genome.fa --gap 1:3 --rho 0.5% --trace run.jsonl --metrics
+  pgmine mine --input genome.fa --gap 7 --rho 0.5% --algorithm mpp --top-k 100
+  pgmine mine --input genome.fa --gap 1:3 --rho 0.5% --target ACG
   pgmine scan --input genome.fa --pair AA --max 30
   pgmine serve --input genome.fa --gap 1:3 --rho 0.5% --addr 127.0.0.1:7071
   pgmine query --addr 127.0.0.1:7071 --json '{\"q\": \"topk\", \"k\": 10}'
@@ -99,6 +109,8 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "port-file",
             "json",
             "timeout-ms",
+            "top-k",
+            "target",
         ],
         &["verify", "metrics"],
     )?;
@@ -202,6 +214,38 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         Some(raw) => raw.parse::<Kernel>().map_err(ArgError)?,
         None => Kernel::default(),
     };
+    let top_k: Option<usize> = match args.get("top-k") {
+        Some(raw) => {
+            let v: usize = raw
+                .parse()
+                .map_err(|_| ArgError(format!("bad --top-k {raw:?}")))?;
+            if v == 0 {
+                return Err(ArgError(
+                    "--top-k must be at least 1: a zero budget keeps no patterns".into(),
+                ));
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    let target: Option<TargetSpec> = match args.get("target") {
+        Some(text) => {
+            let prefix = Pattern::parse(text, seq.alphabet())
+                .map_err(|e| ArgError(format!("bad --target {text:?}: {e}")))?;
+            if prefix.codes().is_empty() {
+                return Err(ArgError(
+                    "--target needs at least one symbol; an empty prefix admits everything".into(),
+                ));
+            }
+            Some(TargetSpec::Prefix(prefix.codes().to_vec()))
+        }
+        None => None,
+    };
+    if (top_k.is_some() || target.is_some()) && !matches!(algorithm, "mpp" | "mppm") {
+        return Err(ArgError(format!(
+            "--top-k/--target apply to --algorithm mpp or mppm only (got {algorithm:?})"
+        )));
+    }
     let spill_dir = args.get("spill-dir").map(std::path::PathBuf::from);
     let spill_watermark: f64 = match args.get("spill-watermark") {
         Some(raw) => {
@@ -258,6 +302,10 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         kernel,
         spill_dir,
         spill_watermark,
+        prune: PruneMode {
+            top_k,
+            target: target.clone(),
+        },
         ..MppConfig::default()
     };
 
@@ -353,18 +401,37 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         rho * 100.0
     ));
     out.push_str(&format!(
-        "{} frequent patterns; longest = {}\n\n",
+        "{} frequent patterns; longest = {}\n",
         outcome.frequent.len(),
         outcome.longest_len()
     ));
+    if let Some(k) = top_k {
+        out.push_str(&format!(
+            "top-k {k}: floor raises {}, pruned by floor {}\n",
+            outcome.stats.floor_raises, outcome.stats.pruned_by_floor
+        ));
+    }
+    if target.is_some() {
+        out.push_str(&format!(
+            "target {}: pruned by target {}\n",
+            args.get("target").unwrap_or("?"),
+            outcome.stats.pruned_by_target
+        ));
+    }
+    out.push('\n');
     let mut table = TextTable::new(&["pattern", "len", "support", "ratio"]);
     let mut rows: Vec<_> = outcome.frequent.iter().collect();
-    rows.sort_by(|a, b| {
-        b.len()
-            .cmp(&a.len())
-            .then(b.support.cmp(&a.support))
-            .then(a.pattern.codes().cmp(b.pattern.codes()))
-    });
+    // A top-k outcome is already in rank order (support desc, len,
+    // codes) — print it that way; full mines keep the longest-first
+    // digest view.
+    if top_k.is_none() {
+        rows.sort_by(|a, b| {
+            b.len()
+                .cmp(&a.len())
+                .then(b.support.cmp(&a.support))
+                .then(a.pattern.codes().cmp(b.pattern.codes()))
+        });
+    }
     for f in rows.iter().take(top) {
         table.row(&[
             f.pattern.display(seq.alphabet()),
@@ -426,6 +493,11 @@ fn mine_with_profile_command(
     spec: &str,
 ) -> Result<String, ArgError> {
     use perigap_core::profile::{mine_with_profile, GapProfile};
+    if args.get("top-k").is_some() || args.get("target").is_some() {
+        return Err(ArgError(
+            "--top-k/--target do not apply to --profile mining".into(),
+        ));
+    }
     let steps = spec
         .split(',')
         .map(|part| {
@@ -538,7 +610,7 @@ fn serve_command(args: &Args) -> Result<String, ArgError> {
     use perigap_store::{Backend, PatternIndex};
 
     let addr = args.get("addr").unwrap_or("127.0.0.1:0");
-    let (index, backend_desc) = match args.get("store") {
+    let (index, backend_desc, source) = match args.get("store") {
         Some(path) => {
             for flag in ["gap", "rho", "algorithm", "n", "m"] {
                 if args.get(flag).is_some() {
@@ -560,7 +632,7 @@ fn serve_command(args: &Args) -> Result<String, ArgError> {
                 .map(|s| s.alphabet().clone())
                 .unwrap_or(Alphabet::Dna);
             let index = PatternIndex::build(&loaded, alphabet, seq.as_ref());
-            (index, backend.describe())
+            (index, backend.describe(), seq)
         }
         None => {
             let seq = load_sequence(args)?;
@@ -587,7 +659,7 @@ fn serve_command(args: &Args) -> Result<String, ArgError> {
             let backend = Backend::memory(outcome, gap, rho);
             let loaded = backend.load().map_err(|e| ArgError(e.to_string()))?;
             let index = PatternIndex::build(&loaded, seq.alphabet().clone(), Some(&seq));
-            (index, backend.describe())
+            (index, backend.describe(), Some(seq))
         }
     };
     let patterns = index.len();
@@ -602,9 +674,12 @@ fn serve_command(args: &Args) -> Result<String, ArgError> {
     };
     let observer = (jsonl, args.flag("metrics").then(MetricsObserver::new));
 
-    let handle = perigap_serve::serve(
+    // With the subject sequence in hand the daemon also answers the
+    // on-demand mine_topk/mine_target query kinds.
+    let handle = perigap_serve::serve_with(
         std::sync::Arc::new(index),
         backend_desc.clone(),
+        source,
         addr,
         observer,
     )
@@ -1119,6 +1194,132 @@ mod tests {
             "1.0",
         ]));
         assert!(valid.is_ok(), "{valid:?}");
+    }
+
+    #[test]
+    fn mine_top_k_prints_rank_order_and_matches_post_filtering() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+                "--algorithm".into(),
+                "mpp".into(),
+                "--format".into(),
+                "tsv".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        // Oracle: rank-sort the full mine's TSV rows and truncate.
+        let full = run_words(&base(&[])).unwrap();
+        let mut rows = perigap_analysis::export::parse_outcome_tsv(&full).unwrap();
+        rows.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(a.0.len().cmp(&b.0.len()))
+                .then(a.0.cmp(&b.0))
+        });
+        for k in [1usize, 5, rows.len() + 10] {
+            for engine_args in [&[][..], &["--engine", "dfs", "--threads", "2"]] {
+                let mut extra = vec!["--top-k".to_string(), k.to_string()];
+                extra.extend(engine_args.iter().map(|s| s.to_string()));
+                let extra: Vec<&str> = extra.iter().map(String::as_str).collect();
+                let got = run_words(&base(&extra)).unwrap();
+                let got_rows = perigap_analysis::export::parse_outcome_tsv(&got).unwrap();
+                let want: Vec<_> = rows.iter().take(k).cloned().collect();
+                assert_eq!(got_rows, want, "k={k} engine={engine_args:?}");
+            }
+        }
+        // The table view prints top-k rows in rank order and reports
+        // the floor counters; --metrics adds the pruning line.
+        let mut words = base(&["--top-k", "3", "--metrics"]);
+        let tsv_at = words.iter().position(|w| w == "tsv").unwrap();
+        words.remove(tsv_at);
+        words.remove(tsv_at - 1); // drop --format tsv: metrics forbids it
+        let out = run_words(&words).unwrap();
+        assert!(out.contains("top-k 3: floor raises"), "{out}");
+        assert!(out.contains("pruning: top_k 3"), "{out}");
+    }
+
+    #[test]
+    fn mine_target_filters_and_counts_prunes() {
+        let body = "ACGTT".repeat(60);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+                "--algorithm".into(),
+                "mpp".into(),
+                "--format".into(),
+                "tsv".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        let full = run_words(&base(&[])).unwrap();
+        let rows = perigap_analysis::export::parse_outcome_tsv(&full).unwrap();
+        let got = run_words(&base(&["--target", "AG"])).unwrap();
+        let got_rows = perigap_analysis::export::parse_outcome_tsv(&got).unwrap();
+        let want: Vec<_> = rows
+            .iter()
+            .filter(|r| r.0.starts_with("AG"))
+            .cloned()
+            .collect();
+        assert!(!want.is_empty(), "workload must mine AG-prefixed patterns");
+        assert_eq!(got_rows, want, "targeted mine must equal post-filtering");
+        // The table view names the target and its prune counter.
+        let mut words = base(&["--target", "AG"]);
+        let tsv_at = words.iter().position(|w| w == "tsv").unwrap();
+        words.remove(tsv_at);
+        words.remove(tsv_at - 1);
+        let out = run_words(&words).unwrap();
+        assert!(out.contains("target AG: pruned by target"), "{out}");
+    }
+
+    #[test]
+    fn top_k_and_target_flags_validate_their_input() {
+        let body = "ACGTT".repeat(40);
+        let f = fasta_file(&format!(">frag\n{body}\n"));
+        let base = |extra: &[&str]| {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            words
+        };
+        let err = run_words(&base(&["--top-k", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--top-k"), "{err}");
+        let err = run_words(&base(&["--top-k", "x"])).unwrap_err();
+        assert!(err.to_string().contains("--top-k"), "{err}");
+        // Z is not a DNA symbol; the error names the flag and the text.
+        let err = run_words(&base(&["--target", "AZ"])).unwrap_err();
+        assert!(err.to_string().contains("--target"), "{err}");
+        assert!(err.to_string().contains("AZ"), "{err}");
+        let err = run_words(&base(&["--target", ""])).unwrap_err();
+        assert!(err.to_string().contains("--target"), "{err}");
+        // Pruning modes only thread through the mpp/mppm engines.
+        let err = run_words(&base(&["--algorithm", "enumerate", "--top-k", "5"])).unwrap_err();
+        assert!(err.to_string().contains("mpp or mppm"), "{err}");
+        let err = run_words(&base(&["--profile", "1:2,2:3", "--target", "AC"])).unwrap_err();
+        assert!(err.to_string().contains("--profile"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::kernel::{self, ResolvedKernel};
 use crate::packed::KeyCodec;
 use crate::pattern::Pattern;
 use crate::pil::{join_into, join_multi_into, DensePil, JoinCounters, MultiJoinScratch, Pil};
+use crate::prune::Pruner;
 use perigap_seq::Sequence;
 use std::collections::HashMap;
 
@@ -479,6 +480,7 @@ pub(crate) fn generate_candidates(
     repr: &mut ReprCache,
     kern: ResolvedKernel,
     counters: &mut JoinCounters,
+    pruner: &Pruner,
 ) {
     debug_assert_eq!(out.level(), set.level() + 1);
     let level = set.level();
@@ -488,6 +490,11 @@ pub(crate) fn generate_candidates(
     let mut sparse_pos: Vec<usize> = Vec::new();
     for &i in &kept[lo..hi] {
         let p1 = set.pattern_codes(i);
+        // Pruned modes: skip a left parent whose cone cannot reach the
+        // target or whose support already sits under the top-k floor.
+        if !pruner.admits_parent(p1, || set.support(i)) {
+            continue;
+        }
         let suffix = &p1[1..];
         let found =
             runs.binary_search_by(|&(s, _)| set.pattern_codes(kept[s])[..level - 1].cmp(suffix));
@@ -585,6 +592,7 @@ mod tests {
             repr,
             ResolvedKernel::Scalar,
             &mut jc,
+            &Pruner::default(),
         );
     }
 

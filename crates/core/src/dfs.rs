@@ -60,6 +60,7 @@ use crate::parallel::{
 };
 use crate::pattern::Pattern;
 use crate::pil::{join_multi_into, JoinCounters, MultiJoinScratch};
+use crate::prune::Pruner;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::spill::{self, SpillState};
 use crate::trace::{
@@ -276,6 +277,7 @@ fn eager_generate(
     repr: &mut ReprCache,
     bufs: &mut EagerBufs,
     frequent: &mut Vec<FrequentPattern>,
+    pruner: &Pruner,
 ) -> EagerStats {
     let level = set.level();
     let mut st = EagerStats::default();
@@ -283,6 +285,11 @@ fn eager_generate(
     let mut partners: Vec<&[(u32, u64)]> = Vec::new();
     for &i in &members[lo..hi] {
         let p1 = set.pattern_codes(i);
+        // Pruned modes: a left parent outside the target cone or under
+        // the top-k floor cannot contribute an admissible candidate.
+        if !pruner.admits_parent(p1, || set.support(i)) {
+            continue;
+        }
         let suffix = &p1[1..];
         let found =
             runs.binary_search_by(|&(s, _)| set.pattern_codes(members[s])[..level - 1].cmp(suffix));
@@ -340,12 +347,17 @@ fn eager_generate(
             st.saturated |= bufs.sat[j];
             let entries = &bufs.outs[j];
             let sup: u128 = entries.iter().map(|&(_, c)| c as u128).sum();
-            let admitted_exact = row.exact.admits_u128(sup);
-            let admitted_lhat = row.lhat.admits_u128(sup);
+            let mut admitted_exact = row.exact.admits_u128(sup);
+            let mut admitted_lhat = row.lhat.admits_u128(sup);
+            if (admitted_exact || admitted_lhat) && !pruner.admits_search(sup) {
+                continue;
+            }
             if admitted_exact || admitted_lhat {
                 bufs.codes.clear();
                 bufs.codes.extend_from_slice(p1);
                 bufs.codes.push(set.pattern_codes(m)[level - 1]);
+                admitted_exact = admitted_exact && pruner.admits_result(&bufs.codes, sup);
+                admitted_lhat = admitted_lhat && pruner.admits_frontier(&bufs.codes);
             }
             if admitted_exact {
                 frequent.push(FrequentPattern {
@@ -419,7 +431,10 @@ enum DfsTask {
     Subtree { members: Vec<usize> },
     /// A subtree whose base component was serialized to the spill
     /// backend at handoff; the processing worker restores it first.
-    SpilledSubtree { record: u64 },
+    /// `best` is the component's best cone-admissible support at spill
+    /// time — if the top-k floor passes it by restore time the record
+    /// is dropped unread (see [`DfsJob::process_spilled`]).
+    SpilledSubtree { record: u64, best: u128 },
 }
 
 /// What one [`DfsTask`] returns (inside `Ok`; a task that trips the
@@ -473,6 +488,8 @@ struct DfsJob {
     spill: Option<SpillState>,
     cursor: AtomicUsize,
     hooks: PoolHooks,
+    /// Shared pruning state (floor + target) across every task.
+    pruner: Pruner,
 }
 
 impl PoolJob for DfsJob {
@@ -498,7 +515,7 @@ impl PoolJob for DfsJob {
         match &self.tasks[item] {
             DfsTask::Chunk { lo, hi } => self.process_chunk(*lo, *hi),
             DfsTask::Subtree { members } => self.process_subtree(item, members),
-            DfsTask::SpilledSubtree { record } => self.process_spilled(item, *record),
+            DfsTask::SpilledSubtree { record, best } => self.process_spilled(item, *record, *best),
         }
     }
 
@@ -530,6 +547,7 @@ impl DfsJob {
             &mut repr,
             &mut bufs,
             &mut frequent,
+            &self.pruner,
         );
         let elapsed = started.elapsed();
         let agg = LevelAgg {
@@ -572,6 +590,7 @@ impl DfsJob {
             deepest: self.base_level,
             batches: 0,
             batch_candidates: 0,
+            pruner: self.pruner.clone(),
         };
         descend_split(&mut ctx, &self.base, members, self.base_level)?;
         let evaluated: usize = ctx.aggs.values().map(|a| a.evaluated).sum();
@@ -603,13 +622,31 @@ impl DfsJob {
     /// restore the same bytes twice), its arena is re-charged to the
     /// shared gauge before any join runs, and the backing file is
     /// removed only after the subtree finished cleanly.
-    fn process_spilled(&self, item: usize, record: u64) -> Result<TaskOut, MineError> {
+    fn process_spilled(&self, item: usize, record: u64, best: u128) -> Result<TaskOut, MineError> {
         let started = Instant::now();
         let state = self
             .spill
             .as_ref()
             .expect("spilled task scheduled without spill state");
         state.claim(record)?;
+        // Top-k: if the floor climbed past the component's best support
+        // while the record sat on disk, the whole subtree is dead —
+        // drop the record without reading it back.
+        if !self.pruner.admits_search(best) {
+            let cleanup_failure = state.io.remove(record).err().map(|e| {
+                format!(
+                    "spill record {record} could not be removed after its subtree was pruned: {e}"
+                )
+            });
+            return Ok(TaskOut {
+                part: None,
+                aggs: Vec::new(),
+                frequent: Vec::new(),
+                subtree: None,
+                restore: None,
+                cleanup_failure,
+            });
+        }
         let bytes = state
             .io
             .read(record)
@@ -637,6 +674,7 @@ impl DfsJob {
             deepest: self.base_level,
             batches: 0,
             batch_candidates: 0,
+            pruner: self.pruner.clone(),
         };
         // The restored component is the hot working set: it goes back
         // on the gauge, and if even that overflows the ceiling the run
@@ -710,6 +748,7 @@ struct TaskCtx<'a> {
     deepest: usize,
     batches: u64,
     batch_candidates: u64,
+    pruner: Pruner,
 }
 
 /// Split `members` of `set` (at `level`) into components and mine each;
@@ -723,6 +762,13 @@ fn descend_split(
     level: usize,
 ) -> Result<(), MineError> {
     if members.is_empty() || level >= ctx.hard_cap || ctx.counts.n(level + 1).is_zero() {
+        return Ok(());
+    }
+    // Pruned modes: a component with no member inside the target cone
+    // and above the floor cannot contribute — its whole subtree dies
+    // here (this is also where a restored spill component is dropped
+    // when the floor climbed past it while it sat on disk).
+    if !ctx.pruner.component_viable(set, members) {
         return Ok(());
     }
     let runs = prefix_runs(set, members);
@@ -749,6 +795,7 @@ fn descend_split(
         &mut ctx.repr,
         &mut ctx.bufs,
         &mut ctx.frequent,
+        &ctx.pruner,
     );
     ctx.batches += st.batches;
     ctx.batch_candidates += st.batch_candidates;
@@ -822,6 +869,7 @@ fn mine_chain(
             &mut ctx.repr,
             &mut ctx.bufs,
             &mut ctx.frequent,
+            &ctx.pruner,
         );
         ctx.batches += st.batches;
         ctx.batch_candidates += st.batch_candidates;
@@ -887,6 +935,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
 
     let mut stats = stats_seed.take().unwrap_or_default();
     stats.n_used = n;
+    let pruner = Pruner::new(&config.prune, gap.flexibility());
     let mut frequent: Vec<FrequentPattern> = Vec::new();
     let mut aggs: BTreeMap<usize, LevelAgg> = BTreeMap::new();
     let mut pool_events: Vec<PoolLevelEvent> = Vec::new();
@@ -930,7 +979,12 @@ pub(crate) fn run_hybrid<O: MineObserver>(
         let mut frequent_here = 0usize;
         for i in 0..current.len() {
             let sup = current.support(i);
-            if row.exact.admits_u128(sup) {
+            let admits_exact = row.exact.admits_u128(sup);
+            let admits_lhat = row.lhat.admits_u128(sup);
+            if (admits_exact || admits_lhat) && !pruner.admits_search(sup) {
+                continue;
+            }
+            if admits_exact && pruner.admits_result(current.pattern_codes(i), sup) {
                 frequent.push(FrequentPattern {
                     pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
@@ -938,7 +992,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                 });
                 frequent_here += 1;
             }
-            if row.lhat.admits_u128(sup) {
+            if admits_lhat && pruner.admits_frontier(current.pattern_codes(i)) {
                 kept.push(i);
             }
         }
@@ -966,8 +1020,18 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                 break;
             }
             let runs = prefix_runs(&current, &kept);
-            let comps = run_components(&current, &kept, &runs);
+            let mut comps = run_components(&current, &kept, &runs);
             if comps.len() >= 2 {
+                // Pruned modes: drop dead components before they become
+                // tasks (or spill records). The handoff proceeds even if
+                // only one — or zero — components stay viable.
+                if pruner.is_active() {
+                    comps.retain(|comp| pruner.component_viable(&current, comp));
+                    if comps.is_empty() {
+                        gauge.shrink(cur_bytes);
+                        break;
+                    }
+                }
                 // Handoff: every component is an independent subtree.
                 // Only the main thread has grown the gauge so far, so
                 // `live == cur_bytes` here and the spill decision is
@@ -979,7 +1043,9 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     let io = Arc::clone(spill_io.as_ref().expect("spill decision needs a backend"));
                     let spill_started = Instant::now();
                     let mut bytes_written = 0u64;
+                    let mut bests: Vec<u128> = Vec::with_capacity(comps.len());
                     for (r, comp) in comps.iter().enumerate() {
+                        bests.push(pruner.component_best(&current, comp));
                         let bytes = spill::encode_record(r as u64, &current, comp);
                         if let Err(e) = io.write(r as u64, &bytes) {
                             // Best-effort cleanup of records already on
@@ -1017,8 +1083,13 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     current = PilSet::new(level);
                     kept = Vec::new();
                     (
-                        (0..records)
-                            .map(|record| DfsTask::SpilledSubtree { record })
+                        bests
+                            .into_iter()
+                            .enumerate()
+                            .map(|(record, best)| DfsTask::SpilledSubtree {
+                                record: record as u64,
+                                best,
+                            })
                             .collect(),
                         Some(SpillState::new(io, records as usize)),
                     )
@@ -1051,6 +1122,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                     spill: spill_state,
                     cursor: AtomicUsize::new(0),
                     hooks,
+                    pruner: pruner.clone(),
                 });
                 let outs = match &pool {
                     Some(pool) => match pool.run(Arc::clone(&job)) {
@@ -1147,6 +1219,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         spill: None,
                         cursor: AtomicUsize::new(0),
                         hooks,
+                        pruner: pruner.clone(),
                     });
                     let (outs, event) = pool.run(Arc::clone(&job))?;
                     pool_events.push(event);
@@ -1185,6 +1258,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
                         &mut repr_cache,
                         &mut bufs,
                         &mut frequent,
+                        &pruner,
                     );
                     let agg = LevelAgg {
                         candidates: st.evaluated as u128,
@@ -1266,7 +1340,7 @@ pub(crate) fn run_hybrid<O: MineObserver>(
 
     let peak = peak_shared.load(Ordering::Relaxed);
     let mut outcome = MineOutcome { frequent, stats };
-    outcome.sort();
+    pruner.finish(&mut outcome);
     Ok((outcome, peak))
 }
 

@@ -57,6 +57,7 @@ pub mod parallel;
 pub mod pattern;
 pub mod pil;
 pub mod profile;
+pub mod prune;
 pub mod reference;
 pub mod result;
 pub mod rigid;
@@ -72,4 +73,5 @@ pub use gap::GapRequirement;
 pub use kernel::{Kernel, ResolvedKernel};
 pub use pattern::Pattern;
 pub use pil::{DensePil, JoinCounters, Pil};
+pub use prune::{select_top_k, PruneMode, TargetSpec};
 pub use result::{FrequentPattern, MineOutcome, MineStats};

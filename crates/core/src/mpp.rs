@@ -16,6 +16,7 @@ use crate::kernel::{Kernel, ResolvedKernel};
 use crate::lambda::BoundTable;
 use crate::pattern::Pattern;
 use crate::pil::JoinCounters;
+use crate::prune::{PruneMode, Pruner};
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, SeedEvent};
 use perigap_math::BigRatio;
@@ -66,6 +67,10 @@ pub struct MppConfig {
     /// precedence over [`MppConfig::spill_dir`]; mining results are
     /// identical for any correct backend.
     pub spill_io: Option<Arc<dyn crate::spill::SpillIo>>,
+    /// Pruning mode: top-k by support and/or a mining target (see
+    /// [`crate::prune`]). The default is a plain full mine; any active
+    /// mode trades the full frequent set for a (much) smaller search.
+    pub prune: PruneMode,
 }
 
 impl Default for MppConfig {
@@ -79,6 +84,7 @@ impl Default for MppConfig {
             spill_dir: None,
             spill_watermark: 0.5,
             spill_io: None,
+            prune: PruneMode::default(),
         }
     }
 }
@@ -223,6 +229,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
 
     let mut stats = stats_seed.take().unwrap_or_default();
     stats.n_used = n;
+    let pruner = Pruner::new(&config.prune, counts.gap().flexibility());
     let mut frequent: Vec<FrequentPattern> = Vec::new();
     let mut bounds = BoundTable::new(counts, rho, n);
 
@@ -250,7 +257,12 @@ pub(crate) fn run_levelwise<O: MineObserver>(
         let mut frequent_here = 0usize;
         for i in 0..current.len() {
             let sup = current.support(i);
-            if row.exact.admits_u128(sup) {
+            let admits_exact = row.exact.admits_u128(sup);
+            let admits_lhat = row.lhat.admits_u128(sup);
+            if (admits_exact || admits_lhat) && !pruner.admits_search(sup) {
+                continue;
+            }
+            if admits_exact && pruner.admits_result(current.pattern_codes(i), sup) {
                 frequent.push(FrequentPattern {
                     pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
@@ -258,7 +270,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
                 });
                 frequent_here += 1;
             }
-            if row.lhat.admits_u128(sup) {
+            if admits_lhat && pruner.admits_frontier(current.pattern_codes(i)) {
                 kept.push(i);
             }
         }
@@ -327,6 +339,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
             &mut repr,
             kern,
             &mut jc,
+            &pruner,
         );
         let live = current.arena_bytes() + next.arena_bytes();
         peak = peak.max(live);
@@ -349,7 +362,7 @@ pub(crate) fn run_levelwise<O: MineObserver>(
     }
 
     let mut outcome = MineOutcome { frequent, stats };
-    outcome.sort();
+    pruner.finish(&mut outcome);
     Ok((outcome, peak))
 }
 

@@ -125,6 +125,10 @@ pub fn mine_collection_traced<O: MineObserver>(
             support_saturated: false,
             peak_arena_bytes: 0,
             kernel: String::new(),
+            top_k: None,
+            floor_raises: 0,
+            pruned_by_floor: 0,
+            pruned_by_target: 0,
             total_elapsed: started.elapsed(),
         });
         return Ok(CollectionOutcome::default());
@@ -286,6 +290,10 @@ pub fn mine_collection_traced<O: MineObserver>(
         support_saturated: false,
         peak_arena_bytes: 0,
         kernel: String::new(),
+        top_k: None,
+        floor_raises: 0,
+        pruned_by_floor: 0,
+        pruned_by_target: 0,
         total_elapsed: started.elapsed(),
     });
     Ok(CollectionOutcome { patterns: out })

@@ -40,6 +40,7 @@ use crate::lambda::BoundTable;
 use crate::mpp::{check_ceiling, prepare, MppConfig};
 use crate::pattern::Pattern;
 use crate::pil::JoinCounters;
+use crate::prune::Pruner;
 use crate::result::{FrequentPattern, LevelStats, MineOutcome, MineStats};
 use crate::trace::{
     AbortEvent, CompleteEvent, LevelEvent, MineObserver, NoopObserver, PoolLevelEvent, SeedEvent,
@@ -234,6 +235,9 @@ struct LevelJob {
     repr: ReprPolicy,
     /// Compute kernel for the dense probe inside each chunk.
     kern: ResolvedKernel,
+    /// Shared pruning state; floor reads inside a chunk see raises from
+    /// every other thread's already-merged levels.
+    pruner: Pruner,
 }
 
 impl PoolJob for LevelJob {
@@ -266,8 +270,17 @@ impl PoolJob for LevelJob {
         repr.begin(self.set.len());
         let mut jc = JoinCounters::default();
         generate_candidates(
-            &self.set, &self.kept, &self.runs, self.gap, lo, hi, &mut out, &mut repr, self.kern,
+            &self.set,
+            &self.kept,
+            &self.runs,
+            self.gap,
+            lo,
+            hi,
+            &mut out,
+            &mut repr,
+            self.kern,
             &mut jc,
+            &self.pruner,
         );
         (out, jc)
     }
@@ -529,6 +542,7 @@ fn run_parallel<O: MineObserver>(
         n_used: n,
         ..MineStats::default()
     };
+    let pruner = Pruner::new(&config.prune, counts.gap().flexibility());
     let mut frequent: Vec<FrequentPattern> = Vec::new();
     let mut bounds = BoundTable::new(counts, rho, n);
     let mut current = seed;
@@ -549,7 +563,12 @@ fn run_parallel<O: MineObserver>(
         let mut frequent_here = 0usize;
         for i in 0..current.len() {
             let sup = current.support(i);
-            if row.exact.admits_u128(sup) {
+            let admits_exact = row.exact.admits_u128(sup);
+            let admits_lhat = row.lhat.admits_u128(sup);
+            if (admits_exact || admits_lhat) && !pruner.admits_search(sup) {
+                continue;
+            }
+            if admits_exact && pruner.admits_result(current.pattern_codes(i), sup) {
                 frequent.push(FrequentPattern {
                     pattern: Pattern::from_codes(current.pattern_codes(i).to_vec()),
                     support: sup,
@@ -557,7 +576,7 @@ fn run_parallel<O: MineObserver>(
                 });
                 frequent_here += 1;
             }
-            if row.lhat.admits_u128(sup) {
+            if admits_lhat && pruner.admits_frontier(current.pattern_codes(i)) {
                 kept.push(i);
             }
         }
@@ -635,6 +654,7 @@ fn run_parallel<O: MineObserver>(
                     hooks,
                     repr: config.pil_repr,
                     kern,
+                    pruner: pruner.clone(),
                 });
                 let (parts, pool_event) = pool.run(job)?;
                 observer.on_pool(&pool_event);
@@ -660,6 +680,7 @@ fn run_parallel<O: MineObserver>(
                     &mut repr,
                     kern,
                     &mut level_jc,
+                    &pruner,
                 );
                 out
             }
@@ -685,7 +706,7 @@ fn run_parallel<O: MineObserver>(
     }
 
     let mut outcome = MineOutcome { frequent, stats };
-    outcome.sort();
+    pruner.finish(&mut outcome);
     Ok((outcome, peak))
 }
 

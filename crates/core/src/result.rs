@@ -81,6 +81,21 @@ pub struct MineStats {
     /// itself still completes — a leftover file costs disk, not
     /// correctness.
     pub spill_cleanup_failures: u64,
+    /// The `k` a top-k run was bounded to (`None` on full and targeted
+    /// mines). When set, `frequent` holds the rank-ordered top k, which
+    /// is smaller than the per-level `frequent` totals.
+    pub top_k: Option<usize>,
+    /// Times the shared top-k support floor actually rose. Like the
+    /// spill counters this describes the search schedule, not the mined
+    /// output — raise timing depends on thread interleaving, so the
+    /// pruning invariance tests compare outputs, not these counters.
+    pub floor_raises: u64,
+    /// Patterns and join parents pruned by the rising support floor
+    /// (schedule-dependent; see [`MineStats::floor_raises`]).
+    pub pruned_by_floor: u64,
+    /// Join parents, components, and post-verified results pruned by
+    /// the [`crate::prune::TargetSpec`] of a targeted run.
+    pub pruned_by_target: u64,
 }
 
 impl MineStats {

@@ -277,6 +277,10 @@ pub struct QueryEvent {
     pub results: usize,
     /// Wall-clock service time.
     pub latency: Duration,
+    /// Whether the rendered response came out of the daemon's response
+    /// cache (`Some(true)` hit, `Some(false)` miss, `None` for query
+    /// kinds the cache never holds — e.g. `stats`, `shutdown`).
+    pub cache: Option<bool>,
 }
 
 /// Mine completion: run-wide totals.
@@ -298,6 +302,16 @@ pub struct CompleteEvent {
     /// The resolved join-kernel name (`"scalar"` / `"simd"`; empty
     /// when the engine predates kernel selection).
     pub kernel: String,
+    /// The `k` of a top-k run; `None` on full and targeted mines. When
+    /// set, `frequent` is the truncated top-k count, smaller than the
+    /// per-level totals (`trace-check` relaxes its sum check on this).
+    pub top_k: Option<usize>,
+    /// Times the top-k support floor rose (0 outside top-k runs).
+    pub floor_raises: u64,
+    /// Patterns and join parents pruned by the support floor.
+    pub pruned_by_floor: u64,
+    /// Patterns, parents, and components pruned by the mining target.
+    pub pruned_by_target: u64,
     /// Total wall-clock time.
     pub total_elapsed: Duration,
 }
@@ -313,6 +327,10 @@ impl CompleteEvent {
             support_saturated: outcome.stats.support_saturated,
             peak_arena_bytes: 0,
             kernel: String::new(),
+            top_k: outcome.stats.top_k,
+            floor_raises: outcome.stats.floor_raises,
+            pruned_by_floor: outcome.stats.pruned_by_floor,
+            pruned_by_target: outcome.stats.pruned_by_target,
             total_elapsed: outcome.stats.total_elapsed,
         }
     }
@@ -695,12 +713,17 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
     }
 
     fn on_query(&mut self, e: &QueryEvent) {
+        let cache = match e.cache {
+            Some(hit) => format!(", \"cache_hit\": {hit}"),
+            None => String::new(),
+        };
         self.write_line(&format!(
-            "{{\"event\": \"query\", \"kind\": \"{}\", \"ok\": {}, \"results\": {}, \"latency_ms\": {:.3}}}",
+            "{{\"event\": \"query\", \"kind\": \"{}\", \"ok\": {}, \"results\": {}, \"latency_ms\": {:.3}{}}}",
             escape_json(&e.kind),
             e.ok,
             e.results,
-            ms(e.latency)
+            ms(e.latency),
+            cache
         ));
     }
 
@@ -712,8 +735,21 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
     }
 
     fn on_complete(&mut self, e: &CompleteEvent) {
+        // Pruning fields appear only on runs that used them, keeping
+        // full-mine traces byte-stable.
+        let mut prune = String::new();
+        if let Some(k) = e.top_k {
+            let _ = write!(
+                prune,
+                ", \"top_k\": {}, \"floor_raises\": {}, \"pruned_by_floor\": {}",
+                k, e.floor_raises, e.pruned_by_floor
+            );
+        }
+        if e.pruned_by_target > 0 {
+            let _ = write!(prune, ", \"pruned_by_target\": {}", e.pruned_by_target);
+        }
         self.write_line(&format!(
-            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"peak_arena_bytes\": {}, \"kernel\": \"{}\", \"total_ms\": {:.3}}}",
+            "{{\"event\": \"summary\", \"frequent\": {}, \"levels\": {}, \"total_candidates\": {}, \"n_used\": {}, \"support_saturated\": {}, \"peak_arena_bytes\": {}, \"kernel\": \"{}\"{}, \"total_ms\": {:.3}}}",
             e.frequent,
             e.levels,
             e.total_candidates,
@@ -721,6 +757,7 @@ impl<W: io::Write> MineObserver for JsonlObserver<W> {
             e.support_saturated,
             e.peak_arena_bytes,
             escape_json(&e.kernel),
+            prune,
             ms(e.total_elapsed)
         ));
     }
@@ -770,6 +807,10 @@ pub struct QueryStats {
     pub total_latency: Duration,
     /// Worst single-query service time.
     pub max_latency: Duration,
+    /// Responses served from the daemon's response cache.
+    pub cache_hits: u64,
+    /// Responses rendered fresh for a cacheable query kind.
+    pub cache_misses: u64,
 }
 
 impl MetricsObserver {
@@ -897,14 +938,20 @@ impl MetricsObserver {
             } else {
                 0.0
             };
+            let cache = if q.cache_hits + q.cache_misses > 0 {
+                format!(" | cache {} hit / {} miss", q.cache_hits, q.cache_misses)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "  query {kind}: {} served | {} errors | {} rows | mean {:.3} ms | max {:.3} ms",
+                "  query {kind}: {} served | {} errors | {} rows | mean {:.3} ms | max {:.3} ms{}",
                 q.count,
                 q.errors,
                 q.results,
                 mean,
-                ms(q.max_latency)
+                ms(q.max_latency),
+                cache
             );
         }
         if let Some(a) = &self.abort {
@@ -932,6 +979,17 @@ impl MetricsObserver {
                     ""
                 }
             );
+            if c.top_k.is_some() || c.pruned_by_target > 0 {
+                let k = c
+                    .top_k
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "  pruning: top_k {} | floor_raises {} | pruned_by_floor {} | pruned_by_target {}",
+                    k, c.floor_raises, c.pruned_by_floor, c.pruned_by_target
+                );
+            }
         }
         out
     }
@@ -974,6 +1032,11 @@ impl MineObserver for MetricsObserver {
         q.results += event.results as u64;
         q.total_latency += event.latency;
         q.max_latency = q.max_latency.max(event.latency);
+        match event.cache {
+            Some(true) => q.cache_hits += 1,
+            Some(false) => q.cache_misses += 1,
+            None => {}
+        }
     }
     fn on_abort(&mut self, event: &AbortEvent) {
         self.abort = Some(event.clone());
@@ -1355,7 +1418,17 @@ pub fn validate_trace(text: &str) -> Result<TraceReport, String> {
         .get("levels")
         .and_then(Json::as_usize)
         .ok_or(format!("line {lineno}: summary without levels"))?;
-    if frequent != level_frequent {
+    // Under a top-k floor the summary reports the truncated result set,
+    // while level events count every pattern that was frequent when its
+    // level ran — so the sum is only an upper bound there.
+    let top_k_run = summary.get("top_k").is_some();
+    if top_k_run {
+        if frequent > level_frequent {
+            return Err(format!(
+                "summary frequent {frequent} > {level_frequent} summed over level events in a top-k run"
+            ));
+        }
+    } else if frequent != level_frequent {
         return Err(format!(
             "summary frequent {frequent} != {level_frequent} summed over level events"
         ));
@@ -1409,6 +1482,10 @@ mod tests {
             support_saturated: false,
             peak_arena_bytes: 8192,
             kernel: "scalar".into(),
+            top_k: None,
+            floor_raises: 0,
+            pruned_by_floor: 0,
+            pruned_by_target: 0,
             total_elapsed: Duration::from_millis(3),
         }
     }
@@ -1543,6 +1620,7 @@ mod tests {
             ok: true,
             results: 5,
             latency: Duration::from_micros(420),
+            cache: None,
         });
         sink.on_complete(&complete_event(1));
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
@@ -1571,6 +1649,7 @@ mod tests {
                 ok,
                 results: usize::from(ok),
                 latency: Duration::from_micros(100),
+                cache: Some(ok),
             });
         }
         let stats = &m.queries["support"];

@@ -18,13 +18,18 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use cache::ResponseCache;
 pub use client::Client;
-pub use protocol::{parse_request, serve_line, Envelope, Request, Served, DEFAULT_LIMIT};
-pub use server::{serve, ServerHandle};
+pub use protocol::{
+    batch_response, parse_request, serve_line, serve_request_line, Envelope, LineOutcome, Request,
+    ServeContext, Served, DEFAULT_LIMIT,
+};
+pub use server::{serve, serve_with, ServerHandle};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -111,6 +116,96 @@ mod tests {
         assert_eq!(total, 6);
         assert_eq!(metrics.queries["invalid"].errors, 1);
         assert_eq!(metrics.queries["support"].count, 1);
+    }
+
+    #[test]
+    fn batch_lines_and_cache_flow_through_the_daemon() {
+        let seq = Sequence::dna(&"ACGT".repeat(25)).unwrap();
+        let gap = GapRequirement::new(0, 2).unwrap();
+        let outcome = mpp(&seq, gap, 0.001, 8, MppConfig::default()).unwrap();
+        let loaded = LoadedOutcome {
+            outcome,
+            gap,
+            rho: 0.001,
+        };
+        let index = Arc::new(PatternIndex::build(&loaded, Alphabet::Dna, Some(&seq)));
+        let handle = serve_with(
+            Arc::clone(&index),
+            "memory:test".to_string(),
+            Some(seq),
+            "127.0.0.1:0",
+            MetricsObserver::new(),
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr(), Duration::from_secs(10)).unwrap();
+
+        // A batch line answers with an array in request order, ids
+        // echoed per element.
+        let batch = r#"[{"q": "topk", "k": 2, "id": 1}, {"q": "mine_topk", "k": 3, "id": 2}, {"q": "nope", "id": 3}]"#;
+        let response = client.roundtrip(batch).unwrap();
+        let parsed = Json::parse(&response).unwrap();
+        let rows = parsed.as_arr().expect("array response");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get("id").and_then(Json::as_usize), Some(1));
+        assert_eq!(rows[1].get("id").and_then(Json::as_usize), Some(2));
+        assert_eq!(rows[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(rows[1].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(rows[2].get("ok").and_then(Json::as_bool), Some(false));
+        // mine_topk ranks like the index (same parameters, same rank
+        // order).
+        let want: Vec<String> = index.top_k(3).map(|e| e.display(&Alphabet::Dna)).collect();
+        let got: Vec<&str> = rows[1]
+            .get("patterns")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|p| p.get("pattern").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(got, want);
+
+        // Repeats hit the response cache; stats reports the counters.
+        let first = client.roundtrip(r#"{"q": "topk", "k": 2}"#).unwrap();
+        assert_eq!(first, rows_without_id(&rows[0]));
+        let stats = client.roundtrip(r#"{"q": "stats"}"#).unwrap();
+        let stats = Json::parse(&stats).unwrap();
+        let hits = stats.get("cache_hits").and_then(Json::as_u128).unwrap();
+        let misses = stats.get("cache_misses").and_then(Json::as_u128).unwrap();
+        assert_eq!(hits, 1, "repeated topk answered from cache");
+        assert!(misses >= 2);
+        // Every batch element and the two singles were counted.
+        assert_eq!(handle.queries_served(), 5);
+
+        let metrics = handle.shutdown();
+        assert_eq!(metrics.queries["topk"].count, 2);
+        assert_eq!(metrics.queries["topk"].cache_hits, 1);
+        assert_eq!(metrics.queries["topk"].cache_misses, 1);
+        assert_eq!(metrics.queries["mine_topk"].count, 1);
+        assert_eq!(metrics.queries["invalid"].errors, 1);
+    }
+
+    /// Re-render a parsed `topk` response without its `id` field, in
+    /// the daemon's own field order, for comparing a batch element
+    /// against a later single-line answer.
+    fn rows_without_id(row: &Json) -> String {
+        let total = row.get("total").and_then(Json::as_usize).unwrap();
+        let patterns: Vec<String> = row
+            .get("patterns")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"pattern\": \"{}\", \"support\": {}, \"ratio\": {}}}",
+                    p.get("pattern").and_then(Json::as_str).unwrap(),
+                    p.get("support").and_then(Json::as_u128).unwrap(),
+                    p.get("ratio").and_then(Json::as_f64).unwrap()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"ok\": true, \"total\": {total}, \"patterns\": [{}]}}",
+            patterns.join(", ")
+        )
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! joins every handler before [`ServerHandle::shutdown`] returns the
 //! observer with its per-query counters.
 
-use crate::protocol::{self, MAX_LINE_BYTES};
+use crate::cache::ResponseCache;
+use crate::protocol::{self, LineOutcome, ServeContext, MAX_LINE_BYTES};
 use perigap_core::trace::{MineObserver, QueryEvent, WarningEvent};
+use perigap_seq::Sequence;
 use perigap_store::PatternIndex;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -25,6 +27,10 @@ const READ_POLL: Duration = Duration::from_millis(50);
 struct Shared<O: MineObserver> {
     index: Arc<PatternIndex>,
     backend: String,
+    /// Subject sequence for the on-demand `mine_*` query kinds; absent
+    /// when the daemon serves a store file without the sequence.
+    source: Option<Sequence>,
+    cache: ResponseCache,
     observer: Mutex<O>,
     stop: AtomicBool,
     queries: AtomicU64,
@@ -112,12 +118,32 @@ where
     O: MineObserver + Send + 'static,
     A: ToSocketAddrs,
 {
+    serve_with(index, backend, None, addr, observer)
+}
+
+/// [`serve`], plus the subject sequence. When `source` is given the
+/// daemon answers the on-demand `mine_topk`/`mine_target` query kinds
+/// by re-running the engine against it; without it those kinds refuse
+/// with a typed error (like `overlap` on a sequence-less index).
+pub fn serve_with<O, A>(
+    index: Arc<PatternIndex>,
+    backend: String,
+    source: Option<Sequence>,
+    addr: A,
+    observer: O,
+) -> io::Result<ServerHandle<O>>
+where
+    O: MineObserver + Send + 'static,
+    A: ToSocketAddrs,
+{
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         index,
         backend,
+        source,
+        cache: ResponseCache::default(),
         observer: Mutex::new(observer),
         stop: AtomicBool::new(false),
         queries: AtomicU64::new(0),
@@ -240,31 +266,59 @@ fn handle_connection<O: MineObserver>(stream: TcpStream, shared: Arc<Shared<O>>)
     }
 }
 
-/// Serve one request line; false when the connection should close.
+/// Serve one request line (single or batch); false when the connection
+/// should close.
 fn serve_one<O: MineObserver>(stream: &mut TcpStream, shared: &Shared<O>, line: &str) -> bool {
     let started = Instant::now();
     let queries = shared.queries.fetch_add(1, Ordering::Relaxed);
-    let served = protocol::serve_line(&shared.index, &shared.backend, queries, line);
-    let write_result = writeln!(stream, "{}", served.response).and_then(|_| stream.flush());
-    {
-        let mut observer = shared
-            .observer
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        observer.on_query(&QueryEvent {
-            kind: served.kind.to_string(),
-            ok: served.ok,
-            results: served.results,
-            latency: started.elapsed(),
-        });
-    }
+    let ctx = ServeContext {
+        index: &shared.index,
+        backend: &shared.backend,
+        queries,
+        source: shared.source.as_ref(),
+        cache: Some(&shared.cache),
+    };
+    let (response, served) = match protocol::serve_request_line(&ctx, line) {
+        LineOutcome::Single(served) => (served.response.clone(), vec![served]),
+        LineOutcome::Batch(served) => {
+            // The line already counted once; count the extra elements
+            // so `stats` and `queries_served` track requests answered.
+            if served.len() > 1 {
+                shared
+                    .queries
+                    .fetch_add(served.len() as u64 - 1, Ordering::Relaxed);
+            }
+            (protocol::batch_response(&served), served)
+        }
+    };
+    let write_result = writeln!(stream, "{response}").and_then(|_| stream.flush());
+    observe(shared, &served, started.elapsed());
     if let Err(e) = write_result {
         warn(shared, "serve-conn", &format!("write failed: {e}"));
         return false;
     }
-    if served.shutdown {
+    if served.iter().any(|s| s.shutdown) {
         shared.stop.store(true, Ordering::SeqCst);
         return false;
     }
     true
+}
+
+/// Record one [`QueryEvent`] per answered request. Batch elements share
+/// the line's wall-clock latency — they are served sequentially and the
+/// client sees one round-trip.
+fn observe<O: MineObserver>(shared: &Shared<O>, served: &[protocol::Served], latency: Duration) {
+    let mut observer = shared
+        .observer
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    for s in served {
+        observer.on_query(&QueryEvent {
+            kind: s.kind.to_string(),
+            ok: s.ok,
+            results: s.results,
+            latency,
+            cache: s.cache,
+        });
+    }
 }

@@ -393,6 +393,167 @@ proptest! {
     }
 }
 
+/// A pruned outcome must carry exactly `expect` — patterns, supports,
+/// and bit-identical ratios — in exactly the expected order.
+fn assert_pruned_equal(
+    expect: &[FrequentPattern],
+    got: &MineOutcome,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(expect.len(), got.frequent.len(), "{}", label);
+    for (x, y) in expect.iter().zip(&got.frequent) {
+        prop_assert_eq!(&x.pattern, &y.pattern, "{}", label);
+        prop_assert_eq!(x.support, y.support, "{}", label);
+        prop_assert_eq!(x.ratio.to_bits(), y.ratio.to_bits(), "{}", label);
+    }
+    Ok(())
+}
+
+// The pruning differential runs a dozen mines per case (top-k and
+// targeted, through every engine, with and without a spill ceiling),
+// so it gets a small case budget. Pruned mining is an output
+// contract: whatever the engine, gap regime (rigid `W == 1`, where the
+// rising floor prunes the search itself, or flexible `W > 1`, where
+// only emission is gated), PIL repr, thread count, or memory ceiling,
+// the outcome must be bit-identical to post-filtering the full mine.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn topk_and_targeted_pruning_match_post_filtering(
+        (alpha, codes, (n, m), rho_scale, k, mode, mask_bits) in (
+            alphabet(),
+            codes(60),
+            gap_req(), // biased toward N == M: both floor regimes occur
+            1usize..40,
+            1usize..12,
+            (0u8..3).prop_map(|w| match w {
+                0 => PilRepr::Sparse,
+                1 => PilRepr::Dense,
+                _ => PilRepr::Auto,
+            }),
+            1u8..8, // symbol mask over codes {0, 1, 2}; never empty
+        )
+    ) {
+        use perigap::core::mppm::mppm;
+        use perigap::core::spill::{MemSpillIo, SpillIo};
+        use perigap::core::{select_top_k, PruneMode, TargetSpec};
+        use std::sync::Arc;
+
+        let alpha_size = alpha.size();
+        let seq = Sequence::from_codes(alpha, codes).unwrap();
+        let gap = GapRequirement::new(n, m).unwrap();
+        let rho = rho_scale as f64 * 1e-4;
+        let cfg = MppConfig {
+            pil_repr: ReprPolicy::of(mode),
+            ..MppConfig::default()
+        };
+
+        // Top-k: every engine must reproduce `select_top_k` over the
+        // full mine — same rank order, same truncation, same ratios.
+        let full = mpp(&seq, gap, rho, 8, cfg.clone());
+        let topk_cfg = MppConfig {
+            prune: PruneMode::top_k(k),
+            ..cfg.clone()
+        };
+        let topk = mpp(&seq, gap, rho, 8, topk_cfg.clone());
+        prop_assert_eq!(full.is_ok(), topk.is_ok());
+        let Ok(full) = full else { return Ok(()) };
+        let topk = topk.unwrap();
+        prop_assert_eq!(topk.stats.top_k, Some(k));
+        let expect_topk = select_top_k(&full.frequent, k);
+        assert_pruned_equal(&expect_topk, &topk, "top-k bfs")?;
+        let par = mpp_parallel(&seq, gap, rho, 8, topk_cfg.clone(), 3).unwrap();
+        assert_pruned_equal(&expect_topk, &par, "top-k parallel")?;
+        let dfs = mpp_dfs(&seq, gap, rho, 8, topk_cfg.clone(), 2).unwrap();
+        assert_pruned_equal(&expect_topk, &dfs, "top-k dfs")?;
+
+        // Under a memory ceiling the floor drops spilled components
+        // outright instead of restoring them; the outcome must not
+        // move.
+        let spill_cfg = MppConfig {
+            max_arena_bytes: Some(1 << 30),
+            spill_watermark: 0.5,
+            spill_io: Some(Arc::new(MemSpillIo::default()) as Arc<dyn SpillIo>),
+            ..topk_cfg.clone()
+        };
+        let spilled = mpp_dfs(&seq, gap, rho, 8, spill_cfg, 2).unwrap();
+        assert_pruned_equal(&expect_topk, &spilled, "top-k dfs spill")?;
+
+        // Prefix target: emission-filtered only (the self-join needs
+        // every window), canonical order preserved.
+        let target_cfg = |spec: &TargetSpec| MppConfig {
+            prune: PruneMode::targeted(spec.clone()),
+            ..cfg.clone()
+        };
+        let prefix_codes: Vec<u8> = full
+            .frequent
+            .first()
+            .map(|f| f.pattern.codes()[..f.pattern.len().min(2)].to_vec())
+            .unwrap_or_else(|| vec![0]);
+        let prefix = TargetSpec::prefix(prefix_codes);
+        let expect_prefix: Vec<FrequentPattern> = full
+            .frequent
+            .iter()
+            .filter(|f| prefix.admits_pattern(f.pattern.codes()))
+            .cloned()
+            .collect();
+        let run = mpp(&seq, gap, rho, 8, target_cfg(&prefix)).unwrap();
+        assert_pruned_equal(&expect_prefix, &run, "prefix bfs")?;
+        let run = mpp_dfs(&seq, gap, rho, 8, target_cfg(&prefix), 2).unwrap();
+        assert_pruned_equal(&expect_prefix, &run, "prefix dfs")?;
+
+        // Symbol-set target: window-closed, so whole cones are cut —
+        // yet the mined set must still equal masking the full mine.
+        let allowed: Vec<u8> = (0u8..3).filter(|c| mask_bits >> c & 1 == 1).collect();
+        let symbols = TargetSpec::symbols(&allowed, alpha_size);
+        let expect_sym: Vec<FrequentPattern> = full
+            .frequent
+            .iter()
+            .filter(|f| symbols.admits_pattern(f.pattern.codes()))
+            .cloned()
+            .collect();
+        let run = mpp(&seq, gap, rho, 8, target_cfg(&symbols)).unwrap();
+        assert_pruned_equal(&expect_sym, &run, "symbols bfs")?;
+        let run = mpp_parallel(&seq, gap, rho, 8, target_cfg(&symbols), 3).unwrap();
+        assert_pruned_equal(&expect_sym, &run, "symbols parallel")?;
+        let run = mpp_dfs(&seq, gap, rho, 8, target_cfg(&symbols), 2).unwrap();
+        assert_pruned_equal(&expect_sym, &run, "symbols dfs")?;
+
+        // Combined: the floor only ever counts target-admitted
+        // patterns, so target-then-top-k is the composition.
+        let combined = MppConfig {
+            prune: PruneMode {
+                top_k: Some(k),
+                target: Some(symbols.clone()),
+            },
+            ..cfg.clone()
+        };
+        let expect_combined = select_top_k(&expect_sym, k);
+        let run = mpp(&seq, gap, rho, 8, combined).unwrap();
+        assert_pruned_equal(&expect_combined, &run, "combined")?;
+
+        // The multi-sequence-normalized engine honors the same
+        // contract.
+        let full_m = mppm(&seq, gap, rho, 4, cfg.clone());
+        let topk_m = mppm(
+            &seq,
+            gap,
+            rho,
+            4,
+            MppConfig {
+                prune: PruneMode::top_k(k),
+                ..cfg
+            },
+        );
+        prop_assert_eq!(full_m.is_ok(), topk_m.is_ok());
+        if let Ok(full_m) = full_m {
+            let expect_m = select_top_k(&full_m.frequent, k);
+            assert_pruned_equal(&expect_m, &topk_m.unwrap(), "top-k mppm")?;
+        }
+    }
+}
+
 // The spill differential runs three full mines per engine per case, so
 // it gets its own smaller case budget.
 proptest! {
