@@ -20,6 +20,11 @@
 //!   bench      engine perf baseline -> BENCH_mining.json (not in `all`)
 //!   topk       just the top-k pruning section of `bench`, printed as
 //!              its JSON fragment (not in `all`)
+//!   end-to-end just the end_to_end section of `bench`, printed as its
+//!              JSON fragment (not in `all`)
+//!   corpus     just the corpus_scale section of `bench` — sharded
+//!              mmap mining with a controlled mid-run kill and resume
+//!              — printed as its JSON fragment (not in `all`)
 //!   pil-repr   PIL layout section: occupancy kernel sweep + the
 //!              representation-invariance gate (not in `all`); the
 //!              optional --pil-repr MODE narrows the gate to
@@ -95,6 +100,14 @@ fn main() {
         "bench" => experiments::bench_mining::run(quick),
         "topk" => {
             let fragment = experiments::bench_mining::top_k_pruning(quick);
+            println!("{fragment}");
+        }
+        "end-to-end" => {
+            let fragment = experiments::bench_mining::end_to_end(quick);
+            println!("{fragment}");
+        }
+        "corpus" => {
+            let fragment = experiments::bench_mining::corpus_scale(quick);
             println!("{fragment}");
         }
         "pil-repr" => {

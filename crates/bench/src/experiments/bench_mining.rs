@@ -43,6 +43,13 @@
 //!    k = 100 on the full-size run). Every pruned outcome is checked
 //!    bit-identical to the post-filter oracle before its timing is
 //!    trusted.
+//! 10. **corpus scale**: the mmap-backed sharded corpus miner
+//!     ([`perigap_core::corpus::mine_corpus`]) under a DFS arena
+//!     ceiling — cold wall-clock and peak RSS (`VmHWM`), then a
+//!     controlled kill at ~50% of shards followed by a `--resume`, with
+//!     the restart delta (resume / cold wall-clock) and checkpoint
+//!     footprint; the resumed outcome is checked bit-identical to the
+//!     cold mine before any timing is trusted.
 //!
 //! The JSON is hand-rolled (the workspace carries no serde); the format
 //! is flat enough to eyeball and to parse with anything.
@@ -155,28 +162,10 @@ pub fn run(quick: bool) {
         seed_speedup
     );
 
-    println!("bench: end-to-end mpp, {THREADS} threads, L = {e2e_len}, rho = {RHO}");
+    let end_to_end = end_to_end(quick);
+    let corpus_scale = corpus_scale(quick);
     let e2e_seq = scaling_sequence(e2e_len);
     let config = MppConfig::default();
-    let (old_outcome, e2e_ref) = best_of(reps.min(2), || {
-        mpp_reference(&e2e_seq, gap, RHO, N, config.clone(), THREADS).unwrap()
-    });
-    let (new_outcome, e2e_new) = best_of(reps.min(2), || {
-        mpp_parallel(&e2e_seq, gap, RHO, N, config.clone(), THREADS).unwrap()
-    });
-    assert_eq!(
-        old_outcome.frequent.len(),
-        new_outcome.frequent.len(),
-        "engines disagree"
-    );
-    let e2e_speedup = e2e_ref.as_secs_f64() / e2e_new.as_secs_f64();
-    println!(
-        "  reference {:.1} ms | engine {:.1} ms | speedup {:.2}x | {} frequent",
-        ms(e2e_ref),
-        ms(e2e_new),
-        e2e_speedup,
-        new_outcome.frequent.len()
-    );
 
     let mut matrix = String::from("[");
     for (i, &len) in matrix_lens.iter().enumerate() {
@@ -264,24 +253,218 @@ pub fn run(quick: bool) {
     let dfs_sweep = super::pil_repr::dfs_sweep(quick);
 
     let json = format!(
-        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {{\"length\": {e2e_len}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"query_throughput\": {query_throughput},\n  \"top_k_pruning\": {top_k_pruning},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
+        "{{\n  \"config\": {{\"alphabet\": \"DNA\", \"gap\": [{}, {}], \"rho\": {RHO}, \"n\": {N}, \"threads\": {THREADS}, \"quick\": {quick}}},\n  \"seeding_level3\": {{\"length\": {seed_len}, \"patterns\": {}, \"reference_ms\": {:.3}, \"packed_ms\": {:.3}, \"speedup\": {:.3}}},\n  \"end_to_end\": {end_to_end},\n  \"corpus_scale\": {corpus_scale},\n  \"matrix\": {},\n  \"engine_comparison\": {engine_comparison},\n  \"spill\": {spill},\n  \"join_kernel\": {join_kernel},\n  \"simd_kernel\": {simd_kernel},\n  \"single_thread\": {single_thread},\n  \"query_throughput\": {query_throughput},\n  \"top_k_pruning\": {top_k_pruning},\n  \"pil_repr\": {{\"occupancy\": {pil_occupancy},\n    \"mining\": {pil_mining}}},\n  \"dfs_sweep\": {dfs_sweep},\n  \"pruning_power\": {}\n}}\n",
         GAP.0,
         GAP.1,
         packed_pils.len(),
         ms(seed_ref),
         ms(seed_new),
         seed_speedup,
-        new_outcome.frequent.len(),
-        ms(e2e_ref),
-        ms(e2e_new),
-        e2e_speedup,
-        level_json(&old_outcome),
-        level_json(&new_outcome),
         matrix,
         pruning_power
     );
     std::fs::write("BENCH_mining.json", &json).expect("write BENCH_mining.json");
     println!("bench: wrote BENCH_mining.json");
+}
+
+/// End-to-end mining on the acceptance config: `mpp_parallel` at
+/// [`THREADS`] threads (persistent pool) vs the seed per-level-spawn
+/// reference miner, per-level wall-clock from both. Returns the JSON
+/// fragment for the `end_to_end` key.
+pub fn end_to_end(quick: bool) -> String {
+    let gap = GapRequirement::new(GAP.0, GAP.1).unwrap();
+    let e2e_len = if quick { 10_000 } else { 100_000 };
+    let reps = if quick { 2 } else { 3 };
+    println!("bench: end-to-end mpp, {THREADS} threads, L = {e2e_len}, rho = {RHO}");
+    let e2e_seq = scaling_sequence(e2e_len);
+    let config = MppConfig::default();
+    let (old_outcome, e2e_ref) = best_of(reps.min(2), || {
+        mpp_reference(&e2e_seq, gap, RHO, N, config.clone(), THREADS).unwrap()
+    });
+    let (new_outcome, e2e_new) = best_of(reps.min(2), || {
+        mpp_parallel(&e2e_seq, gap, RHO, N, config.clone(), THREADS).unwrap()
+    });
+    assert_eq!(
+        old_outcome.frequent.len(),
+        new_outcome.frequent.len(),
+        "engines disagree"
+    );
+    let e2e_speedup = e2e_ref.as_secs_f64() / e2e_new.as_secs_f64();
+    println!(
+        "  reference {:.1} ms | engine {:.1} ms | speedup {:.2}x | {} frequent",
+        ms(e2e_ref),
+        ms(e2e_new),
+        e2e_speedup,
+        new_outcome.frequent.len()
+    );
+    format!(
+        "{{\"length\": {e2e_len}, \"threads\": {THREADS}, \"cpus\": {}, \"frequent\": {}, \"reference_ms\": {:.3}, \"engine_ms\": {:.3}, \"speedup\": {:.3},\n    \"reference_levels\": {},\n    \"engine_levels\": {}}}",
+        cpus(),
+        new_outcome.frequent.len(),
+        ms(e2e_ref),
+        ms(e2e_new),
+        e2e_speedup,
+        level_json(&old_outcome),
+        level_json(&new_outcome)
+    )
+}
+
+/// Hardware parallelism actually available to the run — the context
+/// that makes a `threads > cpus` speedup below 1.0 legible.
+fn cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Peak resident-set high-water mark from `/proc/self/status`, in KiB.
+/// Returns 0 where the procfs gauge is unavailable (non-Linux).
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Reset the `VmHWM` high-water mark so the next [`vm_hwm_kb`] read
+/// reflects only the work since this call. Best-effort (needs Linux).
+fn reset_vm_hwm() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Corpus-scale sharded mining: pack a multi-sequence corpus, mine it
+/// cold through the shard fan-out under a DFS arena ceiling, then
+/// replay the checkpoint story — pause at ~50% of shards, resume, and
+/// report the restart delta. Peak RSS (VmHWM) brackets each leg.
+/// Returns the JSON fragment for the `corpus_scale` key.
+pub fn corpus_scale(quick: bool) -> String {
+    use perigap_core::corpus::{
+        mine_corpus, CheckpointConfig, Corpus, CorpusMineConfig, ShardEngine,
+    };
+    use std::sync::Arc;
+
+    let gap = GapRequirement::new(GAP.0, GAP.1).unwrap();
+    let shards = if quick { 4 } else { 8 };
+    let base = if quick { 2_000 } else { 10_000 };
+    let step = if quick { 500 } else { 2_000 };
+    let threads = ENGINE_THREADS;
+
+    let seqs: Vec<(String, perigap_seq::Sequence)> = (0..shards)
+        .map(|i| (format!("shard-{i}"), scaling_sequence(base + step * i)))
+        .collect();
+    let total_symbols: usize = seqs.iter().map(|(_, s)| s.len()).sum();
+    let scratch = std::env::temp_dir().join(format!("perigap-bench-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create corpus scratch dir");
+    let path = scratch.join("bench.pgco");
+    Corpus::write(&path, &seqs).expect("pack bench corpus");
+    let corpus = Arc::new(Corpus::open(&path).expect("open bench corpus"));
+
+    // Derive the arena ceiling from the longest shard's measured
+    // unbounded peak. Under the wide acceptance gap the unspillable
+    // breadth-first levels alone need most of that peak, so the
+    // ceiling sits AT the peak: every shard completes, the zero
+    // watermark still forces real spill traffic on each DFS handoff,
+    // and the ceiling caps what any one shard may hold live.
+    let longest = seqs
+        .iter()
+        .map(|(_, s)| s)
+        .max_by_key(|s| s.len())
+        .expect("non-empty corpus");
+    let mut peak_metrics = MetricsObserver::new();
+    mpp_dfs_traced(
+        longest,
+        gap,
+        RHO,
+        N,
+        MppConfig::default(),
+        1,
+        &mut peak_metrics,
+    )
+    .expect("unbounded peak probe");
+    let unbounded_peak = peak_metrics.complete.as_ref().unwrap().peak_arena_bytes;
+    let ceiling = unbounded_peak.max(1);
+    println!(
+        "bench: corpus scale, {shards} shards / {total_symbols} symbols, {threads} threads, ceiling {ceiling} B (longest-shard peak)",
+    );
+
+    let config = |checkpoint: Option<CheckpointConfig>, threads: usize| CorpusMineConfig {
+        n: N,
+        min_sequences: 1,
+        threads,
+        engine: ShardEngine::Dfs,
+        mpp: MppConfig {
+            max_arena_bytes: Some(ceiling),
+            spill_dir: Some(scratch.join("spill")),
+            spill_watermark: 0.0,
+            ..MppConfig::default()
+        },
+        checkpoint,
+    };
+
+    reset_vm_hwm();
+    let (cold, cold_wall) = timed(|| mine_corpus(&corpus, gap, RHO, &config(None, threads)));
+    let cold = cold.expect("cold corpus mine");
+    let cold_peak_kb = vm_hwm_kb();
+    println!(
+        "  cold {:.1} ms | {} patterns | peak RSS {cold_peak_kb} KiB",
+        ms(cold_wall),
+        cold.outcome.patterns.len()
+    );
+
+    // Controlled kill at ~50% of shards: the serial leg stops exactly
+    // after `shards / 2` checkpoint commits (the CI smoke job does the
+    // same with a real SIGKILL).
+    let ckpt = scratch.join("ckpt");
+    let mut fresh = CheckpointConfig::fresh(&ckpt);
+    fresh.stop_after_shards = Some(shards / 2);
+    let (paused, pause_wall) = timed(|| mine_corpus(&corpus, gap, RHO, &config(Some(fresh), 1)));
+    let paused_shards = match paused {
+        Err(perigap_core::MineError::CorpusPaused { completed, .. }) => completed,
+        other => panic!("expected a pause, got {other:?}"),
+    };
+
+    reset_vm_hwm();
+    let (resumed, resume_wall) = timed(|| {
+        mine_corpus(
+            &corpus,
+            gap,
+            RHO,
+            &config(Some(CheckpointConfig::resume(&ckpt)), threads),
+        )
+    });
+    let resumed = resumed.expect("resumed corpus mine");
+    let resume_peak_kb = vm_hwm_kb();
+    assert_eq!(
+        resumed.outcome, cold.outcome,
+        "resumed corpus mine must be bit-identical to the cold mine"
+    );
+    let restart_delta = resume_wall.as_secs_f64() / cold_wall.as_secs_f64();
+    println!(
+        "  paused after {paused_shards} shards ({:.1} ms) | resume {:.1} ms | restart delta {restart_delta:.2} | {} ckpt records / {} B",
+        ms(pause_wall),
+        ms(resume_wall),
+        resumed.stats.checkpoint_records,
+        resumed.stats.checkpoint_bytes
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    format!(
+        "{{\"shards\": {shards}, \"total_symbols\": {total_symbols}, \"threads\": {threads}, \"cpus\": {}, \"engine\": \"dfs\", \"ceiling_bytes\": {ceiling}, \"patterns\": {}, \"cold_ms\": {:.3}, \"cold_peak_rss_kb\": {cold_peak_kb}, \"paused_shards\": {paused_shards}, \"pause_ms\": {:.3}, \"resume_ms\": {:.3}, \"restart_delta\": {restart_delta:.3}, \"resume_peak_rss_kb\": {resume_peak_kb}, \"restored_shards\": {}, \"checkpoint_records\": {}, \"checkpoint_bytes\": {}}}",
+        cpus(),
+        cold.outcome.patterns.len(),
+        ms(cold_wall),
+        ms(pause_wall),
+        ms(resume_wall),
+        resumed.stats.restored_shards,
+        resumed.stats.checkpoint_records,
+        resumed.stats.checkpoint_bytes
+    )
 }
 
 /// Engine threads for the BFS-vs-DFS comparison (the ISSUE-3

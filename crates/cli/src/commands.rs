@@ -1,17 +1,20 @@
-//! The `pgmine` subcommands: `mine`, `scan`, `stats`.
+//! The `pgmine` subcommands: `mine`, `pack`, `scan`, `stats`.
 
 use crate::args::{parse_gap, parse_rho, ArgError, Args};
 use perigap_analysis::report::TextTable;
 use perigap_core::adaptive::adaptive_mpp;
+use perigap_core::corpus::{mine_corpus, CheckpointConfig, Corpus, CorpusMineConfig, ShardEngine};
 use perigap_core::dfs::mpp_dfs_traced;
 use perigap_core::enumerate::enumerate;
 use perigap_core::mpp::{mpp_traced, MppConfig};
 use perigap_core::mppm::{mppm_dfs_traced, mppm_traced};
+use perigap_core::multiseq::{mine_collection, CollectionOutcome};
 use perigap_core::parallel::mpp_parallel_traced;
 use perigap_core::trace::{validate_trace, JsonlObserver, MetricsObserver};
 use perigap_core::verify::verify_outcome;
 use perigap_core::{
-    GapRequirement, Kernel, MineOutcome, Pattern, PilRepr, PruneMode, ReprPolicy, TargetSpec,
+    GapRequirement, Kernel, MineError, MineOutcome, Pattern, PilRepr, PruneMode, ReprPolicy,
+    TargetSpec,
 };
 use perigap_seq::fasta::read_fasta;
 use perigap_seq::oscillation::correlation_spectrum;
@@ -44,8 +47,25 @@ USAGE:
                 output-identical, performance only]
                [--kernel auto|scalar|simd  join/seed kernels; simd needs
                 AVX2 and falls back to scalar; output-identical]
+               [--closed  keep only closed patterns: drop any pattern a
+                one-longer frequent extension matches at equal support]
                [--format table|tsv] [--save <path.pgst>] [--verify]
                [--trace <path.jsonl>  mpp/mppm only] [--metrics]
+  pgmine pack  --input <fasta> --output <corpus.pgco>
+               [--alphabet dna|protein]   pack every FASTA record into
+               one mmap-ready corpus file (2-bit DNA / 5-bit protein)
+  pgmine mine  --corpus <corpus.pgco> --gap <N:M> --rho <frac|pct%>
+               mine the whole corpus, one shard per sequence
+               [--n <len>] [--min-sequences <k>  frequent in ≥ k shards]
+               [--threads <k>  shards fan out on a work-stealing pool]
+               [--engine bfs|dfs  per-shard engine]
+               [--max-arena-bytes <bytes>] [--spill-dir <dir>]
+               [--checkpoint-dir <dir>  persist each finished shard]
+               [--resume  continue from a checkpoint manifest]
+               [--stop-after-shards <n>  pause after n checkpoints]
+               [--unsharded  reference path: decode all and run the
+                collection miner in one process; rows are identical]
+               [--closed] [--format table|tsv] [--metrics] [--top <k>]
   pgmine scan  --input <fasta> --pair <XY> [--min <d>] [--max <d>]
                [--record <id>]
   pgmine stats --input <fasta>
@@ -69,6 +89,11 @@ EXAMPLES:
   pgmine mine --input genome.fa --gap 1:3 --rho 0.5% --trace run.jsonl --metrics
   pgmine mine --input genome.fa --gap 7 --rho 0.5% --algorithm mpp --top-k 100
   pgmine mine --input genome.fa --gap 1:3 --rho 0.5% --target ACG
+  pgmine pack --input genomes.fa --output genomes.pgco
+  pgmine mine --corpus genomes.pgco --gap 1:3 --rho 0.5% --threads 8 \\
+              --min-sequences 2 --checkpoint-dir ckpt
+  pgmine mine --corpus genomes.pgco --gap 1:3 --rho 0.5% --threads 8 \\
+              --min-sequences 2 --checkpoint-dir ckpt --resume
   pgmine scan --input genome.fa --pair AA --max 30
   pgmine serve --input genome.fa --gap 1:3 --rho 0.5% --addr 127.0.0.1:7071
   pgmine query --addr 127.0.0.1:7071 --json '{\"q\": \"topk\", \"k\": 10}'
@@ -111,11 +136,17 @@ pub fn run(raw: impl IntoIterator<Item = String>) -> Result<String, ArgError> {
             "timeout-ms",
             "top-k",
             "target",
+            "output",
+            "corpus",
+            "min-sequences",
+            "checkpoint-dir",
+            "stop-after-shards",
         ],
-        &["verify", "metrics"],
+        &["verify", "metrics", "resume", "closed", "unsharded"],
     )?;
     match args.positional().first().map(String::as_str) {
         Some("mine") => mine_command(&args),
+        Some("pack") => pack_command(&args),
         Some("scan") => scan_command(&args),
         Some("stats") => stats_command(&args),
         Some("show") => show_command(&args),
@@ -163,6 +194,21 @@ fn load_from_reader<R: BufRead>(
 }
 
 fn mine_command(args: &Args) -> Result<String, ArgError> {
+    if args.get("corpus").is_some() {
+        return mine_corpus_command(args);
+    }
+    for key in ["min-sequences", "checkpoint-dir", "stop-after-shards"] {
+        if args.get(key).is_some() {
+            return Err(ArgError(format!("--{key} applies to --corpus mining only")));
+        }
+    }
+    for flag in ["resume", "unsharded"] {
+        if args.flag(flag) {
+            return Err(ArgError(format!(
+                "--{flag} applies to --corpus mining only"
+            )));
+        }
+    }
     let seq = load_sequence(args)?;
     let rho = parse_rho(args.require("rho")?)?;
 
@@ -245,6 +291,14 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         return Err(ArgError(format!(
             "--top-k/--target apply to --algorithm mpp or mppm only (got {algorithm:?})"
         )));
+    }
+    let closed = args.flag("closed");
+    if closed && (top_k.is_some() || target.is_some()) {
+        return Err(ArgError(
+            "--closed needs the full frequent set to probe extensions; it does \
+             not compose with --top-k or --target"
+                .into(),
+        ));
     }
     let spill_dir = args.get("spill-dir").map(std::path::PathBuf::from);
     let spill_watermark: f64 = match args.get("spill-watermark") {
@@ -378,6 +432,21 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError(format!("trace write failed: {e}")))?;
     }
     let outcome = mined.map_err(|e| ArgError(e.to_string()))?;
+    // The closed filter is an output mode: everything downstream
+    // (save, tsv, table, verify) sees only the closed subset.
+    let (outcome, closed_dropped) = if closed {
+        let kept = outcome.closed_frequent();
+        let dropped = outcome.frequent.len() - kept.len();
+        (
+            MineOutcome {
+                frequent: kept,
+                stats: outcome.stats,
+            },
+            Some(dropped),
+        )
+    } else {
+        (outcome, None)
+    };
 
     if let Some(path) = args.get("save") {
         let file = std::fs::File::create(path)
@@ -405,6 +474,11 @@ fn mine_command(args: &Args) -> Result<String, ArgError> {
         outcome.frequent.len(),
         outcome.longest_len()
     ));
+    if let Some(dropped) = closed_dropped {
+        out.push_str(&format!(
+            "closed: dropped {dropped} patterns absorbed by an equal-support extension\n"
+        ));
+    }
     if let Some(k) = top_k {
         out.push_str(&format!(
             "top-k {k}: floor raises {}, pruned by floor {}\n",
@@ -493,9 +567,9 @@ fn mine_with_profile_command(
     spec: &str,
 ) -> Result<String, ArgError> {
     use perigap_core::profile::{mine_with_profile, GapProfile};
-    if args.get("top-k").is_some() || args.get("target").is_some() {
+    if args.get("top-k").is_some() || args.get("target").is_some() || args.flag("closed") {
         return Err(ArgError(
-            "--top-k/--target do not apply to --profile mining".into(),
+            "--top-k/--target/--closed do not apply to --profile mining".into(),
         ));
     }
     let steps = spec
@@ -528,6 +602,279 @@ fn mine_with_profile_command(
         ]);
     }
     out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `pgmine pack`: read every FASTA record and write one mmap-ready
+/// packed corpus file.
+fn pack_command(args: &Args) -> Result<String, ArgError> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let alphabet = match args.get("alphabet").unwrap_or("dna") {
+        "dna" => Alphabet::Dna,
+        "protein" => Alphabet::Protein,
+        other => return Err(ArgError(format!("unknown alphabet {other:?}"))),
+    };
+    let file =
+        std::fs::File::open(input).map_err(|e| ArgError(format!("cannot open {input:?}: {e}")))?;
+    let records = read_fasta(std::io::BufReader::new(file), &alphabet)
+        .map_err(|e| ArgError(e.to_string()))?;
+    if records.is_empty() {
+        return Err(ArgError(format!("{input:?} has no FASTA records")));
+    }
+    let seqs: Vec<(String, Sequence)> = records.into_iter().map(|r| (r.id, r.sequence)).collect();
+    let hash =
+        Corpus::write(std::path::Path::new(output), &seqs).map_err(|e| ArgError(e.to_string()))?;
+    let symbols: usize = seqs.iter().map(|(_, s)| s.len()).sum();
+    let bytes = std::fs::metadata(output)
+        .map(|m| m.len())
+        .unwrap_or_default();
+    Ok(format!(
+        "packed {} sequences ({} symbols) into {output}: {bytes} bytes, hash {hash:#018x}\n",
+        seqs.len(),
+        symbols
+    ))
+}
+
+/// `pgmine mine --corpus`: sharded corpus mining with optional
+/// checkpoint/resume, or the `--unsharded` reference path through the
+/// in-process collection miner. Both print identical rows.
+fn mine_corpus_command(args: &Args) -> Result<String, ArgError> {
+    if args.get("input").is_some() {
+        return Err(ArgError(
+            "--corpus and --input are exclusive: a corpus mine reads the packed file".into(),
+        ));
+    }
+    for key in [
+        "algorithm",
+        "m",
+        "profile",
+        "top-k",
+        "target",
+        "save",
+        "trace",
+    ] {
+        if args.get(key).is_some() {
+            return Err(ArgError(format!(
+                "--{key} does not apply to --corpus mining"
+            )));
+        }
+    }
+    let rho = parse_rho(args.require("rho")?)?;
+    let (lo, hi) = parse_gap(args.require("gap")?)?;
+    let gap = GapRequirement::new(lo, hi).map_err(|e| ArgError(e.to_string()))?;
+    let n: usize = args.parse_or("n", 10)?;
+    let min_sequences: usize = args.parse_or("min-sequences", 1)?;
+    let threads: usize = args.parse_or("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    let engine = match args.get("engine").unwrap_or("bfs") {
+        "bfs" => ShardEngine::Bfs,
+        "dfs" => ShardEngine::Dfs,
+        other => return Err(ArgError(format!("unknown engine {other:?} (bfs|dfs)"))),
+    };
+    let max_arena_bytes: Option<usize> = match args.get("max-arena-bytes") {
+        Some(raw) => {
+            let v: usize = raw
+                .parse()
+                .map_err(|_| ArgError(format!("bad --max-arena-bytes {raw:?}")))?;
+            if v == 0 {
+                return Err(ArgError("--max-arena-bytes must be at least 1".into()));
+            }
+            Some(v)
+        }
+        None => None,
+    };
+    let spill_dir = args.get("spill-dir").map(std::path::PathBuf::from);
+    if spill_dir.is_some() {
+        if max_arena_bytes.is_none() {
+            return Err(ArgError(
+                "--spill-dir needs --max-arena-bytes: without a ceiling there \
+                 is nothing to spill under"
+                    .into(),
+            ));
+        }
+        if engine != ShardEngine::Dfs {
+            return Err(ArgError(
+                "--spill-dir applies to --engine dfs only: the BFS engine \
+                 aborts at the ceiling"
+                    .into(),
+            ));
+        }
+    }
+    let checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
+    if args.flag("resume") && checkpoint_dir.is_none() {
+        return Err(ArgError(
+            "--resume needs --checkpoint-dir to know where the manifest lives".into(),
+        ));
+    }
+    let stop_after_shards: Option<usize> = match args.get("stop-after-shards") {
+        Some(raw) => {
+            if checkpoint_dir.is_none() {
+                return Err(ArgError(
+                    "--stop-after-shards needs --checkpoint-dir: a pause without \
+                     checkpoints would just lose work"
+                        .into(),
+                ));
+            }
+            Some(
+                raw.parse()
+                    .map_err(|_| ArgError(format!("bad --stop-after-shards {raw:?}")))?,
+            )
+        }
+        None => None,
+    };
+    let unsharded = args.flag("unsharded");
+    if unsharded && (checkpoint_dir.is_some() || args.flag("resume")) {
+        return Err(ArgError(
+            "--unsharded is the one-process reference path; it does not checkpoint".into(),
+        ));
+    }
+    let closed = args.flag("closed");
+    let want_metrics = args.flag("metrics");
+    if want_metrics && args.get("format") == Some("tsv") {
+        return Err(ArgError(
+            "--metrics would corrupt --format tsv output; drop one of them".into(),
+        ));
+    }
+
+    let path = std::path::Path::new(args.get("corpus").expect("dispatch checked"));
+    let corpus = Corpus::open(path).map_err(|e| ArgError(e.to_string()))?;
+    let alphabet = corpus.alphabet().clone();
+    let mpp_config = MppConfig {
+        max_arena_bytes,
+        spill_dir,
+        ..MppConfig::default()
+    };
+
+    let (outcome, stats) = if unsharded {
+        let seqs = (0..corpus.len())
+            .map(|j| corpus.sequence(j))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| ArgError(e.to_string()))?;
+        let outcome = mine_collection(&seqs, gap, rho, min_sequences, n, mpp_config)
+            .map_err(|e| ArgError(e.to_string()))?;
+        (outcome, None)
+    } else {
+        let corpus = std::sync::Arc::new(corpus);
+        let config = CorpusMineConfig {
+            n,
+            min_sequences,
+            threads,
+            engine,
+            mpp: mpp_config,
+            checkpoint: checkpoint_dir.map(|dir| CheckpointConfig {
+                dir,
+                resume: args.flag("resume"),
+                stop_after_shards,
+            }),
+        };
+        match mine_corpus(&corpus, gap, rho, &config) {
+            Ok(out) => (out.outcome, Some(out.stats)),
+            // A requested pause is a successful exit, not a failure:
+            // the checkpoints are durable and --resume picks them up.
+            Err(MineError::CorpusPaused { completed, total }) => {
+                return Ok(format!(
+                    "corpus mine paused after {completed} of {total} shards; \
+                     rerun with --resume to finish\n"
+                ))
+            }
+            Err(e) => return Err(ArgError(e.to_string())),
+        }
+    };
+
+    render_collection(
+        &outcome,
+        &alphabet,
+        gap,
+        rho,
+        closed,
+        args.parse_or("top", 25)?,
+        args.get("format") == Some("tsv"),
+        want_metrics.then_some(stats).flatten(),
+    )
+}
+
+/// Render a collection outcome — shared by the sharded and
+/// `--unsharded` corpus paths so their rows are byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn render_collection(
+    outcome: &CollectionOutcome,
+    alphabet: &Alphabet,
+    gap: GapRequirement,
+    rho: f64,
+    closed: bool,
+    top: usize,
+    tsv: bool,
+    stats: Option<perigap_core::CorpusStats>,
+) -> Result<String, ArgError> {
+    let total = outcome.patterns.len();
+    let rows = if closed {
+        outcome.closed_patterns()
+    } else {
+        outcome.patterns.clone()
+    };
+    if tsv {
+        let mut out = String::from("pattern\tlength\tsequences\ttotal_support\n");
+        for p in &rows {
+            let support: u128 = p.supports.iter().sum();
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\n",
+                p.pattern.display(alphabet),
+                p.pattern.len(),
+                p.frequent_in.len(),
+                support
+            ));
+        }
+        return Ok(out);
+    }
+    let mut out = format!(
+        "corpus mine: gap {gap}; rho {:.6}%; {total} collection-frequent patterns\n",
+        rho * 100.0
+    );
+    if closed {
+        out.push_str(&format!(
+            "closed: dropped {} patterns absorbed by an equal-support extension\n",
+            total - rows.len()
+        ));
+    }
+    if let Some(stats) = &stats {
+        out.push_str(&format!(
+            "shards: {} total, {} mined, {} restored; longest {} symbols\n",
+            stats.shards, stats.mined_shards, stats.restored_shards, stats.longest_shard
+        ));
+        if stats.checkpoint_records > 0 {
+            out.push_str(&format!(
+                "checkpoints: {} records, {} bytes\n",
+                stats.checkpoint_records, stats.checkpoint_bytes
+            ));
+        }
+        out.push_str(&format!("corpus hash: {:#018x}\n", stats.corpus_hash));
+    }
+    out.push('\n');
+    let mut table = TextTable::new(&["pattern", "len", "seqs", "total support"]);
+    let mut view: Vec<_> = rows.iter().collect();
+    view.sort_by(|a, b| {
+        b.pattern
+            .len()
+            .cmp(&a.pattern.len())
+            .then(b.frequent_in.len().cmp(&a.frequent_in.len()))
+            .then(a.pattern.codes().cmp(b.pattern.codes()))
+    });
+    for p in view.iter().take(top) {
+        let support: u128 = p.supports.iter().sum();
+        table.row(&[
+            p.pattern.display(alphabet),
+            p.pattern.len().to_string(),
+            p.frequent_in.len().to_string(),
+            support.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    if rows.len() > top {
+        out.push_str(&format!("… {} more (raise --top)\n", rows.len() - top));
+    }
     Ok(out)
 }
 
@@ -1597,5 +1944,214 @@ mod tests {
             "5".into(),
         ]);
         assert!(run_words(&c).is_err());
+    }
+
+    /// Temp directory with recursive cleanup — checkpoint dirs hold
+    /// several files, so the single-file TempPath is not enough.
+    struct TempDir(std::path::PathBuf);
+    impl TempDir {
+        fn new(label: &str) -> Self {
+            let mut path = std::env::temp_dir();
+            path.push(format!(
+                "pgmine-cli-{label}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&path);
+            std::fs::create_dir_all(&path).expect("create temp dir");
+            TempDir(path)
+        }
+        fn join(&self, name: &str) -> String {
+            self.0.join(name).to_str().expect("utf-8").to_string()
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn pack_demo_corpus(dir: &TempDir) -> String {
+        let fasta = format!(
+            ">s0\n{}\n>s1\n{}\n>s2\n{}\n",
+            "ACGTT".repeat(30),
+            "ACGTT".repeat(40),
+            "ACGTT".repeat(50)
+        );
+        let f = fasta_file(&fasta);
+        let corpus = dir.join("demo.pgco");
+        let out = run_words(&[
+            "pack".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--output".into(),
+            corpus.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("packed 3 sequences"), "{out}");
+        assert!(out.contains("hash 0x"), "{out}");
+        corpus
+    }
+
+    fn corpus_mine_words(corpus: &str, extra: &[&str]) -> Vec<String> {
+        let mut words: Vec<String> = vec![
+            "mine".into(),
+            "--corpus".into(),
+            corpus.into(),
+            "--gap".into(),
+            "1:3".into(),
+            "--rho".into(),
+            "0.5%".into(),
+            "--min-sequences".into(),
+            "2".into(),
+        ];
+        words.extend(extra.iter().map(|s| s.to_string()));
+        words
+    }
+
+    #[test]
+    fn pack_rejects_bad_inputs() {
+        let dir = TempDir::new("pack-bad");
+        let empty = fasta_file("");
+        assert!(run_words(&[
+            "pack".into(),
+            "--input".into(),
+            empty.as_str().into(),
+            "--output".into(),
+            dir.join("x.pgco"),
+        ])
+        .is_err());
+        let f = fasta_file(">s\nACGT\n");
+        assert!(run_words(&[
+            "pack".into(),
+            "--input".into(),
+            f.as_str().into(),
+            "--output".into(),
+            dir.join("x.pgco"),
+            "--alphabet".into(),
+            "klingon".into(),
+        ])
+        .is_err());
+        assert!(run_words(&["pack".into(), "--input".into(), f.as_str().into()]).is_err());
+    }
+
+    #[test]
+    fn corpus_mine_end_to_end_matches_unsharded() {
+        let dir = TempDir::new("corpus-e2e");
+        let corpus = pack_demo_corpus(&dir);
+        let sharded = run_words(&corpus_mine_words(&corpus, &[])).unwrap();
+        assert!(sharded.contains("collection-frequent"), "{sharded}");
+        let threaded = run_words(&corpus_mine_words(&corpus, &["--threads", "3"])).unwrap();
+        let unsharded = run_words(&corpus_mine_words(&corpus, &["--unsharded"])).unwrap();
+        assert_eq!(sharded, threaded, "thread count must not change output");
+        assert_eq!(
+            sharded, unsharded,
+            "sharded and reference paths must render identical rows"
+        );
+        let tsv = run_words(&corpus_mine_words(&corpus, &["--format", "tsv"])).unwrap();
+        assert!(
+            tsv.starts_with("pattern\tlength\tsequences\ttotal_support"),
+            "{tsv}"
+        );
+    }
+
+    #[test]
+    fn corpus_pause_and_resume_through_cli() {
+        let dir = TempDir::new("corpus-resume");
+        let corpus = pack_demo_corpus(&dir);
+        let ckpt = dir.join("ckpt");
+        let cold = run_words(&corpus_mine_words(&corpus, &[])).unwrap();
+        let paused = run_words(&corpus_mine_words(
+            &corpus,
+            &["--checkpoint-dir", &ckpt, "--stop-after-shards", "1"],
+        ))
+        .unwrap();
+        assert!(paused.contains("paused after 1 of 3 shards"), "{paused}");
+        assert!(paused.contains("--resume"), "{paused}");
+        let resumed = run_words(&corpus_mine_words(
+            &corpus,
+            &["--checkpoint-dir", &ckpt, "--resume"],
+        ))
+        .unwrap();
+        assert_eq!(cold, resumed, "resumed mine must render the cold rows");
+        let metrics = run_words(&corpus_mine_words(
+            &corpus,
+            &["--checkpoint-dir", &ckpt, "--resume", "--metrics"],
+        ))
+        .unwrap();
+        assert!(metrics.contains("3 restored"), "{metrics}");
+        assert!(metrics.contains("corpus hash: 0x"), "{metrics}");
+    }
+
+    #[test]
+    fn corpus_closed_mode_reports_drops() {
+        let dir = TempDir::new("corpus-closed");
+        let corpus = pack_demo_corpus(&dir);
+        let open = run_words(&corpus_mine_words(&corpus, &[])).unwrap();
+        let closed = run_words(&corpus_mine_words(&corpus, &["--closed"])).unwrap();
+        assert!(
+            closed.contains("absorbed by an equal-support extension"),
+            "{closed}"
+        );
+        let count = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("collection-frequent"))
+                .map(|l| l.to_string())
+        };
+        assert_eq!(
+            count(&open),
+            count(&closed),
+            "closed filters rows, not the mined total"
+        );
+    }
+
+    #[test]
+    fn corpus_flag_gating() {
+        let dir = TempDir::new("corpus-gate");
+        let corpus = pack_demo_corpus(&dir);
+        let cases: &[&[&str]] = &[
+            &["--resume"],
+            &["--stop-after-shards", "1"],
+            &["--checkpoint-dir", "/tmp/x", "--unsharded"],
+            &["--top-k", "3"],
+            &["--algorithm", "mpp"],
+            &["--engine", "zigzag"],
+            &["--threads", "0"],
+            &["--spill-dir", "/tmp/x"],
+            &["--max-arena-bytes", "4096", "--spill-dir", "/tmp/x"],
+        ];
+        for extra in cases {
+            assert!(
+                run_words(&corpus_mine_words(&corpus, extra)).is_err(),
+                "expected rejection for {extra:?}"
+            );
+        }
+        // Corpus-only options are rejected on the single-sequence path.
+        let f = fasta_file(&format!(">s\n{}\n", "ACGTT".repeat(30)));
+        for extra in [
+            vec!["--min-sequences", "2"],
+            vec!["--unsharded"],
+            vec!["--resume"],
+            vec!["--checkpoint-dir", "/tmp/x"],
+        ] {
+            let mut words: Vec<String> = vec![
+                "mine".into(),
+                "--input".into(),
+                f.as_str().into(),
+                "--gap".into(),
+                "1:3".into(),
+                "--rho".into(),
+                "0.5%".into(),
+            ];
+            words.extend(extra.iter().map(|s| s.to_string()));
+            assert!(
+                run_words(&words).is_err(),
+                "expected rejection for {extra:?}"
+            );
+        }
+        // --corpus and --input are exclusive.
+        let mut both = corpus_mine_words(&corpus, &[]);
+        both.extend(["--input".into(), f.as_str().to_string()]);
+        assert!(run_words(&both).is_err());
     }
 }

@@ -60,6 +60,45 @@ pub enum MineError {
         /// What went wrong (I/O error text or corruption description).
         message: String,
     },
+    /// A packed corpus file could not be written, opened, or decoded —
+    /// I/O failure, bad magic/version, a directory entry pointing
+    /// outside the file, or a trailing-hash mismatch. The corpus is
+    /// refused whole rather than mined partially.
+    CorpusIo {
+        /// What went wrong.
+        message: String,
+    },
+    /// A checkpoint artifact (per-shard record or the manifest) failed
+    /// to read, write, or decode — truncation, bit flips, a missing
+    /// record the manifest claims is complete. The mine aborts; it
+    /// never merges state it cannot verify.
+    CheckpointIo {
+        /// The shard record involved (`u64::MAX` for the manifest).
+        record: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// A structurally valid checkpoint manifest describes a different
+    /// run — another corpus (hash mismatch) or other mining
+    /// parameters. Resuming would merge incomparable shard results, so
+    /// the mine refuses instead.
+    CheckpointMismatch {
+        /// Which recorded field disagrees.
+        field: &'static str,
+        /// The value the manifest recorded.
+        manifest: String,
+        /// The value this run was invoked with.
+        requested: String,
+    },
+    /// A checkpointed corpus mine stopped early on purpose (the
+    /// `stop_after_shards` knob — the deterministic stand-in for a
+    /// mid-run kill). Completed shards are durable; resume to finish.
+    CorpusPaused {
+        /// Shards checkpointed so far.
+        completed: usize,
+        /// Total shards in the corpus.
+        total: usize,
+    },
 }
 
 impl fmt::Display for MineError {
@@ -95,6 +134,28 @@ impl fmt::Display for MineError {
             MineError::SpillIo { record, message } => {
                 write!(f, "spill record {record} failed: {message}")
             }
+            MineError::CorpusIo { message } => {
+                write!(f, "corpus file rejected: {message}")
+            }
+            MineError::CheckpointIo { record, message } => {
+                if *record == u64::MAX {
+                    write!(f, "checkpoint manifest failed: {message}")
+                } else {
+                    write!(f, "checkpoint record for shard {record} failed: {message}")
+                }
+            }
+            MineError::CheckpointMismatch {
+                field,
+                manifest,
+                requested,
+            } => write!(
+                f,
+                "checkpoint manifest is from a different run: {field} was {manifest}, this run has {requested}"
+            ),
+            MineError::CorpusPaused { completed, total } => write!(
+                f,
+                "corpus mine paused after {completed} of {total} shards (checkpoints are durable; resume to finish)"
+            ),
         }
     }
 }
@@ -145,5 +206,41 @@ mod tests {
             spill.contains("record 3") && spill.contains("checksum mismatch"),
             "{spill}"
         );
+        assert!(MineError::CorpusIo {
+            message: "bad magic".into()
+        }
+        .to_string()
+        .contains("corpus file rejected: bad magic"));
+        let ckpt = MineError::CheckpointIo {
+            record: 5,
+            message: "truncated".into(),
+        }
+        .to_string();
+        assert!(
+            ckpt.contains("shard 5") && ckpt.contains("truncated"),
+            "{ckpt}"
+        );
+        assert!(MineError::CheckpointIo {
+            record: u64::MAX,
+            message: "bit flip".into()
+        }
+        .to_string()
+        .contains("manifest failed: bit flip"));
+        let mismatch = MineError::CheckpointMismatch {
+            field: "corpus hash",
+            manifest: "0xaaaa".into(),
+            requested: "0xbbbb".into(),
+        }
+        .to_string();
+        assert!(
+            mismatch.contains("corpus hash") && mismatch.contains("0xbbbb"),
+            "{mismatch}"
+        );
+        let paused = MineError::CorpusPaused {
+            completed: 2,
+            total: 5,
+        }
+        .to_string();
+        assert!(paused.contains("2 of 5"), "{paused}");
     }
 }

@@ -40,6 +40,7 @@
 pub mod adaptive;
 pub(crate) mod arena;
 pub mod asynchronous;
+pub mod corpus;
 pub mod counts;
 pub mod dfs;
 pub mod em;
@@ -67,6 +68,9 @@ pub mod verify;
 pub mod windowed;
 
 pub use adaptive::{repr_stats, PilRepr, ReprPolicy, ReprStats};
+pub use corpus::{
+    mine_corpus, CheckpointConfig, Corpus, CorpusMineConfig, CorpusOutcome, ShardEngine,
+};
 pub use counts::OffsetCounts;
 pub use error::MineError;
 pub use gap::GapRequirement;
@@ -74,4 +78,4 @@ pub use kernel::{Kernel, ResolvedKernel};
 pub use pattern::Pattern;
 pub use pil::{DensePil, JoinCounters, Pil};
 pub use prune::{select_top_k, PruneMode, TargetSpec};
-pub use result::{FrequentPattern, MineOutcome, MineStats};
+pub use result::{CorpusStats, FrequentPattern, MineOutcome, MineStats};

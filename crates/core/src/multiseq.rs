@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// One collection-frequent pattern with its per-sequence evidence.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CollectionPattern {
     /// The pattern.
     pub pattern: Pattern,
@@ -49,7 +49,7 @@ impl CollectionPattern {
 }
 
 /// Result of a collection mining run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CollectionOutcome {
     /// Collection-frequent patterns, sorted by length then codes.
     pub patterns: Vec<CollectionPattern>,
@@ -69,6 +69,38 @@ impl CollectionOutcome {
     pub fn get(&self, pattern: &Pattern) -> Option<&CollectionPattern> {
         self.patterns.iter().find(|p| &p.pattern == pattern)
     }
+
+    /// The closed subset of the collection-frequent patterns, in the
+    /// original order. The collection analogue of
+    /// [`crate::result::MineOutcome::closed_frequent`]: a pattern is
+    /// dropped iff some collection-frequent pattern one symbol longer
+    /// extends it (as prefix or suffix) with an **identical**
+    /// per-sequence support vector — the shorter pattern then carries
+    /// no evidence of its own in any sequence.
+    pub fn closed_patterns(&self) -> Vec<CollectionPattern> {
+        let by_codes: HashMap<&[u8], &[u128]> = self
+            .patterns
+            .iter()
+            .map(|p| (p.pattern.codes(), p.supports.as_slice()))
+            .collect();
+        let mut dropped = std::collections::HashSet::new();
+        for p in &self.patterns {
+            let codes = p.pattern.codes();
+            if codes.len() < 2 {
+                continue;
+            }
+            for sub in [&codes[..codes.len() - 1], &codes[1..]] {
+                if by_codes.get(sub) == Some(&p.supports.as_slice()) {
+                    dropped.insert(sub.to_vec());
+                }
+            }
+        }
+        self.patterns
+            .iter()
+            .filter(|p| !dropped.contains(p.pattern.codes()))
+            .cloned()
+            .collect()
+    }
 }
 
 /// Mine patterns frequent (ratio ≥ `rho`) in at least `min_sequences`
@@ -76,6 +108,15 @@ impl CollectionOutcome {
 ///
 /// All sequences must share one alphabet. Sequences too short to hold a
 /// start-level pattern simply never vote.
+///
+/// Each sequence's verdicts are independent of the rest of the
+/// collection: a pattern is reported frequent in sequence `j` exactly
+/// when a standalone mine of `j` (same `gap`, `rho`, `n`, config)
+/// would report it, so with `min_sequences == 1` the result is the
+/// union of the per-sequence runs and with `min_sequences ==
+/// sequences.len()` their intersection. This is also what makes
+/// [`crate::corpus::mine_corpus`]'s shard-at-a-time fan-out merge
+/// bit-identically with this function.
 pub fn mine_collection(
     sequences: &[Sequence],
     gap: GapRequirement,
@@ -156,8 +197,19 @@ pub fn mine_collection_traced<O: MineObserver>(
         .min(counts.iter().map(|c| c.l2()).max().unwrap_or(start));
 
     // Seed: per-sequence level-3 PILs, unioned across sequences.
-    // current[pattern][j] = PIL of pattern in sequence j (possibly empty).
-    let mut current: HashMap<Pattern, Vec<Pil>> = HashMap::new();
+    // current[pattern] = (PIL per sequence, alive flag per sequence).
+    //
+    // The alive flags keep each sequence's verdicts independent of the
+    // rest of the collection: sequence `j`'s line for a pattern dies
+    // the first time `j`'s own bound rejects it — exactly as a
+    // standalone mine of `j` would prune it — even when another
+    // sequence's vote keeps the joint pattern on the frontier. Without
+    // them a deep pattern could be "resurrected" for `j` at a level
+    // its own ancestors never survived (the per-level threshold
+    // `ρ·N_l` falls with `l`, so support anti-monotonicity does not
+    // protect us), and membership of `frequent_in` would depend on
+    // which other sequences happen to share the corpus.
+    let mut current: HashMap<Pattern, (Vec<Pil>, Vec<bool>)> = HashMap::new();
     for (j, seq) in sequences.iter().enumerate() {
         if seq.len() < gap.min_span(start) {
             continue;
@@ -165,7 +217,13 @@ pub fn mine_collection_traced<O: MineObserver>(
         for (pattern, pil) in Pil::build_all(seq, gap, start) {
             current
                 .entry(pattern)
-                .or_insert_with(|| vec![Pil::new(); sequences.len()])[j] = pil;
+                .or_insert_with(|| {
+                    (
+                        vec![Pil::new(); sequences.len()],
+                        vec![true; sequences.len()],
+                    )
+                })
+                .0[j] = pil;
         }
     }
 
@@ -193,12 +251,16 @@ pub fn mine_collection_traced<O: MineObserver>(
             .collect();
 
         let evaluated = current.len();
-        let mut kept: Vec<(Pattern, Vec<Pil>)> = Vec::new();
+        let mut kept: Vec<(Pattern, Vec<Pil>, Vec<bool>)> = Vec::new();
         let mut frequent_here = 0usize;
-        for (pattern, pils) in current.drain() {
+        for (pattern, (pils, alive)) in current.drain() {
             let mut frequent_in = Vec::new();
             let mut votes = 0usize;
+            let mut alive_next = vec![false; pils.len()];
             for (j, pil) in pils.iter().enumerate() {
+                if !alive[j] {
+                    continue;
+                }
                 let sup = pil.support();
                 if counts[j].n(level).is_zero() {
                     continue;
@@ -208,6 +270,7 @@ pub fn mine_collection_traced<O: MineObserver>(
                 }
                 if lhat_bounds[j].admits_u128(sup) {
                     votes += 1;
+                    alive_next[j] = true;
                 }
             }
             if frequent_in.len() >= min_sequences {
@@ -219,7 +282,7 @@ pub fn mine_collection_traced<O: MineObserver>(
                 frequent_here += 1;
             }
             if votes >= min_sequences {
-                kept.push((pattern, pils));
+                kept.push((pattern, pils, alive_next));
             }
         }
         let emit_level = |observer: &mut O, join_elapsed: Duration, elapsed: Duration| {
@@ -251,25 +314,31 @@ pub fn mine_collection_traced<O: MineObserver>(
         // Join per the single-sequence engine, sequence by sequence.
         let join_started = Instant::now();
         let mut by_prefix: HashMap<&[u8], Vec<usize>> = HashMap::new();
-        for (idx, (pattern, _)) in kept.iter().enumerate() {
+        for (idx, (pattern, _, _)) in kept.iter().enumerate() {
             by_prefix
                 .entry(&pattern.codes()[..pattern.len() - 1])
                 .or_default()
                 .push(idx);
         }
-        let mut next: HashMap<Pattern, Vec<Pil>> = HashMap::new();
-        for (p1, pils1) in &kept {
+        let mut next: HashMap<Pattern, (Vec<Pil>, Vec<bool>)> = HashMap::new();
+        for (p1, pils1, alive1) in &kept {
             if let Some(partners) = by_prefix.get(&p1.codes()[1..]) {
                 for &idx in partners {
-                    let (p2, pils2) = &kept[idx];
+                    let (p2, pils2, alive2) = &kept[idx];
                     let candidate = p1.join(p2).expect("overlap holds by construction");
                     let joined: Vec<Pil> = pils1
                         .iter()
                         .zip(pils2)
                         .map(|(a, b)| Pil::join(a, b, gap))
                         .collect();
+                    // A sequence's line survives the join only where it
+                    // kept BOTH parents — the same condition a
+                    // standalone mine of that sequence needs to form
+                    // the candidate at all.
+                    let alive: Vec<bool> =
+                        alive1.iter().zip(alive2).map(|(&a, &b)| a && b).collect();
                     if joined.iter().any(|p| !p.is_empty()) {
-                        next.insert(candidate, joined);
+                        next.insert(candidate, (joined, alive));
                     }
                 }
             }
@@ -429,6 +498,46 @@ mod tests {
             .patterns
             .is_empty());
         assert!(mine_collection(&seqs, g, 0.0, 1, 5, MppConfig::default()).is_err());
+    }
+
+    /// Differential oracle for the collection closed filter: the
+    /// hash-probe implementation must agree with the obvious O(n²)
+    /// scan over the full collection-frequent set.
+    #[test]
+    fn closed_patterns_match_naive_scan() {
+        let seqs = vec![
+            Sequence::dna(&"ACGTT".repeat(50)).unwrap(),
+            Sequence::dna(&"ACGTT".repeat(40)).unwrap(),
+            Sequence::dna(&"ATGTT".repeat(45)).unwrap(),
+        ];
+        let g = gap(1, 3);
+        let collection = mine_collection(&seqs, g, 0.005, 2, 10, MppConfig::default()).unwrap();
+        assert!(
+            collection.patterns.len() > 10,
+            "fixture must mine a non-trivial set"
+        );
+
+        let naive: Vec<&CollectionPattern> = collection
+            .patterns
+            .iter()
+            .filter(|p| {
+                !collection.patterns.iter().any(|q| {
+                    q.pattern.len() == p.pattern.len() + 1
+                        && q.supports == p.supports
+                        && (p.pattern.is_prefix_of(&q.pattern)
+                            || q.pattern.codes()[1..] == *p.pattern.codes())
+                })
+            })
+            .collect();
+        let fast = collection.closed_patterns();
+        assert!(
+            fast.len() < collection.patterns.len(),
+            "filter must bite on a repeat-heavy fixture"
+        );
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(naive) {
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

@@ -149,6 +149,63 @@ impl MineOutcome {
         self.frequent
             .sort_by(|a, b| (a.len(), a.pattern.codes()).cmp(&(b.len(), b.pattern.codes())));
     }
+
+    /// The closed subset of the frequent patterns, in the original
+    /// order: a pattern is dropped iff some frequent pattern one
+    /// symbol longer extends it (as prefix or suffix) with **equal**
+    /// support, making the shorter pattern pure redundancy. Supports
+    /// are not anti-monotone under flexible gaps, so this is a
+    /// post-filter over the emitted set, never a search-side prune.
+    pub fn closed_frequent(&self) -> Vec<FrequentPattern> {
+        let by_codes: std::collections::HashMap<&[u8], u128> = self
+            .frequent
+            .iter()
+            .map(|f| (f.pattern.codes(), f.support))
+            .collect();
+        let mut dropped = std::collections::HashSet::new();
+        for f in &self.frequent {
+            let codes = f.pattern.codes();
+            if codes.len() < 2 {
+                continue;
+            }
+            for sub in [&codes[..codes.len() - 1], &codes[1..]] {
+                if by_codes.get(sub) == Some(&f.support) {
+                    dropped.insert(sub.to_vec());
+                }
+            }
+        }
+        self.frequent
+            .iter()
+            .filter(|f| !dropped.contains(f.pattern.codes()))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Run-wide statistics of a sharded corpus mine (see
+/// [`crate::corpus::mine_corpus`]). All counters are deterministic for
+/// a given corpus + config + checkpoint state; which shards count as
+/// `restored_shards` vs `mined_shards` depends on what the resumed
+/// checkpoint directory already held.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Shards (sequences) in the corpus.
+    pub shards: usize,
+    /// Shards mined fresh this run.
+    pub mined_shards: usize,
+    /// Shards restored from checkpoint records instead of mined.
+    pub restored_shards: usize,
+    /// Checkpoint records written this run (0 when checkpointing is
+    /// off).
+    pub checkpoint_records: u64,
+    /// Serialized bytes written across those records (manifest
+    /// rewrites excluded).
+    pub checkpoint_bytes: u64,
+    /// Length in symbols of the longest shard — the straggler the
+    /// longest-first schedule front-loads.
+    pub longest_shard: usize,
+    /// The corpus file's trailing FNV-1a hash (what the manifest pins).
+    pub corpus_hash: u64,
 }
 
 #[cfg(test)]
@@ -207,5 +264,62 @@ mod tests {
         let outcome = MineOutcome::default();
         assert_eq!(outcome.longest_len(), 0);
         assert_eq!(outcome.stats.total_candidates(), 0);
+    }
+
+    #[test]
+    fn closed_filter_drops_absorbed_patterns() {
+        // [0,1] extends to [0,1,2] at equal support -> dropped;
+        // [1,2] is the suffix of [0,1,2] at equal support -> dropped;
+        // [2,3] has a frequent extension but at lower support -> kept.
+        let outcome = MineOutcome {
+            frequent: vec![
+                fp(&[0, 1], 10),
+                fp(&[1, 2], 10),
+                fp(&[2, 3], 12),
+                fp(&[0, 1, 2], 10),
+                fp(&[2, 3, 0], 7),
+            ],
+            stats: MineStats::default(),
+        };
+        let closed = outcome.closed_frequent();
+        let codes: Vec<&[u8]> = closed.iter().map(|f| f.pattern.codes()).collect();
+        assert_eq!(codes, vec![&[2u8, 3][..], &[0, 1, 2][..], &[2, 3, 0][..]]);
+    }
+
+    /// Differential oracle: the production hash-probe filter must agree
+    /// with the obvious O(n²) scan over the full frequent set of a
+    /// real mine.
+    #[test]
+    fn closed_filter_matches_naive_scan_on_mined_output() {
+        use crate::gap::GapRequirement;
+        use crate::mpp::{mpp, MppConfig};
+        use perigap_seq::Sequence;
+
+        let seq = Sequence::dna(&"ACGTT".repeat(60)).unwrap();
+        let gap = GapRequirement::new(1, 3).unwrap();
+        let outcome = mpp(&seq, gap, 0.005, 10, MppConfig::default()).unwrap();
+        assert!(
+            outcome.frequent.len() > 10,
+            "fixture must mine a non-trivial set"
+        );
+
+        let naive: Vec<&FrequentPattern> = outcome
+            .frequent
+            .iter()
+            .filter(|p| {
+                !outcome.frequent.iter().any(|q| {
+                    q.len() == p.len() + 1
+                        && q.support == p.support
+                        && (p.pattern.is_prefix_of(&q.pattern)
+                            || q.pattern.codes()[1..] == *p.pattern.codes())
+                })
+            })
+            .collect();
+        let fast = outcome.closed_frequent();
+        assert!(fast.len() < outcome.frequent.len(), "filter must bite");
+        assert_eq!(fast.len(), naive.len());
+        for (a, b) in fast.iter().zip(naive) {
+            assert_eq!(a, b);
+        }
     }
 }

@@ -52,7 +52,10 @@ const TAG_SPILL: u8 = 3;
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// FNV-1a over `bytes` — the digest every PGST-framed record in this
+/// crate trails with (spill records here, corpus checkpoint records and
+/// manifests in [`crate::corpus`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut state = FNV_OFFSET;
     for &b in bytes {
         state ^= b as u64;
@@ -217,16 +220,24 @@ pub(crate) fn encode_record(record: u64, set: &PilSet, members: &[usize]) -> Vec
 }
 
 /// A cursor over record bytes that turns every overrun into a typed
-/// truncation error.
-struct Take<'a> {
+/// truncation error. The error constructor is injected so spill
+/// records report [`MineError::SpillIo`] while corpus checkpoint
+/// records (see [`crate::corpus`]) report their own variant from the
+/// same cursor.
+pub(crate) struct Take<'a> {
     bytes: &'a [u8],
     record: u64,
+    err: fn(u64, String) -> MineError,
 }
 
 impl<'a> Take<'a> {
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], MineError> {
+    pub(crate) fn new(bytes: &'a [u8], record: u64, err: fn(u64, String) -> MineError) -> Take<'a> {
+        Take { bytes, record, err }
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], MineError> {
         if self.bytes.len() < n {
-            return Err(spill_err(
+            return Err((self.err)(
                 self.record,
                 format!(
                     "truncated record: needed {n} more bytes, {} left",
@@ -239,20 +250,31 @@ impl<'a> Take<'a> {
         Ok(head)
     }
 
-    fn u8(&mut self) -> Result<u8, MineError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, MineError> {
         Ok(self.bytes(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, MineError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, MineError> {
         Ok(u32::from_le_bytes(
             self.bytes(4)?.try_into().expect("exact length"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, MineError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, MineError> {
         Ok(u64::from_le_bytes(
             self.bytes(8)?.try_into().expect("exact length"),
         ))
+    }
+
+    pub(crate) fn u128(&mut self) -> Result<u128, MineError> {
+        Ok(u128::from_le_bytes(
+            self.bytes(16)?.try_into().expect("exact length"),
+        ))
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len()
     }
 }
 
@@ -283,10 +305,7 @@ pub(crate) fn decode_record(record: u64, bytes: &[u8]) -> Result<PilSet, MineErr
             ),
         ));
     }
-    let mut r = Take {
-        bytes: body,
-        record,
-    };
+    let mut r = Take::new(body, record, spill_err);
     if r.bytes(4)? != MAGIC {
         return Err(spill_err(record, "bad magic".into()));
     }

@@ -224,6 +224,26 @@ pub struct RestoreEvent {
     pub elapsed: Duration,
 }
 
+/// One corpus shard finished during a sharded corpus mine (see
+/// [`crate::corpus::mine_corpus`]): either mined fresh on a pool
+/// worker or restored from a checkpoint record on resume. Events are
+/// emitted in shard-index order after the fan-out completes, so a
+/// trace is deterministic regardless of worker scheduling.
+#[derive(Clone, Debug)]
+pub struct ShardEvent {
+    /// Shard index (== sequence index in the corpus directory).
+    pub shard: usize,
+    /// Sequence length in symbols.
+    pub len: usize,
+    /// Patterns frequent within this shard alone.
+    pub patterns: usize,
+    /// True when the shard came back from a checkpoint record instead
+    /// of being mined this run.
+    pub restored: bool,
+    /// Wall-clock time spent mining (or restoring) the shard.
+    pub elapsed: Duration,
+}
+
 /// Per-list PIL representation choices made during a run (the
 /// [`crate::adaptive::ReprCache`] histogram): how many suffix lists
 /// were materialised as dense prefix-sum arrays, how many stayed
@@ -369,6 +389,9 @@ pub trait MineObserver {
     fn on_spill(&mut self, _event: &SpillEvent) {}
     /// A spill record was restored and mined (hybrid engine only).
     fn on_restore(&mut self, _event: &RestoreEvent) {}
+    /// A corpus shard finished — mined or checkpoint-restored
+    /// (sharded corpus mine only).
+    fn on_shard(&mut self, _event: &ShardEvent) {}
     /// A non-fatal anomaly was survived (e.g. spill cleanup failure).
     fn on_warning(&mut self, _event: &WarningEvent) {}
     /// A pattern-store query was served (`pgmine serve` only).
@@ -409,6 +432,9 @@ impl<O: MineObserver + ?Sized> MineObserver for &mut O {
     }
     fn on_restore(&mut self, event: &RestoreEvent) {
         (**self).on_restore(event);
+    }
+    fn on_shard(&mut self, event: &ShardEvent) {
+        (**self).on_shard(event);
     }
     fn on_warning(&mut self, event: &WarningEvent) {
         (**self).on_warning(event);
@@ -456,6 +482,10 @@ impl<A: MineObserver, B: MineObserver> MineObserver for (A, B) {
     fn on_restore(&mut self, event: &RestoreEvent) {
         self.0.on_restore(event);
         self.1.on_restore(event);
+    }
+    fn on_shard(&mut self, event: &ShardEvent) {
+        self.0.on_shard(event);
+        self.1.on_shard(event);
     }
     fn on_warning(&mut self, event: &WarningEvent) {
         self.0.on_warning(event);
@@ -514,6 +544,11 @@ impl<O: MineObserver> MineObserver for Option<O> {
     fn on_restore(&mut self, event: &RestoreEvent) {
         if let Some(o) = self {
             o.on_restore(event);
+        }
+    }
+    fn on_shard(&mut self, event: &ShardEvent) {
+        if let Some(o) = self {
+            o.on_shard(event);
         }
     }
     fn on_warning(&mut self, event: &WarningEvent) {

@@ -125,6 +125,65 @@ impl PackedDna {
     }
 }
 
+/// Bytes needed to pack `len` symbols at `bits` bits per symbol.
+pub fn packed_len(len: usize, bits: u32) -> usize {
+    (len * bits as usize).div_ceil(8)
+}
+
+/// Pack byte codes into a little-endian bit stream at `bits` bits per
+/// symbol: symbol `i` occupies bits `i·bits .. (i+1)·bits` of the
+/// stream, least-significant bit of each byte first. For `bits == 2`
+/// the layout is identical to [`PackedDna`]; wider alphabets (protein
+/// at 5 bits) straddle byte boundaries.
+///
+/// # Panics
+/// Panics if `bits` is outside `1..=8` or any code needs more than
+/// `bits` bits.
+pub fn pack_codes(codes: &[u8], bits: u32) -> Vec<u8> {
+    assert!((1..=8).contains(&bits), "bits must be 1..=8, got {bits}");
+    let mut bytes = vec![0u8; packed_len(codes.len(), bits)];
+    for (i, &code) in codes.iter().enumerate() {
+        assert!(
+            (code as u32) < (1 << bits),
+            "code {code} does not fit in {bits} bits"
+        );
+        let bit = i * bits as usize;
+        let spread = (code as u16) << (bit % 8);
+        bytes[bit / 8] |= spread as u8;
+        if spread > 0xff {
+            bytes[bit / 8 + 1] |= (spread >> 8) as u8;
+        }
+    }
+    bytes
+}
+
+/// Inverse of [`pack_codes`]: recover `len` symbol codes from a
+/// little-endian bit stream at `bits` bits per symbol.
+///
+/// # Panics
+/// Panics if `bits` is outside `1..=8` or `bytes` is shorter than
+/// [`packed_len`]`(len, bits)`.
+pub fn unpack_codes(bytes: &[u8], bits: u32, len: usize) -> Vec<u8> {
+    assert!((1..=8).contains(&bits), "bits must be 1..=8, got {bits}");
+    assert!(
+        bytes.len() >= packed_len(len, bits),
+        "need {} packed bytes for {len} symbols at {bits} bits, got {}",
+        packed_len(len, bits),
+        bytes.len()
+    );
+    let mask = (1u16 << bits) - 1;
+    (0..len)
+        .map(|i| {
+            let bit = i * bits as usize;
+            let mut word = bytes[bit / 8] as u16;
+            if bit % 8 + bits as usize > 8 {
+                word |= (bytes[bit / 8 + 1] as u16) << 8;
+            }
+            ((word >> (bit % 8)) & mask) as u8
+        })
+        .collect()
+}
+
 impl FromIterator<u8> for PackedDna {
     fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
         let mut packed = PackedDna::new();
@@ -193,5 +252,53 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.to_sequence().len(), 0);
         assert_eq!(p.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn pack_codes_matches_packed_dna_at_two_bits() {
+        let codes = [0u8, 1, 2, 3, 3, 2, 1, 0, 2];
+        let dna: PackedDna = codes.iter().copied().collect();
+        let packed = pack_codes(&codes, 2);
+        assert_eq!(packed.len(), dna.payload_bytes());
+        assert_eq!(unpack_codes(&packed, 2, codes.len()), codes.to_vec());
+        for (i, &code) in codes.iter().enumerate() {
+            assert_eq!((packed[i / 4] >> (2 * (i % 4))) & 0b11, code);
+        }
+    }
+
+    #[test]
+    fn pack_codes_roundtrips_every_width() {
+        for bits in 1..=8u32 {
+            let max = 1u16 << bits;
+            let codes: Vec<u8> = (0..200u16).map(|i| ((i * 7 + 3) % max) as u8).collect();
+            let packed = pack_codes(&codes, bits);
+            assert_eq!(packed.len(), packed_len(codes.len(), bits), "bits {bits}");
+            assert_eq!(
+                unpack_codes(&packed, bits, codes.len()),
+                codes,
+                "bits {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_codes_straddles_byte_boundaries() {
+        // 5-bit protein-width codes: symbol 1 spans bytes 0 and 1.
+        let codes = [0b10101u8, 0b11011, 0b00110];
+        let packed = pack_codes(&codes, 5);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack_codes(&packed, 5, 3), codes.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_codes_rejects_wide_code() {
+        pack_codes(&[4], 2);
+    }
+
+    #[test]
+    fn pack_codes_empty() {
+        assert!(pack_codes(&[], 5).is_empty());
+        assert!(unpack_codes(&[], 5, 0).is_empty());
     }
 }

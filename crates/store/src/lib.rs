@@ -41,6 +41,16 @@ const TAG_OUTCOME: u8 = 2;
 /// the same magic, version, and trailing-checksum layout and can be
 /// decoded with [`wire::Reader`].
 pub const TAG_SPILL: u8 = 3;
+/// Section tag for per-shard corpus checkpoint records
+/// (`shard-*.pgck`), written by `perigap_core::corpus` under the same
+/// PGST conventions as [`TAG_SPILL`]: magic, version, tag byte, then
+/// the shard payload, closed by a trailing FNV-1a digest.
+pub const TAG_CORPUS_CHECKPOINT: u8 = 4;
+/// Section tag for the corpus checkpoint manifest (`manifest.pgcm`),
+/// written by `perigap_core::corpus` — it pins the corpus hash, the
+/// mining parameters, and the completed-shard bitmap a resume
+/// validates against.
+pub const TAG_CORPUS_MANIFEST: u8 = 5;
 /// Sanity cap for on-disk blobs (1 GiB) — far above any real input,
 /// low enough to refuse nonsense lengths from corrupt files.
 const MAX_BLOB: u64 = 1 << 30;
@@ -536,5 +546,91 @@ mod tests {
             r.verify_checksum()
                 .expect("digest must match the store convention");
         }
+    }
+
+    /// Corpus checkpoint artifacts are likewise written by
+    /// `perigap_core::corpus`, but both the per-shard records and the
+    /// manifest must stay decodable with the plain PGST
+    /// [`wire::Reader`] under the tags this crate reserves for them.
+    #[test]
+    fn corpus_checkpoints_honor_the_store_wire_format() {
+        use perigap_core::corpus::{mine_corpus, CheckpointConfig, Corpus, CorpusMineConfig};
+        use std::sync::Arc;
+
+        let dir = std::env::temp_dir().join(format!(
+            "perigap-store-corpus-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let seqs: Vec<(String, Sequence)> = (0..3)
+            .map(|i| {
+                (
+                    format!("seq-{i}"),
+                    Sequence::dna(&"ACGTT".repeat(30 + 10 * i)).unwrap(),
+                )
+            })
+            .collect();
+        let corpus_path = dir.join("corpus.pgco");
+        let hash = Corpus::write(&corpus_path, &seqs).unwrap();
+        let corpus = Arc::new(Corpus::open(&corpus_path).unwrap());
+        let ckpt_dir = dir.join("ckpt");
+        let gap = GapRequirement::new(1, 3).unwrap();
+        let outcome = mine_corpus(
+            &corpus,
+            gap,
+            0.005,
+            &CorpusMineConfig {
+                min_sequences: 2,
+                checkpoint: Some(CheckpointConfig::fresh(&ckpt_dir)),
+                ..CorpusMineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!outcome.outcome.patterns.is_empty(), "fixture must mine");
+        assert_eq!(outcome.stats.checkpoint_records, 3);
+
+        for shard in 0..3u64 {
+            let bytes = std::fs::read(ckpt_dir.join(format!("shard-{shard:08}.pgck"))).unwrap();
+            let mut r = Reader::new(&bytes[..]);
+            assert_eq!(r.bytes(4).unwrap(), MAGIC, "shard {shard}");
+            assert_eq!(r.u32().unwrap(), VERSION, "shard {shard}");
+            assert_eq!(r.u8().unwrap(), TAG_CORPUS_CHECKPOINT, "shard {shard}");
+            assert_eq!(r.u64().unwrap(), shard);
+            assert_eq!(r.u64().unwrap(), hash, "shard {shard}: corpus hash");
+            let n_patterns = r.u32().unwrap();
+            assert!(n_patterns >= 1, "shard {shard}");
+            for _ in 0..n_patterns {
+                let len = r.u32().unwrap() as usize;
+                let codes = r.bytes(len).unwrap();
+                assert!(codes.iter().all(|&c| c < 4), "shard {shard}: DNA codes");
+                assert!(r.u128().unwrap() >= 1, "shard {shard}: support");
+            }
+            r.verify_checksum()
+                .expect("record digest must match the store convention");
+        }
+
+        let bytes = std::fs::read(ckpt_dir.join("manifest.pgcm")).unwrap();
+        let mut r = Reader::new(&bytes[..]);
+        assert_eq!(r.bytes(4).unwrap(), MAGIC);
+        assert_eq!(r.u32().unwrap(), VERSION);
+        assert_eq!(r.u8().unwrap(), TAG_CORPUS_MANIFEST);
+        assert_eq!(r.u64().unwrap(), hash, "manifest: corpus hash");
+        assert_eq!(r.u64().unwrap(), 1, "manifest: gap min");
+        assert_eq!(r.u64().unwrap(), 3, "manifest: gap max");
+        assert_eq!(r.u64().unwrap(), 0.005f64.to_bits(), "manifest: rho");
+        assert_eq!(r.u64().unwrap(), 10, "manifest: n");
+        assert_eq!(r.u64().unwrap(), 2, "manifest: min sequences");
+        r.u64().unwrap(); // start level
+        r.u64().unwrap(); // max level (u64::MAX = none)
+        assert!(r.u8().unwrap() <= 1, "manifest: engine tag");
+        let shards = r.u32().unwrap();
+        assert_eq!(shards, 3);
+        let bitmap = r.bytes(1).unwrap();
+        assert_eq!(bitmap[0], 0b111, "all three shards complete");
+        r.verify_checksum()
+            .expect("manifest digest must match the store convention");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

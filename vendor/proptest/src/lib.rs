@@ -5,8 +5,9 @@
 //! workspace's property tests use: the [`proptest!`] macro (with
 //! `pat in strategy` and `name: Type` argument forms, mixed, with
 //! optional trailing commas and an optional
-//! `#![proptest_config(...)]` header), range / tuple / map / vec
-//! strategies, `any::<T>()`, and the `prop_assert!` family.
+//! `#![proptest_config(...)]` header), range / tuple / map /
+//! flat-map / vec strategies, unweighted [`prop_oneof!`],
+//! `any::<T>()`, and the `prop_assert!` family.
 //!
 //! Differences from upstream: cases are generated from a fixed
 //! deterministic seed (stable across runs and machines), and failing
@@ -38,6 +39,17 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derive a second strategy from every sampled value and sample it
+    /// — the dependent-generation combinator.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -66,6 +78,59 @@ where
     fn sample(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.sample(rng))
     }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// The strategy built by [`prop_oneof!`]: sample one of several
+/// same-valued strategies, chosen uniformly. (Upstream supports
+/// weighted arms; this subset does not.)
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Wrap the boxed alternatives; panics on an empty list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rand::Rng::gen_range(rng, 0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+/// Sample from one of several strategies with equal probability,
+/// mirroring (the unweighted form of) `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$(::std::boxed::Box::new($arm)),+])
+    };
 }
 
 /// A strategy producing one fixed value, mirroring `proptest::strategy::Just`.
@@ -235,7 +300,7 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
         ProptestConfig, Strategy, TestCaseError,
     };
 }
@@ -401,6 +466,18 @@ mod tests {
         fn vec_strategy_respects_bounds(v in collection::vec(0u8..4, 2..5),) {
             prop_assert!((2..5).contains(&v.len()));
             prop_assert!(v.iter().all(|&c| c < 4));
+        }
+
+        #[test]
+        fn oneof_draws_every_arm_and_nothing_else(v in collection::vec(prop_oneof![Just(1u8), Just(4), 7u8..9], 64..65)) {
+            prop_assert!(v.iter().all(|&x| [1, 4, 7, 8].contains(&x)));
+            // 64 draws from 3 uniform arms miss an arm with prob < 1e-7.
+            prop_assert!(v.contains(&1) && v.contains(&4));
+        }
+
+        #[test]
+        fn flat_map_dependent_generation(v in (2usize..6).prop_flat_map(|n| collection::vec(0u8..4, n..n + 1))) {
+            prop_assert!((2..6).contains(&v.len()));
         }
 
         #[test]
